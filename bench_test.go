@@ -1,0 +1,154 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark builds a fresh reduced-scale runner per iteration so the
+// reported time is the cost of regenerating that figure from scratch
+// (compile + trace + simulate across the benchmark suite).
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// The full-suite, full-scale versions are produced by cmd/noreba-bench.
+package noreba
+
+import (
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/experiments"
+)
+
+func benchFigure(b *testing.B, run func(*experiments.Runner) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := QuickRunner()
+		if err := run(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the motivation figure: NonSpec / SpecBR /
+// Spec OoO-commit speedups over in-order commit.
+func BenchmarkFigure1(b *testing.B) {
+	benchFigure(b, func(r *experiments.Runner) error { _, err := r.Figure1(); return err })
+}
+
+// BenchmarkFigure6 regenerates the main result (Figure 6).
+func BenchmarkFigure6(b *testing.B) {
+	benchFigure(b, func(r *experiments.Runner) error { _, err := r.Figure6(); return err })
+}
+
+// BenchmarkFigure7 regenerates the bzip2/mcf branch-criticality scatter.
+func BenchmarkFigure7(b *testing.B) {
+	benchFigure(b, func(r *experiments.Runner) error { _, err := r.Figure7(); return err })
+}
+
+// BenchmarkFigure8 regenerates the OoO-commit-fraction chart.
+func BenchmarkFigure8(b *testing.B) {
+	benchFigure(b, func(r *experiments.Runner) error { _, err := r.Figure8(); return err })
+}
+
+// BenchmarkFigure9 regenerates the Selective ROB sizing sweep.
+func BenchmarkFigure9(b *testing.B) {
+	benchFigure(b, func(r *experiments.Runner) error { _, err := r.Figure9(); return err })
+}
+
+// BenchmarkFigure10 regenerates the Selective ROB power sweep.
+func BenchmarkFigure10(b *testing.B) {
+	benchFigure(b, func(r *experiments.Runner) error { _, err := r.Figure10(); return err })
+}
+
+// BenchmarkFigure11 regenerates the setup-instruction overhead chart.
+func BenchmarkFigure11(b *testing.B) {
+	benchFigure(b, func(r *experiments.Runner) error { _, err := r.Figure11(); return err })
+}
+
+// BenchmarkFigure12 regenerates the NHM/HSW/SKL core comparison.
+func BenchmarkFigure12(b *testing.B) {
+	benchFigure(b, func(r *experiments.Runner) error { _, err := r.Figure12(); return err })
+}
+
+// BenchmarkFigure13 regenerates the prefetching-effectiveness chart.
+func BenchmarkFigure13(b *testing.B) {
+	benchFigure(b, func(r *experiments.Runner) error { _, err := r.Figure13(); return err })
+}
+
+// BenchmarkFigure14 regenerates the Early Commit of Loads chart.
+func BenchmarkFigure14(b *testing.B) {
+	benchFigure(b, func(r *experiments.Runner) error { _, err := r.Figure14(); return err })
+}
+
+// BenchmarkFigure15 regenerates the commit-bandwidth chart.
+func BenchmarkFigure15(b *testing.B) {
+	benchFigure(b, func(r *experiments.Runner) error { _, err := r.Figure15(); return err })
+}
+
+// BenchmarkFigure16 regenerates the power/area breakdown.
+func BenchmarkFigure16(b *testing.B) {
+	benchFigure(b, func(r *experiments.Runner) error { _, _, err := r.Figure16(); return err })
+}
+
+// BenchmarkTables2And3 renders the configuration tables.
+func BenchmarkTables2And3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := ConfigTables(); len(s) == 0 {
+			b.Fatal("empty tables")
+		}
+	}
+}
+
+// BenchmarkCompilerPass measures the branch-dependent code detection pass
+// itself over the whole workload suite.
+func BenchmarkCompilerPass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range Workloads() {
+			p := w.Build(2)
+			if _, err := Compile(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorMcf measures raw simulation throughput: cycles of the
+// NOREBA core simulated per wall-clock second on the mcf kernel.
+func BenchmarkSimulatorMcf(b *testing.B) {
+	w, err := WorkloadByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := Compile(w.Build(300))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := Trace(res, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(Skylake(PolicyNoreba), tr, res.Meta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCIT sweeps the Committed Instructions Table size.
+func BenchmarkAblationCIT(b *testing.B) {
+	benchFigure(b, func(r *experiments.Runner) error { _, err := r.AblationCIT(); return err })
+}
+
+// BenchmarkAblationLoopMarking compares selective versus exhaustive branch
+// marking in the compiler pass.
+func BenchmarkAblationLoopMarking(b *testing.B) {
+	benchFigure(b, func(r *experiments.Runner) error { _, err := r.AblationLoopMarking(); return err })
+}
+
+// BenchmarkAblationBITSize sweeps the Branch ID Table / compiler ID space.
+func BenchmarkAblationBITSize(b *testing.B) {
+	benchFigure(b, func(r *experiments.Runner) error { _, err := r.AblationBITSize(); return err })
+}
+
+// BenchmarkAblationPredictors sweeps branch predictor quality.
+func BenchmarkAblationPredictors(b *testing.B) {
+	benchFigure(b, func(r *experiments.Runner) error { _, err := r.AblationPredictors(); return err })
+}

@@ -1,0 +1,90 @@
+// Command noreba-bench regenerates the paper's evaluation figures and
+// tables over the synthetic workload suite.
+//
+// Usage:
+//
+//	noreba-bench                # all figures, full suite
+//	noreba-bench -fig 6         # one figure
+//	noreba-bench -quick         # reduced scales and suite (fast)
+//	noreba-bench -tables        # Tables 2 and 3 (configurations)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	noreba "github.com/noreba-sim/noreba"
+	"github.com/noreba-sim/noreba/internal/experiments"
+	"github.com/noreba-sim/noreba/internal/metrics"
+)
+
+func main() {
+	var (
+		fig    = flag.Int("fig", 0, "figure number to regenerate (0 = all)")
+		quick  = flag.Bool("quick", false, "reduced workload scales and suite")
+		tables = flag.Bool("tables", false, "print configuration tables (Tables 2 and 3)")
+	)
+	flag.Parse()
+
+	if *tables {
+		fmt.Print(noreba.ConfigTables())
+		return
+	}
+
+	r := noreba.NewRunner()
+	if *quick {
+		r = noreba.QuickRunner()
+	}
+
+	type figure struct {
+		n   int
+		run func(*experiments.Runner) (fmt.Stringer, error)
+	}
+	figs := []figure{
+		{1, func(r *experiments.Runner) (fmt.Stringer, error) { return r.Figure1() }},
+		{6, func(r *experiments.Runner) (fmt.Stringer, error) { return r.Figure6() }},
+		{7, func(r *experiments.Runner) (fmt.Stringer, error) { return r.Figure7() }},
+		{8, func(r *experiments.Runner) (fmt.Stringer, error) { return r.Figure8() }},
+		{9, func(r *experiments.Runner) (fmt.Stringer, error) { return r.Figure9() }},
+		{10, func(r *experiments.Runner) (fmt.Stringer, error) { return r.Figure10() }},
+		{11, func(r *experiments.Runner) (fmt.Stringer, error) { return r.Figure11() }},
+		{12, func(r *experiments.Runner) (fmt.Stringer, error) { return r.Figure12() }},
+		{13, func(r *experiments.Runner) (fmt.Stringer, error) { return r.Figure13() }},
+		{14, func(r *experiments.Runner) (fmt.Stringer, error) { return r.Figure14() }},
+		{15, func(r *experiments.Runner) (fmt.Stringer, error) { return r.Figure15() }},
+		{16, func(r *experiments.Runner) (fmt.Stringer, error) {
+			pow, area, err := r.Figure16()
+			if err != nil {
+				return nil, err
+			}
+			return both{pow, area}, nil
+		}},
+	}
+
+	ran := false
+	for _, f := range figs {
+		if *fig != 0 && *fig != f.n {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		out, err := f.run(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "noreba-bench: figure %d: %v\n", f.n, err)
+			os.Exit(1)
+		}
+		fmt.Print(out.String())
+		fmt.Printf("(figure %d regenerated in %v)\n\n", f.n, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "noreba-bench: no such figure %d (have 1, 6-16)\n", *fig)
+		os.Exit(1)
+	}
+}
+
+// both joins Figure 16's two tables.
+type both struct{ a, b *metrics.Table }
+
+func (b both) String() string { return b.a.String() + "\n" + b.b.String() }

@@ -1,0 +1,216 @@
+// Command noreba-sim runs one workload (built-in kernel or assembly file)
+// through the cycle-level simulator under a chosen commit policy and prints
+// the run's statistics.
+//
+// Usage:
+//
+//	noreba-sim -workload mcf -policy noreba
+//	noreba-sim -file kernel.s -policy inorder -no-prefetch
+//	noreba-sim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	noreba "github.com/noreba-sim/noreba"
+	"github.com/noreba-sim/noreba/internal/compiler"
+	"github.com/noreba-sim/noreba/internal/emulator"
+)
+
+var policies = map[string]noreba.Policy{
+	"inorder": noreba.PolicyInOrder,
+	"nonspec": noreba.PolicyNonSpecOoO,
+	"noreba":  noreba.PolicyNoreba,
+	"ideal":   noreba.PolicyIdealReconv,
+	"specbr":  noreba.PolicySpecBR,
+	"spec":    noreba.PolicySpec,
+}
+
+func main() {
+	var (
+		workload   = flag.String("workload", "mcf", "built-in workload name (see -list)")
+		file       = flag.String("file", "", "assembly file to run instead of a built-in workload")
+		image      = flag.String("image", "", "compiled bundle (.nrb from noreba-compile -o) to run")
+		policyName = flag.String("policy", "noreba", "commit policy: inorder|nonspec|noreba|ideal|specbr|spec")
+		core       = flag.String("core", "skl", "core model: nhm|hsw|skl")
+		scale      = flag.Int("scale", 0, "workload scale (0 = default)")
+		maxInsts   = flag.Int64("max-insts", 1<<20, "dynamic instruction budget")
+		noPrefetch = flag.Bool("no-prefetch", false, "disable the DCPT prefetcher")
+		ecl        = flag.Bool("ecl", false, "enable Early Commit of Loads (§6.1.5)")
+		list       = flag.Bool("list", false, "list built-in workloads and exit")
+		jsonOut    = flag.Bool("json", false, "emit statistics as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range noreba.Workloads() {
+			fmt.Printf("%-14s %s (default scale %d)\n", w.Name, w.Suite, w.DefaultScale)
+		}
+		return
+	}
+
+	policy, ok := policies[strings.ToLower(*policyName)]
+	if !ok {
+		fatalf("unknown policy %q", *policyName)
+	}
+	var cfg noreba.Config
+	switch strings.ToLower(*core) {
+	case "nhm":
+		cfg = noreba.Nehalem(policy)
+	case "hsw":
+		cfg = noreba.Haswell(policy)
+	case "skl":
+		cfg = noreba.Skylake(policy)
+	default:
+		fatalf("unknown core %q", *core)
+	}
+	cfg.PrefetchEnabled = !*noPrefetch
+	cfg.ECL = *ecl
+
+	if *image != "" {
+		data, err := os.ReadFile(*image)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		img, meta, err := compiler.LoadBundle(data)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tr, err := emulator.New(img).Run(*maxInsts)
+		if err != nil {
+			fatalf("trace: %v", err)
+		}
+		st, err := noreba.Simulate(cfg, tr, meta)
+		if err != nil {
+			fatalf("simulate: %v", err)
+		}
+		report(*image, cfg, tr, st, *jsonOut)
+		return
+	}
+
+	var prog *noreba.Program
+	name := *workload
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		p, err := noreba.Assemble(*file, string(src))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		prog, name = p, *file
+	} else {
+		w, err := noreba.WorkloadByName(*workload)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		s := w.DefaultScale
+		if *scale > 0 {
+			s = *scale
+		}
+		prog = w.Build(s)
+	}
+
+	res, err := noreba.Compile(prog)
+	if err != nil {
+		fatalf("compile: %v", err)
+	}
+	tr, err := noreba.Trace(res, *maxInsts)
+	if err != nil {
+		fatalf("trace: %v", err)
+	}
+	st, err := noreba.Simulate(cfg, tr, res.Meta)
+	if err != nil {
+		fatalf("simulate: %v", err)
+	}
+	report(name, cfg, tr, st, *jsonOut)
+}
+
+// report prints a run's statistics, as text or JSON.
+func report(name string, cfg noreba.Config, tr *noreba.DynTrace, st *noreba.Stats, asJSON bool) {
+	breakdown := noreba.EstimatePower(cfg, st)
+	if asJSON {
+		out := map[string]any{
+			"workload":        name,
+			"core":            cfg.Name,
+			"policy":          st.Policy,
+			"prefetch":        cfg.PrefetchEnabled,
+			"ecl":             cfg.ECL,
+			"dynamicInsts":    tr.Len(),
+			"cycles":          st.Cycles,
+			"ipc":             st.IPC(),
+			"oooCommitted":    st.OoOCommitted,
+			"oooFraction":     st.OoOCommitFraction(),
+			"branches":        st.Branches,
+			"mispredicts":     st.Mispredicts,
+			"mispredictRate":  st.MispredictRate(),
+			"l1dAccesses":     st.L1DAccesses,
+			"l1dMisses":       st.L1DMisses,
+			"prefetchIssued":  st.PrefetchIssued,
+			"prefetchUseful":  st.PrefetchUseful,
+			"fetchedSetup":    st.FetchedSetup,
+			"citDrops":        st.CITDrops,
+			"citAllocations":  st.CITAllocs,
+			"stallROB":        st.StallROB,
+			"stallIQ":         st.StallIQ,
+			"stallLQ":         st.StallLQ,
+			"stallSQ":         st.StallSQ,
+			"stallRegs":       st.StallRegs,
+			"modelPower":      breakdown.TotalPower(),
+			"modelArea":       breakdown.TotalArea(),
+			"fencesCommitted": st.FencesCommitted,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	fmt.Printf("workload        %s (%d dynamic instructions)\n", name, tr.Len())
+	fmt.Printf("core            %s  policy %s  prefetch %v  ECL %v\n", cfg.Name, st.Policy, cfg.PrefetchEnabled, cfg.ECL)
+	fmt.Printf("cycles          %d\n", st.Cycles)
+	fmt.Printf("IPC             %.3f\n", st.IPC())
+	fmt.Printf("OoO committed   %d (%.1f%% of commits)\n", st.OoOCommitted, 100*st.OoOCommitFraction())
+	fmt.Printf("branches        %d (%.2f%% mispredicted)\n", st.Branches, 100*st.MispredictRate())
+	fmt.Printf("L1D             %d accesses, %d misses\n", st.L1DAccesses, st.L1DMisses)
+	fmt.Printf("prefetches      %d issued, %d useful\n", st.PrefetchIssued, st.PrefetchUseful)
+	fmt.Printf("setup insts     %d fetched, CIT drops %d\n", st.FetchedSetup, st.CITDrops)
+	fmt.Printf("dispatch stalls ROB %d  IQ %d  LQ %d  SQ %d  regs %d\n",
+		st.StallROB, st.StallIQ, st.StallLQ, st.StallSQ, st.StallRegs)
+	fmt.Printf("power (model)   %.3f  area %.3f\n", breakdown.TotalPower(), breakdown.TotalArea())
+
+	// Figure-7-style criticality: the five worst branches.
+	type crit struct {
+		pc                 int
+		stall, deps, occur int64
+	}
+	var crits []crit
+	for pc, bs := range st.BranchStalls {
+		if bs.StallCycles > 0 {
+			crits = append(crits, crit{pc, bs.StallCycles, bs.Dependents, bs.Occurrences})
+		}
+	}
+	sort.Slice(crits, func(i, j int) bool { return crits[i].stall > crits[j].stall })
+	if len(crits) > 5 {
+		crits = crits[:5]
+	}
+	if len(crits) > 0 {
+		fmt.Println("critical branches (pc, stall cycles, dynamic dependents, occurrences):")
+		for _, c := range crits {
+			fmt.Printf("  pc %-6d stall %-8d deps %-8d occ %d\n", c.pc, c.stall, c.deps, c.occur)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "noreba-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module github.com/noreba-sim/noreba
+
+go 1.22

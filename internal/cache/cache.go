@@ -1,0 +1,192 @@
+// Package cache models the memory hierarchy of the simulated core: set
+// associative L1i/L1d/L2/L3 caches with LRU replacement and per-line fill
+// timing, chained into a Hierarchy whose latencies follow the paper's
+// Table 2 (L1 4clk, L2 12clk, L3 36clk, then main memory).
+//
+// Timing model: an access at cycle c that misses at every level installs
+// the line everywhere with a readiness timestamp; a later access to a line
+// still in flight (an MSHR hit) pays only the remaining latency.
+package cache
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+type line struct {
+	tag     int64
+	valid   bool
+	lastUse int64 // LRU clock
+	readyAt int64 // cycle the fill completes
+}
+
+// Cache is one set-associative level.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	latency  int64
+	lines    []line // sets × ways
+	lruClock int64
+
+	// Statistics.
+	Accesses int64
+	Misses   int64
+}
+
+// New builds a cache with the given total size in bytes, associativity and
+// hit latency in cycles.
+func New(name string, sizeBytes, ways int, latency int64) *Cache {
+	sets := sizeBytes / LineSize / ways
+	if sets < 1 {
+		sets = 1
+	}
+	return &Cache{
+		name:    name,
+		sets:    sets,
+		ways:    ways,
+		latency: latency,
+		lines:   make([]line, sets*ways),
+	}
+}
+
+// Name returns the level's name ("L1d", "L2", …).
+func (c *Cache) Name() string { return c.name }
+
+// Latency returns the level's hit latency.
+func (c *Cache) Latency() int64 { return c.latency }
+
+func (c *Cache) set(addr int64) []line {
+	blk := addr / LineSize
+	s := int(uint64(blk) % uint64(c.sets))
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+// lookup returns the way holding addr, or nil.
+func (c *Cache) lookup(addr int64) *line {
+	tag := addr / LineSize
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// install places addr's line into the cache with the given readiness time,
+// evicting the LRU way.
+func (c *Cache) install(addr, readyAt int64) *line {
+	tag := addr / LineSize
+	set := c.set(addr)
+	victim := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lastUse < victim.lastUse {
+			victim = &set[i]
+		}
+	}
+	c.lruClock++
+	*victim = line{tag: tag, valid: true, lastUse: c.lruClock, readyAt: readyAt}
+	return victim
+}
+
+// Contains reports whether addr's line is resident (regardless of fill
+// completion); used by tests and the prefetcher.
+func (c *Cache) Contains(addr int64) bool { return c.lookup(addr) != nil }
+
+// Hierarchy chains cache levels over a fixed-latency main memory.
+type Hierarchy struct {
+	Levels  []*Cache
+	MemLat  int64
+	MemAccs int64 // accesses that reached main memory
+
+	// PrefetchIssued / PrefetchUseful count prefetcher activity for the
+	// power model and statistics.
+	PrefetchIssued int64
+	PrefetchUseful int64
+}
+
+// Config holds one level's geometry.
+type Config struct {
+	Name    string
+	Size    int
+	Ways    int
+	Latency int64
+}
+
+// NewHierarchy builds a hierarchy from level configs (ordered L1 → last
+// level) and a main-memory latency.
+func NewHierarchy(memLat int64, levels ...Config) *Hierarchy {
+	h := &Hierarchy{MemLat: memLat}
+	for _, l := range levels {
+		h.Levels = append(h.Levels, New(l.Name, l.Size, l.Ways, l.Latency))
+	}
+	return h
+}
+
+// Access performs a demand access to addr at the given cycle and returns
+// the cycle at which the data is available. Lines are installed at every
+// level on the fill path (inclusive hierarchy).
+func (h *Hierarchy) Access(addr, cycle int64) (doneAt int64) {
+	return h.access(addr, cycle, false)
+}
+
+// Prefetch installs addr's line as if demanded at cycle, without polluting
+// demand statistics beyond the levels it fills. Prefetches fill starting at
+// the first level that misses.
+func (h *Hierarchy) Prefetch(addr, cycle int64) {
+	h.PrefetchIssued++
+	h.access(addr, cycle, true)
+}
+
+func (h *Hierarchy) access(addr, cycle int64, prefetch bool) int64 {
+	elapsed := int64(0)
+	var missLevels []*Cache
+	for _, c := range h.Levels {
+		if !prefetch {
+			c.Accesses++
+		}
+		elapsed += c.latency
+		if ln := c.lookup(addr); ln != nil {
+			c.lruClock++
+			ln.lastUse = c.lruClock
+			ready := cycle + elapsed
+			if ln.readyAt > ready {
+				ready = ln.readyAt // in-flight fill: pay the remaining time
+			}
+			if !prefetch && ln.readyAt > cycle && len(missLevels) == 0 {
+				// Demand hit on an in-flight prefetch: it was useful.
+				h.PrefetchUseful++
+			}
+			h.fill(missLevels, addr, ready)
+			return ready
+		}
+		if !prefetch {
+			c.Misses++
+		}
+		missLevels = append(missLevels, c)
+	}
+	if !prefetch {
+		h.MemAccs++
+	}
+	ready := cycle + elapsed + h.MemLat
+	h.fill(missLevels, addr, ready)
+	return ready
+}
+
+func (h *Hierarchy) fill(levels []*Cache, addr, readyAt int64) {
+	for _, c := range levels {
+		c.install(addr, readyAt)
+	}
+}
+
+// Reset clears statistics but keeps cache contents.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.Levels {
+		c.Accesses, c.Misses = 0, 0
+	}
+	h.MemAccs = 0
+	h.PrefetchIssued, h.PrefetchUseful = 0, 0
+}

@@ -1,0 +1,102 @@
+package compiler
+
+import (
+	"github.com/noreba-sim/noreba/internal/isa"
+	"github.com/noreba-sim/noreba/internal/program"
+)
+
+// slot abstracts a memory location for alias analysis. When a memory
+// operand's base register holds a program-wide constant, the access resolves
+// to an absolute address (known=true) and alias questions are exact;
+// otherwise the access is "unknown" and may alias anything.
+type slot struct {
+	known bool
+	addr  int64
+}
+
+// aliasInfo carries the results of the lightweight intraprocedural pointer
+// analysis: which registers hold a single constant value for the whole
+// program (set once, typically in the entry block, and never redefined).
+type aliasInfo struct {
+	constReg [isa.NumRegs]struct {
+		isConst bool
+		val     int64
+	}
+}
+
+// buildAliasInfo finds registers that are defined exactly once in the whole
+// program by a constant-computable instruction. These act as stable region
+// bases (frame/global pointers); everything else is treated conservatively.
+func buildAliasInfo(p *program.Program) *aliasInfo {
+	ai := &aliasInfo{}
+
+	defCount := make([]int, isa.NumRegs)
+	for _, b := range p.Blocks {
+		for _, in := range b.Insts {
+			if d, ok := in.Dest(); ok {
+				defCount[d]++
+			}
+		}
+	}
+
+	// Iterate to a fixed point so bases derived from other constant bases
+	// (addi s1, s0, 64) resolve too.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range p.Blocks {
+			for _, in := range b.Insts {
+				d, ok := in.Dest()
+				if !ok || defCount[d] != 1 || ai.constReg[d].isConst {
+					continue
+				}
+				if v, ok := ai.constValue(in); ok {
+					ai.constReg[d].isConst = true
+					ai.constReg[d].val = v
+					changed = true
+				}
+			}
+		}
+	}
+	return ai
+}
+
+// constValue evaluates in if all its inputs are known constants.
+func (ai *aliasInfo) constValue(in isa.Inst) (int64, bool) {
+	get := func(r isa.Reg) (int64, bool) {
+		if r == isa.X0 {
+			return 0, true
+		}
+		c := ai.constReg[r]
+		return c.val, c.isConst
+	}
+	switch in.Op {
+	case isa.OpAddi:
+		if v, ok := get(in.Rs1); ok {
+			return v + in.Imm, true
+		}
+	case isa.OpLui:
+		return in.Imm << 12, true
+	case isa.OpAdd:
+		v1, ok1 := get(in.Rs1)
+		v2, ok2 := get(in.Rs2)
+		if ok1 && ok2 {
+			return v1 + v2, true
+		}
+	case isa.OpSlli:
+		if v, ok := get(in.Rs1); ok {
+			return v << (uint64(in.Imm) & 63), true
+		}
+	}
+	return 0, false
+}
+
+// slotOf resolves a memory operand (base register + offset) to a slot.
+func (ai *aliasInfo) slotOf(base isa.Reg, off int64) slot {
+	if base == isa.X0 {
+		return slot{known: true, addr: off}
+	}
+	if c := ai.constReg[base]; c.isConst {
+		return slot{known: true, addr: c.val + off}
+	}
+	return slot{}
+}

@@ -1,0 +1,340 @@
+package compiler
+
+import (
+	"github.com/noreba-sim/noreba/internal/isa"
+	"github.com/noreba-sim/noreba/internal/program"
+)
+
+// instRef identifies an instruction inside a (pre-insertion) program.
+type instRef struct {
+	block int
+	idx   int
+}
+
+// branchSite is one conditional branch the pass analyses.
+type branchSite struct {
+	key    int // index into Analysis.branches
+	block  int // block whose terminator is the branch
+	reconv int // reconvergence block (immediate post-dominator); -1 if none
+	// cd[b] is true when block b is control-dependent on this branch
+	// (reachable between the branch and the reconvergence point).
+	cd []bool
+	// pos is the layout position of the branch instruction in the
+	// pre-insertion program (for recency ordering).
+	pos int
+}
+
+// Analysis holds the results of steps A–C of the pass for one program.
+type Analysis struct {
+	prog     *program.Program
+	alias    *aliasInfo
+	ipdom    []int
+	branches []*branchSite
+	// layoutPos[block][idx] is the pre-insertion linear position.
+	layoutPos [][]int
+	numInsts  int
+	// deps[block][idx] is the set of branch keys instruction (block,idx)
+	// depends on (control or data).
+	deps [][]map[int]depKind
+}
+
+type depKind uint8
+
+const (
+	depControl depKind = 1 << iota
+	depData
+)
+
+// Analyze runs steps A (reconvergence points), B (control-dependent
+// instructions) and C (data-dependent instructions) on p.
+func Analyze(p *program.Program) (*Analysis, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		prog:  p,
+		alias: buildAliasInfo(p),
+		ipdom: postDominators(p),
+	}
+	pos := 0
+	a.layoutPos = make([][]int, len(p.Blocks))
+	a.deps = make([][]map[int]depKind, len(p.Blocks))
+	for i, b := range p.Blocks {
+		a.layoutPos[i] = make([]int, len(b.Insts))
+		a.deps[i] = make([]map[int]depKind, len(b.Insts))
+		for j := range b.Insts {
+			a.layoutPos[i][j] = pos
+			pos++
+		}
+	}
+	a.numInsts = pos
+
+	a.findBranches()
+	for _, br := range a.branches {
+		a.markControlDeps(br)
+		a.markDataDeps(br)
+	}
+	return a, nil
+}
+
+// findBranches locates every conditional branch with a well-defined
+// reconvergence point (step A). Branches whose immediate post-dominator is
+// the virtual exit are left unanalysed: the hardware treats them as unmarked
+// branches and serialises commit at them.
+func (a *Analysis) findBranches() {
+	exit := len(a.prog.Blocks)
+	for i, b := range a.prog.Blocks {
+		term, ok := b.Terminator()
+		if !ok || !term.Op.IsCondBranch() {
+			continue
+		}
+		r := a.ipdom[i]
+		if r == -1 || r == exit {
+			continue
+		}
+		br := &branchSite{
+			key:    len(a.branches),
+			block:  i,
+			reconv: r,
+			cd:     make([]bool, len(a.prog.Blocks)),
+			pos:    a.layoutPos[i][len(b.Insts)-1],
+		}
+		a.branches = append(a.branches, br)
+	}
+}
+
+// markControlDeps performs step B: every block reachable from the branch's
+// successors without passing through the reconvergence point is control
+// dependent, and each of its instructions gains a control dependence on the
+// branch.
+func (a *Analysis) markControlDeps(br *branchSite) {
+	var stack []int
+	seen := make([]bool, len(a.prog.Blocks))
+	for _, s := range a.prog.Successors(br.block) {
+		if s != br.reconv && !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		br.cd[b] = true
+		for j := range a.prog.Blocks[b].Insts {
+			a.addDep(b, j, br.key, depControl)
+		}
+		for _, s := range a.prog.Successors(b) {
+			if s != br.reconv && !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+}
+
+func (a *Analysis) addDep(block, idx, key int, k depKind) {
+	m := a.deps[block][idx]
+	if m == nil {
+		m = make(map[int]depKind, 2)
+		a.deps[block][idx] = m
+	}
+	m[key] |= k
+}
+
+// taintState is the forward dataflow state of step C for one branch: which
+// registers and memory slots may carry values that differ depending on the
+// path the branch takes.
+type taintState struct {
+	regs    uint64 // bitmask over 64 architectural registers
+	slots   map[int64]bool
+	anyMem  bool // some unknown-address store wrote a tainted value
+	reached bool
+}
+
+func (s *taintState) clone() *taintState {
+	c := &taintState{regs: s.regs, anyMem: s.anyMem, reached: s.reached}
+	c.slots = make(map[int64]bool, len(s.slots))
+	for k := range s.slots {
+		c.slots[k] = true
+	}
+	return c
+}
+
+// merge unions o into s and reports whether s changed.
+func (s *taintState) merge(o *taintState) bool {
+	changed := false
+	if !s.reached && o.reached {
+		s.reached = true
+		changed = true
+	}
+	if n := s.regs | o.regs; n != s.regs {
+		s.regs = n
+		changed = true
+	}
+	if o.anyMem && !s.anyMem {
+		s.anyMem = true
+		changed = true
+	}
+	for k := range o.slots {
+		if !s.slots[k] {
+			s.slots[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s *taintState) regTainted(r isa.Reg) bool { return r != isa.X0 && s.regs&(1<<uint(r)) != 0 }
+func (s *taintState) taintReg(r isa.Reg) {
+	if r != isa.X0 {
+		s.regs |= 1 << uint(r)
+	}
+}
+func (s *taintState) untaintReg(r isa.Reg) {
+	if r != isa.X0 {
+		s.regs &^= 1 << uint(r)
+	}
+}
+
+// markDataDeps performs step C for one branch: seeds taint from the
+// definitions made inside the control-dependent region and propagates it
+// forward from the reconvergence point to a fixed point, marking every
+// instruction that consumes tainted state as data dependent on the branch.
+func (a *Analysis) markDataDeps(br *branchSite) {
+	seed := &taintState{slots: map[int64]bool{}, reached: true}
+	for b, in := range br.cd {
+		if !in {
+			continue
+		}
+		for _, inst := range a.prog.Blocks[b].Insts {
+			if d, ok := inst.Dest(); ok {
+				seed.taintReg(d)
+			}
+			if inst.Op.IsStore() {
+				sl := a.alias.slotOf(inst.Rs1, inst.Imm)
+				if sl.known {
+					seed.slots[sl.addr] = true
+				} else {
+					seed.anyMem = true
+				}
+			}
+		}
+	}
+	if seed.regs == 0 && len(seed.slots) == 0 && !seed.anyMem {
+		return
+	}
+
+	n := len(a.prog.Blocks)
+	in := make([]*taintState, n)
+	for i := range in {
+		in[i] = &taintState{slots: map[int64]bool{}}
+	}
+	in[br.reconv].merge(seed)
+
+	work := []int{br.reconv}
+	queued := make([]bool, n)
+	queued[br.reconv] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		if !in[b].reached {
+			continue
+		}
+		out := in[b].clone()
+		a.applyBlockTaint(br, b, out, false)
+		for _, s := range a.prog.Successors(b) {
+			st := out
+			// Re-seed when control re-enters the region through the
+			// reconvergence point (loops around the hammock).
+			if in[s].merge(st) && !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Final marking pass: with converged entry states, record which
+	// instructions read tainted state.
+	for b := 0; b < n; b++ {
+		if !in[b].reached {
+			continue
+		}
+		st := in[b].clone()
+		a.applyBlockTaint(br, b, st, true)
+	}
+}
+
+// applyBlockTaint runs the per-instruction transfer function over block b.
+// When mark is true it records data dependences on the analysis.
+func (a *Analysis) applyBlockTaint(br *branchSite, b int, st *taintState, mark bool) {
+	for j, inst := range a.prog.Blocks[b].Insts {
+		if inst.Op.IsFence() {
+			// §4.5: the pass operates only between synchronisation
+			// barriers; dependence information does not cross a fence.
+			st.regs = 0
+			st.anyMem = false
+			for k := range st.slots {
+				delete(st.slots, k)
+			}
+			continue
+		}
+		tainted := false
+		for _, s := range inst.Sources() {
+			if st.regTainted(s) {
+				tainted = true
+			}
+		}
+		if inst.Op.IsLoad() {
+			sl := a.alias.slotOf(inst.Rs1, inst.Imm)
+			switch {
+			case sl.known && (st.slots[sl.addr] || st.anyMem):
+				tainted = true
+			case !sl.known && (len(st.slots) > 0 || st.anyMem):
+				tainted = true
+			}
+		}
+		if inst.Op.IsStore() {
+			sl := a.alias.slotOf(inst.Rs1, inst.Imm)
+			valueTainted := st.regTainted(inst.Rs2)
+			addrTainted := st.regTainted(inst.Rs1)
+			switch {
+			case sl.known && (valueTainted || addrTainted):
+				st.slots[sl.addr] = true
+				tainted = true
+			case sl.known && !valueTainted && !st.anyMem:
+				delete(st.slots, sl.addr) // overwritten with a clean value
+			case !sl.known && (valueTainted || addrTainted):
+				st.anyMem = true
+				tainted = true
+			}
+		}
+		if d, ok := inst.Dest(); ok {
+			if tainted {
+				st.taintReg(d)
+			} else {
+				st.untaintReg(d)
+			}
+		}
+		if tainted && mark {
+			a.addDep(b, j, br.key, depData)
+		}
+	}
+}
+
+// Branches returns the analysed branch sites.
+func (a *Analysis) Branches() []*branchSite { return a.branches }
+
+// ReconvergenceBlock returns the reconvergence block index of the branch
+// terminating the given block, or -1.
+func (a *Analysis) ReconvergenceBlock(block int) int {
+	for _, br := range a.branches {
+		if br.block == block {
+			return br.reconv
+		}
+	}
+	return -1
+}
+
+// DepsOf returns the dependence set of instruction (block, idx).
+func (a *Analysis) DepsOf(block, idx int) map[int]depKind { return a.deps[block][idx] }

@@ -1,0 +1,121 @@
+package compiler
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/noreba-sim/noreba/internal/program"
+)
+
+// Bundle format (.nrb): a compiled program ready to simulate — the laid-out
+// annotated image plus the per-branch metadata the timing model's
+// misprediction-window fetch consumes. noreba-compile writes bundles;
+// noreba-sim runs them without re-running the pass.
+//
+// Layout: magic "NRBB", u32 image length, image container bytes
+// (program.Image.MarshalBinary), u32 branch count, then per branch:
+// u32 pc, u8 marked, u32 id, i32 reconvPC, u32 takenLen, u32 fallLen,
+// u32 staticDeps.
+const bundleMagic = "NRBB"
+
+// SaveBundle serialises a compile result.
+func SaveBundle(res *Result) ([]byte, error) {
+	img, err := res.Image.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(bundleMagic)
+	u32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	u32(uint32(len(img)))
+	buf.Write(img)
+
+	pcs := make([]int, 0, len(res.Meta.Branches))
+	for pc := range res.Meta.Branches {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	u32(uint32(len(pcs)))
+	for _, pc := range pcs {
+		bm := res.Meta.Branches[pc]
+		u32(uint32(bm.PC))
+		if bm.Marked {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+		u32(uint32(bm.ID))
+		u32(uint32(int32(bm.ReconvPC)))
+		u32(uint32(bm.TakenLen))
+		u32(uint32(bm.FallLen))
+		u32(uint32(bm.StaticDeps))
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadBundle parses a bundle into an image and its branch metadata.
+func LoadBundle(data []byte) (*program.Image, *Meta, error) {
+	if len(data) < 8 || string(data[:4]) != bundleMagic {
+		return nil, nil, fmt.Errorf("compiler: bad bundle magic")
+	}
+	pos := 4
+	u32 := func() (uint32, error) {
+		if pos+4 > len(data) {
+			return 0, fmt.Errorf("compiler: truncated bundle")
+		}
+		v := binary.LittleEndian.Uint32(data[pos:])
+		pos += 4
+		return v, nil
+	}
+	imgLen, err := u32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if pos+int(imgLen) > len(data) {
+		return nil, nil, fmt.Errorf("compiler: truncated bundle image")
+	}
+	img, err := program.UnmarshalImage(data[pos : pos+int(imgLen)])
+	if err != nil {
+		return nil, nil, err
+	}
+	pos += int(imgLen)
+
+	n, err := u32()
+	if err != nil {
+		return nil, nil, err
+	}
+	meta := &Meta{Branches: map[int]*BranchMeta{}}
+	for i := uint32(0); i < n; i++ {
+		pc, err := u32()
+		if err != nil {
+			return nil, nil, err
+		}
+		if pos >= len(data) {
+			return nil, nil, fmt.Errorf("compiler: truncated bundle meta")
+		}
+		marked := data[pos] == 1
+		pos++
+		id, err1 := u32()
+		reconv, err2 := u32()
+		taken, err3 := u32()
+		fall, err4 := u32()
+		deps, err5 := u32()
+		for _, e := range []error{err1, err2, err3, err4, err5} {
+			if e != nil {
+				return nil, nil, e
+			}
+		}
+		meta.Branches[int(pc)] = &BranchMeta{
+			PC: int(pc), Marked: marked, ID: int64(id),
+			ReconvPC: int(int32(reconv)), TakenLen: int(taken), FallLen: int(fall),
+			StaticDeps: int(deps),
+		}
+	}
+	return img, meta, nil
+}

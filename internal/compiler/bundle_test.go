@@ -1,0 +1,84 @@
+package compiler_test
+
+import (
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/compiler"
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/pipeline"
+	"github.com/noreba-sim/noreba/internal/progtest"
+	"github.com/noreba-sim/noreba/internal/workloads"
+)
+
+// TestBundleRoundTrip: save/load a compiled workload and verify the loaded
+// image and metadata produce an identical simulation.
+func TestBundleRoundTrip(t *testing.T) {
+	w, err := workloads.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compiler.Compile(w.Build(80), compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := compiler.SaveBundle(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, meta, err := compiler.LoadBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Branches) != len(res.Meta.Branches) {
+		t.Fatalf("meta branches %d != %d", len(meta.Branches), len(res.Meta.Branches))
+	}
+	for pc, want := range res.Meta.Branches {
+		got := meta.Branches[pc]
+		if got == nil || *got != *want {
+			t.Errorf("branch meta at pc %d: %+v != %+v", pc, got, want)
+		}
+	}
+
+	cfg := pipeline.SkylakeConfig()
+	cfg.Policy = pipeline.Noreba
+
+	tr1, err := emulator.New(res.Image).Run(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := pipeline.NewCore(cfg, tr1, res.Meta).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr2, err := emulator.New(img).Run(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := pipeline.NewCore(cfg, tr2, meta).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Cycles != st2.Cycles {
+		t.Errorf("bundle round trip changed timing: %d vs %d cycles", st1.Cycles, st2.Cycles)
+	}
+}
+
+func TestBundleRejectsGarbage(t *testing.T) {
+	if _, _, err := compiler.LoadBundle([]byte("nope")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	res, err := compiler.Compile(progtest.Generate(2), compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := compiler.SaveBundle(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{6, 12, len(data) / 2, len(data) - 2} {
+		if _, _, err := compiler.LoadBundle(data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

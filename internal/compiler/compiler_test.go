@@ -1,0 +1,431 @@
+package compiler
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/isa"
+	"github.com/noreba-sim/noreba/internal/program"
+)
+
+// figure2 reproduces the paper's Figure 2 if-then-else hammock: two arms
+// writing -20(s0) and -24(s0), then a join block whose first four
+// instructions are independent of the branch and whose last six are data
+// dependent on the arms' stores.
+func figure2(t *testing.T) *program.Program {
+	t.Helper()
+	return program.MustAssemble("figure2", `
+BB1:
+	li   s0, 0x1000
+	li   a5, 1
+	beq  a5, zero, L1
+BB2:
+	lw   a4, -40(s0)
+	lw   a5, -36(s0)
+	add  a5, a4, a5
+	sw   a5, -20(s0)
+	lw   a4, -40(s0)
+	lw   a5, -36(s0)
+	sub  a5, a4, a5
+	sw   a5, -24(s0)
+	j    L2
+L1:
+	lw   a4, -40(s0)
+	lw   a5, -36(s0)
+	sub  a5, a4, a5
+	sw   a5, -20(s0)
+	lw   a4, -40(s0)
+	lw   a5, -36(s0)
+	add  a5, a4, a5
+	sw   a5, -24(s0)
+L2:
+	lw   a4, -40(s0)
+	lw   a5, -36(s0)
+	xor  a5, a5, a4
+	sw   a5, -52(s0)
+	lw   a5, -20(s0)
+	xor  a5, a5, a4
+	sw   a5, -48(s0)
+	lw   a5, -24(s0)
+	xor  a5, a5, a4
+	sw   a5, -56(s0)
+	halt
+`)
+}
+
+func TestPostDominatorsDiamond(t *testing.T) {
+	p := figure2(t)
+	ipdom := postDominators(p)
+	// Blocks: 0=BB1 1=BB2 2=L1 3=L2
+	if ipdom[0] != 3 {
+		t.Errorf("ipdom(BB1) = %d, want 3 (L2)", ipdom[0])
+	}
+	if ipdom[1] != 3 || ipdom[2] != 3 {
+		t.Errorf("ipdom(arms) = %d, %d; want 3, 3", ipdom[1], ipdom[2])
+	}
+	// L2 post-dominated by the virtual exit.
+	if ipdom[3] != len(p.Blocks) {
+		t.Errorf("ipdom(L2) = %d, want virtual exit %d", ipdom[3], len(p.Blocks))
+	}
+}
+
+func TestPostDominatorsLoop(t *testing.T) {
+	p := program.MustAssemble("loop", `
+entry:
+	li a0, 0
+	li a2, 10
+loop:
+	addi a0, a0, 1
+	blt  a0, a2, loop
+done:
+	halt
+`)
+	ipdom := postDominators(p)
+	// Blocks: 0=entry 1=loop 2=done
+	if ipdom[1] != 2 {
+		t.Errorf("ipdom(loop) = %d, want 2 (done)", ipdom[1])
+	}
+}
+
+func TestAnalyzeFigure2ControlDeps(t *testing.T) {
+	p := figure2(t)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Branches()) != 1 {
+		t.Fatalf("branches = %d, want 1", len(a.Branches()))
+	}
+	br := a.Branches()[0]
+	if br.reconv != 3 {
+		t.Errorf("reconvergence block = %d, want 3 (L2)", br.reconv)
+	}
+	if !br.cd[1] || !br.cd[2] {
+		t.Errorf("arms not control dependent: cd = %v", br.cd)
+	}
+	if br.cd[0] || br.cd[3] {
+		t.Errorf("BB1/L2 wrongly control dependent: cd = %v", br.cd)
+	}
+	// Every instruction in the arms carries a control dependence.
+	for _, b := range []int{1, 2} {
+		for j := range p.Blocks[b].Insts {
+			if a.DepsOf(b, j)[br.key]&depControl == 0 {
+				t.Errorf("block %d inst %d missing control dep", b, j)
+			}
+		}
+	}
+}
+
+func TestAnalyzeFigure2DataDeps(t *testing.T) {
+	p := figure2(t)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := a.Branches()[0]
+	// L2 (block 3): first 4 instructions independent, next 6 data
+	// dependent, final halt independent.
+	for j := 0; j < 4; j++ {
+		if a.DepsOf(3, j) != nil && a.DepsOf(3, j)[br.key] != 0 {
+			t.Errorf("L2 inst %d should be independent, deps = %v", j, a.DepsOf(3, j))
+		}
+	}
+	for j := 4; j < 10; j++ {
+		if a.DepsOf(3, j)[br.key]&depData == 0 {
+			t.Errorf("L2 inst %d should be data dependent", j)
+		}
+	}
+	if a.DepsOf(3, 10) != nil && a.DepsOf(3, 10)[br.key] != 0 {
+		t.Errorf("halt should be independent")
+	}
+}
+
+func TestCompileFigure2Emission(t *testing.T) {
+	res, err := Compile(figure2(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.Image.Disassemble()
+	if !strings.Contains(text, "setBranchId 1") {
+		t.Errorf("missing setBranchId:\n%s", text)
+	}
+	// The arms (8 and 8+1 instructions) and the 6-instruction data region
+	// must be covered.
+	if !strings.Contains(text, "setDependency 8 1") {
+		t.Errorf("missing arm region marking:\n%s", text)
+	}
+	if !strings.Contains(text, "setDependency 9 1") {
+		t.Errorf("missing arm+jump region marking:\n%s", text)
+	}
+	if !strings.Contains(text, "setDependency 6 1") {
+		t.Errorf("missing data-dependent region marking:\n%s", text)
+	}
+	if res.Stats.MarkedBranches != 1 {
+		t.Errorf("MarkedBranches = %d, want 1", res.Stats.MarkedBranches)
+	}
+	if res.Stats.DependentInsts != 8+9+6 {
+		t.Errorf("DependentInsts = %d, want 23", res.Stats.DependentInsts)
+	}
+}
+
+func TestCompilePreservesSemantics(t *testing.T) {
+	sources := map[string]string{
+		"figure2": figure2(t).Name, // placeholder; handled below
+	}
+	_ = sources
+	progs := []*program.Program{
+		figure2(t),
+		program.MustAssemble("loopsum", `
+entry:
+	li a0, 0
+	li a1, 1
+	li a2, 101
+loop:
+	add  a0, a0, a1
+	addi a1, a1, 1
+	blt  a1, a2, loop
+done:
+	halt
+`),
+		program.MustAssemble("nested", `
+entry:
+	li s0, 0x2000
+	li a0, 0
+	li a3, 0
+outer:
+	li a1, 0
+inner:
+	add  a3, a3, a0
+	add  a3, a3, a1
+	addi a1, a1, 1
+	slti a4, a1, 5
+	bnez a4, inner
+innerdone:
+	sw   a3, 0(s0)
+	addi a0, a0, 1
+	slti a4, a0, 4
+	bnez a4, outer
+done:
+	lw a5, 0(s0)
+	halt
+`),
+	}
+	for _, p := range progs {
+		orig, err := p.Layout()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		m1 := emulator.New(orig)
+		tr1, err := m1.Run(1 << 20)
+		if err != nil {
+			t.Fatalf("%s: run original: %v", p.Name, err)
+		}
+
+		res, err := Compile(p, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: compile: %v", p.Name, err)
+		}
+		m2 := emulator.New(res.Image)
+		tr2, err := m2.Run(1 << 20)
+		if err != nil {
+			t.Fatalf("%s: run annotated: %v", p.Name, err)
+		}
+
+		if m1.IntRegs != m2.IntRegs {
+			t.Errorf("%s: integer state diverged:\n%v\n%v", p.Name, m1.IntRegs, m2.IntRegs)
+		}
+		if m1.FPRegs != m2.FPRegs {
+			t.Errorf("%s: FP state diverged", p.Name)
+		}
+		for a, v := range m1.Mem {
+			if m2.Mem[a] != v {
+				t.Errorf("%s: mem[%#x] = %d vs %d", p.Name, a, m2.Mem[a], v)
+			}
+		}
+		// The annotated trace only adds setup instructions.
+		if got, want := int64(tr2.Len())-tr2.Setup, int64(tr1.Len()); got != want {
+			t.Errorf("%s: non-setup dynamic instructions %d, want %d", p.Name, got, want)
+		}
+	}
+}
+
+const loopSrc = `
+entry:
+	li a0, 0
+	li a2, 10
+loop:
+	addi a0, a0, 1
+	blt  a0, a2, loop
+done:
+	halt
+`
+
+func TestCompileLoopBodyMarkedWhenRequested(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MarkLoopBranches = true
+	res, err := Compile(program.MustAssemble("loop", loopSrc), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.Image.Disassemble()
+	// The loop body (addi + blt) is control dependent on the loop branch
+	// via the back edge.
+	if !strings.Contains(text, "setDependency 2 1") {
+		t.Errorf("loop body not marked:\n%s", text)
+	}
+	if !strings.Contains(text, "setBranchId 1") {
+		t.Errorf("loop branch not marked:\n%s", text)
+	}
+}
+
+func TestCompileLoopBranchUnmarkedByDefault(t *testing.T) {
+	// A loop-closing branch's dependent region is its whole body, so
+	// marking it is pure setup-instruction overhead; the default pass
+	// leaves it unmarked (the hardware serialises at unmarked branches
+	// until they resolve, which is cheap for fast loop branches).
+	res, err := Compile(program.MustAssemble("loop", loopSrc), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SetupInsts != 0 {
+		t.Errorf("default pass inserted %d setup instructions for a pure loop:\n%s",
+			res.Stats.SetupInsts, res.Image.Disassemble())
+	}
+}
+
+func TestCompileStraightLineHasNoSetup(t *testing.T) {
+	p := program.MustAssemble("straight", `
+main:
+	li a0, 1
+	addi a1, a0, 2
+	mul a2, a1, a0
+	halt
+`)
+	res, err := Compile(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SetupInsts != 0 {
+		t.Errorf("setup insts = %d, want 0", res.Stats.SetupInsts)
+	}
+}
+
+func TestCompileRejectsPreAnnotated(t *testing.T) {
+	p := program.MustAssemble("pre", `
+main:
+	setBranchId 1
+	halt
+`)
+	if _, err := Compile(p, DefaultOptions()); err == nil {
+		t.Error("Compile accepted pre-annotated program")
+	}
+}
+
+func TestCompileMeta(t *testing.T) {
+	res, err := Compile(figure2(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var marked *BranchMeta
+	for _, bm := range res.Meta.Branches {
+		if bm.Marked {
+			marked = bm
+		}
+	}
+	if marked == nil {
+		t.Fatal("no marked branch in meta")
+	}
+	if got := res.Image.Insts[marked.PC]; !got.Op.IsCondBranch() {
+		t.Errorf("meta PC %d is %v, not a branch", marked.PC, got)
+	}
+	// setBranchId must immediately precede the branch.
+	if prev := res.Image.Insts[marked.PC-1]; prev.Op != isa.OpSetBranchID {
+		t.Errorf("instruction before branch is %v, want setBranchId", prev)
+	}
+	if marked.ReconvPC != res.Image.StartOf["L2"] {
+		t.Errorf("ReconvPC = %d, want %d", marked.ReconvPC, res.Image.StartOf["L2"])
+	}
+	if marked.TakenLen <= 0 || marked.FallLen <= 0 {
+		t.Errorf("path lengths = %d/%d, want positive", marked.TakenLen, marked.FallLen)
+	}
+	if marked.StaticDeps != 23 {
+		t.Errorf("StaticDeps = %d, want 23", marked.StaticDeps)
+	}
+}
+
+func TestCompileRegionFragmentation(t *testing.T) {
+	// A long arm must be split into several setDependency regions when
+	// MaxRegionLen is small.
+	b := program.NewBuilder("frag")
+	b.Label("entry").Li(isa.A0, 1).Beqz(isa.A0, "skip")
+	b.Label("body")
+	for i := 0; i < 10; i++ {
+		b.Addi(isa.A1, isa.A1, 1)
+	}
+	b.Label("skip").Halt()
+	p := b.MustBuild()
+
+	opt := DefaultOptions()
+	opt.MaxRegionLen = 4
+	res, err := Compile(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.Image.Disassemble()
+	if strings.Count(text, "setDependency") < 3 {
+		t.Errorf("region not fragmented:\n%s", text)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.Contains(line, "setDependency") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			t.Fatalf("bad setDependency line %q", line)
+		}
+		num, err := strconv.Atoi(fields[1])
+		if err != nil {
+			t.Fatalf("bad NUM in %q", line)
+		}
+		if num > 4 {
+			t.Errorf("region length %d exceeds cap 4", num)
+		}
+	}
+}
+
+func TestIDAllocationDistinctForOverlapping(t *testing.T) {
+	// Two nested branches must get distinct IDs.
+	p := program.MustAssemble("nestedif", `
+entry:
+	li a0, 1
+	li a1, 2
+	beqz a0, join
+outerbody:
+	addi a2, a2, 1
+	beqz a1, innerjoin
+innerbody:
+	addi a3, a3, 1
+innerjoin:
+	addi a4, a4, 1
+join:
+	halt
+`)
+	res, err := Compile(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[int64]bool{}
+	for _, bm := range res.Meta.Branches {
+		if bm.Marked {
+			if ids[bm.ID] {
+				t.Errorf("duplicate ID %d for overlapping branches", bm.ID)
+			}
+			ids[bm.ID] = true
+		}
+	}
+	if len(ids) != 2 {
+		t.Errorf("marked branches = %d, want 2", len(ids))
+	}
+}

@@ -1,0 +1,131 @@
+// Package compiler implements NOREBA's branch-dependent code detection pass
+// (§3 of the paper): it finds each conditional branch's reconvergence point
+// (the immediate post-dominator in the CFG), the instructions control- and
+// data-dependent on the branch, and rewrites the program with setBranchId /
+// setDependency setup instructions that communicate this to the hardware.
+package compiler
+
+import (
+	"github.com/noreba-sim/noreba/internal/program"
+)
+
+// virtualExit is the node index used for the synthetic exit block that all
+// terminating blocks flow to; it is always len(blocks).
+
+// postDominators computes, for every block of p, its immediate
+// post-dominator using the Cooper–Harvey–Kennedy iterative algorithm run on
+// the reverse CFG with a virtual exit node. The returned slice maps block
+// index → immediate post-dominator block index; the virtual exit is
+// len(blocks), and blocks that cannot reach the exit (infinite loops) get -1.
+func postDominators(p *program.Program) []int {
+	n := len(p.Blocks)
+	exit := n
+
+	// Reverse-CFG successor sets: rsucc[b] = predecessors of b in the
+	// reverse graph = successors of b in the original graph (plus the exit
+	// edges). We need, for the reverse graph, each node's predecessors —
+	// which are the original successors.
+	succs := make([][]int, n+1)
+	for i := 0; i < n; i++ {
+		s := p.Successors(i)
+		if len(s) == 0 {
+			s = []int{exit}
+		}
+		succs[i] = s
+	}
+
+	// Reverse post-order of the reverse CFG = order of decreasing
+	// post-order in a DFS from exit following original-predecessor edges.
+	preds := p.Predecessors()
+	// Which blocks reach exit? DFS from exit over reverse edges (exit's
+	// "successors" in the reverse graph are blocks whose original
+	// successors include exit, i.e. terminating blocks).
+	revSuccs := make([][]int, n+1) // reverse-graph successors (= original predecessors)
+	for i := 0; i < n; i++ {
+		revSuccs[i] = preds[i]
+	}
+	for i := 0; i < n; i++ {
+		for _, s := range succs[i] {
+			if s == exit {
+				revSuccs[exit] = append(revSuccs[exit], i)
+			}
+		}
+	}
+
+	order := make([]int, 0, n+1) // postorder of DFS from exit in reverse graph
+	visited := make([]bool, n+1)
+	var dfs func(u int)
+	dfs = func(u int) {
+		visited[u] = true
+		for _, v := range revSuccs[u] {
+			if !visited[v] {
+				dfs(v)
+			}
+		}
+		order = append(order, u)
+	}
+	dfs(exit)
+
+	// Reverse post-order (excluding exit, which is processed implicitly).
+	rpo := make([]int, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		rpo = append(rpo, order[i])
+	}
+	rpoNum := make([]int, n+1)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range rpo {
+		rpoNum[b] = i
+	}
+
+	idom := make([]int, n+1)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[exit] = exit
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == exit {
+				continue
+			}
+			// Predecessors of b in the reverse graph are b's original
+			// successors.
+			newIdom := -1
+			for _, s := range succs[b] {
+				if idom[s] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = s
+				} else {
+					newIdom = intersect(newIdom, s)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = idom[i]
+	}
+	return out
+}

@@ -1,0 +1,317 @@
+package emulator
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/isa"
+	"github.com/noreba-sim/noreba/internal/program"
+)
+
+func run(t *testing.T, src string, max int64) (*Machine, *Trace, error) {
+	t.Helper()
+	p, err := program.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := p.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(img)
+	tr, err := m.Run(max)
+	return m, tr, err
+}
+
+func TestALUBasics(t *testing.T) {
+	m, _, err := run(t, `
+main:
+	li   a0, 6
+	li   a1, 7
+	mul  a2, a0, a1
+	add  a3, a2, a0
+	sub  a4, a3, a1
+	xor  a5, a0, a1
+	and  s2, a0, a1
+	or   s3, a0, a1
+	slli s4, a0, 4
+	srli s5, s4, 2
+	slt  s6, a0, a1
+	div  s7, a2, a1
+	rem  s8, a3, a1
+	halt
+`, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		r    isa.Reg
+		want int64
+	}{
+		{isa.A2, 42}, {isa.A3, 48}, {isa.A4, 41}, {isa.A5, 1},
+		{isa.S2, 6}, {isa.S3, 7}, {isa.S4, 96}, {isa.S5, 24},
+		{isa.S6, 1}, {isa.S7, 6}, {isa.S8, 6},
+	}
+	for _, c := range checks {
+		if got := m.IntRegs[c.r]; got != c.want {
+			t.Errorf("%v = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestX0Hardwired(t *testing.T) {
+	m, _, err := run(t, `
+main:
+	addi zero, zero, 99
+	add  a0, zero, zero
+	halt
+`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IntRegs[isa.X0] != 0 || m.IntRegs[isa.A0] != 0 {
+		t.Errorf("x0 = %d, a0 = %d; want 0, 0", m.IntRegs[isa.X0], m.IntRegs[isa.A0])
+	}
+}
+
+func TestDivideByZeroRISCVSemantics(t *testing.T) {
+	m, _, err := run(t, `
+main:
+	li  a0, 10
+	div a1, a0, zero
+	rem a2, a0, zero
+	halt
+`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IntRegs[isa.A1] != -1 {
+		t.Errorf("div by zero = %d, want -1", m.IntRegs[isa.A1])
+	}
+	if m.IntRegs[isa.A2] != 10 {
+		t.Errorf("rem by zero = %d, want 10", m.IntRegs[isa.A2])
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m, tr, err := run(t, `
+.data 0x100 17
+main:
+	li  s0, 0x100
+	lw  a0, 0(s0)
+	addi a0, a0, 1
+	sw  a0, 8(s0)
+	lw  a1, 8(s0)
+	halt
+`, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IntRegs[isa.A1] != 18 {
+		t.Errorf("a1 = %d, want 18", m.IntRegs[isa.A1])
+	}
+	if tr.Loads != 2 || tr.Stores != 1 {
+		t.Errorf("loads/stores = %d/%d, want 2/1", tr.Loads, tr.Stores)
+	}
+	// Effective addresses must be recorded in the trace.
+	var addrs []int64
+	for _, d := range tr.Insts {
+		if d.Inst.Op.IsMem() {
+			addrs = append(addrs, d.Addr)
+		}
+	}
+	want := []int64{0x100, 0x108, 0x108}
+	for i := range want {
+		if addrs[i] != want[i] {
+			t.Errorf("addr[%d] = %#x, want %#x", i, addrs[i], want[i])
+		}
+	}
+}
+
+func TestLoopExecution(t *testing.T) {
+	// sum = 1+2+...+10
+	m, tr, err := run(t, `
+main:
+	li a0, 0
+	li a1, 1
+	li a2, 11
+loop:
+	add a0, a0, a1
+	addi a1, a1, 1
+	blt a1, a2, loop
+done:
+	halt
+`, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IntRegs[isa.A0] != 55 {
+		t.Errorf("sum = %d, want 55", m.IntRegs[isa.A0])
+	}
+	if tr.Branches != 10 {
+		t.Errorf("branches = %d, want 10", tr.Branches)
+	}
+	// Branch outcomes: taken 9 times, not-taken once (the exit).
+	taken := 0
+	for _, d := range tr.Insts {
+		if d.Inst.Op.IsCondBranch() && d.Taken {
+			taken++
+		}
+	}
+	if taken != 9 {
+		t.Errorf("taken = %d, want 9", taken)
+	}
+}
+
+func TestJalJalrCallReturn(t *testing.T) {
+	m, _, err := run(t, `
+main:
+	li  a0, 5
+	jal ra, double
+after:
+	addi a1, a0, 100
+	halt
+double:
+	add a0, a0, a0
+	ret
+`, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IntRegs[isa.A1] != 110 {
+		t.Errorf("a1 = %d, want 110", m.IntRegs[isa.A1])
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	m, _, err := run(t, `
+main:
+	li a0, 9
+	fcvt.d.l f0, a0
+	fsqrt f1, f0
+	fadd  f2, f1, f1
+	fmul  f3, f2, f1
+	fdiv  f4, f3, f2
+	fcvt.l.d a1, f3
+	flt   a2, f1, f2
+	halt
+`, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.FPRegs[1]; got != 3 {
+		t.Errorf("f1 = %v, want 3", got)
+	}
+	if m.IntRegs[isa.A1] != 18 {
+		t.Errorf("a1 = %d, want 18", m.IntRegs[isa.A1])
+	}
+	if m.IntRegs[isa.A2] != 1 {
+		t.Errorf("flt = %d, want 1", m.IntRegs[isa.A2])
+	}
+}
+
+func TestSetupInstructionsAreArchitecturalNops(t *testing.T) {
+	m, tr, err := run(t, `
+main:
+	setBranchId 1
+	li a0, 3
+	setDependency 2 1
+	addi a0, a0, 1
+	halt
+`, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IntRegs[isa.A0] != 4 {
+		t.Errorf("a0 = %d, want 4", m.IntRegs[isa.A0])
+	}
+	if tr.Setup != 2 {
+		t.Errorf("setup count = %d, want 2", tr.Setup)
+	}
+}
+
+func TestMemoryException(t *testing.T) {
+	m, tr, err := run(t, `
+.range 0x100 0x200
+main:
+	li s0, 0x100
+	lw a0, 0(s0)
+	lw a1, 0x1000(s0)
+	halt
+`, 100)
+	var me *MemError
+	if !errors.As(err, &me) {
+		t.Fatalf("want MemError, got %v", err)
+	}
+	if me.Addr != 0x1100 {
+		t.Errorf("fault addr = %#x, want 0x1100", me.Addr)
+	}
+	// PC stays at the faulting instruction for OS-style resume.
+	if m.PC != me.PC {
+		t.Errorf("PC = %d, want %d (faulting PC)", m.PC, me.PC)
+	}
+	last := tr.Insts[len(tr.Insts)-1]
+	if !last.Trap {
+		t.Error("faulting instruction not marked Trap in trace")
+	}
+}
+
+func TestRunRespectsMaxInsts(t *testing.T) {
+	_, tr, err := run(t, `
+loop:
+	addi a0, a0, 1
+	j loop
+`, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 50 {
+		t.Errorf("trace len = %d, want 50", tr.Len())
+	}
+}
+
+func TestTraceNextPCLinksAreConsistent(t *testing.T) {
+	_, tr, err := run(t, `
+main:
+	li a1, 3
+loop:
+	addi a0, a0, 1
+	addi a1, a1, -1
+	bnez a1, loop
+done:
+	halt
+`, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(tr.Insts); i++ {
+		if tr.Insts[i].NextPC != tr.Insts[i+1].PC {
+			t.Fatalf("trace link broken at %d: NextPC %d, next PC %d",
+				i, tr.Insts[i].NextPC, tr.Insts[i+1].PC)
+		}
+		if tr.Insts[i].Seq+1 != tr.Insts[i+1].Seq {
+			t.Fatalf("seq numbers not dense at %d", i)
+		}
+	}
+}
+
+func TestMulh(t *testing.T) {
+	m, _, err := run(t, `
+main:
+	li a0, 0x7fffffffffffffff
+	li a1, 2
+	mulh a2, a0, a1
+	li a3, -1
+	mulh a4, a3, a3
+	halt
+`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IntRegs[isa.A2] != 0 {
+		t.Errorf("mulh(maxint,2) = %d, want 0", m.IntRegs[isa.A2])
+	}
+	if m.IntRegs[isa.A4] != 0 {
+		t.Errorf("mulh(-1,-1) = %d, want 0", m.IntRegs[isa.A4])
+	}
+}

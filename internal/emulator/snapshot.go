@@ -1,0 +1,52 @@
+package emulator
+
+// Snapshot is a deep copy of architectural state, used to model the
+// §4.4/§4.3 OS flows: on an exception or context switch the OS captures the
+// machine (including whatever the CIT exposed), runs something else, and
+// later restores and resumes.
+type Snapshot struct {
+	IntRegs [32]int64
+	FPRegs  [32]float64
+	Mem     map[int64]int64
+	FMem    map[int64]float64
+	PC      int
+	Seq     int64
+	Halted  bool
+}
+
+// Snapshot captures the machine's architectural state.
+func (m *Machine) Snapshot() Snapshot {
+	s := Snapshot{
+		IntRegs: m.IntRegs,
+		FPRegs:  m.FPRegs,
+		PC:      m.PC,
+		Seq:     m.seq,
+		Halted:  m.halted,
+		Mem:     make(map[int64]int64, len(m.Mem)),
+		FMem:    make(map[int64]float64, len(m.FMem)),
+	}
+	for a, v := range m.Mem {
+		s.Mem[a] = v
+	}
+	for a, v := range m.FMem {
+		s.FMem[a] = v
+	}
+	return s
+}
+
+// Restore replaces the machine's architectural state with the snapshot.
+func (m *Machine) Restore(s Snapshot) {
+	m.IntRegs = s.IntRegs
+	m.FPRegs = s.FPRegs
+	m.PC = s.PC
+	m.seq = s.Seq
+	m.halted = s.Halted
+	m.Mem = make(map[int64]int64, len(s.Mem))
+	for a, v := range s.Mem {
+		m.Mem[a] = v
+	}
+	m.FMem = make(map[int64]float64, len(s.FMem))
+	for a, v := range s.FMem {
+		m.FMem[a] = v
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationCITKnee(t *testing.T) {
+	tab, err := sharedRunner.AblationCIT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "CIT 128") {
+		t.Errorf("ablation table malformed:\n%s", tab.String())
+	}
+}
+
+func TestAblationLoopMarkingCostsCycles(t *testing.T) {
+	tab, err := sharedRunner.AblationLoopMarking()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "slowdown") {
+		t.Errorf("ablation table malformed:\n%s", s)
+	}
+}
+
+func TestAblationBITSize(t *testing.T) {
+	tab, err := sharedRunner.AblationBITSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "BIT 8") {
+		t.Errorf("ablation table malformed:\n%s", tab.String())
+	}
+}
+
+func TestAblationPredictors(t *testing.T) {
+	tab, err := sharedRunner.AblationPredictors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "oracle") {
+		t.Errorf("ablation table malformed:\n%s", tab.String())
+	}
+}

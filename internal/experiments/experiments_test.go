@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/metrics"
+	"github.com/noreba-sim/noreba/internal/pipeline"
+)
+
+func geomean(xs []float64) float64 { return metrics.Geomean(xs) }
+
+// sharedRunner is reused across tests so the trace/simulation caches pay
+// off (the figures deliberately share configurations).
+var sharedRunner = QuickRunner()
+
+func TestFigure1Shape(t *testing.T) {
+	tab, err := sharedRunner.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	for _, want := range []string{"NonSpeculative-OoO-C", "SpeculativeBR-OoO-C", "Speculative-OoO-C", "geomean"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Figure 1 output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure6MainResult(t *testing.T) {
+	// The paper's headline claims, as shape checks on our suite:
+	// NOREBA beats in-order commit clearly, stays below (or at) the
+	// speculative upper bound, and reaches a large fraction of it.
+	geo := func(policy pipeline.PolicyKind) float64 {
+		var vals []float64
+		for _, name := range sharedRunner.names() {
+			base, err := sharedRunner.Simulate(name, skylake(pipeline.InOrder))
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := sharedRunner.Simulate(name, skylake(policy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals = append(vals, float64(base.Cycles)/float64(st.Cycles))
+		}
+		return geomean(vals)
+	}
+
+	noreba := geo(pipeline.Noreba)
+	specBR := geo(pipeline.SpecBR)
+	nonSpec := geo(pipeline.NonSpecOoO)
+
+	if noreba <= 1.02 {
+		t.Errorf("NOREBA geomean speedup %.3f; want clearly above 1 (paper: 1.22x)", noreba)
+	}
+	if noreba > specBR*1.01 {
+		t.Errorf("NOREBA %.3f exceeds the SpeculativeBR upper bound %.3f", noreba, specBR)
+	}
+	if noreba/specBR < 0.75 {
+		t.Errorf("NOREBA reaches only %.0f%% of SpeculativeBR; paper reports 95%%", 100*noreba/specBR)
+	}
+	if nonSpec > noreba {
+		t.Errorf("NonSpeculative (%.3f) should not beat NOREBA (%.3f) on this suite", nonSpec, noreba)
+	}
+}
+
+func TestFigure7HasBothClouds(t *testing.T) {
+	sc, err := sharedRunner.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sc.String()
+	if !strings.Contains(s, "mcf") || !strings.Contains(s, "bzip2") {
+		t.Errorf("Figure 7 missing a series:\n%s", s)
+	}
+}
+
+func TestFigure8Fractions(t *testing.T) {
+	tab, err := sharedRunner.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per the paper, mcf and CRC commit >20% OoO while dijkstra commits
+	// almost nothing. Check the ordering holds on our suite.
+	frac := func(name string) float64 {
+		st, err := sharedRunner.Simulate(name, skylake(pipeline.Noreba))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.OoOCommitFraction()
+	}
+	if frac("mcf") <= frac("dijkstra") {
+		t.Errorf("mcf OoO fraction (%.2f) should exceed dijkstra's (%.2f)", frac("mcf"), frac("dijkstra"))
+	}
+	if frac("mcf") < 0.10 {
+		t.Errorf("mcf OoO fraction %.2f unexpectedly low", frac("mcf"))
+	}
+	_ = tab
+}
+
+func TestFigure9Saturates(t *testing.T) {
+	tab, err := sharedRunner.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "ROB' 224") || !strings.Contains(s, "ROB' 128") {
+		t.Errorf("Figure 9 missing a ROB series:\n%s", s)
+	}
+}
+
+func TestFigure10PowerGrowsGently(t *testing.T) {
+	tab, err := sharedRunner.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tab
+}
+
+func TestFigure11OverheadSmall(t *testing.T) {
+	tab, err := sharedRunner.Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "overhead") {
+		t.Errorf("Figure 11 malformed:\n%s", s)
+	}
+	// Per-workload overhead must be small (paper average: 3%).
+	for _, name := range sharedRunner.names() {
+		with, err := sharedRunner.Simulate(name, skylake(pipeline.Noreba))
+		if err != nil {
+			t.Fatal(err)
+		}
+		perfect := skylake(pipeline.Noreba)
+		perfect.FreeSetup = true
+		free, err := sharedRunner.Simulate(name, perfect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		over := float64(with.Cycles)/float64(free.Cycles) - 1
+		if over > 0.20 {
+			t.Errorf("%s: setup overhead %.0f%% too high", name, over*100)
+		}
+	}
+}
+
+func TestFigure12LargerCoresFaster(t *testing.T) {
+	tab, err := sharedRunner.Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "NHM") {
+		t.Errorf("Figure 12 malformed:\n%s", tab.String())
+	}
+}
+
+func TestFigure13PrefetchComposes(t *testing.T) {
+	if _, err := sharedRunner.Figure13(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure14ECL(t *testing.T) {
+	if _, err := sharedRunner.Figure14(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure15WideCommitNotEnough(t *testing.T) {
+	tab, err := sharedRunner.Figure15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tab
+	// The paper's point: doubling commit width helps far less than NOREBA.
+	var wideGain, norebaGain []float64
+	for _, name := range sharedRunner.names() {
+		base, err := sharedRunner.Simulate(name, skylake(pipeline.InOrder))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide := skylake(pipeline.InOrder)
+		wide.CommitWidth = 8
+		w, err := sharedRunner.Simulate(name, wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := sharedRunner.Simulate(name, skylake(pipeline.Noreba))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wideGain = append(wideGain, float64(base.Cycles)/float64(w.Cycles))
+		norebaGain = append(norebaGain, float64(base.Cycles)/float64(n.Cycles))
+	}
+	gw, gn := geomean(wideGain), geomean(norebaGain)
+	if gw > gn {
+		t.Errorf("8-wide in-order commit (%.3f) should not beat NOREBA (%.3f)", gw, gn)
+	}
+}
+
+func TestFigure16Overheads(t *testing.T) {
+	powTab, areaTab, err := sharedRunner.Figure16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{powTab.String(), areaTab.String()} {
+		if !strings.Contains(s, "NOREBA") || !strings.Contains(s, "In-Order Commit") {
+			t.Errorf("Figure 16 malformed:\n%s", s)
+		}
+	}
+}
+
+func TestTables2And3(t *testing.T) {
+	s := Tables2And3()
+	for _, want := range []string{"Table 2", "Table 3", "NHM", "HSW", "SKL", "224", "128", "CIT 128"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("config tables missing %q:\n%s", want, s)
+		}
+	}
+}

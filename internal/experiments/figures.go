@@ -1,0 +1,406 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/noreba-sim/noreba/internal/metrics"
+	"github.com/noreba-sim/noreba/internal/pipeline"
+	"github.com/noreba-sim/noreba/internal/power"
+)
+
+// speedupTable runs the given policies over the suite and tabulates
+// per-workload speedups over the baseline config, plus a geomean column.
+func (r *Runner) speedupTable(title string, baseline pipeline.Config, rows []pipeline.Config) (*metrics.Table, error) {
+	names := r.names()
+	tab := metrics.NewTable(title, append(append([]string{}, names...), "geomean")...)
+	for _, cfg := range rows {
+		var vals []float64
+		for _, name := range names {
+			base, err := r.Simulate(name, baseline)
+			if err != nil {
+				return nil, err
+			}
+			st, err := r.Simulate(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, metrics.Speedup(base.Cycles, st.Cycles))
+		}
+		tab.AddRow(rowName(cfg), append(vals, metrics.Geomean(vals))...)
+	}
+	return tab, nil
+}
+
+func rowName(cfg pipeline.Config) string {
+	name := cfg.Policy.String()
+	if cfg.ECL {
+		name += "+ECL"
+	}
+	if cfg.FreeSetup && (cfg.Policy == pipeline.Noreba || cfg.Policy == pipeline.IdealReconv) {
+		name += "+PerfectSetup"
+	}
+	if cfg.CommitWidth != 4 {
+		name += fmt.Sprintf(" (commit %d)", cfg.CommitWidth)
+	}
+	if !cfg.PrefetchEnabled {
+		name += " no-pf"
+	}
+	return name
+}
+
+// Figure1 reproduces the motivation figure: NonSpeculative, SpeculativeBR
+// and fully Speculative OoO-commit speedups over in-order commit on the
+// Skylake-like core with prefetching.
+func (r *Runner) Figure1() (*metrics.Table, error) {
+	return r.speedupTable(
+		"Figure 1: OoO-commit approaches over InO-C (SKL + prefetch)",
+		skylake(pipeline.InOrder),
+		[]pipeline.Config{
+			skylake(pipeline.NonSpecOoO),
+			skylake(pipeline.SpecBR),
+			skylake(pipeline.Spec),
+		})
+}
+
+// Figure6 is the main result: NonSpeculative, NOREBA, ideal-reconvergence
+// and SpeculativeBR OoO commit over InO-C.
+func (r *Runner) Figure6() (*metrics.Table, error) {
+	return r.speedupTable(
+		"Figure 6: OoO-commit modes over InO-C (SKL)",
+		skylake(pipeline.InOrder),
+		[]pipeline.Config{
+			skylake(pipeline.NonSpecOoO),
+			skylake(pipeline.Noreba),
+			skylake(pipeline.IdealReconv),
+			skylake(pipeline.SpecBR),
+		})
+}
+
+// Figure7 reproduces the criticality scatter for bzip2 and mcf: for every
+// static branch, log10 of its dynamic dependent-instruction count against
+// log10 of the cycles it stalled commit, under in-order commit on SKL.
+func (r *Runner) Figure7() (*metrics.Scatter, error) {
+	sc := metrics.NewScatter("Figure 7: critical-branch distribution (SKL, InO-C)",
+		"log10(dependent instructions)", "log10(cycles ROB stalled)")
+	for _, name := range []string{"bzip2", "mcf"} {
+		st, err := r.Simulate(name, skylake(pipeline.InOrder))
+		if err != nil {
+			return nil, err
+		}
+		for _, bs := range st.BranchStalls {
+			if bs.StallCycles <= 0 || bs.Occurrences == 0 {
+				continue
+			}
+			deps := float64(bs.Dependents)
+			if deps < 1 {
+				deps = 1
+			}
+			sc.Add(name, math.Log10(deps), math.Log10(float64(bs.StallCycles)))
+		}
+	}
+	return sc, nil
+}
+
+// Figure8 reports the fraction of dynamic instructions NOREBA commits out
+// of order, per workload.
+func (r *Runner) Figure8() (*metrics.Table, error) {
+	names := r.names()
+	tab := metrics.NewTable("Figure 8: dynamic instructions committed out-of-order (NOREBA, SKL)", names...)
+	var vals []float64
+	for _, name := range names {
+		st, err := r.Simulate(name, skylake(pipeline.Noreba))
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, st.OoOCommitFraction())
+	}
+	tab.AddRow("OoO-commit fraction", vals...)
+	return tab, nil
+}
+
+// Figure9 sweeps the Selective ROB configuration — BR-CQ count × entries —
+// for two ROB′ sizes, reporting geomean performance normalised to the
+// ideal reconvergence commit with the same ROB size.
+func (r *Runner) Figure9() (*metrics.Table, error) {
+	type knob struct{ queues, entries int }
+	knobs := []knob{{1, 4}, {1, 8}, {2, 4}, {2, 8}, {2, 16}, {4, 8}, {4, 16}}
+	var cols []string
+	for _, k := range knobs {
+		cols = append(cols, fmt.Sprintf("%dxBR-CQ/%d", k.queues, k.entries))
+	}
+	tab := metrics.NewTable("Figure 9: Selective ROB sizing, normalised to ideal Reconvergence-OoO-C", cols...)
+
+	for _, robSize := range []int{224, 128} {
+		var vals []float64
+		for _, k := range knobs {
+			var ratios []float64
+			for _, name := range r.names() {
+				ideal := skylake(pipeline.IdealReconv)
+				ideal.ROBSize = robSize
+				idealSt, err := r.Simulate(name, ideal)
+				if err != nil {
+					return nil, err
+				}
+				cfg := skylake(pipeline.Noreba)
+				cfg.ROBSize = robSize
+				cfg.Selective.NumBRCQs = k.queues
+				cfg.Selective.BRCQSize = k.entries
+				st, err := r.Simulate(name, cfg)
+				if err != nil {
+					return nil, err
+				}
+				ratios = append(ratios, float64(idealSt.Cycles)/float64(st.Cycles))
+			}
+			vals = append(vals, metrics.Geomean(ratios))
+		}
+		tab.AddRow(fmt.Sprintf("ROB' %d", robSize), vals...)
+	}
+	return tab, nil
+}
+
+// Figure10 reports total core power for the same Selective ROB sweep,
+// normalised to the smallest configuration.
+func (r *Runner) Figure10() (*metrics.Table, error) {
+	type knob struct{ queues, entries int }
+	knobs := []knob{{1, 4}, {1, 8}, {2, 4}, {2, 8}, {2, 16}, {4, 8}, {4, 16}, {8, 64}}
+	var cols []string
+	for _, k := range knobs {
+		cols = append(cols, fmt.Sprintf("%dxBR-CQ/%d", k.queues, k.entries))
+	}
+	tab := metrics.NewTable("Figure 10: Selective ROB power, normalised to minimum configuration", cols...)
+
+	var vals []float64
+	for _, k := range knobs {
+		var total float64
+		for _, name := range r.names() {
+			cfg := skylake(pipeline.Noreba)
+			cfg.Selective.NumBRCQs = k.queues
+			cfg.Selective.BRCQSize = k.entries
+			st, err := r.Simulate(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			total += power.Estimate(cfg, st).TotalPower()
+		}
+		vals = append(vals, total)
+	}
+	min := vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+	}
+	for i := range vals {
+		vals[i] /= min
+	}
+	tab.AddRow("power", vals...)
+	return tab, nil
+}
+
+// Figure11 measures the cost of the setup instructions themselves: NOREBA
+// with fetched setup instructions versus a perfect design whose dependence
+// information reaches the hardware for free.
+func (r *Runner) Figure11() (*metrics.Table, error) {
+	names := r.names()
+	tab := metrics.NewTable("Figure 11: setup-instruction overhead (cycles with setup / cycles perfect)",
+		append(append([]string{}, names...), "geomean")...)
+	var vals []float64
+	for _, name := range names {
+		withSetup, err := r.Simulate(name, skylake(pipeline.Noreba))
+		if err != nil {
+			return nil, err
+		}
+		perfect := skylake(pipeline.Noreba)
+		perfect.FreeSetup = true
+		free, err := r.Simulate(name, perfect)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, float64(withSetup.Cycles)/float64(free.Cycles))
+	}
+	tab.AddRow("overhead", append(vals, metrics.Geomean(vals))...)
+	return tab, nil
+}
+
+// coreConfigs returns the three Table 3 cores with the given policy.
+func coreConfigs(policy pipeline.PolicyKind) []pipeline.Config {
+	nhm := pipeline.NehalemConfig()
+	hsw := pipeline.HaswellConfig()
+	skl := pipeline.SkylakeConfig()
+	nhm.Policy, hsw.Policy, skl.Policy = policy, policy, policy
+	return []pipeline.Config{nhm, hsw, skl}
+}
+
+// Figure12 compares NOREBA's speedup over in-order commit across the
+// Nehalem-, Haswell- and Skylake-like cores (Table 3).
+func (r *Runner) Figure12() (*metrics.Table, error) {
+	tab := metrics.NewTable("Figure 12: NOREBA speedup over InO-C per core", "NHM", "HSW", "SKL")
+	inos := coreConfigs(pipeline.InOrder)
+	norebas := coreConfigs(pipeline.Noreba)
+	var vals []float64
+	for i := range inos {
+		var speedups []float64
+		for _, name := range r.names() {
+			base, err := r.Simulate(name, inos[i])
+			if err != nil {
+				return nil, err
+			}
+			st, err := r.Simulate(name, norebas[i])
+			if err != nil {
+				return nil, err
+			}
+			speedups = append(speedups, metrics.Speedup(base.Cycles, st.Cycles))
+		}
+		vals = append(vals, metrics.Geomean(speedups))
+	}
+	tab.AddRow("NOREBA/InO-C", vals...)
+	return tab, nil
+}
+
+// Figure13 evaluates prefetching: in-order and NOREBA, with and without the
+// DCPT prefetcher, normalised to the NHM in-order core with prefetching.
+func (r *Runner) Figure13() (*metrics.Table, error) {
+	tab := metrics.NewTable("Figure 13: prefetching effectiveness (normalised to NHM InO-C + prefetch)",
+		"NHM", "HSW", "SKL")
+	nhmBase := pipeline.NehalemConfig()
+	nhmBase.Policy = pipeline.InOrder
+
+	variants := []struct {
+		name     string
+		policy   pipeline.PolicyKind
+		prefetch bool
+	}{
+		{"InO-C+pf", pipeline.InOrder, true},
+		{"NOREBA no-pf", pipeline.Noreba, false},
+		{"NOREBA+pf", pipeline.Noreba, true},
+	}
+	for _, v := range variants {
+		cores := coreConfigs(v.policy)
+		var vals []float64
+		for _, core := range cores {
+			core.PrefetchEnabled = v.prefetch
+			var speedups []float64
+			for _, name := range r.names() {
+				base, err := r.Simulate(name, nhmBase)
+				if err != nil {
+					return nil, err
+				}
+				st, err := r.Simulate(name, core)
+				if err != nil {
+					return nil, err
+				}
+				speedups = append(speedups, metrics.Speedup(base.Cycles, st.Cycles))
+			}
+			vals = append(vals, metrics.Geomean(speedups))
+		}
+		tab.AddRow(v.name, vals...)
+	}
+	return tab, nil
+}
+
+// Figure14 measures Early Commit of Loads on both the in-order baseline and
+// NOREBA.
+func (r *Runner) Figure14() (*metrics.Table, error) {
+	inoECL := skylake(pipeline.InOrder)
+	inoECL.ECL = true
+	norebaECL := skylake(pipeline.Noreba)
+	norebaECL.ECL = true
+	return r.speedupTable(
+		"Figure 14: Early Commit of Loads (speedup over InO-C, SKL)",
+		skylake(pipeline.InOrder),
+		[]pipeline.Config{inoECL, skylake(pipeline.Noreba), norebaECL})
+}
+
+// Figure15 shows that widening in-order commit does not substitute for
+// out-of-order commit: InO-C with an 8-wide commit stage versus NOREBA.
+func (r *Runner) Figure15() (*metrics.Table, error) {
+	wide := skylake(pipeline.InOrder)
+	wide.CommitWidth = 8
+	return r.speedupTable(
+		"Figure 15: commit bandwidth (speedup over InO-C, SKL)",
+		skylake(pipeline.InOrder),
+		[]pipeline.Config{wide, skylake(pipeline.Noreba)})
+}
+
+// Figure16 reports the per-structure power and area of NOREBA normalised to
+// the in-order baseline core.
+func (r *Runner) Figure16() (*metrics.Table, *metrics.Table, error) {
+	var cols []string
+	for _, s := range power.AllStructures {
+		cols = append(cols, string(s))
+	}
+	cols = append(cols, "TOTAL")
+	powTab := metrics.NewTable("Figure 16: power by structure (normalised to InO-C total)", cols...)
+	areaTab := metrics.NewTable("Figure 16: area by structure (normalised to InO-C total)", cols...)
+
+	sum := func(policy pipeline.PolicyKind) (map[power.Structure]float64, map[power.Structure]float64, error) {
+		pw := map[power.Structure]float64{}
+		ar := map[power.Structure]float64{}
+		for _, name := range r.names() {
+			cfg := skylake(policy)
+			st, err := r.Simulate(name, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			b := power.Estimate(cfg, st)
+			for s, v := range b.Power {
+				pw[s] += v
+			}
+			for s, v := range b.Area {
+				ar[s] += v
+			}
+		}
+		return pw, ar, nil
+	}
+
+	basePw, baseAr, err := sum(pipeline.InOrder)
+	if err != nil {
+		return nil, nil, err
+	}
+	norPw, norAr, err := sum(pipeline.Noreba)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	total := func(m map[power.Structure]float64) float64 {
+		t := 0.0
+		for _, v := range m {
+			t += v
+		}
+		return t
+	}
+	addRows := func(tab *metrics.Table, base, nor map[power.Structure]float64) {
+		baseTotal := total(base)
+		var baseVals, norVals []float64
+		for _, s := range power.AllStructures {
+			baseVals = append(baseVals, base[s]/baseTotal)
+			norVals = append(norVals, nor[s]/baseTotal)
+		}
+		tab.AddRow("In-Order Commit", append(baseVals, 1.0)...)
+		tab.AddRow("NOREBA", append(norVals, total(nor)/baseTotal)...)
+	}
+	addRows(powTab, basePw, norPw)
+	addRows(areaTab, baseAr, norAr)
+	return powTab, areaTab, nil
+}
+
+// Tables2And3 prints the system configuration tables the evaluation uses.
+func Tables2And3() string {
+	skl := pipeline.SkylakeConfig()
+	out := "== Table 2: system configuration ==\n"
+	out += fmt.Sprintf("L1i/L1d %dKB %dclk | L2 %dKB %dclk | L3 %dMB %dclk\n",
+		skl.L1ISize>>10, skl.L1Lat, skl.L2Size>>10, skl.L2Lat, skl.L3Size>>20, skl.L3Lat)
+	out += fmt.Sprintf("widths fetch/issue/commit %d/%d/%d | predictor TAGE-SC-L | prefetcher DCPT\n",
+		skl.FetchWidth, skl.IssueWidth, skl.CommitWidth)
+	sel := skl.Selective
+	out += fmt.Sprintf("Selective ROB: ROB' = baseline ROB | BR-CQs %d x %d | PR-CQ %d | BIT/CQT %d/%d | CIT %d\n",
+		sel.NumBRCQs, sel.BRCQSize, sel.PRCQSize, sel.BITSize, sel.CQTSize, sel.CITSize)
+
+	out += "\n== Table 3: baseline microarchitectures ==\n"
+	out += fmt.Sprintf("%-4s %5s %4s %6s %4s\n", "core", "ROB", "IQ", "LQ/SQ", "RF")
+	for _, cfg := range []pipeline.Config{pipeline.NehalemConfig(), pipeline.HaswellConfig(), pipeline.SkylakeConfig()} {
+		out += fmt.Sprintf("%-4s %5d %4d %3d/%-3d %4d\n", cfg.Name, cfg.ROBSize, cfg.IQSize, cfg.LQSize, cfg.SQSize, cfg.RenameRegs)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (§6): each FigureN function runs the required simulations —
+// reusing compiled programs, traces and finished runs through a cache — and
+// returns the same rows or point clouds the paper plots, as plain-text
+// tables.
+//
+// Absolute cycle counts differ from the paper's gem5/SPEC numbers (the
+// substrate here is this repository's simulator and synthetic kernels); the
+// shapes — who wins, by roughly what factor, where configurations saturate —
+// are the reproduction target. EXPERIMENTS.md records paper-vs-measured for
+// every figure.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/noreba-sim/noreba/internal/compiler"
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/pipeline"
+	"github.com/noreba-sim/noreba/internal/workloads"
+)
+
+// Runner caches compiled workloads, traces and simulation results across
+// figures.
+type Runner struct {
+	// MaxInsts bounds each workload's dynamic trace length.
+	MaxInsts int64
+	// ScaleDiv divides every workload's default scale (for quick runs).
+	ScaleDiv int
+	// Workloads restricts the suite (nil = all registered workloads).
+	Workloads []string
+
+	mu     sync.Mutex
+	traces map[string]*compiledWorkload
+	sims   map[string]*pipeline.Stats
+}
+
+type compiledWorkload struct {
+	res   *compiler.Result
+	trace *emulator.Trace
+}
+
+// NewRunner returns a full-scale runner over the whole suite.
+func NewRunner() *Runner {
+	return &Runner{MaxInsts: 1 << 20, ScaleDiv: 1, traces: map[string]*compiledWorkload{}, sims: map[string]*pipeline.Stats{}}
+}
+
+// QuickRunner returns a reduced-scale runner for tests.
+func QuickRunner() *Runner {
+	r := NewRunner()
+	r.ScaleDiv = 2
+	r.Workloads = []string{"mcf", "bzip2", "astar", "CRC32", "dijkstra", "libquantum", "sha", "gobmk"}
+	return r
+}
+
+// suite returns the workload list this runner evaluates.
+func (r *Runner) suite() []workloads.Workload {
+	if r.Workloads == nil {
+		return workloads.All()
+	}
+	var out []workloads.Workload
+	for _, name := range r.Workloads {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// names returns the suite's workload names.
+func (r *Runner) names() []string {
+	var out []string
+	for _, w := range r.suite() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// compiled returns the annotated image, metadata and dynamic trace of a
+// workload, building them on first use.
+func (r *Runner) compiled(name string) (*compiledWorkload, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cw, ok := r.traces[name]; ok {
+		return cw, nil
+	}
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	scale := w.DefaultScale / r.ScaleDiv
+	if scale < 2 {
+		scale = 2
+	}
+	res, err := compiler.Compile(w.Build(scale), compiler.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	tr, err := emulator.New(res.Image).Run(r.MaxInsts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	cw := &compiledWorkload{res: res, trace: tr}
+	r.traces[name] = cw
+	return cw, nil
+}
+
+// cfgKey builds a cache key covering every config field that affects timing.
+func cfgKey(workload string, cfg pipeline.Config) string {
+	return fmt.Sprintf("%s|%s|%v|rob%d iq%d lq%d sq%d rf%d|w%d/%d/%d|pf%v d%d|ecl%v free%v|sel%+v|pred%d|mp%d",
+		workload, cfg.Name, cfg.Policy, cfg.ROBSize, cfg.IQSize, cfg.LQSize, cfg.SQSize, cfg.RenameRegs,
+		cfg.FetchWidth, cfg.IssueWidth, cfg.CommitWidth,
+		cfg.PrefetchEnabled, cfg.PrefetchDegree, cfg.ECL, cfg.FreeSetup,
+		cfg.Selective, cfg.Predictor, cfg.MispredictPenalty)
+}
+
+// Simulate runs (or returns the cached run of) one workload under cfg.
+// Policies that do not consume compiler annotations (the paper's baselines
+// and speculative oracles) run as if on the original binary: setup
+// instructions do not occupy fetch slots for them.
+func (r *Runner) Simulate(workload string, cfg pipeline.Config) (*pipeline.Stats, error) {
+	switch cfg.Policy {
+	case pipeline.Noreba, pipeline.IdealReconv:
+		// Annotated binary: setup instructions cost fetch slots unless the
+		// experiment explicitly models the "perfect" sideband (§6.1.2).
+	default:
+		cfg.FreeSetup = true
+	}
+
+	key := cfgKey(workload, cfg)
+	r.mu.Lock()
+	if st, ok := r.sims[key]; ok {
+		r.mu.Unlock()
+		return st, nil
+	}
+	r.mu.Unlock()
+
+	cw, err := r.compiled(workload)
+	if err != nil {
+		return nil, err
+	}
+	st, err := pipeline.NewCore(cfg, cw.trace, cw.res.Meta).Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s under %v: %w", workload, cfg.Policy, err)
+	}
+	r.mu.Lock()
+	r.sims[key] = st
+	r.mu.Unlock()
+	return st, nil
+}
+
+// skylake returns the paper's default evaluation core (SKL + DCPT).
+func skylake(policy pipeline.PolicyKind) pipeline.Config {
+	cfg := pipeline.SkylakeConfig()
+	cfg.Policy = policy
+	return cfg
+}

@@ -1,0 +1,158 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		in Inst
+		pc int
+	}{
+		{Inst{Op: OpAdd, Rd: A0, Rs1: A1, Rs2: A2}, 0},
+		{Inst{Op: OpAddi, Rd: T0, Rs1: S0, Imm: -40}, 3},
+		{Inst{Op: OpLw, Rd: A4, Rs1: S0, Imm: -8192}, 7},
+		{Inst{Op: OpSw, Rs1: S0, Rs2: A5, Imm: 4096}, 9},
+		{Inst{Op: OpBeq, Rs1: A5, Rs2: X0, Target: 42}, 10},
+		{Inst{Op: OpBne, Rs1: A0, Rs2: A1, Target: 2}, 100},
+		{Inst{Op: OpJal, Rd: RA, Target: 5}, 60},
+		{Inst{Op: OpJalr, Rd: X0, Rs1: RA, Imm: 0}, 61},
+		{Inst{Op: OpSetBranchID, Imm: 5}, 12},
+		{Inst{Op: OpSetDependency, Imm: 31, Aux: 7}, 13},
+		{Inst{Op: OpGetCITEntry, Rd: A0, Imm: 3}, 14},
+		{Inst{Op: OpSetCITEntry, Rs1: A0, Imm: 3}, 15},
+		{Inst{Op: OpFadd, Rd: F1, Rs1: F2, Rs2: F3}, 16},
+		{Inst{Op: OpFence}, 17},
+		{Inst{Op: OpHalt}, 18},
+		{Inst{Op: OpLui, Rd: A0, Imm: 1 << 19}, 19},
+	}
+	for _, c := range cases {
+		w, err := Encode(c.in, c.pc)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", c.in, err)
+		}
+		got, err := Decode(w, c.pc)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", c.in, err)
+		}
+		want := c.in
+		want.Label = ""
+		if got != want {
+			t.Errorf("round trip changed %v -> %v (word %#x)", want, got, uint64(w))
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	bad := []struct {
+		in Inst
+		pc int
+	}{
+		{Inst{Op: OpAddi, Rd: A0, Imm: 1 << 40}, 0},
+		{Inst{Op: OpSetDependency, Imm: 3, Aux: 300}, 0},
+		{Inst{Op: OpInvalid}, 0},
+		{Inst{Op: numOps}, 0},
+		{Inst{Op: OpAdd, Rd: Reg(200)}, 0},
+	}
+	for _, c := range bad {
+		if _, err := Encode(c.in, c.pc); err == nil {
+			t.Errorf("Encode accepted %v", c.in)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(Word(0), 0); err == nil {
+		t.Error("Decode accepted opcode 0 (invalid)")
+	}
+	if _, err := Decode(Word(0xff), 0); err == nil {
+		t.Error("Decode accepted out-of-range opcode")
+	}
+	if _, err := Decode(Word(uint64(OpAdd)|0xc8<<8), 0); err == nil {
+		t.Error("Decode accepted out-of-range register")
+	}
+}
+
+func TestBranchDeltaRelocates(t *testing.T) {
+	in := Inst{Op: OpBeq, Rs1: A0, Rs2: A1, Target: 20}
+	w, err := Encode(in, 10) // delta +10
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := Decode(w, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Target != 60 {
+		t.Errorf("relocated target = %d, want 60", moved.Target)
+	}
+}
+
+func TestEncodeProgramRoundTrip(t *testing.T) {
+	insts := []Inst{
+		{Op: OpAddi, Rd: A0, Rs1: X0, Imm: 5},
+		{Op: OpAddi, Rd: A1, Rs1: X0, Imm: 0},
+		{Op: OpAdd, Rd: A1, Rs1: A1, Rs2: A0},
+		{Op: OpAddi, Rd: A0, Rs1: A0, Imm: -1},
+		{Op: OpBne, Rs1: A0, Rs2: X0, Target: 2},
+		{Op: OpHalt},
+	}
+	data, err := EncodeProgram(insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(insts)*8 {
+		t.Fatalf("image size %d, want %d", len(data), len(insts)*8)
+	}
+	back, err := DecodeProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range insts {
+		want := insts[i]
+		want.Label = ""
+		if back[i] != want {
+			t.Errorf("inst %d: %v != %v", i, back[i], want)
+		}
+	}
+	if _, err := DecodeProgram(data[:5]); err == nil {
+		t.Error("DecodeProgram accepted unaligned image")
+	}
+}
+
+// Property: every encodable random instruction round-trips exactly.
+func TestEncodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	f := func() bool {
+		in := Inst{
+			Op:  Op(1 + r.Intn(int(numOps)-1)),
+			Rd:  Reg(r.Intn(NumRegs)),
+			Rs1: Reg(r.Intn(NumRegs)),
+			Rs2: Reg(r.Intn(NumRegs)),
+			Imm: int64(int32(r.Uint32())),
+		}
+		pc := r.Intn(1 << 20)
+		if in.Op.IsCondBranch() || in.Op == OpJal {
+			in.Imm = 0
+			in.Target = pc + int(int32(r.Uint32())>>12)
+		}
+		if in.Op == OpSetDependency {
+			in.Aux = int64(r.Intn(256))
+			in.Rs2 = X0
+		}
+		w, err := Encode(in, pc)
+		if err != nil {
+			return true // out-of-range combinations are allowed to fail
+		}
+		got, err := Decode(w, pc)
+		if err != nil {
+			return false
+		}
+		return got == in
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

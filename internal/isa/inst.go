@@ -1,0 +1,120 @@
+package isa
+
+import "fmt"
+
+// Inst is a decoded instruction. PCs are instruction indices into the laid
+// out program (the "text segment"); Target holds the resolved absolute PC of
+// branch/jump destinations.
+type Inst struct {
+	Op  Op
+	Rd  Reg // destination register (X0 means "no destination")
+	Rs1 Reg // first source
+	Rs2 Reg // second source (store data, branch comparand)
+	Imm int64
+	Aux int64 // second immediate: setDependency's branch ID
+	// Target is the resolved destination PC for branches and direct jumps.
+	Target int
+	// Label is the unresolved destination label; the assembler and program
+	// builder fill Target from it at layout time.
+	Label string
+}
+
+// HasDest reports whether the instruction writes an architectural register.
+func (i Inst) HasDest() bool {
+	switch i.Op.Class() {
+	case ClassStore, ClassBranch, ClassJump, ClassSetup, ClassSystem, ClassNop:
+		// Jal and Jalr do write rd; getCITEntry writes rd.
+		return (i.Op == OpJal || i.Op == OpJalr || i.Op == OpGetCITEntry) && i.Rd != X0
+	default:
+		return i.Rd != X0
+	}
+}
+
+// Dest returns the destination register and whether one exists.
+func (i Inst) Dest() (Reg, bool) {
+	if i.HasDest() {
+		return i.Rd, true
+	}
+	return X0, false
+}
+
+// Sources returns the architectural registers the instruction reads.
+// X0 sources are included (they read as zero but are real operands for
+// dependence purposes X0 never has a producer, so it is harmless).
+func (i Inst) Sources() []Reg {
+	var srcs []Reg
+	add := func(r Reg) {
+		if r != X0 {
+			srcs = append(srcs, r)
+		}
+	}
+	switch i.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu,
+		OpMul, OpMulh, OpDiv, OpRem,
+		OpFadd, OpFsub, OpFmul, OpFdiv, OpFmin, OpFmax, OpFlt, OpFle, OpFeq:
+		add(i.Rs1)
+		add(i.Rs2)
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti,
+		OpFsqrt, OpFcvtIF, OpFcvtFI, OpJalr, OpLw, OpFlw:
+		add(i.Rs1)
+	case OpSw, OpFsw:
+		add(i.Rs1) // address base
+		add(i.Rs2) // store data
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		add(i.Rs1)
+		add(i.Rs2)
+	case OpSetCITEntry:
+		add(i.Rs1)
+	}
+	return srcs
+}
+
+// String renders the instruction in assembly syntax.
+func (i Inst) String() string {
+	target := func() string {
+		if i.Label != "" {
+			return i.Label
+		}
+		return fmt.Sprintf("%d", i.Target)
+	}
+	switch i.Op.Class() {
+	case ClassIntALU, ClassIntMul, ClassIntDiv, ClassFPALU, ClassFPDiv:
+		switch i.Op {
+		case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti:
+			return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+		case OpLui:
+			return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+		case OpFsqrt, OpFcvtIF, OpFcvtFI:
+			return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rs1)
+		default:
+			return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs1, i.Rs2)
+		}
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rd, i.Imm, i.Rs1)
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rs2, i.Imm, i.Rs1)
+	case ClassBranch:
+		if i.Op == OpJalr {
+			return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rs1, i.Rs2, target())
+	case ClassJump:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, target())
+	case ClassSetup:
+		if i.Op == OpSetBranchID {
+			return fmt.Sprintf("%s %d", i.Op, i.Imm)
+		}
+		return fmt.Sprintf("%s %d %d", i.Op, i.Imm, i.Aux)
+	case ClassSystem:
+		switch i.Op {
+		case OpGetCITEntry:
+			return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+		case OpSetCITEntry:
+			return fmt.Sprintf("%s %s, %d", i.Op, i.Rs1, i.Imm)
+		default:
+			return i.Op.String()
+		}
+	default:
+		return i.Op.String()
+	}
+}

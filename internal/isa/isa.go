@@ -1,0 +1,169 @@
+// Package isa defines the RISC-V-flavoured instruction set used throughout
+// the NOREBA reproduction: a compact register ISA (32 integer and 32
+// floating-point registers) extended with the four instructions the paper
+// introduces — setBranchId, setDependency, getCITEntry and setCITEntry —
+// which carry compiler branch-dependency information to the hardware and
+// expose the Committed Instructions Table (CIT) to the operating system.
+//
+// Instructions are represented in decoded (struct) form rather than as
+// binary encodings: every consumer in this repository — the functional
+// emulator, the compiler pass and the cycle-level pipeline model — operates
+// on decoded instructions, exactly as gem5's ISA-independent O3 model does.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. Values 0–31 are the integer
+// registers X0–X31 (X0 is hardwired to zero); values 32–63 are the
+// floating-point registers F0–F31. The zero value is X0.
+type Reg uint8
+
+// Integer register names, with RISC-V ABI aliases.
+const (
+	X0 Reg = iota
+	X1
+	X2
+	X3
+	X4
+	X5
+	X6
+	X7
+	X8
+	X9
+	X10
+	X11
+	X12
+	X13
+	X14
+	X15
+	X16
+	X17
+	X18
+	X19
+	X20
+	X21
+	X22
+	X23
+	X24
+	X25
+	X26
+	X27
+	X28
+	X29
+	X30
+	X31
+
+	Zero = X0 // hardwired zero
+	RA   = X1 // return address
+	SP   = X2 // stack pointer
+	GP   = X3 // global pointer
+	TP   = X4 // thread pointer
+	T0   = X5 // temporaries
+	T1   = X6
+	T2   = X7
+	S0   = X8 // saved registers / frame pointer
+	S1   = X9
+	A0   = X10 // argument/return registers
+	A1   = X11
+	A2   = X12
+	A3   = X13
+	A4   = X14
+	A5   = X15
+	A6   = X16
+	A7   = X17
+	S2   = X18
+	S3   = X19
+	S4   = X20
+	S5   = X21
+	S6   = X22
+	S7   = X23
+	S8   = X24
+	S9   = X25
+	S10  = X26
+	S11  = X27
+	T3   = X28
+	T4   = X29
+	T5   = X30
+	T6   = X31
+)
+
+// Floating-point register names.
+const (
+	F0 Reg = 32 + iota
+	F1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+	F8
+	F9
+	F10
+	F11
+	F12
+	F13
+	F14
+	F15
+	F16
+	F17
+	F18
+	F19
+	F20
+	F21
+	F22
+	F23
+	F24
+	F25
+	F26
+	F27
+	F28
+	F29
+	F30
+	F31
+)
+
+// NumRegs is the total architectural register count (integer + FP).
+const NumRegs = 64
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return r >= F0 && r <= F31 }
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+var intRegNames = [32]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// String returns the ABI name of the register ("a5", "f2", …).
+func (r Reg) String() string {
+	switch {
+	case r < 32:
+		return intRegNames[r]
+	case r < NumRegs:
+		return fmt.Sprintf("f%d", r-32)
+	default:
+		return fmt.Sprintf("?reg%d", uint8(r))
+	}
+}
+
+// RegByName resolves an ABI register name ("a5", "x13", "f2") to a Reg.
+func RegByName(name string) (Reg, bool) {
+	for i, n := range intRegNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	var idx int
+	if _, err := fmt.Sscanf(name, "x%d", &idx); err == nil && idx >= 0 && idx < 32 {
+		return Reg(idx), true
+	}
+	if _, err := fmt.Sscanf(name, "f%d", &idx); err == nil && idx >= 0 && idx < 32 {
+		return Reg(32 + idx), true
+	}
+	return 0, false
+}

@@ -1,0 +1,247 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{X0, "zero"}, {RA, "ra"}, {SP, "sp"}, {A0, "a0"}, {A5, "a5"},
+		{S0, "s0"}, {T6, "t6"}, {F0, "f0"}, {F31, "f31"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegByNameRoundTrip(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		got, ok := RegByName(r.String())
+		if !ok {
+			t.Fatalf("RegByName(%q) failed", r.String())
+		}
+		if got != r {
+			t.Errorf("RegByName(%q) = %v, want %v", r.String(), got, r)
+		}
+	}
+}
+
+func TestRegByNameXForm(t *testing.T) {
+	if r, ok := RegByName("x15"); !ok || r != A5 {
+		t.Errorf("RegByName(x15) = %v,%v; want a5,true", r, ok)
+	}
+	if _, ok := RegByName("x32"); ok {
+		t.Error("RegByName(x32) should fail")
+	}
+	if _, ok := RegByName("bogus"); ok {
+		t.Error("RegByName(bogus) should fail")
+	}
+}
+
+func TestRegIsFP(t *testing.T) {
+	if X5.IsFP() {
+		t.Error("X5 must not be FP")
+	}
+	if !F5.IsFP() {
+		t.Error("F5 must be FP")
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for op := OpInvalid + 1; op < numOps; op++ {
+		got, ok := OpByName(op.String())
+		if !ok {
+			t.Fatalf("OpByName(%q) failed", op.String())
+		}
+		if got != op {
+			t.Errorf("OpByName(%q) = %v, want %v", op.String(), got, op)
+		}
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	cases := []struct {
+		op                                     Op
+		branch, cond, load, store, setup, trap bool
+	}{
+		{OpAdd, false, false, false, false, false, false},
+		{OpLw, false, false, true, false, false, true},
+		{OpFlw, false, false, true, false, false, true},
+		{OpSw, false, false, false, true, false, true},
+		{OpFsw, false, false, false, true, false, true},
+		{OpBeq, true, true, false, false, false, false},
+		{OpBgeu, true, true, false, false, false, false},
+		{OpJal, true, false, false, false, false, false},
+		{OpJalr, true, false, false, false, false, false},
+		{OpSetBranchID, false, false, false, false, true, false},
+		{OpSetDependency, false, false, false, false, true, false},
+		{OpFdiv, false, false, false, false, false, false},
+	}
+	for _, c := range cases {
+		if c.op.IsBranch() != c.branch {
+			t.Errorf("%v.IsBranch() = %v", c.op, c.op.IsBranch())
+		}
+		if c.op.IsCondBranch() != c.cond {
+			t.Errorf("%v.IsCondBranch() = %v", c.op, c.op.IsCondBranch())
+		}
+		if c.op.IsLoad() != c.load {
+			t.Errorf("%v.IsLoad() = %v", c.op, c.op.IsLoad())
+		}
+		if c.op.IsStore() != c.store {
+			t.Errorf("%v.IsStore() = %v", c.op, c.op.IsStore())
+		}
+		if c.op.IsSetup() != c.setup {
+			t.Errorf("%v.IsSetup() = %v", c.op, c.op.IsSetup())
+		}
+		if c.op.CanTrap() != c.trap {
+			t.Errorf("%v.CanTrap() = %v", c.op, c.op.CanTrap())
+		}
+	}
+}
+
+func TestOpClassTotal(t *testing.T) {
+	// Every defined op must fall into a meaningful class except OpInvalid.
+	for op := OpInvalid + 1; op < numOps; op++ {
+		if op == OpNop {
+			continue
+		}
+		if op.Class() == ClassNop {
+			t.Errorf("op %v has no class", op)
+		}
+	}
+}
+
+func TestInstDestAndSources(t *testing.T) {
+	cases := []struct {
+		in      Inst
+		dest    Reg
+		hasDest bool
+		srcs    int
+	}{
+		{Inst{Op: OpAdd, Rd: A0, Rs1: A1, Rs2: A2}, A0, true, 2},
+		{Inst{Op: OpAdd, Rd: X0, Rs1: A1, Rs2: A2}, X0, false, 2},
+		{Inst{Op: OpAddi, Rd: A0, Rs1: X0, Imm: 5}, A0, true, 0},
+		{Inst{Op: OpLw, Rd: A4, Rs1: S0, Imm: -40}, A4, true, 1},
+		{Inst{Op: OpSw, Rs1: S0, Rs2: A5, Imm: -20}, X0, false, 2},
+		{Inst{Op: OpBeq, Rs1: A0, Rs2: A1}, X0, false, 2},
+		{Inst{Op: OpJal, Rd: RA}, RA, true, 0},
+		{Inst{Op: OpJal, Rd: X0}, X0, false, 0},
+		{Inst{Op: OpSetBranchID, Imm: 1}, X0, false, 0},
+		{Inst{Op: OpGetCITEntry, Rd: A0, Imm: 3}, A0, true, 0},
+		{Inst{Op: OpSetCITEntry, Rs1: A0, Imm: 3}, X0, false, 1},
+	}
+	for _, c := range cases {
+		d, ok := c.in.Dest()
+		if ok != c.hasDest || (ok && d != c.dest) {
+			t.Errorf("%v: Dest() = %v,%v; want %v,%v", c.in, d, ok, c.dest, c.hasDest)
+		}
+		if got := len(c.in.Sources()); got != c.srcs {
+			t.Errorf("%v: len(Sources()) = %d, want %d", c.in, got, c.srcs)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpLw, Rd: A4, Rs1: S0, Imm: -40}, "lw a4, -40(s0)"},
+		{Inst{Op: OpSw, Rs1: S0, Rs2: A5, Imm: -20}, "sw a5, -20(s0)"},
+		{Inst{Op: OpSub, Rd: A5, Rs1: A4, Rs2: A5}, "sub a5, a4, a5"},
+		{Inst{Op: OpBeq, Rs1: A5, Rs2: X0, Label: "L1"}, "beq a5, zero, L1"},
+		{Inst{Op: OpSetBranchID, Imm: 1}, "setBranchId 1"},
+		{Inst{Op: OpSetDependency, Imm: 8, Aux: 1}, "setDependency 8 1"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: Sources never returns X0 and never exceeds two registers.
+func TestSourcesProperty(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8) bool {
+		in := Inst{Op: Op(op % uint8(numOps)), Rd: Reg(rd % 64), Rs1: Reg(rs1 % 64), Rs2: Reg(rs2 % 64)}
+		srcs := in.Sources()
+		if len(srcs) > 2 {
+			return false
+		}
+		for _, s := range srcs {
+			if s == X0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstStringAllForms(t *testing.T) {
+	// Exercise every rendering branch of Inst.String.
+	cases := []Inst{
+		{Op: OpAddi, Rd: A0, Rs1: A1, Imm: 5},
+		{Op: OpLui, Rd: A0, Imm: 3},
+		{Op: OpFsqrt, Rd: F1, Rs1: F0},
+		{Op: OpFcvtIF, Rd: F0, Rs1: A0},
+		{Op: OpFcvtFI, Rd: A0, Rs1: F0},
+		{Op: OpMul, Rd: A0, Rs1: A1, Rs2: A2},
+		{Op: OpFlw, Rd: F0, Rs1: S0, Imm: 8},
+		{Op: OpFsw, Rs1: S0, Rs2: F0, Imm: 8},
+		{Op: OpJalr, Rd: RA, Rs1: A0, Imm: 4},
+		{Op: OpJal, Rd: RA, Target: 7},
+		{Op: OpBlt, Rs1: A0, Rs2: A1, Target: 9},
+		{Op: OpGetCITEntry, Rd: A0, Imm: 2},
+		{Op: OpSetCITEntry, Rs1: A0, Imm: 2},
+		{Op: OpHalt},
+		{Op: OpNop},
+		{Op: OpFence},
+	}
+	for _, in := range cases {
+		s := in.String()
+		if s == "" || s == "op?" {
+			t.Errorf("bad rendering for %#v: %q", in, s)
+		}
+	}
+	// A jal with a label renders the label; with only a target, the PC.
+	withLabel := Inst{Op: OpJal, Rd: RA, Label: "fn"}
+	if got := withLabel.String(); got != "jal ra, fn" {
+		t.Errorf("labelled jump = %q", got)
+	}
+}
+
+func TestRegStringOutOfRange(t *testing.T) {
+	if got := Reg(200).String(); got == "" {
+		t.Error("out-of-range register produced empty string")
+	}
+	if Reg(200).Valid() {
+		t.Error("Reg(200) claims validity")
+	}
+}
+
+func TestOpStringUnknown(t *testing.T) {
+	if got := Op(250).String(); got != "op?" {
+		t.Errorf("unknown op renders %q", got)
+	}
+	if _, ok := OpByName("definitely-not-an-op"); ok {
+		t.Error("OpByName accepted nonsense")
+	}
+}
+
+func TestIsFence(t *testing.T) {
+	if !OpFence.IsFence() || OpNop.IsFence() {
+		t.Error("IsFence misclassifies")
+	}
+	if OpFence.CanTrap() {
+		t.Error("fence must not trap")
+	}
+}

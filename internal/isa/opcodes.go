@@ -1,0 +1,217 @@
+package isa
+
+// Op identifies an operation. The set mirrors the RV64IMF subset the paper's
+// workloads exercise, plus the four NOREBA setup/CIT instructions.
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+
+	// Integer register-register ALU.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt
+	OpSltu
+
+	// Integer register-immediate ALU.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpSlti
+	OpLui
+
+	// Integer multiply/divide.
+	OpMul
+	OpMulh
+	OpDiv
+	OpRem
+
+	// Floating point.
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFsqrt
+	OpFmin
+	OpFmax
+	OpFcvtIF // integer → float (rd is FP, rs1 is integer)
+	OpFcvtFI // float → integer (rd is integer, rs1 is FP)
+	OpFlt    // rd(int) = rs1 < rs2 (FP compare)
+	OpFle
+	OpFeq
+
+	// Memory. Addresses are rs1 + Imm; values are 64-bit words.
+	OpLw  // integer load
+	OpSw  // integer store (value in rs2)
+	OpFlw // FP load
+	OpFsw // FP store (value in rs2)
+
+	// Control flow. Conditional branches compare rs1 against rs2 and jump
+	// to Target; Jal writes the return PC to rd and jumps to Target; Jalr
+	// jumps to rs1+Imm.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+	OpJal
+	OpJalr
+
+	// NOREBA setup instructions (Table 1 of the paper). They occupy fetch
+	// slots but are dropped at decode and never execute.
+	//
+	//   setBranchId ID        — Imm = compiler-assigned branch ID
+	//   setDependency NUM ID  — Imm = NUM consecutive dependent
+	//                           instructions, Aux = branch ID
+	OpSetBranchID
+	OpSetDependency
+
+	// CIT ↔ OS communication instructions (§4.4). getCITEntry reads CIT
+	// entry Imm into rd (as an opaque token); setCITEntry restores entry
+	// Imm from rs1.
+	OpGetCITEntry
+	OpSetCITEntry
+
+	// Fence is the memory/synchronisation barrier of §4.5: the compiler
+	// performs the NOREBA pass only between fences, and the hardware
+	// commits strictly in order across one.
+	OpFence
+
+	// Misc.
+	OpNop
+	OpHalt
+
+	numOps
+)
+
+var opNames = map[Op]string{
+	OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpSll: "sll", OpSrl: "srl", OpSra: "sra", OpSlt: "slt", OpSltu: "sltu",
+	OpAddi: "addi", OpAndi: "andi", OpOri: "ori", OpXori: "xori",
+	OpSlli: "slli", OpSrli: "srli", OpSrai: "srai", OpSlti: "slti", OpLui: "lui",
+	OpMul: "mul", OpMulh: "mulh", OpDiv: "div", OpRem: "rem",
+	OpFadd: "fadd", OpFsub: "fsub", OpFmul: "fmul", OpFdiv: "fdiv",
+	OpFsqrt: "fsqrt", OpFmin: "fmin", OpFmax: "fmax",
+	OpFcvtIF: "fcvt.d.l", OpFcvtFI: "fcvt.l.d",
+	OpFlt: "flt", OpFle: "fle", OpFeq: "feq",
+	OpLw: "lw", OpSw: "sw", OpFlw: "flw", OpFsw: "fsw",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpBltu: "bltu", OpBgeu: "bgeu", OpJal: "jal", OpJalr: "jalr",
+	OpSetBranchID: "setBranchId", OpSetDependency: "setDependency",
+	OpGetCITEntry: "getCITEntry", OpSetCITEntry: "setCITEntry",
+	OpNop: "nop", OpHalt: "halt", OpFence: "fence",
+	OpInvalid: "invalid",
+}
+
+// String returns the assembly mnemonic of the op.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return "op?"
+}
+
+// OpByName resolves an assembly mnemonic to its Op.
+func OpByName(name string) (Op, bool) {
+	for op, s := range opNames {
+		if s == name && op != OpInvalid {
+			return op, true
+		}
+	}
+	return OpInvalid, false
+}
+
+// Class groups ops by the functional unit and pipeline treatment they need.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul
+	ClassIntDiv
+	ClassFPALU
+	ClassFPDiv // divide and sqrt
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branches and indirect jumps
+	ClassJump   // direct unconditional jumps
+	ClassSetup  // NOREBA setup instructions, dropped at decode
+	ClassSystem // CIT/OS instructions, halt
+)
+
+// Class returns the functional class of the op.
+func (o Op) Class() Class {
+	switch o {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu,
+		OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpLui:
+		return ClassIntALU
+	case OpMul, OpMulh:
+		return ClassIntMul
+	case OpDiv, OpRem:
+		return ClassIntDiv
+	case OpFadd, OpFsub, OpFmul, OpFmin, OpFmax, OpFcvtIF, OpFcvtFI, OpFlt, OpFle, OpFeq:
+		return ClassFPALU
+	case OpFdiv, OpFsqrt:
+		return ClassFPDiv
+	case OpLw, OpFlw:
+		return ClassLoad
+	case OpSw, OpFsw:
+		return ClassStore
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu, OpJalr:
+		return ClassBranch
+	case OpJal:
+		return ClassJump
+	case OpSetBranchID, OpSetDependency:
+		return ClassSetup
+	case OpGetCITEntry, OpSetCITEntry, OpHalt, OpFence:
+		return ClassSystem
+	default:
+		return ClassNop
+	}
+}
+
+// IsCondBranch reports whether the op is a conditional branch.
+func (o Op) IsCondBranch() bool {
+	switch o {
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the op transfers control (conditionally or not).
+func (o Op) IsBranch() bool {
+	return o.IsCondBranch() || o == OpJal || o == OpJalr
+}
+
+// IsLoad reports whether the op reads memory.
+func (o Op) IsLoad() bool { return o == OpLw || o == OpFlw }
+
+// IsStore reports whether the op writes memory.
+func (o Op) IsStore() bool { return o == OpSw || o == OpFsw }
+
+// IsMem reports whether the op accesses memory.
+func (o Op) IsMem() bool { return o.IsLoad() || o.IsStore() }
+
+// IsFence reports whether the op is the §4.5 synchronisation barrier.
+func (o Op) IsFence() bool { return o == OpFence }
+
+// IsSetup reports whether the op is a NOREBA setup instruction
+// (setBranchId / setDependency), which is dropped at decode.
+func (o Op) IsSetup() bool { return o == OpSetBranchID || o == OpSetDependency }
+
+// CanTrap reports whether the op can raise a synchronous exception. In the
+// paper's RISC-V setting only memory operations trap (floating-point
+// exceptions accrue in fcsr and do not trap, §4.4).
+func (o Op) CanTrap() bool { return o.IsMem() }

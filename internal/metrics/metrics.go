@@ -1,0 +1,137 @@
+// Package metrics holds the small numeric and formatting helpers the
+// experiment harness uses: geometric means (the paper reports all averages
+// as geo-means of per-application runtimes, §6), speedups, and plain-text
+// table/series rendering for figure regeneration.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs; it returns 0 for an empty or
+// non-positive input.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Speedup returns baselineCycles / cycles — >1 means faster than baseline.
+func Speedup(baselineCycles, cycles int64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(baselineCycles) / float64(cycles)
+}
+
+// Table renders labelled rows of float64 series as aligned plain text: one
+// row per series name, one column per x label. The experiments use it to
+// print the same rows a paper figure plots.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    []row
+}
+
+type row struct {
+	name   string
+	values []float64
+}
+
+// NewTable creates a table with the given title and column labels.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a named series.
+func (t *Table) AddRow(name string, values ...float64) {
+	t.rows = append(t.rows, row{name: name, values: values})
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	nameW := len("series")
+	for _, r := range t.rows {
+		if len(r.name) > nameW {
+			nameW = len(r.name)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		colW[i] = len(c)
+		if colW[i] < 7 {
+			colW[i] = 7
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", nameW+2, "series")
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, " %*s", colW[i], c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "%-*s", nameW+2, r.name)
+		for i, v := range r.values {
+			w := 7
+			if i < len(colW) {
+				w = colW[i]
+			}
+			fmt.Fprintf(&b, " %*.3f", w, v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Scatter renders (x, y) points with labels, for Figure-7-style plots.
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	points []point
+}
+
+type point struct {
+	series string
+	x, y   float64
+}
+
+// NewScatter creates a scatter printer.
+func NewScatter(title, xlabel, ylabel string) *Scatter {
+	return &Scatter{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Add appends a point to the named series.
+func (s *Scatter) Add(series string, x, y float64) {
+	s.points = append(s.points, point{series, x, y})
+}
+
+// String renders the points sorted by series then x.
+func (s *Scatter) String() string {
+	pts := make([]point, len(s.points))
+	copy(pts, s.points)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].series != pts[j].series {
+			return pts[i].series < pts[j].series
+		}
+		return pts[i].x < pts[j].x
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n# %s vs %s\n", s.Title, s.YLabel, s.XLabel)
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-12s %8.3f %8.3f\n", p.series, p.x, p.y)
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{2, 8}, 4},
+		{[]float64{1, 4}, 2},
+		{nil, 0},
+		{[]float64{1, 0}, 0},
+		{[]float64{1, -2}, 0},
+	}
+	for _, c := range cases {
+		if got := Geomean(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Geomean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: geomean lies between min and max for positive inputs.
+func TestGeomeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(200, 100); got != 2 {
+		t.Errorf("Speedup = %v, want 2", got)
+	}
+	if got := Speedup(100, 0); got != 0 {
+		t.Errorf("Speedup with zero cycles = %v, want 0", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Figure X", "mcf", "bzip2", "geomean")
+	tab.AddRow("NOREBA", 2.17, 1.01, 1.22)
+	tab.AddRow("InO-C", 1, 1, 1)
+	s := tab.String()
+	for _, want := range []string{"Figure X", "mcf", "bzip2", "geomean", "NOREBA", "2.170", "1.220"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestScatterRendering(t *testing.T) {
+	sc := NewScatter("Figure 7", "log dependents", "log stall cycles")
+	sc.Add("mcf", 0.5, 5.2)
+	sc.Add("bzip2", 2.1, 3.3)
+	sc.Add("mcf", 0.2, 4.8)
+	s := sc.String()
+	if !strings.Contains(s, "Figure 7") || !strings.Contains(s, "bzip2") {
+		t.Errorf("scatter output malformed:\n%s", s)
+	}
+	// Points sorted by series then x: bzip2 first, then mcf 0.2 before 0.5.
+	bi := strings.Index(s, "bzip2")
+	mi := strings.Index(s, "mcf")
+	if bi > mi {
+		t.Error("series not sorted")
+	}
+}

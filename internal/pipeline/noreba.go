@@ -1,0 +1,348 @@
+package pipeline
+
+// norebaPolicy implements the Selective ROB (§4.2) with its support
+// structures: decoded instructions sit in ROB′ (the main ROB, FIFO) and are
+// steered from its head into the Primary Commit Queue or one of the Branch
+// Commit Queues according to their BranchID; the Commit Queue Table (CQT)
+// maps live branches to queues; the Committed Instructions Table (CIT)
+// records out-of-order-committed instructions so their re-fetch after a
+// misprediction is dropped at decode (§4.3).
+//
+// Queue index 0 is PR-CQ; 1..NumBRCQs are BR-CQs.
+type norebaPolicy struct {
+	cfg SelectiveROBConfig
+
+	queues   [][]*Entry
+	brcqLive []int // uncommitted branches resident per BR-CQ
+
+	cqt map[int64]cqtEntry // branch seq → queue
+	cit []int              // trace indices of live CIT entries
+	rr  int                // round-robin start among BR-CQs at commit
+}
+
+type cqtEntry struct {
+	queue  int
+	branch *Entry
+}
+
+func newNorebaPolicy(cfg SelectiveROBConfig) *norebaPolicy {
+	p := &norebaPolicy{
+		cfg:      cfg,
+		queues:   make([][]*Entry, 1+cfg.NumBRCQs),
+		brcqLive: make([]int, cfg.NumBRCQs),
+		cqt:      map[int64]cqtEntry{},
+	}
+	return p
+}
+
+func (p *norebaPolicy) dispatch(*Core, *Entry) {}
+
+func (p *norebaPolicy) queueSize(q int) int {
+	if q == 0 {
+		return p.cfg.PRCQSize
+	}
+	return p.cfg.BRCQSize
+}
+
+// steer moves instructions from the ROB′ head into commit queues (step ❸
+// of Table 1). It returns whether it stalled with work remaining.
+func (p *norebaPolicy) steer(c *Core, cycle int64) bool {
+	steered := 0
+	for steered < p.cfg.SteerWidth {
+		e := p.robPrimeHead(c)
+		if e == nil {
+			return false
+		}
+		// Loads and stores are steered only once their translation
+		// succeeded (§4.2).
+		if e.isMem && !(e.issued && e.addrReadyAt <= cycle) {
+			return true
+		}
+		// A synchronisation barrier holds the ROB′ head until every older
+		// branch has resolved; it then commits strictly in order (§4.5).
+		if e.isFence && !c.allOlderBranchesResolved(e) {
+			return true
+		}
+
+		q, ok := p.chooseQueue(c, e, cycle)
+		if !ok {
+			return true
+		}
+		if len(p.queues[q]) >= p.queueSize(q) {
+			if q == 0 {
+			} else {
+			}
+			return true
+		}
+		if e.isCondBranch && e.dep.BranchID > 0 {
+			if p.liveCQT() >= p.cfg.CQTSize {
+				c.stats.CQTFullStalls++
+				return true
+			}
+			p.cqt[e.Seq()] = cqtEntry{queue: q, branch: e}
+			if q > 0 {
+				p.brcqLive[q-1]++
+			}
+		}
+
+		e.steered = true
+		e.queue = q
+		p.queues[q] = append(p.queues[q], e)
+		c.robOcc--
+		c.stats.Steered++
+		steered++
+	}
+	return false
+}
+
+// liveCQT counts CQT entries for still-unresolved branches; resolved
+// branches no longer steer dependents, so their slots are reusable.
+func (p *norebaPolicy) liveCQT() int {
+	n := 0
+	for _, ce := range p.cqt {
+		if !ce.branch.resolved {
+			n++
+		}
+	}
+	return n
+}
+
+// robPrimeHead returns the oldest dispatched, unsteered, unsquashed entry.
+func (p *norebaPolicy) robPrimeHead(c *Core) *Entry {
+	for _, e := range c.rob {
+		if !e.steered {
+			return e
+		}
+	}
+	return nil
+}
+
+// chooseQueue applies the steering rules. ok=false means the head must
+// stall this cycle.
+func (p *norebaPolicy) chooseQueue(c *Core, e *Entry, cycle int64) (int, bool) {
+	// Resolve the instruction's own dependence to "free" or "queue q".
+	depQueue := -1 // -1: no live governing branch
+	switch {
+	case e.dep.DepSeq == DepOrdered:
+		// Invalid BIT reference (e.g. a loop's first iteration): serialise
+		// until every older branch has resolved.
+		if !c.allOlderBranchesResolved(e) {
+			return 0, false
+		}
+	case e.dep.DepSeq >= 0:
+		if ce, ok := p.cqt[e.dep.DepSeq]; ok && !ce.branch.resolved {
+			// Live (unresolved) governing branch: follow its queue.
+			depQueue = ce.queue
+		} else if ok {
+			// The governing branch has resolved: it is no longer "live"
+			// and its dependents flow through the primary queue.
+		} else {
+			idx := int(e.dep.DepSeq)
+			switch {
+			case c.committedByIdx[idx]:
+				// Governing branch committed: dependence satisfied.
+			case !c.fetchedByIdx[idx]:
+				// Governing instance was skipped by window fetch: this is
+				// wrong-path-dependent work; hold it at the head until the
+				// recovery squashes it.
+				return 0, false
+			default:
+				// Governing branch fetched but not yet steered — it is
+				// older, so it must be blocked at the head itself; stall.
+				return 0, false
+			}
+		}
+	}
+
+	if e.isCondBranch || e.isJalr {
+		marked := e.isCondBranch && e.dep.BranchID > 0
+		if !marked {
+			// Unmarked control transfer: no compiler information, so the
+			// hardware serialises at it (commit degenerates to in-order
+			// across it).
+			if !e.resolved {
+				return 0, false
+			}
+			if depQueue >= 0 {
+				return depQueue, true
+			}
+			return 0, true
+		}
+		// Marked branch. A resolved branch flows with its governing queue
+		// (or PR-CQ); an unresolved branch ALWAYS takes a BR-CQ — steering
+		// it into PR-CQ behind a live parent would block the primary queue
+		// for its whole resolution latency. Cross-queue ordering stays
+		// non-speculative via the commit-time dep-committed check.
+		//
+		// BR-CQs are FIFOs, so several unresolved branches may share one
+		// queue (they then drain in steering order); an empty, branch-free
+		// queue is preferred so that independent branches commit
+		// independently (the astar case of §3), and the least-occupied
+		// queue is used otherwise. When all BR-CQs are full the head
+		// stalls — this is Figure 9's saturation knob.
+		if e.resolved {
+			if depQueue >= 0 {
+				return depQueue, true
+			}
+			return 0, true
+		}
+		for k := 0; k < p.cfg.NumBRCQs; k++ {
+			if p.brcqLive[k] == 0 && len(p.queues[k+1]) == 0 {
+				return k + 1, true
+			}
+		}
+		best, bestLen := -1, 1<<30
+		for k := 0; k < p.cfg.NumBRCQs; k++ {
+			if n := len(p.queues[k+1]); n < p.cfg.BRCQSize && n < bestLen {
+				best, bestLen = k+1, n
+			}
+		}
+		if best > 0 {
+			return best, true
+		}
+		return 0, false
+	}
+
+	if depQueue >= 0 {
+		return depQueue, true
+	}
+	return 0, true
+}
+
+func (p *norebaPolicy) commit(c *Core, cycle int64, width int) int {
+	if p.steer(c, cycle) {
+		c.stats.SteerStalls++
+	}
+
+	n := 0
+	for n < width {
+		committed := false
+		// PR-CQ has priority; BR-CQs are examined round-robin.
+		order := make([]int, 0, len(p.queues))
+		order = append(order, 0)
+		for k := 0; k < p.cfg.NumBRCQs; k++ {
+			order = append(order, 1+(p.rr+k)%p.cfg.NumBRCQs)
+		}
+		for _, qi := range order {
+			if n == width {
+				break
+			}
+			queue := p.queues[qi]
+			for len(queue) > 0 && queue[0].squashed {
+				queue = queue[1:]
+			}
+			p.queues[qi] = queue
+			if len(queue) == 0 {
+				continue
+			}
+			e := queue[0]
+			if !c.eligible(e, cycle, true, false) {
+				if qi == 0 {
+					switch {
+					case e.class == opLoad && !(e.issued && e.addrReadyAt <= cycle):
+					case e.class == opStore && !(e.issued && e.doneAt <= cycle):
+					case (e.isCondBranch || e.isJalr) && !e.resolved:
+					case e.isMem && e.idx != c.memFrontierIdx:
+					case c.poisoned(e):
+					default:
+					}
+				}
+				continue
+			}
+			// Non-speculative release: the governing branch instance must
+			// have resolved (§4.2 — dependents "wait for its branch to
+			// resolve before becoming eligible for commit"). Same-queue
+			// FIFO order gives this for free; the check also covers
+			// branches that steered to a different queue. Misprediction
+			// windows are covered by the poisoning rules in eligible.
+			if !depSatisfied(c, e) {
+				if qi == 0 {
+				}
+				continue
+			}
+			ooo := e.idx != c.frontierIdx
+			if ooo && len(p.cit) >= p.cfg.CITSize {
+				c.stats.CITFullStalls++
+				continue
+			}
+			p.queues[qi] = queue[1:]
+			if e.isCondBranch {
+				if ce, ok := p.cqt[e.Seq()]; ok {
+					delete(p.cqt, e.Seq())
+					if ce.queue > 0 {
+						p.brcqLive[ce.queue-1]--
+					}
+				}
+			}
+			c.commitEntry(e)
+			if ooo {
+				p.cit = append(p.cit, e.idx)
+				c.stats.CITAllocs++
+				if int64(len(p.cit)) > c.stats.CITPeak {
+					c.stats.CITPeak = int64(len(p.cit))
+				}
+			}
+			n++
+			committed = true
+		}
+		if !committed {
+			break
+		}
+		p.rr = (p.rr + 1) % maxInt(1, p.cfg.NumBRCQs)
+	}
+
+	// CIT reclamation (§4.3): an entry is dead once no recovery can ever
+	// re-fetch its instruction — every branch older than it has resolved
+	// (only an older unresolved branch could redirect fetch before it) and
+	// the fetch cursor has already passed it (no in-progress refetch still
+	// needs the drop). This matches the paper's "commit of the most recent
+	// unresolved branch" intent while staying provably safe.
+	freeBound := len(c.trace.Insts)
+	if b := c.oldestUnresolvedBranch(); b != nil {
+		freeBound = b.idx
+	}
+	live := p.cit[:0]
+	for _, idx := range p.cit {
+		if idx < freeBound && idx < c.cursor {
+			continue
+		}
+		live = append(live, idx)
+	}
+	p.cit = live
+
+	return n
+}
+
+func (p *norebaPolicy) squash(c *Core, seq int64) {
+	for qi := range p.queues {
+		keep := p.queues[qi][:0]
+		for _, e := range p.queues[qi] {
+			if !e.squashed {
+				keep = append(keep, e)
+			}
+		}
+		p.queues[qi] = keep
+	}
+	for s, ce := range p.cqt {
+		if ce.branch.squashed {
+			delete(p.cqt, s)
+			if ce.queue > 0 {
+				p.brcqLive[ce.queue-1]--
+			}
+		}
+	}
+}
+
+func (p *norebaPolicy) accumulate(c *Core) {
+	c.stats.PRCQOcc += int64(len(p.queues[0]))
+	for k := 0; k < p.cfg.NumBRCQs; k++ {
+		c.stats.BRCQOcc += int64(len(p.queues[k+1]))
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

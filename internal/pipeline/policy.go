@@ -1,0 +1,215 @@
+package pipeline
+
+// policy is the commit-stage strategy. All policies share the pipeline and
+// the common eligibility rules in Core.eligible; they differ in which
+// instructions they may retire each cycle and in what resources retirement
+// reclaims.
+type policy interface {
+	dispatch(c *Core, e *Entry)
+	// commit retires up to width instructions at cycle and returns how many
+	// it retired.
+	commit(c *Core, cycle int64, width int) int
+	// squash drops policy-internal state for instructions younger than seq.
+	squash(c *Core, seq int64)
+	// accumulate records per-cycle occupancy statistics.
+	accumulate(c *Core)
+}
+
+func newPolicy(cfg Config) policy {
+	switch cfg.Policy {
+	case InOrder:
+		return &inOrderPolicy{}
+	case NonSpecOoO:
+		return &nonSpecPolicy{}
+	case IdealReconv:
+		return &idealReconvPolicy{}
+	case SpecBR:
+		return &specBRPolicy{}
+	case Spec:
+		return &specPolicy{}
+	case Noreba:
+		return newNorebaPolicy(cfg.Selective)
+	default:
+		return &inOrderPolicy{}
+	}
+}
+
+type basePolicy struct{}
+
+func (basePolicy) dispatch(*Core, *Entry) {}
+func (basePolicy) squash(*Core, int64)    {}
+func (basePolicy) accumulate(*Core)       {}
+
+// inOrderPolicy is the conventional baseline (InO-C): strict head-of-ROB
+// commit.
+type inOrderPolicy struct{ basePolicy }
+
+func (inOrderPolicy) commit(c *Core, cycle int64, width int) int {
+	n := 0
+	for n < width && len(c.rob) > 0 {
+		e := c.rob[0]
+		if !c.eligible(e, cycle, true, true) {
+			break
+		}
+		c.commitEntry(e)
+		n++
+	}
+	return n
+}
+
+// nonSpecPolicy is Bell & Lipasti's non-speculative OoO commit: a completed
+// instruction may retire once every older branch has resolved and every
+// older memory operation has passed translation (no possible trap ahead of
+// it). Memory operations additionally retire in program order.
+type nonSpecPolicy struct{ basePolicy }
+
+func (nonSpecPolicy) commit(c *Core, cycle int64, width int) int {
+	boundary := int64(1) << 62
+	for _, e := range c.rob {
+		if (e.isCondBranch || e.isJalr) && !e.resolved {
+			boundary = e.Seq()
+			break
+		}
+		if e.isMem && !(e.issued && e.addrReadyAt <= cycle) {
+			boundary = e.Seq()
+			break
+		}
+	}
+	n := 0
+	for _, e := range c.rob {
+		if n == width {
+			break
+		}
+		if e.Seq() >= boundary {
+			break
+		}
+		if c.eligible(e, cycle, true, true) {
+			c.commitEntry(e)
+			n++
+		}
+	}
+	return n
+}
+
+// idealReconvPolicy commits with Noreba's compiler information but an ideal
+// ROB: any completed instruction whose governing branch instance has
+// resolved may retire, with no queue or table capacity limits.
+type idealReconvPolicy struct{ basePolicy }
+
+func (idealReconvPolicy) commit(c *Core, cycle int64, width int) int {
+	memBoundary := memTrapBoundary(c, cycle)
+	n := 0
+	for _, e := range c.rob {
+		if n == width {
+			break
+		}
+		if e.Seq() >= memBoundary {
+			break // Condition 2: a possibly-trapping older access blocks commit
+		}
+		if !c.eligible(e, cycle, true, false) {
+			continue
+		}
+		if !depSatisfied(c, e) {
+			continue
+		}
+		c.commitEntry(e)
+		n++
+	}
+	return n
+}
+
+// memTrapBoundary returns the sequence number of the oldest memory
+// operation whose translation has not yet succeeded; no instruction past it
+// may commit (Condition 2).
+func memTrapBoundary(c *Core, cycle int64) int64 {
+	for _, e := range c.rob {
+		if e.isMem && !(e.issued && e.addrReadyAt <= cycle) {
+			return e.Seq()
+		}
+	}
+	return int64(1) << 62
+}
+
+// depSatisfied checks the compiler-dependence commit condition shared by
+// the ideal-reconvergence policy: the instruction's governing branch
+// instance has resolved, DepOrdered instructions wait for all older
+// branches, and unmarked unresolved branches serialise everything younger.
+func depSatisfied(c *Core, e *Entry) bool {
+	// An unmarked (no setBranchId) unresolved conditional branch blocks
+	// all younger instructions: the compiler gave no information about
+	// its dependents.
+	c.pruneUnresolved()
+	for _, b := range c.unresolvedBranches {
+		if b.squashed || b.resolved {
+			continue
+		}
+		if b.Seq() >= e.Seq() {
+			break
+		}
+		if b.dep.BranchID == 0 {
+			return false
+		}
+	}
+	switch {
+	case e.dep.DepSeq == DepNone:
+		return true
+	case e.dep.DepSeq == DepOrdered:
+		return c.allOlderBranchesResolved(e)
+	default:
+		idx := int(e.dep.DepSeq)
+		if c.committedByIdx[idx] {
+			return true
+		}
+		if b, ok := c.branchBySeq[e.dep.DepSeq]; ok {
+			return b.resolved && !b.mispredictPending()
+		}
+		return false // not fetched (skipped region): poisoned
+	}
+}
+
+// mispredictPending reports whether the branch resolved mispredicted but
+// its recovery semantics make dependents unsafe; resolved branches in this
+// model have already recovered, so only unresolved counts.
+func (e *Entry) mispredictPending() bool { return e.mispredicted && !e.resolved }
+
+// specBRPolicy is the SpeculativeBR oracle: the branch condition is fully
+// relaxed (completed instructions retire past unresolved branches with no
+// misspeculation cost), while the memory-trap condition and program-order
+// memory retirement still hold.
+type specBRPolicy struct{ basePolicy }
+
+func (specBRPolicy) commit(c *Core, cycle int64, width int) int {
+	memBoundary := memTrapBoundary(c, cycle)
+	n := 0
+	for _, e := range c.rob {
+		if n == width {
+			break
+		}
+		if e.Seq() >= memBoundary {
+			break // Condition 2: a possibly-trapping older access blocks commit
+		}
+		if c.eligible(e, cycle, true, false) {
+			c.commitEntry(e)
+			n++
+		}
+	}
+	return n
+}
+
+// specPolicy is Figure 1's fully speculative oracle: completed instructions
+// retire with every commit condition relaxed.
+type specPolicy struct{ basePolicy }
+
+func (specPolicy) commit(c *Core, cycle int64, width int) int {
+	n := 0
+	for _, e := range c.rob {
+		if n == width {
+			break
+		}
+		if c.eligible(e, cycle, false, false) {
+			c.commitEntry(e)
+			n++
+		}
+	}
+	return n
+}

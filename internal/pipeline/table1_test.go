@@ -1,0 +1,166 @@
+package pipeline
+
+import (
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/isa"
+	"github.com/noreba-sim/noreba/internal/program"
+)
+
+// TestTable1EventActions mirrors the paper's Table 1 row by row against the
+// decode-side model (BIT/DCT) and the Selective ROB steering rules.
+func TestTable1EventActions(t *testing.T) {
+	// Program: setBranchId 3 before a branch, then a region of 2 dependent
+	// instructions after the join, then independent instructions.
+	p := program.MustAssemble("table1", `
+entry:
+	li   a0, 1
+	li   s0, 0x1000
+	setBranchId 3
+	beqz a0, join
+arm:
+	sw   a0, 0(s0)
+join:
+	setDependency 2 3
+	lw   a1, 0(s0)
+	addi a2, a1, 1
+	addi a3, a3, 5
+	halt
+`)
+	img, err := p.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := emulator.New(img).Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := ComputeDeps(tr, 8)
+
+	var branchSeq int64 = -1
+	for i, d := range tr.Insts {
+		if d.Inst.Op.IsCondBranch() {
+			branchSeq = d.Seq
+			// Row ❶a: setBranchId ID decoded → BIT[ID] = branch sequence
+			// number; the branch instance carries its compiler ID.
+			if deps[i].BranchID != 3 {
+				t.Errorf("branch BranchID = %d, want 3", deps[i].BranchID)
+			}
+		}
+	}
+	if branchSeq < 0 {
+		t.Fatal("no branch executed")
+	}
+
+	// Rows ❶b + ❷: setDependency NUM ID loads the DCT with (ID, BIT[ID])
+	// and counter NUM; the next NUM ROB-entering instructions inherit the
+	// dependence, later ones do not.
+	depCount := 0
+	for i, d := range tr.Insts {
+		if d.Inst.Op.IsSetup() {
+			continue
+		}
+		if deps[i].DepSeq == branchSeq {
+			depCount++
+		}
+	}
+	if depCount != 2 {
+		t.Errorf("%d instructions carry the branch dependence, want 2 (the NUM field)", depCount)
+	}
+	// The trailing addi a3 and halt are independent (BranchID 0 rule).
+	last := deps[len(deps)-1]
+	if last.DepSeq != DepNone {
+		t.Errorf("final instruction DepSeq = %d, want DepNone", last.DepSeq)
+	}
+
+	// Rows ❸: run the Selective ROB and verify steering decisions — the
+	// dependent region ends up in the same queue as its branch (or commits
+	// after its resolution), and total commits are conserved.
+	cfg := SkylakeConfig()
+	cfg.Policy = Noreba
+	st, err := NewCore(cfg, tr, nil).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(tr.Len()) - tr.Setup
+	if st.Committed != want {
+		t.Errorf("committed %d, want %d", st.Committed, want)
+	}
+	if st.Steered != st.Committed {
+		t.Errorf("steered %d != committed %d on a squash-free program", st.Steered, st.Committed)
+	}
+}
+
+// TestDCTSingleEntrySemantics: a second setDependency replaces the DCT
+// (single-entry table), cutting the first region short.
+func TestDCTSingleEntrySemantics(t *testing.T) {
+	p := program.MustAssemble("dct", `
+entry:
+	li a0, 1
+	setBranchId 1
+	beqz a0, j1
+x1:
+	addi a1, a1, 1
+j1:
+	setBranchId 2
+	beqz a1, j2
+x2:
+	addi a1, a1, 2
+j2:
+	setDependency 4 1
+	addi a2, a2, 1
+	setDependency 2 2
+	addi a3, a3, 1
+	addi a4, a4, 1
+	addi a5, a5, 1
+	halt
+`)
+	img, err := p.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := emulator.New(img).Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := ComputeDeps(tr, 8)
+
+	var b1, b2 int64 = -1, -1
+	for i, d := range tr.Insts {
+		if d.Inst.Op.IsCondBranch() {
+			if deps[i].BranchID == 1 {
+				b1 = d.Seq
+			}
+			if deps[i].BranchID == 2 {
+				b2 = d.Seq
+			}
+		}
+	}
+	if b1 < 0 || b2 < 0 {
+		t.Fatal("branches not found")
+	}
+
+	// Collect DepSeq for the four trailing addis (a2, a3, a4, a5).
+	var tail []int64
+	for i, d := range tr.Insts {
+		if d.Inst.Op == isa.OpAddi && d.Inst.Rd >= isa.A2 && d.Inst.Rd <= isa.A5 && d.Inst.Rs1 != isa.Zero {
+			tail = append(tail, deps[i].DepSeq)
+		}
+	}
+	if len(tail) != 4 {
+		t.Fatalf("tail length %d, want 4", len(tail))
+	}
+	// addi a2: covered by region 1 (counter 4, 1 consumed).
+	if tail[0] != b1 {
+		t.Errorf("a2 dep = %d, want branch 1 (%d)", tail[0], b1)
+	}
+	// The second setDependency REPLACES the DCT: a3 and a4 depend on
+	// branch 2, and a5 is independent (counter exhausted).
+	if tail[1] != b2 || tail[2] != b2 {
+		t.Errorf("a3/a4 deps = %d/%d, want branch 2 (%d)", tail[1], tail[2], b2)
+	}
+	if tail[3] != DepNone {
+		t.Errorf("a5 dep = %d, want DepNone (single-entry DCT exhausted)", tail[3])
+	}
+}

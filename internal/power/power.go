@@ -1,0 +1,182 @@
+// Package power is an activity-based power and area model in the spirit of
+// McPAT (the paper's §5 methodology): every microarchitectural structure in
+// Figure 16's legend has a per-access dynamic energy, a leakage power and an
+// area, each derived from simple RAM/CAM/FIFO scaling laws; a simulation's
+// activity counters then yield total power and per-structure breakdowns.
+//
+// Absolute values are synthetic (they are calibrated to reproduce relative
+// magnitudes, not watts); the paper's Figures 10 and 16 report normalised
+// power and area, which this model regenerates.
+package power
+
+import (
+	"math"
+
+	"github.com/noreba-sim/noreba/internal/pipeline"
+)
+
+// Structure identifies one block of the core (Figure 16's legend).
+type Structure string
+
+// Structures in the order the paper's Figure 16 legend lists them.
+const (
+	ICache    Structure = "icache"
+	BPred     Structure = "bpred"
+	IDecode   Structure = "idecode"
+	IALU      Structure = "ialu"
+	FPALU     Structure = "fpalu"
+	CmplxALU  Structure = "cmplxalu"
+	DCache    Structure = "dcache"
+	LSU       Structure = "lsu"
+	Rename    Structure = "rename"
+	RegFile   Structure = "regf"
+	Scheduler Structure = "scheduler"
+	ROB       Structure = "rob/SELECTIVE ROB"
+	CDB       Structure = "cdb"
+	Tables    Structure = "CQT+BIT+DCT"
+	CIT       Structure = "CIT"
+)
+
+// AllStructures lists every structure in display order.
+var AllStructures = []Structure{
+	ICache, BPred, IDecode, IALU, FPALU, CmplxALU, DCache, LSU,
+	Rename, RegFile, Scheduler, ROB, CDB, Tables, CIT,
+}
+
+// ramEnergy returns the per-access dynamic energy (arbitrary units) of a
+// RAM array with the given entry count and entry width in bits: the usual
+// sqrt(entries) wordline/bitline growth times width.
+func ramEnergy(entries, widthBits int) float64 {
+	if entries < 1 {
+		entries = 1
+	}
+	return 0.02 * math.Sqrt(float64(entries)) * float64(widthBits) / 64
+}
+
+// camEnergy returns per-search energy of a CAM: every entry participates.
+func camEnergy(entries, widthBits int) float64 {
+	return 0.02 * float64(entries) * float64(widthBits) / 64 * 0.35
+}
+
+// fifoEnergy returns per-access energy of a FIFO: only head/tail pointers
+// and one entry move, so it is nearly size-independent.
+func fifoEnergy(widthBits int) float64 {
+	return 0.02 * float64(widthBits) / 64
+}
+
+// ramLeak and ramArea follow linear capacity laws.
+func ramLeak(entries, widthBits int) float64 {
+	return 0.00002 * float64(entries) * float64(widthBits)
+}
+
+func ramArea(entries, widthBits int) float64 {
+	return 0.0001 * float64(entries) * float64(widthBits)
+}
+
+// Breakdown holds per-structure power (and area) for one run.
+type Breakdown struct {
+	Power map[Structure]float64
+	Area  map[Structure]float64
+}
+
+// TotalPower sums the per-structure power.
+func (b Breakdown) TotalPower() float64 {
+	t := 0.0
+	for _, v := range b.Power {
+		t += v
+	}
+	return t
+}
+
+// TotalArea sums the per-structure area.
+func (b Breakdown) TotalArea() float64 {
+	t := 0.0
+	for _, v := range b.Area {
+		t += v
+	}
+	return t
+}
+
+// Estimate computes the power/area breakdown of a finished simulation.
+// The commit-structure modelling follows the config's policy: the in-order
+// baseline uses a RAM ROB with head-pointer commit; NOREBA uses the same
+// ROB′ RAM plus FIFO commit queues and the direct-mapped CQT/BIT/DCT and
+// CIT tables; the non-Noreba OoO policies are charged for an associative
+// (collapsing-style) ROB, which is what makes them power-hungry (§7).
+func Estimate(cfg pipeline.Config, st *pipeline.Stats) Breakdown {
+	cycles := float64(st.Cycles)
+	if cycles == 0 {
+		cycles = 1
+	}
+	perCycle := func(events int64, energy float64) float64 {
+		return float64(events) * energy / cycles
+	}
+
+	b := Breakdown{Power: map[Structure]float64{}, Area: map[Structure]float64{}}
+	add := func(s Structure, dyn, leak, area float64) {
+		b.Power[s] += dyn + leak
+		b.Area[s] += area
+	}
+
+	fetched := st.Committed + st.FetchedSetup + st.CITDrops
+
+	// Front end.
+	icacheEntries := cfg.L1ISize / 64
+	add(ICache, perCycle(fetched/4+1, ramEnergy(icacheEntries, 512)),
+		ramLeak(icacheEntries, 512), ramArea(icacheEntries, 512))
+	add(BPred, perCycle(st.Branches, ramEnergy(4096, 12)),
+		ramLeak(4096+6*512, 14), ramArea(4096+6*512, 14))
+	add(IDecode, perCycle(fetched, 0.01), 0.005, 0.4)
+
+	// Execution units: charge per instruction class (approximate mix).
+	intOps := st.Committed - st.Loads - st.Stores - st.Branches
+	add(IALU, perCycle(intOps, 0.03), 0.01, 0.8)
+	add(FPALU, perCycle(intOps/8+1, 0.06), 0.012, 1.2)
+	add(CmplxALU, perCycle(intOps/32+1, 0.08), 0.008, 0.6)
+
+	// Memory system.
+	dcacheEntries := cfg.L1DSize / 64
+	add(DCache, perCycle(st.L1DAccesses+st.PrefetchIssued, ramEnergy(dcacheEntries, 512)),
+		ramLeak(dcacheEntries, 512), ramArea(dcacheEntries, 512))
+	add(LSU, perCycle(st.Loads+st.Stores, camEnergy(cfg.LQSize+cfg.SQSize, 64)),
+		ramLeak(cfg.LQSize+cfg.SQSize, 96), ramArea(cfg.LQSize+cfg.SQSize, 96))
+
+	// Rename, register file, scheduler.
+	add(Rename, perCycle(st.Committed, ramEnergy(64, 10)), ramLeak(64, 20), ramArea(64, 20))
+	add(RegFile, perCycle(3*st.Committed, ramEnergy(cfg.PhysRegs(), 64)),
+		ramLeak(cfg.PhysRegs(), 64), ramArea(cfg.PhysRegs(), 64))
+	add(Scheduler, perCycle(2*st.Committed, camEnergy(cfg.IQSize, 20)),
+		ramLeak(cfg.IQSize, 40), ramArea(cfg.IQSize, 40))
+
+	// Common data bus / bypass.
+	add(CDB, perCycle(st.Committed, 0.015), 0.006, 0.5)
+
+	// Commit structures: the interesting part.
+	const robWidth = 76 // per-entry bits (PC, dest, flags, BranchID)
+	switch cfg.Policy {
+	case pipeline.Noreba:
+		// ROB′: plain RAM with FIFO access at both ends.
+		add(ROB, perCycle(2*st.Committed, ramEnergy(cfg.ROBSize, robWidth)),
+			ramLeak(cfg.ROBSize, robWidth), ramArea(cfg.ROBSize, robWidth))
+		// Commit queues: FIFOs — nearly size-independent per access.
+		sel := cfg.Selective
+		cqEntries := sel.PRCQSize + sel.NumBRCQs*sel.BRCQSize
+		add(ROB, perCycle(2*st.Steered, fifoEnergy(robWidth)),
+			ramLeak(cqEntries, robWidth), ramArea(cqEntries, robWidth))
+		// Direct-mapped tables.
+		tblEntries := sel.BITSize + sel.CQTSize + 1 // +1: the single-entry DCT
+		add(Tables, perCycle(st.Committed, ramEnergy(tblEntries, 40)),
+			ramLeak(tblEntries, 40), ramArea(tblEntries, 40))
+		add(CIT, perCycle(st.CITAllocs+st.CITDrops, ramEnergy(sel.CITSize, 56)),
+			ramLeak(sel.CITSize, 56), ramArea(sel.CITSize, 56))
+	case pipeline.InOrder:
+		add(ROB, perCycle(2*st.Committed, ramEnergy(cfg.ROBSize, robWidth)),
+			ramLeak(cfg.ROBSize, robWidth), ramArea(cfg.ROBSize, robWidth))
+	default:
+		// Collapsing/associative ROB: every commit searches the window.
+		add(ROB, perCycle(2*st.Committed, camEnergy(cfg.ROBSize, robWidth)),
+			1.6*ramLeak(cfg.ROBSize, robWidth), 1.9*ramArea(cfg.ROBSize, robWidth))
+	}
+
+	return b
+}

@@ -1,0 +1,120 @@
+package power
+
+import (
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/compiler"
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/pipeline"
+	"github.com/noreba-sim/noreba/internal/workloads"
+)
+
+func runFor(t *testing.T, policy pipeline.PolicyKind) (pipeline.Config, *pipeline.Stats) {
+	t.Helper()
+	w, err := workloads.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compiler.Compile(w.Build(150), compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := emulator.New(res.Image).Run(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.SkylakeConfig()
+	cfg.Policy = policy
+	st, err := pipeline.NewCore(cfg, tr, res.Meta).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, st
+}
+
+func TestNorebaOverheadIsSmall(t *testing.T) {
+	cfgI, stI := runFor(t, pipeline.InOrder)
+	cfgN, stN := runFor(t, pipeline.Noreba)
+	base := Estimate(cfgI, stI)
+	noreba := Estimate(cfgN, stN)
+
+	overhead := noreba.TotalPower()/base.TotalPower() - 1
+	if overhead < 0 || overhead > 0.15 {
+		t.Errorf("NOREBA power overhead = %.1f%%, want small positive (paper: ~4%%)", overhead*100)
+	}
+	areaOver := noreba.TotalArea()/base.TotalArea() - 1
+	if areaOver < 0 || areaOver > 0.20 {
+		t.Errorf("NOREBA area overhead = %.1f%%, want small positive (paper: ~8%%)", areaOver*100)
+	}
+}
+
+func TestCollapsingROBIsExpensive(t *testing.T) {
+	cfgN, stN := runFor(t, pipeline.Noreba)
+	cfgC, stC := runFor(t, pipeline.NonSpecOoO)
+	noreba := Estimate(cfgN, stN)
+	collapsing := Estimate(cfgC, stC)
+	if collapsing.Power[ROB] <= noreba.Power[ROB] {
+		t.Errorf("collapsing/associative ROB power (%.3f) must exceed the Selective ROB's (%.3f)",
+			collapsing.Power[ROB], noreba.Power[ROB])
+	}
+	if collapsing.Area[ROB] <= noreba.Area[ROB] {
+		t.Errorf("collapsing ROB area must exceed the Selective ROB's")
+	}
+}
+
+func TestNewStructuresArePresentOnlyForNoreba(t *testing.T) {
+	cfgI, stI := runFor(t, pipeline.InOrder)
+	cfgN, stN := runFor(t, pipeline.Noreba)
+	base := Estimate(cfgI, stI)
+	noreba := Estimate(cfgN, stN)
+	if base.Power[Tables] != 0 || base.Power[CIT] != 0 {
+		t.Error("baseline must not pay for CQT/BIT/DCT or CIT")
+	}
+	if noreba.Power[Tables] <= 0 || noreba.Power[CIT] <= 0 {
+		t.Error("NOREBA must pay for its new structures")
+	}
+	// They must be cheap relative to the whole core (direct-mapped, small).
+	frac := (noreba.Power[Tables] + noreba.Power[CIT]) / noreba.TotalPower()
+	if frac > 0.05 {
+		t.Errorf("new tables consume %.1f%% of core power; they are small direct-mapped structures", frac*100)
+	}
+}
+
+func TestQueueScalingIsGentle(t *testing.T) {
+	// Figure 10: growing the BR-CQs barely moves power (FIFO access energy
+	// is size independent; only leakage/area grow).
+	cfg, st := runFor(t, pipeline.Noreba)
+	small := Estimate(cfg, st)
+	cfg.Selective.NumBRCQs = 4
+	cfg.Selective.BRCQSize = 32
+	big := Estimate(cfg, st)
+	growth := big.TotalPower()/small.TotalPower() - 1
+	if growth < 0 || growth > 0.05 {
+		t.Errorf("8×→128-entry BR-CQ power growth = %.2f%%, want gentle", growth*100)
+	}
+}
+
+func TestBreakdownCoversLegend(t *testing.T) {
+	cfg, st := runFor(t, pipeline.Noreba)
+	b := Estimate(cfg, st)
+	for _, s := range AllStructures {
+		if _, ok := b.Power[s]; !ok {
+			t.Errorf("structure %s missing from breakdown", s)
+		}
+	}
+	if b.TotalPower() <= 0 || b.TotalArea() <= 0 {
+		t.Error("non-positive totals")
+	}
+}
+
+func TestScalingLaws(t *testing.T) {
+	if ramEnergy(4096, 64) <= ramEnergy(64, 64) {
+		t.Error("RAM energy must grow with entries")
+	}
+	if camEnergy(224, 64) <= ramEnergy(224, 64) {
+		t.Error("CAM search must cost more than a RAM access at equal size")
+	}
+	if fifoEnergy(64) >= ramEnergy(224, 64) {
+		t.Error("FIFO access must be cheaper than a big RAM access")
+	}
+}

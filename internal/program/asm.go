@@ -1,0 +1,377 @@
+package program
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/noreba-sim/noreba/internal/isa"
+)
+
+// Assemble parses the textual assembly format produced by
+// (*Image).Disassemble and used in examples:
+//
+//	main:
+//	    li   a0, 5          # pseudo: addi a0, zero, 5
+//	    lw   a4, -40(s0)
+//	    beq  a5, zero, L1
+//	    setBranchId 1
+//	    setDependency 8 1
+//	    j    L2
+//	    halt
+//
+// '#' starts a comment. Directives: ".data ADDR VALUE" seeds a memory word,
+// ".range LO HI" declares a valid address range.
+func Assemble(name, src string) (*Program, error) {
+	p := New(name)
+	var cur *Block
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) (*Program, error) {
+			return nil, fmt.Errorf("%s:%d: %s", name, lineno+1, fmt.Sprintf(format, args...))
+		}
+		if strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			switch fields[0] {
+			case ".data":
+				if len(fields) != 3 {
+					return fail(".data wants ADDR VALUE")
+				}
+				addr, err1 := strconv.ParseInt(fields[1], 0, 64)
+				val, err2 := strconv.ParseInt(fields[2], 0, 64)
+				if err1 != nil || err2 != nil {
+					return fail("bad .data operands %q", line)
+				}
+				p.Data[addr] = val
+			case ".range":
+				if len(fields) != 3 {
+					return fail(".range wants LO HI")
+				}
+				lo, err1 := strconv.ParseInt(fields[1], 0, 64)
+				hi, err2 := strconv.ParseInt(fields[2], 0, 64)
+				if err1 != nil || err2 != nil {
+					return fail("bad .range operands %q", line)
+				}
+				p.ValidRanges = append(p.ValidRanges, [2]int64{lo, hi})
+			default:
+				return fail("unknown directive %q", fields[0])
+			}
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			label := strings.TrimSuffix(line, ":")
+			blk, err := p.AddBlock(label)
+			if err != nil {
+				return fail("%v", err)
+			}
+			cur = blk
+			continue
+		}
+		in, err := parseInst(line)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if cur == nil {
+			blk, _ := p.AddBlock("entry")
+			cur = blk
+		}
+		cur.Insts = append(cur.Insts, in)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble for statically known-good sources.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseInst(line string) (isa.Inst, error) {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.TrimSpace(mnemonic)
+	ops := splitOperands(rest)
+
+	// Pseudo-instructions first.
+	switch mnemonic {
+	case "li":
+		if err := wantOperands(ops, 2); err != nil {
+			return isa.Inst{}, err
+		}
+		rd, err1 := parseReg(ops[0])
+		imm, err2 := parseImm(ops[1])
+		if err := firstErr(err1, err2); err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: isa.Zero, Imm: imm}, nil
+	case "mv":
+		if err := wantOperands(ops, 2); err != nil {
+			return isa.Inst{}, err
+		}
+		rd, err1 := parseReg(ops[0])
+		rs, err2 := parseReg(ops[1])
+		if err := firstErr(err1, err2); err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rs}, nil
+	case "j":
+		if err := wantOperands(ops, 1); err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpJal, Rd: isa.Zero, Label: ops[0]}, nil
+	case "ret":
+		return isa.Inst{Op: isa.OpJalr, Rd: isa.Zero, Rs1: isa.RA}, nil
+	case "beqz", "bnez":
+		if err := wantOperands(ops, 2); err != nil {
+			return isa.Inst{}, err
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		op := isa.OpBeq
+		if mnemonic == "bnez" {
+			op = isa.OpBne
+		}
+		return isa.Inst{Op: op, Rs1: rs, Rs2: isa.Zero, Label: ops[1]}, nil
+	case "breqz": // alias used in the paper's Figure 2 listing
+		if err := wantOperands(ops, 2); err != nil {
+			return isa.Inst{}, err
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpBeq, Rs1: rs, Rs2: isa.Zero, Label: ops[1]}, nil
+	case "addw", "subw": // RV64 word forms map onto our 64-bit ops
+		mnemonic = strings.TrimSuffix(mnemonic, "w")
+	}
+
+	op, ok := isa.OpByName(mnemonic)
+	if !ok {
+		return isa.Inst{}, fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+
+	in := isa.Inst{Op: op}
+	switch op.Class() {
+	case isa.ClassIntALU, isa.ClassIntMul, isa.ClassIntDiv, isa.ClassFPALU, isa.ClassFPDiv:
+		switch op {
+		case isa.OpLui:
+			if err := wantOperands(ops, 2); err != nil {
+				return in, err
+			}
+			rd, err1 := parseReg(ops[0])
+			imm, err2 := parseImm(ops[1])
+			if err := firstErr(err1, err2); err != nil {
+				return in, err
+			}
+			in.Rd, in.Imm = rd, imm
+		case isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpSlli, isa.OpSrli, isa.OpSrai, isa.OpSlti:
+			if err := wantOperands(ops, 3); err != nil {
+				return in, err
+			}
+			rd, err1 := parseReg(ops[0])
+			rs1, err2 := parseReg(ops[1])
+			imm, err3 := parseImm(ops[2])
+			if err := firstErr(err1, err2, err3); err != nil {
+				return in, err
+			}
+			in.Rd, in.Rs1, in.Imm = rd, rs1, imm
+		case isa.OpFsqrt, isa.OpFcvtIF, isa.OpFcvtFI:
+			if err := wantOperands(ops, 2); err != nil {
+				return in, err
+			}
+			rd, err1 := parseReg(ops[0])
+			rs1, err2 := parseReg(ops[1])
+			if err := firstErr(err1, err2); err != nil {
+				return in, err
+			}
+			in.Rd, in.Rs1 = rd, rs1
+		default:
+			if err := wantOperands(ops, 3); err != nil {
+				return in, err
+			}
+			rd, err1 := parseReg(ops[0])
+			rs1, err2 := parseReg(ops[1])
+			rs2, err3 := parseReg(ops[2])
+			if err := firstErr(err1, err2, err3); err != nil {
+				return in, err
+			}
+			in.Rd, in.Rs1, in.Rs2 = rd, rs1, rs2
+		}
+	case isa.ClassLoad:
+		if err := wantOperands(ops, 2); err != nil {
+			return in, err
+		}
+		rd, err1 := parseReg(ops[0])
+		off, base, err2 := parseMemOperand(ops[1])
+		if err := firstErr(err1, err2); err != nil {
+			return in, err
+		}
+		in.Rd, in.Rs1, in.Imm = rd, base, off
+	case isa.ClassStore:
+		if err := wantOperands(ops, 2); err != nil {
+			return in, err
+		}
+		val, err1 := parseReg(ops[0])
+		off, base, err2 := parseMemOperand(ops[1])
+		if err := firstErr(err1, err2); err != nil {
+			return in, err
+		}
+		in.Rs2, in.Rs1, in.Imm = val, base, off
+	case isa.ClassBranch:
+		if op == isa.OpJalr {
+			if err := wantOperands(ops, 3); err != nil {
+				return in, err
+			}
+			rd, err1 := parseReg(ops[0])
+			rs1, err2 := parseReg(ops[1])
+			imm, err3 := parseImm(ops[2])
+			if err := firstErr(err1, err2, err3); err != nil {
+				return in, err
+			}
+			in.Rd, in.Rs1, in.Imm = rd, rs1, imm
+			break
+		}
+		if err := wantOperands(ops, 3); err != nil {
+			return in, err
+		}
+		rs1, err1 := parseReg(ops[0])
+		rs2, err2 := parseReg(ops[1])
+		if err := firstErr(err1, err2); err != nil {
+			return in, err
+		}
+		in.Rs1, in.Rs2, in.Label = rs1, rs2, ops[2]
+	case isa.ClassJump:
+		if err := wantOperands(ops, 2); err != nil {
+			return in, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return in, err
+		}
+		in.Rd, in.Label = rd, ops[1]
+	case isa.ClassSetup:
+		if op == isa.OpSetBranchID {
+			if err := wantOperands(ops, 1); err != nil {
+				return in, err
+			}
+			imm, err := parseImm(ops[0])
+			if err != nil {
+				return in, err
+			}
+			in.Imm = imm
+		} else {
+			if err := wantOperands(ops, 2); err != nil {
+				return in, err
+			}
+			num, err1 := parseImm(ops[0])
+			id, err2 := parseImm(ops[1])
+			if err := firstErr(err1, err2); err != nil {
+				return in, err
+			}
+			in.Imm, in.Aux = num, id
+		}
+	case isa.ClassSystem:
+		switch op {
+		case isa.OpGetCITEntry:
+			if err := wantOperands(ops, 2); err != nil {
+				return in, err
+			}
+			rd, err1 := parseReg(ops[0])
+			imm, err2 := parseImm(ops[1])
+			if err := firstErr(err1, err2); err != nil {
+				return in, err
+			}
+			in.Rd, in.Imm = rd, imm
+		case isa.OpSetCITEntry:
+			if err := wantOperands(ops, 2); err != nil {
+				return in, err
+			}
+			rs1, err1 := parseReg(ops[0])
+			imm, err2 := parseImm(ops[1])
+			if err := firstErr(err1, err2); err != nil {
+				return in, err
+			}
+			in.Rs1, in.Imm = rs1, imm
+		}
+	case isa.ClassNop:
+		// nop: no operands.
+	}
+	return in, nil
+}
+
+// splitOperands splits "a5, -20(s0)" or "8 1" into operand tokens.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func wantOperands(ops []string, n int) error {
+	if len(ops) != n {
+		return fmt.Errorf("want %d operands, got %d (%v)", n, len(ops), ops)
+	}
+	return nil
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	r, ok := isa.RegByName(s)
+	if !ok {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return r, nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMemOperand parses "-40(s0)".
+func parseMemOperand(s string) (off int64, base isa.Reg, err error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	if open > 0 {
+		off, err = parseImm(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	base, err = parseReg(s[open+1 : len(s)-1])
+	return off, base, err
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package program
+
+import (
+	"fmt"
+
+	"github.com/noreba-sim/noreba/internal/isa"
+)
+
+// Builder constructs a Program block by block. All emit methods append to
+// the most recently opened block. Errors are accumulated and reported by
+// Build so workload code stays linear.
+type Builder struct {
+	prog *Program
+	cur  *Block
+	errs []error
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: New(name)}
+}
+
+// Label opens a new basic block with the given label.
+func (b *Builder) Label(label string) *Builder {
+	blk, err := b.prog.AddBlock(label)
+	if err != nil {
+		b.errs = append(b.errs, err)
+		return b
+	}
+	b.cur = blk
+	return b
+}
+
+// Emit appends a raw instruction to the current block.
+func (b *Builder) Emit(in isa.Inst) *Builder {
+	if b.cur == nil {
+		b.Label("entry")
+	}
+	b.cur.Insts = append(b.cur.Insts, in)
+	return b
+}
+
+// Build validates and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustBuild is Build for statically known-good programs (workloads, tests).
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("program builder: %v", err))
+	}
+	return p
+}
+
+// Data seeds an initial memory word.
+func (b *Builder) Data(addr, value int64) *Builder {
+	b.prog.Data[addr] = value
+	return b
+}
+
+// FDataAt seeds an initial floating-point memory word.
+func (b *Builder) FDataAt(addr int64, value float64) *Builder {
+	b.prog.FData[addr] = value
+	return b
+}
+
+// ValidRange declares [lo, hi) as a legal address range. Declaring any
+// range makes all undeclared addresses illegal (they raise memory
+// exceptions).
+func (b *Builder) ValidRange(lo, hi int64) *Builder {
+	b.prog.ValidRanges = append(b.prog.ValidRanges, [2]int64{lo, hi})
+	return b
+}
+
+// --- register-register ALU ---
+
+func (b *Builder) rrr(op isa.Op, rd, rs1, rs2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) *Builder  { return b.rrr(isa.OpAdd, rd, rs1, rs2) }
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) *Builder  { return b.rrr(isa.OpSub, rd, rs1, rs2) }
+func (b *Builder) And(rd, rs1, rs2 isa.Reg) *Builder  { return b.rrr(isa.OpAnd, rd, rs1, rs2) }
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg) *Builder   { return b.rrr(isa.OpOr, rd, rs1, rs2) }
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg) *Builder  { return b.rrr(isa.OpXor, rd, rs1, rs2) }
+func (b *Builder) Sll(rd, rs1, rs2 isa.Reg) *Builder  { return b.rrr(isa.OpSll, rd, rs1, rs2) }
+func (b *Builder) Srl(rd, rs1, rs2 isa.Reg) *Builder  { return b.rrr(isa.OpSrl, rd, rs1, rs2) }
+func (b *Builder) Slt(rd, rs1, rs2 isa.Reg) *Builder  { return b.rrr(isa.OpSlt, rd, rs1, rs2) }
+func (b *Builder) Sltu(rd, rs1, rs2 isa.Reg) *Builder { return b.rrr(isa.OpSltu, rd, rs1, rs2) }
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) *Builder  { return b.rrr(isa.OpMul, rd, rs1, rs2) }
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg) *Builder  { return b.rrr(isa.OpDiv, rd, rs1, rs2) }
+func (b *Builder) Rem(rd, rs1, rs2 isa.Reg) *Builder  { return b.rrr(isa.OpRem, rd, rs1, rs2) }
+
+// --- register-immediate ALU ---
+
+func (b *Builder) rri(op isa.Op, rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+func (b *Builder) Addi(rd, rs1 isa.Reg, imm int64) *Builder { return b.rri(isa.OpAddi, rd, rs1, imm) }
+func (b *Builder) Andi(rd, rs1 isa.Reg, imm int64) *Builder { return b.rri(isa.OpAndi, rd, rs1, imm) }
+func (b *Builder) Ori(rd, rs1 isa.Reg, imm int64) *Builder  { return b.rri(isa.OpOri, rd, rs1, imm) }
+func (b *Builder) Xori(rd, rs1 isa.Reg, imm int64) *Builder { return b.rri(isa.OpXori, rd, rs1, imm) }
+func (b *Builder) Slli(rd, rs1 isa.Reg, imm int64) *Builder { return b.rri(isa.OpSlli, rd, rs1, imm) }
+func (b *Builder) Srli(rd, rs1 isa.Reg, imm int64) *Builder { return b.rri(isa.OpSrli, rd, rs1, imm) }
+func (b *Builder) Slti(rd, rs1 isa.Reg, imm int64) *Builder { return b.rri(isa.OpSlti, rd, rs1, imm) }
+
+// Li loads a 64-bit immediate (pseudo-instruction: addi rd, zero, imm —
+// legal here because decoded immediates are full-width).
+func (b *Builder) Li(rd isa.Reg, imm int64) *Builder { return b.Addi(rd, isa.Zero, imm) }
+
+// Mv copies rs into rd (pseudo-instruction: addi rd, rs, 0).
+func (b *Builder) Mv(rd, rs isa.Reg) *Builder { return b.Addi(rd, rs, 0) }
+
+// --- floating point ---
+
+func (b *Builder) Fadd(rd, rs1, rs2 isa.Reg) *Builder { return b.rrr(isa.OpFadd, rd, rs1, rs2) }
+func (b *Builder) Fsub(rd, rs1, rs2 isa.Reg) *Builder { return b.rrr(isa.OpFsub, rd, rs1, rs2) }
+func (b *Builder) Fmul(rd, rs1, rs2 isa.Reg) *Builder { return b.rrr(isa.OpFmul, rd, rs1, rs2) }
+func (b *Builder) Fdiv(rd, rs1, rs2 isa.Reg) *Builder { return b.rrr(isa.OpFdiv, rd, rs1, rs2) }
+func (b *Builder) Fsqrt(rd, rs1 isa.Reg) *Builder     { return b.rri(isa.OpFsqrt, rd, rs1, 0) }
+func (b *Builder) Flt(rd, rs1, rs2 isa.Reg) *Builder  { return b.rrr(isa.OpFlt, rd, rs1, rs2) }
+func (b *Builder) FcvtIF(rd, rs1 isa.Reg) *Builder    { return b.rri(isa.OpFcvtIF, rd, rs1, 0) }
+func (b *Builder) FcvtFI(rd, rs1 isa.Reg) *Builder    { return b.rri(isa.OpFcvtFI, rd, rs1, 0) }
+
+// --- memory ---
+
+func (b *Builder) Lw(rd, base isa.Reg, off int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.OpLw, Rd: rd, Rs1: base, Imm: off})
+}
+
+func (b *Builder) Sw(val, base isa.Reg, off int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.OpSw, Rs1: base, Rs2: val, Imm: off})
+}
+
+func (b *Builder) Flw(rd, base isa.Reg, off int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.OpFlw, Rd: rd, Rs1: base, Imm: off})
+}
+
+func (b *Builder) Fsw(val, base isa.Reg, off int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.OpFsw, Rs1: base, Rs2: val, Imm: off})
+}
+
+// --- control flow ---
+
+func (b *Builder) br(op isa.Op, rs1, rs2 isa.Reg, label string) *Builder {
+	return b.Emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Label: label})
+}
+
+func (b *Builder) Beq(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.br(isa.OpBeq, rs1, rs2, label)
+}
+
+func (b *Builder) Bne(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.br(isa.OpBne, rs1, rs2, label)
+}
+
+func (b *Builder) Blt(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.br(isa.OpBlt, rs1, rs2, label)
+}
+
+func (b *Builder) Bge(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.br(isa.OpBge, rs1, rs2, label)
+}
+
+func (b *Builder) Bltu(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.br(isa.OpBltu, rs1, rs2, label)
+}
+
+// Beqz branches to label when rs is zero.
+func (b *Builder) Beqz(rs isa.Reg, label string) *Builder { return b.Beq(rs, isa.Zero, label) }
+
+// Bnez branches to label when rs is non-zero.
+func (b *Builder) Bnez(rs isa.Reg, label string) *Builder { return b.Bne(rs, isa.Zero, label) }
+
+// J jumps unconditionally to label (jal zero, label).
+func (b *Builder) J(label string) *Builder {
+	return b.Emit(isa.Inst{Op: isa.OpJal, Rd: isa.Zero, Label: label})
+}
+
+// Jal jumps to label, writing the return PC to rd.
+func (b *Builder) Jal(rd isa.Reg, label string) *Builder {
+	return b.Emit(isa.Inst{Op: isa.OpJal, Rd: rd, Label: label})
+}
+
+// Jalr jumps to rs1+imm, writing the return PC to rd.
+func (b *Builder) Jalr(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.OpJalr, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.Emit(isa.Inst{Op: isa.OpNop}) }
+
+// Fence emits the §4.5 synchronisation barrier: the compiler pass does not
+// mark regions across it and the hardware commits in order at it.
+func (b *Builder) Fence() *Builder { return b.Emit(isa.Inst{Op: isa.OpFence}) }
+
+// Halt terminates the program.
+func (b *Builder) Halt() *Builder { return b.Emit(isa.Inst{Op: isa.OpHalt}) }
+
+// SetBranchID emits the NOREBA setBranchId setup instruction.
+func (b *Builder) SetBranchID(id int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.OpSetBranchID, Imm: id})
+}
+
+// SetDependency emits the NOREBA setDependency setup instruction: the next
+// num instructions depend on branch id.
+func (b *Builder) SetDependency(num, id int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.OpSetDependency, Imm: num, Aux: id})
+}

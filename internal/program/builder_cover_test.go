@@ -1,0 +1,217 @@
+package program_test
+
+import (
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/isa"
+	"github.com/noreba-sim/noreba/internal/program"
+)
+
+// TestBuilderAllHelpers drives every emit helper once, lays the program
+// out, and executes it, checking a couple of computed values.
+func TestBuilderAllHelpers(t *testing.T) {
+	b := program.NewBuilder("all")
+	b.Data(0x200, 9).
+		FDataAt(0x300, 2.5).
+		ValidRange(0, 1<<20)
+	b.Label("entry").
+		Li(isa.S0, 0x200).
+		Li(isa.A0, 6).
+		Li(isa.A1, 3).
+		Add(isa.A2, isa.A0, isa.A1).
+		Sub(isa.A3, isa.A0, isa.A1).
+		And(isa.A4, isa.A0, isa.A1).
+		Or(isa.A5, isa.A0, isa.A1).
+		Xor(isa.S3, isa.A0, isa.A1).
+		Sll(isa.S4, isa.A0, isa.A1).
+		Srl(isa.S5, isa.S4, isa.A1).
+		Slt(isa.S6, isa.A1, isa.A0).
+		Sltu(isa.S7, isa.A1, isa.A0).
+		Mul(isa.S8, isa.A0, isa.A1).
+		Div(isa.S9, isa.A0, isa.A1).
+		Rem(isa.S10, isa.A0, isa.A1).
+		Addi(isa.T0, isa.A0, 1).
+		Andi(isa.T1, isa.A0, 2).
+		Ori(isa.T2, isa.A0, 1).
+		Xori(isa.T3, isa.A0, 5).
+		Slli(isa.T4, isa.A0, 2).
+		Srli(isa.T5, isa.T4, 1).
+		Slti(isa.T6, isa.A0, 100).
+		Mv(isa.S11, isa.A0).
+		Lw(isa.A6, isa.S0, 0).
+		Sw(isa.A6, isa.S0, 8).
+		Flw(isa.F0, isa.S0, 0x100).
+		Fadd(isa.F1, isa.F0, isa.F0).
+		Fsub(isa.F2, isa.F1, isa.F0).
+		Fmul(isa.F3, isa.F1, isa.F2).
+		Fdiv(isa.F4, isa.F3, isa.F1).
+		Fsqrt(isa.F5, isa.F3).
+		Flt(isa.A7, isa.F0, isa.F1).
+		FcvtIF(isa.F6, isa.A0).
+		FcvtFI(isa.T0, isa.F6).
+		Fsw(isa.F1, isa.S0, 0x108).
+		Nop().
+		Fence().
+		Beq(isa.A0, isa.A1, "never").
+		Label("b2").
+		Bne(isa.A0, isa.A0, "never").
+		Label("b3").
+		Blt(isa.A0, isa.A1, "never").
+		Label("b4").
+		Bge(isa.A1, isa.A0, "never").
+		Label("b5").
+		Bltu(isa.A0, isa.A1, "never").
+		Label("b6").
+		Beqz(isa.A0, "never").
+		Label("b7").
+		Bnez(isa.Zero, "never").
+		Label("b8").
+		Jal(isa.RA, "sub").
+		Label("back").
+		J("end")
+	b.Label("never").
+		Halt()
+	b.Label("sub").
+		Addi(isa.A2, isa.A2, 100).
+		Jalr(isa.Zero, isa.RA, 0)
+	b.Label("end").
+		Emit(isa.Inst{Op: isa.OpSetBranchID, Imm: 1})
+	b.SetBranchID(2).
+		SetDependency(1, 2).
+		Halt()
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := p.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emulator.New(img)
+	if _, err := m.Run(1 << 12); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() {
+		t.Fatal("did not halt")
+	}
+	if m.IntRegs[isa.A2] != 109 { // 6+3 then +100 in sub
+		t.Errorf("a2 = %d, want 109", m.IntRegs[isa.A2])
+	}
+	if m.IntRegs[isa.S8] != 18 {
+		t.Errorf("mul = %d, want 18", m.IntRegs[isa.S8])
+	}
+	if m.Mem[0x208] != 9 {
+		t.Errorf("stored word = %d, want 9", m.Mem[0x208])
+	}
+	if m.FPRegs[1] != 5.0 { // 2.5 + 2.5
+		t.Errorf("f1 = %v, want 5", m.FPRegs[1])
+	}
+}
+
+// TestAssembleRemainingForms covers the parser paths the main tests skip.
+func TestAssembleRemainingForms(t *testing.T) {
+	p, err := program.Assemble("forms", `
+main:
+	lui   a0, 5
+	srai  a1, a0, 2
+	fsqrt f1, f0
+	fcvt.d.l f2, a0
+	fcvt.l.d a2, f2
+	fmin  f3, f1, f2
+	fmax  f4, f1, f2
+	fle   a3, f1, f2
+	feq   a4, f1, f2
+	sltu  a5, a1, a0
+	bgeu  a0, a1, next
+next:
+	jalr  zero, ra, 4
+	getCITEntry a6, 2
+	setCITEntry a6, 2
+	fence
+	nop
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := p.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every instruction must survive a disassemble/assemble round trip.
+	p2, err := program.Assemble("forms2", img.Disassemble())
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, img.Disassemble())
+	}
+	img2, err := p2.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img.Insts {
+		a, b := img.Insts[i], img2.Insts[i]
+		a.Label, b.Label = "", ""
+		if a != b {
+			t.Errorf("pc %d: %v != %v", i, img.Insts[i], img2.Insts[i])
+		}
+	}
+}
+
+// TestAssembleMoreErrors exercises the remaining error diagnostics.
+func TestAssembleMoreErrors(t *testing.T) {
+	bad := []string{
+		"main:\n\tlui a0",             // missing operand
+		"main:\n\tlui a0, x",          // bad immediate
+		"main:\n\tfsqrt f1",           // missing operand
+		"main:\n\tfsqrt f1, 3",        // bad register
+		"main:\n\tjalr zero, ra",      // missing operand
+		"main:\n\tjalr zero, ra, x",   // bad imm
+		"main:\n\tlw a0, 4(bogus)",    // bad base register
+		"main:\n\tlw a0, y(s0)",       // bad offset
+		"main:\n\tsw a0, nope",        // bad mem operand
+		"main:\n\tbeq a0, a1",         // missing target
+		"main:\n\tjal a0",             // missing target
+		"main:\n\tsetBranchId",        // missing id
+		"main:\n\tsetDependency 3",    // missing id
+		"main:\n\tsetDependency x 1",  // bad num
+		"main:\n\tgetCITEntry a0",     // missing index
+		"main:\n\tsetCITEntry a0",     // missing index
+		"main:\n\tgetCITEntry 1, 2",   // bad register
+		"main:\n\tmv a0",              // pseudo missing operand
+		"main:\n\tli a0",              // pseudo missing operand
+		"main:\n\tbeqz done",          // pseudo missing operand
+		"main:\n\tj",                  // pseudo missing operand
+		"main:\n\tadd a0, a1, a2, a3", // extra operand
+		"main:\n\t.range 1 2 3",       // bad directive arity
+		"main:\n\t.data x y",          // bad directive operands
+		"main:\n\t.bogus 1",           // unknown directive
+		"dup:\n\thalt\ndup:\n\thalt",  // duplicate label via assembler
+		"main:\n\tbreqz a5",           // paper alias missing operand
+		"main:\n\tsrai a0, a1",        // missing imm
+		"main:\n\tlui a0, 1, 2",       // too many operands
+	}
+	for _, src := range bad {
+		if _, err := program.Assemble("bad", src); err == nil {
+			t.Errorf("Assemble accepted %q", src)
+		}
+	}
+}
+
+// TestMustHelpersPanic verifies the Must variants panic on bad input.
+func TestMustHelpersPanic(t *testing.T) {
+	assertPanics(t, func() { program.MustAssemble("bad", "main:\n\tbogus") })
+	assertPanics(t, func() {
+		program.NewBuilder("dup").Label("x").Label("x").MustBuild()
+	})
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

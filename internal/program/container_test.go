@@ -1,0 +1,111 @@
+package program_test
+
+import (
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/program"
+	"github.com/noreba-sim/noreba/internal/progtest"
+)
+
+// TestContainerRoundTrip: marshal → unmarshal reproduces an image that
+// executes identically and preserves labels, data and ranges.
+func TestContainerRoundTrip(t *testing.T) {
+	p := program.MustAssemble("container", `
+.data 0x100 17
+.range 0x0 0x10000
+main:
+	li s0, 0x100
+	lw a0, 0(s0)
+	addi a0, a0, 5
+	beqz a0, end
+body:
+	sw a0, 8(s0)
+end:
+	halt
+`)
+	img, err := p.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := img.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := program.UnmarshalImage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != img.Name {
+		t.Errorf("name %q != %q", back.Name, img.Name)
+	}
+	if len(back.Insts) != len(img.Insts) {
+		t.Fatalf("instruction count %d != %d", len(back.Insts), len(img.Insts))
+	}
+	if back.Data[0x100] != 17 {
+		t.Error("data lost")
+	}
+	if len(back.ValidRanges) != 1 {
+		t.Error("ranges lost")
+	}
+	if back.StartOf["body"] != img.StartOf["body"] {
+		t.Error("labels lost")
+	}
+	for i := range img.BlockOf {
+		if back.BlockOf[i] != img.BlockOf[i] {
+			t.Fatalf("BlockOf[%d] = %d, want %d", i, back.BlockOf[i], img.BlockOf[i])
+		}
+	}
+
+	m1 := emulator.New(img)
+	m1.Run(1 << 16)
+	m2 := emulator.New(back)
+	m2.Run(1 << 16)
+	if m1.IntRegs != m2.IntRegs {
+		t.Error("execution diverged after container round trip")
+	}
+}
+
+// TestContainerRejectsGarbage: truncations and bad magic fail cleanly.
+func TestContainerRejectsGarbage(t *testing.T) {
+	if _, err := program.UnmarshalImage([]byte("XXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	p := progtest.Generate(3)
+	img, _ := p.Layout()
+	data, err := img.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{5, 9, len(data) / 2, len(data) - 3} {
+		if _, err := program.UnmarshalImage(data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// TestContainerFuzzRoundTrip: random structured programs survive the
+// container round trip with identical execution.
+func TestContainerFuzzRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		img, err := progtest.Generate(seed).Layout()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := img.MarshalBinary()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		back, err := program.UnmarshalImage(data)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		m1 := emulator.New(img)
+		m1.Run(1 << 18)
+		m2 := emulator.New(back)
+		m2.Run(1 << 18)
+		if m1.IntRegs != m2.IntRegs {
+			t.Errorf("seed %d: diverged", seed)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package program_test
+
+import (
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/isa"
+	"github.com/noreba-sim/noreba/internal/program"
+	"github.com/noreba-sim/noreba/internal/progtest"
+)
+
+// TestFuzzDisassembleAssembleRoundTrip: for random structured programs,
+// layout → disassemble → assemble → layout must reproduce the identical
+// instruction stream.
+func TestFuzzDisassembleAssembleRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 80; seed++ {
+		p := progtest.Generate(seed)
+		img, err := p.Layout()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p2, err := program.Assemble(p.Name, img.Disassemble())
+		if err != nil {
+			t.Fatalf("seed %d: reassemble: %v\n%s", seed, err, img.Disassemble())
+		}
+		img2, err := p2.Layout()
+		if err != nil {
+			t.Fatalf("seed %d: relayout: %v", seed, err)
+		}
+		if len(img.Insts) != len(img2.Insts) {
+			t.Fatalf("seed %d: instruction count %d -> %d", seed, len(img.Insts), len(img2.Insts))
+		}
+		for i := range img.Insts {
+			a, b := img.Insts[i], img2.Insts[i]
+			a.Label, b.Label = "", ""
+			if a != b {
+				t.Fatalf("seed %d pc %d: %v != %v", seed, i, img.Insts[i], img2.Insts[i])
+			}
+		}
+	}
+}
+
+// TestFuzzBinaryEncodingRoundTrip: random programs survive binary
+// encode/decode and still execute to identical architectural state.
+func TestFuzzBinaryEncodingRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		p := progtest.Generate(seed)
+		img, err := p.Layout()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		data, err := isa.EncodeProgram(img.Insts)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		back, err := isa.DecodeProgram(data)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+
+		m1 := emulator.New(img)
+		if _, err := m1.Run(1 << 18); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		img2 := *img
+		img2.Insts = back
+		m2 := emulator.New(&img2)
+		if _, err := m2.Run(1 << 18); err != nil {
+			t.Fatalf("seed %d: decoded run: %v", seed, err)
+		}
+		if m1.IntRegs != m2.IntRegs {
+			t.Errorf("seed %d: state diverged after binary round trip", seed)
+		}
+	}
+}
+
+// TestFuzzEmulatorDeterminism: identical seeds yield byte-identical traces.
+func TestFuzzEmulatorDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		run := func() *emulator.Trace {
+			img, err := progtest.Generate(seed).Layout()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := emulator.New(img).Run(1 << 18)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr
+		}
+		t1, t2 := run(), run()
+		if t1.Len() != t2.Len() {
+			t.Fatalf("seed %d: trace lengths differ", seed)
+		}
+		for i := range t1.Insts {
+			if t1.Insts[i] != t2.Insts[i] {
+				t.Fatalf("seed %d: trace diverges at %d", seed, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package program provides the intermediate representation the NOREBA
+// compiler pass and simulator operate on: programs as ordered lists of
+// labelled basic blocks of decoded instructions, a builder API and a textual
+// assembler for constructing them, and the control-flow graph over blocks.
+//
+// A Program is mutable (the compiler pass inserts setup instructions into
+// blocks); Layout flattens it into an immutable Image with resolved branch
+// targets, which the functional emulator and the cycle model consume.
+package program
+
+import (
+	"fmt"
+
+	"github.com/noreba-sim/noreba/internal/isa"
+)
+
+// Block is a labelled basic block. Only the final instruction may transfer
+// control; every other instruction falls through to its successor. Setup
+// instructions (setBranchId/setDependency) may appear anywhere — they do not
+// transfer control.
+type Block struct {
+	Label string
+	Insts []isa.Inst
+}
+
+// Terminator returns the block's final instruction, or false for an empty
+// block.
+func (b *Block) Terminator() (isa.Inst, bool) {
+	if len(b.Insts) == 0 {
+		return isa.Inst{}, false
+	}
+	return b.Insts[len(b.Insts)-1], true
+}
+
+// Program is an ordered collection of basic blocks plus an initial data
+// image. Block order defines fall-through structure and final code layout.
+type Program struct {
+	Name   string
+	Blocks []*Block
+	// Data is the initial memory image (word-addressed; the emulator reads
+	// and writes 64-bit words at exact addresses).
+	Data map[int64]int64
+	// FData holds initial floating-point memory contents.
+	FData map[int64]float64
+	// ValidRanges lists [lo,hi) address ranges that are legal to access.
+	// An empty list means all addresses are legal. Accesses outside raise
+	// a memory exception (§4.4).
+	ValidRanges [][2]int64
+}
+
+// New returns an empty program with the given name.
+func New(name string) *Program {
+	return &Program{Name: name, Data: map[int64]int64{}, FData: map[int64]float64{}}
+}
+
+// Block returns the block with the given label, or nil.
+func (p *Program) Block(label string) *Block {
+	for _, b := range p.Blocks {
+		if b.Label == label {
+			return b
+		}
+	}
+	return nil
+}
+
+// BlockIndex returns the position of the labelled block, or -1.
+func (p *Program) BlockIndex(label string) int {
+	for i, b := range p.Blocks {
+		if b.Label == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// AddBlock appends a new empty block and returns it. Duplicate labels are
+// rejected.
+func (p *Program) AddBlock(label string) (*Block, error) {
+	if p.Block(label) != nil {
+		return nil, fmt.Errorf("program %s: duplicate block label %q", p.Name, label)
+	}
+	b := &Block{Label: label}
+	p.Blocks = append(p.Blocks, b)
+	return b, nil
+}
+
+// Successors returns the indices of the blocks control can flow to from
+// block i: branch targets plus fall-through. Indirect jumps (jalr) and halt
+// have no static successors.
+func (p *Program) Successors(i int) []int {
+	b := p.Blocks[i]
+	term, ok := b.Terminator()
+	if !ok {
+		// Empty block: pure fall-through.
+		if i+1 < len(p.Blocks) {
+			return []int{i + 1}
+		}
+		return nil
+	}
+	var succs []int
+	addLabel := func(label string) {
+		if j := p.BlockIndex(label); j >= 0 {
+			succs = append(succs, j)
+		}
+	}
+	switch {
+	case term.Op.IsCondBranch():
+		addLabel(term.Label)
+		if i+1 < len(p.Blocks) {
+			succs = append(succs, i+1)
+		}
+	case term.Op == isa.OpJal:
+		addLabel(term.Label)
+	case term.Op == isa.OpJalr, term.Op == isa.OpHalt:
+		// No static successors.
+	default:
+		if i+1 < len(p.Blocks) {
+			succs = append(succs, i+1)
+		}
+	}
+	return succs
+}
+
+// Predecessors returns, for every block, the indices of blocks that can
+// transfer control to it.
+func (p *Program) Predecessors() [][]int {
+	preds := make([][]int, len(p.Blocks))
+	for i := range p.Blocks {
+		for _, s := range p.Successors(i) {
+			preds[s] = append(preds[s], i)
+		}
+	}
+	return preds
+}
+
+// Validate checks structural invariants: non-empty program, unique labels,
+// resolvable branch targets, and control transfers only at block ends.
+func (p *Program) Validate() error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("program %s: no blocks", p.Name)
+	}
+	seen := map[string]bool{}
+	for _, b := range p.Blocks {
+		if b.Label == "" {
+			return fmt.Errorf("program %s: unlabelled block", p.Name)
+		}
+		if seen[b.Label] {
+			return fmt.Errorf("program %s: duplicate label %q", p.Name, b.Label)
+		}
+		seen[b.Label] = true
+	}
+	for _, b := range p.Blocks {
+		for k, in := range b.Insts {
+			if in.Op.IsBranch() && in.Op != isa.OpJalr && k != len(b.Insts)-1 {
+				return fmt.Errorf("program %s: block %s: control transfer %v not at block end", p.Name, b.Label, in)
+			}
+			if (in.Op.IsCondBranch() || in.Op == isa.OpJal) && in.Label != "" && p.Block(in.Label) == nil {
+				return fmt.Errorf("program %s: block %s: unresolved target %q", p.Name, b.Label, in.Label)
+			}
+		}
+	}
+	return nil
+}
+
+// Image is the laid-out, immutable form of a Program: a linear instruction
+// sequence with branch targets resolved to absolute PCs.
+type Image struct {
+	Name  string
+	Insts []isa.Inst
+	// StartOf maps block labels to the PC of their first instruction.
+	StartOf map[string]int
+	// BlockOf maps each PC to the index of its containing block.
+	BlockOf []int
+	// Labels lists block labels in layout order.
+	Labels []string
+
+	Data        map[int64]int64
+	FData       map[int64]float64
+	ValidRanges [][2]int64
+}
+
+// Layout flattens the program into an Image, resolving every label to a PC.
+// Empty blocks are legal: their label resolves to the next instruction.
+func (p *Program) Layout() (*Image, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	img := &Image{
+		Name:        p.Name,
+		StartOf:     make(map[string]int, len(p.Blocks)),
+		Data:        p.Data,
+		FData:       p.FData,
+		ValidRanges: p.ValidRanges,
+	}
+	pc := 0
+	for i, b := range p.Blocks {
+		img.StartOf[b.Label] = pc
+		img.Labels = append(img.Labels, b.Label)
+		for range b.Insts {
+			img.BlockOf = append(img.BlockOf, i)
+			pc++
+		}
+	}
+	for _, b := range p.Blocks {
+		for _, in := range b.Insts {
+			if in.Label != "" {
+				start, ok := img.StartOf[in.Label]
+				if !ok {
+					return nil, fmt.Errorf("program %s: unresolved label %q", p.Name, in.Label)
+				}
+				in.Target = start
+			}
+			img.Insts = append(img.Insts, in)
+		}
+	}
+	return img, nil
+}
+
+// Disassemble renders the image as labelled assembly text, parseable by
+// Assemble.
+func (img *Image) Disassemble() string {
+	out := ""
+	next := 0
+	for pc, in := range img.Insts {
+		for next < len(img.Labels) && img.StartOf[img.Labels[next]] == pc {
+			out += img.Labels[next] + ":\n"
+			next++
+		}
+		out += "\t" + in.String() + "\n"
+	}
+	for next < len(img.Labels) {
+		out += img.Labels[next] + ":\n"
+		next++
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package program
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/isa"
+)
+
+// diamond builds the paper's Figure 2 if-then-else hammock:
+//
+//	BB1: branch → BB3(L1) or fall through BB2; BB2 jumps to L2; BB3 falls
+//	through into BB4 (L2).
+func diamond(t *testing.T) *Program {
+	t.Helper()
+	p, err := NewBuilder("diamond").
+		Label("BB1").
+		Li(isa.A5, 1).
+		Beqz(isa.A5, "L1").
+		Label("BB2").
+		Lw(isa.A4, isa.S0, -40).
+		Addi(isa.A5, isa.A4, 1).
+		Sw(isa.A5, isa.S0, -20).
+		J("L2").
+		Label("L1").
+		Lw(isa.A4, isa.S0, -40).
+		Addi(isa.A5, isa.A4, 2).
+		Sw(isa.A5, isa.S0, -20).
+		Label("L2").
+		Lw(isa.A5, isa.S0, -20).
+		Halt().
+		Build()
+	if err != nil {
+		t.Fatalf("build diamond: %v", err)
+	}
+	return p
+}
+
+func TestSuccessors(t *testing.T) {
+	p := diamond(t)
+	// Blocks: 0=BB1 1=BB2 2=L1 3=L2
+	want := [][]int{
+		{2, 1}, // BB1: taken L1, fallthrough BB2
+		{3},    // BB2: j L2
+		{3},    // L1: fallthrough
+		nil,    // L2: halt
+	}
+	for i, w := range want {
+		got := p.Successors(i)
+		if !reflect.DeepEqual(got, w) {
+			t.Errorf("Successors(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestPredecessors(t *testing.T) {
+	p := diamond(t)
+	preds := p.Predecessors()
+	if !reflect.DeepEqual(preds[3], []int{1, 2}) {
+		t.Errorf("preds of L2 = %v, want [1 2]", preds[3])
+	}
+	if len(preds[0]) != 0 {
+		t.Errorf("entry block has predecessors: %v", preds[0])
+	}
+}
+
+func TestLayoutResolvesTargets(t *testing.T) {
+	p := diamond(t)
+	img, err := p.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Insts) != 11 {
+		t.Fatalf("len(Insts) = %d, want 11", len(img.Insts))
+	}
+	// Instruction 1 is the beq; its target must be L1's start.
+	if img.Insts[1].Target != img.StartOf["L1"] {
+		t.Errorf("beq target = %d, want %d", img.Insts[1].Target, img.StartOf["L1"])
+	}
+	if img.StartOf["L2"] != 11-len(p.Blocks[3].Insts) {
+		t.Errorf("StartOf[L2] = %d", img.StartOf["L2"])
+	}
+	// BlockOf must be monotone and match block boundaries.
+	if img.BlockOf[0] != 0 || img.BlockOf[len(img.BlockOf)-1] != 3 {
+		t.Errorf("BlockOf boundaries wrong: %v", img.BlockOf)
+	}
+}
+
+func TestValidateRejectsMidBlockBranch(t *testing.T) {
+	p := New("bad")
+	b, _ := p.AddBlock("entry")
+	b.Insts = append(b.Insts,
+		isa.Inst{Op: isa.OpBeq, Rs1: isa.A0, Rs2: isa.Zero, Label: "entry"},
+		isa.Inst{Op: isa.OpNop},
+	)
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted mid-block branch")
+	}
+}
+
+func TestValidateRejectsUnknownTarget(t *testing.T) {
+	p := New("bad")
+	b, _ := p.AddBlock("entry")
+	b.Insts = append(b.Insts, isa.Inst{Op: isa.OpBeq, Rs1: isa.A0, Rs2: isa.Zero, Label: "nowhere"})
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted unresolved target")
+	}
+}
+
+func TestValidateRejectsDuplicateLabel(t *testing.T) {
+	p := New("bad")
+	p.AddBlock("a")
+	if _, err := p.AddBlock("a"); err == nil {
+		t.Error("AddBlock accepted duplicate label")
+	}
+}
+
+func TestBuilderErrorSurfacesInBuild(t *testing.T) {
+	_, err := NewBuilder("dup").Label("x").Label("x").Build()
+	if err == nil {
+		t.Error("Build accepted duplicate label")
+	}
+}
+
+func TestAssembleRoundTrip(t *testing.T) {
+	src := `
+# Figure 2 style fragment
+main:
+	li   a5, 1
+	beq  a5, zero, L1
+BB2:
+	lw   a4, -40(s0)
+	addi a5, a4, 1
+	sw   a5, -20(s0)
+	j    L2
+L1:
+	lw   a4, -40(s0)
+	setDependency 2 1
+	addi a5, a4, 2
+	sw   a5, -20(s0)
+L2:
+	setBranchId 1
+	lw   a5, -20(s0)
+	halt
+`
+	p, err := Assemble("roundtrip", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := p.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disassemble and re-assemble: must produce an identical instruction
+	// stream.
+	p2, err := Assemble("roundtrip2", img.Disassemble())
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, img.Disassemble())
+	}
+	img2, err := p2.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Insts) != len(img2.Insts) {
+		t.Fatalf("instruction count changed: %d vs %d", len(img.Insts), len(img2.Insts))
+	}
+	for i := range img.Insts {
+		a, b := img.Insts[i], img2.Insts[i]
+		a.Label, b.Label = "", ""
+		if a != b {
+			t.Errorf("pc %d: %v != %v", i, img.Insts[i], img2.Insts[i])
+		}
+	}
+}
+
+func TestAssembleDirectives(t *testing.T) {
+	p, err := Assemble("dir", `
+.data 0x100 42
+.range 0x100 0x200
+main:
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Data[0x100] != 42 {
+		t.Errorf("Data[0x100] = %d, want 42", p.Data[0x100])
+	}
+	if len(p.ValidRanges) != 1 || p.ValidRanges[0] != [2]int64{0x100, 0x200} {
+		t.Errorf("ValidRanges = %v", p.ValidRanges)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"main:\n\tbogus a0, a1, a2",
+		"main:\n\tadd a0, a1",
+		"main:\n\tlw a0, nope",
+		"main:\n\tbeq a0, zero, missing",
+		"main:\n\t.data 1",
+		"main:\n\taddi a0, zero, notanumber",
+	}
+	for _, src := range bad {
+		if _, err := Assemble("bad", src); err == nil {
+			t.Errorf("Assemble accepted %q", src)
+		}
+	}
+}
+
+func TestAssemblePseudoInstructions(t *testing.T) {
+	p := MustAssemble("pseudo", `
+main:
+	li a0, 7
+	mv a1, a0
+	beqz a1, done
+next:
+	bnez a1, done
+done:
+	ret
+`)
+	img, err := p.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Insts[0].Op != isa.OpAddi || img.Insts[0].Rs1 != isa.Zero || img.Insts[0].Imm != 7 {
+		t.Errorf("li lowered wrong: %v", img.Insts[0])
+	}
+	if img.Insts[1].Op != isa.OpAddi || img.Insts[1].Rs1 != isa.A0 {
+		t.Errorf("mv lowered wrong: %v", img.Insts[1])
+	}
+	if img.Insts[2].Op != isa.OpBeq || img.Insts[3].Op != isa.OpBne {
+		t.Errorf("beqz/bnez lowered wrong: %v %v", img.Insts[2], img.Insts[3])
+	}
+	if img.Insts[4].Op != isa.OpJalr || img.Insts[4].Rs1 != isa.RA {
+		t.Errorf("ret lowered wrong: %v", img.Insts[4])
+	}
+}
+
+func TestDisassembleContainsLabels(t *testing.T) {
+	p := diamond(t)
+	img, _ := p.Layout()
+	text := img.Disassemble()
+	for _, l := range []string{"BB1:", "BB2:", "L1:", "L2:"} {
+		if !strings.Contains(text, l) {
+			t.Errorf("disassembly missing %q:\n%s", l, text)
+		}
+	}
+}

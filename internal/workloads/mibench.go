@@ -1,0 +1,275 @@
+package workloads
+
+import (
+	"github.com/noreba-sim/noreba/internal/isa"
+	"github.com/noreba-sim/noreba/internal/program"
+)
+
+func init() {
+	register(Workload{Name: "CRC32", Suite: MiBench, DefaultScale: 1500, Build: crc32})
+	register(Workload{Name: "dijkstra", Suite: MiBench, DefaultScale: 60, Build: dijkstra})
+	register(Workload{Name: "qsort", Suite: MiBench, DefaultScale: 900, Build: qsortK})
+	register(Workload{Name: "sha", Suite: MiBench, DefaultScale: 700, Build: sha})
+	register(Workload{Name: "stringsearch", Suite: MiBench, DefaultScale: 900, Build: stringsearch})
+	register(Workload{Name: "bitcount", Suite: MiBench, DefaultScale: 1200, Build: bitcount})
+	register(Workload{Name: "susan", Suite: MiBench, DefaultScale: 800, Build: susan})
+}
+
+// crc32 mimics MiBench telecomm/CRC32: table-driven CRC over a buffer. The
+// per-byte update chain is serial but control is perfectly predictable, so
+// vast independent regions sit beyond every reconvergence point — the paper
+// reports CRC among the >20% OoO-commit applications (Figure 8).
+func crc32(scale int) *program.Program {
+	b := program.NewBuilder("CRC32")
+	r := lcg(67)
+	const tbl, buf, n = 1 << 22, 1<<22 + 1<<12, 2048
+	b.Label("entry").
+		Li(isa.S0, tbl).
+		Li(isa.S1, buf).
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 0).
+		Li(isa.A2, -1) // crc register
+	b.Label("byte").
+		Add(isa.T0, isa.S1, isa.A1).
+		Lw(isa.T1, isa.T0, 0).
+		Xor(isa.T2, isa.A2, isa.T1).
+		Andi(isa.T2, isa.T2, 255).
+		Slli(isa.T2, isa.T2, 3).
+		Add(isa.T3, isa.S0, isa.T2).
+		Lw(isa.T4, isa.T3, 0).
+		Srli(isa.T5, isa.A2, 8).
+		Xor(isa.A2, isa.T5, isa.T4)
+	independentTail(b, 10) // checksum bookkeeping, length counters…
+	b.Addi(isa.A1, isa.A1, 8).
+		Andi(isa.A1, isa.A1, n*8-1).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "byte")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	arrayData(p, tbl, 256, 8, &r)
+	arrayData(p, buf, n, 8, &r)
+	return p
+}
+
+// dijkstra mimics MiBench network/dijkstra's relaxation scan: a tight loop
+// whose min-compare branch guards most of the body, so few instructions are
+// independent of the pending branch — the paper shows dijkstra committing
+// almost nothing out of order (Figure 8).
+func dijkstra(scale int) *program.Program {
+	b := program.NewBuilder("dijkstra")
+	r := lcg(71)
+	const dist, n = 1 << 22, 256
+	b.Label("entry").
+		Li(isa.S0, dist).
+		Li(isa.A0, int64(scale))
+	b.Label("pass").
+		Li(isa.A1, 0).
+		Li(isa.A2, 1<<30) // current min
+	b.Label("relax").
+		Add(isa.T0, isa.S0, isa.A1).
+		Lw(isa.T1, isa.T0, 0).
+		// Path-cost computation on the loaded distance (always executed,
+		// data-dependent on the load — dijkstra keeps everything close to
+		// its memory values, which is why it commits so little OoO).
+		Slli(isa.T5, isa.T1, 1).
+		Add(isa.T5, isa.T5, isa.T1).
+		Srli(isa.T6, isa.T5, 2).
+		Add(isa.S3, isa.S3, isa.T6).
+		Xor(isa.S4, isa.S4, isa.T5).
+		Add(isa.S5, isa.S5, isa.T1).
+		Slt(isa.T2, isa.T1, isa.A2).
+		Beqz(isa.T2, "nomin")
+	b.Label("newmin").
+		Mv(isa.A2, isa.T1).
+		Mv(isa.A3, isa.A1).
+		Addi(isa.T3, isa.T1, 3).
+		Sw(isa.T3, isa.T0, 0)
+	b.Label("nomin").
+		Add(isa.S6, isa.S6, isa.A2).
+		Xor(isa.S7, isa.S7, isa.A2).
+		Addi(isa.A1, isa.A1, 8).
+		Slti(isa.T4, isa.A1, n*8).
+		Bnez(isa.T4, "relax")
+	b.Label("passend").
+		Add(isa.A4, isa.A4, isa.A3).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "pass")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	arrayData(p, dist, n, 8, &r)
+	return p
+}
+
+// qsortK mimics MiBench auto/qsort's partitioning: compare-and-swap passes
+// over a pseudo-random array with unpredictable comparison branches and
+// store-heavy dependent regions.
+func qsortK(scale int) *program.Program {
+	b := program.NewBuilder("qsort")
+	r := lcg(73)
+	const arr, n = 1 << 22, 512
+	b.Label("entry").
+		Li(isa.S0, arr).
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 0)
+	b.Label("pair").
+		Add(isa.T0, isa.S0, isa.A1).
+		Lw(isa.T1, isa.T0, 0).
+		Lw(isa.T2, isa.T0, 8).
+		Bge(isa.T2, isa.T1, "inorder")
+	b.Label("swap").
+		Sw(isa.T2, isa.T0, 0).
+		Sw(isa.T1, isa.T0, 8).
+		Addi(isa.A2, isa.A2, 1)
+	b.Label("inorder")
+	independentTail(b, 12)
+	b.Addi(isa.A1, isa.A1, 8).
+		Andi(isa.A1, isa.A1, (n-2)*8-1).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "pair")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	arrayData(p, arr, n, 8, &r)
+	return p
+}
+
+// sha mimics MiBench security/sha's compression rounds: long xor/rotate/add
+// chains with perfectly predictable control — high ILP, nothing for OoO
+// commit to reclaim early.
+func sha(scale int) *program.Program {
+	b := program.NewBuilder("sha")
+	r := lcg(79)
+	const blk = 1 << 22
+	b.Label("entry").
+		Li(isa.S0, blk).
+		Li(isa.A0, int64(scale)).
+		Li(isa.A2, 0x67452301).
+		Li(isa.A3, 0xefcdab89).
+		Li(isa.A4, 0x98badcfe)
+	b.Label("round").
+		Andi(isa.T6, isa.A0, 15*8).
+		Add(isa.T0, isa.S0, isa.T6).
+		Lw(isa.T1, isa.T0, 0).
+		Slli(isa.T2, isa.A2, 5).
+		Srli(isa.T3, isa.A2, 27).
+		Or(isa.T2, isa.T2, isa.T3).
+		Xor(isa.T4, isa.A3, isa.A4).
+		Add(isa.T5, isa.T2, isa.T4).
+		Add(isa.T5, isa.T5, isa.T1).
+		Mv(isa.A4, isa.A3).
+		Mv(isa.A3, isa.A2).
+		Mv(isa.A2, isa.T5).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "round")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	arrayData(p, blk, 16, 8, &r)
+	return p
+}
+
+// stringsearch mimics MiBench office/stringsearch: a character-compare
+// inner loop with a data-dependent early-exit branch and a small body.
+func stringsearch(scale int) *program.Program {
+	b := program.NewBuilder("stringsearch")
+	r := lcg(83)
+	const text, pat, n = 1 << 22, 1<<22 + 1<<12, 1024
+	b.Label("entry").
+		Li(isa.S0, text).
+		Li(isa.S1, pat).
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 0)
+	b.Label("cmp").
+		Add(isa.T0, isa.S0, isa.A1).
+		Lw(isa.T1, isa.T0, 0).
+		Lw(isa.T2, isa.S1, 0).
+		Bne(isa.T1, isa.T2, "mismatch")
+	b.Label("match").
+		Addi(isa.A2, isa.A2, 1).
+		Add(isa.A3, isa.A3, isa.T1)
+	b.Label("mismatch")
+	independentTail(b, 9)
+	b.Addi(isa.A1, isa.A1, 8).
+		Andi(isa.A1, isa.A1, n*8-1).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "cmp")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	for i := 0; i < n; i++ {
+		p.Data[text+int64(i)*8] = int64(r.intn(4))
+	}
+	p.Data[pat] = 1
+	return p
+}
+
+// bitcount mimics MiBench auto/bitcount: per-bit test-and-accumulate with a
+// branch whose outcome follows the data's bit pattern.
+func bitcount(scale int) *program.Program {
+	b := program.NewBuilder("bitcount")
+	r := lcg(89)
+	b.Label("entry").
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, int64(r.next()))
+	b.Label("bit").
+		Andi(isa.T0, isa.A1, 1).
+		Beqz(isa.T0, "zero")
+	b.Label("one").
+		Addi(isa.A2, isa.A2, 1)
+	b.Label("zero").
+		// The other bit-counting strategies MiBench runs alongside
+		// (nibble table, shift-and-mask) — independent of the bit test.
+		Srli(isa.T2, isa.A1, 4).
+		Andi(isa.T3, isa.T2, 15).
+		Add(isa.A3, isa.A3, isa.T3).
+		Slli(isa.T5, isa.A1, 1).
+		Xor(isa.A4, isa.A4, isa.T5).
+		Addi(isa.A5, isa.A5, 2).
+		Srli(isa.T6, isa.A1, 8).
+		Andi(isa.T6, isa.T6, 255).
+		Add(isa.S3, isa.S3, isa.T6).
+		Xor(isa.S4, isa.S4, isa.T5).
+		Add(isa.S5, isa.S5, isa.A5).
+		Srli(isa.A1, isa.A1, 1).
+		Bnez(isa.A1, "more")
+	b.Label("refill").
+		Slli(isa.T1, isa.A2, 13).
+		Xor(isa.T1, isa.T1, isa.A2).
+		Ori(isa.A1, isa.T1, 1)
+	b.Label("more").
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "bit")
+	b.Label("done").Halt()
+	return b.MustBuild()
+}
+
+// susan mimics MiBench auto/susan's corner detection: windowed image loads
+// with brightness-threshold branches and accumulation of the USAN area.
+func susan(scale int) *program.Program {
+	b := program.NewBuilder("susan")
+	r := lcg(97)
+	const img, n, stride = 1 << 22, 2048, 8
+	b.Label("entry").
+		Li(isa.S0, img).
+		Li(isa.T6, 20). // brightness threshold
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 0)
+	b.Label("px").
+		Add(isa.T0, isa.S0, isa.A1).
+		Lw(isa.T1, isa.T0, 0).
+		Lw(isa.T2, isa.T0, 8).
+		Sub(isa.T3, isa.T1, isa.T2).
+		Blt(isa.T3, isa.T6, "similar")
+	b.Label("edge").
+		Addi(isa.A2, isa.A2, 1).
+		Add(isa.A3, isa.A3, isa.T3)
+	b.Label("similar")
+	independentTail(b, 7)
+	b.Addi(isa.A1, isa.A1, stride).
+		Andi(isa.A1, isa.A1, (n-2)*stride-1).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "px")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	for i := 0; i < n; i++ {
+		p.Data[img+int64(i)*stride] = int64(r.intn(256))
+	}
+	return p
+}

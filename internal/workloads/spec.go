@@ -1,0 +1,926 @@
+package workloads
+
+import (
+	"github.com/noreba-sim/noreba/internal/isa"
+	"github.com/noreba-sim/noreba/internal/program"
+)
+
+// chainData seeds a pseudo-random cyclic pointer chain of n nodes spaced
+// stride bytes apart starting at base: mem[addr] = next addr, and
+// mem[addr+8] = a pseudo-random tag. Returns nothing; the chain starts at
+// base.
+func chainData(p *program.Program, base int64, n int, stride int64, r *lcg) {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := 0; i < n; i++ {
+		from := base + int64(perm[i])*stride
+		to := base + int64(perm[(i+1)%n])*stride
+		p.Data[from] = to
+		p.Data[from+8] = int64(r.next() & 0xffff)
+	}
+}
+
+// arrayData seeds n pseudo-random words spaced stride bytes from base.
+func arrayData(p *program.Program, base int64, n int, stride int64, r *lcg) {
+	for i := 0; i < n; i++ {
+		p.Data[base+int64(i)*stride] = int64(r.next() & 0xffffff)
+	}
+}
+
+// independentTail emits k independent single-cycle instructions spread over
+// callee-saved accumulators: the "much independent work" that out-of-order
+// commit reclaims early.
+func independentTail(b *program.Builder, k int) {
+	regs := []isa.Reg{isa.S3, isa.S4, isa.S5, isa.S6, isa.S7, isa.S8, isa.S9, isa.S10, isa.S11, isa.A6, isa.A7, isa.T4}
+	for i := 0; i < k; i++ {
+		r := regs[i%len(regs)]
+		b.Addi(r, r, int64(i+1))
+	}
+}
+
+func init() {
+	register(Workload{Name: "mcf", Suite: SPEC, DefaultScale: 700, Build: mcf})
+	register(Workload{Name: "bzip2", Suite: SPEC, DefaultScale: 900, Build: bzip2})
+	register(Workload{Name: "astar", Suite: SPEC, DefaultScale: 5, Build: astar})
+	register(Workload{Name: "gcc", Suite: SPEC, DefaultScale: 900, Build: gcc})
+	register(Workload{Name: "gobmk", Suite: SPEC, DefaultScale: 700, Build: gobmk})
+	register(Workload{Name: "hmmer", Suite: SPEC, DefaultScale: 35, Build: hmmer})
+	register(Workload{Name: "h264ref", Suite: SPEC, DefaultScale: 700, Build: h264ref})
+	register(Workload{Name: "libquantum", Suite: SPEC, DefaultScale: 1200, Build: libquantum})
+	register(Workload{Name: "lbm", Suite: SPEC, DefaultScale: 900, Build: lbm})
+	register(Workload{Name: "milc", Suite: SPEC, DefaultScale: 500, Build: milc})
+	register(Workload{Name: "omnetpp", Suite: SPEC, DefaultScale: 800, Build: omnetpp})
+	register(Workload{Name: "sjeng", Suite: SPEC, DefaultScale: 800, Build: sjeng})
+	register(Workload{Name: "perlbench", Suite: SPEC, DefaultScale: 800, Build: perlbench})
+	register(Workload{Name: "soplex", Suite: SPEC, DefaultScale: 700, Build: soplex})
+	register(Workload{Name: "sphinx3", Suite: SPEC, DefaultScale: 600, Build: sphinx3})
+	register(Workload{Name: "xalancbmk", Suite: SPEC, DefaultScale: 700, Build: xalancbmk})
+}
+
+// mcf mimics 429.mcf's network-simplex arc scan: a pointer chase whose
+// loads miss the caches, a cost-comparison branch on each loaded tag with a
+// tiny dependent region, and a large amount of branch-independent
+// bookkeeping. This is the paper's Figure 7 "blue cloud": branches stall
+// the ROB for a long time but have few dependents, so NOREBA's win is
+// maximal (2.17× in the paper).
+func mcf(scale int) *program.Program {
+	b := program.NewBuilder("mcf")
+	r := lcg(42)
+	// An index array (sequential, cache-friendly) names the arcs; each
+	// arc's cost tag lives 8KB-strided across a 4MB region, so tag loads
+	// miss every cache level, their addresses are ready early
+	// (memory-level parallelism across iterations), and the pseudo-random
+	// pattern defeats the delta prefetcher.
+	const idxBase, idxN = 1 << 22, 1024
+	const tagBase, tagN = 1 << 23, 512
+	b.Label("entry").
+		Li(isa.S0, idxBase).
+		Li(isa.S1, tagBase).
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 0)
+	b.Label("arc").
+		Add(isa.T0, isa.S0, isa.A1).
+		Lw(isa.T5, isa.T0, 0). // arc index (near-sequential, fast)
+		Slli(isa.T5, isa.T5, 13).
+		Add(isa.T6, isa.S1, isa.T5).
+		Lw(isa.T2, isa.T6, 0). // cost tag: long-latency miss
+		Andi(isa.T1, isa.T2, 1).
+		Bnez(isa.T1, "basis")
+	b.Label("pivot"). // dependent region: small (few dependents, Figure 7)
+				Addi(isa.A2, isa.A2, 1).
+				Xor(isa.A3, isa.A3, isa.T2)
+	b.Label("basis")
+	independentTail(b, 26) // independent network bookkeeping
+	b.Addi(isa.A1, isa.A1, 8).
+		Andi(isa.A1, isa.A1, idxN*8-1).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "arc")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	for i := 0; i < idxN; i++ {
+		p.Data[idxBase+int64(i)*8] = int64(r.intn(tagN))
+	}
+	for i := 0; i < tagN; i++ {
+		p.Data[tagBase+int64(i)*8192] = int64(r.next() & 0xffff)
+	}
+	return p
+}
+
+// bzip2 mimics 401.bzip2's move-to-front/Huffman coding loops: each loaded
+// symbol feeds a branch and essentially the whole remainder of the
+// iteration depends on the branch outcome (Figure 7's red cloud — many
+// dependents per branch), so out-of-order commit finds almost nothing to
+// retire early.
+func bzip2(scale int) *program.Program {
+	b := program.NewBuilder("bzip2")
+	r := lcg(7)
+	const buf, n, stride = 1 << 22, 1024, 64
+	b.Label("entry").
+		Li(isa.S0, buf).
+		Li(isa.S1, buf+(n+16)*stride). // output region
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 0)
+	b.Label("sym").
+		Add(isa.T0, isa.S0, isa.A1).
+		Lw(isa.T1, isa.T0, 0).
+		Andi(isa.T2, isa.T1, 3).
+		Beqz(isa.T2, "rare")
+	b.Label("common"). // everything below consumes t1: all dependent
+				Slli(isa.T3, isa.T1, 1).
+				Xor(isa.A2, isa.A2, isa.T3).
+				Add(isa.A3, isa.A3, isa.T1).
+				Srli(isa.T4, isa.T1, 2).
+				Add(isa.A4, isa.A4, isa.T4).
+				Xor(isa.A5, isa.A5, isa.T4).
+				Add(isa.S3, isa.S3, isa.T3).
+				Xor(isa.S4, isa.S4, isa.T1).
+				Add(isa.S5, isa.S5, isa.T4).
+				Xor(isa.S6, isa.S6, isa.T3).
+				Add(isa.S7, isa.S7, isa.T1).
+				Xor(isa.S8, isa.S8, isa.T4).
+				Add(isa.S9, isa.S9, isa.T3).
+				Xor(isa.S10, isa.S10, isa.T1).
+				Add(isa.S11, isa.S11, isa.T4).
+				Xor(isa.A6, isa.A6, isa.T3).
+				Add(isa.A7, isa.A7, isa.T1).
+				Xor(isa.T6, isa.T6, isa.T4).
+				Sw(isa.A2, isa.S1, 0).
+				J("next")
+	b.Label("rare").
+		Addi(isa.A2, isa.A2, 1).
+		Xor(isa.A3, isa.A3, isa.A2).
+		Add(isa.A4, isa.A4, isa.A2).
+		Xor(isa.A5, isa.A5, isa.A4).
+		Add(isa.S3, isa.S3, isa.A5).
+		Xor(isa.S4, isa.S4, isa.S3).
+		Add(isa.S5, isa.S5, isa.S4).
+		Xor(isa.S6, isa.S6, isa.S5).
+		Add(isa.S7, isa.S7, isa.S6).
+		Xor(isa.S8, isa.S8, isa.S7).
+		Add(isa.S9, isa.S9, isa.S8).
+		Xor(isa.S10, isa.S10, isa.S9).
+		Add(isa.S11, isa.S11, isa.S10).
+		Xor(isa.A6, isa.A6, isa.S11).
+		Add(isa.A7, isa.A7, isa.A6).
+		Xor(isa.T6, isa.T6, isa.A7).
+		Sw(isa.A3, isa.S1, 8)
+	b.Label("next").
+		Addi(isa.A1, isa.A1, stride).
+		Slti(isa.T5, isa.A1, n*stride).
+		Bnez(isa.T5, "noreset")
+	b.Label("reset").
+		Li(isa.A1, 0)
+	b.Label("noreset").
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "sym")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	arrayData(p, buf, n, stride, &r)
+	return p
+}
+
+// astar reproduces Listing 1: two consecutive independent loops — the
+// centre-reset loop over the region array and the grid scan whose body is
+// guarded by `if (regionp)`. A compiler cannot statically pick the best
+// order (§3), but NOREBA commits whichever loop's instructions resolve
+// first. The outer phase loop repeats the pair.
+func astar(scale int) *program.Program {
+	b := program.NewBuilder("astar")
+	r := lcg(11)
+	// Listing 1's two independent loops. Cells with a region pointer
+	// update that region's centre (stores through regionp — the dependent
+	// region); every cell also accumulates a path heuristic from a large
+	// cost table at a hash-scattered address — branch-independent loads
+	// that miss the upper caches, which NOREBA retires early.
+	const regions, grid = 4096, 2048
+	const regBase, gridBase = 1 << 22, 1<<22 + 1<<20
+	const costBase, costN = 1 << 23, 1024
+	b.Label("entry").
+		Li(isa.S0, regBase).
+		Li(isa.S1, gridBase).
+		Li(isa.S2, costBase).
+		Li(isa.A0, int64(scale))
+	// Loop 1: reset a window of region centres.
+	b.Label("phase").
+		Li(isa.A1, 0)
+	b.Label("reset").
+		Add(isa.T0, isa.S0, isa.A1).
+		Sw(isa.Zero, isa.T0, 0).
+		Sw(isa.Zero, isa.T0, 8).
+		Addi(isa.A5, isa.A5, 1). // element count bookkeeping
+		Xor(isa.S3, isa.S3, isa.A1).
+		Add(isa.S4, isa.S4, isa.A5).
+		Addi(isa.A1, isa.A1, 64).
+		Slti(isa.T1, isa.A1, 64*64).
+		Bnez(isa.T1, "reset")
+	// Loop 2: grid scan (independent of loop 1).
+	b.Label("scaninit").
+		Li(isa.A2, 0)
+	b.Label("scan").
+		Add(isa.T2, isa.S1, isa.A2).
+		Lw(isa.T3, isa.T2, 0). // regionp
+		Beqz(isa.T3, "skipcell")
+	b.Label("cell").
+		Sw(isa.A2, isa.T3, 0). // centerp.x += x (write-combined)
+		Sw(isa.A4, isa.T3, 8). // centerp.y += y
+		Addi(isa.A4, isa.A4, 1).
+		Xor(isa.A3, isa.A3, isa.A2)
+	b.Label("skipcell").
+		// Path heuristic: hash-scattered cost-table load, independent of
+		// the regionp branch.
+		Slli(isa.T5, isa.A2, 7).
+		Xor(isa.T5, isa.T5, isa.A2).
+		Andi(isa.T5, isa.T5, (costN-1)*8).
+		Slli(isa.T5, isa.T5, 10).
+		Add(isa.T5, isa.S2, isa.T5).
+		Lw(isa.T6, isa.T5, 0).
+		Add(isa.S8, isa.S8, isa.T6).
+		Addi(isa.S5, isa.S5, 1). // coordinate bookkeeping
+		Add(isa.S6, isa.S6, isa.S5).
+		Xor(isa.S7, isa.S7, isa.S6).
+		Addi(isa.A2, isa.A2, 8).
+		Slti(isa.T4, isa.A2, grid*8).
+		Bnez(isa.T4, "scan")
+	b.Label("phaseend").
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "phase")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	for i := 0; i < grid; i++ {
+		// ~half the cells have a region pointer.
+		v := int64(0)
+		if r.intn(2) == 0 {
+			v = int64(regBase + r.intn(regions)*64)
+		}
+		p.Data[gridBase+int64(i)*8] = v
+	}
+	for i := 0; i < costN; i++ {
+		p.Data[costBase+int64(i)*8192] = int64(r.intn(100))
+	}
+	return p
+}
+
+// gcc mimics 403.gcc's RTL pattern matching: a token stream driving a chain
+// of compare-and-branch tests (moderately predictable), with mid-sized
+// dependent regions and steady stores.
+func gcc(scale int) *program.Program {
+	b := program.NewBuilder("gcc")
+	r := lcg(13)
+	const buf, n = 1 << 22, 1024
+	b.Label("entry").
+		Li(isa.S0, buf).
+		Li(isa.S1, buf+n*8+64).
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 0)
+	b.Label("tok").
+		Add(isa.T0, isa.S0, isa.A1).
+		Lw(isa.T1, isa.T0, 0).
+		Andi(isa.T2, isa.T1, 7).
+		Slti(isa.T3, isa.T2, 3).
+		Bnez(isa.T3, "setexpr")
+	b.Label("tryjump").
+		Slti(isa.T3, isa.T2, 6).
+		Bnez(isa.T3, "jumpinsn")
+	b.Label("callinsn").
+		Addi(isa.A2, isa.A2, 3).
+		Xor(isa.A3, isa.A3, isa.T1).
+		J("tokend")
+	b.Label("jumpinsn").
+		Addi(isa.A2, isa.A2, 2).
+		Add(isa.A4, isa.A4, isa.T1).
+		J("tokend")
+	b.Label("setexpr").
+		Addi(isa.A2, isa.A2, 1).
+		Add(isa.A5, isa.A5, isa.T1).
+		Sw(isa.A5, isa.S1, 0)
+	b.Label("tokend")
+	independentTail(b, 8)
+	b.Addi(isa.A1, isa.A1, 8).
+		Andi(isa.A1, isa.A1, n*8-1).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "tok")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	arrayData(p, buf, n, 8, &r)
+	return p
+}
+
+// gobmk mimics 445.gobmk's board evaluation: random-ish board loads with
+// branchy liberty counting; branches are data dependent with medium-sized
+// dependent regions.
+func gobmk(scale int) *program.Program {
+	b := program.NewBuilder("gobmk")
+	r := lcg(17)
+	const board, n = 1 << 22, 512
+	b.Label("entry").
+		Li(isa.S0, board).
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 0)
+	b.Label("pt").
+		Add(isa.T0, isa.S0, isa.A1).
+		Lw(isa.T1, isa.T0, 0).
+		Andi(isa.T2, isa.T1, 3).
+		Beqz(isa.T2, "empty")
+	b.Label("stone").
+		Lw(isa.T3, isa.T0, 8). // neighbour
+		Add(isa.A2, isa.A2, isa.T3).
+		Andi(isa.T4, isa.T3, 1).
+		Beqz(isa.T4, "liberty")
+	b.Label("captured").
+		Addi(isa.A3, isa.A3, 1)
+	b.Label("liberty").
+		Xor(isa.A4, isa.A4, isa.T3)
+	b.Label("empty")
+	independentTail(b, 10)
+	b.Addi(isa.A1, isa.A1, 8).
+		Andi(isa.A1, isa.A1, n*8-1).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "pt")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	arrayData(p, board, n, 8, &r)
+	return p
+}
+
+// hmmer mimics 456.hmmer's Viterbi inner loop: compute-bound max/add
+// recurrences over small tables with highly predictable loop branches —
+// little commit stalling, so every policy performs alike.
+func hmmer(scale int) *program.Program {
+	b := program.NewBuilder("hmmer")
+	r := lcg(19)
+	const tbl, n = 1 << 22, 256
+	b.Label("entry").
+		Li(isa.S0, tbl).
+		Li(isa.A0, int64(scale))
+	b.Label("row").
+		Li(isa.A1, 0)
+	b.Label("cell").
+		Add(isa.T0, isa.S0, isa.A1).
+		Lw(isa.T1, isa.T0, 0).
+		Add(isa.T2, isa.A2, isa.T1).
+		Slt(isa.T3, isa.A3, isa.T2).
+		Bnez(isa.T3, "newmax")
+	b.Label("oldmax").
+		Addi(isa.A4, isa.A4, 1).
+		J("cellend")
+	b.Label("newmax").
+		Mv(isa.A3, isa.T2)
+	b.Label("cellend").
+		Add(isa.A2, isa.A2, isa.T1).
+		// Insert/delete-state recurrences and score bookkeeping (the rest
+		// of the Viterbi cell; independent of the max branch).
+		Slli(isa.T6, isa.T1, 1).
+		Add(isa.S3, isa.S3, isa.T6).
+		Xor(isa.S4, isa.S4, isa.T1).
+		Srli(isa.S5, isa.A2, 3).
+		Add(isa.S6, isa.S6, isa.S5).
+		Xor(isa.S7, isa.S7, isa.T6).
+		Add(isa.S8, isa.S8, isa.T1).
+		Xor(isa.S9, isa.S9, isa.S8).
+		Add(isa.S10, isa.S10, isa.S5).
+		Xor(isa.S11, isa.S11, isa.T1).
+		Add(isa.A6, isa.A6, isa.T6).
+		Xor(isa.A7, isa.A7, isa.S10).
+		Addi(isa.A1, isa.A1, 8).
+		Slti(isa.T5, isa.A1, n*8).
+		Bnez(isa.T5, "cell")
+	b.Label("rowend").
+		Srli(isa.A2, isa.A2, 1).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "row")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	arrayData(p, tbl, n, 8, &r)
+	return p
+}
+
+// h264ref mimics 464.h264ref's motion-compensation clipping: strided pixel
+// loads, two-sided clamp branches with tiny dependent regions, and stores
+// of the clipped values.
+func h264ref(scale int) *program.Program {
+	b := program.NewBuilder("h264ref")
+	r := lcg(23)
+	const src, dst, n = 1 << 22, 1<<22 + 1<<20, 1024
+	b.Label("entry").
+		Li(isa.S0, src).
+		Li(isa.S1, dst).
+		Li(isa.T6, 255).
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 0)
+	b.Label("px").
+		Add(isa.T0, isa.S0, isa.A1).
+		Lw(isa.T1, isa.T0, 0).
+		Addi(isa.T1, isa.T1, -128). // bias
+		Bge(isa.T1, isa.Zero, "notneg")
+	b.Label("clamplo").
+		Li(isa.T1, 0)
+	b.Label("notneg").
+		Blt(isa.T1, isa.T6, "nothi")
+	b.Label("clamphi").
+		Mv(isa.T1, isa.T6)
+	b.Label("nothi").
+		Add(isa.T2, isa.S1, isa.A1).
+		Sw(isa.T1, isa.T2, 0)
+	independentTail(b, 14)
+	b.Addi(isa.A1, isa.A1, 8).
+		Andi(isa.A1, isa.A1, n*8-1).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "px")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	for i := 0; i < n; i++ {
+		p.Data[src+int64(i)*8] = int64(r.intn(512))
+	}
+	return p
+}
+
+// libquantum mimics 462.libquantum's quantum-register sweeps: a streaming
+// pass over a large array with a strongly biased bit-test branch —
+// prefetch-friendly and rich in independent instructions beyond each
+// reconvergence point (one of Figure 8's >20% OoO-commit applications).
+func libquantum(scale int) *program.Program {
+	b := program.NewBuilder("libquantum")
+	r := lcg(29)
+	const reg, n, stride = 1 << 22, 4096, 64
+	b.Label("entry").
+		Li(isa.S0, reg).
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 0)
+	b.Label("gate").
+		Add(isa.T0, isa.S0, isa.A1).
+		Lw(isa.T1, isa.T0, 0).
+		Andi(isa.T2, isa.T1, 15).
+		Beqz(isa.T2, "flip") // biased: taken 1/16
+	b.Label("noflip")
+	independentTail(b, 12)
+	b.J("gateend")
+	b.Label("flip").
+		Xor(isa.T3, isa.T1, isa.A2).
+		Sw(isa.T3, isa.T0, 0).
+		Addi(isa.A3, isa.A3, 1)
+	b.Label("gateend").
+		Addi(isa.A1, isa.A1, stride).
+		Andi(isa.A1, isa.A1, n*stride-1).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "gate")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	arrayData(p, reg, n, stride, &r)
+	return p
+}
+
+// lbm mimics 470.lbm's lattice-Boltzmann stencil: streaming FP loads,
+// multiply-accumulate, FP stores, and only predictable loop control.
+func lbm(scale int) *program.Program {
+	b := program.NewBuilder("lbm")
+	const cells, stride = 2048, 64
+	const grid = 1 << 22
+	b.Label("entry").
+		Li(isa.S0, grid).
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 0)
+	b.Label("cell").
+		Add(isa.T0, isa.S0, isa.A1).
+		Flw(isa.F0, isa.T0, 0).
+		Flw(isa.F1, isa.T0, 8).
+		Flw(isa.F2, isa.T0, 16).
+		Fadd(isa.F3, isa.F0, isa.F1).
+		Fmul(isa.F4, isa.F3, isa.F2).
+		Fadd(isa.F5, isa.F5, isa.F4).
+		Fsw(isa.F4, isa.T0, 24).
+		Addi(isa.A1, isa.A1, stride).
+		Andi(isa.A1, isa.A1, cells*stride-1).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "cell")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	r := lcg(31)
+	for i := 0; i < cells; i++ {
+		a := int64(grid) + int64(i)*stride
+		p.FData[a] = float64(r.intn(1000)) / 37.0
+		p.FData[a+8] = float64(r.intn(1000)) / 41.0
+		p.FData[a+16] = float64(r.intn(1000)) / 43.0
+	}
+	return p
+}
+
+// milc mimics 433.milc's SU(3) matrix arithmetic: FP multiply-add chains
+// over small matrices with predictable control.
+func milc(scale int) *program.Program {
+	b := program.NewBuilder("milc")
+	const mat = 1 << 22
+	b.Label("entry").
+		Li(isa.S0, mat).
+		Li(isa.A0, int64(scale))
+	b.Label("mul").
+		Li(isa.A1, 0)
+	b.Label("elem").
+		Add(isa.T0, isa.S0, isa.A1).
+		Flw(isa.F0, isa.T0, 0).
+		Flw(isa.F1, isa.T0, 72).
+		Fmul(isa.F2, isa.F0, isa.F1).
+		Fadd(isa.F3, isa.F3, isa.F2).
+		Flw(isa.F4, isa.T0, 144).
+		Fmul(isa.F5, isa.F4, isa.F0).
+		Fadd(isa.F6, isa.F6, isa.F5).
+		Addi(isa.A1, isa.A1, 8).
+		Slti(isa.T1, isa.A1, 72).
+		Bnez(isa.T1, "elem")
+	b.Label("mulend").
+		Fadd(isa.F7, isa.F7, isa.F3).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "mul")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	r := lcg(37)
+	for i := 0; i < 27; i++ {
+		p.FData[int64(mat)+int64(i)*8] = float64(r.intn(100)) / 7.0
+	}
+	return p
+}
+
+// omnetpp mimics 471.omnetpp's discrete-event simulation: future-event-set
+// pointer chases with unpredictable priority branches and moderate
+// dependent regions.
+func omnetpp(scale int) *program.Program {
+	b := program.NewBuilder("omnetpp")
+	r := lcg(41)
+	// The event queue is a pointer chase over a compact heap (L2-resident),
+	// but each delivered event touches its module's state at a scattered
+	// address (L3/memory) — serial structure walk plus recoverable
+	// memory-level parallelism on the payload side.
+	const heap, nodes, stride = 1 << 22, 256, 256
+	const mods, modN = 1 << 23, 512
+	b.Label("entry").
+		Li(isa.S0, heap).
+		Mv(isa.S2, isa.S0).
+		Li(isa.S1, mods).
+		Li(isa.A0, int64(scale))
+	b.Label("event").
+		Lw(isa.T0, isa.S2, 8).  // priority tag (chase node)
+		Lw(isa.T5, isa.S2, 16). // module offset
+		Add(isa.T6, isa.S1, isa.T5).
+		Lw(isa.T3, isa.T6, 0). // module state: long-latency, addr ready early
+		Andi(isa.T1, isa.T0, 1).
+		Beqz(isa.T1, "deliver")
+	b.Label("requeue").
+		Addi(isa.A2, isa.A2, 1).
+		Xor(isa.A3, isa.A3, isa.T0).
+		Add(isa.A4, isa.A4, isa.T0)
+	b.Label("deliver")
+	independentTail(b, 14)
+	b.Add(isa.A5, isa.A5, isa.T3).
+		Lw(isa.S2, isa.S2, 0).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "event")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	chainData(p, heap, nodes, stride, &r)
+	for i := 0; i < nodes; i++ {
+		p.Data[heap+int64(i)*stride+16] = int64(r.intn(modN)) * 8192
+	}
+	for i := 0; i < modN; i++ {
+		p.Data[mods+int64(i)*8192] = int64(r.next() & 0xffff)
+	}
+	return p
+}
+
+// sjeng mimics 458.sjeng's board scoring: hashed table probes with branchy
+// evaluation and exclusive-or incremental hashing.
+func sjeng(scale int) *program.Program {
+	b := program.NewBuilder("sjeng")
+	r := lcg(43)
+	const tbl, n = 1 << 22, 1024
+	b.Label("entry").
+		Li(isa.S0, tbl).
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 12345)
+	b.Label("probe").
+		Slli(isa.T0, isa.A1, 3).
+		Andi(isa.T0, isa.T0, n*8-1).
+		Add(isa.T1, isa.S0, isa.T0).
+		Lw(isa.T2, isa.T1, 0).
+		Xor(isa.A1, isa.A1, isa.T2).
+		Andi(isa.T3, isa.T2, 1).
+		Beqz(isa.T3, "miss")
+	b.Label("hit").
+		Addi(isa.A2, isa.A2, 1).
+		Add(isa.A3, isa.A3, isa.T2)
+	b.Label("miss")
+	independentTail(b, 8)
+	b.Srli(isa.A1, isa.A1, 1).
+		Addi(isa.A1, isa.A1, 7).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "probe")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	arrayData(p, tbl, n, 8, &r)
+	return p
+}
+
+// perlbench mimics 400.perlbench's hash and opcode dispatch: bucket-walk
+// loads with a three-way branch chain and moderate dependent work.
+func perlbench(scale int) *program.Program {
+	b := program.NewBuilder("perlbench")
+	r := lcg(47)
+	const hash, n = 1 << 22, 512
+	b.Label("entry").
+		Li(isa.S0, hash).
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 99)
+	b.Label("op").
+		Slli(isa.T0, isa.A1, 3).
+		Andi(isa.T0, isa.T0, n*8-1).
+		Add(isa.T1, isa.S0, isa.T0).
+		Lw(isa.T2, isa.T1, 0).
+		Andi(isa.T3, isa.T2, 3).
+		Beqz(isa.T3, "opnull")
+	b.Label("try2").
+		Slti(isa.T4, isa.T3, 2).
+		Bnez(isa.T4, "opconst")
+	b.Label("opadd").
+		Add(isa.A2, isa.A2, isa.T2).
+		Xor(isa.A1, isa.A1, isa.T2).
+		J("opend")
+	b.Label("opconst").
+		Addi(isa.A3, isa.A3, 1).
+		Add(isa.A1, isa.A1, isa.A3).
+		J("opend")
+	b.Label("opnull").
+		Addi(isa.A4, isa.A4, 1)
+	b.Label("opend")
+	independentTail(b, 6)
+	b.Addi(isa.A1, isa.A1, 17).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "op")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	arrayData(p, hash, n, 8, &r)
+	return p
+}
+
+// soplex mimics 450.soplex's sparse pricing loop: strided FP loads with a
+// sign-test branch and a small dependent update.
+func soplex(scale int) *program.Program {
+	b := program.NewBuilder("soplex")
+	r := lcg(53)
+	const vec, n, stride = 1 << 22, 1024, 64
+	b.Label("entry").
+		Li(isa.S0, vec).
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 0)
+	b.Label("price").
+		Add(isa.T0, isa.S0, isa.A1).
+		Flw(isa.F0, isa.T0, 0).
+		Flt(isa.T1, isa.F0, isa.F5). // F5 = 0
+		Beqz(isa.T1, "nonneg")
+	b.Label("candidate").
+		Fadd(isa.F1, isa.F1, isa.F0).
+		Addi(isa.A2, isa.A2, 1)
+	b.Label("nonneg")
+	independentTail(b, 9)
+	b.Addi(isa.A1, isa.A1, stride).
+		Andi(isa.A1, isa.A1, n*stride-1).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "price")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	for i := 0; i < n; i++ {
+		p.FData[vec+int64(i)*stride] = float64(r.intn(200)-100) / 9.0
+	}
+	return p
+}
+
+// sphinx3 mimics 482.sphinx3's Gaussian scoring: short FP dot products with
+// a threshold branch per senone.
+func sphinx3(scale int) *program.Program {
+	b := program.NewBuilder("sphinx3")
+	r := lcg(59)
+	const feat = 1 << 22
+	b.Label("entry").
+		Li(isa.S0, feat).
+		Li(isa.A0, int64(scale))
+	b.Label("senone").
+		Li(isa.A1, 0).
+		Fsub(isa.F2, isa.F2, isa.F2) // acc = 0
+	b.Label("dot").
+		Add(isa.T0, isa.S0, isa.A1).
+		Flw(isa.F0, isa.T0, 0).
+		Flw(isa.F1, isa.T0, 256).
+		Fmul(isa.F3, isa.F0, isa.F1).
+		Fadd(isa.F2, isa.F2, isa.F3).
+		Addi(isa.A1, isa.A1, 8).
+		Slti(isa.T1, isa.A1, 8*8).
+		Bnez(isa.T1, "dot")
+	b.Label("score").
+		Flt(isa.T2, isa.F4, isa.F2).
+		Beqz(isa.T2, "prune")
+	b.Label("keep").
+		Addi(isa.A2, isa.A2, 1).
+		Fadd(isa.F4, isa.F4, isa.F2)
+	b.Label("prune").
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "senone")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	for i := 0; i < 64; i++ {
+		p.FData[feat+int64(i)*8] = float64(r.intn(100)) / 13.0
+		p.FData[feat+256+int64(i)*8] = float64(r.intn(100)) / 17.0
+	}
+	return p
+}
+
+// xalancbmk mimics 483.xalancbmk's DOM traversal: a pointer chase over tree
+// nodes with a node-type dispatch branch and medium dependent regions.
+func xalancbmk(scale int) *program.Program {
+	b := program.NewBuilder("xalancbmk")
+	r := lcg(61)
+	// DOM nodes chase through a compact tree; element nodes consult a
+	// scattered attribute table (the misses NOREBA can commit past).
+	const tree, nodes, stride = 1 << 22, 384, 256
+	const attrs, attrN = 1 << 23, 384
+	b.Label("entry").
+		Li(isa.S0, tree).
+		Mv(isa.S2, isa.S0).
+		Li(isa.S1, attrs).
+		Li(isa.A0, int64(scale))
+	b.Label("node").
+		Lw(isa.T0, isa.S2, 8).  // node type tag
+		Lw(isa.T5, isa.S2, 16). // attribute offset
+		Add(isa.T6, isa.S1, isa.T5).
+		Lw(isa.T3, isa.T6, 0). // attribute record: long latency
+		Andi(isa.T1, isa.T0, 3).
+		Beqz(isa.T1, "textnode")
+	b.Label("element").
+		Addi(isa.A2, isa.A2, 1).
+		Xor(isa.A3, isa.A3, isa.T0).
+		Srli(isa.T2, isa.T0, 2).
+		Add(isa.A4, isa.A4, isa.T2)
+	b.Label("textnode")
+	independentTail(b, 11)
+	b.Add(isa.A5, isa.A5, isa.T3).
+		Lw(isa.S2, isa.S2, 0).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "node")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	chainData(p, tree, nodes, stride, &r)
+	for i := 0; i < nodes; i++ {
+		p.Data[tree+int64(i)*stride+16] = int64(r.intn(attrN)) * 8192
+	}
+	for i := 0; i < attrN; i++ {
+		p.Data[attrs+int64(i)*8192] = int64(r.next() & 0xffff)
+	}
+	return p
+}
+
+func init() {
+	register(Workload{Name: "namd", Suite: SPEC, DefaultScale: 400, Build: namd})
+	register(Workload{Name: "povray", Suite: SPEC, DefaultScale: 600, Build: povray})
+	register(Workload{Name: "dealII", Suite: SPEC, DefaultScale: 400, Build: dealII})
+}
+
+// namd mimics 444.namd's non-bonded force inner loop: FP distance
+// computation, a cutoff test whose dependent region is the force
+// accumulation, and streaming pair loads.
+func namd(scale int) *program.Program {
+	b := program.NewBuilder("namd")
+	r := lcg(101)
+	const pairs, stride = 1024, 64
+	const base = 1 << 22
+	b.Label("entry").
+		Li(isa.S0, base).
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 0)
+	b.Label("pair").
+		Add(isa.T0, isa.S0, isa.A1).
+		Flw(isa.F0, isa.T0, 0). // dx
+		Flw(isa.F1, isa.T0, 8). // dy
+		Fmul(isa.F2, isa.F0, isa.F0).
+		Fmul(isa.F3, isa.F1, isa.F1).
+		Fadd(isa.F4, isa.F2, isa.F3). // r^2
+		Flt(isa.T1, isa.F4, isa.F10). // r^2 < cutoff?
+		Beqz(isa.T1, "skippair")
+	b.Label("force"). // dependent region: force accumulation
+				Fdiv(isa.F5, isa.F11, isa.F4).
+				Fmul(isa.F6, isa.F5, isa.F0).
+				Fadd(isa.F7, isa.F7, isa.F6).
+				Fmul(isa.F8, isa.F5, isa.F1).
+				Fadd(isa.F9, isa.F9, isa.F8).
+				Addi(isa.A2, isa.A2, 1)
+	b.Label("skippair")
+	independentTail(b, 8) // cell-list bookkeeping
+	b.Addi(isa.A1, isa.A1, stride).
+		Andi(isa.A1, isa.A1, pairs*stride-1).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "pair")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	for i := 0; i < pairs; i++ {
+		a := int64(base) + int64(i)*stride
+		p.FData[a] = float64(r.intn(200)-100) / 11.0
+		p.FData[a+8] = float64(r.intn(200)-100) / 13.0
+	}
+	// The cutoff and force coefficient live in F10/F11; they are loaded at
+	// program start from two words just below the pair array.
+	p.FData[base-16] = 40.0
+	p.FData[base-8] = 2.5
+	// Loads for the constants are prepended to the entry block.
+	entry := p.Blocks[0]
+	entry.Insts = append([]isa.Inst{
+		{Op: isa.OpAddi, Rd: isa.S1, Rs1: isa.Zero, Imm: base - 16},
+		{Op: isa.OpFlw, Rd: isa.F10, Rs1: isa.S1, Imm: 0},
+		{Op: isa.OpFlw, Rd: isa.F11, Rs1: isa.S1, Imm: 8},
+	}, entry.Insts...)
+	return p
+}
+
+// povray mimics 453.povray's ray-object intersection sweep: FP discriminant
+// tests with a branchy hit path and mixed integer bookkeeping.
+func povray(scale int) *program.Program {
+	b := program.NewBuilder("povray")
+	r := lcg(103)
+	const objs, stride = 512, 64
+	const base = 1 << 22
+	b.Label("entry").
+		Li(isa.S0, base).
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 0)
+	b.Label("obj").
+		Add(isa.T0, isa.S0, isa.A1).
+		Flw(isa.F0, isa.T0, 0). // b coefficient
+		Flw(isa.F1, isa.T0, 8). // c coefficient
+		Fmul(isa.F2, isa.F0, isa.F0).
+		Fsub(isa.F3, isa.F2, isa.F1). // discriminant
+		Flt(isa.T1, isa.F3, isa.F10). // < 0 → miss (F10 = 0)
+		Bnez(isa.T1, "miss")
+	b.Label("hit").
+		Fsqrt(isa.F4, isa.F3).
+		Fsub(isa.F5, isa.F0, isa.F4).
+		Fadd(isa.F6, isa.F6, isa.F5). // nearest-t accumulation
+		Addi(isa.A2, isa.A2, 1)
+	b.Label("miss")
+	independentTail(b, 10) // bounding-hierarchy walk bookkeeping
+	b.Addi(isa.A1, isa.A1, stride).
+		Andi(isa.A1, isa.A1, objs*stride-1).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "obj")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	for i := 0; i < objs; i++ {
+		a := int64(base) + int64(i)*stride
+		p.FData[a] = float64(r.intn(200)-100) / 7.0
+		p.FData[a+8] = float64(r.intn(400)-200) / 5.0
+	}
+	return p
+}
+
+// dealII mimics 447.dealII's sparse-matrix assembly: indirect column-index
+// loads (gather), FP multiply-accumulate and a fill-in branch.
+func dealII(scale int) *program.Program {
+	b := program.NewBuilder("dealII")
+	r := lcg(107)
+	const nnz, vals = 1024, 512
+	const idxBase, valBase = 1 << 22, 1 << 23
+	b.Label("entry").
+		Li(isa.S0, idxBase).
+		Li(isa.S1, valBase).
+		Li(isa.A0, int64(scale)).
+		Li(isa.A1, 0)
+	b.Label("nz").
+		Add(isa.T0, isa.S0, isa.A1).
+		Lw(isa.T1, isa.T0, 0). // column index
+		Slli(isa.T2, isa.T1, 13).
+		Add(isa.T3, isa.S1, isa.T2).
+		Flw(isa.F0, isa.T3, 0). // gathered value: scattered, long latency
+		Fadd(isa.F1, isa.F1, isa.F0).
+		Andi(isa.T4, isa.T1, 7).
+		Beqz(isa.T4, "fillin")
+	b.Label("nofill")
+	independentTail(b, 9)
+	b.J("next")
+	b.Label("fillin").
+		Fmul(isa.F2, isa.F0, isa.F0).
+		Fadd(isa.F3, isa.F3, isa.F2).
+		Addi(isa.A2, isa.A2, 1)
+	b.Label("next").
+		Addi(isa.A1, isa.A1, 8).
+		Andi(isa.A1, isa.A1, nnz*8-1).
+		Addi(isa.A0, isa.A0, -1).
+		Bnez(isa.A0, "nz")
+	b.Label("done").Halt()
+	p := b.MustBuild()
+	for i := 0; i < nnz; i++ {
+		p.Data[idxBase+int64(i)*8] = int64(r.intn(vals))
+	}
+	for i := 0; i < vals; i++ {
+		p.FData[valBase+int64(i)*8192] = float64(r.intn(1000)) / 19.0
+	}
+	return p
+}

@@ -1,0 +1,206 @@
+package workloads
+
+import (
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/compiler"
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/pipeline"
+)
+
+const maxDyn = 1 << 21
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) < 20 {
+		t.Fatalf("only %d workloads registered, want >= 20", len(all))
+	}
+	spec, mib := 0, 0
+	for _, w := range all {
+		switch w.Suite {
+		case SPEC:
+			spec++
+		case MiBench:
+			mib++
+		default:
+			t.Errorf("%s: unknown suite %q", w.Name, w.Suite)
+		}
+	}
+	if spec < 14 || mib < 6 {
+		t.Errorf("suite counts: SPEC-like %d, MiBench-like %d", spec, mib)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("mcf"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+// TestEveryWorkloadTerminates runs each kernel functionally at its default
+// scale and checks it halts within budget with a sensible mix.
+func TestEveryWorkloadTerminates(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := w.Build(w.DefaultScale)
+			img, err := p.Layout()
+			if err != nil {
+				t.Fatalf("layout: %v", err)
+			}
+			m := emulator.New(img)
+			tr, err := m.Run(maxDyn)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !m.Halted() {
+				t.Fatalf("did not halt within %d instructions (%d executed)", maxDyn, tr.Len())
+			}
+			if tr.Len() < 5000 {
+				t.Errorf("only %d dynamic instructions; scale up", tr.Len())
+			}
+			if tr.Len() > 1<<20 {
+				t.Errorf("%d dynamic instructions; scale down", tr.Len())
+			}
+			if tr.Branches == 0 {
+				t.Error("no conditional branches executed")
+			}
+		})
+	}
+}
+
+// TestEveryWorkloadCompiles runs the NOREBA pass over each kernel and
+// verifies (a) semantics are preserved and (b) at least one branch was
+// marked.
+func TestEveryWorkloadCompiles(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			scale := w.DefaultScale / 4
+			if scale < 2 {
+				scale = 2
+			}
+			p := w.Build(scale)
+			img, err := p.Layout()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m1 := emulator.New(img)
+			if _, err := m1.Run(maxDyn); err != nil {
+				t.Fatal(err)
+			}
+
+			res, err := compiler.Compile(w.Build(scale), compiler.DefaultOptions())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			// Pure-loop kernels (sha, lbm, …) legitimately have nothing to
+			// mark once loop-closing branches are excluded; kernels with
+			// data-dependent hammocks must get marked.
+			switch w.Name {
+			case "mcf", "bzip2", "astar", "gobmk", "dijkstra", "qsort":
+				if res.Stats.MarkedBranches == 0 {
+					t.Error("compiler marked no branches")
+				}
+			}
+			m2 := emulator.New(res.Image)
+			if _, err := m2.Run(maxDyn); err != nil {
+				t.Fatal(err)
+			}
+			if m1.IntRegs != m2.IntRegs || m1.FPRegs != m2.FPRegs {
+				t.Error("architectural state diverged after annotation")
+			}
+			for a, v := range m1.Mem {
+				if m2.Mem[a] != v {
+					t.Errorf("mem[%#x]: %d vs %d", a, v, m2.Mem[a])
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadsDeterministic: building twice yields identical programs and
+// traces.
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, w := range All() {
+		p1 := w.Build(10)
+		p2 := w.Build(10)
+		i1, err1 := p1.Layout()
+		i2, err2 := p2.Layout()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: layout errors %v %v", w.Name, err1, err2)
+		}
+		if len(i1.Insts) != len(i2.Insts) {
+			t.Errorf("%s: nondeterministic build", w.Name)
+			continue
+		}
+		t1, _ := emulator.New(i1).Run(1 << 16)
+		t2, _ := emulator.New(i2).Run(1 << 16)
+		if t1.Len() != t2.Len() {
+			t.Errorf("%s: nondeterministic trace (%d vs %d)", w.Name, t1.Len(), t2.Len())
+		}
+	}
+}
+
+// TestScaleControlsLength: doubling scale roughly doubles dynamic length.
+func TestScaleControlsLength(t *testing.T) {
+	for _, name := range []string{"mcf", "CRC32", "sha"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(scale int) int {
+			img, _ := w.Build(scale).Layout()
+			tr, _ := emulator.New(img).Run(maxDyn)
+			return tr.Len()
+		}
+		l1, l2 := run(50), run(100)
+		ratio := float64(l2) / float64(l1)
+		if ratio < 1.5 || ratio > 2.5 {
+			t.Errorf("%s: scale 50→100 changed length %d→%d (ratio %.2f)", name, l1, l2, ratio)
+		}
+	}
+}
+
+// TestCharacterContrast checks Figure 7's characterisation directly: under
+// in-order commit, the branch that stalls the ROB the most must have far
+// fewer dynamic dependents per occurrence in mcf than in bzip2.
+func TestCharacterContrast(t *testing.T) {
+	depsPerOcc := func(name string) float64 {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := compiler.Compile(w.Build(w.DefaultScale/8+2), compiler.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := emulator.New(res.Image).Run(maxDyn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := pipeline.SkylakeConfig()
+		cfg.PrefetchEnabled = false
+		st, err := pipeline.NewCore(cfg, tr, res.Meta).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var critical *pipeline.BranchStall
+		for _, bs := range st.BranchStalls {
+			if critical == nil || bs.StallCycles > critical.StallCycles {
+				critical = bs
+			}
+		}
+		if critical == nil || critical.Occurrences == 0 {
+			t.Fatalf("%s: no critical branch found", name)
+		}
+		return float64(critical.Dependents) / float64(critical.Occurrences)
+	}
+	fm, fb := depsPerOcc("mcf"), depsPerOcc("bzip2")
+	if fm >= fb {
+		t.Errorf("critical-branch dependents per occurrence: mcf %.1f should be below bzip2 %.1f", fm, fb)
+	}
+}

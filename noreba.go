@@ -1,0 +1,194 @@
+// Package noreba is the public API of the NOREBA reproduction: a compiler
+// pass and cycle-level processor simulator for compiler-informed,
+// non-speculative out-of-order commit (Hajiabadi, Diavastos, Carlson —
+// ASPLOS 2021).
+//
+// The typical flow mirrors the paper's toolchain:
+//
+//	prog, _ := noreba.Assemble("kernel", src) // or build with a Builder
+//	res, _ := noreba.Compile(prog)            // branch-dependent code detection pass
+//	trace, _ := noreba.Trace(res, 1<<20)      // functional execution
+//	cfg := noreba.Skylake(noreba.PolicyNoreba)
+//	stats, _ := noreba.Simulate(cfg, trace, res.Meta)
+//	fmt.Println(stats.IPC())
+//
+// The experiment harness behind the Figures (see cmd/noreba-bench and the
+// root benchmarks) is exposed through NewRunner.
+package noreba
+
+import (
+	"github.com/noreba-sim/noreba/internal/compiler"
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/experiments"
+	"github.com/noreba-sim/noreba/internal/isa"
+	"github.com/noreba-sim/noreba/internal/multicore"
+	"github.com/noreba-sim/noreba/internal/pipeline"
+	"github.com/noreba-sim/noreba/internal/power"
+	"github.com/noreba-sim/noreba/internal/program"
+	"github.com/noreba-sim/noreba/internal/workloads"
+)
+
+// Program construction.
+type (
+	// Program is a mutable program: labelled basic blocks plus data.
+	Program = program.Program
+	// Builder constructs programs block by block.
+	Builder = program.Builder
+	// Image is a laid-out program with resolved branch targets.
+	Image = program.Image
+)
+
+// NewBuilder returns a program builder.
+func NewBuilder(name string) *Builder { return program.NewBuilder(name) }
+
+// Assemble parses textual assembly into a Program.
+func Assemble(name, src string) (*Program, error) { return program.Assemble(name, src) }
+
+// Compiler pass.
+type (
+	// CompileOptions configures the branch-dependent code detection pass.
+	CompileOptions = compiler.Options
+	// CompileResult holds the annotated program, image, branch metadata
+	// and pass statistics.
+	CompileResult = compiler.Result
+	// BranchMeta describes one conditional branch in the final image.
+	BranchMeta = compiler.BranchMeta
+)
+
+// DefaultCompileOptions mirrors the paper's hardware configuration (8 BIT
+// entries, 31-instruction regions).
+func DefaultCompileOptions() CompileOptions { return compiler.DefaultOptions() }
+
+// Compile runs the NOREBA compiler pass with default options.
+func Compile(p *Program) (*CompileResult, error) {
+	return compiler.Compile(p, compiler.DefaultOptions())
+}
+
+// CompileWith runs the pass with explicit options.
+func CompileWith(p *Program, opt CompileOptions) (*CompileResult, error) {
+	return compiler.Compile(p, opt)
+}
+
+// Functional execution.
+type (
+	// Machine is the functional (architectural) emulator.
+	Machine = emulator.Machine
+	// DynTrace is a correct-path dynamic instruction trace.
+	DynTrace = emulator.Trace
+)
+
+// NewMachine returns an emulator for the image.
+func NewMachine(img *Image) *Machine { return emulator.New(img) }
+
+// Trace functionally executes a compiled program for at most maxInsts
+// dynamic instructions and returns the trace the simulator replays.
+func Trace(res *CompileResult, maxInsts int64) (*DynTrace, error) {
+	return emulator.New(res.Image).Run(maxInsts)
+}
+
+// Cycle-level simulation.
+type (
+	// Config describes a simulated core.
+	Config = pipeline.Config
+	// Stats is the result of one simulation.
+	Stats = pipeline.Stats
+	// Policy selects the commit policy.
+	Policy = pipeline.PolicyKind
+)
+
+// Commit policies (the rows of the paper's figures).
+const (
+	PolicyInOrder     = pipeline.InOrder
+	PolicyNonSpecOoO  = pipeline.NonSpecOoO
+	PolicyNoreba      = pipeline.Noreba
+	PolicyIdealReconv = pipeline.IdealReconv
+	PolicySpecBR      = pipeline.SpecBR
+	PolicySpec        = pipeline.Spec
+)
+
+// Skylake returns the paper's Skylake-like core (Table 3) with the given
+// commit policy.
+func Skylake(p Policy) Config {
+	cfg := pipeline.SkylakeConfig()
+	cfg.Policy = p
+	return cfg
+}
+
+// Haswell returns the Haswell-like core with the given policy.
+func Haswell(p Policy) Config {
+	cfg := pipeline.HaswellConfig()
+	cfg.Policy = p
+	return cfg
+}
+
+// Nehalem returns the Nehalem-like core with the given policy.
+func Nehalem(p Policy) Config {
+	cfg := pipeline.NehalemConfig()
+	cfg.Policy = p
+	return cfg
+}
+
+// Simulate replays a trace through the cycle-level model. meta may be nil
+// for unannotated programs (NOREBA then degenerates safely to in-order
+// commit).
+func Simulate(cfg Config, tr *DynTrace, meta *compiler.Meta) (*Stats, error) {
+	return pipeline.NewCore(cfg, tr, meta).Run()
+}
+
+// Power modelling.
+type (
+	// PowerBreakdown is a per-structure power/area estimate.
+	PowerBreakdown = power.Breakdown
+)
+
+// EstimatePower runs the McPAT-style activity model over a finished run.
+func EstimatePower(cfg Config, st *Stats) PowerBreakdown { return power.Estimate(cfg, st) }
+
+// Workloads and experiments.
+type (
+	// Workload is one registered benchmark kernel.
+	Workload = workloads.Workload
+	// Runner regenerates the paper's figures.
+	Runner = experiments.Runner
+)
+
+// Workloads returns the registered SPEC-like and MiBench-like kernels.
+func Workloads() []Workload { return workloads.All() }
+
+// WorkloadByName returns the named kernel.
+func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// NewRunner returns a full-scale experiment runner.
+func NewRunner() *Runner { return experiments.NewRunner() }
+
+// QuickRunner returns a reduced-scale runner (used by tests and the root
+// benchmarks).
+func QuickRunner() *Runner { return experiments.QuickRunner() }
+
+// ConfigTables renders the paper's Table 2 and Table 3.
+func ConfigTables() string { return experiments.Tables2And3() }
+
+// Multicore (§4.5).
+type (
+	// MulticoreConfig describes a multicore system: per-core configuration,
+	// shared LLC, barriers and address-space layout.
+	MulticoreConfig = multicore.Config
+	// CoreInput is one core's trace and branch metadata.
+	CoreInput = multicore.CoreInput
+	// MulticoreSystem is a set of cores stepping in lockstep.
+	MulticoreSystem = multicore.System
+)
+
+// NewMulticore builds a lockstep multicore system.
+func NewMulticore(cfg MulticoreConfig, inputs []CoreInput) (*MulticoreSystem, error) {
+	return multicore.New(cfg, inputs)
+}
+
+// Binary distribution of programs.
+
+// EncodeImage packs a laid-out program's instructions into the flat binary
+// format (8 bytes per instruction, position-independent branch deltas).
+func EncodeImage(img *Image) ([]byte, error) { return isa.EncodeProgram(img.Insts) }
+
+// DecodeImage unpacks instructions from the flat binary format.
+func DecodeImage(data []byte) ([]isa.Inst, error) { return isa.DecodeProgram(data) }
