@@ -1,0 +1,11 @@
+.PHONY: check test bench
+
+# Full CI gate: gofmt, vet, build, race-enabled tests, engine benchmarks.
+check:
+	sh scripts/check.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -run '^$$' -bench . -benchtime=1x -benchmem .

@@ -11,7 +11,11 @@
 package noreba
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"github.com/noreba-sim/noreba/internal/experiments"
 )
@@ -85,6 +89,54 @@ func BenchmarkFigure15(b *testing.B) {
 // BenchmarkFigure16 regenerates the power/area breakdown.
 func BenchmarkFigure16(b *testing.B) {
 	benchFigure(b, func(r *experiments.Runner) error { _, _, err := r.Figure16(); return err })
+}
+
+// BenchmarkEngineSuite runs the whole reduced-scale figure suite on one
+// shared Runner — the realistic engine workload, where the scheduler's
+// cross-figure deduplication and streaming windows pay off — and writes
+// BENCH_engine.json with wall-clock and engine counters.
+func BenchmarkEngineSuite(b *testing.B) {
+	figures := []func(*experiments.Runner) error{
+		func(r *experiments.Runner) error { _, err := r.Figure1(); return err },
+		func(r *experiments.Runner) error { _, err := r.Figure6(); return err },
+		func(r *experiments.Runner) error { _, err := r.Figure8(); return err },
+		func(r *experiments.Runner) error { _, err := r.Figure11(); return err },
+		func(r *experiments.Runner) error { _, err := r.Figure13(); return err },
+		func(r *experiments.Runner) error { _, err := r.Figure14(); return err },
+		func(r *experiments.Runner) error { _, err := r.Figure15(); return err },
+	}
+	var last *experiments.Runner
+	var elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		r := QuickRunner()
+		start := time.Now()
+		for _, fig := range figures {
+			if err := fig(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed = time.Since(start)
+		last = r
+	}
+	b.ReportMetric(float64(last.SimulationsRun()), "sims/op")
+	b.ReportMetric(float64(last.PeakWindow()), "peak-window-recs")
+
+	out := map[string]any{
+		"suiteWallClockSec": elapsed.Seconds(),
+		"simulateCalls":     last.SimulateCalls(),
+		"simulationsRun":    last.SimulationsRun(),
+		"uniqueSimulations": last.UniqueSimulations(),
+		"peakWindowRecords": last.PeakWindow(),
+		"gomaxprocs":        runtime.GOMAXPROCS(0),
+		"maxInsts":          last.MaxInsts,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_engine.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkTables2And3 renders the configuration tables.

@@ -55,13 +55,9 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	tr, err := noreba.Trace(res, 1<<20)
-	if err != nil {
-		fatalf("%v", err)
-	}
 	cfg := noreba.Skylake(policy)
 	cfg.PipeTraceLimit = *skip + *n
-	st, err := noreba.Simulate(cfg, tr, res.Meta)
+	st, err := noreba.SimulateSource(cfg, noreba.StreamTrace(res, 1<<20), res.Meta)
 	if err != nil {
 		fatalf("%v", err)
 	}

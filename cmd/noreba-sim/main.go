@@ -81,15 +81,12 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		tr, err := emulator.New(img).Run(*maxInsts)
-		if err != nil {
-			fatalf("trace: %v", err)
-		}
-		st, err := noreba.Simulate(cfg, tr, meta)
+		src := emulator.NewSource(emulator.New(img), *maxInsts)
+		st, err := noreba.SimulateSource(cfg, src, meta)
 		if err != nil {
 			fatalf("simulate: %v", err)
 		}
-		report(*image, cfg, tr, st, *jsonOut)
+		report(*image, cfg, st, *jsonOut)
 		return
 	}
 
@@ -121,19 +118,15 @@ func main() {
 	if err != nil {
 		fatalf("compile: %v", err)
 	}
-	tr, err := noreba.Trace(res, *maxInsts)
-	if err != nil {
-		fatalf("trace: %v", err)
-	}
-	st, err := noreba.Simulate(cfg, tr, res.Meta)
+	st, err := noreba.SimulateSource(cfg, noreba.StreamTrace(res, *maxInsts), res.Meta)
 	if err != nil {
 		fatalf("simulate: %v", err)
 	}
-	report(name, cfg, tr, st, *jsonOut)
+	report(name, cfg, st, *jsonOut)
 }
 
 // report prints a run's statistics, as text or JSON.
-func report(name string, cfg noreba.Config, tr *noreba.DynTrace, st *noreba.Stats, asJSON bool) {
+func report(name string, cfg noreba.Config, st *noreba.Stats, asJSON bool) {
 	breakdown := noreba.EstimatePower(cfg, st)
 	if asJSON {
 		out := map[string]any{
@@ -142,7 +135,7 @@ func report(name string, cfg noreba.Config, tr *noreba.DynTrace, st *noreba.Stat
 			"policy":          st.Policy,
 			"prefetch":        cfg.PrefetchEnabled,
 			"ecl":             cfg.ECL,
-			"dynamicInsts":    tr.Len(),
+			"dynamicInsts":    st.TraceInsts,
 			"cycles":          st.Cycles,
 			"ipc":             st.IPC(),
 			"oooCommitted":    st.OoOCommitted,
@@ -174,7 +167,7 @@ func report(name string, cfg noreba.Config, tr *noreba.DynTrace, st *noreba.Stat
 		return
 	}
 
-	fmt.Printf("workload        %s (%d dynamic instructions)\n", name, tr.Len())
+	fmt.Printf("workload        %s (%d dynamic instructions)\n", name, st.TraceInsts)
 	fmt.Printf("core            %s  policy %s  prefetch %v  ECL %v\n", cfg.Name, st.Policy, cfg.PrefetchEnabled, cfg.ECL)
 	fmt.Printf("cycles          %d\n", st.Cycles)
 	fmt.Printf("IPC             %.3f\n", st.IPC())

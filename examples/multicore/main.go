@@ -25,11 +25,7 @@ func input(name string, scale int) multicore.CoreInput {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr, err := noreba.Trace(res, 1<<20)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return multicore.CoreInput{Trace: tr, Meta: res.Meta}
+	return multicore.CoreInput{Source: noreba.StreamTrace(res, 1<<20), Meta: res.Meta}
 }
 
 func run(policy pipeline.PolicyKind, share bool) []*pipeline.Stats {

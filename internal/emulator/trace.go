@@ -31,21 +31,12 @@ type Trace struct {
 // Run executes until halt, a memory exception, or maxInsts dynamic
 // instructions, and returns the trace. On a memory exception the trace
 // includes the faulting instruction (Trap set) and the error is returned.
+//
+// Run materializes the whole stream; callers that only need to consume the
+// stream once (the pipeline's sliding window) should use NewSource instead,
+// which runs in O(1) memory.
 func (m *Machine) Run(maxInsts int64) (*Trace, error) {
-	tr := &Trace{Name: m.img.Name}
-	for !m.Halted() && int64(len(tr.Insts)) < maxInsts {
-		d, err := m.Step()
-		if err != nil {
-			if _, ok := err.(*MemError); ok {
-				tr.Insts = append(tr.Insts, d)
-				tr.count(d)
-			}
-			return tr, err
-		}
-		tr.Insts = append(tr.Insts, d)
-		tr.count(d)
-	}
-	return tr, nil
+	return Materialize(NewSource(m, maxInsts))
 }
 
 func (tr *Trace) count(d DynInst) {

@@ -21,10 +21,26 @@ func (r *Runner) AblationCIT() (*metrics.Table, error) {
 		cols = append(cols, fmt.Sprintf("CIT %d", s))
 	}
 	tab := metrics.NewTable("Ablation: CIT sizing (geomean speedup over InO-C)", cols...)
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	var reqs []simReq
+	for _, name := range names {
+		reqs = append(reqs, simReq{name, skylake(pipeline.InOrder)})
+		for _, size := range sizes {
+			cfg := skylake(pipeline.Noreba)
+			cfg.Selective.CITSize = size
+			reqs = append(reqs, simReq{name, cfg})
+		}
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
 	var vals []float64
 	for _, size := range sizes {
 		var speedups []float64
-		for _, name := range r.names() {
+		for _, name := range names {
 			base, err := r.Simulate(name, skylake(pipeline.InOrder))
 			if err != nil {
 				return nil, err
@@ -48,7 +64,17 @@ func (r *Runner) AblationCIT() (*metrics.Table, error) {
 // the exhaustive variant pays one setup instruction per block per loop
 // iteration for regions that are dependent anyway.
 func (r *Runner) AblationLoopMarking() (*metrics.Table, error) {
-	names := r.names()
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	var reqs []simReq
+	for _, name := range names {
+		reqs = append(reqs, simReq{name, skylake(pipeline.Noreba)})
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
 	tab := metrics.NewTable("Ablation: loop-branch marking (cycles exhaustive / cycles selective)",
 		append(append([]string{}, names...), "geomean")...)
 
@@ -85,11 +111,10 @@ func (r *Runner) simulateWithOptions(name string, cfg pipeline.Config, opt compi
 	if err != nil {
 		return nil, err
 	}
-	tr, err := emulator.New(res.Image).Run(r.MaxInsts)
-	if err != nil {
-		return nil, err
-	}
-	return pipeline.NewCore(cfg, tr, res.Meta).Run()
+	r.acquire()
+	defer r.release()
+	src := emulator.NewSource(emulator.New(res.Image), r.MaxInsts)
+	return pipeline.NewCoreFromSource(cfg, src, res.Meta).Run()
 }
 
 // AblationBITSize sweeps the Branch ID Table size (number of usable
@@ -102,10 +127,21 @@ func (r *Runner) AblationBITSize() (*metrics.Table, error) {
 		cols = append(cols, fmt.Sprintf("BIT %d", s))
 	}
 	tab := metrics.NewTable("Ablation: BIT/ID-space sizing (geomean speedup over InO-C)", cols...)
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	var reqs []simReq
+	for _, name := range names {
+		reqs = append(reqs, simReq{name, skylake(pipeline.InOrder)})
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
 	var vals []float64
 	for _, size := range sizes {
 		var speedups []float64
-		for _, name := range r.names() {
+		for _, name := range names {
 			base, err := r.Simulate(name, skylake(pipeline.InOrder))
 			if err != nil {
 				return nil, err
@@ -144,10 +180,27 @@ func (r *Runner) AblationPredictors() (*metrics.Table, error) {
 		cols = append(cols, p.name)
 	}
 	tab := metrics.NewTable("Ablation: predictor sensitivity (geomean NOREBA speedup over InO-C, same predictor)", cols...)
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	var reqs []simReq
+	for _, name := range names {
+		for _, p := range preds {
+			base := skylake(pipeline.InOrder)
+			base.Predictor = p.kind
+			cfg := skylake(pipeline.Noreba)
+			cfg.Predictor = p.kind
+			reqs = append(reqs, simReq{name, base}, simReq{name, cfg})
+		}
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
 	var vals []float64
 	for _, p := range preds {
 		var speedups []float64
-		for _, name := range r.names() {
+		for _, name := range names {
 			base := skylake(pipeline.InOrder)
 			base.Predictor = p.kind
 			baseSt, err := r.Simulate(name, base)

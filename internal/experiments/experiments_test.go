@@ -10,9 +10,18 @@ import (
 
 func geomean(xs []float64) float64 { return metrics.Geomean(xs) }
 
-// sharedRunner is reused across tests so the trace/simulation caches pay
+// sharedRunner is reused across tests so the compile/simulation caches pay
 // off (the figures deliberately share configurations).
 var sharedRunner = QuickRunner()
+
+func mustNames(t *testing.T, r *Runner) []string {
+	t.Helper()
+	names, err := r.names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
 
 func TestFigure1Shape(t *testing.T) {
 	tab, err := sharedRunner.Figure1()
@@ -33,7 +42,7 @@ func TestFigure6MainResult(t *testing.T) {
 	// speculative upper bound, and reaches a large fraction of it.
 	geo := func(policy pipeline.PolicyKind) float64 {
 		var vals []float64
-		for _, name := range sharedRunner.names() {
+		for _, name := range mustNames(t, sharedRunner) {
 			base, err := sharedRunner.Simulate(name, skylake(pipeline.InOrder))
 			if err != nil {
 				t.Fatal(err)
@@ -128,7 +137,7 @@ func TestFigure11OverheadSmall(t *testing.T) {
 		t.Errorf("Figure 11 malformed:\n%s", s)
 	}
 	// Per-workload overhead must be small (paper average: 3%).
-	for _, name := range sharedRunner.names() {
+	for _, name := range mustNames(t, sharedRunner) {
 		with, err := sharedRunner.Simulate(name, skylake(pipeline.Noreba))
 		if err != nil {
 			t.Fatal(err)
@@ -176,7 +185,7 @@ func TestFigure15WideCommitNotEnough(t *testing.T) {
 	_ = tab
 	// The paper's point: doubling commit width helps far less than NOREBA.
 	var wideGain, norebaGain []float64
-	for _, name := range sharedRunner.names() {
+	for _, name := range mustNames(t, sharedRunner) {
 		base, err := sharedRunner.Simulate(name, skylake(pipeline.InOrder))
 		if err != nil {
 			t.Fatal(err)

@@ -9,10 +9,24 @@ import (
 	"github.com/noreba-sim/noreba/internal/power"
 )
 
-// speedupTable runs the given policies over the suite and tabulates
-// per-workload speedups over the baseline config, plus a geomean column.
+// speedupTable runs the given policies over the suite — fanned out on the
+// scheduler — and tabulates per-workload speedups over the baseline config,
+// plus a geomean column.
 func (r *Runner) speedupTable(title string, baseline pipeline.Config, rows []pipeline.Config) (*metrics.Table, error) {
-	names := r.names()
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	var reqs []simReq
+	for _, name := range names {
+		reqs = append(reqs, simReq{name, baseline})
+		for _, cfg := range rows {
+			reqs = append(reqs, simReq{name, cfg})
+		}
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
 	tab := metrics.NewTable(title, append(append([]string{}, names...), "geomean")...)
 	for _, cfg := range rows {
 		var vals []float64
@@ -83,6 +97,12 @@ func (r *Runner) Figure6() (*metrics.Table, error) {
 func (r *Runner) Figure7() (*metrics.Scatter, error) {
 	sc := metrics.NewScatter("Figure 7: critical-branch distribution (SKL, InO-C)",
 		"log10(dependent instructions)", "log10(cycles ROB stalled)")
+	if err := r.runAll([]simReq{
+		{"bzip2", skylake(pipeline.InOrder)},
+		{"mcf", skylake(pipeline.InOrder)},
+	}); err != nil {
+		return nil, err
+	}
 	for _, name := range []string{"bzip2", "mcf"} {
 		st, err := r.Simulate(name, skylake(pipeline.InOrder))
 		if err != nil {
@@ -105,7 +125,17 @@ func (r *Runner) Figure7() (*metrics.Scatter, error) {
 // Figure8 reports the fraction of dynamic instructions NOREBA commits out
 // of order, per workload.
 func (r *Runner) Figure8() (*metrics.Table, error) {
-	names := r.names()
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	var reqs []simReq
+	for _, name := range names {
+		reqs = append(reqs, simReq{name, skylake(pipeline.Noreba)})
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
 	tab := metrics.NewTable("Figure 8: dynamic instructions committed out-of-order (NOREBA, SKL)", names...)
 	var vals []float64
 	for _, name := range names {
@@ -131,11 +161,34 @@ func (r *Runner) Figure9() (*metrics.Table, error) {
 	}
 	tab := metrics.NewTable("Figure 9: Selective ROB sizing, normalised to ideal Reconvergence-OoO-C", cols...)
 
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	var reqs []simReq
+	for _, robSize := range []int{224, 128} {
+		for _, name := range names {
+			ideal := skylake(pipeline.IdealReconv)
+			ideal.ROBSize = robSize
+			reqs = append(reqs, simReq{name, ideal})
+			for _, k := range knobs {
+				cfg := skylake(pipeline.Noreba)
+				cfg.ROBSize = robSize
+				cfg.Selective.NumBRCQs = k.queues
+				cfg.Selective.BRCQSize = k.entries
+				reqs = append(reqs, simReq{name, cfg})
+			}
+		}
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
+
 	for _, robSize := range []int{224, 128} {
 		var vals []float64
 		for _, k := range knobs {
 			var ratios []float64
-			for _, name := range r.names() {
+			for _, name := range names {
 				ideal := skylake(pipeline.IdealReconv)
 				ideal.ROBSize = robSize
 				idealSt, err := r.Simulate(name, ideal)
@@ -170,10 +223,27 @@ func (r *Runner) Figure10() (*metrics.Table, error) {
 	}
 	tab := metrics.NewTable("Figure 10: Selective ROB power, normalised to minimum configuration", cols...)
 
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	var reqs []simReq
+	for _, k := range knobs {
+		for _, name := range names {
+			cfg := skylake(pipeline.Noreba)
+			cfg.Selective.NumBRCQs = k.queues
+			cfg.Selective.BRCQSize = k.entries
+			reqs = append(reqs, simReq{name, cfg})
+		}
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
+
 	var vals []float64
 	for _, k := range knobs {
 		var total float64
-		for _, name := range r.names() {
+		for _, name := range names {
 			cfg := skylake(pipeline.Noreba)
 			cfg.Selective.NumBRCQs = k.queues
 			cfg.Selective.BRCQSize = k.entries
@@ -202,7 +272,19 @@ func (r *Runner) Figure10() (*metrics.Table, error) {
 // with fetched setup instructions versus a perfect design whose dependence
 // information reaches the hardware for free.
 func (r *Runner) Figure11() (*metrics.Table, error) {
-	names := r.names()
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	perfectCfg := skylake(pipeline.Noreba)
+	perfectCfg.FreeSetup = true
+	var reqs []simReq
+	for _, name := range names {
+		reqs = append(reqs, simReq{name, skylake(pipeline.Noreba)}, simReq{name, perfectCfg})
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
 	tab := metrics.NewTable("Figure 11: setup-instruction overhead (cycles with setup / cycles perfect)",
 		append(append([]string{}, names...), "geomean")...)
 	var vals []float64
@@ -238,10 +320,23 @@ func (r *Runner) Figure12() (*metrics.Table, error) {
 	tab := metrics.NewTable("Figure 12: NOREBA speedup over InO-C per core", "NHM", "HSW", "SKL")
 	inos := coreConfigs(pipeline.InOrder)
 	norebas := coreConfigs(pipeline.Noreba)
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	var reqs []simReq
+	for i := range inos {
+		for _, name := range names {
+			reqs = append(reqs, simReq{name, inos[i]}, simReq{name, norebas[i]})
+		}
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
 	var vals []float64
 	for i := range inos {
 		var speedups []float64
-		for _, name := range r.names() {
+		for _, name := range names {
 			base, err := r.Simulate(name, inos[i])
 			if err != nil {
 				return nil, err
@@ -275,13 +370,30 @@ func (r *Runner) Figure13() (*metrics.Table, error) {
 		{"NOREBA no-pf", pipeline.Noreba, false},
 		{"NOREBA+pf", pipeline.Noreba, true},
 	}
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	var reqs []simReq
+	for _, name := range names {
+		reqs = append(reqs, simReq{name, nhmBase})
+		for _, v := range variants {
+			for _, core := range coreConfigs(v.policy) {
+				core.PrefetchEnabled = v.prefetch
+				reqs = append(reqs, simReq{name, core})
+			}
+		}
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
 	for _, v := range variants {
 		cores := coreConfigs(v.policy)
 		var vals []float64
 		for _, core := range cores {
 			core.PrefetchEnabled = v.prefetch
 			var speedups []float64
-			for _, name := range r.names() {
+			for _, name := range names {
 				base, err := r.Simulate(name, nhmBase)
 				if err != nil {
 					return nil, err
@@ -334,10 +446,22 @@ func (r *Runner) Figure16() (*metrics.Table, *metrics.Table, error) {
 	powTab := metrics.NewTable("Figure 16: power by structure (normalised to InO-C total)", cols...)
 	areaTab := metrics.NewTable("Figure 16: area by structure (normalised to InO-C total)", cols...)
 
+	names, err := r.names()
+	if err != nil {
+		return nil, nil, err
+	}
+	var reqs []simReq
+	for _, name := range names {
+		reqs = append(reqs, simReq{name, skylake(pipeline.InOrder)}, simReq{name, skylake(pipeline.Noreba)})
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, nil, err
+	}
+
 	sum := func(policy pipeline.PolicyKind) (map[power.Structure]float64, map[power.Structure]float64, error) {
 		pw := map[power.Structure]float64{}
 		ar := map[power.Structure]float64{}
-		for _, name := range r.names() {
+		for _, name := range names {
 			cfg := skylake(policy)
 			st, err := r.Simulate(name, cfg)
 			if err != nil {

@@ -1,6 +1,7 @@
 // Package experiments regenerates every figure and table of the paper's
-// evaluation (§6): each FigureN function runs the required simulations —
-// reusing compiled programs, traces and finished runs through a cache — and
+// evaluation (§6): each FigureN function fans the required simulations out
+// over a parallel scheduler — deduplicating concurrent identical requests
+// and reusing compiled programs and finished runs through a cache — and
 // returns the same rows or point clouds the paper plots, as plain-text
 // tables.
 //
@@ -13,7 +14,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/noreba-sim/noreba/internal/compiler"
 	"github.com/noreba-sim/noreba/internal/emulator"
@@ -21,29 +24,129 @@ import (
 	"github.com/noreba-sim/noreba/internal/workloads"
 )
 
-// Runner caches compiled workloads, traces and simulation results across
-// figures.
+// Runner schedules simulations across figures: compiled workloads and
+// finished runs are cached, concurrent identical requests are coalesced into
+// one execution (singleflight), and distinct requests run in parallel on a
+// worker pool. Results are independent of scheduling: each simulation
+// consumes its own emulator stream and the model is deterministic, so a
+// parallel run is bit-identical to a sequential one.
 type Runner struct {
-	// MaxInsts bounds each workload's dynamic trace length.
+	// MaxInsts bounds each workload's dynamic instruction stream.
 	MaxInsts int64
 	// ScaleDiv divides every workload's default scale (for quick runs).
 	ScaleDiv int
 	// Workloads restricts the suite (nil = all registered workloads).
 	Workloads []string
+	// Parallelism caps simulations executing at once; 0 means GOMAXPROCS.
+	Parallelism int
 
-	mu     sync.Mutex
-	traces map[string]*compiledWorkload
-	sims   map[string]*pipeline.Stats
+	mu       sync.Mutex
+	compiles map[string]*compileJob
+	sims     map[simKey]*simJob
+
+	semOnce sync.Once
+	sem     chan struct{}
+
+	simReqs    atomic.Int64 // Simulate calls (cache hits included)
+	simsRun    atomic.Int64 // simulations actually executed
+	peakWindow atomic.Int64 // largest sliding window across all runs
 }
 
-type compiledWorkload struct {
-	res   *compiler.Result
-	trace *emulator.Trace
+type compileJob struct {
+	done chan struct{}
+	res  *compiler.Result
+	err  error
+}
+
+type simJob struct {
+	done chan struct{}
+	st   *pipeline.Stats
+	err  error
+}
+
+// simKey identifies one simulation request. The config portion is a
+// comparable struct mirroring every timing-relevant pipeline.Config field —
+// not a formatted string, so a key can never alias two distinct configs
+// through formatting ambiguity, and the compiler enforces that the key stays
+// a pure value.
+type simKey struct {
+	workload string
+	cfg      cfgKey
+}
+
+// cfgKey mirrors pipeline.Config field-for-field, minus FenceGate (a
+// function value: not comparable, and the experiment suite never sets it).
+// TestCfgKeyCoversConfig asserts by reflection that every other Config field
+// has a same-named counterpart here and actually distinguishes keys, so a
+// newly added Config field cannot silently alias cache entries.
+type cfgKey struct {
+	Name                                            string
+	FetchWidth, IssueWidth, CommitWidth             int
+	ROBSize, IQSize, LQSize, SQSize, RenameRegs     int
+	IntALUs, IntMulDiv, FPUs, LoadPorts, StorePorts int
+	FrontendDepth, MispredictPenalty, RASEntries    int
+	L1ISize, L1DSize, L2Size, L3Size                int
+	L1Lat, L2Lat, L3Lat, MemLat                     int64
+	CacheWays                                       int
+	PrefetchEnabled                                 bool
+	PrefetchDegree, PrefetchTable                   int
+	Predictor                                       pipeline.PredictorKind
+	Policy                                          pipeline.PolicyKind
+	Selective                                       pipeline.SelectiveROBConfig
+	ECL                                             bool
+	FreeSetup                                       bool
+	WindowFetchLimit                                int
+	PipeTraceLimit                                  int
+}
+
+func keyOf(cfg pipeline.Config) cfgKey {
+	return cfgKey{
+		Name:              cfg.Name,
+		FetchWidth:        cfg.FetchWidth,
+		IssueWidth:        cfg.IssueWidth,
+		CommitWidth:       cfg.CommitWidth,
+		ROBSize:           cfg.ROBSize,
+		IQSize:            cfg.IQSize,
+		LQSize:            cfg.LQSize,
+		SQSize:            cfg.SQSize,
+		RenameRegs:        cfg.RenameRegs,
+		IntALUs:           cfg.IntALUs,
+		IntMulDiv:         cfg.IntMulDiv,
+		FPUs:              cfg.FPUs,
+		LoadPorts:         cfg.LoadPorts,
+		StorePorts:        cfg.StorePorts,
+		FrontendDepth:     cfg.FrontendDepth,
+		MispredictPenalty: cfg.MispredictPenalty,
+		RASEntries:        cfg.RASEntries,
+		L1ISize:           cfg.L1ISize,
+		L1DSize:           cfg.L1DSize,
+		L2Size:            cfg.L2Size,
+		L3Size:            cfg.L3Size,
+		L1Lat:             cfg.L1Lat,
+		L2Lat:             cfg.L2Lat,
+		L3Lat:             cfg.L3Lat,
+		MemLat:            cfg.MemLat,
+		CacheWays:         cfg.CacheWays,
+		PrefetchEnabled:   cfg.PrefetchEnabled,
+		PrefetchDegree:    cfg.PrefetchDegree,
+		PrefetchTable:     cfg.PrefetchTable,
+		Predictor:         cfg.Predictor,
+		Policy:            cfg.Policy,
+		Selective:         cfg.Selective,
+		ECL:               cfg.ECL,
+		FreeSetup:         cfg.FreeSetup,
+		WindowFetchLimit:  cfg.WindowFetchLimit,
+		PipeTraceLimit:    cfg.PipeTraceLimit,
+	}
 }
 
 // NewRunner returns a full-scale runner over the whole suite.
 func NewRunner() *Runner {
-	return &Runner{MaxInsts: 1 << 20, ScaleDiv: 1, traces: map[string]*compiledWorkload{}, sims: map[string]*pipeline.Stats{}}
+	return &Runner{
+		MaxInsts: 1 << 20, ScaleDiv: 1,
+		compiles: map[string]*compileJob{},
+		sims:     map[simKey]*simJob{},
+	}
 }
 
 // QuickRunner returns a reduced-scale runner for tests.
@@ -54,44 +157,61 @@ func QuickRunner() *Runner {
 	return r
 }
 
-// suite returns the workload list this runner evaluates.
-func (r *Runner) suite() []workloads.Workload {
+// suite returns the workload list this runner evaluates. An unknown name in
+// Workloads is a configuration error reported to the caller, not a panic.
+func (r *Runner) suite() ([]workloads.Workload, error) {
 	if r.Workloads == nil {
-		return workloads.All()
+		return workloads.All(), nil
 	}
 	var out []workloads.Workload
 	for _, name := range r.Workloads {
 		w, err := workloads.ByName(name)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("experiments: bad workload suite: %w", err)
 		}
 		out = append(out, w)
 	}
-	return out
+	return out, nil
 }
 
 // names returns the suite's workload names.
-func (r *Runner) names() []string {
+func (r *Runner) names() ([]string, error) {
+	ws, err := r.suite()
+	if err != nil {
+		return nil, err
+	}
 	var out []string
-	for _, w := range r.suite() {
+	for _, w := range ws {
 		out = append(out, w.Name)
 	}
-	return out
+	return out, nil
 }
 
-// compiled returns the annotated image, metadata and dynamic trace of a
-// workload, building them on first use.
-func (r *Runner) compiled(name string) (*compiledWorkload, error) {
+// compiled returns the annotated image and metadata of a workload, building
+// them on first use; concurrent requests for the same workload coalesce into
+// one compilation.
+func (r *Runner) compiled(name string) (*compiler.Result, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if cw, ok := r.traces[name]; ok {
-		return cw, nil
+	if j, ok := r.compiles[name]; ok {
+		r.mu.Unlock()
+		<-j.done
+		return j.res, j.err
 	}
+	j := &compileJob{done: make(chan struct{})}
+	r.compiles[name] = j
+	r.mu.Unlock()
+
+	j.res, j.err = compileWorkload(name, r.ScaleDiv)
+	close(j.done)
+	return j.res, j.err
+}
+
+func compileWorkload(name string, scaleDiv int) (*compiler.Result, error) {
 	w, err := workloads.ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	scale := w.DefaultScale / r.ScaleDiv
+	scale := w.DefaultScale / scaleDiv
 	if scale < 2 {
 		scale = 2
 	}
@@ -99,29 +219,29 @@ func (r *Runner) compiled(name string) (*compiledWorkload, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	tr, err := emulator.New(res.Image).Run(r.MaxInsts)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", name, err)
-	}
-	cw := &compiledWorkload{res: res, trace: tr}
-	r.traces[name] = cw
-	return cw, nil
+	return res, nil
 }
 
-// cfgKey builds a cache key covering every config field that affects timing.
-func cfgKey(workload string, cfg pipeline.Config) string {
-	return fmt.Sprintf("%s|%s|%v|rob%d iq%d lq%d sq%d rf%d|w%d/%d/%d|pf%v d%d|ecl%v free%v|sel%+v|pred%d|mp%d",
-		workload, cfg.Name, cfg.Policy, cfg.ROBSize, cfg.IQSize, cfg.LQSize, cfg.SQSize, cfg.RenameRegs,
-		cfg.FetchWidth, cfg.IssueWidth, cfg.CommitWidth,
-		cfg.PrefetchEnabled, cfg.PrefetchDegree, cfg.ECL, cfg.FreeSetup,
-		cfg.Selective, cfg.Predictor, cfg.MispredictPenalty)
+// acquire claims a worker-pool slot; release returns it. The pool is sized
+// lazily so callers may set Parallelism any time before the first run.
+func (r *Runner) acquire() {
+	r.semOnce.Do(func() {
+		n := r.Parallelism
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		r.sem = make(chan struct{}, n)
+	})
+	r.sem <- struct{}{}
 }
 
-// Simulate runs (or returns the cached run of) one workload under cfg.
-// Policies that do not consume compiler annotations (the paper's baselines
-// and speculative oracles) run as if on the original binary: setup
-// instructions do not occupy fetch slots for them.
-func (r *Runner) Simulate(workload string, cfg pipeline.Config) (*pipeline.Stats, error) {
+func (r *Runner) release() { <-r.sem }
+
+// normalize applies the policy convention before keying: policies that do
+// not consume compiler annotations (the paper's baselines and speculative
+// oracles) run as if on the original binary, so setup instructions do not
+// occupy fetch slots for them.
+func normalize(cfg pipeline.Config) pipeline.Config {
 	switch cfg.Policy {
 	case pipeline.Noreba, pipeline.IdealReconv:
 		// Annotated binary: setup instructions cost fetch slots unless the
@@ -129,28 +249,106 @@ func (r *Runner) Simulate(workload string, cfg pipeline.Config) (*pipeline.Stats
 	default:
 		cfg.FreeSetup = true
 	}
+	return cfg
+}
 
-	key := cfgKey(workload, cfg)
+// Simulate runs (or returns the cached run of) one workload under cfg.
+// Concurrent calls with the same (workload, cfg) coalesce into a single
+// execution; distinct requests proceed in parallel up to the pool size.
+func (r *Runner) Simulate(workload string, cfg pipeline.Config) (*pipeline.Stats, error) {
+	r.simReqs.Add(1)
+	cfg = normalize(cfg)
+	key := simKey{workload: workload, cfg: keyOf(cfg)}
+
 	r.mu.Lock()
-	if st, ok := r.sims[key]; ok {
+	if j, ok := r.sims[key]; ok {
 		r.mu.Unlock()
-		return st, nil
+		<-j.done
+		return j.st, j.err
 	}
+	j := &simJob{done: make(chan struct{})}
+	r.sims[key] = j
 	r.mu.Unlock()
 
-	cw, err := r.compiled(workload)
+	j.st, j.err = r.runSim(workload, cfg)
+	close(j.done)
+	return j.st, j.err
+}
+
+// runSim executes one simulation on the worker pool. Each run drives its own
+// live emulator through the pipeline's sliding window, so no materialized
+// trace is ever held: per-run memory is bounded by the in-flight span.
+func (r *Runner) runSim(workload string, cfg pipeline.Config) (*pipeline.Stats, error) {
+	res, err := r.compiled(workload)
 	if err != nil {
 		return nil, err
 	}
-	st, err := pipeline.NewCore(cfg, cw.trace, cw.res.Meta).Run()
+	r.acquire()
+	defer r.release()
+	r.simsRun.Add(1)
+	src := emulator.NewSource(emulator.New(res.Image), r.MaxInsts)
+	st, err := pipeline.NewCoreFromSource(cfg, src, res.Meta).Run()
 	if err != nil {
 		return nil, fmt.Errorf("%s under %v: %w", workload, cfg.Policy, err)
 	}
-	r.mu.Lock()
-	r.sims[key] = st
-	r.mu.Unlock()
+	for {
+		p := r.peakWindow.Load()
+		if st.WindowPeak <= p || r.peakWindow.CompareAndSwap(p, st.WindowPeak) {
+			break
+		}
+	}
 	return st, nil
 }
+
+// simReq names one simulation for the fan-out helpers.
+type simReq struct {
+	workload string
+	cfg      pipeline.Config
+}
+
+// runAll schedules every request concurrently and waits for all of them,
+// returning the first error. Figures call it to warm the cache in parallel,
+// then assemble their tables from guaranteed hits.
+func (r *Runner) runAll(reqs []simReq) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, q := range reqs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Simulate(q.workload, q.cfg); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// SimulateCalls returns how many Simulate requests the runner has received,
+// cache hits included.
+func (r *Runner) SimulateCalls() int64 { return r.simReqs.Load() }
+
+// SimulationsRun returns how many simulations actually executed (requests
+// minus coalesced/cached ones).
+func (r *Runner) SimulationsRun() int64 { return r.simsRun.Load() }
+
+// UniqueSimulations returns the number of distinct (workload, config) keys
+// the runner has seen.
+func (r *Runner) UniqueSimulations() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sims)
+}
+
+// PeakWindow returns the largest sliding-window high-water mark (live
+// instruction records) observed across all simulations.
+func (r *Runner) PeakWindow() int64 { return r.peakWindow.Load() }
 
 // skylake returns the paper's default evaluation core (SKL + DCPT).
 func skylake(policy pipeline.PolicyKind) pipeline.Config {

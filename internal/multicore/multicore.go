@@ -22,10 +22,12 @@ import (
 	"github.com/noreba-sim/noreba/internal/pipeline"
 )
 
-// CoreInput is one core's program: its trace and branch metadata.
+// CoreInput is one core's program: its dynamic instruction stream and branch
+// metadata. Any TraceSource works — a live emulator (memory stays bounded by
+// each core's in-flight window) or a materialized Trace via Trace.Source.
 type CoreInput struct {
-	Trace *emulator.Trace
-	Meta  *compiler.Meta
+	Source emulator.TraceSource
+	Meta   *compiler.Meta
 }
 
 // Config describes the system.
@@ -65,15 +67,27 @@ func New(cfg Config, inputs []CoreInput) (*System, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("multicore: no cores")
 	}
+	srcs := make([]emulator.TraceSource, len(inputs))
+	for i, in := range inputs {
+		srcs[i] = in.Source
+	}
 	if cfg.Barriers {
+		// Validating barrier counts requires seeing each whole stream up
+		// front, so barrier mode materializes the inputs and replays them;
+		// unsynchronised systems keep streaming.
 		fences := -1
-		for i, in := range inputs {
-			n := countFences(in.Trace)
+		for i, src := range srcs {
+			tr, err := emulator.Materialize(src)
+			if err != nil {
+				return nil, fmt.Errorf("multicore: core %d stream: %w", i, err)
+			}
+			n := countFences(tr)
 			if fences == -1 {
 				fences = n
 			} else if n != fences {
 				return nil, fmt.Errorf("multicore: core %d has %d fences, core 0 has %d — barrier counts must match", i, n, fences)
 			}
+			srcs[i] = tr.Source()
 		}
 	}
 
@@ -87,15 +101,16 @@ func New(cfg Config, inputs []CoreInput) (*System, error) {
 	}
 
 	for i, in := range inputs {
+		src := srcs[i]
 		if off := cfg.AddressSpaceStride * int64(i); off != 0 {
-			in.Trace = offsetAddresses(in.Trace, off)
+			src = &offsetSource{src: src, delta: off}
 		}
 		coreCfg := cfg.Core
 		if cfg.Barriers {
 			id := i
 			coreCfg.FenceGate = func(n int64) bool { return s.barrierGate(id, n) }
 		}
-		core := pipeline.NewCore(coreCfg, in.Trace, in.Meta)
+		core := pipeline.NewCoreFromSource(coreCfg, src, in.Meta)
 		if cfg.ShareLLC {
 			d := &cache.Hierarchy{
 				Levels: []*cache.Cache{
@@ -120,19 +135,25 @@ func New(cfg Config, inputs []CoreInput) (*System, error) {
 	return s, nil
 }
 
-// offsetAddresses returns a copy of the trace with every memory address
-// shifted by delta (a distinct physical address space for one core).
-func offsetAddresses(tr *emulator.Trace, delta int64) *emulator.Trace {
-	out := *tr
-	out.Insts = make([]emulator.DynInst, len(tr.Insts))
-	copy(out.Insts, tr.Insts)
-	for i := range out.Insts {
-		if out.Insts[i].Inst.Op.IsMem() {
-			out.Insts[i].Addr += delta
-		}
-	}
-	return &out
+// offsetSource shifts every memory address in the stream by delta (a
+// distinct physical address space for one core) without copying the stream.
+type offsetSource struct {
+	src   emulator.TraceSource
+	delta int64
 }
+
+func (s *offsetSource) Name() string { return s.src.Name() }
+
+func (s *offsetSource) Next() (emulator.DynInst, bool) {
+	d, ok := s.src.Next()
+	if ok && d.Inst.Op.IsMem() {
+		d.Addr += s.delta
+	}
+	return d, ok
+}
+
+func (s *offsetSource) Err() error              { return s.src.Err() }
+func (s *offsetSource) Counts() emulator.Counts { return s.src.Counts() }
 
 func countFences(tr *emulator.Trace) int {
 	n := 0

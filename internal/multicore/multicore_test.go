@@ -11,7 +11,7 @@ import (
 	"github.com/noreba-sim/noreba/internal/workloads"
 )
 
-func inputFor(t *testing.T, name string, scale int) CoreInput {
+func inputFor(t *testing.T, name string, scale int) (CoreInput, *emulator.Trace) {
 	t.Helper()
 	w, err := workloads.ByName(name)
 	if err != nil {
@@ -25,7 +25,7 @@ func inputFor(t *testing.T, name string, scale int) CoreInput {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return CoreInput{Trace: tr, Meta: res.Meta}
+	return CoreInput{Source: tr.Source(), Meta: res.Meta}, tr
 }
 
 func coreCfg(policy pipeline.PolicyKind) pipeline.Config {
@@ -37,7 +37,9 @@ func coreCfg(policy pipeline.PolicyKind) pipeline.Config {
 func TestSharedLLCContention(t *testing.T) {
 	// Two memory-hungry kernels sharing a 1MB L3 must miss it more than
 	// each running with a private L3.
-	inputs := []CoreInput{inputFor(t, "mcf", 200), inputFor(t, "omnetpp", 200)}
+	in0, _ := inputFor(t, "mcf", 200)
+	in1, _ := inputFor(t, "omnetpp", 200)
+	inputs := []CoreInput{in0, in1}
 
 	private, err := New(Config{Core: coreCfg(pipeline.Noreba), AddressSpaceStride: 1 << 32}, inputs)
 	if err != nil {
@@ -48,7 +50,10 @@ func TestSharedLLCContention(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	inputs2 := []CoreInput{inputFor(t, "mcf", 200), inputFor(t, "omnetpp", 200)}
+	in20, tr0 := inputFor(t, "mcf", 200)
+	in21, tr1 := inputFor(t, "omnetpp", 200)
+	inputs2 := []CoreInput{in20, in21}
+	traces2 := []*emulator.Trace{tr0, tr1}
 	shared, err := New(Config{Core: coreCfg(pipeline.Noreba), ShareLLC: true, AddressSpaceStride: 1 << 32}, inputs2)
 	if err != nil {
 		t.Fatal(err)
@@ -68,7 +73,7 @@ func TestSharedLLCContention(t *testing.T) {
 	}
 	// Conservation still holds per core.
 	for i, st := range statsShared {
-		want := int64(inputs2[i].Trace.Len()) - inputs2[i].Trace.Setup
+		want := int64(traces2[i].Len()) - traces2[i].Setup
 		if st.Committed != want {
 			t.Errorf("core %d committed %d, want %d", i, st.Committed, want)
 		}
@@ -97,7 +102,7 @@ func barrierProgram(t *testing.T, name string, phases, work int) CoreInput {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return CoreInput{Trace: tr, Meta: res.Meta}
+	return CoreInput{Source: tr.Source(), Meta: res.Meta}
 }
 
 func TestBarriersKeepCoresInStep(t *testing.T) {
@@ -164,7 +169,7 @@ func TestUnsyncedFencesRunFree(t *testing.T) {
 
 func TestSingleCoreMatchesPipelineRun(t *testing.T) {
 	// A one-core system must agree with Core.Run exactly.
-	in := inputFor(t, "dijkstra", 20)
+	in, _ := inputFor(t, "dijkstra", 20)
 	sys, err := New(Config{Core: coreCfg(pipeline.Noreba)}, []CoreInput{in})
 	if err != nil {
 		t.Fatal(err)
@@ -174,8 +179,8 @@ func TestSingleCoreMatchesPipelineRun(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	in2 := inputFor(t, "dijkstra", 20)
-	direct, err := pipeline.NewCore(coreCfg(pipeline.Noreba), in2.Trace, in2.Meta).Run()
+	in2, tr2 := inputFor(t, "dijkstra", 20)
+	direct, err := pipeline.NewCore(coreCfg(pipeline.Noreba), tr2, in2.Meta).Run()
 	if err != nil {
 		t.Fatal(err)
 	}

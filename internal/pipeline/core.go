@@ -11,12 +11,15 @@ import (
 	"github.com/noreba-sim/noreba/internal/prefetch"
 )
 
-// Core replays one dynamic trace through the cycle-level pipeline model
-// under a given configuration and commit policy.
+// Core replays one dynamic instruction stream through the cycle-level
+// pipeline model under a given configuration and commit policy. The stream
+// is consumed through a bounded sliding window: the core addresses
+// instructions by trace index, the window pulls them from the source on
+// demand and releases them once committed, so memory is proportional to the
+// in-flight span rather than the stream length.
 type Core struct {
 	cfg    Config
-	trace  *emulator.Trace
-	deps   []DepInfo
+	win    *window
 	meta   *compiler.Meta
 	policy policy
 
@@ -59,17 +62,8 @@ type Core struct {
 	// Completion event buckets keyed by cycle.
 	completions map[int64][]*Entry
 
-	// Retirement bookkeeping.
-	committedByIdx []bool
-	fetchedByIdx   []bool
-	// Branch-prediction bookkeeping: each dynamic branch is predicted and
-	// trained exactly once (its first fetch); a re-fetch after its own
-	// recovery is correctly predicted (the predictor was fixed at resolve),
-	// while re-fetches of squashed window branches reuse the original
-	// prediction.
-	predictedByIdx []bool
-	predMispByIdx  []bool
-	recoveredByIdx []bool
+	// Retirement bookkeeping. Per-instruction flags live in the window's
+	// records; only the frontiers stay here.
 	frontierIdx    int // smallest trace index not yet committed
 	highWater      int // maximum cursor value ever reached
 	memFrontierIdx int // smallest memory-op trace index not yet committed
@@ -81,24 +75,20 @@ type Core struct {
 // a modelling bug and are reported as an error.
 const maxCycles = int64(1) << 33
 
-// NewCore builds a core for the trace. meta may be nil (unannotated
-// program).
-func NewCore(cfg Config, tr *emulator.Trace, meta *compiler.Meta) *Core {
+// NewCoreFromSource builds a core consuming the instruction stream. meta may
+// be nil (unannotated program). The source is drained incrementally; peak
+// buffering is bounded by the in-flight span and reported in
+// Stats.WindowPeak.
+func NewCoreFromSource(cfg Config, src emulator.TraceSource, meta *compiler.Meta) *Core {
 	c := &Core{
-		cfg:            cfg,
-		trace:          tr,
-		deps:           ComputeDeps(tr, cfg.Selective.BITSize),
-		meta:           meta,
-		dcache:         cfg.hierarchy(),
-		icache:         cfg.icache(),
-		ras:            branchpred.NewRAS(cfg.RASEntries),
-		branchBySeq:    map[int64]*Entry{},
-		completions:    map[int64][]*Entry{},
-		committedByIdx: make([]bool, len(tr.Insts)),
-		fetchedByIdx:   make([]bool, len(tr.Insts)),
-		predictedByIdx: make([]bool, len(tr.Insts)),
-		predMispByIdx:  make([]bool, len(tr.Insts)),
-		recoveredByIdx: make([]bool, len(tr.Insts)),
+		cfg:         cfg,
+		win:         newWindow(src, cfg.Selective.BITSize),
+		meta:        meta,
+		dcache:      cfg.hierarchy(),
+		icache:      cfg.icache(),
+		ras:         branchpred.NewRAS(cfg.RASEntries),
+		branchBySeq: map[int64]*Entry{},
+		completions: map[int64][]*Entry{},
 	}
 	switch cfg.Predictor {
 	case PredBimodal:
@@ -112,9 +102,15 @@ func NewCore(cfg Config, tr *emulator.Trace, meta *compiler.Meta) *Core {
 		c.dcpt = prefetch.New(cfg.PrefetchTable, cfg.PrefetchDegree)
 	}
 	c.policy = newPolicy(cfg)
-	c.stats.Name = tr.Name
+	c.stats.Name = src.Name()
 	c.stats.Policy = cfg.Policy.String()
 	return c
+}
+
+// NewCore builds a core replaying a materialized trace. meta may be nil
+// (unannotated program).
+func NewCore(cfg Config, tr *emulator.Trace, meta *compiler.Meta) *Core {
+	return NewCoreFromSource(cfg, tr.Source(), meta)
 }
 
 // UseMemory replaces the core's private cache hierarchies. The multicore
@@ -124,8 +120,9 @@ func (c *Core) UseMemory(dcache, icache *cache.Hierarchy) {
 	c.dcache, c.icache = dcache, icache
 }
 
-// Done reports whether every trace instruction has committed.
-func (c *Core) Done() bool { return c.frontierIdx >= len(c.trace.Insts) }
+// Done reports whether every stream instruction has committed: the commit
+// frontier has passed the end of the stream.
+func (c *Core) Done() bool { return !c.win.ensure(c.frontierIdx) }
 
 // Step advances the core by one cycle. The multicore system interleaves
 // Step calls across cores; single-core callers use Run.
@@ -138,6 +135,16 @@ func (c *Core) Step() {
 	c.stats.ROBOccupancy += int64(c.robOcc)
 	c.policy.accumulate(c)
 	c.cycle++
+
+	// Everything below both the commit frontier and the fetch cursor is
+	// retired and can never be re-fetched (after a recovery the frontier may
+	// run ahead of the cursor through the OoO-committed replay region, so
+	// the cursor bounds the release too).
+	bound := c.frontierIdx
+	if c.cursor < bound {
+		bound = c.cursor
+	}
+	c.win.release(bound)
 }
 
 // Finalize snapshots end-of-run statistics; Run calls it automatically.
@@ -151,25 +158,36 @@ func (c *Core) Finalize() *Stats {
 	c.stats.MemAccesses = c.dcache.MemAccs
 	c.stats.PrefetchIssued = c.dcache.PrefetchIssued
 	c.stats.PrefetchUseful = c.dcache.PrefetchUseful
+	c.stats.WindowPeak = int64(c.win.peak)
+	c.stats.TraceInsts = c.win.counts().Insts
 	return &c.stats
 }
 
-// Run simulates until every trace instruction has committed and returns the
-// statistics.
+// Run simulates until every stream instruction has committed and returns the
+// statistics. If the source ends on an execution error (memory exception),
+// the delivered prefix is simulated to completion and the error is returned
+// alongside the statistics.
 func (c *Core) Run() (*Stats, error) {
 	for !c.Done() {
 		if c.cycle > maxCycles {
-			return c.Finalize(), fmt.Errorf("pipeline: exceeded %d cycles at frontier %d/%d (policy %s)",
-				maxCycles, c.frontierIdx, len(c.trace.Insts), c.cfg.Policy)
+			return c.Finalize(), fmt.Errorf("pipeline: exceeded %d cycles at frontier %d with %d instructions pulled (policy %s)",
+				maxCycles, c.frontierIdx, c.win.counts().Insts, c.cfg.Policy)
 		}
 		c.Step()
 	}
-	return c.Finalize(), nil
+	st := c.Finalize()
+	if err := c.win.srcErr(); err != nil {
+		return st, fmt.Errorf("pipeline: trace source: %w", err)
+	}
+	return st, nil
 }
 
 // ---- commit ----
 
 func (c *Core) stepCommit() {
+	// Newly loaded window records may let the memory frontier advance past
+	// non-memory instructions it stopped at last cycle.
+	c.advanceFrontiers()
 	n := c.policy.commit(c, c.cycle, c.cfg.CommitWidth)
 	if n == 0 {
 		// Attribute the stall to the oldest unresolved branch, if any
@@ -210,7 +228,7 @@ func (c *Core) commitEntry(e *Entry) {
 	if b := c.oldestUnresolvedBranch(); b != nil && b.Seq() < e.Seq() {
 		c.stats.OoOCommitted++
 	}
-	c.committedByIdx[e.idx] = true
+	c.win.rec(e.idx).committed = true
 	c.advanceFrontiers()
 
 	// Steered entries (Noreba) freed their ROB′ slot when they moved to a
@@ -261,13 +279,18 @@ func (c *Core) commitEntry(e *Entry) {
 	c.stats.Committed++
 }
 
+// advanceFrontiers walks the frontiers over the loaded window. Both stop at
+// the loaded end at the latest: an unloaded instruction is uncommitted by
+// definition, and no in-flight entry can have an index beyond the loaded
+// end, so stopping there never changes an eligibility comparison.
 func (c *Core) advanceFrontiers() {
-	for c.frontierIdx < len(c.trace.Insts) && c.committedByIdx[c.frontierIdx] {
+	end := c.win.loadedEnd()
+	for c.frontierIdx < end && c.win.rec(c.frontierIdx).committed {
 		c.frontierIdx++
 	}
-	for c.memFrontierIdx < len(c.trace.Insts) {
-		d := &c.trace.Insts[c.memFrontierIdx]
-		if (d.Inst.Op.IsMem() || d.Inst.Op.IsFence()) && !c.committedByIdx[c.memFrontierIdx] {
+	for c.memFrontierIdx < end {
+		r := c.win.rec(c.memFrontierIdx)
+		if (r.d.Inst.Op.IsMem() || r.d.Inst.Op.IsFence()) && !r.committed {
 			break
 		}
 		c.memFrontierIdx++
@@ -344,7 +367,7 @@ func (c *Core) poisoned(e *Entry) bool {
 		return false
 	}
 	idx := int(e.dep.DepSeq)
-	if !c.fetchedByIdx[idx] && !c.committedByIdx[idx] {
+	if !c.win.isFetched(idx) && !c.win.isCommitted(idx) {
 		return true // dependence on an instance window fetch skipped
 	}
 	for _, b := range c.pendingMisp {
@@ -454,7 +477,7 @@ func (c *Core) stepComplete() {
 // already committed out of order survive; their re-fetch is dropped at
 // decode via the CIT.
 func (c *Core) recover(b *Entry) {
-	c.recoveredByIdx[b.idx] = true
+	c.win.rec(b.idx).recovered = true
 	// Squash IFQ.
 	keep := c.ifq[:0]
 	for _, e := range c.ifq {
@@ -502,10 +525,12 @@ func (c *Core) recover(b *Entry) {
 	}
 	c.pendingMisp = keepPM
 
-	// Mark skipped/unfetched region refetchable.
-	for i := b.resumeIdx; i < c.cursor && i < len(c.fetchedByIdx); i++ {
-		if !c.committedByIdx[i] {
-			c.fetchedByIdx[i] = false
+	// Mark skipped/unfetched region refetchable. The branch was unresolved
+	// until now, so every release bound since its fetch was below its index;
+	// the region [resumeIdx, cursor) is still resident in the window.
+	for i := b.resumeIdx; i < c.cursor && i < c.win.loadedEnd(); i++ {
+		if r := c.win.rec(i); !r.committed {
+			r.fetched = false
 		}
 	}
 
@@ -722,7 +747,7 @@ func (c *Core) stepDispatch() {
 			c.unresolvedBranches = append(c.unresolvedBranches, e)
 		}
 		if e.dep.DepSeq >= 0 {
-			c.stats.branchStall(c.trace.Insts[e.dep.DepSeq].PC).Dependents++
+			c.stats.branchStall(e.dep.DepPC).Dependents++
 		}
 
 		c.rob = append(c.rob, e)
@@ -733,7 +758,7 @@ func (c *Core) stepDispatch() {
 // ---- fetch ----
 
 func (c *Core) stepFetch() {
-	if c.cursor >= len(c.trace.Insts) {
+	if !c.win.ensure(c.cursor) {
 		return
 	}
 	if c.fetchStalledUntil > c.cycle || c.fetchBlockedBy != nil {
@@ -753,7 +778,7 @@ func (c *Core) stepFetch() {
 	}
 
 	// Instruction-cache access for this fetch group.
-	pcAddr := int64(c.trace.Insts[c.cursor].PC) * 4
+	pcAddr := int64(c.win.rec(c.cursor).d.PC) * 4
 	if done := c.icache.Access(pcAddr, c.cycle); done > c.cycle+c.cfg.L1Lat {
 		c.fetchStalledUntil = done
 		return
@@ -764,22 +789,22 @@ func (c *Core) stepFetch() {
 		return
 	}
 
-	for slots > 0 && c.cursor < len(c.trace.Insts) {
+	for slots > 0 && c.win.ensure(c.cursor) {
 		idx := c.cursor
-		d := &c.trace.Insts[idx]
+		r := c.win.rec(idx)
 
-		if d.Inst.Op.IsSetup() {
+		if r.d.Inst.Op.IsSetup() {
 			if !c.cfg.FreeSetup {
 				slots--
 				c.stats.FetchedSetup++
 			}
-			c.committedByIdx[idx] = true
-			c.fetchedByIdx[idx] = true
+			r.committed = true
+			r.fetched = true
 			c.advanceFrontiers()
 			c.cursor++
 			continue
 		}
-		if c.committedByIdx[idx] {
+		if r.committed {
 			// Re-fetch of an instruction already committed out-of-order:
 			// CIT hit, dropped at decode (§4.3).
 			slots--
@@ -790,40 +815,40 @@ func (c *Core) stepFetch() {
 
 		e := &Entry{
 			idx:          idx,
-			d:            d,
-			dep:          c.deps[idx],
-			class:        classOf(d.Inst.Op),
+			d:            r.d,
+			dep:          r.dep,
+			class:        classOf(r.d.Inst.Op),
 			fetchedAt:    c.cycle,
 			dispatchable: c.cycle + int64(c.cfg.FrontendDepth),
-			isCondBranch: d.Inst.Op.IsCondBranch(),
-			isJalr:       d.Inst.Op == isa.OpJalr,
-			isMem:        d.Inst.Op.IsMem(),
-			isFence:      d.Inst.Op.IsFence(),
-			hasDest:      d.Inst.HasDest(),
+			isCondBranch: r.d.Inst.Op.IsCondBranch(),
+			isJalr:       r.d.Inst.Op == isa.OpJalr,
+			isMem:        r.d.Inst.Op.IsMem(),
+			isFence:      r.d.Inst.Op.IsFence(),
+			hasDest:      r.d.Inst.HasDest(),
 			windowInst:   inWindow,
 		}
-		c.fetchedByIdx[idx] = true
+		r.fetched = true
 		c.cursor++
 		slots--
 
 		switch {
 		case e.isCondBranch:
-			if !c.predictedByIdx[idx] {
-				pred := d.Taken // oracle predictor
+			if !r.predicted {
+				pred := r.d.Taken // oracle predictor
 				if c.pred != nil {
-					pred = c.pred.Predict(d.PC)
-					c.pred.Update(d.PC, d.Taken)
+					pred = c.pred.Predict(r.d.PC)
+					c.pred.Update(r.d.PC, r.d.Taken)
 				}
-				c.predictedByIdx[idx] = true
-				c.predMispByIdx[idx] = pred != d.Taken
+				r.predicted = true
+				r.predMisp = pred != r.d.Taken
 			}
-			e.mispredicted = c.predMispByIdx[idx] && !c.recoveredByIdx[idx]
-		case d.Inst.Op == isa.OpJal:
-			if d.Inst.Rd == isa.RA {
-				c.ras.Push(d.PC + 1)
+			e.mispredicted = r.predMisp && !r.recovered
+		case r.d.Inst.Op == isa.OpJal:
+			if r.d.Inst.Rd == isa.RA {
+				c.ras.Push(r.d.PC + 1)
 			}
 		case e.isJalr:
-			predicted, hit := c.ras.Pop(d.NextPC)
+			predicted, hit := c.ras.Pop(r.d.NextPC)
 			_ = predicted
 			e.mispredicted = !hit
 		}
@@ -856,7 +881,7 @@ func (c *Core) stepFetch() {
 				return
 			}
 		}
-		if d.Taken {
+		if e.d.Taken {
 			return // taken control transfer ends the fetch group
 		}
 	}
@@ -884,13 +909,11 @@ func (c *Core) openWindow(b *Entry) bool {
 	if wrongLen > maxWrongPath {
 		return false
 	}
-	// Locate the reconvergence point in the upcoming trace.
+	// Locate the reconvergence point in the upcoming stream; the scan pulls
+	// at most 2048 instructions ahead into the window.
 	limit := c.cursor + 2048
-	if limit > len(c.trace.Insts) {
-		limit = len(c.trace.Insts)
-	}
-	for j := c.cursor; j < limit; j++ {
-		if c.trace.Insts[j].PC == bm.ReconvPC {
+	for j := c.cursor; j < limit && c.win.ensure(j); j++ {
+		if c.win.rec(j).d.PC == bm.ReconvPC {
 			c.pendingBubbles += wrongLen
 			c.windowFetched = 0
 			c.cursor = j

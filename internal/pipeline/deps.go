@@ -26,71 +26,87 @@ type DepInfo struct {
 	// DepSeq is the trace sequence number of the governing branch
 	// instance, or DepNone / DepOrdered.
 	DepSeq int64
+	// DepPC is the static PC of the governing branch instance, valid only
+	// when DepSeq >= 0 (criticality attribution does not need to look the
+	// instance up in the trace again).
+	DepPC int
 	// BranchID is the compiler-assigned ID when this instruction is a
 	// marked conditional branch (setBranchId preceded it); 0 otherwise.
 	BranchID int64
 }
 
-// ComputeDeps replays the Branch Dependencies Flow over a trace: it models
-// the Branch ID Table (BIT, mapping compiler IDs to the sequence number of
-// their most recent dynamic instance) and the single-entry Dependents
-// Counter Table (DCT). The i-th returned element describes trace
-// instruction i. Setup instructions themselves get DepNone.
-//
-// bitSize bounds the number of distinct live IDs exactly as the hardware
-// table does; IDs simply index BIT[id mod bitSize], so an undersized table
-// aliases entries just like the real structure would.
-func ComputeDeps(tr *emulator.Trace, bitSize int) []DepInfo {
+// depTracker incrementally models the Branch Dependencies Flow over a
+// dynamic instruction stream: the Branch ID Table (BIT, mapping compiler IDs
+// to their most recent dynamic instance) and the single-entry Dependents
+// Counter Table (DCT). Feeding it the stream in trace order yields, per
+// instruction, the same DepInfo the materialized ComputeDeps produces — in
+// O(BIT) state instead of O(trace).
+type depTracker struct {
+	bit       []depBITEntry
+	dctDepSeq int64
+	dctDepPC  int
+	dctCount  int64
+	pendingID int64 // from a decoded setBranchId, applies to the next branch
+}
+
+type depBITEntry struct {
+	seq   int64
+	pc    int
+	valid bool
+}
+
+// newDepTracker sizes the BIT exactly as the hardware table does; IDs index
+// BIT[id mod bitSize], so an undersized table aliases entries just like the
+// real structure would.
+func newDepTracker(bitSize int) *depTracker {
 	if bitSize < 1 {
 		bitSize = 8
 	}
+	return &depTracker{bit: make([]depBITEntry, bitSize), dctDepSeq: DepNone}
+}
+
+// next decodes one dynamic instruction and returns its DepInfo.
+func (t *depTracker) next(d *emulator.DynInst) DepInfo {
+	switch d.Inst.Op {
+	case isa.OpSetBranchID:
+		t.pendingID = d.Inst.Imm
+		return DepInfo{DepSeq: DepNone}
+	case isa.OpSetDependency:
+		id := d.Inst.Aux
+		e := t.bit[int(id)%len(t.bit)]
+		if e.valid {
+			t.dctDepSeq, t.dctDepPC = e.seq, e.pc
+		} else {
+			t.dctDepSeq, t.dctDepPC = DepOrdered, 0
+		}
+		t.dctCount = d.Inst.Imm
+		return DepInfo{DepSeq: DepNone}
+	}
+
+	// Any instruction entering ROB′ (step ❷).
+	info := DepInfo{DepSeq: DepNone}
+	if t.dctCount > 0 {
+		info.DepSeq, info.DepPC = t.dctDepSeq, t.dctDepPC
+		t.dctCount--
+	}
+	if d.Inst.Op.IsCondBranch() && t.pendingID > 0 {
+		t.bit[int(t.pendingID)%len(t.bit)] = depBITEntry{seq: d.Seq, pc: d.PC, valid: true}
+		info.BranchID = t.pendingID
+	}
+	t.pendingID = 0
+	return info
+}
+
+// ComputeDeps replays the Branch Dependencies Flow over a materialized
+// trace; the i-th returned element describes trace instruction i. Setup
+// instructions themselves get DepNone. The sliding-window core computes the
+// same information incrementally via depTracker; this form remains for tests
+// and offline analysis.
+func ComputeDeps(tr *emulator.Trace, bitSize int) []DepInfo {
+	t := newDepTracker(bitSize)
 	out := make([]DepInfo, len(tr.Insts))
-
-	type bitEntry struct {
-		seq   int64
-		valid bool
-	}
-	bit := make([]bitEntry, bitSize)
-	var dct struct {
-		depSeq  int64
-		counter int64
-	}
-	dct.depSeq = DepNone
-
-	pendingID := int64(0) // from a decoded setBranchId, applies to the next branch
-
 	for i := range tr.Insts {
-		d := &tr.Insts[i]
-		switch d.Inst.Op {
-		case isa.OpSetBranchID:
-			pendingID = d.Inst.Imm
-			out[i] = DepInfo{DepSeq: DepNone}
-			continue
-		case isa.OpSetDependency:
-			id := d.Inst.Aux
-			e := bit[int(id)%bitSize]
-			if e.valid {
-				dct.depSeq = e.seq
-			} else {
-				dct.depSeq = DepOrdered
-			}
-			dct.counter = d.Inst.Imm
-			out[i] = DepInfo{DepSeq: DepNone}
-			continue
-		}
-
-		// Any instruction entering ROB′ (step ❷).
-		info := DepInfo{DepSeq: DepNone}
-		if dct.counter > 0 {
-			info.DepSeq = dct.depSeq
-			dct.counter--
-		}
-		if d.Inst.Op.IsCondBranch() && pendingID > 0 {
-			bit[int(pendingID)%bitSize] = bitEntry{seq: d.Seq, valid: true}
-			info.BranchID = pendingID
-		}
-		pendingID = 0
-		out[i] = info
+		out[i] = t.next(&tr.Insts[i])
 	}
 	return out
 }

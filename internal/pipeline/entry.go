@@ -45,8 +45,10 @@ func classOf(op isa.Op) opClass {
 
 // Entry is one in-flight dynamic instruction in the pipeline.
 type Entry struct {
-	idx   int // trace index
-	d     *emulator.DynInst
+	idx int // trace index
+	// d is stored by value: the window's backing array compacts and grows
+	// as the stream slides, so entries must not point into it.
+	d     emulator.DynInst
 	dep   DepInfo
 	class opClass
 

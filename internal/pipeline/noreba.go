@@ -139,9 +139,9 @@ func (p *norebaPolicy) chooseQueue(c *Core, e *Entry, cycle int64) (int, bool) {
 		} else {
 			idx := int(e.dep.DepSeq)
 			switch {
-			case c.committedByIdx[idx]:
+			case c.win.isCommitted(idx):
 				// Governing branch committed: dependence satisfied.
-			case !c.fetchedByIdx[idx]:
+			case !c.win.isFetched(idx):
 				// Governing instance was skipped by window fetch: this is
 				// wrong-path-dependent work; hold it at the head until the
 				// recovery squashes it.
@@ -297,7 +297,7 @@ func (p *norebaPolicy) commit(c *Core, cycle int64, width int) int {
 	// the fetch cursor has already passed it (no in-progress refetch still
 	// needs the drop). This matches the paper's "commit of the most recent
 	// unresolved branch" intent while staying provably safe.
-	freeBound := len(c.trace.Insts)
+	freeBound := c.win.loadedEnd()
 	if b := c.oldestUnresolvedBranch(); b != nil {
 		freeBound = b.idx
 	}

@@ -157,7 +157,7 @@ func depSatisfied(c *Core, e *Entry) bool {
 		return c.allOlderBranchesResolved(e)
 	default:
 		idx := int(e.dep.DepSeq)
-		if c.committedByIdx[idx] {
+		if c.win.isCommitted(idx) {
 			return true
 		}
 		if b, ok := c.branchBySeq[e.dep.DepSeq]; ok {

@@ -61,6 +61,12 @@ type Stats struct {
 	// ROB occupancy integral (entry-cycles) for average occupancy.
 	ROBOccupancy int64
 
+	// Engine accounting: the sliding window's high-water mark (live
+	// instruction records) and the total dynamic instructions pulled from
+	// the source, including setup instructions.
+	WindowPeak int64
+	TraceInsts int64
+
 	// Per-branch criticality (keyed by PC).
 	BranchStalls map[int]*BranchStall
 

@@ -1,0 +1,137 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"github.com/noreba-sim/noreba/internal/emulator"
+)
+
+// instRecord is the window's per-dynamic-instruction state: the instruction
+// itself, its branch-dependence decode, and the retirement/fetch bookkeeping
+// the core used to keep in five parallel trace-length slices. Consolidating
+// the flags here bounds their footprint by the window size and keeps every
+// per-instruction fact in one cache line.
+type instRecord struct {
+	d   emulator.DynInst
+	dep DepInfo
+
+	committed bool
+	fetched   bool
+	// Branch-prediction bookkeeping: each dynamic branch is predicted and
+	// trained exactly once (its first fetch); a re-fetch after its own
+	// recovery is correctly predicted (the predictor was fixed at resolve),
+	// while re-fetches of squashed window branches reuse the original
+	// prediction.
+	predicted bool
+	predMisp  bool
+	recovered bool
+}
+
+// window is a bounded sliding view over a TraceSource. Records live in recs,
+// where recs[i] describes trace index base+i; the core addresses records by
+// trace index and the window pulls from the source on demand. release()
+// drops records below the commit frontier, so peak memory tracks the
+// in-flight span (ROB + misprediction windows), not the trace length.
+type window struct {
+	src  emulator.TraceSource
+	deps *depTracker
+
+	recs []instRecord
+	base int // trace index of recs[0]
+	off  int // recs starts off records into its backing array
+	eof  bool
+
+	peak int // high-water mark of live records
+}
+
+func newWindow(src emulator.TraceSource, bitSize int) *window {
+	return &window{src: src, deps: newDepTracker(bitSize)}
+}
+
+// ensure pulls from the source until trace index idx is loaded, returning
+// false if the stream ends first. idx below the window base is a modelling
+// bug: the core released a record it still needed.
+func (w *window) ensure(idx int) bool {
+	if idx < w.base {
+		panic(fmt.Sprintf("pipeline: window access at %d below base %d", idx, w.base))
+	}
+	for idx >= w.loadedEnd() {
+		if w.eof {
+			return false
+		}
+		d, ok := w.src.Next()
+		if !ok {
+			w.eof = true
+			return false
+		}
+		w.recs = append(w.recs, instRecord{d: d, dep: w.deps.next(&d)})
+		if len(w.recs) > w.peak {
+			w.peak = len(w.recs)
+		}
+	}
+	return true
+}
+
+// loadedEnd is one past the highest loaded trace index.
+func (w *window) loadedEnd() int { return w.base + len(w.recs) }
+
+// rec returns the record for trace index idx, which must be loaded and not
+// yet released. The pointer is invalidated by the next ensure or release
+// call — do not hold it across either.
+func (w *window) rec(idx int) *instRecord {
+	if idx < w.base || idx >= w.loadedEnd() {
+		panic(fmt.Sprintf("pipeline: window access at %d outside [%d,%d)", idx, w.base, w.loadedEnd()))
+	}
+	return &w.recs[idx-w.base]
+}
+
+// isCommitted reports the committed flag for any trace index: released
+// records are committed by construction, unloaded ones are not.
+func (w *window) isCommitted(idx int) bool {
+	if idx < w.base {
+		return true
+	}
+	if idx >= w.loadedEnd() {
+		return false
+	}
+	return w.recs[idx-w.base].committed
+}
+
+// isFetched reports the fetched flag for any trace index, with the same
+// convention: released records were fetched (or setup-skipped), unloaded
+// ones were not.
+func (w *window) isFetched(idx int) bool {
+	if idx < w.base {
+		return true
+	}
+	if idx >= w.loadedEnd() {
+		return false
+	}
+	return w.recs[idx-w.base].fetched
+}
+
+// release drops records below trace index bound; the core may never address
+// them again. The slice head advances in place, and the live span is copied
+// down once the dead prefix dominates the backing array so memory is
+// reclaimed rather than pinned.
+func (w *window) release(bound int) {
+	if bound <= w.base {
+		return
+	}
+	if bound > w.loadedEnd() {
+		bound = w.loadedEnd()
+	}
+	n := bound - w.base
+	w.recs = w.recs[n:]
+	w.base = bound
+	w.off += n
+	if w.off > 4096 && w.off > len(w.recs) {
+		compact := make([]instRecord, len(w.recs))
+		copy(compact, w.recs)
+		w.recs = compact
+		w.off = 0
+	}
+}
+
+func (w *window) srcErr() error           { return w.src.Err() }
+func (w *window) counts() emulator.Counts { return w.src.Counts() }

@@ -73,18 +73,34 @@ func CompileWith(p *Program, opt CompileOptions) (*CompileResult, error) {
 type (
 	// Machine is the functional (architectural) emulator.
 	Machine = emulator.Machine
-	// DynTrace is a correct-path dynamic instruction trace.
+	// DynTrace is a materialized correct-path dynamic instruction trace.
 	DynTrace = emulator.Trace
+	// TraceSource is a pull-based dynamic instruction stream: the simulator
+	// consumes it through a bounded sliding window, so a live emulator
+	// source runs in O(window) memory instead of O(trace).
+	TraceSource = emulator.TraceSource
 )
 
 // NewMachine returns an emulator for the image.
 func NewMachine(img *Image) *Machine { return emulator.New(img) }
 
 // Trace functionally executes a compiled program for at most maxInsts
-// dynamic instructions and returns the trace the simulator replays.
+// dynamic instructions and returns the materialized trace. Prefer
+// StreamTrace when the stream is consumed once by a single simulation.
 func Trace(res *CompileResult, maxInsts int64) (*DynTrace, error) {
 	return emulator.New(res.Image).Run(maxInsts)
 }
+
+// StreamTrace returns a live-emulator source executing a compiled program
+// for at most maxInsts dynamic instructions. Sources are single-consumer:
+// build one per simulation.
+func StreamTrace(res *CompileResult, maxInsts int64) TraceSource {
+	return emulator.NewSource(emulator.New(res.Image), maxInsts)
+}
+
+// Materialize drains a source into a trace (plus any terminal execution
+// error), for callers that need random access or multiple replays.
+func Materialize(src TraceSource) (*DynTrace, error) { return emulator.Materialize(src) }
 
 // Cycle-level simulation.
 type (
@@ -128,11 +144,18 @@ func Nehalem(p Policy) Config {
 	return cfg
 }
 
-// Simulate replays a trace through the cycle-level model. meta may be nil
-// for unannotated programs (NOREBA then degenerates safely to in-order
-// commit).
+// Simulate replays a materialized trace through the cycle-level model. meta
+// may be nil for unannotated programs (NOREBA then degenerates safely to
+// in-order commit).
 func Simulate(cfg Config, tr *DynTrace, meta *compiler.Meta) (*Stats, error) {
 	return pipeline.NewCore(cfg, tr, meta).Run()
+}
+
+// SimulateSource runs the cycle-level model over a pull-based stream —
+// typically StreamTrace's live emulator — holding only the sliding window in
+// memory. meta may be nil for unannotated programs.
+func SimulateSource(cfg Config, src TraceSource, meta *compiler.Meta) (*Stats, error) {
+	return pipeline.NewCoreFromSource(cfg, src, meta).Run()
 }
 
 // Power modelling.
@@ -173,7 +196,7 @@ type (
 	// MulticoreConfig describes a multicore system: per-core configuration,
 	// shared LLC, barriers and address-space layout.
 	MulticoreConfig = multicore.Config
-	// CoreInput is one core's trace and branch metadata.
+	// CoreInput is one core's instruction stream and branch metadata.
 	CoreInput = multicore.CoreInput
 	// MulticoreSystem is a set of cores stepping in lockstep.
 	MulticoreSystem = multicore.System

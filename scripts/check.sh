@@ -1,0 +1,24 @@
+#!/bin/sh
+# check.sh — the repo's CI gate, also runnable as `make check`.
+#
+# Order matters: cheap static checks first, then the full race-enabled test
+# suite, then a single iteration of the engine benchmarks so a regression in
+# figure wall-clock or the parallel scheduler shows up in CI output (and
+# refreshes BENCH_engine.json).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt needed:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test -run '^$' -bench 'BenchmarkFigure6$|BenchmarkEngineSuite$' -benchtime=1x -benchmem .
+
+echo "check: OK"
