@@ -1,6 +1,7 @@
-.PHONY: check test bench
+.PHONY: check test bench cover fuzz
 
-# Full CI gate: gofmt, vet, build, race-enabled tests, engine benchmarks.
+# Full CI gate: gofmt, vet, build, race-enabled tests, coverage floors,
+# fuzz smokes, engine benchmarks.
 check:
 	sh scripts/check.sh
 
@@ -9,3 +10,12 @@ test:
 
 bench:
 	go test -run '^$$' -bench . -benchtime=1x -benchmem .
+
+# Coverage for the gated packages (the floor itself is enforced by check).
+cover:
+	go test -cover ./internal/pipeline ./internal/compiler
+
+# Short fuzz campaigns for both native targets.
+fuzz:
+	go test ./internal/isa -run '^$$' -fuzz 'FuzzEncodeDecodeRoundTrip$$' -fuzztime 10s
+	go test ./internal/compiler -run '^$$' -fuzz 'FuzzCompilerPass$$' -fuzztime 10s

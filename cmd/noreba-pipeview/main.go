@@ -5,6 +5,11 @@
 // order. It makes the paper's mechanism visible: under NOREBA, commit marks
 // ('C') appear far to the left of where in-order commit would place them.
 //
+// The viewer is a pure consumer of the pipeline's structured event stream
+// (internal/trace): it attaches a bounded Collector as the core's sink and
+// reconstructs each instruction's lifecycle from fetch/issue/writeback/
+// commit/squash events, without reaching into core internals.
+//
 // Usage:
 //
 //	noreba-pipeview -workload mcf -policy noreba -n 40 -skip 2000
@@ -18,6 +23,7 @@ import (
 	"strings"
 
 	noreba "github.com/noreba-sim/noreba"
+	"github.com/noreba-sim/noreba/internal/trace"
 )
 
 var policies = map[string]noreba.Policy{
@@ -26,6 +32,18 @@ var policies = map[string]noreba.Policy{
 	"noreba":  noreba.PolicyNoreba,
 	"ideal":   noreba.PolicyIdealReconv,
 	"specbr":  noreba.PolicySpecBR,
+}
+
+// rec is one displayed instruction's lifecycle, folded from the event
+// stream. Cycle stamps are for the successful (committed) attempt: a squash
+// discards the partial record and the refetch starts a fresh one.
+type rec struct {
+	seq             int64
+	idx, pc         int
+	fetched, issued int64
+	done, committed int64
+	queue           int64
+	ooo             bool
 }
 
 func main() {
@@ -56,31 +74,60 @@ func main() {
 		fatalf("%v", err)
 	}
 	cfg := noreba.Skylake(policy)
-	cfg.PipeTraceLimit = *skip + *n
+	// Commit is the last lifecycle event, so capping the collector at
+	// skip+n commits retains every event of the displayed instructions
+	// while bounding memory on long runs.
+	col := &trace.Collector{Limit: *skip + *n}
+	cfg.TraceSink = col
 	st, err := noreba.SimulateSource(cfg, noreba.StreamTrace(res, 1<<20), res.Meta)
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	recs := st.PipeTrace
-	if len(recs) > *skip {
-		recs = recs[*skip:]
-	} else {
-		fatalf("only %d instructions committed; lower -skip", len(recs))
+	// Fold the event stream into per-instruction records; commitOrder keeps
+	// retirement order for the -skip window.
+	live := map[int64]*rec{}
+	var commitOrder []*rec
+	for _, e := range col.Events() {
+		switch e.Kind {
+		case trace.KindFetch:
+			live[e.Seq] = &rec{seq: e.Seq, idx: e.Idx, pc: e.PC, fetched: e.Cycle}
+		case trace.KindIssue:
+			if r := live[e.Seq]; r != nil {
+				r.issued = e.Cycle
+			}
+		case trace.KindWriteback:
+			if r := live[e.Seq]; r != nil {
+				r.done = e.Cycle
+			}
+		case trace.KindSquash:
+			delete(live, e.Seq)
+		case trace.KindCommit:
+			if r := live[e.Seq]; r != nil {
+				r.committed, r.queue, r.ooo = e.Cycle, e.Arg, e.OoO
+				commitOrder = append(commitOrder, r)
+				delete(live, e.Seq)
+			}
+		}
 	}
+
+	if len(commitOrder) <= *skip {
+		fatalf("only %d instructions committed; lower -skip", len(commitOrder))
+	}
+	recs := commitOrder[*skip:]
 	if len(recs) > *n {
 		recs = recs[:*n]
 	}
 	// Display in program order.
-	sort.Slice(recs, func(i, j int) bool { return recs[i].Idx < recs[j].Idx })
+	sort.Slice(recs, func(i, j int) bool { return recs[i].idx < recs[j].idx })
 
-	lo, hi := recs[0].Fetched, recs[0].Committed
+	lo, hi := recs[0].fetched, recs[0].committed
 	for _, r := range recs {
-		if r.Fetched < lo {
-			lo = r.Fetched
+		if r.fetched < lo {
+			lo = r.fetched
 		}
-		if r.Committed > hi {
-			hi = r.Committed
+		if r.committed > hi {
+			hi = r.committed
 		}
 	}
 	span := hi - lo + 1
@@ -88,44 +135,46 @@ func main() {
 	for span/scaleDiv > int64(*width) {
 		scaleDiv++
 	}
-	col := func(cyc int64) int { return int((cyc - lo) / scaleDiv) }
+	col2 := func(cyc int64) int { return int((cyc - lo) / scaleDiv) }
 
 	fmt.Printf("workload %s, policy %s — cycles %d..%d (each column = %d cycle(s))\n",
 		*workload, st.Policy, lo, hi, scaleDiv)
 	fmt.Printf("F fetch   I issue   X complete   C commit   c out-of-order commit   | queue id\n\n")
 	for _, r := range recs {
-		line := make([]byte, col(hi)+1)
+		line := make([]byte, col2(hi)+1)
 		for i := range line {
 			line[i] = ' '
 		}
 		put := func(cyc int64, ch byte) {
-			if p := col(cyc); p >= 0 && p < len(line) && line[p] == ' ' {
-				line[p] = ch
-			} else if p >= 0 && p < len(line) {
+			if p := col2(cyc); p >= 0 && p < len(line) {
 				line[p] = ch // later stages overwrite
 			}
 		}
-		for p := col(r.Fetched) + 1; p < col(r.Committed) && p < len(line); p++ {
+		for p := col2(r.fetched) + 1; p < col2(r.committed) && p < len(line); p++ {
 			line[p] = '.'
 		}
-		put(r.Fetched, 'F')
-		if r.Issued > 0 {
-			put(r.Issued, 'I')
+		put(r.fetched, 'F')
+		if r.issued > 0 {
+			put(r.issued, 'I')
 		}
-		if r.Done > 0 {
-			put(r.Done, 'X')
+		if r.done > 0 {
+			put(r.done, 'X')
 		}
 		commitCh := byte('C')
-		if r.OoO {
+		if r.ooo {
 			commitCh = 'c'
 		}
-		put(r.Committed, commitCh)
+		put(r.committed, commitCh)
 
 		queue := " "
-		if r.Queue >= 0 {
-			queue = fmt.Sprintf("%d", r.Queue)
+		if r.queue >= 0 {
+			queue = fmt.Sprintf("%d", r.queue)
 		}
-		fmt.Printf("%6d %-26s %s |%s\n", r.Idx, clip(r.Asm, 26), string(line), queue)
+		asm := ""
+		if r.pc >= 0 && r.pc < len(res.Image.Insts) {
+			asm = res.Image.Insts[r.pc].String()
+		}
+		fmt.Printf("%6d %-26s %s |%s\n", r.idx, clip(asm, 26), string(line), queue)
 	}
 	fmt.Printf("\nIPC %.2f, %d/%d committed out of order\n", st.IPC(), st.OoOCommitted, st.Committed)
 }

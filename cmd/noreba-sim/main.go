@@ -44,6 +44,8 @@ func main() {
 		ecl        = flag.Bool("ecl", false, "enable Early Commit of Loads (§6.1.5)")
 		list       = flag.Bool("list", false, "list built-in workloads and exit")
 		jsonOut    = flag.Bool("json", false, "emit statistics as JSON")
+		sanitize   = flag.Bool("sanitize", false, "run with the pipeline invariant checker (fails fast on violations)")
+		traceFile  = flag.String("trace", "", "stream per-stage pipeline events as JSON lines to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -71,6 +73,31 @@ func main() {
 	}
 	cfg.PrefetchEnabled = !*noPrefetch
 	cfg.ECL = *ecl
+	cfg.Sanitize = *sanitize
+
+	// -trace streams the event log as JSONL and folds a metrics summary
+	// printed after the run.
+	var metrics *noreba.MetricsRegistry
+	var finishTrace func()
+	if *traceFile != "" {
+		out := os.Stdout
+		if *traceFile != "-" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			out = f
+		}
+		jsonl := noreba.NewJSONLSink(out)
+		m := noreba.NewMetricsSink(nil)
+		metrics = m.Registry()
+		cfg.TraceSink = noreba.TeeSinks(jsonl, m)
+		finishTrace = func() {
+			if err := jsonl.Close(); err != nil {
+				fatalf("trace: %v", err)
+			}
+		}
+	}
 
 	if *image != "" {
 		data, err := os.ReadFile(*image)
@@ -87,6 +114,7 @@ func main() {
 			fatalf("simulate: %v", err)
 		}
 		report(*image, cfg, st, *jsonOut)
+		finishRun(metrics, finishTrace)
 		return
 	}
 
@@ -123,6 +151,19 @@ func main() {
 		fatalf("simulate: %v", err)
 	}
 	report(name, cfg, st, *jsonOut)
+	finishRun(metrics, finishTrace)
+}
+
+// finishRun flushes the JSONL event stream and prints the folded metrics
+// summary to stderr (keeping stdout clean for -json and -trace -).
+func finishRun(metrics *noreba.MetricsRegistry, finishTrace func()) {
+	if finishTrace != nil {
+		finishTrace()
+	}
+	if metrics != nil {
+		fmt.Fprintln(os.Stderr, "event metrics:")
+		metrics.WriteSummary(os.Stderr)
+	}
 }
 
 // report prints a run's statistics, as text or JSON.

@@ -1,0 +1,53 @@
+package compiler
+
+import (
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/progtest"
+)
+
+// FuzzCompilerPass: the branch-dependent code detection pass must accept any
+// valid CFG the generator produces — never panic, never error — and its
+// annotated output may differ from the input only by the setup instructions
+// it inserted. Hardware-size knobs (BIT entries, region length) are fuzzed
+// alongside the program to exercise fragmentation and ID-exhaustion paths.
+func FuzzCompilerPass(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(31), false)
+	f.Add(int64(7), uint8(2), uint8(1), false)   // minimum IDs, maximal fragmentation
+	f.Add(int64(42), uint8(255), uint8(3), true) // huge BIT, loop marking on
+	f.Add(int64(-5), uint8(4), uint8(63), true)
+
+	f.Fuzz(func(t *testing.T, seed int64, numIDs, maxRegion uint8, markLoops bool) {
+		p := progtest.Generate(seed)
+		opt := Options{
+			NumIDs:           2 + int(numIDs)%254,
+			MaxRegionLen:     1 + int(maxRegion)%63,
+			MarkLoopBranches: markLoops,
+		}
+		res, err := Compile(p, opt)
+		if err != nil {
+			t.Fatalf("seed %d opt %+v: pass rejected a valid CFG: %v", seed, opt, err)
+		}
+		st := res.Stats
+		if st.AnnotatedInsts-st.SetupInsts != st.OriginalInsts {
+			t.Fatalf("seed %d opt %+v: %d annotated - %d setup != %d original — pass added or dropped real instructions",
+				seed, opt, st.AnnotatedInsts, st.SetupInsts, st.OriginalInsts)
+		}
+		// Every instruction of the annotated image is either a setup
+		// instruction or present in the original program's count.
+		setup := 0
+		for _, in := range res.Image.Insts {
+			if in.Op.IsSetup() {
+				setup++
+			}
+		}
+		if setup != st.SetupInsts {
+			t.Fatalf("seed %d opt %+v: image has %d setup instructions, stats claim %d",
+				seed, opt, setup, st.SetupInsts)
+		}
+		if len(res.Image.Insts) != st.AnnotatedInsts {
+			t.Fatalf("seed %d opt %+v: image has %d instructions, stats claim %d",
+				seed, opt, len(res.Image.Insts), st.AnnotatedInsts)
+		}
+	})
+}

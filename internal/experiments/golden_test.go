@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/pipeline"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata/golden_stats.json from the current simulator")
+
+// goldenStats locks the simulator's headline numbers: exact per-workload
+// cycle counts for every commit policy, and the Figure 6 geomean speedups
+// over in-order commit. The simulator is deterministic, so any drift here is
+// a behaviour change — intentional ones are recorded by rerunning with
+// `go test ./internal/experiments -run TestGoldenStats -update`.
+type goldenStats struct {
+	// Cycles maps workload → policy name → cycle count.
+	Cycles map[string]map[string]int64 `json:"cycles"`
+	// Figure6Geomean maps policy name → geomean speedup vs in-order commit.
+	Figure6Geomean map[string]float64 `json:"figure6Geomean"`
+}
+
+func goldenPath() string { return filepath.Join("testdata", "golden_stats.json") }
+
+func collectGolden(t *testing.T) goldenStats {
+	t.Helper()
+	g := goldenStats{Cycles: map[string]map[string]int64{}, Figure6Geomean: map[string]float64{}}
+	names := mustNames(t, sharedRunner)
+	for _, name := range names {
+		g.Cycles[name] = map[string]int64{}
+		for _, pk := range suitePolicies {
+			st, err := sharedRunner.Simulate(name, skylake(pk))
+			if err != nil {
+				t.Fatalf("%s under %v: %v", name, pk, err)
+			}
+			g.Cycles[name][pk.String()] = st.Cycles
+		}
+	}
+	for _, pk := range suitePolicies {
+		if pk == pipeline.InOrder {
+			continue
+		}
+		var speedups []float64
+		for _, name := range names {
+			speedups = append(speedups,
+				float64(g.Cycles[name][pipeline.InOrder.String()])/float64(g.Cycles[name][pk.String()]))
+		}
+		g.Figure6Geomean[pk.String()] = geomean(speedups)
+	}
+	return g
+}
+
+func TestGoldenStats(t *testing.T) {
+	got := collectGolden(t)
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath()), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath())
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("no golden stats (%v); run with -update to create them", err)
+	}
+	var want goldenStats
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden stats: %v", err)
+	}
+
+	for name, policies := range want.Cycles {
+		for policy, cycles := range policies {
+			if got.Cycles[name][policy] != cycles {
+				t.Errorf("%s under %s: %d cycles, golden %d — rerun with -update if intentional",
+					name, policy, got.Cycles[name][policy], cycles)
+			}
+		}
+	}
+	for name := range got.Cycles {
+		if _, ok := want.Cycles[name]; !ok {
+			t.Errorf("workload %s missing from golden stats — rerun with -update", name)
+		}
+	}
+	// Geomeans are float-derived; allow only round-off slack so a real
+	// speedup change (the paper's headline metric) still fails.
+	for policy, wantGeo := range want.Figure6Geomean {
+		if gotGeo := got.Figure6Geomean[policy]; math.Abs(gotGeo-wantGeo) > 1e-9 {
+			t.Errorf("Figure 6 geomean for %s: %.9f, golden %.9f", policy, gotGeo, wantGeo)
+		}
+	}
+}

@@ -39,6 +39,10 @@ type Runner struct {
 	Workloads []string
 	// Parallelism caps simulations executing at once; 0 means GOMAXPROCS.
 	Parallelism int
+	// Sanitize runs every simulation with the pipeline sanitizer enabled:
+	// any commit-legality or conservation violation fails the run with a
+	// *sanity.Error instead of silently producing wrong figures.
+	Sanitize bool
 
 	mu       sync.Mutex
 	compiles map[string]*compileJob
@@ -97,6 +101,7 @@ type cfgKey struct {
 	FreeSetup                                       bool
 	WindowFetchLimit                                int
 	PipeTraceLimit                                  int
+	Sanitize                                        bool
 }
 
 func keyOf(cfg pipeline.Config) cfgKey {
@@ -137,6 +142,7 @@ func keyOf(cfg pipeline.Config) cfgKey {
 		FreeSetup:         cfg.FreeSetup,
 		WindowFetchLimit:  cfg.WindowFetchLimit,
 		PipeTraceLimit:    cfg.PipeTraceLimit,
+		Sanitize:          cfg.Sanitize,
 	}
 }
 
@@ -258,6 +264,9 @@ func normalize(cfg pipeline.Config) pipeline.Config {
 func (r *Runner) Simulate(workload string, cfg pipeline.Config) (*pipeline.Stats, error) {
 	r.simReqs.Add(1)
 	cfg = normalize(cfg)
+	if r.Sanitize {
+		cfg.Sanitize = true
+	}
 	key := simKey{workload: workload, cfg: keyOf(cfg)}
 
 	r.mu.Lock()

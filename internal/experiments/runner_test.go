@@ -14,10 +14,11 @@ import (
 // field participates in the simulation cache key: a same-named field exists
 // on cfgKey, and mutating the Config field changes keyOf's result. A Config
 // field added without a key counterpart fails here instead of silently
-// aliasing cache entries. FenceGate is the one exemption: a function value
-// (not comparable), never set by the experiment suite.
+// aliasing cache entries. The exemptions are non-comparable observability
+// hooks (FenceGate is a function value, TraceSink an interface) that the
+// experiment suite never sets.
 func TestCfgKeyCoversConfig(t *testing.T) {
-	exempt := map[string]bool{"FenceGate": true}
+	exempt := map[string]bool{"FenceGate": true, "TraceSink": true}
 
 	cfgType := reflect.TypeOf(pipeline.Config{})
 	keyType := reflect.TypeOf(cfgKey{})
@@ -79,6 +80,17 @@ func TestUnknownWorkloadErrors(t *testing.T) {
 	}
 	if _, err := r.names(); err == nil {
 		t.Error("names() with an unknown workload should error")
+	}
+	// The direct simulation path fails the same way: compilation reports the
+	// unknown name instead of panicking, and the error is not cached as a
+	// phantom success.
+	if _, err := r.Simulate("no-such-workload", skylake(pipeline.Noreba)); err == nil {
+		t.Error("Simulate with an unknown workload should error")
+	} else if !strings.Contains(err.Error(), "no-such-workload") {
+		t.Errorf("Simulate error should name the bad workload, got: %v", err)
+	}
+	if _, err := r.Simulate("mcf", skylake(pipeline.Noreba)); err != nil {
+		t.Errorf("valid workload on the same runner should still simulate: %v", err)
 	}
 }
 

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/pipeline"
+)
+
+var suitePolicies = []pipeline.PolicyKind{
+	pipeline.InOrder, pipeline.NonSpecOoO, pipeline.Noreba,
+	pipeline.IdealReconv, pipeline.SpecBR, pipeline.Spec,
+}
+
+// TestSuiteSanitized runs every suite workload under every commit policy
+// (plus the ECL variant of NOREBA) with the pipeline invariant checker on:
+// the figures' cycle counts are only trustworthy if none of these runs can
+// retire illegally or leak a structure entry. The instruction budget is
+// reduced so the full cross product stays test-sized; the sanitizer checks
+// every cycle of every run regardless.
+func TestSuiteSanitized(t *testing.T) {
+	r := QuickRunner()
+	r.Sanitize = true
+	r.MaxInsts = 1 << 17
+
+	var reqs []simReq
+	for _, name := range mustNames(t, r) {
+		for _, pk := range suitePolicies {
+			reqs = append(reqs, simReq{workload: name, cfg: skylake(pk)})
+		}
+		ecl := skylake(pipeline.Noreba)
+		ecl.ECL = true
+		reqs = append(reqs, simReq{workload: name, cfg: ecl})
+	}
+	if err := r.runAll(reqs); err != nil {
+		t.Fatalf("sanitized suite reported a violation: %v", err)
+	}
+	if got := r.SimulationsRun(); got < int64(len(reqs)) {
+		t.Fatalf("only %d of %d sanitized simulations ran", got, len(reqs))
+	}
+}

@@ -195,10 +195,13 @@ const maxSystemCycles = int64(1) << 30
 func (s *System) Run() ([]*pipeline.Stats, error) {
 	for {
 		done := true
-		for _, c := range s.cores {
+		for i, c := range s.cores {
 			if !c.Done() {
 				c.Step()
 				done = false
+			}
+			if err := c.SanityErr(); err != nil {
+				return nil, fmt.Errorf("multicore: core %d: %w", i, err)
 			}
 		}
 		if done {

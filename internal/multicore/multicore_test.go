@@ -194,3 +194,22 @@ func TestEmptySystemRejected(t *testing.T) {
 		t.Error("empty system accepted")
 	}
 }
+
+// TestSanitizedSystemClean: the whole barrier-synchronised system runs
+// violation-free with the pipeline sanitizer on, and Run surfaces a core's
+// sanity error instead of finishing.
+func TestSanitizedSystemClean(t *testing.T) {
+	inputs := []CoreInput{
+		barrierProgram(t, "a", 8, 30),
+		barrierProgram(t, "b", 8, 12),
+	}
+	cfg := coreCfg(pipeline.Noreba)
+	cfg.Sanitize = true
+	sys, err := New(Config{Core: cfg, Barriers: true, ShareLLC: true}, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatalf("sanitized multicore run failed: %v", err)
+	}
+}

@@ -8,7 +8,10 @@
 // reclaim resources.
 package pipeline
 
-import "github.com/noreba-sim/noreba/internal/cache"
+import (
+	"github.com/noreba-sim/noreba/internal/cache"
+	"github.com/noreba-sim/noreba/internal/trace"
+)
 
 // PolicyKind selects a commit policy.
 type PolicyKind int
@@ -158,6 +161,20 @@ type Config struct {
 	// model inter-core barriers (§4.5). A nil gate lets fences retire
 	// freely (single-core semantics).
 	FenceGate func(n int64) bool
+
+	// Sanitize enables the pipeline sanitizer: every cycle the core
+	// re-derives the paper's commit-legality rules (§4) plus structural
+	// invariants (ROB allocation order, PRF free-list conservation, LSQ
+	// age ordering, sliding-window release safety) and fails the run with
+	// a *sanity.Error on the first violation. Purely a checking layer —
+	// it never changes timing.
+	Sanitize bool
+
+	// TraceSink, when non-nil, receives a structured trace.Event at every
+	// pipeline stage boundary (fetch, dispatch, issue, writeback, commit),
+	// squash, misprediction, L1 miss and early load-queue reclaim. A nil
+	// sink costs one branch per event site.
+	TraceSink trace.Sink
 }
 
 func baseConfig() Config {

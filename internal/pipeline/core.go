@@ -9,6 +9,8 @@ import (
 	"github.com/noreba-sim/noreba/internal/emulator"
 	"github.com/noreba-sim/noreba/internal/isa"
 	"github.com/noreba-sim/noreba/internal/prefetch"
+	"github.com/noreba-sim/noreba/internal/sanity"
+	"github.com/noreba-sim/noreba/internal/trace"
 )
 
 // Core replays one dynamic instruction stream through the cycle-level
@@ -68,6 +70,12 @@ type Core struct {
 	highWater      int // maximum cursor value ever reached
 	memFrontierIdx int // smallest memory-op trace index not yet committed
 
+	// Observability and checking layers (nil/false when disabled).
+	sink    trace.Sink
+	traceOn bool
+	san     *sanitizer
+	sanErr  *sanity.Error
+
 	stats Stats
 }
 
@@ -104,6 +112,12 @@ func NewCoreFromSource(cfg Config, src emulator.TraceSource, meta *compiler.Meta
 	c.policy = newPolicy(cfg)
 	c.stats.Name = src.Name()
 	c.stats.Policy = cfg.Policy.String()
+	if cfg.TraceSink != nil {
+		c.sink, c.traceOn = cfg.TraceSink, true
+	}
+	if cfg.Sanitize {
+		c.san = newSanitizer(c)
+	}
 	return c
 }
 
@@ -145,6 +159,36 @@ func (c *Core) Step() {
 		bound = c.cursor
 	}
 	c.win.release(bound)
+
+	if c.san != nil {
+		c.san.endCycle(c)
+	}
+}
+
+// SanityErr returns the first invariant violation the sanitizer detected, or
+// nil. Callers stepping the core manually (the multicore system) poll it;
+// Run surfaces it as the returned error.
+func (c *Core) SanityErr() error {
+	if c.sanErr == nil {
+		return nil
+	}
+	return c.sanErr
+}
+
+// fail records the first sanitizer violation; later ones are dropped so the
+// diagnostic always names the root cause, not a cascade.
+func (c *Core) fail(err *sanity.Error) {
+	if c.sanErr == nil {
+		c.sanErr = err
+	}
+}
+
+// emit sends a stage event for e to the trace sink. Callers guard with
+// c.traceOn so the disabled path costs a single branch.
+func (c *Core) emit(kind trace.Kind, e *Entry) {
+	c.sink.Emit(trace.Event{
+		Kind: kind, Cycle: c.cycle, Seq: e.Seq(), Idx: e.idx, PC: e.d.PC,
+	})
 }
 
 // Finalize snapshots end-of-run statistics; Run calls it automatically.
@@ -166,14 +210,20 @@ func (c *Core) Finalize() *Stats {
 // Run simulates until every stream instruction has committed and returns the
 // statistics. If the source ends on an execution error (memory exception),
 // the delivered prefix is simulated to completion and the error is returned
-// alongside the statistics.
+// alongside the statistics. Modelling failures — a sanitizer invariant
+// violation, or a livelocked run — are reported as a *sanity.Error carrying
+// the cycle and invariant name.
 func (c *Core) Run() (*Stats, error) {
 	for !c.Done() {
 		if c.cycle > maxCycles {
-			return c.Finalize(), fmt.Errorf("pipeline: exceeded %d cycles at frontier %d with %d instructions pulled (policy %s)",
+			return c.Finalize(), sanity.Errorf("core/livelock", c.cycle,
+				"exceeded %d cycles at frontier %d with %d instructions pulled (policy %s)",
 				maxCycles, c.frontierIdx, c.win.counts().Insts, c.cfg.Policy)
 		}
 		c.Step()
+		if c.sanErr != nil {
+			return c.Finalize(), c.sanErr
+		}
 	}
 	st := c.Finalize()
 	if err := c.win.srcErr(); err != nil {
@@ -216,6 +266,9 @@ func (c *Core) stepCommit() {
 // advances the in-order frontier. Policies call this after their own
 // eligibility checks.
 func (c *Core) commitEntry(e *Entry) {
+	if c.san != nil {
+		c.san.onCommit(c, e)
+	}
 	e.committed = true
 	e.committedAt = c.cycle
 	if e.idx != c.frontierIdx {
@@ -250,6 +303,9 @@ func (c *Core) commitEntry(e *Entry) {
 		// here (§6.1.5).
 		if c.cfg.ECL || (e.issued && e.doneAt <= c.cycle) {
 			c.lqOcc--
+			if c.traceOn && c.cfg.ECL && e.doneAt > c.cycle {
+				c.emit(trace.KindEarlyReclaim, e)
+			}
 		} else {
 			e.lqHeld = true
 		}
@@ -264,6 +320,16 @@ func (c *Core) commitEntry(e *Entry) {
 	}
 	if e.isFence {
 		c.stats.FencesCommitted++
+	}
+	if c.traceOn {
+		q := int64(-1)
+		if e.steered {
+			q = int64(e.queue)
+		}
+		c.sink.Emit(trace.Event{
+			Kind: trace.KindCommit, Cycle: c.cycle, Seq: e.Seq(), Idx: e.idx,
+			PC: e.d.PC, Arg: q, OoO: e.oooCommit,
+		})
 	}
 	if c.cfg.PipeTraceLimit > 0 && len(c.stats.PipeTrace) < c.cfg.PipeTraceLimit {
 		q := -1
@@ -442,6 +508,9 @@ func (c *Core) stepComplete() {
 			continue
 		}
 		e.done = true
+		if c.traceOn {
+			c.emit(trace.KindWriteback, e)
+		}
 		if e.lqHeld {
 			c.lqOcc--
 			e.lqHeld = false
@@ -453,6 +522,9 @@ func (c *Core) stepComplete() {
 		if e.isCondBranch || e.isJalr {
 			e.resolved = true
 			e.resolvedAt = c.cycle
+			if c.traceOn && e.mispredicted {
+				c.emit(trace.KindMispredict, e)
+			}
 			if e.isCondBranch {
 				c.stats.Branches++
 				if e.mispredicted {
@@ -551,6 +623,9 @@ func (c *Core) unblockFetch(b *Entry) {
 
 func (c *Core) squashEntry(e *Entry, dispatched bool) {
 	e.squashed = true
+	if c.traceOn {
+		c.emit(trace.KindSquash, e)
+	}
 	if dispatched {
 		if !e.steered {
 			c.robOcc--
@@ -632,6 +707,9 @@ func (c *Core) stepIssue() {
 		e.issuedAt = c.cycle
 		c.iqOcc--
 		budget--
+		if c.traceOn {
+			c.emit(trace.KindIssue, e)
+		}
 
 		switch e.class {
 		case opLoad:
@@ -680,6 +758,12 @@ func (c *Core) loadDone(e *Entry) int64 {
 		}
 	}
 	done := c.dcache.Access(e.d.Addr, c.cycle+1)
+	if c.traceOn && done > c.cycle+1+c.cfg.L1Lat {
+		c.sink.Emit(trace.Event{
+			Kind: trace.KindCacheMiss, Cycle: c.cycle, Seq: e.Seq(), Idx: e.idx,
+			PC: e.d.PC, Addr: e.d.Addr, Arg: done - c.cycle - 1,
+		})
+	}
 	if c.dcpt != nil {
 		for _, addr := range c.dcpt.Train(e.d.PC, e.d.Addr) {
 			c.dcache.Prefetch(addr, c.cycle+1)
@@ -719,6 +803,12 @@ func (c *Core) stepDispatch() {
 
 		c.ifq = c.ifq[1:]
 		e.dispatched = true
+		if c.traceOn {
+			c.emit(trace.KindDispatch, e)
+		}
+		if c.san != nil {
+			c.san.onDispatch(c, e)
+		}
 		c.robOcc++
 		c.iqOcc++
 		switch e.class {
@@ -830,6 +920,9 @@ func (c *Core) stepFetch() {
 		r.fetched = true
 		c.cursor++
 		slots--
+		if c.traceOn {
+			c.emit(trace.KindFetch, e)
+		}
 
 		switch {
 		case e.isCondBranch:

@@ -1,5 +1,7 @@
 package pipeline
 
+import "github.com/noreba-sim/noreba/internal/sanity"
+
 // norebaPolicy implements the Selective ROB (§4.2) with its support
 // structures: decoded instructions sit in ROB′ (the main ROB, FIFO) and are
 // steered from its head into the Primary Commit Queue or one of the Branch
@@ -69,9 +71,6 @@ func (p *norebaPolicy) steer(c *Core, cycle int64) bool {
 			return true
 		}
 		if len(p.queues[q]) >= p.queueSize(q) {
-			if q == 0 {
-			} else {
-			}
 			return true
 		}
 		if e.isCondBranch && e.dep.BranchID > 0 {
@@ -237,16 +236,6 @@ func (p *norebaPolicy) commit(c *Core, cycle int64, width int) int {
 			}
 			e := queue[0]
 			if !c.eligible(e, cycle, true, false) {
-				if qi == 0 {
-					switch {
-					case e.class == opLoad && !(e.issued && e.addrReadyAt <= cycle):
-					case e.class == opStore && !(e.issued && e.doneAt <= cycle):
-					case (e.isCondBranch || e.isJalr) && !e.resolved:
-					case e.isMem && e.idx != c.memFrontierIdx:
-					case c.poisoned(e):
-					default:
-					}
-				}
 				continue
 			}
 			// Non-speculative release: the governing branch instance must
@@ -256,8 +245,6 @@ func (p *norebaPolicy) commit(c *Core, cycle int64, width int) int {
 			// branches that steered to a different queue. Misprediction
 			// windows are covered by the poisoning rules in eligible.
 			if !depSatisfied(c, e) {
-				if qi == 0 {
-				}
 				continue
 			}
 			ooo := e.idx != c.frontierIdx
@@ -338,6 +325,73 @@ func (p *norebaPolicy) accumulate(c *Core) {
 	for k := 0; k < p.cfg.NumBRCQs; k++ {
 		c.stats.BRCQOcc += int64(len(p.queues[k+1]))
 	}
+}
+
+// check validates the Selective ROB's private structures for the sanitizer:
+// queue capacities and FIFO age order, steering labels, CIT capacity and
+// content (only committed, unique trace indices — §4.3), and CQT/BR-CQ
+// branch-liveness consistency.
+func (p *norebaPolicy) check(c *Core, cycle int64) *sanity.Error {
+	for qi, queue := range p.queues {
+		size := p.queueSize(qi)
+		if len(queue) > size {
+			return sanity.Errorf("cq/capacity", cycle, "queue %d holds %d entries, size %d", qi, len(queue), size)
+		}
+		lastSeq := int64(-1)
+		for _, e := range queue {
+			if e.squashed {
+				continue
+			}
+			if !e.steered || e.queue != qi {
+				return sanity.At("cq/mislabel", cycle, e.d.PC, e.Seq(),
+					"entry in queue %d has steered=%t queue=%d", qi, e.steered, e.queue)
+			}
+			if e.committed {
+				return sanity.At("cq/committed-resident", cycle, e.d.PC, e.Seq(),
+					"committed entry still resident in queue %d", qi)
+			}
+			if e.Seq() <= lastSeq {
+				return sanity.At("cq/age-order", cycle, e.d.PC, e.Seq(),
+					"queue %d out of steering order: seq %d after seq %d", qi, e.Seq(), lastSeq)
+			}
+			lastSeq = e.Seq()
+		}
+	}
+
+	if len(p.cit) > p.cfg.CITSize {
+		return sanity.Errorf("cit/capacity", cycle, "CIT holds %d entries, size %d", len(p.cit), p.cfg.CITSize)
+	}
+	seen := make(map[int]bool, len(p.cit))
+	for _, idx := range p.cit {
+		if seen[idx] {
+			return sanity.Errorf("cit/duplicate", cycle, "trace index %d recorded twice in the CIT", idx)
+		}
+		seen[idx] = true
+		if !c.win.isCommitted(idx) {
+			return sanity.Errorf("cit/uncommitted", cycle, "CIT records uncommitted trace index %d", idx)
+		}
+	}
+
+	if n := p.liveCQT(); n > p.cfg.CQTSize {
+		return sanity.Errorf("cqt/capacity", cycle, "%d live CQT entries, size %d", n, p.cfg.CQTSize)
+	}
+	counts := make([]int, p.cfg.NumBRCQs)
+	for _, ce := range p.cqt {
+		if ce.branch.squashed {
+			return sanity.At("cqt/squashed", cycle, ce.branch.d.PC, ce.branch.Seq(),
+				"CQT entry for a squashed branch")
+		}
+		if ce.queue > 0 {
+			counts[ce.queue-1]++
+		}
+	}
+	for k, n := range counts {
+		if n != p.brcqLive[k] {
+			return sanity.Errorf("cqt/brcq-live", cycle,
+				"BR-CQ %d liveness counter %d but %d CQT branches map to it", k, p.brcqLive[k], n)
+		}
+	}
+	return nil
 }
 
 func maxInt(a, b int) int {

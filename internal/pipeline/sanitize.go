@@ -1,0 +1,316 @@
+package pipeline
+
+import (
+	"github.com/noreba-sim/noreba/internal/sanity"
+)
+
+// sanitizer is the opt-in invariant checker (Config.Sanitize). It validates,
+// independently of the commit policies' own eligibility code, that every
+// retirement obeys the paper's commit-order rules (§4) and that the pipeline's
+// structural bookkeeping stays conserved. Checks are deliberately re-derived
+// from first principles — scanning the raw unresolved-branch list and
+// recounting occupancy from the in-flight set — rather than calling the same
+// helpers the policies use, so a bug in policy code cannot hide itself.
+//
+// The checker has two hook points: onCommit validates each retirement at the
+// moment it happens (commit legality is a property of that instant), and
+// endCycle recounts structural state once per cycle. The first violation is
+// recorded as a *sanity.Error on the core and fails the run.
+//
+// Invariant names (sanity.Error.Invariant), by subsystem:
+//
+//	commit/*   — commit-order legality (per-policy, §2/§4 rules)
+//	rob/*      — ROB allocation order and occupancy conservation
+//	iq/*       — issue-queue occupancy conservation
+//	prf/*      — physical-register free-list conservation
+//	lq/*, sq/* — load/store-queue occupancy conservation
+//	lsq/*      — LSQ age ordering
+//	frontier/* — commit-frontier monotonicity
+//	window/*   — sliding-window release safety
+//	cit/*, cqt/*, cq/* — NOREBA Selective ROB structures (§4.2–§4.3)
+//	core/*     — whole-run guards (livelock)
+type sanitizer struct {
+	lastFrontier    int
+	lastMemFrontier int
+}
+
+func newSanitizer(c *Core) *sanitizer { return &sanitizer{} }
+
+// policyChecker is implemented by policies that carry private structures
+// worth validating every cycle (the Selective ROB's queues and tables).
+type policyChecker interface {
+	check(c *Core, cycle int64) *sanity.Error
+}
+
+// onDispatch validates ROB allocation order at the moment of allocation: the
+// ROB is a FIFO in dispatch order, and among *uncommitted* entries dispatch
+// order is age order, so the newcomer must be younger than the youngest live
+// entry. Entries already retired out of order (NOREBA keeps them resident
+// until the frontier drains them) are exempt: after a recovery the skipped
+// dependent region legitimately re-dispatches behind them.
+func (s *sanitizer) onDispatch(c *Core, e *Entry) {
+	for i := len(c.rob) - 1; i >= 0; i-- {
+		t := c.rob[i]
+		if t.committed {
+			continue
+		}
+		if t.Seq() >= e.Seq() {
+			c.fail(sanity.At("rob/alloc-order", c.cycle, e.d.PC, e.Seq(),
+				"dispatching seq %d behind live ROB entry seq %d", e.Seq(), t.Seq()))
+		}
+		return
+	}
+}
+
+// onCommit re-derives the commit conditions for e at the instant the policy
+// retires it. Runs before commitEntry mutates any state.
+func (s *sanitizer) onCommit(c *Core, e *Entry) {
+	cyc := c.cycle
+	pol := c.cfg.Policy
+
+	if e.committed || e.squashed {
+		c.fail(sanity.At("commit/lifecycle", cyc, e.d.PC, e.Seq(),
+			"retiring an entry that is already committed=%t squashed=%t", e.committed, e.squashed))
+		return
+	}
+
+	// In-order baseline: strictly in program order, i.e. always at the
+	// commit frontier.
+	if pol == InOrder && e.idx != c.frontierIdx {
+		c.fail(sanity.At("commit/in-order", cyc, e.d.PC, e.Seq(),
+			"InO-C retiring trace index %d but frontier is %d", e.idx, c.frontierIdx))
+	}
+
+	// §4.5: synchronisation barriers commit strictly in order under every
+	// policy.
+	if e.isFence && e.idx != c.frontierIdx {
+		c.fail(sanity.At("commit/fence-order", cyc, e.d.PC, e.Seq(),
+			"fence retiring at index %d ahead of frontier %d", e.idx, c.frontierIdx))
+	}
+
+	// Program-order memory retirement (every design but the full
+	// speculative oracle).
+	if pol != Spec && e.isMem && e.idx != c.memFrontierIdx {
+		c.fail(sanity.At("commit/mem-order", cyc, e.d.PC, e.Seq(),
+			"memory op retiring at index %d ahead of memory frontier %d", e.idx, c.memFrontierIdx))
+	}
+
+	// Completion conditions. The traditional designs require Condition 1
+	// (completion) outright; the relaxed designs still require stores to
+	// have their data, control transfers to have resolved, and loads to
+	// have translated (§2 footnote, §6.1.5).
+	requireCompletion := pol == InOrder || pol == NonSpecOoO
+	switch {
+	case e.class == opLoad:
+		if !e.issued || e.addrReadyAt > cyc {
+			c.fail(sanity.At("commit/load-translation", cyc, e.d.PC, e.Seq(),
+				"load retiring before its translation succeeded"))
+		} else if requireCompletion && !c.cfg.ECL && e.doneAt > cyc {
+			c.fail(sanity.At("commit/load-data", cyc, e.d.PC, e.Seq(),
+				"load retiring %d cycles before its data returns without ECL", e.doneAt-cyc))
+		}
+	case e.class == opStore:
+		if !e.issued || e.doneAt > cyc {
+			c.fail(sanity.At("commit/store-data", cyc, e.d.PC, e.Seq(),
+				"store retiring before its data is ready"))
+		}
+	case e.isCondBranch || e.isJalr:
+		if !e.resolved {
+			c.fail(sanity.At("commit/branch-unresolved", cyc, e.d.PC, e.Seq(),
+				"control transfer retiring before it resolved"))
+		}
+	default:
+		if requireCompletion && (!e.issued || e.doneAt > cyc) {
+			c.fail(sanity.At("commit/completion", cyc, e.d.PC, e.Seq(),
+				"instruction retiring before completion under a Condition-1 policy"))
+		}
+	}
+
+	// Never retire work computed from wrong-path-dependent data.
+	if c.poisoned(e) {
+		c.fail(sanity.At("commit/poisoned", cyc, e.d.PC, e.Seq(),
+			"retiring an instruction whose governing branch instance is a pending mispredict or was skipped"))
+	}
+
+	// Branch-condition legality: what an unresolved older branch permits
+	// depends on the design. The speculative oracles relax it entirely.
+	if pol == Spec || pol == SpecBR {
+		return
+	}
+	for _, b := range c.unresolvedBranches {
+		if b.Seq() >= e.Seq() {
+			break // dispatch order == age order; nothing older remains
+		}
+		if b.squashed || b.resolved {
+			continue
+		}
+		switch pol {
+		case InOrder, NonSpecOoO:
+			// Condition 3 in full: no commit past any unresolved branch.
+			c.fail(sanity.At("commit/branch-order", cyc, e.d.PC, e.Seq(),
+				"retiring past unresolved branch seq %d (pc %d) under %s", b.Seq(), b.d.PC, pol))
+			return
+		case Noreba, IdealReconv:
+			// §4: commit may pass an unresolved branch only when the
+			// compiler marked it (BranchID > 0) — an unmarked branch
+			// carries no dependence information and serialises commit.
+			if b.dep.BranchID == 0 {
+				c.fail(sanity.At("commit/unmarked-branch", cyc, e.d.PC, e.Seq(),
+					"retiring past unresolved UNMARKED branch seq %d (pc %d)", b.Seq(), b.d.PC))
+				return
+			}
+			// A DepOrdered instruction (invalid BIT reference) must wait
+			// for all older branches; one is still unresolved.
+			if e.dep.DepSeq == DepOrdered {
+				c.fail(sanity.At("commit/dep-ordered", cyc, e.d.PC, e.Seq(),
+					"DepOrdered instruction retiring past unresolved branch seq %d", b.Seq()))
+				return
+			}
+		}
+	}
+	// The instruction's own governing branch instance (setDependency) must
+	// have resolved or committed before its dependents retire (§4.2).
+	if (pol == Noreba || pol == IdealReconv) && e.dep.DepSeq >= 0 {
+		idx := int(e.dep.DepSeq)
+		if !c.win.isCommitted(idx) {
+			if b, ok := c.branchBySeq[e.dep.DepSeq]; !ok || !b.resolved {
+				c.fail(sanity.At("commit/dep-unresolved", cyc, e.d.PC, e.Seq(),
+					"retiring before governing branch instance seq %d resolved", e.dep.DepSeq))
+			}
+		}
+	}
+}
+
+// endCycle recounts structural state from the in-flight set and cross-checks
+// the core's incremental bookkeeping. c.rob is the complete universe of
+// dispatched, un-squashed, not-yet-drained entries (steered NOREBA entries
+// remain on it for issue), so conservation laws are checkable by one scan.
+func (s *sanitizer) endCycle(c *Core) {
+	cyc := c.cycle - 1 // Step increments before this hook runs
+
+	// Commit frontiers only move forward.
+	if c.frontierIdx < s.lastFrontier {
+		c.fail(sanity.Errorf("frontier/monotonic", cyc,
+			"commit frontier moved backwards: %d -> %d", s.lastFrontier, c.frontierIdx))
+		return
+	}
+	if c.memFrontierIdx < s.lastMemFrontier {
+		c.fail(sanity.Errorf("frontier/mem-monotonic", cyc,
+			"memory frontier moved backwards: %d -> %d", s.lastMemFrontier, c.memFrontierIdx))
+		return
+	}
+	s.lastFrontier, s.lastMemFrontier = c.frontierIdx, c.memFrontierIdx
+
+	// Sliding-window release safety: no record may be dropped before both
+	// the commit frontier and the fetch cursor have passed it (a released
+	// record can never be re-addressed).
+	if base := c.win.baseIdx(); base > c.frontierIdx || base > c.cursor {
+		c.fail(sanity.Errorf("window/release", cyc,
+			"window released through %d past frontier %d / cursor %d", base, c.frontierIdx, c.cursor))
+		return
+	}
+
+	// One scan over the in-flight set: ordering plus occupancy recount.
+	robOcc, iqOcc, lqOcc, physUsed := 0, 0, 0, 0
+	lastSeq := int64(-1)
+	for _, e := range c.rob {
+		if e.squashed {
+			c.fail(sanity.At("rob/squashed-resident", cyc, e.d.PC, e.Seq(),
+				"squashed entry still resident in the ROB"))
+			return
+		}
+		if !e.dispatched {
+			c.fail(sanity.At("rob/undispatched", cyc, e.d.PC, e.Seq(),
+				"undispatched entry resident in the ROB"))
+			return
+		}
+		if !e.committed {
+			// Age order is only guaranteed among live entries: committed
+			// survivors of a recovery may be younger than re-dispatched
+			// skipped-region work sitting behind them.
+			if e.Seq() <= lastSeq {
+				c.fail(sanity.At("rob/alloc-order", cyc, e.d.PC, e.Seq(),
+					"ROB out of age order: live seq %d after seq %d", e.Seq(), lastSeq))
+				return
+			}
+			lastSeq = e.Seq()
+		}
+		if !e.steered && !e.committed {
+			robOcc++
+		}
+		if !e.issued {
+			iqOcc++
+		}
+		if e.hasDest && !e.committed {
+			physUsed++
+		}
+		if e.class == opLoad && (!e.committed || e.lqHeld) {
+			lqOcc++
+		}
+	}
+	if robOcc != c.robOcc {
+		c.fail(sanity.Errorf("rob/occupancy", cyc, "robOcc=%d but %d live unsteered entries", c.robOcc, robOcc))
+		return
+	}
+	if iqOcc != c.iqOcc {
+		c.fail(sanity.Errorf("iq/occupancy", cyc, "iqOcc=%d but %d unissued entries", c.iqOcc, iqOcc))
+		return
+	}
+	if physUsed != c.physUsed {
+		c.fail(sanity.Errorf("prf/conservation", cyc,
+			"physUsed=%d but %d uncommitted destination registers are live (leak or double-free)", c.physUsed, physUsed))
+		return
+	}
+	if lqOcc != c.lqOcc {
+		c.fail(sanity.Errorf("lq/occupancy", cyc, "lqOcc=%d but %d live loads", c.lqOcc, lqOcc))
+		return
+	}
+
+	// Store queue: occupancy and strict age ordering (stores drain to the
+	// cache at retirement in program order).
+	sqOcc := 0
+	lastSeq = -1
+	for _, st := range c.storeQueue {
+		if st.squashed {
+			continue
+		}
+		sqOcc++
+		if st.Seq() <= lastSeq {
+			c.fail(sanity.At("lsq/age-order", cyc, st.d.PC, st.Seq(),
+				"store queue out of age order: seq %d after seq %d", st.Seq(), lastSeq))
+			return
+		}
+		lastSeq = st.Seq()
+	}
+	if sqOcc != c.sqOcc {
+		c.fail(sanity.Errorf("sq/occupancy", cyc, "sqOcc=%d but %d live stores", c.sqOcc, sqOcc))
+		return
+	}
+
+	// Capacity bounds (a conservation bug that slips past the recount for
+	// one cycle still cannot oversubscribe a structure unnoticed).
+	switch {
+	case c.robOcc < 0 || c.robOcc > c.cfg.ROBSize:
+		c.fail(sanity.Errorf("rob/capacity", cyc, "robOcc=%d outside [0,%d]", c.robOcc, c.cfg.ROBSize))
+		return
+	case c.iqOcc < 0 || c.iqOcc > c.cfg.IQSize:
+		c.fail(sanity.Errorf("iq/capacity", cyc, "iqOcc=%d outside [0,%d]", c.iqOcc, c.cfg.IQSize))
+		return
+	case c.lqOcc < 0 || c.lqOcc > c.cfg.LQSize:
+		c.fail(sanity.Errorf("lq/capacity", cyc, "lqOcc=%d outside [0,%d]", c.lqOcc, c.cfg.LQSize))
+		return
+	case c.sqOcc < 0 || c.sqOcc > c.cfg.SQSize:
+		c.fail(sanity.Errorf("sq/capacity", cyc, "sqOcc=%d outside [0,%d]", c.sqOcc, c.cfg.SQSize))
+		return
+	case c.physUsed < 0 || c.physUsed > c.cfg.PhysRegs():
+		c.fail(sanity.Errorf("prf/capacity", cyc, "physUsed=%d outside [0,%d]", c.physUsed, c.cfg.PhysRegs()))
+		return
+	}
+
+	// Policy-private structures (the Selective ROB's queues and tables).
+	if pc, ok := c.policy.(policyChecker); ok {
+		if err := pc.check(c, cyc); err != nil {
+			c.fail(err)
+		}
+	}
+}

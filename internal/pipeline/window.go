@@ -75,6 +75,10 @@ func (w *window) ensure(idx int) bool {
 // loadedEnd is one past the highest loaded trace index.
 func (w *window) loadedEnd() int { return w.base + len(w.recs) }
 
+// baseIdx is the lowest still-resident trace index; everything below it has
+// been released. The sanitizer checks it against the release-safety bound.
+func (w *window) baseIdx() int { return w.base }
+
 // rec returns the record for trace index idx, which must be loaded and not
 // yet released. The pointer is invalidated by the next ensure or release
 // call — do not hold it across either.

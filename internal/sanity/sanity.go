@@ -1,0 +1,66 @@
+// Package sanity defines the typed invariant-violation error the pipeline
+// sanitizer reports. The simulator's whole claim rests on commit-order
+// legality: out-of-order commit is only safe when the paper's BIT/DCT/CQT
+// rules (§4) hold. The sanitizer re-derives those rules independently of the
+// commit policies and fails fast with a cycle-stamped diagnostic the moment a
+// policy retires an instruction it was not entitled to — a policy bug then
+// surfaces as a hard error instead of silently inflating Figure 6 speedups.
+//
+// The package holds only the error type and its helpers so that both the
+// checker (internal/pipeline) and consumers (experiments, cmds, tests) can
+// name violations without importing the pipeline's internals.
+package sanity
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error is one invariant violation: which rule broke, where in simulated
+// time, and at which instruction. It is the only error type the pipeline
+// sanitizer produces, so callers can switch on it with errors.As.
+type Error struct {
+	// Invariant names the violated rule, e.g. "commit/in-order" or
+	// "prf/conservation". Names are stable slash-separated identifiers:
+	// the first segment is the subsystem, the second the rule.
+	Invariant string
+	// Cycle is the simulated cycle at which the violation was detected.
+	Cycle int64
+	// PC is the static instruction address involved, or -1 when the
+	// violation is not attributable to a single instruction.
+	PC int
+	// Seq is the dynamic sequence number involved, or -1.
+	Seq int64
+	// Detail is a human-readable explanation with the observed values.
+	Detail string
+}
+
+func (e *Error) Error() string {
+	loc := ""
+	if e.PC >= 0 {
+		loc = fmt.Sprintf(" pc=%d", e.PC)
+	}
+	if e.Seq >= 0 {
+		loc += fmt.Sprintf(" seq=%d", e.Seq)
+	}
+	return fmt.Sprintf("sanity: %s violated at cycle %d%s: %s", e.Invariant, e.Cycle, loc, e.Detail)
+}
+
+// Errorf builds a violation for an unattributable (whole-structure) check.
+func Errorf(invariant string, cycle int64, format string, args ...any) *Error {
+	return &Error{Invariant: invariant, Cycle: cycle, PC: -1, Seq: -1, Detail: fmt.Sprintf(format, args...)}
+}
+
+// At builds a violation attributed to one dynamic instruction.
+func At(invariant string, cycle int64, pc int, seq int64, format string, args ...any) *Error {
+	return &Error{Invariant: invariant, Cycle: cycle, PC: pc, Seq: seq, Detail: fmt.Sprintf(format, args...)}
+}
+
+// As unwraps err to a *Error if one is in its chain.
+func As(err error) (*Error, bool) {
+	var se *Error
+	if errors.As(err, &se) {
+		return se, true
+	}
+	return nil, false
+}

@@ -1,0 +1,43 @@
+package sanity
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestErrorRendering(t *testing.T) {
+	err := At("commit/in-order", 42, 7, 99, "index %d ahead of frontier %d", 5, 3)
+	msg := err.Error()
+	for _, want := range []string{"commit/in-order", "cycle 42", "pc=7", "seq=99", "index 5 ahead of frontier 3"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error text %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestErrorfOmitsLocation(t *testing.T) {
+	err := Errorf("prf/conservation", 10, "leak")
+	if err.PC != -1 || err.Seq != -1 {
+		t.Fatalf("Errorf should mark PC/Seq unknown, got pc=%d seq=%d", err.PC, err.Seq)
+	}
+	if strings.Contains(err.Error(), "pc=") {
+		t.Errorf("error text %q renders an unknown pc", err.Error())
+	}
+}
+
+func TestAsUnwraps(t *testing.T) {
+	base := Errorf("rob/occupancy", 3, "drift")
+	wrapped := fmt.Errorf("run failed: %w", base)
+	got, ok := As(wrapped)
+	if !ok || got != base {
+		t.Fatalf("As failed to recover the typed error through wrapping")
+	}
+	if _, ok := As(errors.New("plain")); ok {
+		t.Fatal("As matched a non-sanity error")
+	}
+	if _, ok := As(nil); ok {
+		t.Fatal("As matched nil")
+	}
+}

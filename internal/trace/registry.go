@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Counter is a monotonically increasing named count.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Histogram buckets observations by upper bounds (the last bucket is
+// unbounded). Bounds are inclusive: an observation lands in the first bucket
+// whose bound is >= the value.
+type Histogram struct {
+	name   string
+	bounds []int64
+	counts []int64
+	sum    int64
+	n      int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.sum += v
+	h.n++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Mean returns the arithmetic mean of observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Buckets returns (bound, count) pairs; the final pair has bound -1 for the
+// overflow bucket.
+func (h *Histogram) Buckets() ([]int64, []int64) {
+	bounds := append(append([]int64{}, h.bounds...), -1)
+	counts := append([]int64{}, h.counts...)
+	return bounds, counts
+}
+
+// Registry names and owns a run's counters and histograms. Lookups are
+// mutex-guarded so sinks on different cores may share one registry; the hot
+// path is the returned Counter/Histogram itself, which each single-threaded
+// emitter uses without locking.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*Counter{}, hists: map[string]*Histogram{}}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (bounds are ignored on later lookups).
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{name: name, bounds: append([]int64{}, bounds...), counts: make([]int64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// WriteSummary renders every counter and histogram as aligned plain text,
+// sorted by name.
+func (r *Registry) WriteSummary(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%-32s %d\n", n, r.counters[n].v)
+	}
+	names = names[:0]
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := r.hists[n]
+		fmt.Fprintf(w, "%-32s n=%d mean=%.2f", n, h.n, h.Mean())
+		for i, b := range h.bounds {
+			fmt.Fprintf(w, " <=%d:%d", b, h.counts[i])
+		}
+		fmt.Fprintf(w, " inf:%d\n", h.counts[len(h.bounds)])
+	}
+}
+
+// Metrics folds pipeline events into a registry: per-kind event counters,
+// an out-of-order-commit counter, and a fetch-to-commit latency histogram.
+// It is the standard aggregation noreba-sim prints after a traced run.
+type Metrics struct {
+	reg       *Registry
+	fetchedAt map[int64]int64 // seq → fetch cycle, for commit latency
+}
+
+// NewMetrics returns a metrics sink folding into reg (a fresh registry when
+// nil).
+func NewMetrics(reg *Registry) *Metrics {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Metrics{reg: reg, fetchedAt: map[int64]int64{}}
+}
+
+// Registry returns the registry the sink folds into.
+func (m *Metrics) Registry() *Registry { return m.reg }
+
+// Emit folds one event.
+func (m *Metrics) Emit(e Event) {
+	m.reg.Counter("events/" + e.Kind.String()).Inc()
+	switch e.Kind {
+	case KindFetch:
+		m.fetchedAt[e.Seq] = e.Cycle
+	case KindSquash:
+		delete(m.fetchedAt, e.Seq)
+	case KindCommit:
+		if e.OoO {
+			m.reg.Counter("commit/out-of-order").Inc()
+		}
+		if f, ok := m.fetchedAt[e.Seq]; ok {
+			m.reg.Histogram("commit/latency-cycles", 8, 16, 32, 64, 128, 256).Observe(e.Cycle - f)
+			delete(m.fetchedAt, e.Seq)
+		}
+	case KindCacheMiss:
+		m.reg.Histogram("mem/miss-latency-cycles", 16, 40, 80, 160, 320).Observe(e.Arg)
+	}
+}

@@ -1,0 +1,176 @@
+// Package trace is the simulator's structured observability layer: typed
+// per-stage pipeline events plus counter/histogram registries, behind a Sink
+// interface whose nil fast path costs one branch per event site. The
+// cycle-level core emits an Event whenever an instruction crosses a stage
+// boundary (fetch, dispatch/rename, issue, writeback, commit), is squashed,
+// resolves a misprediction, misses the L1, or reclaims a load-queue entry
+// early; consumers range from a JSONL file writer (noreba-sim -trace) to the
+// in-memory collector the pipeline viewer renders from.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind identifies a pipeline event type.
+type Kind uint8
+
+const (
+	// KindFetch: the instruction entered the front end.
+	KindFetch Kind = iota + 1
+	// KindDispatch: the instruction was renamed and entered the ROB.
+	KindDispatch
+	// KindIssue: the instruction left the issue queue for a functional unit.
+	KindIssue
+	// KindWriteback: the instruction's result was produced.
+	KindWriteback
+	// KindCommit: the instruction retired (Arg carries the Selective ROB
+	// queue it drained through, -1 outside NOREBA; OoO marks out-of-order
+	// retirement).
+	KindCommit
+	// KindSquash: the instruction was squashed by a misprediction recovery.
+	KindSquash
+	// KindMispredict: a control transfer resolved mispredicted.
+	KindMispredict
+	// KindCacheMiss: a demand load missed the L1 (Addr is the address, Arg
+	// the total latency in cycles).
+	KindCacheMiss
+	// KindEarlyReclaim: a load's queue entry was reclaimed before its data
+	// returned (§6.1.5 ECL) or held past commit awaiting the fill.
+	KindEarlyReclaim
+)
+
+var kindNames = [...]string{
+	KindFetch:        "fetch",
+	KindDispatch:     "dispatch",
+	KindIssue:        "issue",
+	KindWriteback:    "writeback",
+	KindCommit:       "commit",
+	KindSquash:       "squash",
+	KindMispredict:   "mispredict",
+	KindCacheMiss:    "cache-miss",
+	KindEarlyReclaim: "early-reclaim",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one cycle-stamped pipeline occurrence. The struct is flat and
+// allocation-free so emitting with a live sink stays cheap.
+type Event struct {
+	Kind  Kind
+	Cycle int64
+	Seq   int64 // dynamic sequence number
+	Idx   int   // trace index
+	PC    int   // static instruction address
+	Addr  int64 // memory address (cache-miss events)
+	Arg   int64 // kind-specific: commit queue, miss latency
+	OoO   bool  // commit events: retired while older instructions remained
+}
+
+// Sink consumes pipeline events. Implementations need not be goroutine-safe:
+// a core emits from a single goroutine, and each core gets its own sink.
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Emit calls f.
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// Tee fans every event out to each of sinks.
+func Tee(sinks ...Sink) Sink {
+	return SinkFunc(func(e Event) {
+		for _, s := range sinks {
+			s.Emit(e)
+		}
+	})
+}
+
+// Collector buffers events in memory, optionally stopping after Limit commit
+// events have been seen. Commit is the last stage of an instruction's
+// lifecycle, so once the N-th commit has been observed every event of the
+// first N committed instructions has already been captured — the pipeline
+// viewer uses this to bound memory on long runs.
+type Collector struct {
+	// Limit, when positive, stops capturing after this many commit events.
+	Limit int
+
+	events  []Event
+	commits int
+}
+
+// Emit records e unless the commit limit has been reached.
+func (c *Collector) Emit(e Event) {
+	if c.Limit > 0 && c.commits >= c.Limit {
+		return
+	}
+	c.events = append(c.events, e)
+	if e.Kind == KindCommit {
+		c.commits++
+	}
+}
+
+// Events returns the captured events in emission order.
+func (c *Collector) Events() []Event { return c.events }
+
+// JSONL streams events as JSON lines. Writes are buffered; call Close (or
+// Flush) before reading the output. The encoder is hand-rolled over the flat
+// Event struct — no reflection on the per-event path.
+type JSONL struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  io.Closer
+}
+
+// NewJSONL returns a JSONL sink writing to w. If w is also an io.Closer,
+// Close closes it after flushing.
+func NewJSONL(w io.Writer) *JSONL {
+	j := &JSONL{w: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Emit writes one event as a JSON line.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	fmt.Fprintf(j.w, `{"kind":%q,"cycle":%d,"seq":%d,"idx":%d,"pc":%d`,
+		e.Kind.String(), e.Cycle, e.Seq, e.Idx, e.PC)
+	if e.Kind == KindCacheMiss {
+		fmt.Fprintf(j.w, `,"addr":%d,"latency":%d`, e.Addr, e.Arg)
+	}
+	if e.Kind == KindCommit {
+		fmt.Fprintf(j.w, `,"queue":%d,"ooo":%t`, e.Arg, e.OoO)
+	}
+	j.w.WriteString("}\n")
+}
+
+// Flush drains the write buffer.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.w.Flush()
+}
+
+// Close flushes and closes the underlying writer when it is closable.
+func (j *JSONL) Close() error {
+	if err := j.Flush(); err != nil {
+		return err
+	}
+	if j.c != nil {
+		return j.c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindFetch, KindDispatch, KindIssue, KindWriteback, KindCommit,
+		KindSquash, KindMispredict, KindCacheMiss, KindEarlyReclaim}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Errorf("unknown kind renders %q", got)
+	}
+}
+
+func TestCollectorLimit(t *testing.T) {
+	c := &Collector{Limit: 2}
+	for seq := int64(0); seq < 5; seq++ {
+		c.Emit(Event{Kind: KindDispatch, Seq: seq})
+		c.Emit(Event{Kind: KindCommit, Seq: seq})
+	}
+	evs := c.Events()
+	// Two full instruction lifecycles captured, nothing after the 2nd commit.
+	if len(evs) != 4 {
+		t.Fatalf("captured %d events, want 4", len(evs))
+	}
+	if evs[len(evs)-1].Kind != KindCommit || evs[len(evs)-1].Seq != 1 {
+		t.Fatalf("capture did not stop at the limit: last event %+v", evs[len(evs)-1])
+	}
+
+	unlimited := &Collector{}
+	for i := 0; i < 10; i++ {
+		unlimited.Emit(Event{Kind: KindCommit})
+	}
+	if len(unlimited.Events()) != 10 {
+		t.Fatalf("zero limit must mean unlimited, got %d", len(unlimited.Events()))
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	a, b := &Collector{}, &Collector{}
+	s := Tee(a, b)
+	s.Emit(Event{Kind: KindFetch, Seq: 7})
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Fatalf("tee delivered %d/%d events, want 1/1", len(a.Events()), len(b.Events()))
+	}
+}
+
+// TestJSONLValidAndComplete: every emitted line must be standalone valid JSON
+// with the kind-specific fields present.
+func TestJSONLValidAndComplete(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Emit(Event{Kind: KindCommit, Cycle: 10, Seq: 3, Idx: 3, PC: 12, Arg: 1, OoO: true})
+	j.Emit(Event{Kind: KindCacheMiss, Cycle: 11, Seq: 4, Idx: 4, PC: 13, Addr: 1 << 20, Arg: 200})
+	j.Emit(Event{Kind: KindFetch, Cycle: 12, Seq: 5, Idx: 5, PC: 14})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("wrote %d lines, want 3", len(lines))
+	}
+	var rows []map[string]any
+	for i, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, ln)
+		}
+		rows = append(rows, m)
+	}
+	if rows[0]["kind"] != "commit" || rows[0]["ooo"] != true || rows[0]["queue"] != float64(1) {
+		t.Errorf("commit line missing fields: %v", rows[0])
+	}
+	if rows[1]["kind"] != "cache-miss" || rows[1]["addr"] != float64(1<<20) || rows[1]["latency"] != float64(200) {
+		t.Errorf("cache-miss line missing fields: %v", rows[1])
+	}
+	if _, ok := rows[2]["queue"]; ok {
+		t.Errorf("fetch line carries commit-only fields: %v", rows[2])
+	}
+}
+
+func TestRegistryCountersAndHistograms(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if r.Counter("x").Value() != 5 {
+		t.Fatalf("counter = %d, want 5", r.Counter("x").Value())
+	}
+
+	h := r.Histogram("lat", 10, 100)
+	for _, v := range []int64{5, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("histogram count = %d, want 4", h.Count())
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || bounds[2] != -1 {
+		t.Fatalf("buckets = %v", bounds)
+	}
+	// 5 and 10 land in <=10 (inclusive bounds), 11 in <=100, 1000 overflows.
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("bucket counts = %v, want [2 1 1]", counts)
+	}
+	if got := h.Mean(); got != 1026.0/4 {
+		t.Fatalf("mean = %v", got)
+	}
+
+	var buf bytes.Buffer
+	r.WriteSummary(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "x") || !strings.Contains(out, "lat") || !strings.Contains(out, "n=4") {
+		t.Fatalf("summary missing entries:\n%s", out)
+	}
+}
+
+// TestMetricsFolding: the standard aggregation sink derives commit latency
+// from fetch→commit spans and drops state for squashed instructions.
+func TestMetricsFolding(t *testing.T) {
+	m := NewMetrics(nil)
+	m.Emit(Event{Kind: KindFetch, Seq: 1, Cycle: 10})
+	m.Emit(Event{Kind: KindCommit, Seq: 1, Cycle: 30, OoO: true})
+	m.Emit(Event{Kind: KindFetch, Seq: 2, Cycle: 11})
+	m.Emit(Event{Kind: KindSquash, Seq: 2, Cycle: 12})
+	m.Emit(Event{Kind: KindCacheMiss, Seq: 3, Arg: 150})
+
+	reg := m.Registry()
+	if got := reg.Counter("events/commit").Value(); got != 1 {
+		t.Errorf("events/commit = %d", got)
+	}
+	if got := reg.Counter("commit/out-of-order").Value(); got != 1 {
+		t.Errorf("commit/out-of-order = %d", got)
+	}
+	h := reg.Histogram("commit/latency-cycles")
+	if h.Count() != 1 || h.Mean() != 20 {
+		t.Errorf("latency histogram n=%d mean=%v, want n=1 mean=20", h.Count(), h.Mean())
+	}
+	if reg.Histogram("mem/miss-latency-cycles").Count() != 1 {
+		t.Errorf("miss histogram not folded")
+	}
+	// Squashed seq 2 must not leak into the latency map.
+	if len(m.fetchedAt) != 0 {
+		t.Errorf("fetchedAt retains %d entries after squash/commit", len(m.fetchedAt))
+	}
+}

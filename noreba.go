@@ -17,6 +17,8 @@
 package noreba
 
 import (
+	"io"
+
 	"github.com/noreba-sim/noreba/internal/compiler"
 	"github.com/noreba-sim/noreba/internal/emulator"
 	"github.com/noreba-sim/noreba/internal/experiments"
@@ -25,6 +27,8 @@ import (
 	"github.com/noreba-sim/noreba/internal/pipeline"
 	"github.com/noreba-sim/noreba/internal/power"
 	"github.com/noreba-sim/noreba/internal/program"
+	"github.com/noreba-sim/noreba/internal/sanity"
+	"github.com/noreba-sim/noreba/internal/trace"
 	"github.com/noreba-sim/noreba/internal/workloads"
 )
 
@@ -157,6 +161,43 @@ func Simulate(cfg Config, tr *DynTrace, meta *compiler.Meta) (*Stats, error) {
 func SimulateSource(cfg Config, src TraceSource, meta *compiler.Meta) (*Stats, error) {
 	return pipeline.NewCoreFromSource(cfg, src, meta).Run()
 }
+
+// Observability and invariant checking.
+type (
+	// TraceEvent is one cycle-stamped pipeline event (fetch, dispatch,
+	// issue, writeback, commit, squash, mispredict, cache miss, early
+	// reclaim). Attach a sink via Config.TraceSink to receive them.
+	TraceEvent = trace.Event
+	// TraceSink consumes pipeline events; a nil sink costs one branch per
+	// event site.
+	TraceSink = trace.Sink
+	// TraceKind identifies a pipeline event type.
+	TraceKind = trace.Kind
+	// TraceCollector buffers events in memory (optionally bounded by a
+	// commit-event limit).
+	TraceCollector = trace.Collector
+	// MetricsRegistry names and owns counters and histograms folded from
+	// the event stream.
+	MetricsRegistry = trace.Registry
+	// SanityError is the typed diagnostic a sanitized run fails with: the
+	// violated invariant name plus the cycle, PC and sequence number.
+	SanityError = sanity.Error
+)
+
+// NewJSONLSink returns a sink streaming events as JSON lines to w. Call its
+// Close (or Flush) before reading the output.
+func NewJSONLSink(w io.Writer) *trace.JSONL { return trace.NewJSONL(w) }
+
+// NewMetricsSink returns a sink folding events into reg (a fresh registry
+// when nil); combine with other sinks via TeeSinks.
+func NewMetricsSink(reg *MetricsRegistry) *trace.Metrics { return trace.NewMetrics(reg) }
+
+// TeeSinks fans every event out to each sink.
+func TeeSinks(sinks ...TraceSink) TraceSink { return trace.Tee(sinks...) }
+
+// AsSanityError extracts the typed invariant violation from a failed run's
+// error, if it is one.
+func AsSanityError(err error) (*SanityError, bool) { return sanity.As(err) }
 
 // Power modelling.
 type (

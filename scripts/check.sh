@@ -2,12 +2,16 @@
 # check.sh — the repo's CI gate, also runnable as `make check`.
 #
 # Order matters: cheap static checks first, then the full race-enabled test
-# suite, then a single iteration of the engine benchmarks so a regression in
-# figure wall-clock or the parallel scheduler shows up in CI output (and
-# refreshes BENCH_engine.json).
+# suite with a coverage gate on the core packages, then short fuzz smokes,
+# then a single iteration of the engine benchmarks so a regression in figure
+# wall-clock or the parallel scheduler shows up in CI output (and refreshes
+# BENCH_engine.json).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# Fail if a gated package's statement coverage drops below this floor.
+COVER_FLOOR=75
 
 fmt=$(gofmt -l .)
 if [ -n "$fmt" ]; then
@@ -19,6 +23,28 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Coverage gate: the cycle model and the compiler pass are where a silent
+# regression costs the most, so they carry a hard floor.
+for pkg in ./internal/pipeline ./internal/compiler; do
+	pct=$(go test -cover "$pkg" | awk '/coverage:/ { sub("%", "", $(NF-2)); print $(NF-2) }')
+	if [ -z "$pct" ]; then
+		echo "check: no coverage reported for $pkg" >&2
+		exit 1
+	fi
+	if awk "BEGIN { exit !($pct < $COVER_FLOOR) }"; then
+		echo "check: $pkg coverage $pct% below floor $COVER_FLOOR%" >&2
+		exit 1
+	fi
+	echo "coverage $pkg: $pct% (floor $COVER_FLOOR%)"
+done
+
+# Fuzz smoke: a short budget per native fuzz target. Regressions in the
+# encode/decode round trip or the compiler pass tend to surface within
+# seconds; longer campaigns run out-of-band.
+go test ./internal/isa -run '^$' -fuzz 'FuzzEncodeDecodeRoundTrip$' -fuzztime 10s
+go test ./internal/compiler -run '^$' -fuzz 'FuzzCompilerPass$' -fuzztime 10s
+
 go test -run '^$' -bench 'BenchmarkFigure6$|BenchmarkEngineSuite$' -benchtime=1x -benchmem .
 
 echo "check: OK"
