@@ -1,4 +1,4 @@
-.PHONY: check test bench cover fuzz
+.PHONY: check test bench cover fuzz serve-smoke
 
 # Full CI gate: gofmt, vet, build, race-enabled tests, coverage floors,
 # fuzz smokes, engine benchmarks.
@@ -13,7 +13,13 @@ bench:
 
 # Coverage for the gated packages (the floor itself is enforced by check).
 cover:
-	go test -cover ./internal/pipeline ./internal/compiler
+	go test -cover ./internal/pipeline ./internal/compiler ./internal/service
+
+# Simulation-service end-to-end smoke: build the server binary, then run the
+# load test (concurrent clients, dedup, warm-store restart) under -race.
+serve-smoke:
+	go build -o /dev/null ./cmd/noreba-serve
+	go test -race -v -run 'TestServiceLoadSmoke' ./internal/service
 
 # Short fuzz campaigns for both native targets.
 fuzz:

@@ -1,0 +1,104 @@
+// Command noreba-serve runs the simulation service: an HTTP API over a
+// priority-scheduled worker pool and a persistent, content-addressed result
+// store, so figure and suite regenerations become schedulable, cancellable,
+// observable jobs whose repeats are served from disk instead of
+// re-simulated.
+//
+// Usage:
+//
+//	noreba-serve -addr :8080 -store ./noreba-store
+//
+// Example session:
+//
+//	curl -s -X POST localhost:8080/jobs \
+//	    -d '{"workload":"mcf","policy":"noreba"}'          # → {"id":"job-000001",...}
+//	curl -s localhost:8080/jobs/job-000001                 # status
+//	curl -s localhost:8080/jobs/job-000001/result          # Stats JSON once done
+//	curl -s localhost:8080/metrics                         # scheduler + store metrics
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, queued jobs are
+// cancelled, and running simulations get -drain-timeout to finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/noreba-sim/noreba/internal/experiments"
+	"github.com/noreba-sim/noreba/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		storeDir     = flag.String("store", "noreba-store", "persistent result-store directory ('' disables persistence)")
+		storeMaxMB   = flag.Int64("store-max-mb", 512, "result-store size bound in MiB (LRU eviction beyond it)")
+		workers      = flag.Int("workers", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+		queueLimit   = flag.Int("queue", 256, "bounded job-queue capacity (429 beyond it)")
+		maxInsts     = flag.Int64("max-insts", 1<<20, "dynamic instruction budget per simulation")
+		scaleDiv     = flag.Int("scale-div", 1, "divide every workload's default scale (quick runs)")
+		sanitize     = flag.Bool("sanitize", false, "run every job under the pipeline invariant checker")
+		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job deadline, queue wait included (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	runner := experiments.NewRunner()
+	runner.MaxInsts = *maxInsts
+	runner.ScaleDiv = *scaleDiv
+	runner.Sanitize = *sanitize
+	if *workers > 0 {
+		runner.Parallelism = *workers
+	}
+
+	var store *service.DiskStore
+	if *storeDir != "" {
+		var err error
+		store, err = service.OpenDiskStore(*storeDir, *storeMaxMB<<20)
+		if err != nil {
+			log.Fatalf("noreba-serve: %v", err)
+		}
+		runner.Store = store
+		log.Printf("result store %s: %d entries, %d bytes", *storeDir, store.Len(), store.Bytes())
+	}
+
+	sched := service.NewScheduler(service.SchedulerConfig{
+		Runner:         runner,
+		Workers:        *workers,
+		QueueLimit:     *queueLimit,
+		DefaultTimeout: *jobTimeout,
+	})
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched, store)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("noreba-serve listening on %s (workers %d, queue %d)", *addr, sched.Workers(), sched.QueueLimit())
+
+	select {
+	case <-ctx.Done():
+		log.Printf("signal received; draining (timeout %s)", *drainTimeout)
+	case err := <-errCh:
+		log.Fatalf("noreba-serve: %v", err)
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := sched.Shutdown(shutCtx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("scheduler drain: %v", err)
+	}
+	fmt.Println("noreba-serve: drained cleanly")
+}

@@ -10,12 +10,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	noreba "github.com/noreba-sim/noreba"
 	"github.com/noreba-sim/noreba/internal/compiler"
@@ -99,6 +103,12 @@ func main() {
 		}
 	}
 
+	// SIGINT/SIGTERM cancel the run cooperatively: the pipeline stops at
+	// its next cancellation check and the partial statistics accumulated so
+	// far are still reported instead of being lost.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *image != "" {
 		data, err := os.ReadFile(*image)
 		if err != nil {
@@ -109,12 +119,12 @@ func main() {
 			fatalf("%v", err)
 		}
 		src := emulator.NewSource(emulator.New(img), *maxInsts)
-		st, err := noreba.SimulateSource(cfg, src, meta)
-		if err != nil {
-			fatalf("simulate: %v", err)
-		}
-		report(*image, cfg, st, *jsonOut)
+		st, err := noreba.SimulateSourceContext(ctx, cfg, src, meta)
+		interrupted := reportMaybePartial(*image, cfg, st, *jsonOut, err)
 		finishRun(metrics, finishTrace)
+		if interrupted {
+			os.Exit(130)
+		}
 		return
 	}
 
@@ -146,12 +156,28 @@ func main() {
 	if err != nil {
 		fatalf("compile: %v", err)
 	}
-	st, err := noreba.SimulateSource(cfg, noreba.StreamTrace(res, *maxInsts), res.Meta)
-	if err != nil {
+	st, err := noreba.SimulateSourceContext(ctx, cfg, noreba.StreamTrace(res, *maxInsts), res.Meta)
+	interrupted := reportMaybePartial(name, cfg, st, *jsonOut, err)
+	finishRun(metrics, finishTrace)
+	if interrupted {
+		os.Exit(130)
+	}
+}
+
+// reportMaybePartial prints a finished run's statistics, or — when the run
+// was interrupted by SIGINT/SIGTERM — the partial statistics up to the
+// cancellation point with a note on stderr. Any other simulation error is
+// fatal. It reports whether the run was interrupted.
+func reportMaybePartial(name string, cfg noreba.Config, st *noreba.Stats, asJSON bool, err error) bool {
+	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if err != nil && !interrupted {
 		fatalf("simulate: %v", err)
 	}
-	report(name, cfg, st, *jsonOut)
-	finishRun(metrics, finishTrace)
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "noreba-sim: interrupted — partial statistics up to cycle %d:\n", st.Cycles)
+	}
+	report(name, cfg, st, asJSON)
+	return interrupted
 }
 
 // finishRun flushes the JSONL event stream and prints the folded metrics

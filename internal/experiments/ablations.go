@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/noreba-sim/noreba/internal/compiler"
@@ -111,7 +112,9 @@ func (r *Runner) simulateWithOptions(name string, cfg pipeline.Config, opt compi
 	if err != nil {
 		return nil, err
 	}
-	r.acquire()
+	if err := r.acquire(context.Background()); err != nil {
+		return nil, err
+	}
 	defer r.release()
 	src := emulator.NewSource(emulator.New(res.Image), r.MaxInsts)
 	return pipeline.NewCoreFromSource(cfg, src, res.Meta).Run()

@@ -13,6 +13,12 @@
 package experiments
 
 import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,6 +29,22 @@ import (
 	"github.com/noreba-sim/noreba/internal/pipeline"
 	"github.com/noreba-sim/noreba/internal/workloads"
 )
+
+// ResultStore persists finished simulation results across processes, keyed
+// by the canonical config hash (ConfigHash). Implementations must be safe
+// for concurrent use. Get returns the stored statistics and whether the key
+// was present; Put makes the result durable. The runner treats the store as
+// a cache: a Put failure is counted but never fails the simulation.
+type ResultStore interface {
+	Get(key string) (*pipeline.Stats, bool)
+	Put(key string, st *pipeline.Stats) error
+}
+
+// DefaultCacheLimit bounds the in-memory finished-run cache when
+// Runner.CacheLimit is zero. The full figure suite needs a few hundred
+// distinct configurations, so the default keeps every result of one
+// regeneration resident while bounding a long-lived service process.
+const DefaultCacheLimit = 4096
 
 // Runner schedules simulations across figures: compiled workloads and
 // finished runs are cached, concurrent identical requests are coalesced into
@@ -43,17 +65,30 @@ type Runner struct {
 	// any commit-legality or conservation violation fails the run with a
 	// *sanity.Error instead of silently producing wrong figures.
 	Sanitize bool
+	// Store, when non-nil, is consulted before executing a simulation and
+	// updated after one: repeated requests across process restarts become
+	// store hits instead of re-simulations. Set it before the first
+	// Simulate call.
+	Store ResultStore
+	// CacheLimit bounds the in-memory finished-run cache (completed
+	// entries; in-flight singleflight jobs are never evicted). 0 means
+	// DefaultCacheLimit; negative means unbounded.
+	CacheLimit int
 
 	mu       sync.Mutex
 	compiles map[string]*compileJob
 	sims     map[simKey]*simJob
+	lru      *list.List // finished *simJob, front = most recently used
 
 	semOnce sync.Once
 	sem     chan struct{}
 
-	simReqs    atomic.Int64 // Simulate calls (cache hits included)
-	simsRun    atomic.Int64 // simulations actually executed
-	peakWindow atomic.Int64 // largest sliding window across all runs
+	simReqs     atomic.Int64 // Simulate calls (cache hits included)
+	simsRun     atomic.Int64 // simulations actually executed
+	storeHits   atomic.Int64 // results served from the persistent store
+	storeMisses atomic.Int64 // store lookups that missed
+	storeErrs   atomic.Int64 // store Put failures (non-fatal)
+	peakWindow  atomic.Int64 // largest sliding window across all runs
 }
 
 type compileJob struct {
@@ -66,6 +101,13 @@ type simJob struct {
 	done chan struct{}
 	st   *pipeline.Stats
 	err  error
+
+	// Guarded by Runner.mu: a finished job sits in the LRU list under its
+	// key; an in-flight job (finished == false) is never evicted, so a
+	// concurrent eviction sweep cannot corrupt a singleflight in progress.
+	key      simKey
+	finished bool
+	elem     *list.Element
 }
 
 // simKey identifies one simulation request. The config portion is a
@@ -78,11 +120,18 @@ type simKey struct {
 	cfg      cfgKey
 }
 
-// cfgKey mirrors pipeline.Config field-for-field, minus FenceGate (a
-// function value: not comparable, and the experiment suite never sets it).
-// TestCfgKeyCoversConfig asserts by reflection that every other Config field
-// has a same-named counterpart here and actually distinguishes keys, so a
-// newly added Config field cannot silently alias cache entries.
+// cfgKey mirrors pipeline.Config field-for-field, minus FenceGate and
+// TraceSink (function/interface values: not comparable, and observation
+// never changes results — the trace layer's timing-invariance tests hold
+// that line). TestCfgKeyCoversConfig asserts by reflection that every other
+// Config field has a same-named counterpart here and actually distinguishes
+// keys, so a newly added Config field cannot silently alias cache entries.
+//
+// The struct doubles as the canonical serialisation for the persistent
+// store: ConfigHash marshals it as JSON (fields emit in declaration order,
+// so the encoding is deterministic) and hashes the result. Reordering or
+// renaming fields therefore changes every store key — bump hashVersion when
+// the Stats schema changes instead.
 type cfgKey struct {
 	Name                                            string
 	FetchWidth, IssueWidth, CommitWidth             int
@@ -146,12 +195,57 @@ func keyOf(cfg pipeline.Config) cfgKey {
 	}
 }
 
+// hashVersion tags the store-key schema: bump it whenever pipeline.Stats
+// gains or changes meaning of a field, so stale persisted results from an
+// older binary can never be served as current ones.
+const hashVersion = "noreba-result-v1"
+
+// hashedConfig is the canonical content to be hashed for one simulation
+// request: everything that can influence the resulting Stats.
+type hashedConfig struct {
+	Version  string
+	Workload string
+	MaxInsts int64
+	ScaleDiv int
+	Cfg      cfgKey
+}
+
+// ConfigHash returns the canonical content hash identifying one simulation
+// request under this runner: the workload, the runner's scale parameters and
+// every timing-relevant config field, after the same policy normalisation
+// Simulate applies. Two requests share a hash if and only if they would
+// produce identical Stats, so the hash is a safe persistent-store key.
+func (r *Runner) ConfigHash(workload string, cfg pipeline.Config) string {
+	cfg = normalize(cfg)
+	if r.Sanitize {
+		cfg.Sanitize = true
+	}
+	return hashConfig(workload, r.MaxInsts, r.ScaleDiv, cfg)
+}
+
+func hashConfig(workload string, maxInsts int64, scaleDiv int, cfg pipeline.Config) string {
+	b, err := json.Marshal(hashedConfig{
+		Version:  hashVersion,
+		Workload: workload,
+		MaxInsts: maxInsts,
+		ScaleDiv: scaleDiv,
+		Cfg:      keyOf(cfg),
+	})
+	if err != nil {
+		// cfgKey is a pure value struct; Marshal cannot fail on it.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
 // NewRunner returns a full-scale runner over the whole suite.
 func NewRunner() *Runner {
 	return &Runner{
 		MaxInsts: 1 << 20, ScaleDiv: 1,
 		compiles: map[string]*compileJob{},
 		sims:     map[simKey]*simJob{},
+		lru:      list.New(),
 	}
 }
 
@@ -228,9 +322,10 @@ func compileWorkload(name string, scaleDiv int) (*compiler.Result, error) {
 	return res, nil
 }
 
-// acquire claims a worker-pool slot; release returns it. The pool is sized
-// lazily so callers may set Parallelism any time before the first run.
-func (r *Runner) acquire() {
+// acquire claims a worker-pool slot, or gives up when ctx is cancelled
+// first; release returns the slot. The pool is sized lazily so callers may
+// set Parallelism any time before the first run.
+func (r *Runner) acquire(ctx context.Context) error {
 	r.semOnce.Do(func() {
 		n := r.Parallelism
 		if n <= 0 {
@@ -238,7 +333,12 @@ func (r *Runner) acquire() {
 		}
 		r.sem = make(chan struct{}, n)
 	})
-	r.sem <- struct{}{}
+	select {
+	case r.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
 }
 
 func (r *Runner) release() { <-r.sem }
@@ -262,6 +362,16 @@ func normalize(cfg pipeline.Config) pipeline.Config {
 // Concurrent calls with the same (workload, cfg) coalesce into a single
 // execution; distinct requests proceed in parallel up to the pool size.
 func (r *Runner) Simulate(workload string, cfg pipeline.Config) (*pipeline.Stats, error) {
+	return r.SimulateContext(context.Background(), workload, cfg)
+}
+
+// SimulateContext is Simulate with cooperative cancellation. A caller whose
+// context ends while waiting — for a worker slot, for a coalesced twin, or
+// mid-simulation — returns an error wrapping the context's cause. A
+// cancelled execution is removed from the cache so a later request re-runs
+// it instead of being served the cancellation; other results (including
+// deterministic failures) stay cached.
+func (r *Runner) SimulateContext(ctx context.Context, workload string, cfg pipeline.Config) (*pipeline.Stats, error) {
 	r.simReqs.Add(1)
 	cfg = normalize(cfg)
 	if r.Sanitize {
@@ -271,32 +381,88 @@ func (r *Runner) Simulate(workload string, cfg pipeline.Config) (*pipeline.Stats
 
 	r.mu.Lock()
 	if j, ok := r.sims[key]; ok {
+		if j.finished && j.elem != nil {
+			r.lru.MoveToFront(j.elem)
+		}
 		r.mu.Unlock()
-		<-j.done
-		return j.st, j.err
+		select {
+		case <-j.done:
+			return j.st, j.err
+		case <-ctx.Done():
+			return nil, fmt.Errorf("experiments: %s: %w", workload, context.Cause(ctx))
+		}
 	}
-	j := &simJob{done: make(chan struct{})}
+	j := &simJob{done: make(chan struct{}), key: key}
 	r.sims[key] = j
 	r.mu.Unlock()
 
-	j.st, j.err = r.runSim(workload, cfg)
+	j.st, j.err = r.runSim(ctx, workload, cfg)
+
+	r.mu.Lock()
+	if j.err != nil && (errors.Is(j.err, context.Canceled) || errors.Is(j.err, context.DeadlineExceeded)) {
+		// Do not cache a cancellation: the next identical request should
+		// execute. Waiters coalesced onto this job still observe the error.
+		if r.sims[key] == j {
+			delete(r.sims, key)
+		}
+	} else {
+		j.finished = true
+		j.elem = r.lru.PushFront(j)
+		r.evictLocked()
+	}
+	r.mu.Unlock()
 	close(j.done)
 	return j.st, j.err
 }
 
-// runSim executes one simulation on the worker pool. Each run drives its own
-// live emulator through the pipeline's sliding window, so no materialized
-// trace is ever held: per-run memory is bounded by the in-flight span.
-func (r *Runner) runSim(workload string, cfg pipeline.Config) (*pipeline.Stats, error) {
+// evictLocked trims the finished-run cache to the configured bound, oldest
+// first. Only finished jobs are on the LRU list, so an in-flight
+// singleflight execution can never be evicted out from under its waiters.
+// Callers hold r.mu.
+func (r *Runner) evictLocked() {
+	limit := r.CacheLimit
+	if limit == 0 {
+		limit = DefaultCacheLimit
+	}
+	if limit < 0 {
+		return
+	}
+	for r.lru.Len() > limit {
+		elem := r.lru.Back()
+		j := elem.Value.(*simJob)
+		r.lru.Remove(elem)
+		j.elem = nil
+		if r.sims[j.key] == j {
+			delete(r.sims, j.key)
+		}
+	}
+}
+
+// runSim executes one simulation on the worker pool, consulting the
+// persistent store first. Each executed run drives its own live emulator
+// through the pipeline's sliding window, so no materialized trace is ever
+// held: per-run memory is bounded by the in-flight span.
+func (r *Runner) runSim(ctx context.Context, workload string, cfg pipeline.Config) (*pipeline.Stats, error) {
+	var hash string
+	if r.Store != nil {
+		hash = hashConfig(workload, r.MaxInsts, r.ScaleDiv, cfg)
+		if st, ok := r.Store.Get(hash); ok {
+			r.storeHits.Add(1)
+			return st, nil
+		}
+		r.storeMisses.Add(1)
+	}
 	res, err := r.compiled(workload)
 	if err != nil {
 		return nil, err
 	}
-	r.acquire()
+	if err := r.acquire(ctx); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", workload, err)
+	}
 	defer r.release()
 	r.simsRun.Add(1)
 	src := emulator.NewSource(emulator.New(res.Image), r.MaxInsts)
-	st, err := pipeline.NewCoreFromSource(cfg, src, res.Meta).Run()
+	st, err := pipeline.NewCoreFromSource(cfg, src, res.Meta).RunContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("%s under %v: %w", workload, cfg.Policy, err)
 	}
@@ -304,6 +470,11 @@ func (r *Runner) runSim(workload string, cfg pipeline.Config) (*pipeline.Stats, 
 		p := r.peakWindow.Load()
 		if st.WindowPeak <= p || r.peakWindow.CompareAndSwap(p, st.WindowPeak) {
 			break
+		}
+	}
+	if r.Store != nil {
+		if err := r.Store.Put(hash, st); err != nil {
+			r.storeErrs.Add(1)
 		}
 	}
 	return st, nil
@@ -344,11 +515,21 @@ func (r *Runner) runAll(reqs []simReq) error {
 func (r *Runner) SimulateCalls() int64 { return r.simReqs.Load() }
 
 // SimulationsRun returns how many simulations actually executed (requests
-// minus coalesced/cached ones).
+// minus coalesced, cached and store-served ones).
 func (r *Runner) SimulationsRun() int64 { return r.simsRun.Load() }
 
+// StoreHits returns how many results were served from the persistent store.
+func (r *Runner) StoreHits() int64 { return r.storeHits.Load() }
+
+// StoreMisses returns how many persistent-store lookups missed.
+func (r *Runner) StoreMisses() int64 { return r.storeMisses.Load() }
+
+// StorePutErrors returns how many store writes failed (each counted run
+// still returned its result to the caller).
+func (r *Runner) StorePutErrors() int64 { return r.storeErrs.Load() }
+
 // UniqueSimulations returns the number of distinct (workload, config) keys
-// the runner has seen.
+// currently resident in the in-memory cache (in-flight included).
 func (r *Runner) UniqueSimulations() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()

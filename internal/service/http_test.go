@@ -1,0 +1,331 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/noreba-sim/noreba/internal/pipeline"
+)
+
+func newTestServer(t *testing.T, workers, queueLimit int) (*httptest.Server, *Scheduler) {
+	t.Helper()
+	sched := NewScheduler(SchedulerConfig{Runner: testRunner(), Workers: workers, QueueLimit: queueLimit})
+	ts := httptest.NewServer(NewServer(sched, nil))
+	t.Cleanup(func() {
+		ts.Close()
+		sched.Shutdown(context.Background())
+	})
+	return ts, sched
+}
+
+// newSlowServer is newTestServer with a full-scale runner: its jobs run for
+// hundreds of milliseconds, so a "blocker" job reliably holds the single
+// worker across the few HTTP round-trips a test needs to line up a race-free
+// cancel or subscribe against a still-queued job.
+func newSlowServer(t *testing.T, workers, queueLimit int) (*httptest.Server, *Scheduler) {
+	t.Helper()
+	r := testRunner()
+	r.MaxInsts = 1 << 20
+	r.ScaleDiv = 1
+	sched := NewScheduler(SchedulerConfig{Runner: r, Workers: workers, QueueLimit: queueLimit})
+	ts := httptest.NewServer(NewServer(sched, nil))
+	t.Cleanup(func() {
+		ts.Close()
+		sched.Shutdown(context.Background())
+	})
+	return ts, sched
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (SubmitResponse, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sub SubmitResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sub, resp
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// waitDone polls the status endpoint until the job is terminal.
+func waitDone(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st JobStatus
+		getJSON(t, ts.URL+"/jobs/"+id, &st)
+		switch st.State {
+		case StateDone, StateFailed, StateCancelled:
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHTTPSubmitAndResult(t *testing.T) {
+	ts, _ := newTestServer(t, 2, 16)
+
+	sub, resp := postJob(t, ts, `{"workload":"sha","policy":"inorder"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if sub.ID == "" || len(sub.Hash) != 64 {
+		t.Fatalf("bad submit response %+v", sub)
+	}
+	st := waitDone(t, ts, sub.ID)
+	if st.State != StateDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+
+	var stats pipeline.Stats
+	rr := getJSON(t, ts.URL+"/jobs/"+sub.ID+"/result", &stats)
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d", rr.StatusCode)
+	}
+	if stats.Committed == 0 || stats.Policy != "InO-C" {
+		t.Errorf("suspicious stats: committed %d policy %q", stats.Committed, stats.Policy)
+	}
+
+	// Status and list agree.
+	var list []JobStatus
+	getJSON(t, ts.URL+"/jobs", &list)
+	if len(list) != 1 || list[0].ID != sub.ID {
+		t.Errorf("list = %+v", list)
+	}
+}
+
+func TestHTTPValidation(t *testing.T) {
+	ts, _ := newTestServer(t, 1, 16)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{"workload":"sha","policy":"warp-speed"}`, http.StatusBadRequest},
+		{`{"workload":"sha","policy":"noreba","core":"pentium"}`, http.StatusBadRequest},
+		{`{"workload":"no-such","policy":"noreba"}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		_, resp := postJob(t, ts, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("submit %q: status %d, want %d", c.body, resp.StatusCode, c.want)
+		}
+	}
+
+	if resp := getJSON(t, ts.URL+"/jobs/job-424242", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/jobs/job-424242/result", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job result: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+	var wls []map[string]any
+	getJSON(t, ts.URL+"/workloads", &wls)
+	if len(wls) == 0 {
+		t.Error("no workloads listed")
+	}
+}
+
+// TestHTTPBackpressure fills the one-deep queue behind a busy worker and
+// asserts the API answers 429 with a Retry-After hint.
+func TestHTTPBackpressure(t *testing.T) {
+	ts, sched := newTestServer(t, 1, 1)
+
+	blocker, resp := postJob(t, ts, `{"workload":"mcf","policy":"inorder"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatal("blocker rejected")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, _ := sched.Status(blocker.ID)
+		if st.State != StateQueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, r2 := postJob(t, ts, `{"workload":"bzip2","policy":"inorder"}`); r2.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued submit status %d", r2.StatusCode)
+	}
+	_, r3 := postJob(t, ts, `{"workload":"astar","policy":"inorder"}`)
+	if r3.StatusCode == http.StatusTooManyRequests {
+		if r3.Header.Get("Retry-After") == "" {
+			t.Error("429 without Retry-After")
+		}
+	} else if r3.StatusCode != http.StatusAccepted {
+		// Accepted is legal only in the unlikely case the queue drained
+		// between the two posts.
+		t.Errorf("over-capacity submit status %d", r3.StatusCode)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	ts, _ := newSlowServer(t, 1, 16)
+
+	// Occupy the worker, then cancel a queued job.
+	postJob(t, ts, `{"workload":"dijkstra","policy":"inorder"}`)
+	victim, _ := postJob(t, ts, `{"workload":"gobmk","policy":"inorder"}`)
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/jobs/"+victim.ID+"/cancel", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	st := waitDone(t, ts, victim.ID)
+	if st.State != StateCancelled {
+		t.Errorf("victim state %s", st.State)
+	}
+	if rr := getJSON(t, ts.URL+"/jobs/"+victim.ID+"/result", nil); rr.StatusCode != http.StatusGone {
+		t.Errorf("cancelled result status %d", rr.StatusCode)
+	}
+}
+
+// TestHTTPEventStream: a job submitted with events streams its pipeline
+// trace as JSONL while it runs; a job without events answers 409.
+func TestHTTPEventStream(t *testing.T) {
+	ts, _ := newSlowServer(t, 1, 16)
+
+	// Hold the single worker so the streaming job is still queued when we
+	// attach the subscriber — no events can be lost to a late attach.
+	blocker, _ := postJob(t, ts, `{"workload":"dijkstra","policy":"inorder"}`)
+	streamer, resp := postJob(t, ts, `{"workload":"sha","policy":"noreba","events":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatal("streamer rejected")
+	}
+
+	eresp, err := http.Get(ts.URL + "/jobs/" + streamer.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	if eresp.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d", eresp.StatusCode)
+	}
+
+	lines := 0
+	kinds := map[string]bool{}
+	sc := bufio.NewScanner(eresp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev map[string]any
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if k, ok := ev["kind"].(string); ok {
+			kinds[k] = true
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("no events streamed")
+	}
+	for _, want := range []string{"fetch", "commit"} {
+		if !kinds[want] {
+			t.Errorf("stream missing %q events (saw %v)", want, kinds)
+		}
+	}
+	waitDone(t, ts, blocker.ID)
+	if st := waitDone(t, ts, streamer.ID); st.State != StateDone {
+		t.Fatalf("streamer ended %s", st.State)
+	}
+
+	// Jobs without events do not stream.
+	if er := getJSON(t, ts.URL+"/jobs/"+blocker.ID+"/events", nil); er.StatusCode != http.StatusConflict {
+		t.Errorf("events on non-streaming job: %d", er.StatusCode)
+	}
+}
+
+func TestHTTPMetrics(t *testing.T) {
+	ts, _ := newTestServer(t, 2, 16)
+	sub, _ := postJob(t, ts, `{"workload":"sha","policy":"inorder"}`)
+	waitDone(t, ts, sub.ID)
+
+	var m MetricsResponse
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Scheduler.Workers != 2 || m.Scheduler.QueueLimit != 16 {
+		t.Errorf("scheduler gauges %+v", m.Scheduler)
+	}
+	if m.Runner.SimulateCalls < 1 || m.Runner.SimulationsRun < 1 {
+		t.Errorf("runner counters %+v", m.Runner)
+	}
+	found := false
+	for _, c := range m.Registry.Counters {
+		if c.Name == "service/jobs-done" && c.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("registry missing service/jobs-done: %+v", m.Registry.Counters)
+	}
+}
+
+// TestBuildConfigDefaults pins the API surface: default core and policy,
+// explicit prefetch off, and the error paths.
+func TestBuildConfigDefaults(t *testing.T) {
+	cfg, err := BuildConfig(SubmitRequest{Workload: "sha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "SKL" || cfg.Policy != pipeline.Noreba || !cfg.PrefetchEnabled {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	off := false
+	cfg, err = BuildConfig(SubmitRequest{Workload: "sha", Core: "nhm", Policy: "spec", Prefetch: &off, ECL: true, Sanitize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "NHM" || cfg.Policy != pipeline.Spec || cfg.PrefetchEnabled || !cfg.ECL || !cfg.Sanitize {
+		t.Errorf("explicit: %+v", cfg)
+	}
+	for _, p := range []string{"inorder", "nonspec", "noreba", "ideal", "specbr", "spec"} {
+		if _, err := ParsePolicy(p); err != nil {
+			t.Errorf("ParsePolicy(%q): %v", p, err)
+		}
+	}
+	if _, err := ParsePolicy(fmt.Sprintf("bogus")); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}

@@ -1,0 +1,231 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/noreba-sim/noreba/internal/experiments"
+	"github.com/noreba-sim/noreba/internal/pipeline"
+)
+
+// smokeCase is one unique simulation config of the load-smoke matrix.
+type smokeCase struct {
+	Workload string
+	Policy   string
+	Kind     pipeline.PolicyKind
+}
+
+func smokeMatrix() []smokeCase {
+	var cases []smokeCase
+	policies := []struct {
+		name string
+		kind pipeline.PolicyKind
+	}{
+		{"inorder", pipeline.InOrder},
+		{"noreba", pipeline.Noreba},
+		{"spec", pipeline.Spec},
+	}
+	for _, wl := range []string{"sha", "bzip2", "astar", "hmmer"} {
+		for _, p := range policies {
+			cases = append(cases, smokeCase{Workload: wl, Policy: p.name, Kind: p.kind})
+		}
+	}
+	return cases
+}
+
+// canonicalJSON re-marshals a Stats JSON document so two byte streams with
+// identical content but different formatting compare equal byte-for-byte
+// (Stats is all integers and sorted-key maps, so this is deterministic).
+func canonicalJSON(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var st pipeline.Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("result is not Stats JSON: %v", err)
+	}
+	out, err := json.Marshal(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func smokeRunner(store experiments.ResultStore) *experiments.Runner {
+	r := experiments.NewRunner()
+	r.MaxInsts = 1 << 12
+	r.ScaleDiv = 8
+	r.Store = store
+	return r
+}
+
+// TestServiceLoadSmoke is the end-to-end proof for the service subsystem:
+//
+//  1. Many concurrent clients submit overlapping configs against an
+//     httptest.Server; each unique config must be simulated exactly once
+//     (singleflight dedup), and every HTTP result must be byte-identical to
+//     a direct Runner call with the same config.
+//  2. After a clean shutdown, a *fresh* runner + scheduler over the same
+//     store directory serves the whole suite again without running a single
+//     simulation: /metrics must report a store hit ratio of 1.0 and the
+//     results must still be byte-identical.
+//
+// The test is meant to run under -race (make serve-smoke / check.sh).
+func TestServiceLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke skipped in -short mode")
+	}
+	storeDir := t.TempDir()
+	cases := smokeMatrix()
+	const copies = 3 // concurrent duplicate submissions per unique config
+
+	// --- Phase 0: ground truth from a direct Runner, no service, no store.
+	direct := smokeRunner(nil)
+	truth := make(map[smokeCase][]byte)
+	for _, c := range cases {
+		cfg := pipeline.SkylakeConfig()
+		cfg.Policy = c.Kind
+		st, err := direct.Simulate(c.Workload, cfg)
+		if err != nil {
+			t.Fatalf("direct %s/%s: %v", c.Workload, c.Policy, err)
+		}
+		raw, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth[c] = raw
+	}
+
+	// --- Phase 1: cold service, concurrent overlapping clients.
+	store1, err := OpenDiskStore(storeDir, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner1 := smokeRunner(store1)
+	sched1 := NewScheduler(SchedulerConfig{Runner: runner1, Workers: 4, QueueLimit: len(cases) * copies})
+	ts1 := httptest.NewServer(NewServer(sched1, store1))
+
+	runPhase := func(ts *httptest.Server, phase string) {
+		var wg sync.WaitGroup
+		errs := make(chan error, len(cases)*copies)
+		for _, c := range cases {
+			for k := 0; k < copies; k++ {
+				wg.Add(1)
+				go func(c smokeCase, k int) {
+					defer wg.Done()
+					body := fmt.Sprintf(`{"workload":%q,"policy":%q}`, c.Workload, c.Policy)
+					resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+					if err != nil {
+						errs <- err
+						return
+					}
+					var sub SubmitResponse
+					err = json.NewDecoder(resp.Body).Decode(&sub)
+					resp.Body.Close()
+					if err != nil || resp.StatusCode != http.StatusAccepted {
+						errs <- fmt.Errorf("%s submit %s/%s: status %d err %v", phase, c.Workload, c.Policy, resp.StatusCode, err)
+						return
+					}
+					// Poll until terminal, then fetch and compare the result.
+					deadline := time.Now().Add(120 * time.Second)
+					for {
+						rr, err := http.Get(ts.URL + "/jobs/" + sub.ID + "/result")
+						if err != nil {
+							errs <- err
+							return
+						}
+						if rr.StatusCode == http.StatusAccepted {
+							rr.Body.Close()
+							if time.Now().After(deadline) {
+								errs <- fmt.Errorf("%s job %s never finished", phase, sub.ID)
+								return
+							}
+							time.Sleep(5 * time.Millisecond)
+							continue
+						}
+						var buf bytes.Buffer
+						_, err = buf.ReadFrom(rr.Body)
+						rr.Body.Close()
+						if err != nil || rr.StatusCode != http.StatusOK {
+							errs <- fmt.Errorf("%s result %s: status %d err %v", phase, sub.ID, rr.StatusCode, err)
+							return
+						}
+						if got := canonicalJSON(t, buf.Bytes()); !bytes.Equal(got, truth[c]) {
+							errs <- fmt.Errorf("%s %s/%s copy %d: service result differs from direct runner", phase, c.Workload, c.Policy, k)
+						}
+						return
+					}
+				}(c, k)
+			}
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+
+	runPhase(ts1, "cold")
+	if got, want := runner1.SimulationsRun(), int64(len(cases)); got != want {
+		t.Errorf("cold phase ran %d simulations, want %d (dedup failed)", got, want)
+	}
+	if calls := runner1.SimulateCalls(); calls != int64(len(cases)*copies) {
+		t.Errorf("cold phase saw %d Simulate calls, want %d", calls, len(cases)*copies)
+	}
+
+	// Clean shutdown: drain the scheduler, then close the listener.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	if err := sched1.Shutdown(shutCtx); err != nil {
+		t.Fatalf("phase-1 drain: %v", err)
+	}
+	cancel()
+	ts1.Close()
+
+	// --- Phase 2: warm restart. A brand-new runner and scheduler over the
+	// same store directory must serve the full suite from disk: zero
+	// simulations, hit ratio 1.0 on /metrics, identical bytes.
+	store2, err := OpenDiskStore(storeDir, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store2.Len() != len(cases) {
+		t.Fatalf("store reopened with %d entries, want %d", store2.Len(), len(cases))
+	}
+	runner2 := smokeRunner(store2)
+	sched2 := NewScheduler(SchedulerConfig{Runner: runner2, Workers: 4, QueueLimit: len(cases) * copies})
+	ts2 := httptest.NewServer(NewServer(sched2, store2))
+	defer ts2.Close()
+	defer sched2.Shutdown(context.Background())
+
+	runPhase(ts2, "warm")
+	if got := runner2.SimulationsRun(); got != 0 {
+		t.Errorf("warm phase ran %d simulations, want 0 (store misses)", got)
+	}
+
+	var m MetricsResponse
+	resp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runner.HitRatio != 1.0 {
+		t.Errorf("warm phase hit ratio = %v, want 1.0 (%d hits, %d misses)",
+			m.Runner.HitRatio, m.Runner.StoreHits, m.Runner.StoreMisses)
+	}
+	if m.Store == nil || m.Store.Entries != len(cases) {
+		t.Errorf("store metrics = %+v, want %d entries", m.Store, len(cases))
+	}
+}

@@ -1,0 +1,251 @@
+package service
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/noreba-sim/noreba/internal/experiments"
+	"github.com/noreba-sim/noreba/internal/pipeline"
+)
+
+// testRunner returns a reduced-scale runner fast enough for unit tests.
+func testRunner() *experiments.Runner {
+	r := experiments.NewRunner()
+	r.MaxInsts = 1 << 12
+	r.ScaleDiv = 8
+	return r
+}
+
+func testSpec(workload string, policy pipeline.PolicyKind) JobSpec {
+	cfg := pipeline.SkylakeConfig()
+	cfg.Policy = policy
+	return JobSpec{Workload: workload, Config: cfg}
+}
+
+func waitTerminal(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID())
+	}
+}
+
+func TestJobHeapOrdering(t *testing.T) {
+	var h jobHeap
+	push := func(seq int64, prio int) *Job {
+		j := &Job{id: "x", seq: seq, spec: JobSpec{Priority: prio}}
+		heap.Push(&h, j)
+		return j
+	}
+	lowLate := push(3, 0)
+	highLate := push(4, 5)
+	lowEarly := push(1, 0)
+	highEarly := push(2, 5)
+
+	want := []*Job{highEarly, highLate, lowEarly, lowLate}
+	for i, w := range want {
+		got := heap.Pop(&h).(*Job)
+		if got != w {
+			t.Fatalf("pop %d: got seq %d prio %d, want seq %d prio %d",
+				i, got.seq, got.spec.Priority, w.seq, w.spec.Priority)
+		}
+	}
+}
+
+func TestSchedulerRunsJob(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Runner: testRunner(), Workers: 2})
+	defer s.Shutdown(context.Background())
+
+	j, err := s.Submit(testSpec("sha", pipeline.InOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	st, state, err := s.Result(j.ID())
+	if err != nil || state != StateDone {
+		t.Fatalf("result: state %s err %v", state, err)
+	}
+	if st == nil || st.Committed == 0 {
+		t.Fatalf("empty result: %+v", st)
+	}
+	status, err := s.Status(j.ID())
+	if err != nil || status.State != StateDone || status.Started == nil || status.Finished == nil {
+		t.Errorf("status after completion: %+v (err %v)", status, err)
+	}
+}
+
+func TestSchedulerRejectsUnknownWorkload(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Runner: testRunner(), Workers: 1})
+	defer s.Shutdown(context.Background())
+	if _, err := s.Submit(testSpec("no-such-kernel", pipeline.InOrder)); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestSchedulerBackpressure: with one worker pinned on a job and a
+// one-deep queue, the third submission must fail fast with ErrQueueFull.
+func TestSchedulerBackpressure(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Runner: testRunner(), Workers: 1, QueueLimit: 1})
+	defer s.Shutdown(context.Background())
+
+	blocker, err := s.Submit(testSpec("mcf", pipeline.InOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the blocker is out of the queue (running) so the queue
+	// capacity below is exact.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, _ := s.Status(blocker.ID())
+		if st.State != StateQueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	queued, err := s.Submit(testSpec("bzip2", pipeline.InOrder))
+	if err != nil {
+		// The blocker may already have finished and the worker grabbed
+		// this one too; then the queue is empty and this cannot fail.
+		t.Fatalf("second submit: %v", err)
+	}
+	if _, err := s.Submit(testSpec("astar", pipeline.InOrder)); !errors.Is(err, ErrQueueFull) {
+		if err == nil {
+			// Legal only if the queued job already started.
+			st, _ := s.Status(queued.ID())
+			if st.State == StateQueued {
+				t.Fatal("queue over capacity accepted a job")
+			}
+		} else {
+			t.Fatalf("want ErrQueueFull, got %v", err)
+		}
+	}
+	waitTerminal(t, blocker)
+	waitTerminal(t, queued)
+}
+
+// TestSchedulerPriority: with a single worker held by a blocker, a
+// higher-priority later submission runs before an earlier low-priority one.
+func TestSchedulerPriority(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Runner: testRunner(), Workers: 1, QueueLimit: 16})
+	defer s.Shutdown(context.Background())
+
+	blocker, err := s.Submit(testSpec("mcf", pipeline.InOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := s.Submit(testSpec("bzip2", pipeline.InOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	highSpec := testSpec("sha", pipeline.InOrder)
+	highSpec.Priority = 10
+	high, err := s.Submit(highSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitTerminal(t, blocker)
+	waitTerminal(t, low)
+	waitTerminal(t, high)
+
+	ls, _ := s.Status(low.ID())
+	hs, _ := s.Status(high.ID())
+	if ls.Started == nil || hs.Started == nil {
+		t.Fatal("missing start times")
+	}
+	if hs.Started.After(*ls.Started) {
+		t.Errorf("high-priority job started at %v, after low-priority %v", hs.Started, ls.Started)
+	}
+}
+
+func TestSchedulerCancelQueued(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Runner: testRunner(), Workers: 1, QueueLimit: 16})
+	defer s.Shutdown(context.Background())
+
+	if _, err := s.Submit(testSpec("mcf", pipeline.InOrder)); err != nil {
+		t.Fatal(err)
+	}
+	victim, err := s.Submit(testSpec("gobmk", pipeline.InOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(victim.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, victim)
+	st, _ := s.Status(victim.ID())
+	if st.State != StateCancelled {
+		t.Errorf("cancelled queued job in state %s", st.State)
+	}
+	if err := s.Cancel("job-999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("cancel of unknown job: %v", err)
+	}
+}
+
+// TestSchedulerJobTimeout: a deadline shorter than the simulation cancels
+// the run mid-flight via the pipeline's cooperative check.
+func TestSchedulerJobTimeout(t *testing.T) {
+	r := testRunner()
+	r.MaxInsts = 1 << 20 // full-scale run: long enough that 1ms always expires first
+	r.ScaleDiv = 1
+	s := NewScheduler(SchedulerConfig{Runner: r, Workers: 1})
+	defer s.Shutdown(context.Background())
+
+	spec := testSpec("mcf", pipeline.Noreba)
+	spec.Timeout = time.Millisecond
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	st, _ := s.Status(j.ID())
+	if st.State != StateCancelled {
+		t.Errorf("timed-out job in state %s (err %q)", st.State, st.Error)
+	}
+}
+
+// TestSchedulerShutdownDrains: shutdown rejects new work, cancels what is
+// queued, lets running jobs finish, and leaves no worker behind (the -race
+// run doubles as the leak/raciness check).
+func TestSchedulerShutdownDrains(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Runner: testRunner(), Workers: 1, QueueLimit: 16})
+
+	running, err := s.Submit(testSpec("mcf", pipeline.InOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(testSpec("bzip2", pipeline.InOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := s.Submit(testSpec("sha", pipeline.InOrder)); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("submit after shutdown: %v", err)
+	}
+
+	rs, _ := s.Status(running.ID())
+	qs, _ := s.Status(queued.ID())
+	if rs.State != StateDone && rs.State != StateCancelled {
+		t.Errorf("running job left in state %s", rs.State)
+	}
+	if qs.State != StateCancelled && qs.State != StateDone {
+		t.Errorf("queued job left in state %s", qs.State)
+	}
+	// Idempotent.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+}

@@ -1,0 +1,275 @@
+// Package service turns the experiment runner into a long-running
+// simulation service: a priority-scheduled, bounded worker pool over
+// experiments.Runner, a persistent content-addressed result store, and an
+// HTTP API (cmd/noreba-serve) with live per-job event streaming and a
+// metrics endpoint. Everything is stdlib-only.
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/noreba-sim/noreba/internal/pipeline"
+)
+
+// DiskStore is a persistent, content-addressed simulation-result store: one
+// JSON file per result, named by the canonical config hash
+// (experiments.Runner.ConfigHash). Writes are crash-safe — marshalled to a
+// temp file in the same directory, fsynced, then renamed into place — so a
+// torn write can never be read back as a result. Total on-disk size is
+// bounded: when an insert pushes the store past MaxBytes, least-recently-
+// used entries are deleted (recency is in-memory access order, seeded from
+// file modification times at open).
+//
+// All methods are safe for concurrent use.
+type DiskStore struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	byKey map[string]*storeEntry
+	lru   *list.List // *storeEntry, front = most recently used
+	bytes int64
+
+	hits, misses, puts, evictions atomic.Int64
+}
+
+type storeEntry struct {
+	key  string
+	size int64
+	elem *list.Element
+}
+
+// resultExt is the suffix of committed result files; anything else in the
+// store directory (in particular abandoned temp files from a crash mid-Put)
+// is garbage-collected at open.
+const resultExt = ".json"
+
+// OpenDiskStore opens (creating if needed) a result store rooted at dir,
+// bounded to maxBytes of result data (<= 0 means 1 GiB). Leftover temporary
+// files from an interrupted writer are removed; existing results are
+// indexed oldest-first so eviction order survives restarts.
+func OpenDiskStore(dir string, maxBytes int64) (*DiskStore, error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 30
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: open store: %w", err)
+	}
+	s := &DiskStore{dir: dir, maxBytes: maxBytes, byKey: map[string]*storeEntry{}, lru: list.New()}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: open store: %w", err)
+	}
+	type seed struct {
+		key  string
+		size int64
+		mod  time.Time
+	}
+	var seeds []seed
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if !strings.HasSuffix(name, resultExt) {
+			// Abandoned temp file (crash between create and rename).
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		key := strings.TrimSuffix(name, resultExt)
+		if !validKey(key) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		seeds = append(seeds, seed{key: key, size: info.Size(), mod: info.ModTime()})
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i].mod.Before(seeds[j].mod) })
+	for _, sd := range seeds {
+		e := &storeEntry{key: sd.key, size: sd.size}
+		e.elem = s.lru.PushFront(e)
+		s.byKey[sd.key] = e
+		s.bytes += sd.size
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// validKey accepts only lowercase-hex content hashes: store keys double as
+// file names, so anything else (path separators, dots) is rejected outright.
+func validKey(key string) bool {
+	if len(key) < 8 || len(key) > 128 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *DiskStore) path(key string) string { return filepath.Join(s.dir, key+resultExt) }
+
+// Get returns the stored result for key, if present and readable. A missing
+// or corrupt file is a miss (the corrupt file is forgotten and removed so
+// it gets re-simulated and rewritten).
+func (s *DiskStore) Get(key string) (*pipeline.Stats, bool) {
+	if !validKey(key) {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.mu.Lock()
+	e := s.byKey[key]
+	if e != nil {
+		s.lru.MoveToFront(e.elem)
+	}
+	s.mu.Unlock()
+	if e == nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.drop(key)
+		s.misses.Add(1)
+		return nil, false
+	}
+	var st pipeline.Stats
+	if err := json.Unmarshal(data, &st); err != nil {
+		s.drop(key)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return &st, true
+}
+
+// Put durably stores st under key, then evicts least-recently-used entries
+// until the store fits its byte bound again (the entry just written is
+// always kept).
+func (s *DiskStore) Put(key string, st *pipeline.Stats) error {
+	if !validKey(key) {
+		return fmt.Errorf("service: store put: invalid key %q", key)
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("service: store put: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("service: store put: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, s.path(key))
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("service: store put: %w", err)
+	}
+
+	s.mu.Lock()
+	if e := s.byKey[key]; e != nil {
+		s.bytes += int64(len(data)) - e.size
+		e.size = int64(len(data))
+		s.lru.MoveToFront(e.elem)
+	} else {
+		e := &storeEntry{key: key, size: int64(len(data))}
+		e.elem = s.lru.PushFront(e)
+		s.byKey[key] = e
+		s.bytes += e.size
+	}
+	s.evictLocked()
+	s.mu.Unlock()
+	s.puts.Add(1)
+	return nil
+}
+
+// drop forgets and deletes one entry (unreadable or corrupt file).
+func (s *DiskStore) drop(key string) {
+	s.mu.Lock()
+	if e := s.byKey[key]; e != nil {
+		s.lru.Remove(e.elem)
+		delete(s.byKey, key)
+		s.bytes -= e.size
+	}
+	s.mu.Unlock()
+	os.Remove(s.path(key))
+}
+
+// evictLocked deletes least-recently-used entries until the byte bound
+// holds, always keeping at least the most recent entry. Callers hold s.mu.
+func (s *DiskStore) evictLocked() {
+	for s.bytes > s.maxBytes && s.lru.Len() > 1 {
+		elem := s.lru.Back()
+		e := elem.Value.(*storeEntry)
+		s.lru.Remove(elem)
+		delete(s.byKey, e.key)
+		s.bytes -= e.size
+		os.Remove(s.path(e.key))
+		s.evictions.Add(1)
+	}
+}
+
+// Len returns the number of stored results.
+func (s *DiskStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byKey)
+}
+
+// Bytes returns the total size of stored result data.
+func (s *DiskStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// StoreStats is a point-in-time summary of store activity, exported on
+// /metrics.
+type StoreStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"maxBytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats summarises the store's activity since open.
+func (s *DiskStore) Stats() StoreStats {
+	s.mu.Lock()
+	entries, bytes := len(s.byKey), s.bytes
+	s.mu.Unlock()
+	return StoreStats{
+		Entries:   entries,
+		Bytes:     bytes,
+		MaxBytes:  s.maxBytes,
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Puts:      s.puts.Load(),
+		Evictions: s.evictions.Load(),
+	}
+}

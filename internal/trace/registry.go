@@ -5,29 +5,37 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing named count.
+// Counter is a monotonically increasing named count. Updates are atomic so
+// many goroutines (the service's scheduler workers, several traced cores
+// sharing one registry) may increment concurrently, and Snapshot may read
+// while emitters are still running.
 type Counter struct {
 	name string
-	v    int64
+	v    atomic.Int64
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
-func (c *Counter) Add(n int64) { c.v += n }
+func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 { return c.v }
+func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Histogram buckets observations by upper bounds (the last bucket is
 // unbounded). Bounds are inclusive: an observation lands in the first bucket
-// whose bound is >= the value.
+// whose bound is >= the value. Observations are mutex-guarded so concurrent
+// emitters and Snapshot readers stay consistent; the lock is uncontended on
+// the common single-emitter path.
 type Histogram struct {
 	name   string
 	bounds []int64
+
+	mu     sync.Mutex
 	counts []int64
 	sum    int64
 	n      int64
@@ -35,6 +43,8 @@ type Histogram struct {
 
 // Observe records one value.
 func (h *Histogram) Observe(v int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.sum += v
 	h.n++
 	for i, b := range h.bounds {
@@ -47,10 +57,20 @@ func (h *Histogram) Observe(v int64) {
 }
 
 // Count returns how many values were observed.
-func (h *Histogram) Count() int64 { return h.n }
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
 
 // Mean returns the arithmetic mean of observations (0 when empty).
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.meanLocked()
+}
+
+func (h *Histogram) meanLocked() float64 {
 	if h.n == 0 {
 		return 0
 	}
@@ -60,6 +80,8 @@ func (h *Histogram) Mean() float64 {
 // Buckets returns (bound, count) pairs; the final pair has bound -1 for the
 // overflow bucket.
 func (h *Histogram) Buckets() ([]int64, []int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	bounds := append(append([]int64{}, h.bounds...), -1)
 	counts := append([]int64{}, h.counts...)
 	return bounds, counts
@@ -67,8 +89,7 @@ func (h *Histogram) Buckets() ([]int64, []int64) {
 
 // Registry names and owns a run's counters and histograms. Lookups are
 // mutex-guarded so sinks on different cores may share one registry; the hot
-// path is the returned Counter/Histogram itself, which each single-threaded
-// emitter uses without locking.
+// path is the returned Counter/Histogram itself.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
@@ -105,31 +126,81 @@ func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
 	return h
 }
 
+// CounterSnapshot is one counter's exported state.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's exported state. Bounds carries the
+// configured bucket upper bounds; Counts has one extra trailing element for
+// the unbounded overflow bucket.
+type HistogramSnapshot struct {
+	Name   string  `json:"name"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Mean   float64 `json:"mean"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+}
+
+// Snapshot is a consistent point-in-time export of a registry, sorted by
+// name. It is plain data — JSON-marshalable as-is — so the service's
+// /metrics endpoint and offline tooling share one format.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot exports every counter and histogram. It is safe to call while
+// emitters are still updating the registry; each instrument is read
+// atomically (counters) or under its lock (histograms).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	var s Snapshot
+	for _, c := range counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: c.name, Value: c.Value()})
+	}
+	for _, h := range hists {
+		h.mu.Lock()
+		s.Histograms = append(s.Histograms, HistogramSnapshot{
+			Name:   h.name,
+			Count:  h.n,
+			Sum:    h.sum,
+			Mean:   h.meanLocked(),
+			Bounds: append([]int64{}, h.bounds...),
+			Counts: append([]int64{}, h.counts...),
+		})
+		h.mu.Unlock()
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
 // WriteSummary renders every counter and histogram as aligned plain text,
 // sorted by name.
 func (r *Registry) WriteSummary(w io.Writer) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var names []string
-	for n := range r.counters {
-		names = append(names, n)
+	s := r.Snapshot()
+	for _, c := range s.Counters {
+		fmt.Fprintf(w, "%-32s %d\n", c.Name, c.Value)
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		fmt.Fprintf(w, "%-32s %d\n", n, r.counters[n].v)
-	}
-	names = names[:0]
-	for n := range r.hists {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		h := r.hists[n]
-		fmt.Fprintf(w, "%-32s n=%d mean=%.2f", n, h.n, h.Mean())
-		for i, b := range h.bounds {
-			fmt.Fprintf(w, " <=%d:%d", b, h.counts[i])
+	for _, h := range s.Histograms {
+		fmt.Fprintf(w, "%-32s n=%d mean=%.2f", h.Name, h.Count, h.Mean)
+		for i, b := range h.Bounds {
+			fmt.Fprintf(w, " <=%d:%d", b, h.Counts[i])
 		}
-		fmt.Fprintf(w, " inf:%d\n", h.counts[len(h.bounds)])
+		fmt.Fprintf(w, " inf:%d\n", h.Counts[len(h.Bounds)])
 	}
 }
 

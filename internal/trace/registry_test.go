@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotSortedAndComplete: Snapshot exports every instrument, sorted
+// by name, with histogram bounds/counts intact, and the result marshals to
+// JSON directly.
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zebra").Add(3)
+	r.Counter("alpha").Inc()
+	h := r.Histogram("lat", 10, 100)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "alpha" || s.Counters[1].Name != "zebra" {
+		t.Fatalf("counters not sorted/complete: %+v", s.Counters)
+	}
+	if s.Counters[0].Value != 1 || s.Counters[1].Value != 3 {
+		t.Errorf("counter values: %+v", s.Counters)
+	}
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms: %+v", s.Histograms)
+	}
+	hs := s.Histograms[0]
+	if hs.Count != 3 || hs.Sum != 5055 {
+		t.Errorf("histogram totals: %+v", hs)
+	}
+	if len(hs.Bounds) != 2 || len(hs.Counts) != 3 {
+		t.Fatalf("histogram shape: %+v", hs)
+	}
+	if hs.Counts[0] != 1 || hs.Counts[1] != 1 || hs.Counts[2] != 1 {
+		t.Errorf("bucket spread: %+v", hs.Counts)
+	}
+
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters[1].Value != 3 || back.Histograms[0].Sum != 5055 {
+		t.Errorf("JSON round trip lost data: %+v", back)
+	}
+}
+
+// TestSnapshotConcurrent: snapshots taken while many goroutines hammer the
+// same counter and histogram never tear (run under -race) and the final
+// totals are exact.
+func TestSnapshotConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared").Inc()
+				r.Histogram("hist", 10).Observe(int64(i % 20))
+			}
+		}()
+	}
+	// Concurrent readers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s := r.Snapshot()
+				for _, h := range s.Histograms {
+					var n int64
+					for _, c := range h.Counts {
+						n += c
+					}
+					if n != h.Count {
+						t.Errorf("torn histogram snapshot: buckets sum %d, count %d", n, h.Count)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := r.Snapshot()
+	if s.Counters[0].Value != workers*perWorker {
+		t.Errorf("counter = %d, want %d", s.Counters[0].Value, workers*perWorker)
+	}
+	if s.Histograms[0].Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", s.Histograms[0].Count, workers*perWorker)
+	}
+}

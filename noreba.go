@@ -17,6 +17,7 @@
 package noreba
 
 import (
+	"context"
 	"io"
 
 	"github.com/noreba-sim/noreba/internal/compiler"
@@ -160,6 +161,15 @@ func Simulate(cfg Config, tr *DynTrace, meta *compiler.Meta) (*Stats, error) {
 // memory. meta may be nil for unannotated programs.
 func SimulateSource(cfg Config, src TraceSource, meta *compiler.Meta) (*Stats, error) {
 	return pipeline.NewCoreFromSource(cfg, src, meta).Run()
+}
+
+// SimulateSourceContext is SimulateSource with cooperative cancellation:
+// when ctx ends mid-run the partial statistics accumulated so far are
+// returned alongside an error wrapping the context's cause, so an
+// interrupted caller (noreba-sim under SIGINT, a service job past its
+// deadline) can still report what it saw.
+func SimulateSourceContext(ctx context.Context, cfg Config, src TraceSource, meta *compiler.Meta) (*Stats, error) {
+	return pipeline.NewCoreFromSource(cfg, src, meta).RunContext(ctx)
 }
 
 // Observability and invariant checking.

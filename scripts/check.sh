@@ -24,9 +24,17 @@ go vet ./...
 go build ./...
 go test -race ./...
 
-# Coverage gate: the cycle model and the compiler pass are where a silent
-# regression costs the most, so they carry a hard floor.
-for pkg in ./internal/pipeline ./internal/compiler; do
+# The service binary must keep building even though nothing above imports it
+# (-o /dev/null: compile check only, no artifact in the repo root).
+go build -o /dev/null ./cmd/noreba-serve
+
+# End-to-end service smoke: concurrent clients against an httptest server,
+# dedup + byte-identical results + warm-store restart, race detector on.
+go test -race -run 'TestServiceLoadSmoke' ./internal/service
+
+# Coverage gate: the cycle model, the compiler pass and the service layer are
+# where a silent regression costs the most, so they carry a hard floor.
+for pkg in ./internal/pipeline ./internal/compiler ./internal/service; do
 	pct=$(go test -cover "$pkg" | awk '/coverage:/ { sub("%", "", $(NF-2)); print $(NF-2) }')
 	if [ -z "$pct" ]; then
 		echo "check: no coverage reported for $pkg" >&2
