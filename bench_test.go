@@ -11,6 +11,7 @@
 package noreba
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"runtime"
@@ -203,4 +204,72 @@ func BenchmarkAblationBITSize(b *testing.B) {
 // BenchmarkAblationPredictors sweeps branch predictor quality.
 func BenchmarkAblationPredictors(b *testing.B) {
 	benchFigure(b, func(r *experiments.Runner) error { _, err := r.AblationPredictors(); return err })
+}
+
+// BenchmarkSampledSuite runs the quick-scale workload suite under the three
+// measured commit policies twice — once with full detailed simulation, once
+// through the SimPoint-style sampled path (plan building included) — and
+// writes BENCH_sampling.json with both wall clocks and the detailed-
+// instruction reduction. This is the speedup half of the sampling story; the
+// accuracy half is TestSampledAccuracySuite in internal/experiments.
+func BenchmarkSampledSuite(b *testing.B) {
+	policies := []Policy{PolicyInOrder, PolicyNonSpecOoO, PolicyNoreba}
+	ctx := context.Background()
+
+	var fullElapsed, sampElapsed time.Duration
+	var fullInsts, sampInsts int64
+	var sampRunner *experiments.Runner
+	for i := 0; i < b.N; i++ {
+		fullInsts, sampInsts = 0, 0
+
+		rFull := QuickRunner()
+		start := time.Now()
+		for _, name := range rFull.Workloads {
+			for _, pk := range policies {
+				st, err := rFull.Simulate(name, Skylake(pk))
+				if err != nil {
+					b.Fatal(err)
+				}
+				fullInsts += st.Committed
+			}
+		}
+		fullElapsed = time.Since(start)
+
+		rSamp := QuickRunner()
+		start = time.Now()
+		for _, name := range rSamp.Workloads {
+			for _, pk := range policies {
+				st, err := rSamp.SimulateSampledContext(ctx, name, Skylake(pk), DefaultSampling())
+				if err != nil {
+					b.Fatal(err)
+				}
+				sampInsts += st.SampledDetailInsts
+			}
+		}
+		sampElapsed = time.Since(start)
+		sampRunner = rSamp
+	}
+
+	b.ReportMetric(fullElapsed.Seconds()/sampElapsed.Seconds(), "wall-speedup")
+	b.ReportMetric(float64(fullInsts)/float64(sampInsts), "detail-speedup")
+
+	out := map[string]any{
+		"fullWallClockSec":    fullElapsed.Seconds(),
+		"sampledWallClockSec": sampElapsed.Seconds(),
+		"wallClockSpeedup":    fullElapsed.Seconds() / sampElapsed.Seconds(),
+		"fullDetailInsts":     fullInsts,
+		"sampledDetailInsts":  sampInsts,
+		"detailSpeedup":       float64(fullInsts) / float64(sampInsts),
+		"sampledRuns":         sampRunner.SampledRuns(),
+		"plansBuilt":          sampRunner.PlansBuilt(),
+		"gomaxprocs":          runtime.GOMAXPROCS(0),
+		"maxInsts":            sampRunner.MaxInsts,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sampling.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }

@@ -48,6 +48,7 @@ func main() {
 		ecl        = flag.Bool("ecl", false, "enable Early Commit of Loads (§6.1.5)")
 		list       = flag.Bool("list", false, "list built-in workloads and exit")
 		jsonOut    = flag.Bool("json", false, "emit statistics as JSON")
+		sample     = flag.Bool("sample", false, "estimate via SimPoint-style sampled simulation instead of a full run")
 		sanitize   = flag.Bool("sanitize", false, "run with the pipeline invariant checker (fails fast on violations)")
 		traceFile  = flag.String("trace", "", "stream per-stage pipeline events as JSON lines to this file ('-' for stdout)")
 	)
@@ -118,8 +119,13 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		src := emulator.NewSource(emulator.New(img), *maxInsts)
-		st, err := noreba.SimulateSourceContext(ctx, cfg, src, meta)
+		var st *noreba.Stats
+		if *sample {
+			st, err = simulateSampled(ctx, cfg, &compiler.Result{Image: img, Meta: meta}, *maxInsts)
+		} else {
+			src := emulator.NewSource(emulator.New(img), *maxInsts)
+			st, err = noreba.SimulateSourceContext(ctx, cfg, src, meta)
+		}
 		interrupted := reportMaybePartial(*image, cfg, st, *jsonOut, err)
 		finishRun(metrics, finishTrace)
 		if interrupted {
@@ -156,12 +162,28 @@ func main() {
 	if err != nil {
 		fatalf("compile: %v", err)
 	}
-	st, err := noreba.SimulateSourceContext(ctx, cfg, noreba.StreamTrace(res, *maxInsts), res.Meta)
+	var st *noreba.Stats
+	if *sample {
+		st, err = simulateSampled(ctx, cfg, res, *maxInsts)
+	} else {
+		st, err = noreba.SimulateSourceContext(ctx, cfg, noreba.StreamTrace(res, *maxInsts), res.Meta)
+	}
 	interrupted := reportMaybePartial(name, cfg, st, *jsonOut, err)
 	finishRun(metrics, finishTrace)
 	if interrupted {
 		os.Exit(130)
 	}
+}
+
+// simulateSampled estimates the run via a SimPoint-style sampling plan:
+// profile, cluster, checkpoint, then detailed simulation of the
+// representative windows only.
+func simulateSampled(ctx context.Context, cfg noreba.Config, res *noreba.CompileResult, maxInsts int64) (*noreba.Stats, error) {
+	pl, err := noreba.BuildSamplingPlan(res, maxInsts, noreba.DefaultSampling())
+	if err != nil {
+		return nil, err
+	}
+	return pl.EstimateContext(ctx, cfg, res.Meta)
 }
 
 // reportMaybePartial prints a finished run's statistics, or — when the run
@@ -174,6 +196,11 @@ func reportMaybePartial(name string, cfg noreba.Config, st *noreba.Stats, asJSON
 		fatalf("simulate: %v", err)
 	}
 	if interrupted {
+		if st == nil {
+			// A cancelled sampled estimate has no partial statistics to show.
+			fmt.Fprintln(os.Stderr, "noreba-sim: interrupted")
+			return true
+		}
 		fmt.Fprintf(os.Stderr, "noreba-sim: interrupted — partial statistics up to cycle %d:\n", st.Cycles)
 	}
 	report(name, cfg, st, asJSON)
@@ -226,6 +253,11 @@ func report(name string, cfg noreba.Config, st *noreba.Stats, asJSON bool) {
 			"modelArea":       breakdown.TotalArea(),
 			"fencesCommitted": st.FencesCommitted,
 		}
+		if st.Sampled {
+			out["sampled"] = true
+			out["sampledIntervals"] = st.SampledIntervals
+			out["sampledDetailInsts"] = st.SampledDetailInsts
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -236,6 +268,10 @@ func report(name string, cfg noreba.Config, st *noreba.Stats, asJSON bool) {
 
 	fmt.Printf("workload        %s (%d dynamic instructions)\n", name, st.TraceInsts)
 	fmt.Printf("core            %s  policy %s  prefetch %v  ECL %v\n", cfg.Name, st.Policy, cfg.PrefetchEnabled, cfg.ECL)
+	if st.Sampled {
+		fmt.Printf("sampled         %d representative intervals, %d detailed insts (estimates)\n",
+			st.SampledIntervals, st.SampledDetailInsts)
+	}
 	fmt.Printf("cycles          %d\n", st.Cycles)
 	fmt.Printf("IPC             %.3f\n", st.IPC())
 	fmt.Printf("OoO committed   %d (%.1f%% of commits)\n", st.OoOCommitted, 100*st.OoOCommitFraction())

@@ -34,6 +34,14 @@ func (m *Machine) Snapshot() Snapshot {
 	return s
 }
 
+// RebaseSeq resets the dynamic sequence counter to zero. The pipeline's
+// dependence tracking identifies branch instances by sequence number and
+// relies on the stream's first instruction having Seq 0 (sequence numbers
+// double as sliding-window indices), so a consumer feeding the pipeline a
+// stream that starts from a restored snapshot — the sampler's detailed
+// windows — rebases the counter after Restore.
+func (m *Machine) RebaseSeq() { m.seq = 0 }
+
 // Restore replaces the machine's architectural state with the snapshot.
 func (m *Machine) Restore(s Snapshot) {
 	m.IntRegs = s.IntRegs

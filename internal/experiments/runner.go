@@ -27,6 +27,7 @@ import (
 	"github.com/noreba-sim/noreba/internal/compiler"
 	"github.com/noreba-sim/noreba/internal/emulator"
 	"github.com/noreba-sim/noreba/internal/pipeline"
+	"github.com/noreba-sim/noreba/internal/sampling"
 	"github.com/noreba-sim/noreba/internal/workloads"
 )
 
@@ -65,6 +66,13 @@ type Runner struct {
 	// any commit-legality or conservation violation fails the run with a
 	// *sanity.Error instead of silently producing wrong figures.
 	Sanitize bool
+	// Sampling, when enabled, makes every Simulate call estimate its result
+	// from SimPoint-style sampled simulation (see internal/sampling) instead
+	// of a full detailed run. The normalized parameters are part of the
+	// simulation key and the persistent-store hash, so sampled and full
+	// results of the same configuration never alias. Per-call overrides go
+	// through SimulateSampledContext.
+	Sampling sampling.Params
 	// Store, when non-nil, is consulted before executing a simulation and
 	// updated after one: repeated requests across process restarts become
 	// store hits instead of re-simulations. Set it before the first
@@ -78,6 +86,7 @@ type Runner struct {
 	mu       sync.Mutex
 	compiles map[string]*compileJob
 	sims     map[simKey]*simJob
+	plans    map[planKey]*planJob
 	lru      *list.List // finished *simJob, front = most recently used
 
 	semOnce sync.Once
@@ -85,6 +94,8 @@ type Runner struct {
 
 	simReqs     atomic.Int64 // Simulate calls (cache hits included)
 	simsRun     atomic.Int64 // simulations actually executed
+	sampledRuns atomic.Int64 // executed simulations that were sampled estimates
+	plansBuilt  atomic.Int64 // sampling plans built (coalesced/cached excluded)
 	storeHits   atomic.Int64 // results served from the persistent store
 	storeMisses atomic.Int64 // store lookups that missed
 	storeErrs   atomic.Int64 // store Put failures (non-fatal)
@@ -114,10 +125,28 @@ type simJob struct {
 // comparable struct mirroring every timing-relevant pipeline.Config field —
 // not a formatted string, so a key can never alias two distinct configs
 // through formatting ambiguity, and the compiler enforces that the key stays
-// a pure value.
+// a pure value. The normalized sampling parameters are part of the key:
+// a sampled estimate and a full run of the same configuration are distinct
+// results and must never coalesce or serve each other from cache.
 type simKey struct {
 	workload string
 	cfg      cfgKey
+	sampling sampling.Params
+}
+
+// planKey identifies one sampling plan: plans depend only on the workload's
+// compiled stream and the normalized sampling parameters, so every
+// configuration estimated under the same (workload, Params) shares one plan
+// — the profiling, pilot and checkpoint cost amortises across the suite.
+type planKey struct {
+	workload string
+	params   sampling.Params
+}
+
+type planJob struct {
+	done chan struct{}
+	pl   *sampling.Plan
+	err  error
 }
 
 // cfgKey mirrors pipeline.Config field-for-field, minus FenceGate and
@@ -196,40 +225,54 @@ func keyOf(cfg pipeline.Config) cfgKey {
 }
 
 // hashVersion tags the store-key schema: bump it whenever pipeline.Stats
-// gains or changes meaning of a field, so stale persisted results from an
-// older binary can never be served as current ones.
-const hashVersion = "noreba-result-v1"
+// gains or changes meaning of a field — or when the hashed request content
+// itself changes shape, as in v2, which added the sampling parameters — so
+// stale persisted results from an older binary can never be served as
+// current ones.
+const hashVersion = "noreba-result-v2"
 
 // hashedConfig is the canonical content to be hashed for one simulation
-// request: everything that can influence the resulting Stats.
+// request: everything that can influence the resulting Stats. Sampling holds
+// the normalized sampling parameters (the zero value for a full run), so a
+// sampled estimate's store entry can never be served for a full-run request
+// or vice versa.
 type hashedConfig struct {
 	Version  string
 	Workload string
 	MaxInsts int64
 	ScaleDiv int
 	Cfg      cfgKey
+	Sampling sampling.Params
 }
 
 // ConfigHash returns the canonical content hash identifying one simulation
-// request under this runner: the workload, the runner's scale parameters and
-// every timing-relevant config field, after the same policy normalisation
-// Simulate applies. Two requests share a hash if and only if they would
-// produce identical Stats, so the hash is a safe persistent-store key.
+// request under this runner: the workload, the runner's scale parameters,
+// every timing-relevant config field and the runner's sampling mode, after
+// the same normalisations Simulate applies. Two requests share a hash if and
+// only if they would produce identical Stats, so the hash is a safe
+// persistent-store key.
 func (r *Runner) ConfigHash(workload string, cfg pipeline.Config) string {
+	return r.ConfigHashSampled(workload, cfg, r.Sampling)
+}
+
+// ConfigHashSampled is ConfigHash under an explicit per-request sampling
+// mode, mirroring SimulateSampledContext.
+func (r *Runner) ConfigHashSampled(workload string, cfg pipeline.Config, p sampling.Params) string {
 	cfg = normalize(cfg)
 	if r.Sanitize {
 		cfg.Sanitize = true
 	}
-	return hashConfig(workload, r.MaxInsts, r.ScaleDiv, cfg)
+	return hashConfig(workload, r.MaxInsts, r.ScaleDiv, cfg, p.Normalize())
 }
 
-func hashConfig(workload string, maxInsts int64, scaleDiv int, cfg pipeline.Config) string {
+func hashConfig(workload string, maxInsts int64, scaleDiv int, cfg pipeline.Config, p sampling.Params) string {
 	b, err := json.Marshal(hashedConfig{
 		Version:  hashVersion,
 		Workload: workload,
 		MaxInsts: maxInsts,
 		ScaleDiv: scaleDiv,
 		Cfg:      keyOf(cfg),
+		Sampling: p,
 	})
 	if err != nil {
 		// cfgKey is a pure value struct; Marshal cannot fail on it.
@@ -245,6 +288,7 @@ func NewRunner() *Runner {
 		MaxInsts: 1 << 20, ScaleDiv: 1,
 		compiles: map[string]*compileJob{},
 		sims:     map[simKey]*simJob{},
+		plans:    map[planKey]*planJob{},
 		lru:      list.New(),
 	}
 }
@@ -304,6 +348,53 @@ func (r *Runner) compiled(name string) (*compiler.Result, error) {
 	j.res, j.err = compileWorkload(name, r.ScaleDiv)
 	close(j.done)
 	return j.res, j.err
+}
+
+// planFor returns the sampling plan for (workload, p), building it on first
+// use on a worker-pool slot; concurrent requests for the same key coalesce
+// into one build. p must already be normalized. A cancelled build is removed
+// so a later request retries it; deterministic failures stay cached like
+// simulation failures do.
+func (r *Runner) planFor(ctx context.Context, workload string, p sampling.Params) (*sampling.Plan, error) {
+	key := planKey{workload: workload, params: p}
+	r.mu.Lock()
+	if j, ok := r.plans[key]; ok {
+		r.mu.Unlock()
+		select {
+		case <-j.done:
+			return j.pl, j.err
+		case <-ctx.Done():
+			return nil, fmt.Errorf("experiments: %s: plan: %w", workload, context.Cause(ctx))
+		}
+	}
+	j := &planJob{done: make(chan struct{})}
+	r.plans[key] = j
+	r.mu.Unlock()
+
+	j.pl, j.err = r.buildPlan(ctx, workload, p)
+
+	r.mu.Lock()
+	if j.err != nil && (errors.Is(j.err, context.Canceled) || errors.Is(j.err, context.DeadlineExceeded)) {
+		if r.plans[key] == j {
+			delete(r.plans, key)
+		}
+	}
+	r.mu.Unlock()
+	close(j.done)
+	return j.pl, j.err
+}
+
+func (r *Runner) buildPlan(ctx context.Context, workload string, p sampling.Params) (*sampling.Plan, error) {
+	res, err := r.compiled(workload)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.acquire(ctx); err != nil {
+		return nil, fmt.Errorf("experiments: %s: plan: %w", workload, err)
+	}
+	defer r.release()
+	r.plansBuilt.Add(1)
+	return sampling.BuildPlanContext(ctx, res.Image, res.Meta, r.MaxInsts, p)
 }
 
 func compileWorkload(name string, scaleDiv int) (*compiler.Result, error) {
@@ -372,12 +463,22 @@ func (r *Runner) Simulate(workload string, cfg pipeline.Config) (*pipeline.Stats
 // it instead of being served the cancellation; other results (including
 // deterministic failures) stay cached.
 func (r *Runner) SimulateContext(ctx context.Context, workload string, cfg pipeline.Config) (*pipeline.Stats, error) {
+	return r.SimulateSampledContext(ctx, workload, cfg, r.Sampling)
+}
+
+// SimulateSampledContext is SimulateContext under an explicit sampling mode,
+// overriding the runner-level Sampling knob for this request: the zero
+// Params forces a full run, an enabled Params a sampled estimate. Sampled
+// and full results of the same configuration live under distinct cache keys
+// and store hashes.
+func (r *Runner) SimulateSampledContext(ctx context.Context, workload string, cfg pipeline.Config, p sampling.Params) (*pipeline.Stats, error) {
 	r.simReqs.Add(1)
 	cfg = normalize(cfg)
 	if r.Sanitize {
 		cfg.Sanitize = true
 	}
-	key := simKey{workload: workload, cfg: keyOf(cfg)}
+	p = p.Normalize()
+	key := simKey{workload: workload, cfg: keyOf(cfg), sampling: p}
 
 	r.mu.Lock()
 	if j, ok := r.sims[key]; ok {
@@ -396,7 +497,7 @@ func (r *Runner) SimulateContext(ctx context.Context, workload string, cfg pipel
 	r.sims[key] = j
 	r.mu.Unlock()
 
-	j.st, j.err = r.runSim(ctx, workload, cfg)
+	j.st, j.err = r.runSim(ctx, workload, cfg, p)
 
 	r.mu.Lock()
 	if j.err != nil && (errors.Is(j.err, context.Canceled) || errors.Is(j.err, context.DeadlineExceeded)) {
@@ -441,11 +542,14 @@ func (r *Runner) evictLocked() {
 // runSim executes one simulation on the worker pool, consulting the
 // persistent store first. Each executed run drives its own live emulator
 // through the pipeline's sliding window, so no materialized trace is ever
-// held: per-run memory is bounded by the in-flight span.
-func (r *Runner) runSim(ctx context.Context, workload string, cfg pipeline.Config) (*pipeline.Stats, error) {
+// held: per-run memory is bounded by the in-flight span. With sampling
+// enabled the detailed run is replaced by a plan estimate: the plan is built
+// (or reused) once per (workload, Params) and only the representative
+// windows are simulated under cfg.
+func (r *Runner) runSim(ctx context.Context, workload string, cfg pipeline.Config, p sampling.Params) (*pipeline.Stats, error) {
 	var hash string
 	if r.Store != nil {
-		hash = hashConfig(workload, r.MaxInsts, r.ScaleDiv, cfg)
+		hash = hashConfig(workload, r.MaxInsts, r.ScaleDiv, cfg, p)
 		if st, ok := r.Store.Get(hash); ok {
 			r.storeHits.Add(1)
 			return st, nil
@@ -456,15 +560,33 @@ func (r *Runner) runSim(ctx context.Context, workload string, cfg pipeline.Confi
 	if err != nil {
 		return nil, err
 	}
-	if err := r.acquire(ctx); err != nil {
-		return nil, fmt.Errorf("experiments: %s: %w", workload, err)
-	}
-	defer r.release()
-	r.simsRun.Add(1)
-	src := emulator.NewSource(emulator.New(res.Image), r.MaxInsts)
-	st, err := pipeline.NewCoreFromSource(cfg, src, res.Meta).RunContext(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("%s under %v: %w", workload, cfg.Policy, err)
+	var st *pipeline.Stats
+	if p.Enabled {
+		pl, err := r.planFor(ctx, workload, p)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.acquire(ctx); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", workload, err)
+		}
+		defer r.release()
+		r.simsRun.Add(1)
+		r.sampledRuns.Add(1)
+		st, err = pl.EstimateContext(ctx, cfg, res.Meta)
+		if err != nil {
+			return nil, fmt.Errorf("%s under %v: %w", workload, cfg.Policy, err)
+		}
+	} else {
+		if err := r.acquire(ctx); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", workload, err)
+		}
+		defer r.release()
+		r.simsRun.Add(1)
+		src := emulator.NewSource(emulator.New(res.Image), r.MaxInsts)
+		st, err = pipeline.NewCoreFromSource(cfg, src, res.Meta).RunContext(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("%s under %v: %w", workload, cfg.Policy, err)
+		}
 	}
 	for {
 		p := r.peakWindow.Load()
@@ -527,6 +649,13 @@ func (r *Runner) StoreMisses() int64 { return r.storeMisses.Load() }
 // StorePutErrors returns how many store writes failed (each counted run
 // still returned its result to the caller).
 func (r *Runner) StorePutErrors() int64 { return r.storeErrs.Load() }
+
+// SampledRuns returns how many executed simulations were sampled estimates.
+func (r *Runner) SampledRuns() int64 { return r.sampledRuns.Load() }
+
+// PlansBuilt returns how many sampling plans were built (coalesced and
+// reused requests excluded).
+func (r *Runner) PlansBuilt() int64 { return r.plansBuilt.Load() }
 
 // UniqueSimulations returns the number of distinct (workload, config) keys
 // currently resident in the in-memory cache (in-flight included).

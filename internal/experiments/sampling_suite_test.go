@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/pipeline"
+	"github.com/noreba-sim/noreba/internal/sampling"
+)
+
+// samplingSuitePolicies are the commit policies the accuracy suite measures.
+// In-order is the speedup baseline; NOREBA and non-speculative OoO commit are
+// the two policies whose relative ordering is the paper's headline result.
+var samplingSuitePolicies = []pipeline.PolicyKind{
+	pipeline.InOrder, pipeline.NonSpecOoO, pipeline.Noreba,
+}
+
+const (
+	// samplingTolerancePct bounds the per-run IPC error of a sampled estimate
+	// vs the full simulation. The measured worst case at quick scale is ~9%
+	// (libquantum under in-order commit — a boundary-phase artifact of short
+	// measurement windows, see DESIGN.md); 12% leaves headroom without
+	// accepting a broken estimator.
+	samplingTolerancePct = 12.0
+	// samplingSpeedupFloor is the minimum reduction in detailed-simulated
+	// instructions the sampled suite must achieve over full simulation.
+	samplingSpeedupFloor = 5.0
+	// orderingMargin: speedup orderings are only asserted for policy pairs
+	// whose full-run IPCs differ by more than this factor, so that two
+	// estimates each within tolerance cannot legally swap the pair.
+	orderingMargin = 1.30
+)
+
+// samplingCell is one workload × policy entry of the measured error table.
+type samplingCell struct {
+	FullIPC      float64 `json:"fullIPC"`
+	SampledIPC   float64 `json:"sampledIPC"`
+	ErrPct       float64 `json:"errPct"`
+	FullFallback bool    `json:"fullFallback,omitempty"`
+}
+
+// samplingAccuracy is the committed error table
+// (testdata/sampling_accuracy.json): per-cell IPC errors plus the aggregate
+// detailed-instruction speedup of the sampled suite.
+type samplingAccuracy struct {
+	TolerancePct       float64                            `json:"tolerancePct"`
+	SpeedupFloor       float64                            `json:"speedupFloor"`
+	SampledDetailInsts int64                              `json:"sampledDetailInsts"`
+	FullDetailInsts    int64                              `json:"fullDetailInsts"`
+	DetailSpeedup      float64                            `json:"detailSpeedup"`
+	Workloads          map[string]map[string]samplingCell `json:"workloads"`
+}
+
+func samplingGoldenPath() string { return filepath.Join("testdata", "sampling_accuracy.json") }
+
+func roundTo(x float64, digits int) float64 {
+	p := math.Pow(10, float64(digits))
+	return math.Round(x*p) / p
+}
+
+func collectSamplingAccuracy(t *testing.T) samplingAccuracy {
+	t.Helper()
+	ctx := context.Background()
+	acc := samplingAccuracy{
+		TolerancePct: samplingTolerancePct,
+		SpeedupFloor: samplingSpeedupFloor,
+		Workloads:    map[string]map[string]samplingCell{},
+	}
+	for _, name := range mustNames(t, sharedRunner) {
+		row := map[string]samplingCell{}
+		for _, pk := range samplingSuitePolicies {
+			full, err := sharedRunner.Simulate(name, skylake(pk))
+			if err != nil {
+				t.Fatalf("%s under %v (full): %v", name, pk, err)
+			}
+			est, err := sharedRunner.SimulateSampledContext(ctx, name, skylake(pk), sampling.Default())
+			if err != nil {
+				t.Fatalf("%s under %v (sampled): %v", name, pk, err)
+			}
+			if !est.Sampled {
+				t.Fatalf("%s under %v: sampled run missing provenance flag", name, pk)
+			}
+			errPct := 100 * (est.IPC() - full.IPC()) / full.IPC()
+			row[pk.String()] = samplingCell{
+				FullIPC:      roundTo(full.IPC(), 4),
+				SampledIPC:   roundTo(est.IPC(), 4),
+				ErrPct:       roundTo(errPct, 3),
+				FullFallback: est.SampledIntervals == 0,
+			}
+			acc.SampledDetailInsts += est.SampledDetailInsts
+			acc.FullDetailInsts += full.Committed
+		}
+		acc.Workloads[name] = row
+	}
+	if acc.SampledDetailInsts > 0 {
+		acc.DetailSpeedup = roundTo(float64(acc.FullDetailInsts)/float64(acc.SampledDetailInsts), 2)
+	}
+	return acc
+}
+
+// TestSampledAccuracySuite is the differential accuracy suite for sampled
+// simulation: every suite workload under every measured commit policy is run
+// both fully and sampled, and the suite asserts that (1) each sampled IPC is
+// within samplingTolerancePct of the full-run IPC, (2) policy speedup
+// orderings that are clearly separated in the full runs are preserved by the
+// estimates, (3) sampling reduces the detailed-simulated instruction count by
+// at least samplingSpeedupFloor×, and (4) the measured error table matches
+// the committed testdata/sampling_accuracy.json (regenerate with -update).
+func TestSampledAccuracySuite(t *testing.T) {
+	got := collectSamplingAccuracy(t)
+
+	names := make([]string, 0, len(got.Workloads))
+	for name := range got.Workloads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		row := got.Workloads[name]
+		for _, pk := range samplingSuitePolicies {
+			cell := row[pk.String()]
+			if math.Abs(cell.ErrPct) > samplingTolerancePct {
+				t.Errorf("%s under %v: sampled IPC %.4f vs full %.4f (%.2f%% error, tolerance %.0f%%)",
+					name, pk, cell.SampledIPC, cell.FullIPC, cell.ErrPct, samplingTolerancePct)
+			}
+		}
+		// Ordering preservation: any pair clearly separated in the full runs
+		// must keep its order in the estimates.
+		for _, a := range samplingSuitePolicies {
+			for _, b := range samplingSuitePolicies {
+				ca, cb := row[a.String()], row[b.String()]
+				if ca.FullIPC >= orderingMargin*cb.FullIPC && ca.SampledIPC <= cb.SampledIPC {
+					t.Errorf("%s: full ordering %v (%.4f) > %v (%.4f) inverted by estimates (%.4f vs %.4f)",
+						name, a, ca.FullIPC, b, cb.FullIPC, ca.SampledIPC, cb.SampledIPC)
+				}
+			}
+		}
+	}
+
+	if got.DetailSpeedup < samplingSpeedupFloor {
+		t.Errorf("sampled suite detailed %d insts vs full %d: %.2fx reduction, floor %.0fx",
+			got.SampledDetailInsts, got.FullDetailInsts, got.DetailSpeedup, samplingSpeedupFloor)
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(samplingGoldenPath(), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", samplingGoldenPath())
+		return
+	}
+
+	data, err := os.ReadFile(samplingGoldenPath())
+	if err != nil {
+		t.Fatalf("no sampling accuracy table (%v); run with -update to create it", err)
+	}
+	var want samplingAccuracy
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		wantRow, ok := want.Workloads[name]
+		if !ok {
+			t.Errorf("workload %s missing from sampling accuracy table — rerun with -update", name)
+			continue
+		}
+		for _, pk := range samplingSuitePolicies {
+			g, w := got.Workloads[name][pk.String()], wantRow[pk.String()]
+			if math.Abs(g.ErrPct-w.ErrPct) > 1e-6 || math.Abs(g.SampledIPC-w.SampledIPC) > 1e-6 {
+				t.Errorf("%s under %s: measured err %.3f%% (IPC %.4f), table has %.3f%% (IPC %.4f) — rerun with -update if intentional",
+					name, pk.String(), g.ErrPct, g.SampledIPC, w.ErrPct, w.SampledIPC)
+			}
+		}
+	}
+	if math.Abs(got.DetailSpeedup-want.DetailSpeedup) > 1e-6 {
+		t.Errorf("detail speedup %.2fx, table has %.2fx — rerun with -update if intentional",
+			got.DetailSpeedup, want.DetailSpeedup)
+	}
+}

@@ -214,6 +214,138 @@ func (c *Core) Finalize() *Stats {
 	return &c.stats
 }
 
+// WarmFunctional drains src through the core's long-lived microarchitectural
+// state — instruction and data caches, prefetcher, branch predictor,
+// return-address stack — without simulating pipeline timing (SMARTS-style
+// functional warming). Sampled simulation uses it to replay the stream
+// prefix before a representative interval at emulator speed, so detailed
+// simulation starts with the cache and predictor contents a full run would
+// have. insts is the number of instructions src will deliver: warming runs
+// on a pseudo-clock that ends at cycle 0, where the detailed window begins.
+// The clock matters at both ends: warming "at cycle 0" would leave every
+// warmed line apparently still in flight, double-charging fill latency
+// against the measurement window, while warming entirely in the distant
+// past would present every recently-missed and prefetched line as already
+// filled — in a continuous run the last ~miss-latency of accesses are still
+// in flight when any window opens, and out-of-order commit exploits the
+// difference. clock maps the i-th delivered instruction (0-based) to its
+// pseudo-cycle; it must be non-decreasing and end at 0. A nil clock
+// advances a nominal 2 cycles per instruction; callers that know the
+// stream's real cycle schedule (the sampler's pilot run) pass it so the
+// in-flight horizon at cycle 0 matches the continuous run's. Must be
+// called before the first Step; cache counters inflated by warming accesses
+// are cancelled by callers differencing statistics across a measurement
+// window.
+func (c *Core) WarmFunctional(src emulator.TraceSource, insts int64, clock func(i int64) int64) {
+	if clock == nil {
+		const warmCPI = 2 // nominal cycles per instruction
+		clock = func(i int64) int64 { return -warmCPI * (insts - 1 - i) }
+	}
+	for i := int64(0); ; i++ {
+		d, ok := src.Next()
+		if !ok {
+			return
+		}
+		warmCycle := clock(i)
+		c.icache.Access(int64(d.PC)*4, warmCycle)
+		if d.Inst.Op.IsMem() {
+			c.dcache.Access(d.Addr, warmCycle)
+			// The prefetcher's table is long-lived state too: a detailed
+			// window entered with an untrained prefetcher pays demand misses
+			// the continuous run had already hidden.
+			if c.dcpt != nil {
+				for _, addr := range c.dcpt.Train(d.PC, d.Addr) {
+					c.dcache.Prefetch(addr, warmCycle)
+				}
+			}
+		}
+		switch {
+		case d.Inst.Op.IsCondBranch():
+			if c.pred != nil {
+				c.pred.Predict(d.PC)
+				c.pred.Update(d.PC, d.Taken)
+			}
+		case d.Inst.Op == isa.OpJal:
+			if d.Inst.Rd == isa.RA {
+				c.ras.Push(d.PC + 1)
+			}
+		case d.Inst.Op == isa.OpJalr:
+			c.ras.Pop(d.NextPC)
+		}
+	}
+}
+
+// FingerprintFunctional replays src through the core's memory hierarchy,
+// prefetcher, branch predictor and return-address stack at emulator speed —
+// one pseudo-cycle per instruction, no pipeline model — reporting each
+// instruction's functional timing signals to visit: the data-access latency
+// beyond an L1 hit, and whether a control transfer mispredicted. Sampled
+// simulation uses it to fingerprint per-interval memory and branch
+// behaviour far cheaper than a detailed pilot run; the pseudo-clock
+// compresses time relative to a real pipeline, so the extracted latencies
+// are a phase signature, not a cycle estimate. Must be called on a
+// dedicated Core that is never stepped.
+func (c *Core) FingerprintFunctional(src emulator.TraceSource, visit func(memExtra int64, mispred bool)) {
+	var cycle int64
+	for {
+		d, ok := src.Next()
+		if !ok {
+			return
+		}
+		cycle++
+		var memExtra int64
+		mispred := false
+		c.icache.Access(int64(d.PC)*4, cycle)
+		if d.Inst.Op.IsMem() {
+			done := c.dcache.Access(d.Addr, cycle)
+			if extra := done - cycle - c.cfg.L1Lat; extra > 0 {
+				memExtra = extra
+			}
+			if c.dcpt != nil {
+				for _, addr := range c.dcpt.Train(d.PC, d.Addr) {
+					c.dcache.Prefetch(addr, cycle)
+				}
+			}
+		}
+		switch {
+		case d.Inst.Op.IsCondBranch():
+			if c.pred != nil {
+				pred := c.pred.Predict(d.PC)
+				c.pred.Update(d.PC, d.Taken)
+				mispred = pred != d.Taken
+			}
+		case d.Inst.Op == isa.OpJal:
+			if d.Inst.Rd == isa.RA {
+				c.ras.Push(d.PC + 1)
+			}
+		case d.Inst.Op == isa.OpJalr:
+			if _, hit := c.ras.Pop(d.NextPC); !hit {
+				mispred = true
+			}
+		}
+		visit(memExtra, mispred)
+	}
+}
+
+// StatsSnapshot returns a copy of the statistics as of the current cycle,
+// with the cache counters refreshed. The reference-typed fields
+// (BranchStalls, PipeTrace) are cleared in the copy: callers taking
+// mid-run snapshots (the sampler's measurement windows) difference
+// counters, and sharing live maps across snapshots would alias mutable
+// state. Finalize recomputes every derived field, so snapshotting mid-run
+// does not disturb a later full finalization.
+func (c *Core) StatsSnapshot() Stats {
+	st := *c.Finalize()
+	st.BranchStalls = nil
+	st.PipeTrace = nil
+	return st
+}
+
+// CommittedCount returns the number of dynamic instructions committed so
+// far (excluding setup instructions). Callers stepping the core manually
+// use it to detect commit-count crossings.
+func (c *Core) CommittedCount() int64 { return c.stats.Committed }
+
 // Run simulates until every stream instruction has committed and returns the
 // statistics. If the source ends on an execution error (memory exception),
 // the delivered prefix is simulated to completion and the error is returned

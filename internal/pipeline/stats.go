@@ -74,6 +74,16 @@ type Stats struct {
 	// Config.PipeTraceLimit committed instructions (the pipeline-viewer
 	// input); empty unless the limit is set.
 	PipeTrace []PipeRecord
+
+	// Sampling provenance: set by internal/sampling when the stats are a
+	// weighted extrapolation from representative intervals rather than a
+	// full detailed run. SampledDetailInsts is the number of dynamic
+	// instructions actually simulated in detail (warmup + measurement +
+	// cooldown across all representatives) — the cost the sampler paid,
+	// versus TraceInsts it would have paid in a full run.
+	Sampled            bool
+	SampledIntervals   int
+	SampledDetailInsts int64
 }
 
 // PipeRecord is one committed instruction's journey through the pipeline.

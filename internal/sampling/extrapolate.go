@@ -1,0 +1,231 @@
+package sampling
+
+import (
+	"math"
+	"reflect"
+
+	"github.com/noreba-sim/noreba/internal/pipeline"
+)
+
+// measured is one representative interval's detailed-simulation result: the
+// counter deltas across its measurement window and the committed
+// instructions that window covered.
+type measured struct {
+	delta      pipeline.Stats
+	committed  int64   // committed instructions inside the measurement window
+	weight     int64   // committed instructions the representative stands for
+	cycleScale float64 // pilot control-variate correction for the cycle count
+}
+
+// pilotScales computes each representative's cycle-correction factor for
+// one target configuration. The pilots measured every interval's CPI under
+// reference policies; the target's measured representative CPIs are fitted
+// as a weighted least-squares blend of those pilot dimensions, so the blend
+// tracks whichever reference (or mix) the target actually behaves like.
+// Each representative's cycle contribution is then rescaled by the blend's
+// predicted cluster-mean CPI over its predicted representative CPI —
+// correcting the bias of standing a whole cluster on one member. Degenerate
+// fits (too few representatives, singular system, non-positive predictions)
+// fall back to the first basis column — the detailed pilot CPI — as a
+// single control variate, and scales are clamped to [1/4, 4] so a bad fit
+// can never dominate the measured rates.
+func pilotScales(reps []Rep, ms []measured) []float64 {
+	scales := make([]float64, len(ms))
+	for i := range scales {
+		scales[i] = 1
+	}
+	if len(reps) == 0 || len(reps[0].PilotRep) == 0 {
+		return scales
+	}
+	nd := len(reps[0].PilotRep)
+
+	// Weighted normal equations: A β = b over the measured representatives.
+	A := make([][]float64, nd)
+	for j := range A {
+		A[j] = make([]float64, nd)
+	}
+	b := make([]float64, nd)
+	rows := 0
+	for i := range ms {
+		if ms[i].committed <= 0 {
+			continue
+		}
+		rows++
+		t := float64(ms[i].delta.Cycles) / float64(ms[i].committed)
+		w := float64(ms[i].weight)
+		p := reps[i].PilotRep
+		for j := 0; j < nd; j++ {
+			for l := 0; l < nd; l++ {
+				A[j][l] += w * p[j] * p[l]
+			}
+			b[j] += w * t * p[j]
+		}
+	}
+
+	// Ridge term: with as few representatives as basis columns the normal
+	// equations can be near-singular; a small diagonal load keeps the blend
+	// finite without visibly biasing well-conditioned fits.
+	var trace float64
+	for j := 0; j < nd; j++ {
+		trace += A[j][j]
+	}
+	for j := 0; j < nd; j++ {
+		A[j][j] += 1e-3 * trace / float64(nd)
+	}
+
+	beta, ok := solvePosDef(A, b)
+	if !ok || rows < nd {
+		beta = nil
+	}
+	blend := func(p []float64) float64 {
+		if beta != nil {
+			var s float64
+			for j, x := range p {
+				s += beta[j] * x
+			}
+			return s
+		}
+		return p[0]
+	}
+	// A blend that predicts a non-positive CPI anywhere it is evaluated is
+	// extrapolating outside its support: discard it for the mean dimension.
+	if beta != nil {
+		for i := range reps {
+			if blend(reps[i].PilotRep) <= 0 || blend(reps[i].PilotCluster) <= 0 {
+				beta = nil
+				break
+			}
+		}
+	}
+	for i := range reps {
+		pr, pc := blend(reps[i].PilotRep), blend(reps[i].PilotCluster)
+		if pr <= 0 || pc <= 0 {
+			continue
+		}
+		s := pc / pr
+		if s < 0.25 {
+			s = 0.25
+		} else if s > 4 {
+			s = 4
+		}
+		scales[i] = s
+	}
+	return scales
+}
+
+// solvePosDef solves the small symmetric system Aβ = b by Gaussian
+// elimination with partial pivoting, reporting failure on near-singular
+// systems (pilot dimensions collinear across the representatives).
+func solvePosDef(A [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64{}, A[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if abs(m[r][col]) > abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		m[col], m[piv] = m[piv], m[col]
+		if abs(m[col][col]) < 1e-9 {
+			return nil, false
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	beta := make([]float64, n)
+	for i := range beta {
+		beta[i] = m[i][n] / m[i][i]
+	}
+	return beta, true
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// peakFields are high-water marks, not flow counters: differencing them
+// across a window is meaningless and extrapolating them by weight would
+// inflate them. The window keeps the end value; extrapolation takes the max
+// across representatives.
+var peakFields = map[string]bool{"WindowPeak": true, "CITPeak": true}
+
+// deltaStats returns end − warm field-by-field over the int64 counters,
+// via reflection so new Stats counters are covered automatically. Peak
+// fields keep the end value; non-counter fields (strings, bools, maps,
+// slices) pass through from end untouched.
+func deltaStats(end, warm pipeline.Stats) pipeline.Stats {
+	d := end
+	dv := reflect.ValueOf(&d).Elem()
+	wv := reflect.ValueOf(warm)
+	t := dv.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.Type.Kind() != reflect.Int64 || peakFields[f.Name] {
+			continue
+		}
+		dv.Field(i).SetInt(dv.Field(i).Int() - wv.Field(i).Int())
+	}
+	return d
+}
+
+// extrapolate scales each representative's measured deltas from its
+// measurement window up to the committed-instruction mass of the cluster it
+// represents, and sums across clusters: X_est = Σ_r weight_r · X_r/committed_r.
+// Peak fields take the max across representatives instead. The Cycles field
+// additionally carries each representative's pilot control-variate
+// correction (Rep.PilotScale): the pilots measured every interval, so a
+// representative known to run fast or slow relative to its cluster's mean
+// has its cycle contribution rescaled accordingly.
+func extrapolate(ms []measured) pipeline.Stats {
+	var est pipeline.Stats
+	ev := reflect.ValueOf(&est).Elem()
+	t := ev.Type()
+	acc := make([]float64, t.NumField())
+	for _, m := range ms {
+		den := float64(m.committed)
+		if den <= 0 {
+			den = 1
+		}
+		scale := float64(m.weight) / den
+		mv := reflect.ValueOf(m.delta)
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.Type.Kind() != reflect.Int64 {
+				continue
+			}
+			if peakFields[f.Name] {
+				if v := mv.Field(i).Int(); v > ev.Field(i).Int() {
+					ev.Field(i).SetInt(v)
+				}
+				continue
+			}
+			x := float64(mv.Field(i).Int()) * scale
+			if f.Name == "Cycles" && m.cycleScale > 0 {
+				x *= m.cycleScale
+			}
+			acc[i] += x
+		}
+	}
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.Type.Kind() != reflect.Int64 || peakFields[f.Name] {
+			continue
+		}
+		ev.Field(i).SetInt(int64(math.Round(acc[i])))
+	}
+	return est
+}

@@ -1,0 +1,179 @@
+package sampling
+
+// Deterministic, stdlib-only k-means over the profile's normalised
+// basic-block vectors. Determinism matters more than clustering quality
+// here: the same Params must always produce the same sampling schedule so
+// cached results, golden tests and the persistent store hash stay stable.
+// All randomness flows through a fixed-seed LCG (the repo's workload
+// generator idiom), ties break toward the lowest index, and empty clusters
+// are reseeded to the globally farthest point.
+
+// lcg is the repo's splittable linear congruential generator (see
+// internal/workloads): good enough to spread k-means++ picks, fully
+// deterministic, and no math/rand import.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r >> 17)
+}
+
+// sqDist returns the squared Euclidean distance between two equal-length
+// vectors.
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KMeans clusters vecs into at most k clusters with Lloyd's algorithm and
+// k-means++ initialisation, returning the cluster assignment per vector.
+// k is clamped to len(vecs); iters caps the Lloyd iterations (the loop
+// exits early on convergence). The result is deterministic in
+// (vecs, k, iters, seed).
+func KMeans(vecs [][]float64, k, iters int, seed uint64) []int {
+	n := len(vecs)
+	if n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	rng := lcg(seed)
+	centroids := initPlusPlus(vecs, k, &rng)
+	assign := make([]int, n)
+	for iter := 0; iter < iters; iter++ {
+		changed := false
+		for i, v := range vecs {
+			best, bestD := 0, sqDist(v, centroids[0])
+			for c := 1; c < k; c++ {
+				if d := sqDist(v, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		recompute(vecs, assign, centroids)
+		reseedEmpty(vecs, assign, centroids)
+	}
+	return assign
+}
+
+// initPlusPlus picks k initial centroids k-means++-style: the first
+// uniformly, each subsequent one with probability proportional to its
+// squared distance from the nearest centroid chosen so far.
+func initPlusPlus(vecs [][]float64, k int, rng *lcg) [][]float64 {
+	n := len(vecs)
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, cloneVec(vecs[int(rng.next()%uint64(n))]))
+	d2 := make([]float64, n)
+	for i, v := range vecs {
+		d2[i] = sqDist(v, centroids[0])
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			// All points coincide with a centroid; fall back to uniform.
+			pick = int(rng.next() % uint64(n))
+		} else {
+			// Scale an integer draw into [0, total) — deterministic and
+			// avoids float64 modulo bias concerns at this scale.
+			r := float64(rng.next()%(1<<53)) / float64(1<<53) * total
+			for pick = 0; pick < n-1; pick++ {
+				r -= d2[pick]
+				if r < 0 {
+					break
+				}
+			}
+		}
+		c := cloneVec(vecs[pick])
+		centroids = append(centroids, c)
+		for i, v := range vecs {
+			if d := sqDist(v, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// recompute replaces each centroid with the mean of its assigned vectors;
+// a centroid with no members is left in place for reseedEmpty to handle.
+func recompute(vecs [][]float64, assign []int, centroids [][]float64) {
+	dim := len(vecs[0])
+	counts := make([]int, len(centroids))
+	sums := make([][]float64, len(centroids))
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	for i, v := range vecs {
+		c := assign[i]
+		counts[c]++
+		for j, x := range v {
+			sums[c][j] += x
+		}
+	}
+	for c := range centroids {
+		if counts[c] == 0 {
+			continue
+		}
+		inv := 1 / float64(counts[c])
+		for j := range sums[c] {
+			centroids[c][j] = sums[c][j] * inv
+		}
+	}
+}
+
+// reseedEmpty moves each empty cluster's centroid onto the point farthest
+// from its current centroid and reassigns that point, so k requested
+// clusters stay k populated clusters whenever n >= k.
+func reseedEmpty(vecs [][]float64, assign []int, centroids [][]float64) {
+	counts := make([]int, len(centroids))
+	for _, c := range assign {
+		counts[c]++
+	}
+	for c := range centroids {
+		if counts[c] > 0 {
+			continue
+		}
+		far, farD := -1, -1.0
+		for i, v := range vecs {
+			// Only steal from clusters that can spare a member.
+			if counts[assign[i]] <= 1 {
+				continue
+			}
+			if d := sqDist(v, centroids[assign[i]]); d > farD {
+				far, farD = i, d
+			}
+		}
+		if far < 0 {
+			continue // n < k: some clusters legitimately stay empty
+		}
+		counts[assign[far]]--
+		assign[far] = c
+		counts[c] = 1
+		copy(centroids[c], vecs[far])
+	}
+}
+
+func cloneVec(v []float64) []float64 {
+	c := make([]float64, len(v))
+	copy(c, v)
+	return c
+}

@@ -1,0 +1,208 @@
+package sampling
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/pipeline"
+)
+
+func TestKMeansEmptyInput(t *testing.T) {
+	if got := KMeans(nil, 4, 8, DefaultSeed); got != nil {
+		t.Fatalf("KMeans(nil) = %v, want nil", got)
+	}
+}
+
+func TestKMeansSingleVector(t *testing.T) {
+	got := KMeans([][]float64{{1, 2}}, 4, 8, DefaultSeed)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("KMeans(single) = %v, want [0]", got)
+	}
+}
+
+func TestKMeansKLargerThanN(t *testing.T) {
+	vecs := [][]float64{{0, 0}, {1, 0}, {0, 1}}
+	got := KMeans(vecs, 10, 16, DefaultSeed)
+	if len(got) != len(vecs) {
+		t.Fatalf("assignment length %d, want %d", len(got), len(vecs))
+	}
+	for i, c := range got {
+		if c < 0 || c >= len(vecs) {
+			t.Fatalf("vec %d assigned to cluster %d, outside [0,%d)", i, c, len(vecs))
+		}
+	}
+}
+
+func TestKMeansSeparatesObviousGroups(t *testing.T) {
+	// Two tight groups far apart: any sane clustering with k=2 puts each
+	// group in its own cluster.
+	vecs := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{10, 10}, {10.1, 10}, {10, 10.1},
+	}
+	got := KMeans(vecs, 2, 32, DefaultSeed)
+	if got[0] != got[1] || got[1] != got[2] {
+		t.Fatalf("low group split across clusters: %v", got)
+	}
+	if got[3] != got[4] || got[4] != got[5] {
+		t.Fatalf("high group split across clusters: %v", got)
+	}
+	if got[0] == got[3] {
+		t.Fatalf("both groups in one cluster: %v", got)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	vecs := make([][]float64, 50)
+	r := lcg(7)
+	for i := range vecs {
+		vecs[i] = []float64{
+			float64(r.next()%1000) / 1000,
+			float64(r.next()%1000) / 1000,
+			float64(r.next()%1000) / 1000,
+		}
+	}
+	a := KMeans(vecs, 4, 32, DefaultSeed)
+	b := KMeans(vecs, 4, 32, DefaultSeed)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different assignments:\n%v\n%v", a, b)
+	}
+}
+
+func TestKMeansCoincidentPointsReseed(t *testing.T) {
+	// Every point identical: k-means++ initialises coincident centroids and
+	// Lloyd iterations leave one cluster empty; reseedEmpty must still keep
+	// assignments valid, and with n >= k both clusters end up populated.
+	vecs := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	got := KMeans(vecs, 2, 8, DefaultSeed)
+	seen := map[int]int{}
+	for i, c := range got {
+		if c < 0 || c >= 2 {
+			t.Fatalf("vec %d assigned to cluster %d, outside [0,2)", i, c)
+		}
+		seen[c]++
+	}
+	if len(seen) != 2 {
+		t.Fatalf("reseed left an empty cluster: assignments %v", got)
+	}
+}
+
+func TestSolvePosDef(t *testing.T) {
+	beta, ok := solvePosDef([][]float64{{2, 0}, {0, 4}}, []float64{2, 8})
+	if !ok {
+		t.Fatal("diagonal system reported singular")
+	}
+	if math.Abs(beta[0]-1) > 1e-12 || math.Abs(beta[1]-2) > 1e-12 {
+		t.Fatalf("beta = %v, want [1 2]", beta)
+	}
+	if _, ok := solvePosDef([][]float64{{1, 1}, {1, 1}}, []float64{1, 1}); ok {
+		t.Fatal("singular system reported solvable")
+	}
+}
+
+func TestPilotScalesNoBasis(t *testing.T) {
+	ms := []measured{{committed: 100, weight: 100}}
+	got := pilotScales([]Rep{{}}, ms)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("scales = %v, want [1]", got)
+	}
+}
+
+func TestPilotScalesSingleVariate(t *testing.T) {
+	// One basis column, representatives whose measured CPI is exactly
+	// proportional to the pilot column: the fit recovers the proportionality
+	// and each scale is the cluster/representative pilot ratio.
+	reps := []Rep{
+		{PilotRep: []float64{1.0}, PilotCluster: []float64{1.2}},
+		{PilotRep: []float64{2.0}, PilotCluster: []float64{1.6}},
+	}
+	ms := []measured{
+		{delta: pipeline.Stats{Cycles: 300}, committed: 100, weight: 1000},
+		{delta: pipeline.Stats{Cycles: 600}, committed: 100, weight: 1000},
+	}
+	got := pilotScales(reps, ms)
+	if math.Abs(got[0]-1.2) > 1e-6 || math.Abs(got[1]-0.8) > 1e-6 {
+		t.Fatalf("scales = %v, want [1.2 0.8]", got)
+	}
+}
+
+func TestPilotScalesClamped(t *testing.T) {
+	reps := []Rep{{PilotRep: []float64{1.0}, PilotCluster: []float64{100.0}}}
+	ms := []measured{{delta: pipeline.Stats{Cycles: 200}, committed: 100, weight: 100}}
+	got := pilotScales(reps, ms)
+	if got[0] != 4 {
+		t.Fatalf("scale = %v, want clamp at 4", got[0])
+	}
+	reps[0].PilotCluster[0] = 0.001
+	got = pilotScales(reps, ms)
+	if got[0] != 0.25 {
+		t.Fatalf("scale = %v, want clamp at 0.25", got[0])
+	}
+}
+
+func TestPilotScalesUnderdetermined(t *testing.T) {
+	// Two basis columns but a single measured representative: rows < nd, so
+	// the fit must fall back to the first column as a plain control variate.
+	reps := []Rep{{PilotRep: []float64{2.0, 7.0}, PilotCluster: []float64{1.0, 3.0}}}
+	ms := []measured{{delta: pipeline.Stats{Cycles: 500}, committed: 100, weight: 100}}
+	got := pilotScales(reps, ms)
+	if math.Abs(got[0]-0.5) > 1e-9 {
+		t.Fatalf("scale = %v, want 0.5 (cluster[0]/rep[0])", got[0])
+	}
+}
+
+func TestDeltaStats(t *testing.T) {
+	warm := pipeline.Stats{Cycles: 100, Committed: 50, WindowPeak: 40}
+	end := pipeline.Stats{Cycles: 300, Committed: 150, WindowPeak: 90}
+	d := deltaStats(end, warm)
+	if d.Cycles != 200 || d.Committed != 100 {
+		t.Fatalf("delta = {Cycles:%d Committed:%d}, want {200 100}", d.Cycles, d.Committed)
+	}
+	if d.WindowPeak != 90 {
+		t.Fatalf("WindowPeak = %d, want end value 90 (peaks are not differenced)", d.WindowPeak)
+	}
+}
+
+func TestExtrapolateWeightsAndScales(t *testing.T) {
+	ms := []measured{
+		// Cluster of 1000 committed measured over 100: scale ×10.
+		{delta: pipeline.Stats{Cycles: 200, Committed: 100, WindowPeak: 30}, committed: 100, weight: 1000},
+		// Cluster of 500 over 50 with a ×2 pilot cycle correction.
+		{delta: pipeline.Stats{Cycles: 100, Committed: 50, WindowPeak: 80}, committed: 50, weight: 500, cycleScale: 2},
+	}
+	est := extrapolate(ms)
+	if est.Committed != 1500 {
+		t.Fatalf("Committed = %d, want 1500", est.Committed)
+	}
+	// Cycles: 200·10 + 100·10·2 = 4000; only Cycles carries the correction.
+	if est.Cycles != 4000 {
+		t.Fatalf("Cycles = %d, want 4000", est.Cycles)
+	}
+	if est.WindowPeak != 80 {
+		t.Fatalf("WindowPeak = %d, want max across representatives 80", est.WindowPeak)
+	}
+}
+
+func TestFillMean(t *testing.T) {
+	d := []float64{2, 0, 4}
+	fillMean(d)
+	if d[1] != 3 {
+		t.Fatalf("fillMean gap = %v, want mean 3", d[1])
+	}
+	all := []float64{0, 0}
+	fillMean(all)
+	if all[0] != 1 || all[1] != 1 {
+		t.Fatalf("fillMean all-zero = %v, want [1 1]", all)
+	}
+}
+
+func TestNormalizeMean1(t *testing.T) {
+	if got := normalizeMean1([]float64{0, 0}); got != nil {
+		t.Fatalf("all-zero column = %v, want nil", got)
+	}
+	got := normalizeMean1([]float64{1, 3})
+	if got == nil || math.Abs(got[0]-0.5) > 1e-12 || math.Abs(got[1]-1.5) > 1e-12 {
+		t.Fatalf("normalizeMean1 = %v, want [0.5 1.5]", got)
+	}
+}

@@ -1,0 +1,629 @@
+package sampling
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/noreba-sim/noreba/internal/compiler"
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/pipeline"
+	"github.com/noreba-sim/noreba/internal/program"
+)
+
+// maxWindowCycles bounds one representative's detailed window, mirroring
+// RunContext's livelock guard at a scale proportionate to the short streams
+// the sampler simulates.
+const maxWindowCycles = 1 << 30
+
+// Rep is one representative interval chosen by clustering: the detailed
+// simulation unit. Its checkpoint holds the architectural state at the
+// start of its warmup span; the measurement window opens once WarmCommits
+// instructions have committed (the warmup is simulated in detail but
+// excluded from measurement) and closes MeasureCommits later, with the
+// stream extended CooldownInsts past the interval so the window closes in
+// steady state rather than against a draining pipeline.
+type Rep struct {
+	// Interval is the represented interval's index in the profile.
+	Interval int
+	// Weight is the fraction of the program's committed instructions this
+	// representative stands for.
+	Weight float64
+	// ClusterCommitted is the committed-instruction mass of the cluster.
+	ClusterCommitted int64
+	// WarmStart is the dynamic-instruction index (stream position) where
+	// detailed simulation begins.
+	WarmStart int64
+	// FuncWarmInsts is the functional-warming span immediately before
+	// WarmStart: replayed through the caches and predictor at emulator
+	// speed, never through the pipeline. The checkpoint is captured at
+	// WarmStart − FuncWarmInsts.
+	FuncWarmInsts int64
+	// WarmCommits is the committed-instruction length of the warmup span.
+	WarmCommits int64
+	// MeasureCommits is the committed-instruction length of the measured
+	// interval.
+	MeasureCommits int64
+	// SrcBound is the stream length (in delivered instructions, setup
+	// included) the detailed window may consume: warmup + interval +
+	// cooldown.
+	SrcBound int64
+	// PilotRep is this representative interval's normalised CPI under each
+	// pilot run, and PilotCluster the committed-weighted mean of the same
+	// over the whole cluster. The pilots observe every interval's timing, so
+	// Estimate can correct the first-order bias of standing a whole cluster
+	// on one member: it fits the target configuration's measured
+	// representative CPIs as a blend of the pilot dimensions and rescales
+	// each representative's cycle contribution by the blend's
+	// cluster-mean-to-representative ratio.
+	PilotRep     []float64
+	PilotCluster []float64
+	// Snap is the architectural state at WarmStart − FuncWarmInsts.
+	Snap emulator.Snapshot
+}
+
+// Plan is a compiled sampling schedule for one program image: the profile,
+// the chosen representatives with their checkpoints, and everything needed
+// to estimate any pipeline configuration's full-run statistics from
+// detailed simulation of the representatives alone. A Plan is built once
+// per (image, Params) and reused across configurations — the profiling and
+// checkpoint cost amortises over every policy and core evaluated.
+type Plan struct {
+	// Name identifies the planned program.
+	Name string
+	// Params is the normalized sampling configuration the plan was built
+	// under.
+	Params Params
+	// Profile is the interval profile the clustering ran on.
+	Profile *Profile
+	// Reps are the representatives, ordered by interval index.
+	Reps []Rep
+	// Full marks a degenerate plan: the program is so short that detailed
+	// windows would cost at least as much as simulating everything, so
+	// Estimate runs a plain full simulation instead (still tagged with
+	// sampling provenance so the caller can see no reduction happened).
+	Full bool
+
+	img      *program.Image
+	maxInsts int64
+	// warmRate is the pilot run's cycles per delivered instruction for each
+	// interval, and warmCum its prefix sum at interval starts (warmCum[j] is
+	// the pilot cycle count at Intervals[j].Start; warmCum[n] at stream end).
+	// Functional warming replays this schedule so the pseudo-clock's
+	// in-flight horizon at window open matches a continuous run's.
+	warmRate []float64
+	warmCum  []float64
+}
+
+// warmCycleAt returns the pilot run's cumulative cycle count at stream
+// position pos, interpolated within intervals at the interval's rate.
+func (pl *Plan) warmCycleAt(pos int64) float64 {
+	ivs := pl.Profile.Intervals
+	lo, hi := 0, len(ivs)
+	for lo < hi { // first interval with Start+Insts > pos
+		mid := (lo + hi) / 2
+		if ivs[mid].Start+ivs[mid].Insts <= pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(ivs) {
+		return pl.warmCum[len(ivs)]
+	}
+	return pl.warmCum[lo] + pl.warmRate[lo]*float64(pos-ivs[lo].Start)
+}
+
+// warmClock builds the functional-warming pseudo-clock for a warm span of n
+// instructions starting at stream position snapAt: the pilot's cycle
+// schedule shifted to end at cycle 0. Returns nil (the caller's nominal
+// default) when the plan has no pilot timing.
+func (pl *Plan) warmClock(snapAt, n int64) func(int64) int64 {
+	if len(pl.warmRate) == 0 {
+		return nil
+	}
+	end := pl.warmCycleAt(snapAt + n)
+	return func(i int64) int64 {
+		c := int64(pl.warmCycleAt(snapAt+i+1) - end)
+		if c > 0 {
+			c = 0
+		}
+		return c
+	}
+}
+
+// BuildPlan is BuildPlanContext with a background context.
+func BuildPlan(img *program.Image, meta *compiler.Meta, maxInsts int64, p Params) (*Plan, error) {
+	return BuildPlanContext(context.Background(), img, meta, maxInsts, p)
+}
+
+// BuildPlanContext profiles the image's dynamic instruction stream (bounded
+// by maxInsts), clusters its intervals, selects representatives, and
+// captures a checkpoint at each representative's warmup start via a second
+// fast-forward execution pass. The profiling pass must end cleanly: a
+// stream that terminates on a memory exception cannot be sampled (parity
+// with the full-run path, which fails on the same error).
+//
+// Clustering runs on each interval's basic-block vector extended with
+// timing columns: its CPI under one detailed pilot run of a fixed in-order
+// reference configuration, plus functional memory-latency and branch-
+// misprediction fingerprints (see fingerprintDims). Basic-block vectors
+// alone identify code phases, but this simulator's kernels exhibit timing
+// phases the code mix cannot see — cache and prefetcher feedback regimes
+// where byte-identical instruction streams run at several times different
+// IPC depending on the microarchitectural context they inherit, and
+// branch-resolution regimes that only gate some commit policies. The timing
+// columns separate those phases, and double as the control-variate basis
+// that corrects representative bias at estimate time; their cost is paid
+// once per (image, Params) and amortises across every configuration
+// estimated from the plan.
+func BuildPlanContext(ctx context.Context, img *program.Image, meta *compiler.Meta, maxInsts int64, p Params) (*Plan, error) {
+	p = p.Normalize()
+	if !p.Enabled {
+		return nil, fmt.Errorf("sampling: BuildPlan with disabled params")
+	}
+	prof := BuildProfile(emulator.NewSource(emulator.New(img), maxInsts), p.IntervalLen)
+	if prof.Err != nil {
+		return nil, fmt.Errorf("sampling: %s: profiling pass failed: %w", prof.Name, prof.Err)
+	}
+	pl := &Plan{Name: prof.Name, Params: p, Profile: prof, img: img, maxInsts: maxInsts}
+	if len(prof.Intervals) == 0 {
+		pl.Full = true
+		return pl, nil
+	}
+
+	// Degenerate-size precheck before paying for pilot runs: with k
+	// representatives of (warmup + interval + cooldown) instructions each,
+	// would sampling even halve the detailed-simulation cost?
+	k := p.MaxK
+	if n := len(prof.Intervals); k > n {
+		k = n
+	}
+	perRep := p.IntervalLen*int64(1+p.WarmupIntervals) + p.CooldownInsts
+	if 2*int64(k)*perRep >= prof.TotalInsts {
+		pl.Full = true
+		return pl, nil
+	}
+
+	vecs := prof.vectors()
+	// dims are the per-interval timing columns — the detailed pilot CPI
+	// first (the primary control variate), then the functional memory and
+	// branch fingerprints. Each is appended to the clustering vectors and
+	// kept as the control-variate basis used to correct representative bias
+	// at estimate time.
+	cpi, rate, err := pilotCPI(ctx, img, meta, maxInsts, prof, pilotPolicy)
+	if err != nil {
+		return nil, err
+	}
+	pl.warmRate = rate
+	pl.warmCum = make([]float64, len(prof.Intervals)+1)
+	for i := range prof.Intervals {
+		pl.warmCum[i+1] = pl.warmCum[i] + rate[i]*float64(prof.Intervals[i].Insts)
+	}
+	dims := [][]float64{cpi}
+	// Setup-annotation density: policies that fetch setup instructions
+	// (FreeSetup off) pay per-interval costs proportional to it, and no
+	// FreeSetup pilot or fingerprint can see them.
+	setup := make([]float64, len(prof.Intervals))
+	for i := range prof.Intervals {
+		if iv := &prof.Intervals[i]; iv.Insts > 0 {
+			setup[i] = float64(iv.Setup) / float64(iv.Insts)
+		}
+	}
+	if nd := normalizeMean1(setup); nd != nil {
+		dims = append(dims, nd)
+	}
+	dims = append(dims, fingerprintDims(img, meta, maxInsts, prof)...)
+	pilot := make([][]float64, len(vecs))
+	for nd, d := range dims {
+		for i := range vecs {
+			vecs[i] = append(vecs[i], d[i])
+			if nd < 2 {
+				pilot[i] = append(pilot[i], d[i])
+			}
+		}
+	}
+	assign := KMeans(vecs, p.MaxK, p.KMeansIters, p.Seed)
+	pl.Reps = selectReps(prof, vecs, assign, pilot, p)
+
+	var detail int64
+	for i := range pl.Reps {
+		detail += pl.Reps[i].SrcBound
+	}
+	if 2*detail >= prof.TotalInsts {
+		// Sampling would not even halve the detailed-simulation cost:
+		// short program, or warmup/cooldown dominating tiny intervals.
+		// Running full costs little and keeps the result exact.
+		pl.Full = true
+		pl.Reps = nil
+		return pl, nil
+	}
+
+	if err := pl.capture(); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}
+
+// pilotPolicy is the reference commit policy for the single detailed pilot
+// run. In-order commit is the cheapest policy to simulate and exposes the
+// phases gated by head-of-line blocking and serial dependence chains; the
+// phase families it flattens — memory-context and branch-resolution regimes
+// — are covered by the functional fingerprint columns instead of a second
+// detailed pilot.
+const pilotPolicy = pipeline.InOrder
+
+// pilotCPI runs one detailed simulation of a fixed reference configuration
+// (the Skylake core under the given commit policy) and returns each
+// interval's cycles-per-committed-instruction, normalised to the run's mean
+// — one timing dimension appended to the clustering vectors — plus the raw
+// cycles per delivered instruction (setup included), which drives the
+// functional-warming pseudo-clock. Timing phases (cache, prefetcher,
+// dependence-chain regimes) that basic-block vectors cannot see separate
+// here; the cost is paid once per (image, Params) and amortises across
+// every configuration estimated from the plan.
+func pilotCPI(ctx context.Context, img *program.Image, meta *compiler.Meta, maxInsts int64, prof *Profile, pol pipeline.PolicyKind) ([]float64, []float64, error) {
+	cfg := pipeline.SkylakeConfig()
+	cfg.Policy = pol
+	cfg.FreeSetup = true
+	src := emulator.NewSource(emulator.New(img), maxInsts)
+	core := pipeline.NewCoreFromSource(cfg, src, meta)
+
+	crossings := make([]int64, len(prof.Intervals))
+	var cum int64
+	for i := range prof.Intervals {
+		cum += prof.Intervals[i].Committed()
+		crossings[i] = cum
+	}
+	cpi := make([]float64, len(prof.Intervals))
+	rate := make([]float64, len(prof.Intervals))
+	done := ctx.Done()
+	var cycle, lastCycle, lastCom int64
+	next := 0
+	for !core.Done() && next < len(crossings) {
+		if done != nil && cycle%4096 == 0 {
+			select {
+			case <-done:
+				return nil, nil, fmt.Errorf("sampling: %s: pilot cancelled: %w", prof.Name, context.Cause(ctx))
+			default:
+			}
+		}
+		if cycle > maxWindowCycles {
+			return nil, nil, fmt.Errorf("sampling: %s: pilot livelock at cycle %d", prof.Name, cycle)
+		}
+		core.Step()
+		cycle++
+		if serr := core.SanityErr(); serr != nil {
+			return nil, nil, fmt.Errorf("sampling: %s: pilot: %w", prof.Name, serr)
+		}
+		for next < len(crossings) && core.CommittedCount() >= crossings[next] {
+			com := core.CommittedCount() - lastCom
+			if com > 0 {
+				cpi[next] = float64(cycle-lastCycle) / float64(com)
+			}
+			if iv := &prof.Intervals[next]; iv.Insts > 0 {
+				rate[next] = float64(cycle-lastCycle) / float64(iv.Insts)
+			}
+			lastCycle, lastCom = cycle, core.CommittedCount()
+			next++
+		}
+	}
+	// Normalise the CPI column to mean 1 so the timing dimension is
+	// commensurate with the L1-normalised block dimensions; empty slots in
+	// either column get the mean.
+	fillMean(rate)
+	var sum float64
+	var n int
+	for _, c := range cpi {
+		if c > 0 {
+			sum += c
+			n++
+		}
+	}
+	if n == 0 {
+		return cpi, rate, nil
+	}
+	mean := sum / float64(n)
+	for i, c := range cpi {
+		if c > 0 {
+			cpi[i] = c / mean
+		} else {
+			cpi[i] = 1
+		}
+	}
+	return cpi, rate, nil
+}
+
+// fillMean replaces non-positive entries with the mean of the positive ones
+// (or 1 if there are none): intervals a multi-interval commit crossing
+// skipped still need a defined warm-clock rate.
+func fillMean(d []float64) {
+	var sum float64
+	var n int
+	for _, x := range d {
+		if x > 0 {
+			sum += x
+			n++
+		}
+	}
+	mean := 1.0
+	if n > 0 {
+		mean = sum / float64(n)
+	}
+	for i, x := range d {
+		if x <= 0 {
+			d[i] = mean
+		}
+	}
+}
+
+// selectReps turns a cluster assignment into representatives: per cluster,
+// the member interval closest to the cluster centroid (lowest index on
+// ties), weighted by the cluster's committed-instruction mass and carrying
+// the pilot control-variate basis for its cycle correction.
+func selectReps(prof *Profile, vecs [][]float64, assign []int, pilot [][]float64, p Params) []Rep {
+	k := 0
+	for _, c := range assign {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	dim := 0
+	if len(vecs) > 0 {
+		dim = len(vecs[0])
+	}
+	// Final centroids of the assignment (means), then argmin member.
+	sums := make([][]float64, k)
+	counts := make([]int, k)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	for i, c := range assign {
+		counts[c]++
+		for j, x := range vecs[i] {
+			sums[c][j] += x
+		}
+	}
+	repIdx := make([]int, k)
+	bestD := make([]float64, k)
+	for c := range repIdx {
+		repIdx[c] = -1
+	}
+	for i, c := range assign {
+		if counts[c] == 0 {
+			continue
+		}
+		// Distance to the centroid scaled by counts[c] to avoid dividing
+		// the sums: argmin over members is unchanged.
+		var d float64
+		for j, x := range vecs[i] {
+			diff := x*float64(counts[c]) - sums[c][j]
+			d += diff * diff
+		}
+		if repIdx[c] < 0 || d < bestD[c] {
+			repIdx[c], bestD[c] = i, d
+		}
+	}
+
+	total := prof.TotalCommitted()
+	if total <= 0 {
+		total = 1
+	}
+	var reps []Rep
+	for c := 0; c < k; c++ {
+		ri := repIdx[c]
+		if ri < 0 {
+			continue // empty cluster (k > intervals)
+		}
+		nd := len(pilot[ri])
+		var clusterCommitted int64
+		clusterPilot := make([]float64, nd)
+		for i, ci := range assign {
+			if ci == c {
+				com := prof.Intervals[i].Committed()
+				clusterCommitted += com
+				for j := 0; j < nd; j++ {
+					clusterPilot[j] += pilot[i][j] * float64(com)
+				}
+			}
+		}
+		if clusterCommitted > 0 {
+			for j := range clusterPilot {
+				clusterPilot[j] /= float64(clusterCommitted)
+			}
+		}
+		warmIdx := ri - p.WarmupIntervals
+		if warmIdx < 0 {
+			warmIdx = 0
+		}
+		var warmCommits int64
+		for i := warmIdx; i < ri; i++ {
+			warmCommits += prof.Intervals[i].Committed()
+		}
+		iv := &prof.Intervals[ri]
+		end := iv.Start + iv.Insts
+		warmStart := prof.Intervals[warmIdx].Start
+		funcWarm := p.FunctionalWarmInsts
+		if funcWarm > warmStart {
+			funcWarm = warmStart
+		}
+		reps = append(reps, Rep{
+			Interval:         ri,
+			Weight:           float64(clusterCommitted) / float64(total),
+			ClusterCommitted: clusterCommitted,
+			WarmStart:        warmStart,
+			FuncWarmInsts:    funcWarm,
+			WarmCommits:      warmCommits,
+			MeasureCommits:   iv.Committed(),
+			SrcBound:         end - warmStart + p.CooldownInsts,
+			PilotRep:         cloneVec(pilot[ri]),
+			PilotCluster:     clusterPilot,
+		})
+	}
+	// Order by interval index so the capture pass walks the stream forward.
+	for i := 1; i < len(reps); i++ {
+		for j := i; j > 0 && reps[j].Interval < reps[j-1].Interval; j-- {
+			reps[j], reps[j-1] = reps[j-1], reps[j]
+		}
+	}
+	return reps
+}
+
+// capture executes the program a second time, functionally, pausing at each
+// representative's WarmStart to snapshot architectural state. Only the
+// needed checkpoints are held — never one per interval boundary — so plan
+// memory is O(k · architectural state).
+func (pl *Plan) capture() error {
+	m := emulator.New(pl.img)
+	var pos int64
+	for i := range pl.Reps {
+		snapAt := pl.Reps[i].WarmStart - pl.Reps[i].FuncWarmInsts
+		for pos < snapAt {
+			if _, err := m.Step(); err != nil {
+				return fmt.Errorf("sampling: %s: fast-forward to %d: %w",
+					pl.Name, snapAt, err)
+			}
+			pos++
+		}
+		pl.Reps[i].Snap = m.Snapshot()
+	}
+	return nil
+}
+
+// DetailInsts returns the number of dynamic instructions the plan simulates
+// in detail per configuration — the sampler's cost, versus the profile's
+// TotalInsts for a full run.
+func (pl *Plan) DetailInsts() int64 {
+	if pl.Full {
+		return pl.Profile.TotalInsts
+	}
+	var n int64
+	for i := range pl.Reps {
+		n += pl.Reps[i].SrcBound
+	}
+	return n
+}
+
+// Estimate is EstimateContext with a background context.
+func (pl *Plan) Estimate(cfg pipeline.Config, meta *compiler.Meta) (*pipeline.Stats, error) {
+	return pl.EstimateContext(context.Background(), cfg, meta)
+}
+
+// EstimateContext simulates each representative's detailed window under cfg
+// and extrapolates full-run statistics: per-cluster counter rates scaled to
+// the cluster's committed-instruction mass and summed. The returned Stats
+// carries sampling provenance (Sampled, SampledIntervals,
+// SampledDetailInsts) and exact values for the fields the profile knows
+// outright (Committed, TraceInsts).
+func (pl *Plan) EstimateContext(ctx context.Context, cfg pipeline.Config, meta *compiler.Meta) (*pipeline.Stats, error) {
+	if pl.Full {
+		src := emulator.NewSource(emulator.New(pl.img), pl.maxInsts)
+		st, err := pipeline.NewCoreFromSource(cfg, src, meta).RunContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		st.Sampled = true
+		st.SampledIntervals = 0
+		st.SampledDetailInsts = st.TraceInsts
+		return st, nil
+	}
+
+	ms := make([]measured, 0, len(pl.Reps))
+	var detail int64
+	for i := range pl.Reps {
+		rep := &pl.Reps[i]
+		m := emulator.New(pl.img)
+		m.Restore(rep.Snap)
+		// src is lazy: it delivers from wherever the machine stands when the
+		// core first pulls, which is WarmStart — after functional warming has
+		// advanced the machine through its span. Seq is rebased before the
+		// first pull because sequence numbers double as window indices in the
+		// pipeline's dependence tracking.
+		src := emulator.NewSource(m, rep.SrcBound)
+		core := pipeline.NewCoreFromSource(cfg, src, meta)
+		if rep.FuncWarmInsts > 0 {
+			snapAt := rep.WarmStart - rep.FuncWarmInsts
+			core.WarmFunctional(emulator.NewSource(m, rep.FuncWarmInsts), rep.FuncWarmInsts,
+				pl.warmClock(snapAt, rep.FuncWarmInsts))
+		}
+		m.RebaseSeq()
+		warm, end, err := runWindow(ctx, core, rep.WarmCommits, rep.WarmCommits+rep.MeasureCommits)
+		if err != nil {
+			return nil, fmt.Errorf("sampling: %s interval %d under %v: %w",
+				pl.Name, rep.Interval, cfg.Policy, err)
+		}
+		if err := src.Err(); err != nil {
+			return nil, fmt.Errorf("sampling: %s interval %d: source: %w", pl.Name, rep.Interval, err)
+		}
+		ms = append(ms, measured{
+			delta:     deltaStats(end, warm),
+			committed: end.Committed - warm.Committed,
+			weight:    rep.ClusterCommitted,
+		})
+		detail += src.Counts().Insts
+	}
+
+	// With every representative measured under cfg, fit the pilot blend and
+	// apply each representative's cycle correction before extrapolating.
+	for i, s := range pilotScales(pl.Reps, ms) {
+		ms[i].cycleScale = s
+	}
+
+	est := extrapolate(ms)
+	est.Name = pl.Name
+	est.Policy = cfg.Policy.String()
+	// Fields the profile knows exactly — no reason to carry rounding error.
+	est.Committed = pl.Profile.TotalCommitted()
+	est.TraceInsts = pl.Profile.TotalInsts
+	est.Sampled = true
+	est.SampledIntervals = len(pl.Reps)
+	est.SampledDetailInsts = detail
+	return &est, nil
+}
+
+// runWindow steps the core until the measurement window has closed: warm
+// statistics are snapshotted at the first commit-count crossing of
+// warmTarget (the pre-step state when warmTarget is 0, so counters inflated
+// by functional warming still cancel), end statistics at the crossing of
+// endTarget — or at stream completion, whichever comes first. Mirrors
+// RunContext's cancellation cadence and livelock guard.
+func runWindow(ctx context.Context, core *pipeline.Core, warmTarget, endTarget int64) (warm, end pipeline.Stats, err error) {
+	done := ctx.Done()
+	warmTaken := warmTarget == 0
+	if warmTaken {
+		warm = core.StatsSnapshot()
+	}
+	var cycle int64
+	for !core.Done() {
+		if done != nil && cycle%4096 == 0 {
+			select {
+			case <-done:
+				return warm, end, fmt.Errorf("window cancelled at cycle %d: %w", cycle, context.Cause(ctx))
+			default:
+			}
+		}
+		if cycle > maxWindowCycles {
+			return warm, end, fmt.Errorf("window livelock: %d cycles at %d committed",
+				cycle, core.CommittedCount())
+		}
+		core.Step()
+		cycle++
+		if serr := core.SanityErr(); serr != nil {
+			return warm, end, serr
+		}
+		c := core.CommittedCount()
+		if !warmTaken && c >= warmTarget {
+			warm = core.StatsSnapshot()
+			warmTaken = true
+		}
+		if warmTaken && c >= endTarget {
+			return warm, core.StatsSnapshot(), nil
+		}
+	}
+	// Stream complete before the end target: the cooldown tail was shorter
+	// than the stream's remainder (last interval of the program). The final
+	// state is the window close.
+	if !warmTaken {
+		warm = core.StatsSnapshot()
+	}
+	return warm, core.StatsSnapshot(), nil
+}

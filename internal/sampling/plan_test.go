@@ -1,0 +1,295 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/compiler"
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/pipeline"
+	"github.com/noreba-sim/noreba/internal/workloads"
+)
+
+func compileWorkload(t *testing.T, name string, scaleDiv int) *compiler.Result {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := w.DefaultScale / scaleDiv
+	if scale < 2 {
+		scale = 2
+	}
+	res, err := compiler.Compile(w.Build(scale), compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParamsNormalize(t *testing.T) {
+	if got := (Params{Enabled: false, IntervalLen: 99}).Normalize(); got != (Params{}) {
+		t.Fatalf("disabled Params normalized to %+v, want zero value", got)
+	}
+	got := (Params{Enabled: true}).Normalize()
+	want := Params{
+		Enabled:             true,
+		IntervalLen:         DefaultIntervalLen,
+		MaxK:                DefaultMaxK,
+		WarmupIntervals:     DefaultWarmupIntervals,
+		CooldownInsts:       DefaultCooldownInsts,
+		FunctionalWarmInsts: DefaultFunctionalWarmInsts,
+		KMeansIters:         DefaultKMeansIters,
+		Seed:                DefaultSeed,
+	}
+	if got != want {
+		t.Fatalf("Default normalization = %+v, want %+v", got, want)
+	}
+	neg := (Params{Enabled: true, WarmupIntervals: -1, CooldownInsts: -1, FunctionalWarmInsts: -1}).Normalize()
+	if neg.WarmupIntervals != 0 || neg.CooldownInsts != 0 || neg.FunctionalWarmInsts != 0 {
+		t.Fatalf("negative means none, got %+v", neg)
+	}
+}
+
+func TestBuildProfileIntervals(t *testing.T) {
+	res := compileWorkload(t, "CRC32", 4)
+	prof := BuildProfile(emulator.NewSource(emulator.New(res.Image), 1<<20), 512)
+	if prof.Err != nil {
+		t.Fatal(prof.Err)
+	}
+	if len(prof.Intervals) < 2 {
+		t.Fatalf("expected multiple intervals, got %d", len(prof.Intervals))
+	}
+	var insts, setup int64
+	for i := range prof.Intervals {
+		iv := &prof.Intervals[i]
+		if iv.Index != i {
+			t.Fatalf("interval %d has Index %d", i, iv.Index)
+		}
+		if iv.Start != insts {
+			t.Fatalf("interval %d starts at %d, want %d", i, iv.Start, insts)
+		}
+		if i < len(prof.Intervals)-1 && iv.Insts != 512 {
+			t.Fatalf("interior interval %d has %d insts, want 512", i, iv.Insts)
+		}
+		var bbv int64
+		for _, n := range iv.BBV {
+			bbv += n
+		}
+		if bbv != iv.Insts {
+			t.Fatalf("interval %d BBV mass %d != Insts %d", i, bbv, iv.Insts)
+		}
+		if iv.Committed() != iv.Insts-iv.Setup {
+			t.Fatalf("interval %d Committed() inconsistent", i)
+		}
+		insts += iv.Insts
+		setup += iv.Setup
+	}
+	if insts != prof.TotalInsts || setup != prof.TotalSetup {
+		t.Fatalf("totals %d/%d, intervals sum to %d/%d", prof.TotalInsts, prof.TotalSetup, insts, setup)
+	}
+	if prof.TotalCommitted() != prof.TotalInsts-prof.TotalSetup {
+		t.Fatal("TotalCommitted inconsistent")
+	}
+}
+
+func TestBuildPlanShortProgramFallsBackToFull(t *testing.T) {
+	// sha's whole run is smaller than twice the detailed-window budget, so
+	// the plan must degenerate to a full simulation — and its estimate must
+	// then be exact, not approximate.
+	res := compileWorkload(t, "sha", 2)
+	pl, err := BuildPlan(res.Image, res.Meta, 1<<20, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Full {
+		t.Fatalf("sha plan not Full: %d reps over %d insts", len(pl.Reps), pl.Profile.TotalInsts)
+	}
+	cfg := pipeline.SkylakeConfig()
+	cfg.Policy = pipeline.Noreba
+	full, err := pipeline.NewCoreFromSource(cfg, emulator.NewSource(emulator.New(res.Image), 1<<20), res.Meta).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := pl.Estimate(cfg, res.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Cycles != full.Cycles || est.Committed != full.Committed {
+		t.Fatalf("Full-plan estimate (%d cycles, %d committed) != full run (%d, %d)",
+			est.Cycles, est.Committed, full.Cycles, full.Committed)
+	}
+	if !est.Sampled || est.SampledIntervals != 0 || est.SampledDetailInsts != full.TraceInsts {
+		t.Fatalf("Full-plan provenance wrong: Sampled=%v intervals=%d detail=%d",
+			est.Sampled, est.SampledIntervals, est.SampledDetailInsts)
+	}
+}
+
+func TestBuildPlanSingleIntervalProgram(t *testing.T) {
+	// Bounding the stream below one interval length leaves a single partial
+	// interval: the precheck must fall back to Full without error.
+	res := compileWorkload(t, "CRC32", 4)
+	pl, err := BuildPlan(res.Image, res.Meta, 300, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Full {
+		t.Fatal("single-interval program did not fall back to Full")
+	}
+	if len(pl.Profile.Intervals) != 1 {
+		t.Fatalf("expected 1 interval, got %d", len(pl.Profile.Intervals))
+	}
+	if pl.DetailInsts() != pl.Profile.TotalInsts {
+		t.Fatalf("Full plan DetailInsts %d != TotalInsts %d", pl.DetailInsts(), pl.Profile.TotalInsts)
+	}
+}
+
+func TestBuildPlanDeterministic(t *testing.T) {
+	res := compileWorkload(t, "dijkstra", 4)
+	a, err := BuildPlan(res.Image, res.Meta, 1<<20, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPlan(res.Image, res.Meta, 1<<20, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Full != b.Full || len(a.Reps) != len(b.Reps) {
+		t.Fatalf("plans differ in shape: %v/%d vs %v/%d", a.Full, len(a.Reps), b.Full, len(b.Reps))
+	}
+	for i := range a.Reps {
+		ra, rb := &a.Reps[i], &b.Reps[i]
+		if ra.Interval != rb.Interval || ra.Weight != rb.Weight || ra.WarmStart != rb.WarmStart ||
+			ra.WarmCommits != rb.WarmCommits || ra.MeasureCommits != rb.MeasureCommits {
+			t.Fatalf("rep %d differs: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+func TestPlanRepInvariants(t *testing.T) {
+	res := compileWorkload(t, "dijkstra", 4)
+	p := Default()
+	pl, err := BuildPlan(res.Image, res.Meta, 1<<20, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Full {
+		t.Skip("plan degenerated to Full at this scale")
+	}
+	var weight float64
+	var mass int64
+	prev := -1
+	for i := range pl.Reps {
+		rep := &pl.Reps[i]
+		if rep.Interval <= prev {
+			t.Fatalf("reps not ordered by interval: %d after %d", rep.Interval, prev)
+		}
+		prev = rep.Interval
+		iv := &pl.Profile.Intervals[rep.Interval]
+		if rep.MeasureCommits != iv.Committed() {
+			t.Fatalf("rep %d MeasureCommits %d != interval committed %d", i, rep.MeasureCommits, iv.Committed())
+		}
+		if rep.WarmStart > iv.Start || iv.Start-rep.WarmStart > p.IntervalLen*int64(p.WarmupIntervals) {
+			t.Fatalf("rep %d warm span [%d,%d) inconsistent", i, rep.WarmStart, iv.Start)
+		}
+		if rep.SrcBound != iv.Start+iv.Insts-rep.WarmStart+p.CooldownInsts {
+			t.Fatalf("rep %d SrcBound %d inconsistent", i, rep.SrcBound)
+		}
+		if rep.FuncWarmInsts > rep.WarmStart {
+			t.Fatalf("rep %d functional warm span %d exceeds stream prefix %d", i, rep.FuncWarmInsts, rep.WarmStart)
+		}
+		weight += rep.Weight
+		mass += rep.ClusterCommitted
+	}
+	if math.Abs(weight-1) > 1e-9 {
+		t.Fatalf("rep weights sum to %v, want 1", weight)
+	}
+	if mass != pl.Profile.TotalCommitted() {
+		t.Fatalf("cluster masses sum to %d, want %d", mass, pl.Profile.TotalCommitted())
+	}
+	if pl.DetailInsts() >= pl.Profile.TotalInsts/2 {
+		t.Fatalf("sampled plan does not halve cost: %d detail vs %d total", pl.DetailInsts(), pl.Profile.TotalInsts)
+	}
+}
+
+func TestWarmClockSchedule(t *testing.T) {
+	res := compileWorkload(t, "dijkstra", 4)
+	pl, err := BuildPlan(res.Image, res.Meta, 1<<20, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Full {
+		t.Skip("plan degenerated to Full at this scale")
+	}
+	rep := &pl.Reps[len(pl.Reps)-1]
+	snapAt := rep.WarmStart - rep.FuncWarmInsts
+	clock := pl.warmClock(snapAt, rep.FuncWarmInsts)
+	if clock == nil {
+		t.Fatal("sampled plan has no warm clock")
+	}
+	prev := int64(math.MinInt64)
+	step := rep.FuncWarmInsts / 512
+	if step < 1 {
+		step = 1
+	}
+	for i := int64(0); i < rep.FuncWarmInsts; i += step {
+		c := clock(i)
+		if c < prev {
+			t.Fatalf("warm clock not monotonic: clock(%d)=%d after %d", i, c, prev)
+		}
+		if c > 0 {
+			t.Fatalf("warm clock positive before window open: clock(%d)=%d", i, c)
+		}
+		prev = c
+	}
+	if last := clock(rep.FuncWarmInsts - 1); last != 0 {
+		t.Fatalf("warm clock ends at %d, want 0 (window open)", last)
+	}
+	// The span's total pseudo-cycles follow the pilot schedule: strictly
+	// positive and bounded by a sane per-instruction rate.
+	span := -clock(0)
+	if span <= 0 || span > 64*rep.FuncWarmInsts {
+		t.Fatalf("warm span %d pseudo-cycles over %d insts is implausible", span, rep.FuncWarmInsts)
+	}
+}
+
+func TestEstimateAccuracySmoke(t *testing.T) {
+	// One cheap regression canary inside the package: CRC32's phases are
+	// regular enough that the estimate must land close to the full run. The
+	// cross-workload, cross-policy error table lives in the differential
+	// accuracy suite under internal/experiments.
+	res := compileWorkload(t, "CRC32", 2)
+	pl, err := BuildPlan(res.Image, res.Meta, 1<<20, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Full {
+		t.Fatal("CRC32 at half scale should be sampleable")
+	}
+	for _, pol := range []pipeline.PolicyKind{pipeline.InOrder, pipeline.Noreba} {
+		cfg := pipeline.SkylakeConfig()
+		cfg.Policy = pol
+		if pol != pipeline.Noreba && pol != pipeline.IdealReconv {
+			cfg.FreeSetup = true
+		}
+		full, err := pipeline.NewCoreFromSource(cfg, emulator.NewSource(emulator.New(res.Image), 1<<20), res.Meta).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := pl.Estimate(cfg, res.Meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relErr := math.Abs(est.IPC()-full.IPC()) / full.IPC()
+		if relErr > 0.05 {
+			t.Fatalf("%v: sampled IPC %.4f vs full %.4f, error %.1f%% > 5%%",
+				pol, est.IPC(), full.IPC(), 100*relErr)
+		}
+		if est.Committed != full.Committed {
+			t.Fatalf("%v: estimate Committed %d != profile-exact %d", pol, est.Committed, full.Committed)
+		}
+		if !est.Sampled || est.SampledIntervals != len(pl.Reps) || est.SampledDetailInsts >= full.TraceInsts/2 {
+			t.Fatalf("%v: sampling provenance wrong: %v/%d/%d", pol, est.Sampled, est.SampledIntervals, est.SampledDetailInsts)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/noreba-sim/noreba/internal/pipeline"
+	"github.com/noreba-sim/noreba/internal/sampling"
 	"github.com/noreba-sim/noreba/internal/trace"
 	"github.com/noreba-sim/noreba/internal/workloads"
 )
@@ -34,6 +35,11 @@ type SubmitRequest struct {
 	TimeoutSec float64 `json:"timeoutSec,omitempty"`
 	// Events enables the live JSONL stream on GET /jobs/{id}/events.
 	Events bool `json:"events,omitempty"`
+	// Sample runs the job as a SimPoint-style sampled estimate with the
+	// tuned default parameters instead of a full detailed simulation. The
+	// response hash differs from the full run's: sampled and full results
+	// never share a cache or store entry.
+	Sample bool `json:"sample,omitempty"`
 }
 
 // SubmitResponse answers POST /jobs.
@@ -68,6 +74,8 @@ type SchedulerMetrics struct {
 type RunnerMetrics struct {
 	SimulateCalls  int64   `json:"simulateCalls"`
 	SimulationsRun int64   `json:"simulationsRun"`
+	SampledRuns    int64   `json:"sampledRuns"`
+	PlansBuilt     int64   `json:"plansBuilt"`
 	StoreHits      int64   `json:"storeHits"`
 	StoreMisses    int64   `json:"storeMisses"`
 	StorePutErrors int64   `json:"storePutErrors"`
@@ -173,13 +181,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.sched.Submit(JobSpec{
+	spec := JobSpec{
 		Workload: req.Workload,
 		Config:   cfg,
 		Priority: req.Priority,
 		Timeout:  time.Duration(req.TimeoutSec * float64(time.Second)),
 		Events:   req.Events,
-	})
+	}
+	if req.Sample {
+		spec.Sampling = sampling.Default()
+	}
+	job, err := s.sched.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -323,6 +335,8 @@ func (s *Server) Metrics() MetricsResponse {
 	rm := RunnerMetrics{
 		SimulateCalls:  run.SimulateCalls(),
 		SimulationsRun: run.SimulationsRun(),
+		SampledRuns:    run.SampledRuns(),
+		PlansBuilt:     run.PlansBuilt(),
 		StoreHits:      run.StoreHits(),
 		StoreMisses:    run.StoreMisses(),
 		StorePutErrors: run.StorePutErrors(),

@@ -329,3 +329,70 @@ func TestBuildConfigDefaults(t *testing.T) {
 		t.Error("bogus policy accepted")
 	}
 }
+
+// TestHTTPSampledJob covers the sampled-simulation surface of the API: the
+// same workload/config submitted with and without "sample":true must hash to
+// different result-store keys (a sampled estimate must never be served where
+// a full simulation was asked for, or vice versa), both must complete, the
+// sampled job must carry provenance end to end (JobStatus.Sampled, then
+// Stats.Sampled in the result), and the runner/registry counters must record
+// the sampled run and its plan build.
+func TestHTTPSampledJob(t *testing.T) {
+	ts, _ := newTestServer(t, 2, 16)
+
+	full, resp := postJob(t, ts, `{"workload":"dijkstra","policy":"noreba"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("full submit status %d", resp.StatusCode)
+	}
+	samp, resp := postJob(t, ts, `{"workload":"dijkstra","policy":"noreba","sample":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sampled submit status %d", resp.StatusCode)
+	}
+	if full.Hash == samp.Hash {
+		t.Fatalf("full and sampled jobs share result hash %s", full.Hash)
+	}
+
+	stFull := waitDone(t, ts, full.ID)
+	stSamp := waitDone(t, ts, samp.ID)
+	if stFull.State != StateDone || stSamp.State != StateDone {
+		t.Fatalf("jobs ended %s / %s (%s %s)", stFull.State, stSamp.State, stFull.Error, stSamp.Error)
+	}
+	if stFull.Sampled {
+		t.Error("full job reported sampled provenance")
+	}
+	if !stSamp.Sampled {
+		t.Error("sampled job missing sampled provenance in status")
+	}
+
+	var fullStats, sampStats pipeline.Stats
+	getJSON(t, ts.URL+"/jobs/"+full.ID+"/result", &fullStats)
+	getJSON(t, ts.URL+"/jobs/"+samp.ID+"/result", &sampStats)
+	if fullStats.Sampled {
+		t.Error("full result carries sampled provenance")
+	}
+	if !sampStats.Sampled {
+		t.Error("sampled result missing sampled provenance")
+	}
+	// Estimates must still describe the same program: same retired count.
+	if fullStats.Committed != sampStats.Committed {
+		t.Errorf("committed diverged: full %d sampled %d", fullStats.Committed, sampStats.Committed)
+	}
+
+	var m MetricsResponse
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Runner.SampledRuns < 1 {
+		t.Errorf("runner sampledRuns = %d, want >= 1", m.Runner.SampledRuns)
+	}
+	if m.Runner.PlansBuilt < 1 {
+		t.Errorf("runner plansBuilt = %d, want >= 1", m.Runner.PlansBuilt)
+	}
+	found := false
+	for _, c := range m.Registry.Counters {
+		if c.Name == "service/jobs-sampled" && c.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("registry missing service/jobs-sampled=1: %+v", m.Registry.Counters)
+	}
+}

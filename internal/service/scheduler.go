@@ -12,6 +12,7 @@ import (
 
 	"github.com/noreba-sim/noreba/internal/experiments"
 	"github.com/noreba-sim/noreba/internal/pipeline"
+	"github.com/noreba-sim/noreba/internal/sampling"
 	"github.com/noreba-sim/noreba/internal/trace"
 	"github.com/noreba-sim/noreba/internal/workloads"
 )
@@ -60,6 +61,14 @@ type JobSpec struct {
 	// per-event emit in the pipeline, so it is opt-in per job; results are
 	// unaffected (the trace layer is timing-invariant).
 	Events bool
+	// Sampling, when enabled, runs the job as a SimPoint-style sampled
+	// estimate instead of a full detailed simulation (see internal/sampling).
+	// The job's config hash — and therefore its cache and store identity —
+	// includes the normalized parameters, so a sampled job never serves or
+	// is served by a full-run result. The zero value means a full run,
+	// regardless of the runner's own Sampling default: the job spec is
+	// authoritative.
+	Sampling sampling.Params
 }
 
 // Job is one scheduled simulation. Fields are guarded by the scheduler's
@@ -101,6 +110,7 @@ type JobStatus struct {
 	Policy    string     `json:"policy"`
 	Core      string     `json:"core"`
 	Priority  int        `json:"priority"`
+	Sampled   bool       `json:"sampled,omitempty"`
 	State     JobState   `json:"state"`
 	Error     string     `json:"error,omitempty"`
 	Submitted time.Time  `json:"submitted"`
@@ -212,7 +222,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	s.nextSeq++
 	j := &Job{
 		id:        fmt.Sprintf("job-%06d", s.nextSeq),
-		hash:      s.runner.ConfigHash(spec.Workload, spec.Config),
+		hash:      s.runner.ConfigHashSampled(spec.Workload, spec.Config, spec.Sampling),
 		spec:      spec,
 		seq:       s.nextSeq,
 		state:     StateQueued,
@@ -241,6 +251,9 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	s.mu.Unlock()
 
 	s.reg.Counter("service/jobs-submitted").Inc()
+	if spec.Sampling.Enabled {
+		s.reg.Counter("service/jobs-sampled").Inc()
+	}
 	return j, nil
 }
 
@@ -320,6 +333,7 @@ func (s *Scheduler) statusLocked(j *Job) JobStatus {
 		Policy:    j.spec.Config.Policy.String(),
 		Core:      j.spec.Config.Name,
 		Priority:  j.spec.Priority,
+		Sampled:   j.spec.Sampling.Enabled,
 		State:     j.state,
 		Submitted: j.submitted,
 	}
@@ -399,7 +413,7 @@ func (s *Scheduler) worker() {
 		} else {
 			cfg.TraceSink = nil
 		}
-		st, err := s.runner.SimulateContext(j.ctx, j.spec.Workload, cfg)
+		st, err := s.runner.SimulateSampledContext(j.ctx, j.spec.Workload, cfg, j.spec.Sampling)
 
 		s.mu.Lock()
 		s.inFlight--

@@ -28,6 +28,7 @@ import (
 	"github.com/noreba-sim/noreba/internal/pipeline"
 	"github.com/noreba-sim/noreba/internal/power"
 	"github.com/noreba-sim/noreba/internal/program"
+	"github.com/noreba-sim/noreba/internal/sampling"
 	"github.com/noreba-sim/noreba/internal/sanity"
 	"github.com/noreba-sim/noreba/internal/trace"
 	"github.com/noreba-sim/noreba/internal/workloads"
@@ -170,6 +171,32 @@ func SimulateSource(cfg Config, src TraceSource, meta *compiler.Meta) (*Stats, e
 // deadline) can still report what it saw.
 func SimulateSourceContext(ctx context.Context, cfg Config, src TraceSource, meta *compiler.Meta) (*Stats, error) {
 	return pipeline.NewCoreFromSource(cfg, src, meta).RunContext(ctx)
+}
+
+// Sampled simulation (SimPoint-style).
+type (
+	// SamplingParams configures sampled simulation: interval length, cluster
+	// bound, warmup, cooldown and clustering determinism. The zero value
+	// means disabled; DefaultSampling returns the tuned defaults.
+	SamplingParams = sampling.Params
+	// SamplingPlan is a compiled sampling schedule for one program:
+	// representative intervals with checkpoints, reusable across every core
+	// configuration estimated from it.
+	SamplingPlan = sampling.Plan
+)
+
+// DefaultSampling returns the enabled sampling configuration with the tuned
+// defaults (see internal/sampling).
+func DefaultSampling() SamplingParams { return sampling.Default() }
+
+// BuildSamplingPlan profiles a compiled program's dynamic stream (bounded by
+// maxInsts), clusters its intervals SimPoint-style and captures
+// representative checkpoints. The plan's Estimate then approximates any
+// configuration's full-run Stats from detailed simulation of the
+// representatives alone — the differential accuracy suite in
+// internal/experiments bounds the IPC error empirically.
+func BuildSamplingPlan(res *CompileResult, maxInsts int64, p SamplingParams) (*SamplingPlan, error) {
+	return sampling.BuildPlan(res.Image, res.Meta, maxInsts, p)
 }
 
 // Observability and invariant checking.

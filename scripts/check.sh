@@ -32,9 +32,10 @@ go build -o /dev/null ./cmd/noreba-serve
 # dedup + byte-identical results + warm-store restart, race detector on.
 go test -race -run 'TestServiceLoadSmoke' ./internal/service
 
-# Coverage gate: the cycle model, the compiler pass and the service layer are
-# where a silent regression costs the most, so they carry a hard floor.
-for pkg in ./internal/pipeline ./internal/compiler ./internal/service; do
+# Coverage gate: the cycle model, the compiler pass, the service layer and
+# the sampling planner are where a silent regression costs the most, so they
+# carry a hard floor.
+for pkg in ./internal/pipeline ./internal/compiler ./internal/service ./internal/sampling; do
 	pct=$(go test -cover "$pkg" | awk '/coverage:/ { sub("%", "", $(NF-2)); print $(NF-2) }')
 	if [ -z "$pct" ]; then
 		echo "check: no coverage reported for $pkg" >&2
@@ -53,6 +54,6 @@ done
 go test ./internal/isa -run '^$' -fuzz 'FuzzEncodeDecodeRoundTrip$' -fuzztime 10s
 go test ./internal/compiler -run '^$' -fuzz 'FuzzCompilerPass$' -fuzztime 10s
 
-go test -run '^$' -bench 'BenchmarkFigure6$|BenchmarkEngineSuite$' -benchtime=1x -benchmem .
+go test -run '^$' -bench 'BenchmarkFigure6$|BenchmarkEngineSuite$|BenchmarkSampledSuite$' -benchtime=1x -benchmem .
 
 echo "check: OK"
