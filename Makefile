@@ -1,4 +1,4 @@
-.PHONY: check test bench cover fuzz serve-smoke
+.PHONY: check test bench cover fuzz serve-smoke profile
 
 # Full CI gate: gofmt, vet, build, race-enabled tests, coverage floors,
 # fuzz smokes, engine benchmarks.
@@ -10,6 +10,12 @@ test:
 
 bench:
 	go test -run '^$$' -bench . -benchtime=1x -benchmem .
+
+# Profile the quick-scale figure suite: writes cpu.pprof and mem.pprof for
+# `go tool pprof`, so hot-loop work starts from a profile instead of a guess.
+profile:
+	go run ./cmd/noreba-bench -quick -cpuprofile cpu.pprof -memprofile mem.pprof >/dev/null
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: go tool pprof cpu.pprof"
 
 # Coverage for the gated packages (the floor itself is enforced by check).
 cover:

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	noreba "github.com/noreba-sim/noreba"
@@ -22,11 +24,42 @@ import (
 
 func main() {
 	var (
-		fig    = flag.Int("fig", 0, "figure number to regenerate (0 = all)")
-		quick  = flag.Bool("quick", false, "reduced workload scales and suite")
-		tables = flag.Bool("tables", false, "print configuration tables (Tables 2 and 3)")
+		fig        = flag.Int("fig", 0, "figure number to regenerate (0 = all)")
+		quick      = flag.Bool("quick", false, "reduced workload scales and suite")
+		tables     = flag.Bool("tables", false, "print configuration tables (Tables 2 and 3)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "noreba-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "noreba-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "noreba-bench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not garbage awaiting collection
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "noreba-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *tables {
 		fmt.Print(noreba.ConfigTables())

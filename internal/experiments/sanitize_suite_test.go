@@ -12,11 +12,18 @@ var suitePolicies = []pipeline.PolicyKind{
 }
 
 // TestSuiteSanitized runs every suite workload under every commit policy
-// (plus the ECL variant of NOREBA) with the pipeline invariant checker on:
-// the figures' cycle counts are only trustworthy if none of these runs can
-// retire illegally or leak a structure entry. The instruction budget is
-// reduced so the full cross product stays test-sized; the sanitizer checks
-// every cycle of every run regardless.
+// (plus ECL variants) with the pipeline invariant checker on: the figures'
+// cycle counts are only trustworthy if none of these runs can retire
+// illegally or leak a structure entry. Since the scheduler rewrite, the
+// sanitizer's per-cycle from-scratch ROB scans also cross-check every piece
+// of incremental eligibility state — ready/candidate queue membership,
+// wakeup counters, commit-boundary deques, resident indices, and the branch
+// lists — so this cross product is the rewrite's correctness oracle. The
+// ECL variants matter beyond NOREBA: early commit of loads creates
+// committed residents under every candidate-queue policy, exercising the
+// resident-cutoff bookkeeping the relaxed walks break on. The instruction
+// budget is reduced so the full cross product stays test-sized; the
+// sanitizer checks every cycle of every run regardless.
 func TestSuiteSanitized(t *testing.T) {
 	r := QuickRunner()
 	r.Sanitize = true
@@ -27,9 +34,13 @@ func TestSuiteSanitized(t *testing.T) {
 		for _, pk := range suitePolicies {
 			reqs = append(reqs, simReq{workload: name, cfg: skylake(pk)})
 		}
-		ecl := skylake(pipeline.Noreba)
-		ecl.ECL = true
-		reqs = append(reqs, simReq{workload: name, cfg: ecl})
+		for _, pk := range []pipeline.PolicyKind{
+			pipeline.Noreba, pipeline.NonSpecOoO, pipeline.IdealReconv, pipeline.SpecBR,
+		} {
+			ecl := skylake(pk)
+			ecl.ECL = true
+			reqs = append(reqs, simReq{workload: name, cfg: ecl})
+		}
 	}
 	if err := r.runAll(reqs); err != nil {
 		t.Fatalf("sanitized suite reported a violation: %v", err)

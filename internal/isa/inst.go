@@ -38,33 +38,39 @@ func (i Inst) Dest() (Reg, bool) {
 	return X0, false
 }
 
-// Sources returns the architectural registers the instruction reads.
-// X0 sources are included (they read as zero but are real operands for
-// dependence purposes X0 never has a producer, so it is harmless).
-func (i Inst) Sources() []Reg {
-	var srcs []Reg
-	add := func(r Reg) {
-		if r != X0 {
-			srcs = append(srcs, r)
-		}
-	}
+// SourceRegs returns the architectural registers the instruction reads,
+// X0 standing in for "no operand". An instruction has at most two register
+// sources, so the fixed-arity form lets dependence tracking run without
+// allocating; Sources is the slice view of the same answer.
+func (i Inst) SourceRegs() (Reg, Reg) {
 	switch i.Op {
 	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu,
 		OpMul, OpMulh, OpDiv, OpRem,
 		OpFadd, OpFsub, OpFmul, OpFdiv, OpFmin, OpFmax, OpFlt, OpFle, OpFeq:
-		add(i.Rs1)
-		add(i.Rs2)
+		return i.Rs1, i.Rs2
 	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti,
 		OpFsqrt, OpFcvtIF, OpFcvtFI, OpJalr, OpLw, OpFlw:
-		add(i.Rs1)
+		return i.Rs1, X0
 	case OpSw, OpFsw:
-		add(i.Rs1) // address base
-		add(i.Rs2) // store data
+		return i.Rs1, i.Rs2 // address base, store data
 	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
-		add(i.Rs1)
-		add(i.Rs2)
+		return i.Rs1, i.Rs2
 	case OpSetCITEntry:
-		add(i.Rs1)
+		return i.Rs1, X0
+	}
+	return X0, X0
+}
+
+// Sources returns the architectural registers the instruction reads.
+// X0 sources are excluded (they read as zero and never have a producer).
+func (i Inst) Sources() []Reg {
+	r1, r2 := i.SourceRegs()
+	var srcs []Reg
+	if r1 != X0 {
+		srcs = append(srcs, r1)
+	}
+	if r2 != X0 {
+		srcs = append(srcs, r2)
 	}
 	return srcs
 }

@@ -20,6 +20,17 @@ import (
 // instructions by trace index, the window pulls them from the source on
 // demand and releases them once committed, so memory is proportional to the
 // in-flight span rather than the stream length.
+//
+// The hot loop is event-driven: instead of rescanning the ROB every cycle,
+// the core maintains the derived state the scans used to recompute —
+// a ready queue fed by producer-to-consumer wakeups at writeback, a
+// commit-candidate queue fed at the event that first makes each instruction
+// retirable, blocker deques tracking the oldest instruction that still
+// pins each policy's commit boundary, and a cycle-indexed completion wheel.
+// Every structure is ordered by dispatchOrder — the order the old code
+// scanned the ROB slice in — so cycle-level behaviour is bit-identical.
+// The sanitizer (Config.Sanitize) re-derives all of it from scratch each
+// cycle and cross-checks the incremental state.
 type Core struct {
 	cfg    Config
 	win    *window
@@ -40,21 +51,55 @@ type Core struct {
 	fetchBlockedBy    *Entry // unresolved branch with no reconvergence window
 	pendingBubbles    int    // wrong-path fetch slots still to burn
 	windowFetched     int
-	ifq               []*Entry
+	ifq               entryDeque
 
-	// Back end.
-	rob         []*Entry // dispatched, uncommitted, unsteered, in order
+	// Back end: the ROB is an intrusive doubly-linked list in dispatch
+	// order (dispatched, uncommitted-or-awaiting-completion, in order), so
+	// removal is O(1) and commit walks start at the head.
+	robHead, robTail *Entry
+	robCount         int
+
 	storeQueue  []*Entry
 	regProducer [isa.NumRegs]*Entry
-	branchBySeq map[int64]*Entry
+
+	// nextDispatchOrder numbers ROB entries as they dispatch.
+	nextDispatchOrder int64
+
+	// Event-driven issue: dispatched, unissued entries whose waits counter
+	// hit zero, sorted by dispatch order. stepIssue walks this instead of
+	// the ROB.
+	readyQ []*Entry
+
+	// Event-driven commit: entries that have passed the event that first
+	// makes them retirable under the configured policy (see candMode),
+	// sorted by dispatch order. eligible() remains the authoritative
+	// recheck at commit time.
+	candQ    []*Entry
+	candMode candMode
+
+	// Policy-selected incremental boundary trackers (see deques in sched.go).
+	needBlockers bool     // NonSpecOoO
+	needTransMem bool     // IdealReconv, SpecBR
+	needUnmarked bool     // Noreba, IdealReconv
+	blockers     refDeque // unresolved-branch / untranslated-memory boundary
+	untransMem   refDeque // untranslated-memory trap boundary
+
+	// Committed-before-completion entries still resident in the ROB. Their
+	// position can block positional commit walks (residentCutoff).
+	committedResidents []*Entry
+
+	// Live (dispatched, uncommitted, unsquashed) conditional branches in age
+	// order; replaces the seq-keyed branch map.
+	liveBranches []*Entry
+
+	// Unresolved conditional branches in age order, maintained eagerly at
+	// resolve/squash; unmarkedUnresolved is the BranchID==0 subset.
+	unresolvedBranches []*Entry
+	unmarkedUnresolved []*Entry
 
 	// Pending mispredicted-but-unresolved conditional branches (fetch-time
 	// knowledge standing in for wrong-path fetch).
 	pendingMisp []*Entry
-
-	// Unresolved conditional branches in dispatch order (front pruned
-	// lazily).
-	unresolvedBranches []*Entry
 
 	// Resource occupancy.
 	robOcc, iqOcc, lqOcc, sqOcc, physUsed int
@@ -62,8 +107,14 @@ type Core struct {
 	// Functional-unit busy state (unpipelined dividers).
 	intDivBusyUntil, fpDivBusyUntil int64
 
-	// Completion event buckets keyed by cycle.
-	completions map[int64][]*Entry
+	// Completion events, bucketed by cycle.
+	wheel complWheel
+
+	// Entry recycling: drained entries collect in dead (their fields stay
+	// readable for the rest of the cycle) and return to the pool at the next
+	// fetch stage.
+	pool entryPool
+	dead []*Entry
 
 	// Retirement bookkeeping. Per-instruction flags live in the window's
 	// records; only the frontiers stay here.
@@ -79,6 +130,25 @@ type Core struct {
 
 	stats Stats
 }
+
+// candMode selects which event inserts an instruction into the commit-
+// candidate queue — the earliest event after which the policy's eligibility
+// test could ever pass for it.
+type candMode uint8
+
+const (
+	// candNone: the policy does not walk candidates (InOrder commits from
+	// the ROB head, Noreba from its commit queues).
+	candNone candMode = iota
+	// candCompletion: Condition-1 policies (NonSpecOoO). Everything inserts
+	// at writeback; ECL loads additionally at issue (they may retire on
+	// translation alone).
+	candCompletion
+	// candRelaxed: relaxed-Condition-1 policies (IdealReconv, SpecBR, Spec).
+	// Non-memory, non-control instructions insert at dispatch, memory ops at
+	// issue (translation), control transfers at resolution.
+	candRelaxed
+)
 
 // maxCycles guards against livelock in the model; runs this long indicate
 // a modelling bug and are reported as an error.
@@ -96,14 +166,17 @@ const cancelCheckCycles = 4096
 // Stats.WindowPeak.
 func NewCoreFromSource(cfg Config, src emulator.TraceSource, meta *compiler.Meta) *Core {
 	c := &Core{
-		cfg:         cfg,
-		win:         newWindow(src, cfg.Selective.BITSize),
-		meta:        meta,
-		dcache:      cfg.hierarchy(),
-		icache:      cfg.icache(),
-		ras:         branchpred.NewRAS(cfg.RASEntries),
-		branchBySeq: map[int64]*Entry{},
-		completions: map[int64][]*Entry{},
+		cfg:  cfg,
+		win:  newWindow(src, cfg.Selective.BITSize),
+		meta: meta,
+		// The wheel horizon covers the longest issue-to-complete latency: a
+		// full-miss demand access behind in-flight fills, plus slack for
+		// divider latency and store-forwarding adjustments. It grows on
+		// demand if a configuration exceeds it.
+		wheel:  newComplWheel(cfg.L1Lat + cfg.L2Lat + cfg.L3Lat + cfg.MemLat + 64),
+		dcache: cfg.hierarchy(),
+		icache: cfg.icache(),
+		ras:    branchpred.NewRAS(cfg.RASEntries),
 	}
 	switch cfg.Predictor {
 	case PredBimodal:
@@ -117,6 +190,22 @@ func NewCoreFromSource(cfg Config, src emulator.TraceSource, meta *compiler.Meta
 		c.dcpt = prefetch.New(cfg.PrefetchTable, cfg.PrefetchDegree)
 	}
 	c.policy = newPolicy(cfg)
+	switch cfg.Policy {
+	case NonSpecOoO:
+		c.candMode = candCompletion
+		c.needBlockers = true
+	case IdealReconv:
+		c.candMode = candRelaxed
+		c.needTransMem = true
+		c.needUnmarked = true
+	case SpecBR:
+		c.candMode = candRelaxed
+		c.needTransMem = true
+	case Spec:
+		c.candMode = candRelaxed
+	case Noreba:
+		c.needUnmarked = true
+	}
 	c.stats.Name = src.Name()
 	c.stats.Policy = cfg.Policy.String()
 	if cfg.TraceSink != nil {
@@ -388,6 +477,140 @@ func (c *Core) RunContext(ctx context.Context) (*Stats, error) {
 	return st, nil
 }
 
+// ---- ROB list / scheduler maintenance ----
+
+func (c *Core) robLink(e *Entry) {
+	e.robPrev = c.robTail
+	e.robNext = nil
+	if c.robTail != nil {
+		c.robTail.robNext = e
+	} else {
+		c.robHead = e
+	}
+	c.robTail = e
+	e.inROB = true
+	c.robCount++
+}
+
+func (c *Core) robUnlink(e *Entry) {
+	if e.robPrev != nil {
+		e.robPrev.robNext = e.robNext
+	} else {
+		c.robHead = e.robNext
+	}
+	if e.robNext != nil {
+		e.robNext.robPrev = e.robPrev
+	} else {
+		c.robTail = e.robPrev
+	}
+	e.robPrev, e.robNext = nil, nil
+	e.inROB = false
+	c.robCount--
+}
+
+// drainFromROB removes a fully-retired (committed and completed) entry from
+// the pipeline and schedules its Entry for recycling. The rename-table slot
+// is cleared — a drained producer imposed no dependence anyway — so the
+// recycled Entry can never satisfy a stale lookup.
+func (c *Core) drainFromROB(e *Entry) {
+	c.robUnlink(e)
+	if e.hasDest && c.regProducer[e.d.Inst.Rd] == e {
+		c.regProducer[e.d.Inst.Rd] = nil
+	}
+	c.dead = append(c.dead, e)
+}
+
+// readyInsert queues a dispatched, unissued entry whose operands are all
+// available for stepIssue's walk.
+func (c *Core) readyInsert(e *Entry) {
+	if e.inReady {
+		return
+	}
+	e.inReady = true
+	c.readyQ = insertByDispatch(c.readyQ, e)
+}
+
+// candInsert queues a commit candidate for the policy's walk.
+func (c *Core) candInsert(e *Entry) {
+	if e.inCand {
+		return
+	}
+	e.inCand = true
+	c.candQ = insertByDispatch(c.candQ, e)
+}
+
+// candRemove drops a committed entry from the candidate queue.
+func (c *Core) candRemove(e *Entry) {
+	lo, hi := 0, len(c.candQ)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.candQ[mid].dispatchOrder < e.dispatchOrder {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.candQ) && c.candQ[lo] == e {
+		c.candQ = removeAt(c.candQ, lo)
+	}
+	e.inCand = false
+}
+
+// wakeConsumers credits every consumer waiting on e (which just completed or
+// was squashed); consumers whose last outstanding operand this was become
+// issue-ready.
+func (c *Core) wakeConsumers(e *Entry) {
+	for _, ref := range e.consumers {
+		if !ref.live() {
+			continue
+		}
+		x := ref.e
+		if x.squashed {
+			continue
+		}
+		x.waits--
+		if x.waits == 0 && !x.issued {
+			c.readyInsert(x)
+		}
+	}
+	e.consumers = e.consumers[:0]
+}
+
+// addResident tracks an entry that committed before completing.
+func (c *Core) addResident(e *Entry) {
+	e.resident = len(c.committedResidents)
+	c.committedResidents = append(c.committedResidents, e)
+}
+
+func (c *Core) removeResident(e *Entry) {
+	if e.resident < 0 {
+		return
+	}
+	last := len(c.committedResidents) - 1
+	moved := c.committedResidents[last]
+	c.committedResidents[e.resident] = moved
+	moved.resident = e.resident
+	c.committedResidents[last] = nil
+	c.committedResidents = c.committedResidents[:last]
+	e.resident = -1
+}
+
+// residentCutoff returns the smallest dispatch order among committed
+// residents at or past the commit boundary. The old commit scans walked the
+// ROB slice and broke at the first entry — live or committed-resident —
+// with Seq() >= boundary; candidates past a blocking resident must
+// therefore not retire this cycle, even though the resident itself is
+// already committed.
+func (c *Core) residentCutoff(boundary int64) int64 {
+	cut := int64(1) << 62
+	for _, e := range c.committedResidents {
+		if e.Seq() >= boundary && e.dispatchOrder < cut {
+			cut = e.dispatchOrder
+		}
+	}
+	return cut
+}
+
 // ---- commit ----
 
 func (c *Core) stepCommit() {
@@ -440,6 +663,10 @@ func (c *Core) commitEntry(e *Entry) {
 	c.win.rec(e.idx).committed = true
 	c.advanceFrontiers()
 
+	if e.inCand {
+		c.candRemove(e)
+	}
+
 	// Steered entries (Noreba) freed their ROB′ slot when they moved to a
 	// commit queue. Instructions committed before completing (relaxed
 	// Condition 1) stay on the issue list until their result is produced.
@@ -447,7 +674,9 @@ func (c *Core) commitEntry(e *Entry) {
 		c.robOcc--
 	}
 	if e.issued && e.doneAt <= c.cycle {
-		c.removeFromROB(e)
+		c.drainFromROB(e)
+	} else {
+		c.addResident(e)
 	}
 	if e.hasDest {
 		c.physUsed--
@@ -472,7 +701,7 @@ func (c *Core) commitEntry(e *Entry) {
 		c.dcache.Access(e.d.Addr, c.cycle)
 	}
 	if e.isCondBranch {
-		delete(c.branchBySeq, e.Seq())
+		c.liveBranches = removeBySeq(c.liveBranches, e.Seq())
 	}
 	if e.isFence {
 		c.stats.FencesCommitted++
@@ -600,55 +829,89 @@ func (c *Core) poisoned(e *Entry) bool {
 	return false
 }
 
+// oldestUnresolvedBranch returns the front of the eagerly-maintained
+// unresolved-branch list (branches leave it at resolution and squash).
 func (c *Core) oldestUnresolvedBranch() *Entry {
-	c.pruneUnresolved()
 	if len(c.unresolvedBranches) == 0 {
 		return nil
 	}
 	return c.unresolvedBranches[0]
 }
 
-func (c *Core) pruneUnresolved() {
-	for len(c.unresolvedBranches) > 0 {
-		b := c.unresolvedBranches[0]
-		if b.resolved || b.squashed {
-			c.unresolvedBranches = c.unresolvedBranches[1:]
-			continue
-		}
-		break
-	}
-}
-
 // allOlderBranchesResolved reports whether no unresolved conditional branch
 // older than e remains (the serialisation rule for DepOrdered instructions
 // and unmarked branches).
 func (c *Core) allOlderBranchesResolved(e *Entry) bool {
-	c.pruneUnresolved()
-	for _, b := range c.unresolvedBranches {
-		if b.squashed || b.resolved {
-			continue
-		}
-		if b.Seq() < e.Seq() {
-			return false
-		}
-		return true
-	}
-	return true
+	return len(c.unresolvedBranches) == 0 || c.unresolvedBranches[0].Seq() >= e.Seq()
 }
 
-func (c *Core) removeFromROB(e *Entry) {
-	for i, x := range c.rob {
-		if x == e {
-			c.rob = append(c.rob[:i], c.rob[i+1:]...)
-			return
+// findLiveBranch returns the live (dispatched, uncommitted, unsquashed)
+// conditional branch with the given sequence number, or nil. Live branches
+// are age-ordered, so the lookup is a binary search.
+func (c *Core) findLiveBranch(seq int64) *Entry {
+	if i := searchSeq(c.liveBranches, seq); i < len(c.liveBranches) && c.liveBranches[i].Seq() == seq {
+		return c.liveBranches[i]
+	}
+	return nil
+}
+
+// nonSpecBoundary returns the sequence number of the oldest instruction that
+// blocks non-speculative commit: an unresolved control transfer or a memory
+// operation whose translation has not yet succeeded. The blocker deque holds
+// every such instruction in dispatch order; entries that stopped blocking
+// are pruned from the front (blocking is monotone — see refDeque).
+func (c *Core) nonSpecBoundary(cycle int64) int64 {
+	for {
+		ref, ok := c.blockers.front()
+		if !ok {
+			return int64(1) << 62
 		}
+		e := ref.e
+		if !ref.live() || e.squashed || e.committed {
+			c.blockers.popFront()
+			continue
+		}
+		if e.isCondBranch || e.isJalr {
+			if e.resolved {
+				c.blockers.popFront()
+				continue
+			}
+			return e.Seq()
+		}
+		if e.issued && e.addrReadyAt <= cycle {
+			c.blockers.popFront()
+			continue
+		}
+		return e.Seq()
+	}
+}
+
+// memTrapBoundary returns the sequence number of the oldest memory
+// operation whose translation has not yet succeeded; no instruction past it
+// may commit (Condition 2).
+func (c *Core) memTrapBoundary(cycle int64) int64 {
+	for {
+		ref, ok := c.untransMem.front()
+		if !ok {
+			return int64(1) << 62
+		}
+		e := ref.e
+		if !ref.live() || e.squashed || e.committed {
+			c.untransMem.popFront()
+			continue
+		}
+		if e.issued && e.addrReadyAt <= cycle {
+			c.untransMem.popFront()
+			continue
+		}
+		return e.Seq()
 	}
 }
 
 func (c *Core) removeFromStoreQueue(e *Entry) {
 	for i, x := range c.storeQueue {
 		if x == e {
-			c.storeQueue = append(c.storeQueue[:i], c.storeQueue[i+1:]...)
+			c.storeQueue = removeAt(c.storeQueue, i)
 			return
 		}
 	}
@@ -657,27 +920,44 @@ func (c *Core) removeFromStoreQueue(e *Entry) {
 // ---- complete / resolve ----
 
 func (c *Core) stepComplete() {
-	done := c.completions[c.cycle]
-	delete(c.completions, c.cycle)
-	for _, e := range done {
-		if e.squashed {
+	bucket := c.wheel.take(c.cycle)
+	for _, ref := range bucket {
+		e := ref.e
+		if !ref.live() || e.squashed {
 			continue
 		}
 		e.done = true
 		if c.traceOn {
 			c.emit(trace.KindWriteback, e)
 		}
+		c.wakeConsumers(e)
 		if e.lqHeld {
 			c.lqOcc--
 			e.lqHeld = false
 		}
-		if e.committed {
-			// Committed before completion: leave the pipeline now.
-			c.removeFromROB(e)
+		if e.committed && e.inROB {
+			// Committed before completion: leave the pipeline now. (An entry
+			// that committed earlier this same cycle with doneAt == now was
+			// already drained by commitEntry and is off the list.)
+			c.removeResident(e)
+			c.drainFromROB(e)
 		}
 		if e.isCondBranch || e.isJalr {
 			e.resolved = true
 			e.resolvedAt = c.cycle
+			if e.isCondBranch {
+				c.unresolvedBranches = removeBySeq(c.unresolvedBranches, e.Seq())
+				if c.needUnmarked && e.dep.BranchID == 0 {
+					c.unmarkedUnresolved = removeBySeq(c.unmarkedUnresolved, e.Seq())
+				}
+			}
+			c.policy.resolve(c, e)
+			// Control transfers become commit candidates at resolution (a
+			// branch cannot have committed earlier: eligibility requires
+			// resolution under every policy).
+			if c.candMode == candRelaxed {
+				c.candInsert(e)
+			}
 			if c.traceOn && e.mispredicted {
 				c.emit(trace.KindMispredict, e)
 			}
@@ -703,39 +983,41 @@ func (c *Core) stepComplete() {
 // younger uncommitted instruction, redirect fetch to the correct path
 // (the skipped dependent region) and pay the redirect penalty. Instructions
 // already committed out of order survive; their re-fetch is dropped at
-// decode via the CIT.
+// decode via the CIT. All rebuilds below filter in place or truncate;
+// recovery allocates nothing.
 func (c *Core) recover(b *Entry) {
 	c.win.rec(b.idx).recovered = true
-	// Squash IFQ.
-	keep := c.ifq[:0]
-	for _, e := range c.ifq {
+	// Squash IFQ (everything younger than b, i.e. fetched after it).
+	w := c.ifq.head
+	for i := 0; i < c.ifq.n; i++ {
+		e := c.ifq.buf[c.ifq.head+i]
 		if e.Seq() > b.Seq() {
 			c.squashEntry(e, false)
 		} else {
-			keep = append(keep, e)
+			c.ifq.buf[w] = e
+			w++
 		}
 	}
-	c.ifq = keep
+	for i := w; i < c.ifq.head+c.ifq.n; i++ {
+		c.ifq.buf[i] = nil
+	}
+	c.ifq.n = w - c.ifq.head
+	if c.ifq.n == 0 {
+		c.ifq.head = 0
+	}
 
 	// Squash back end (ROB plus policy-held queues).
-	keepROB := c.rob[:0]
-	for _, e := range c.rob {
+	for e := c.robHead; e != nil; {
+		next := e.robNext
 		if e.Seq() > b.Seq() && !e.committed {
 			c.squashEntry(e, true)
-		} else {
-			keepROB = append(keepROB, e)
+			c.robUnlink(e)
 		}
+		e = next
 	}
-	c.rob = keepROB
 	c.policy.squash(c, b.Seq())
 
-	keepSQ := c.storeQueue[:0]
-	for _, e := range c.storeQueue {
-		if !e.squashed {
-			keepSQ = append(keepSQ, e)
-		}
-	}
-	c.storeQueue = keepSQ
+	c.storeQueue = purgeSquashed(c.storeQueue)
 
 	// Rename table: squashed producers must not satisfy future consumers.
 	for r := range c.regProducer {
@@ -751,7 +1033,27 @@ func (c *Core) recover(b *Entry) {
 			keepPM = append(keepPM, e)
 		}
 	}
+	for i := len(keepPM); i < len(c.pendingMisp); i++ {
+		c.pendingMisp[i] = nil
+	}
 	c.pendingMisp = keepPM
+
+	// Scheduler state: squashed entries leave the ready and candidate
+	// queues; every squashed branch is younger than b, so the branch lists
+	// truncate. The blocker deques purge squashed references mid-deque.
+	c.readyQ = purgeSquashed(c.readyQ)
+	c.candQ = purgeSquashed(c.candQ)
+	c.liveBranches = truncateYounger(c.liveBranches, b.Seq())
+	c.unresolvedBranches = truncateYounger(c.unresolvedBranches, b.Seq())
+	if c.needUnmarked {
+		c.unmarkedUnresolved = truncateYounger(c.unmarkedUnresolved, b.Seq())
+	}
+	if c.needBlockers {
+		c.blockers.purgeSquashed()
+	}
+	if c.needTransMem {
+		c.untransMem.purgeSquashed()
+	}
 
 	// Mark skipped/unfetched region refetchable. The branch was unresolved
 	// until now, so every release bound since its fetch was below its index;
@@ -798,10 +1100,11 @@ func (c *Core) squashEntry(e *Entry, dispatched bool) {
 		case opStore:
 			c.sqOcc--
 		}
-		if e.isCondBranch {
-			delete(c.branchBySeq, e.Seq())
-		}
+		// Consumers no longer wait on a squashed producer (its value comes
+		// from re-execution, guarded by refetch).
+		c.wakeConsumers(e)
 	}
+	c.dead = append(c.dead, e)
 }
 
 // ---- issue ----
@@ -809,56 +1112,61 @@ func (c *Core) squashEntry(e *Entry, dispatched bool) {
 func (c *Core) stepIssue() {
 	budget := c.cfg.IssueWidth
 	var aluUsed, mulDivUsed, fpUsed, loadUsed, storeUsed int
-	for _, e := range c.rob {
+	i := 0
+	for i < len(c.readyQ) {
 		if budget == 0 {
 			break
 		}
-		if !e.dispatched || e.issued || e.squashed {
-			continue
-		}
-		if !e.ready(c.cycle) {
-			continue
-		}
+		e := c.readyQ[i]
 		switch e.class {
 		case opIntALU, opBranch, opOther:
 			if aluUsed >= c.cfg.IntALUs {
+				i++
 				continue
 			}
 			aluUsed++
 		case opIntMul:
 			if mulDivUsed >= c.cfg.IntMulDiv {
+				i++
 				continue
 			}
 			mulDivUsed++
 		case opIntDiv:
 			if mulDivUsed >= c.cfg.IntMulDiv || c.intDivBusyUntil > c.cycle {
+				i++
 				continue
 			}
 			mulDivUsed++
 			c.intDivBusyUntil = c.cycle + c.cfg.latencyOf(opIntDiv)
 		case opFPALU:
 			if fpUsed >= c.cfg.FPUs {
+				i++
 				continue
 			}
 			fpUsed++
 		case opFPDiv:
 			if fpUsed >= c.cfg.FPUs || c.fpDivBusyUntil > c.cycle {
+				i++
 				continue
 			}
 			fpUsed++
 			c.fpDivBusyUntil = c.cycle + c.cfg.latencyOf(opFPDiv)
 		case opLoad:
 			if loadUsed >= c.cfg.LoadPorts || c.loadBlocked(e) {
+				i++
 				continue
 			}
 			loadUsed++
 		case opStore:
 			if storeUsed >= c.cfg.StorePorts {
+				i++
 				continue
 			}
 			storeUsed++
 		}
 
+		c.readyQ = removeAt(c.readyQ, i)
+		e.inReady = false
 		e.issued = true
 		e.issuedAt = c.cycle
 		c.iqOcc--
@@ -877,7 +1185,22 @@ func (c *Core) stepIssue() {
 		default:
 			e.doneAt = c.cycle + c.cfg.latencyOf(e.class)
 		}
-		c.completions[e.doneAt] = append(c.completions[e.doneAt], e)
+		c.wheel.schedule(c.cycle, e)
+
+		// Issue is the event that arms eligibility: memory ops translate the
+		// cycle after issue (relaxed policies), and under Condition 1 every
+		// retirement requires completion, whose doneAt <= cycle test can
+		// first pass at the commit stage of the completion cycle — before
+		// the completion event itself fires — so waiting for writeback
+		// would be one cycle late.
+		switch c.candMode {
+		case candRelaxed:
+			if e.isMem {
+				c.candInsert(e)
+			}
+		case candCompletion:
+			c.candInsert(e)
+		}
 	}
 }
 
@@ -931,8 +1254,8 @@ func (c *Core) loadDone(e *Entry) int64 {
 // ---- dispatch ----
 
 func (c *Core) stepDispatch() {
-	for width := c.cfg.FetchWidth; width > 0 && len(c.ifq) > 0; width-- {
-		e := c.ifq[0]
+	for width := c.cfg.FetchWidth; width > 0 && c.ifq.len() > 0; width-- {
+		e := c.ifq.front()
 		if e.dispatchable > c.cycle {
 			break
 		}
@@ -957,8 +1280,10 @@ func (c *Core) stepDispatch() {
 			break
 		}
 
-		c.ifq = c.ifq[1:]
+		c.ifq.popFront()
 		e.dispatched = true
+		e.dispatchOrder = c.nextDispatchOrder
+		c.nextDispatchOrder++
 		if c.traceOn {
 			c.emit(trace.KindDispatch, e)
 		}
@@ -979,38 +1304,78 @@ func (c *Core) stepDispatch() {
 		}
 
 		// Rename: link register producers.
-		for _, r := range e.d.Inst.Sources() {
-			if p := c.regProducer[r]; p != nil && !p.squashed && (!p.issued || p.doneAt > c.cycle) {
-				e.producers = append(e.producers, p)
-			}
-		}
+		r1, r2 := e.d.Inst.SourceRegs()
+		c.linkProducer(e, r1)
+		c.linkProducer(e, r2)
 		if e.hasDest {
 			c.regProducer[e.d.Inst.Rd] = e
 		}
 
 		if e.isCondBranch {
-			c.branchBySeq[e.Seq()] = e
+			c.liveBranches = append(c.liveBranches, e)
 			c.unresolvedBranches = append(c.unresolvedBranches, e)
+			if c.needUnmarked && e.dep.BranchID == 0 {
+				c.unmarkedUnresolved = append(c.unmarkedUnresolved, e)
+			}
 		}
 		if e.dep.DepSeq >= 0 {
 			c.stats.branchStall(e.dep.DepPC).Dependents++
 		}
 
-		c.rob = append(c.rob, e)
+		c.robLink(e)
+		if c.needBlockers && (e.isCondBranch || e.isJalr || e.isMem) {
+			c.blockers.push(e)
+		}
+		if c.needTransMem && e.isMem {
+			c.untransMem.push(e)
+		}
+		// Non-memory, non-control instructions are commit candidates from
+		// dispatch under the relaxed policies (no completion condition).
+		if c.candMode == candRelaxed && !e.isMem && !e.isCondBranch && !e.isJalr {
+			c.candInsert(e)
+		}
+		if e.waits == 0 {
+			c.readyInsert(e)
+		}
 		c.policy.dispatch(c, e)
+	}
+}
+
+// linkProducer registers the dependence of e on the in-flight producer of
+// register r, if one exists: e's waits counter goes up, and the producer's
+// consumer list gains a wakeup edge. A producer that has already completed
+// (or register X0) imposes no wait.
+func (c *Core) linkProducer(e *Entry, r isa.Reg) {
+	if r == isa.X0 {
+		return
+	}
+	p := c.regProducer[r]
+	if p != nil && !p.squashed && (!p.issued || p.doneAt > c.cycle) {
+		e.producers = append(e.producers, entryRef{p, p.gen})
+		p.consumers = append(p.consumers, entryRef{e, e.gen})
+		e.waits++
 	}
 }
 
 // ---- fetch ----
 
 func (c *Core) stepFetch() {
+	// Recycle entries drained earlier this cycle: nothing references them
+	// any more (tagged references went stale at queue time), and fetch is
+	// the only stage that allocates.
+	for i, e := range c.dead {
+		c.pool.put(e)
+		c.dead[i] = nil
+	}
+	c.dead = c.dead[:0]
+
 	if !c.win.ensure(c.cursor) {
 		return
 	}
 	if c.fetchStalledUntil > c.cycle || c.fetchBlockedBy != nil {
 		return
 	}
-	if len(c.ifq) >= 4*c.cfg.FetchWidth {
+	if c.ifq.len() >= 4*c.cfg.FetchWidth {
 		return
 	}
 
@@ -1059,20 +1424,20 @@ func (c *Core) stepFetch() {
 			continue
 		}
 
-		e := &Entry{
-			idx:          idx,
-			d:            r.d,
-			dep:          r.dep,
-			class:        classOf(r.d.Inst.Op),
-			fetchedAt:    c.cycle,
-			dispatchable: c.cycle + int64(c.cfg.FrontendDepth),
-			isCondBranch: r.d.Inst.Op.IsCondBranch(),
-			isJalr:       r.d.Inst.Op == isa.OpJalr,
-			isMem:        r.d.Inst.Op.IsMem(),
-			isFence:      r.d.Inst.Op.IsFence(),
-			hasDest:      r.d.Inst.HasDest(),
-			windowInst:   inWindow,
-		}
+		e := c.pool.get()
+		e.idx = idx
+		e.d = r.d
+		e.dep = r.dep
+		e.class = classOf(r.d.Inst.Op)
+		e.fetchedAt = c.cycle
+		e.dispatchable = c.cycle + int64(c.cfg.FrontendDepth)
+		e.isCondBranch = r.d.Inst.Op.IsCondBranch()
+		e.isJalr = r.d.Inst.Op == isa.OpJalr
+		e.isMem = r.d.Inst.Op.IsMem()
+		e.isFence = r.d.Inst.Op.IsFence()
+		e.hasDest = r.d.Inst.HasDest()
+		e.windowInst = inWindow
+		e.resident = -1
 		r.fetched = true
 		c.cursor++
 		slots--
@@ -1097,8 +1462,7 @@ func (c *Core) stepFetch() {
 				c.ras.Push(r.d.PC + 1)
 			}
 		case e.isJalr:
-			predicted, hit := c.ras.Pop(r.d.NextPC)
-			_ = predicted
+			_, hit := c.ras.Pop(r.d.NextPC)
 			e.mispredicted = !hit
 		}
 
@@ -1109,7 +1473,7 @@ func (c *Core) stepFetch() {
 			c.stats.Stores++
 		}
 
-		c.ifq = append(c.ifq, e)
+		c.ifq.push(e)
 
 		if e.isCondBranch && e.mispredicted {
 			e.resumeIdx = c.cursor

@@ -43,7 +43,10 @@ func classOf(op isa.Op) opClass {
 	}
 }
 
-// Entry is one in-flight dynamic instruction in the pipeline.
+// Entry is one in-flight dynamic instruction in the pipeline. Entries are
+// pooled: when an instruction drains (committed and completed, or squashed
+// and reclaimed) its Entry is recycled for a later instruction, with gen
+// bumped so generation-tagged references to the former life read as stale.
 type Entry struct {
 	idx int // trace index
 	// d is stored by value: the window's backing array compacts and grows
@@ -52,6 +55,8 @@ type Entry struct {
 	dep   DepInfo
 	class opClass
 
+	gen uint32 // pool generation; bumped on recycle
+
 	fetchedAt    int64
 	dispatchable int64 // earliest dispatch cycle (front-end depth)
 	dispatched   bool
@@ -59,6 +64,12 @@ type Entry struct {
 	issuedAt     int64
 	done         bool
 	doneAt       int64
+
+	// dispatchOrder numbers entries in the order they entered the ROB — the
+	// order the old code scanned the ROB slice in. The event-driven ready and
+	// commit-candidate queues sort by it to reproduce scan order exactly.
+	// Unlike Seq it never repeats, even across squash/refetch.
+	dispatchOrder int64
 
 	// Branch state.
 	isCondBranch bool
@@ -74,9 +85,25 @@ type Entry struct {
 	isFence     bool
 	addrReadyAt int64
 
-	// Register dependence: producers this entry waits on.
-	producers []*Entry
+	// Register dependence. producers are the in-flight entries this one
+	// waited on at rename (kept for the sanitizer's from-scratch readiness
+	// re-derivation); consumers are the dispatched entries waiting on this
+	// one's result, woken at writeback. waits counts producers that have
+	// neither completed nor been squashed: the entry is issue-ready when it
+	// reaches zero. Both edge lists are generation-tagged because either
+	// side may drain and be recycled while the other is still in flight.
+	producers []entryRef
+	consumers []entryRef
+	waits     int32
 	hasDest   bool
+
+	// Scheduler membership flags (see core.go).
+	inReady bool
+	inCand  bool
+
+	// resident is this entry's index in the core's committed-residents list
+	// while it is committed but not yet completed, -1 otherwise.
+	resident int
 
 	// Commit state.
 	committed   bool
@@ -88,22 +115,38 @@ type Entry struct {
 	// Condition 1): its load-queue entry stays allocated until completion.
 	lqHeld bool
 
+	// Intrusive ROB links: the ROB is a doubly-linked list in dispatch order
+	// so removal is O(1) and commit walks start at the head.
+	robPrev, robNext *Entry
+	inROB            bool
+
 	// Noreba state.
 	steered    bool // left ROB′ into a commit queue
 	queue      int  // queue index once steered (0 = PR-CQ, 1.. = BR-CQs)
 	windowInst bool // fetched during a misprediction window (beyond reconvergence)
+	cqtCounted bool // counted in the policy's live-CQT tally (unresolved in CQT)
 }
 
 // Seq returns the entry's dynamic sequence number.
 func (e *Entry) Seq() int64 { return e.d.Seq }
 
-// ready reports whether all source operands are available at cycle.
+// reset clears per-life state for pool reuse, keeping gen and the edge-list
+// capacities.
+func (e *Entry) reset() {
+	producers, consumers := e.producers[:0], e.consumers[:0]
+	gen := e.gen
+	*e = Entry{gen: gen, producers: producers, consumers: consumers, resident: -1}
+}
+
+// ready reports whether all source operands are available at cycle. The hot
+// path uses the waits counter instead; this re-derivation from the producer
+// edges backs the sanitizer's cross-check.
 func (e *Entry) ready(cycle int64) bool {
-	for _, p := range e.producers {
-		if p.squashed {
-			continue // squashed producer: value comes from re-execution; guarded by refetch
+	for _, ref := range e.producers {
+		if !ref.live() || ref.e.squashed {
+			continue // drained or squashed producer: value forwarded or re-executed
 		}
-		if !p.done || p.doneAt > cycle {
+		if !ref.e.done || ref.e.doneAt > cycle {
 			return false
 		}
 	}

@@ -10,34 +10,54 @@ import "github.com/noreba-sim/noreba/internal/sanity"
 // records out-of-order-committed instructions so their re-fetch after a
 // misprediction is dropped at decode (§4.3).
 //
-// Queue index 0 is PR-CQ; 1..NumBRCQs are BR-CQs.
+// Queue index 0 is PR-CQ; 1..NumBRCQs are BR-CQs. All structures are
+// incremental: ROB′ is a FIFO fed at dispatch (replacing a per-cycle scan
+// for the oldest unsteered entry), the CQT is a seq-sorted slice with a
+// maintained live count (replacing a map that was recounted per steer), and
+// CIT reclamation skips its scan while the oldest recorded index cannot be
+// freed yet.
 type norebaPolicy struct {
 	cfg SelectiveROBConfig
 
-	queues   [][]*Entry
-	brcqLive []int // uncommitted branches resident per BR-CQ
+	robPrime entryDeque   // dispatched, unsteered entries in dispatch order
+	queues   []entryDeque // commit queues (FIFO in steering order)
+	brcqLive []int        // uncommitted branches resident per BR-CQ
 
-	cqt map[int64]cqtEntry // branch seq → queue
-	cit []int              // trace indices of live CIT entries
-	rr  int                // round-robin start among BR-CQs at commit
+	cqt     []cqtSlot // branch seq → queue, sorted by seq
+	cqtLive int       // cqt slots whose branch is still unresolved
+
+	cit    []int // trace indices of live CIT entries
+	citMin int   // smallest index in cit (intMax when empty)
+	rr     int   // round-robin start among BR-CQs at commit
 }
 
-type cqtEntry struct {
+type cqtSlot struct {
+	seq    int64
 	queue  int
 	branch *Entry
 }
 
+const intMax = int(^uint(0) >> 1)
+
 func newNorebaPolicy(cfg SelectiveROBConfig) *norebaPolicy {
-	p := &norebaPolicy{
+	return &norebaPolicy{
 		cfg:      cfg,
-		queues:   make([][]*Entry, 1+cfg.NumBRCQs),
+		queues:   make([]entryDeque, 1+cfg.NumBRCQs),
 		brcqLive: make([]int, cfg.NumBRCQs),
-		cqt:      map[int64]cqtEntry{},
+		citMin:   intMax,
 	}
-	return p
 }
 
-func (p *norebaPolicy) dispatch(*Core, *Entry) {}
+func (p *norebaPolicy) dispatch(_ *Core, e *Entry) { p.robPrime.push(e) }
+
+// resolve keeps the live-CQT count current: a resolved branch no longer
+// steers dependents, so its slot becomes reusable.
+func (p *norebaPolicy) resolve(_ *Core, e *Entry) {
+	if e.cqtCounted {
+		p.cqtLive--
+		e.cqtCounted = false
+	}
+}
 
 func (p *norebaPolicy) queueSize(q int) int {
 	if q == 0 {
@@ -46,12 +66,43 @@ func (p *norebaPolicy) queueSize(q int) int {
 	return p.cfg.BRCQSize
 }
 
+// cqtFind returns the index of the slot for seq, or -1. Slots are inserted
+// in steering order, which is age order, so the slice stays seq-sorted.
+func (p *norebaPolicy) cqtFind(seq int64) int {
+	lo, hi := 0, len(p.cqt)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cqt[mid].seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(p.cqt) && p.cqt[lo].seq == seq {
+		return lo
+	}
+	return -1
+}
+
+func (p *norebaPolicy) cqtRemove(seq int64) {
+	i := p.cqtFind(seq)
+	if i < 0 {
+		return
+	}
+	if q := p.cqt[i].queue; q > 0 {
+		p.brcqLive[q-1]--
+	}
+	copy(p.cqt[i:], p.cqt[i+1:])
+	p.cqt[len(p.cqt)-1] = cqtSlot{}
+	p.cqt = p.cqt[:len(p.cqt)-1]
+}
+
 // steer moves instructions from the ROB′ head into commit queues (step ❸
 // of Table 1). It returns whether it stalled with work remaining.
 func (p *norebaPolicy) steer(c *Core, cycle int64) bool {
 	steered := 0
 	for steered < p.cfg.SteerWidth {
-		e := p.robPrimeHead(c)
+		e := p.robPrime.front()
 		if e == nil {
 			return false
 		}
@@ -70,23 +121,28 @@ func (p *norebaPolicy) steer(c *Core, cycle int64) bool {
 		if !ok {
 			return true
 		}
-		if len(p.queues[q]) >= p.queueSize(q) {
+		if p.queues[q].len() >= p.queueSize(q) {
 			return true
 		}
 		if e.isCondBranch && e.dep.BranchID > 0 {
-			if p.liveCQT() >= p.cfg.CQTSize {
+			if p.cqtLive >= p.cfg.CQTSize {
 				c.stats.CQTFullStalls++
 				return true
 			}
-			p.cqt[e.Seq()] = cqtEntry{queue: q, branch: e}
+			p.cqt = append(p.cqt, cqtSlot{seq: e.Seq(), queue: q, branch: e})
+			if !e.resolved {
+				p.cqtLive++
+				e.cqtCounted = true
+			}
 			if q > 0 {
 				p.brcqLive[q-1]++
 			}
 		}
 
+		p.robPrime.popFront()
 		e.steered = true
 		e.queue = q
-		p.queues[q] = append(p.queues[q], e)
+		p.queues[q].push(e)
 		c.robOcc--
 		c.stats.Steered++
 		steered++
@@ -94,26 +150,17 @@ func (p *norebaPolicy) steer(c *Core, cycle int64) bool {
 	return false
 }
 
-// liveCQT counts CQT entries for still-unresolved branches; resolved
-// branches no longer steer dependents, so their slots are reusable.
+// liveCQT recounts CQT slots for still-unresolved branches; the hot path
+// uses the maintained cqtLive counter, this re-derivation backs the
+// sanitizer's cross-check.
 func (p *norebaPolicy) liveCQT() int {
 	n := 0
-	for _, ce := range p.cqt {
-		if !ce.branch.resolved {
+	for i := range p.cqt {
+		if !p.cqt[i].branch.resolved {
 			n++
 		}
 	}
 	return n
-}
-
-// robPrimeHead returns the oldest dispatched, unsteered, unsquashed entry.
-func (p *norebaPolicy) robPrimeHead(c *Core) *Entry {
-	for _, e := range c.rob {
-		if !e.steered {
-			return e
-		}
-	}
-	return nil
 }
 
 // chooseQueue applies the steering rules. ok=false means the head must
@@ -129,12 +176,13 @@ func (p *norebaPolicy) chooseQueue(c *Core, e *Entry, cycle int64) (int, bool) {
 			return 0, false
 		}
 	case e.dep.DepSeq >= 0:
-		if ce, ok := p.cqt[e.dep.DepSeq]; ok && !ce.branch.resolved {
-			// Live (unresolved) governing branch: follow its queue.
-			depQueue = ce.queue
-		} else if ok {
-			// The governing branch has resolved: it is no longer "live"
-			// and its dependents flow through the primary queue.
+		if i := p.cqtFind(e.dep.DepSeq); i >= 0 {
+			if !p.cqt[i].branch.resolved {
+				// Live (unresolved) governing branch: follow its queue.
+				depQueue = p.cqt[i].queue
+			}
+			// Otherwise the governing branch has resolved: it is no longer
+			// "live" and its dependents flow through the primary queue.
 		} else {
 			idx := int(e.dep.DepSeq)
 			switch {
@@ -186,13 +234,13 @@ func (p *norebaPolicy) chooseQueue(c *Core, e *Entry, cycle int64) (int, bool) {
 			return 0, true
 		}
 		for k := 0; k < p.cfg.NumBRCQs; k++ {
-			if p.brcqLive[k] == 0 && len(p.queues[k+1]) == 0 {
+			if p.brcqLive[k] == 0 && p.queues[k+1].len() == 0 {
 				return k + 1, true
 			}
 		}
 		best, bestLen := -1, 1<<30
 		for k := 0; k < p.cfg.NumBRCQs; k++ {
-			if n := len(p.queues[k+1]); n < p.cfg.BRCQSize && n < bestLen {
+			if n := p.queues[k+1].len(); n < p.cfg.BRCQSize && n < bestLen {
 				best, bestLen = k+1, n
 			}
 		}
@@ -217,24 +265,19 @@ func (p *norebaPolicy) commit(c *Core, cycle int64, width int) int {
 	for n < width {
 		committed := false
 		// PR-CQ has priority; BR-CQs are examined round-robin.
-		order := make([]int, 0, len(p.queues))
-		order = append(order, 0)
-		for k := 0; k < p.cfg.NumBRCQs; k++ {
-			order = append(order, 1+(p.rr+k)%p.cfg.NumBRCQs)
-		}
-		for _, qi := range order {
-			if n == width {
-				break
+		for oi := 0; oi <= p.cfg.NumBRCQs && n < width; oi++ {
+			qi := 0
+			if oi > 0 {
+				qi = 1 + (p.rr+oi-1)%p.cfg.NumBRCQs
 			}
-			queue := p.queues[qi]
-			for len(queue) > 0 && queue[0].squashed {
-				queue = queue[1:]
+			queue := &p.queues[qi]
+			for queue.len() > 0 && queue.front().squashed {
+				queue.popFront()
 			}
-			p.queues[qi] = queue
-			if len(queue) == 0 {
+			if queue.len() == 0 {
 				continue
 			}
-			e := queue[0]
+			e := queue.front()
 			if !c.eligible(e, cycle, true, false) {
 				continue
 			}
@@ -252,18 +295,16 @@ func (p *norebaPolicy) commit(c *Core, cycle int64, width int) int {
 				c.stats.CITFullStalls++
 				continue
 			}
-			p.queues[qi] = queue[1:]
+			queue.popFront()
 			if e.isCondBranch {
-				if ce, ok := p.cqt[e.Seq()]; ok {
-					delete(p.cqt, e.Seq())
-					if ce.queue > 0 {
-						p.brcqLive[ce.queue-1]--
-					}
-				}
+				p.cqtRemove(e.Seq())
 			}
 			c.commitEntry(e)
 			if ooo {
 				p.cit = append(p.cit, e.idx)
+				if e.idx < p.citMin {
+					p.citMin = e.idx
+				}
 				c.stats.CITAllocs++
 				if int64(len(p.cit)) > c.stats.CITPeak {
 					c.stats.CITPeak = int64(len(p.cit))
@@ -283,62 +324,83 @@ func (p *norebaPolicy) commit(c *Core, cycle int64, width int) int {
 	// (only an older unresolved branch could redirect fetch before it) and
 	// the fetch cursor has already passed it (no in-progress refetch still
 	// needs the drop). This matches the paper's "commit of the most recent
-	// unresolved branch" intent while staying provably safe.
+	// unresolved branch" intent while staying provably safe. The scan is
+	// skipped while even the oldest recorded index cannot be freed.
 	freeBound := c.win.loadedEnd()
 	if b := c.oldestUnresolvedBranch(); b != nil {
 		freeBound = b.idx
 	}
-	live := p.cit[:0]
-	for _, idx := range p.cit {
-		if idx < freeBound && idx < c.cursor {
-			continue
-		}
-		live = append(live, idx)
+	bound := freeBound
+	if c.cursor < bound {
+		bound = c.cursor
 	}
-	p.cit = live
+	if p.citMin < bound {
+		live := p.cit[:0]
+		min := intMax
+		for _, idx := range p.cit {
+			if idx < freeBound && idx < c.cursor {
+				continue
+			}
+			live = append(live, idx)
+			if idx < min {
+				min = idx
+			}
+		}
+		p.cit = live
+		p.citMin = min
+	}
 
 	return n
 }
 
 func (p *norebaPolicy) squash(c *Core, seq int64) {
+	p.robPrime.purgeSquashed()
 	for qi := range p.queues {
-		keep := p.queues[qi][:0]
-		for _, e := range p.queues[qi] {
-			if !e.squashed {
-				keep = append(keep, e)
-			}
-		}
-		p.queues[qi] = keep
+		p.queues[qi].purgeSquashed()
 	}
-	for s, ce := range p.cqt {
-		if ce.branch.squashed {
-			delete(p.cqt, s)
-			if ce.queue > 0 {
-				p.brcqLive[ce.queue-1]--
+	w := 0
+	for i := range p.cqt {
+		s := p.cqt[i]
+		if s.branch.squashed {
+			if s.branch.cqtCounted {
+				p.cqtLive--
+				s.branch.cqtCounted = false
 			}
+			if s.queue > 0 {
+				p.brcqLive[s.queue-1]--
+			}
+			continue
 		}
+		p.cqt[w] = s
+		w++
 	}
+	for i := w; i < len(p.cqt); i++ {
+		p.cqt[i] = cqtSlot{}
+	}
+	p.cqt = p.cqt[:w]
 }
 
 func (p *norebaPolicy) accumulate(c *Core) {
-	c.stats.PRCQOcc += int64(len(p.queues[0]))
+	c.stats.PRCQOcc += int64(p.queues[0].len())
 	for k := 0; k < p.cfg.NumBRCQs; k++ {
-		c.stats.BRCQOcc += int64(len(p.queues[k+1]))
+		c.stats.BRCQOcc += int64(p.queues[k+1].len())
 	}
 }
 
 // check validates the Selective ROB's private structures for the sanitizer:
 // queue capacities and FIFO age order, steering labels, CIT capacity and
-// content (only committed, unique trace indices — §4.3), and CQT/BR-CQ
-// branch-liveness consistency.
+// content (only committed, unique trace indices — §4.3), ROB′ content, and
+// CQT/BR-CQ branch-liveness consistency including the maintained counters.
 func (p *norebaPolicy) check(c *Core, cycle int64) *sanity.Error {
-	for qi, queue := range p.queues {
+	for qi := range p.queues {
+		queue := &p.queues[qi]
 		size := p.queueSize(qi)
-		if len(queue) > size {
-			return sanity.Errorf("cq/capacity", cycle, "queue %d holds %d entries, size %d", qi, len(queue), size)
+		if queue.len() > size {
+			return sanity.Errorf("cq/capacity", cycle, "queue %d holds %d entries, size %d", qi, queue.len(), size)
 		}
 		lastSeq := int64(-1)
-		for _, e := range queue {
+		for i := 0; i < queue.len(); i++ {
+			e := queue.at(i)
 			if e.squashed {
 				continue
 			}
@@ -358,9 +420,22 @@ func (p *norebaPolicy) check(c *Core, cycle int64) *sanity.Error {
 		}
 	}
 
+	for i := 0; i < p.robPrime.len(); i++ {
+		e := p.robPrime.at(i)
+		if e.steered {
+			return sanity.At("robprime/steered", cycle, e.d.PC, e.Seq(),
+				"steered entry still resident in ROB′")
+		}
+		if e.squashed {
+			return sanity.At("robprime/squashed", cycle, e.d.PC, e.Seq(),
+				"squashed entry resident in ROB′")
+		}
+	}
+
 	if len(p.cit) > p.cfg.CITSize {
 		return sanity.Errorf("cit/capacity", cycle, "CIT holds %d entries, size %d", len(p.cit), p.cfg.CITSize)
 	}
+	citMin := intMax
 	seen := make(map[int]bool, len(p.cit))
 	for _, idx := range p.cit {
 		if seen[idx] {
@@ -370,19 +445,34 @@ func (p *norebaPolicy) check(c *Core, cycle int64) *sanity.Error {
 		if !c.win.isCommitted(idx) {
 			return sanity.Errorf("cit/uncommitted", cycle, "CIT records uncommitted trace index %d", idx)
 		}
+		if idx < citMin {
+			citMin = idx
+		}
+	}
+	if citMin != p.citMin {
+		return sanity.Errorf("cit/min", cycle, "CIT min tracker %d but smallest recorded index is %d", p.citMin, citMin)
 	}
 
-	if n := p.liveCQT(); n > p.cfg.CQTSize {
-		return sanity.Errorf("cqt/capacity", cycle, "%d live CQT entries, size %d", n, p.cfg.CQTSize)
+	if n := p.liveCQT(); n != p.cqtLive {
+		return sanity.Errorf("cqt/live-count", cycle, "live-CQT counter %d but %d unresolved CQT branches", p.cqtLive, n)
+	}
+	if p.cqtLive > p.cfg.CQTSize {
+		return sanity.Errorf("cqt/capacity", cycle, "%d live CQT entries, size %d", p.cqtLive, p.cfg.CQTSize)
 	}
 	counts := make([]int, p.cfg.NumBRCQs)
-	for _, ce := range p.cqt {
-		if ce.branch.squashed {
-			return sanity.At("cqt/squashed", cycle, ce.branch.d.PC, ce.branch.Seq(),
+	lastSeq := int64(-1)
+	for i := range p.cqt {
+		s := p.cqt[i]
+		if s.seq <= lastSeq {
+			return sanity.Errorf("cqt/order", cycle, "CQT out of seq order: %d after %d", s.seq, lastSeq)
+		}
+		lastSeq = s.seq
+		if s.branch.squashed {
+			return sanity.At("cqt/squashed", cycle, s.branch.d.PC, s.branch.Seq(),
 				"CQT entry for a squashed branch")
 		}
-		if ce.queue > 0 {
-			counts[ce.queue-1]++
+		if s.queue > 0 {
+			counts[s.queue-1]++
 		}
 	}
 	for k, n := range counts {

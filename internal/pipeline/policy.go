@@ -4,11 +4,22 @@ package pipeline
 // the common eligibility rules in Core.eligible; they differ in which
 // instructions they may retire each cycle and in what resources retirement
 // reclaims.
+//
+// The commit walks are event-driven: instead of rescanning the ROB, each
+// policy examines the core's commit-candidate queue (entries past the event
+// that first made them retirable, in dispatch order — see candMode) bounded
+// by its incremental commit boundary (the blocker deques). The positional
+// semantics of the old full-ROB scans are preserved exactly: a walk stops at
+// the first instruction — candidate, live blocker, or committed resident —
+// that the old scan would have broken at.
 type policy interface {
 	dispatch(c *Core, e *Entry)
 	// commit retires up to width instructions at cycle and returns how many
 	// it retired.
 	commit(c *Core, cycle int64, width int) int
+	// resolve is called when a control transfer resolves (after the core
+	// updates its own branch lists, before any recovery).
+	resolve(c *Core, e *Entry)
 	// squash drops policy-internal state for instructions younger than seq.
 	squash(c *Core, seq int64)
 	// accumulate records per-cycle occupancy statistics.
@@ -34,9 +45,28 @@ func newPolicy(cfg Config) policy {
 	}
 }
 
+// commitStep retires e from a candidate-queue walk and reports whether the
+// walk must also skip the candidate that directly follows e in the ROB.
+// The scans this code replaces ranged over the ROB slice while commitEntry
+// spliced drained entries out of the shared backing array, so each
+// commit-that-drained shifted the remaining elements left by one and the
+// range skipped e's immediate successor that cycle. The golden cycle counts
+// bake that positional behaviour in, so the walks reproduce it: when e
+// drains at commit and its ROB successor is a candidate (then sitting at
+// e's old queue index), the caller advances past it. The one exception is
+// the youngest ROB entry: the splice leaves a stale copy of the original
+// last element in the tail slot the range still reads, so the last entry
+// was always examined and is never skipped.
+func (c *Core) commitStep(e *Entry) bool {
+	next := e.robNext
+	c.commitEntry(e)
+	return !e.inROB && next != nil && next.inCand && next != c.robTail
+}
+
 type basePolicy struct{}
 
 func (basePolicy) dispatch(*Core, *Entry) {}
+func (basePolicy) resolve(*Core, *Entry)  {}
 func (basePolicy) squash(*Core, int64)    {}
 func (basePolicy) accumulate(*Core)       {}
 
@@ -46,8 +76,8 @@ type inOrderPolicy struct{ basePolicy }
 
 func (inOrderPolicy) commit(c *Core, cycle int64, width int) int {
 	n := 0
-	for n < width && len(c.rob) > 0 {
-		e := c.rob[0]
+	for n < width && c.robHead != nil {
+		e := c.robHead
 		if !c.eligible(e, cycle, true, true) {
 			break
 		}
@@ -64,28 +94,21 @@ func (inOrderPolicy) commit(c *Core, cycle int64, width int) int {
 type nonSpecPolicy struct{ basePolicy }
 
 func (nonSpecPolicy) commit(c *Core, cycle int64, width int) int {
-	boundary := int64(1) << 62
-	for _, e := range c.rob {
-		if (e.isCondBranch || e.isJalr) && !e.resolved {
-			boundary = e.Seq()
-			break
-		}
-		if e.isMem && !(e.issued && e.addrReadyAt <= cycle) {
-			boundary = e.Seq()
-			break
-		}
-	}
-	n := 0
-	for _, e := range c.rob {
-		if n == width {
-			break
-		}
-		if e.Seq() >= boundary {
+	boundary := c.nonSpecBoundary(cycle)
+	residentCut := c.residentCutoff(boundary)
+	n, i := 0, 0
+	for i < len(c.candQ) && n < width {
+		e := c.candQ[i]
+		if e.dispatchOrder > residentCut || e.Seq() >= boundary {
 			break
 		}
 		if c.eligible(e, cycle, true, true) {
-			c.commitEntry(e)
+			if c.commitStep(e) { // removes e from candQ at index i
+				i++
+			}
 			n++
+		} else {
+			i++
 		}
 	}
 	return n
@@ -97,58 +120,37 @@ func (nonSpecPolicy) commit(c *Core, cycle int64, width int) int {
 type idealReconvPolicy struct{ basePolicy }
 
 func (idealReconvPolicy) commit(c *Core, cycle int64, width int) int {
-	memBoundary := memTrapBoundary(c, cycle)
-	n := 0
-	for _, e := range c.rob {
-		if n == width {
-			break
-		}
-		if e.Seq() >= memBoundary {
+	memBoundary := c.memTrapBoundary(cycle)
+	residentCut := c.residentCutoff(memBoundary)
+	n, i := 0, 0
+	for i < len(c.candQ) && n < width {
+		e := c.candQ[i]
+		if e.dispatchOrder > residentCut || e.Seq() >= memBoundary {
 			break // Condition 2: a possibly-trapping older access blocks commit
 		}
-		if !c.eligible(e, cycle, true, false) {
-			continue
+		if c.eligible(e, cycle, true, false) && depSatisfied(c, e) {
+			if c.commitStep(e) {
+				i++
+			}
+			n++
+		} else {
+			i++
 		}
-		if !depSatisfied(c, e) {
-			continue
-		}
-		c.commitEntry(e)
-		n++
 	}
 	return n
-}
-
-// memTrapBoundary returns the sequence number of the oldest memory
-// operation whose translation has not yet succeeded; no instruction past it
-// may commit (Condition 2).
-func memTrapBoundary(c *Core, cycle int64) int64 {
-	for _, e := range c.rob {
-		if e.isMem && !(e.issued && e.addrReadyAt <= cycle) {
-			return e.Seq()
-		}
-	}
-	return int64(1) << 62
 }
 
 // depSatisfied checks the compiler-dependence commit condition shared by
 // the ideal-reconvergence policy: the instruction's governing branch
 // instance has resolved, DepOrdered instructions wait for all older
 // branches, and unmarked unresolved branches serialise everything younger.
+// Every clause reads an eagerly-maintained list, so the check is O(log n).
 func depSatisfied(c *Core, e *Entry) bool {
 	// An unmarked (no setBranchId) unresolved conditional branch blocks
 	// all younger instructions: the compiler gave no information about
 	// its dependents.
-	c.pruneUnresolved()
-	for _, b := range c.unresolvedBranches {
-		if b.squashed || b.resolved {
-			continue
-		}
-		if b.Seq() >= e.Seq() {
-			break
-		}
-		if b.dep.BranchID == 0 {
-			return false
-		}
+	if len(c.unmarkedUnresolved) > 0 && c.unmarkedUnresolved[0].Seq() < e.Seq() {
+		return false
 	}
 	switch {
 	case e.dep.DepSeq == DepNone:
@@ -160,7 +162,7 @@ func depSatisfied(c *Core, e *Entry) bool {
 		if c.win.isCommitted(idx) {
 			return true
 		}
-		if b, ok := c.branchBySeq[e.dep.DepSeq]; ok {
+		if b := c.findLiveBranch(e.dep.DepSeq); b != nil {
 			return b.resolved && !b.mispredictPending()
 		}
 		return false // not fetched (skipped region): poisoned
@@ -179,18 +181,21 @@ func (e *Entry) mispredictPending() bool { return e.mispredicted && !e.resolved 
 type specBRPolicy struct{ basePolicy }
 
 func (specBRPolicy) commit(c *Core, cycle int64, width int) int {
-	memBoundary := memTrapBoundary(c, cycle)
-	n := 0
-	for _, e := range c.rob {
-		if n == width {
-			break
-		}
-		if e.Seq() >= memBoundary {
+	memBoundary := c.memTrapBoundary(cycle)
+	residentCut := c.residentCutoff(memBoundary)
+	n, i := 0, 0
+	for i < len(c.candQ) && n < width {
+		e := c.candQ[i]
+		if e.dispatchOrder > residentCut || e.Seq() >= memBoundary {
 			break // Condition 2: a possibly-trapping older access blocks commit
 		}
 		if c.eligible(e, cycle, true, false) {
-			c.commitEntry(e)
+			if c.commitStep(e) {
+				i++
+			}
 			n++
+		} else {
+			i++
 		}
 	}
 	return n
@@ -201,14 +206,16 @@ func (specBRPolicy) commit(c *Core, cycle int64, width int) int {
 type specPolicy struct{ basePolicy }
 
 func (specPolicy) commit(c *Core, cycle int64, width int) int {
-	n := 0
-	for _, e := range c.rob {
-		if n == width {
-			break
-		}
+	n, i := 0, 0
+	for i < len(c.candQ) && n < width {
+		e := c.candQ[i]
 		if c.eligible(e, cycle, false, false) {
-			c.commitEntry(e)
+			if c.commitStep(e) {
+				i++
+			}
 			n++
+		} else {
+			i++
 		}
 	}
 	return n

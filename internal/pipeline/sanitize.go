@@ -8,9 +8,15 @@ import (
 // independently of the commit policies' own eligibility code, that every
 // retirement obeys the paper's commit-order rules (§4) and that the pipeline's
 // structural bookkeeping stays conserved. Checks are deliberately re-derived
-// from first principles — scanning the raw unresolved-branch list and
-// recounting occupancy from the in-flight set — rather than calling the same
-// helpers the policies use, so a bug in policy code cannot hide itself.
+// from first principles — scanning the raw ROB and recounting occupancy from
+// the in-flight set — rather than calling the same helpers the policies use,
+// so a bug in policy code cannot hide itself.
+//
+// With the event-driven scheduler the sanitizer is also the correctness
+// oracle for the incremental state: every cycle it recomputes, from the ROB
+// alone, what the wakeup counters, ready and commit-candidate queues, branch
+// lists, committed-resident set and commit boundaries must contain, and
+// cross-checks the maintained versions against the from-scratch answer.
 //
 // The checker has two hook points: onCommit validates each retirement at the
 // moment it happens (commit legality is a property of that instant), and
@@ -25,9 +31,10 @@ import (
 //	prf/*      — physical-register free-list conservation
 //	lq/*, sq/* — load/store-queue occupancy conservation
 //	lsq/*      — LSQ age ordering
+//	sched/*    — event-driven scheduler state vs from-scratch re-derivation
 //	frontier/* — commit-frontier monotonicity
 //	window/*   — sliding-window release safety
-//	cit/*, cqt/*, cq/* — NOREBA Selective ROB structures (§4.2–§4.3)
+//	cit/*, cqt/*, cq/*, robprime/* — NOREBA Selective ROB structures (§4.2–§4.3)
 //	core/*     — whole-run guards (livelock)
 type sanitizer struct {
 	lastFrontier    int
@@ -49,8 +56,7 @@ type policyChecker interface {
 // until the frontier drains them) are exempt: after a recovery the skipped
 // dependent region legitimately re-dispatches behind them.
 func (s *sanitizer) onDispatch(c *Core, e *Entry) {
-	for i := len(c.rob) - 1; i >= 0; i-- {
-		t := c.rob[i]
+	for t := c.robTail; t != nil; t = t.robPrev {
 		if t.committed {
 			continue
 		}
@@ -63,7 +69,10 @@ func (s *sanitizer) onDispatch(c *Core, e *Entry) {
 }
 
 // onCommit re-derives the commit conditions for e at the instant the policy
-// retires it. Runs before commitEntry mutates any state.
+// retires it. Runs before commitEntry mutates any state. The branch checks
+// scan the ROB directly rather than reading the core's incremental branch
+// lists, so they stay independent of the event-driven bookkeeping they are
+// meant to catch out.
 func (s *sanitizer) onCommit(c *Core, e *Entry) {
 	cyc := c.cycle
 	pol := c.cfg.Policy
@@ -134,16 +143,22 @@ func (s *sanitizer) onCommit(c *Core, e *Entry) {
 
 	// Branch-condition legality: what an unresolved older branch permits
 	// depends on the design. The speculative oracles relax it entirely.
+	// Every unresolved branch is uncommitted and unsquashed, hence still on
+	// the ROB list, so a head-first walk meets them oldest-first.
 	if pol == Spec || pol == SpecBR {
 		return
 	}
-	for _, b := range c.unresolvedBranches {
-		if b.Seq() >= e.Seq() {
-			break // dispatch order == age order; nothing older remains
-		}
-		if b.squashed || b.resolved {
+	for t := c.robHead; t != nil; t = t.robNext {
+		if t.committed {
 			continue
 		}
+		if t.Seq() >= e.Seq() {
+			break // dispatch order == age order among live entries
+		}
+		if !t.isCondBranch || t.resolved {
+			continue
+		}
+		b := t
 		switch pol {
 		case InOrder, NonSpecOoO:
 			// Condition 3 in full: no commit past any unresolved branch.
@@ -173,7 +188,14 @@ func (s *sanitizer) onCommit(c *Core, e *Entry) {
 	if (pol == Noreba || pol == IdealReconv) && e.dep.DepSeq >= 0 {
 		idx := int(e.dep.DepSeq)
 		if !c.win.isCommitted(idx) {
-			if b, ok := c.branchBySeq[e.dep.DepSeq]; !ok || !b.resolved {
+			var b *Entry
+			for t := c.robHead; t != nil; t = t.robNext {
+				if t.isCondBranch && t.Seq() == e.dep.DepSeq {
+					b = t
+					break
+				}
+			}
+			if b == nil || !b.resolved {
 				c.fail(sanity.At("commit/dep-unresolved", cyc, e.d.PC, e.Seq(),
 					"retiring before governing branch instance seq %d resolved", e.dep.DepSeq))
 			}
@@ -182,9 +204,10 @@ func (s *sanitizer) onCommit(c *Core, e *Entry) {
 }
 
 // endCycle recounts structural state from the in-flight set and cross-checks
-// the core's incremental bookkeeping. c.rob is the complete universe of
-// dispatched, un-squashed, not-yet-drained entries (steered NOREBA entries
-// remain on it for issue), so conservation laws are checkable by one scan.
+// the core's incremental bookkeeping. The ROB list is the complete universe
+// of dispatched, un-squashed, not-yet-drained entries (steered NOREBA entries
+// and committed residents remain on it), so conservation laws and every
+// scheduler structure are checkable by one walk.
 func (s *sanitizer) endCycle(c *Core) {
 	cyc := c.cycle - 1 // Step increments before this hook runs
 
@@ -210,10 +233,14 @@ func (s *sanitizer) endCycle(c *Core) {
 		return
 	}
 
-	// One scan over the in-flight set: ordering plus occupancy recount.
-	robOcc, iqOcc, lqOcc, physUsed := 0, 0, 0, 0
-	lastSeq := int64(-1)
-	for _, e := range c.rob {
+	// One walk over the ROB list: ordering, occupancy recount, and the
+	// from-scratch re-derivation of every scheduler structure.
+	robCount, robOcc, iqOcc, lqOcc, physUsed := 0, 0, 0, 0, 0
+	nReady, nCand, nResident := 0, 0, 0
+	liveBr, unresBr, unmarked := 0, 0, 0
+	lastSeq, lastOrder := int64(-1), int64(-1)
+	for e := c.robHead; e != nil; e = e.robNext {
+		robCount++
 		if e.squashed {
 			c.fail(sanity.At("rob/squashed-resident", cyc, e.d.PC, e.Seq(),
 				"squashed entry still resident in the ROB"))
@@ -235,6 +262,12 @@ func (s *sanitizer) endCycle(c *Core) {
 			}
 			lastSeq = e.Seq()
 		}
+		if e.dispatchOrder <= lastOrder {
+			c.fail(sanity.At("rob/dispatch-order", cyc, e.d.PC, e.Seq(),
+				"ROB list out of dispatch order: %d after %d", e.dispatchOrder, lastOrder))
+			return
+		}
+		lastOrder = e.dispatchOrder
 		if !e.steered && !e.committed {
 			robOcc++
 		}
@@ -247,7 +280,186 @@ func (s *sanitizer) endCycle(c *Core) {
 		if e.class == opLoad && (!e.committed || e.lqHeld) {
 			lqOcc++
 		}
+
+		// Wakeup state: the waits counter must equal the number of linked
+		// producers that are still in flight (not completed, not squashed,
+		// not recycled), and ready-queue membership must follow from it.
+		want := int32(0)
+		for _, ref := range e.producers {
+			if ref.live() && !ref.e.squashed && !ref.e.done {
+				want++
+			}
+		}
+		if e.waits != want {
+			c.fail(sanity.At("sched/waits", cyc, e.d.PC, e.Seq(),
+				"waits counter %d but %d producers still outstanding", e.waits, want))
+			return
+		}
+		if wantReady := !e.issued && e.waits == 0; e.inReady != wantReady {
+			c.fail(sanity.At("sched/ready-membership", cyc, e.d.PC, e.Seq(),
+				"inReady=%t but issued=%t waits=%d", e.inReady, e.issued, e.waits))
+			return
+		}
+		if e.inReady {
+			nReady++
+		}
+
+		// Commit-candidate membership: derived from the entry's class and
+		// progress alone (see candMode).
+		wantCand := false
+		if !e.committed {
+			switch c.candMode {
+			case candRelaxed:
+				switch {
+				case e.isCondBranch || e.isJalr:
+					wantCand = e.resolved
+				case e.isMem:
+					wantCand = e.issued
+				default:
+					wantCand = true
+				}
+			case candCompletion:
+				wantCand = e.issued
+			}
+		}
+		if e.inCand != wantCand {
+			c.fail(sanity.At("sched/cand-membership", cyc, e.d.PC, e.Seq(),
+				"inCand=%t but derivation says %t (committed=%t issued=%t resolved=%t done=%t)",
+				e.inCand, wantCand, e.committed, e.issued, e.resolved, e.done))
+			return
+		}
+		if e.inCand {
+			nCand++
+		}
+
+		// Committed residents: exactly the committed entries still on the
+		// list, with a consistent back-index.
+		if e.committed != (e.resident >= 0) {
+			c.fail(sanity.At("sched/resident", cyc, e.d.PC, e.Seq(),
+				"committed=%t but resident index %d", e.committed, e.resident))
+			return
+		}
+		if e.resident >= 0 {
+			nResident++
+			if e.resident >= len(c.committedResidents) || c.committedResidents[e.resident] != e {
+				c.fail(sanity.At("sched/resident-index", cyc, e.d.PC, e.Seq(),
+					"resident index %d does not point back to the entry", e.resident))
+				return
+			}
+		}
+
+		// Branch lists: walked in ROB order, they must match the maintained
+		// lists element for element (committed branches drain immediately —
+		// resolution is completion — so every listed branch is live).
+		if e.isCondBranch && !e.committed {
+			if liveBr >= len(c.liveBranches) || c.liveBranches[liveBr] != e {
+				c.fail(sanity.At("sched/live-branches", cyc, e.d.PC, e.Seq(),
+					"live-branch list diverges from the ROB at position %d", liveBr))
+				return
+			}
+			liveBr++
+			if !e.resolved {
+				if unresBr >= len(c.unresolvedBranches) || c.unresolvedBranches[unresBr] != e {
+					c.fail(sanity.At("sched/unresolved-branches", cyc, e.d.PC, e.Seq(),
+						"unresolved-branch list diverges from the ROB at position %d", unresBr))
+					return
+				}
+				unresBr++
+				if c.needUnmarked && e.dep.BranchID == 0 {
+					if unmarked >= len(c.unmarkedUnresolved) || c.unmarkedUnresolved[unmarked] != e {
+						c.fail(sanity.At("sched/unmarked-unresolved", cyc, e.d.PC, e.Seq(),
+							"unmarked-unresolved list diverges from the ROB at position %d", unmarked))
+						return
+					}
+					unmarked++
+				}
+			}
+		}
 	}
+	switch {
+	case robCount != c.robCount:
+		c.fail(sanity.Errorf("rob/count", cyc, "robCount=%d but the list holds %d entries", c.robCount, robCount))
+		return
+	case liveBr != len(c.liveBranches):
+		c.fail(sanity.Errorf("sched/live-branches", cyc,
+			"live-branch list holds %d entries but the ROB has %d live branches", len(c.liveBranches), liveBr))
+		return
+	case unresBr != len(c.unresolvedBranches):
+		c.fail(sanity.Errorf("sched/unresolved-branches", cyc,
+			"unresolved-branch list holds %d entries but the ROB has %d", len(c.unresolvedBranches), unresBr))
+		return
+	case c.needUnmarked && unmarked != len(c.unmarkedUnresolved):
+		c.fail(sanity.Errorf("sched/unmarked-unresolved", cyc,
+			"unmarked-unresolved list holds %d entries but the ROB has %d", len(c.unmarkedUnresolved), unmarked))
+		return
+	case nReady != len(c.readyQ):
+		c.fail(sanity.Errorf("sched/ready-count", cyc,
+			"ready queue holds %d entries but %d ROB entries are ready", len(c.readyQ), nReady))
+		return
+	case nCand != len(c.candQ):
+		c.fail(sanity.Errorf("sched/cand-count", cyc,
+			"candidate queue holds %d entries but %d ROB entries are candidates", len(c.candQ), nCand))
+		return
+	case nResident != len(c.committedResidents):
+		c.fail(sanity.Errorf("sched/resident-count", cyc,
+			"resident list holds %d entries but %d committed entries are on the ROB", len(c.committedResidents), nResident))
+		return
+	}
+	for i := 1; i < len(c.readyQ); i++ {
+		if c.readyQ[i-1].dispatchOrder >= c.readyQ[i].dispatchOrder {
+			c.fail(sanity.Errorf("sched/ready-order", cyc, "ready queue out of dispatch order at %d", i))
+			return
+		}
+	}
+	for i := 1; i < len(c.candQ); i++ {
+		if c.candQ[i-1].dispatchOrder >= c.candQ[i].dispatchOrder {
+			c.fail(sanity.Errorf("sched/cand-order", cyc, "candidate queue out of dispatch order at %d", i))
+			return
+		}
+	}
+
+	// Boundary deques vs a from-scratch scan. Pruning the deques here is
+	// harmless: blocking is monotone, so anything prunable at cyc stays
+	// prunable.
+	if c.needBlockers {
+		want := int64(1) << 62
+		for e := c.robHead; e != nil; e = e.robNext {
+			if e.committed {
+				continue
+			}
+			if (e.isCondBranch || e.isJalr) && !e.resolved {
+				want = e.Seq()
+				break
+			}
+			if e.isMem && !(e.issued && e.addrReadyAt <= cyc) {
+				want = e.Seq()
+				break
+			}
+		}
+		if got := c.nonSpecBoundary(cyc); got != want {
+			c.fail(sanity.Errorf("sched/nonspec-boundary", cyc,
+				"blocker deque reports boundary %d but the ROB scan finds %d", got, want))
+			return
+		}
+	}
+	if c.needTransMem {
+		want := int64(1) << 62
+		for e := c.robHead; e != nil; e = e.robNext {
+			if e.committed {
+				continue
+			}
+			if e.isMem && !(e.issued && e.addrReadyAt <= cyc) {
+				want = e.Seq()
+				break
+			}
+		}
+		if got := c.memTrapBoundary(cyc); got != want {
+			c.fail(sanity.Errorf("sched/memtrap-boundary", cyc,
+				"untranslated-memory deque reports boundary %d but the ROB scan finds %d", got, want))
+			return
+		}
+	}
+
 	if robOcc != c.robOcc {
 		c.fail(sanity.Errorf("rob/occupancy", cyc, "robOcc=%d but %d live unsteered entries", c.robOcc, robOcc))
 		return

@@ -67,7 +67,7 @@ func TestSanitizerCleanOnRandomPrograms(t *testing.T) {
 func stepUntilInFlight(t *testing.T, c *Core, n int) {
 	t.Helper()
 	for i := 0; i < 10000; i++ {
-		if len(c.rob) >= n {
+		if c.robCount >= n {
 			return
 		}
 		if c.Done() {
@@ -105,7 +105,16 @@ func TestSanitizerCatchesROBDisorder(t *testing.T) {
 	tr, meta := buildTrace(t, mlpKernel(16), true)
 	c := NewCore(sanConfig(InOrder), tr, meta)
 	stepUntilInFlight(t, c, 4)
-	c.rob[0], c.rob[1] = c.rob[1], c.rob[0]
+	// Swap the first two list nodes so the ROB is out of age order.
+	a, b := c.robHead, c.robHead.robNext
+	a.robNext, b.robPrev = b.robNext, a.robPrev
+	if b.robNext != nil {
+		b.robNext.robPrev = a
+	} else {
+		c.robTail = a
+	}
+	a.robPrev, b.robNext = b, a
+	c.robHead = b
 	c.Step()
 	assertViolation(t, c.SanityErr(), "rob/alloc-order")
 }

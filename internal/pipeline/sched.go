@@ -1,0 +1,330 @@
+package pipeline
+
+// This file holds the event-driven scheduler's support structures: the
+// completion wheel, generation-tagged entry references, the pooled entry
+// allocator, and the small ordered containers (ready queue, commit-candidate
+// queue, blocker deques) that replace the per-cycle O(ROB) scans the core
+// and the commit policies used to perform.
+//
+// Reference safety: entries are pooled and recycled the moment they drain
+// from the pipeline, so any container that can hold a reference across an
+// entry's recycling stores an entryRef — the pointer plus the generation the
+// entry had when the reference was taken. A reference whose generation no
+// longer matches is stale: the instruction it referred to left the pipeline
+// (committed and completed, or was squashed and reclaimed), which in every
+// use site below means "no longer relevant — skip". Containers that are
+// eagerly purged before recycling (the ROB list, the ready and candidate
+// queues, the branch lists) hold plain pointers.
+
+// entryRef is a generation-tagged entry reference.
+type entryRef struct {
+	e   *Entry
+	gen uint32
+}
+
+// live reports whether the reference still names the instruction it was
+// taken for.
+func (r entryRef) live() bool { return r.e.gen == r.gen }
+
+// ---- entry pool ----
+
+// entryPool recycles Entry objects so the steady-state cycle allocates
+// nothing. Recycling bumps the entry's generation, invalidating every
+// outstanding entryRef to its former life; per-entry slices keep their
+// capacity across lives.
+type entryPool struct {
+	free []*Entry
+}
+
+func (p *entryPool) get() *Entry {
+	n := len(p.free)
+	if n == 0 {
+		return &Entry{}
+	}
+	e := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	return e
+}
+
+// put recycles e. The caller guarantees no plain-pointer container still
+// holds it; tagged references are invalidated by the generation bump.
+func (p *entryPool) put(e *Entry) {
+	e.gen++
+	e.reset()
+	p.free = append(p.free, e)
+}
+
+// ---- completion wheel ----
+
+// complWheel buckets in-flight completions by cycle modulo a power-of-two
+// horizon, replacing the map the core used to key completion events with.
+// The horizon is sized past the longest possible issue-to-complete latency
+// (a full-miss memory access plus slack), so two live events can never
+// share a bucket; if a configuration exceeds it anyway the wheel re-hashes
+// into a doubled horizon. Bucket slices are reused, so the steady state
+// schedules and fires events without allocating.
+type complWheel struct {
+	buckets [][]entryRef
+	mask    int64
+}
+
+func newComplWheel(horizon int64) complWheel {
+	size := int64(64)
+	for size < horizon {
+		size <<= 1
+	}
+	return complWheel{buckets: make([][]entryRef, size), mask: size - 1}
+}
+
+// schedule records that e completes at cycle at (= e.doneAt), seen from now.
+func (w *complWheel) schedule(now int64, e *Entry) {
+	if e.doneAt-now >= int64(len(w.buckets)) {
+		w.grow(now, e.doneAt)
+	}
+	i := e.doneAt & w.mask
+	w.buckets[i] = append(w.buckets[i], entryRef{e, e.gen})
+}
+
+// take returns the bucket for cycle and leaves it empty (capacity kept).
+// References must be generation-checked by the caller: squashed-and-recycled
+// entries leave their event behind.
+func (w *complWheel) take(cycle int64) []entryRef {
+	i := cycle & w.mask
+	b := w.buckets[i]
+	w.buckets[i] = b[:0]
+	return b
+}
+
+// grow re-hashes every pending event into a wheel at least until cycles
+// past now. Stale references are dropped in passing.
+func (w *complWheel) grow(now, until int64) {
+	size := int64(len(w.buckets))
+	for size <= until-now {
+		size <<= 1
+	}
+	fresh := make([][]entryRef, size)
+	for _, b := range w.buckets {
+		for _, ref := range b {
+			if !ref.live() {
+				continue
+			}
+			i := ref.e.doneAt & (size - 1)
+			fresh[i] = append(fresh[i], ref)
+		}
+	}
+	w.buckets, w.mask = fresh, size-1
+}
+
+// ---- ordered entry queues ----
+
+// insertByDispatch inserts e into q, which is kept sorted by dispatch order
+// (the order the old code scanned the ROB slice in). Entries inserted at
+// dispatch time append in O(1); event-driven insertions (wakeup, completion,
+// resolution) binary-search their slot.
+func insertByDispatch(q []*Entry, e *Entry) []*Entry {
+	n := len(q)
+	if n == 0 || q[n-1].dispatchOrder < e.dispatchOrder {
+		return append(q, e)
+	}
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q[mid].dispatchOrder < e.dispatchOrder {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q = append(q, nil)
+	copy(q[lo+1:], q[lo:])
+	q[lo] = e
+	return q
+}
+
+// removeAt removes index i from q preserving order.
+func removeAt(q []*Entry, i int) []*Entry {
+	copy(q[i:], q[i+1:])
+	q[len(q)-1] = nil
+	return q[:len(q)-1]
+}
+
+// removeBySeq removes the entry with sequence number seq from a seq-sorted
+// queue, if present.
+func removeBySeq(q []*Entry, seq int64) []*Entry {
+	if i := searchSeq(q, seq); i < len(q) && q[i].Seq() == seq {
+		return removeAt(q, i)
+	}
+	return q
+}
+
+// searchSeq returns the first index whose entry has Seq() >= seq.
+func searchSeq(q []*Entry, seq int64) int {
+	lo, hi := 0, len(q)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q[mid].Seq() < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// truncateYounger drops every entry with Seq() > seq from a seq-sorted
+// queue (the squash pattern: everything younger than the recovering branch).
+func truncateYounger(q []*Entry, seq int64) []*Entry {
+	i := searchSeq(q, seq+1)
+	for j := i; j < len(q); j++ {
+		q[j] = nil
+	}
+	return q[:i]
+}
+
+// purgeSquashed removes squashed entries from q in place, preserving order.
+func purgeSquashed(q []*Entry) []*Entry {
+	keep := q[:0]
+	for _, e := range q {
+		if !e.squashed {
+			keep = append(keep, e)
+		}
+	}
+	for j := len(keep); j < len(q); j++ {
+		q[j] = nil
+	}
+	return keep
+}
+
+// ---- blocker deque ----
+
+// refDeque is a FIFO of generation-tagged references in dispatch order. The
+// boundary trackers push every potentially-blocking instruction at dispatch
+// and lazily pop the front once it can no longer block; because "stopped
+// blocking" is monotone (a resolved branch stays resolved, a translated
+// access stays translated, a drained or squashed entry never returns), the
+// front is always the oldest still-blocking instruction.
+type refDeque struct {
+	buf     []entryRef
+	head, n int
+}
+
+func (d *refDeque) push(e *Entry) {
+	if d.head+d.n == len(d.buf) {
+		if d.head > d.n {
+			copy(d.buf, d.buf[d.head:d.head+d.n])
+			for i := d.n; i < d.head+d.n; i++ {
+				d.buf[i] = entryRef{}
+			}
+			d.head = 0
+		} else {
+			d.buf = append(d.buf[:d.head+d.n], entryRef{})
+			d.buf = d.buf[:cap(d.buf)]
+		}
+	}
+	d.buf[d.head+d.n] = entryRef{e, e.gen}
+	d.n++
+}
+
+func (d *refDeque) front() (entryRef, bool) {
+	if d.n == 0 {
+		return entryRef{}, false
+	}
+	return d.buf[d.head], true
+}
+
+func (d *refDeque) popFront() {
+	d.buf[d.head] = entryRef{}
+	d.head++
+	d.n--
+	if d.n == 0 {
+		d.head = 0
+	}
+}
+
+// purgeSquashed drops squashed and stale references anywhere in the deque
+// (recovery may squash mid-deque entries).
+func (d *refDeque) purgeSquashed() {
+	w := d.head
+	for i := 0; i < d.n; i++ {
+		ref := d.buf[d.head+i]
+		if ref.live() && !ref.e.squashed {
+			d.buf[w] = ref
+			w++
+		}
+	}
+	for i := w; i < d.head+d.n; i++ {
+		d.buf[i] = entryRef{}
+	}
+	d.n = w - d.head
+	if d.n == 0 {
+		d.head = 0
+	}
+}
+
+// ---- entry deque ----
+
+// entryDeque is a FIFO of plain entry pointers (for containers that are
+// eagerly purged before any member can be recycled): the fetch queue and
+// the Selective ROB's unsteered-entry queue.
+type entryDeque struct {
+	buf     []*Entry
+	head, n int
+}
+
+func (d *entryDeque) push(e *Entry) {
+	if d.head+d.n == len(d.buf) {
+		if d.head > d.n {
+			copy(d.buf, d.buf[d.head:d.head+d.n])
+			for i := d.n; i < d.head+d.n; i++ {
+				d.buf[i] = nil
+			}
+			d.head = 0
+		} else {
+			d.buf = append(d.buf[:d.head+d.n], nil)
+			d.buf = d.buf[:cap(d.buf)]
+		}
+	}
+	d.buf[d.head+d.n] = e
+	d.n++
+}
+
+func (d *entryDeque) front() *Entry {
+	if d.n == 0 {
+		return nil
+	}
+	return d.buf[d.head]
+}
+
+func (d *entryDeque) at(i int) *Entry { return d.buf[d.head+i] }
+
+func (d *entryDeque) len() int { return d.n }
+
+func (d *entryDeque) popFront() *Entry {
+	e := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head++
+	d.n--
+	if d.n == 0 {
+		d.head = 0
+	}
+	return e
+}
+
+func (d *entryDeque) purgeSquashed() {
+	w := d.head
+	for i := 0; i < d.n; i++ {
+		e := d.buf[d.head+i]
+		if !e.squashed {
+			d.buf[w] = e
+			w++
+		}
+	}
+	for i := w; i < d.head+d.n; i++ {
+		d.buf[i] = nil
+	}
+	d.n = w - d.head
+	if d.n == 0 {
+		d.head = 0
+	}
+}

@@ -1,0 +1,86 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/compiler"
+	"github.com/noreba-sim/noreba/internal/emulator"
+)
+
+// The microbenchmarks share one long MLP-kernel trace: enough iterations
+// that a core warmed for thousands of cycles is still mid-run, so the
+// numbers reflect the steady state rather than fill/drain transients.
+var (
+	benchOnce sync.Once
+	benchTr   *emulator.Trace
+	benchMeta *compiler.Meta
+	benchErr  error
+)
+
+func benchTrace(tb testing.TB) (*emulator.Trace, *compiler.Meta) {
+	tb.Helper()
+	benchOnce.Do(func() {
+		res, err := compiler.Compile(mlpKernel(4000), compiler.DefaultOptions())
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchTr, benchErr = emulator.New(res.Image).Run(4 << 20)
+		benchMeta = res.Meta
+	})
+	if benchErr != nil {
+		tb.Fatalf("bench trace: %v", benchErr)
+	}
+	return benchTr, benchMeta
+}
+
+func benchSteps(b *testing.B, pk PolicyKind) {
+	tr, meta := benchTrace(b)
+	cfg := testConfig(pk)
+	c := NewCore(cfg, tr, meta)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Done() {
+			b.StopTimer()
+			c = NewCore(cfg, tr, meta)
+			b.StartTimer()
+		}
+		c.Step()
+	}
+}
+
+// BenchmarkStepIssue exercises the dependency-driven wakeup path: the Spec
+// policy retires everything as soon as it completes, so the run is bounded
+// by issue/writeback traffic and the ready-queue churn dominates each Step.
+func BenchmarkStepIssue(b *testing.B) { benchSteps(b, Spec) }
+
+// BenchmarkCommitPolicy times a steady-state Step under each commit policy,
+// isolating the per-policy cost of the candidate-queue walks and their
+// incremental boundary state.
+func BenchmarkCommitPolicy(b *testing.B) {
+	for _, pk := range allPolicies {
+		b.Run(pk.String(), func(b *testing.B) { benchSteps(b, pk) })
+	}
+}
+
+// TestStepSteadyStateZeroAlloc is the tentpole's allocation contract: with
+// tracing and sanitizing disabled, a warmed core's Step performs zero heap
+// allocations under every policy — entries come from the pool, completions
+// from the wheel, and every queue reuses its backing storage.
+func TestStepSteadyStateZeroAlloc(t *testing.T) {
+	tr, meta := benchTrace(t)
+	for _, pk := range allPolicies {
+		c := NewCore(testConfig(pk), tr, meta)
+		for i := 0; i < 10000 && !c.Done(); i++ {
+			c.Step()
+		}
+		if c.Done() {
+			t.Fatalf("%v: trace too short to reach a steady state", pk)
+		}
+		if n := testing.AllocsPerRun(200, func() { c.Step() }); n != 0 {
+			t.Errorf("%v: steady-state Step allocates %.3f objects per call, want 0", pk, n)
+		}
+	}
+}

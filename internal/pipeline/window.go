@@ -27,19 +27,25 @@ type instRecord struct {
 	recovered bool
 }
 
-// window is a bounded sliding view over a TraceSource. Records live in recs,
-// where recs[i] describes trace index base+i; the core addresses records by
-// trace index and the window pulls from the source on demand. release()
-// drops records below the commit frontier, so peak memory tracks the
-// in-flight span (ROB + misprediction windows), not the trace length.
+// window is a bounded sliding view over a TraceSource. Live records are
+// buf[head : head+n], where buf[head+i] describes trace index base+i; the
+// core addresses records by trace index and the window pulls from the source
+// on demand. release() drops records below the commit frontier, so peak
+// memory tracks the in-flight span (ROB + misprediction windows), not the
+// trace length.
+//
+// The backing array is stable: released slots are reused by sliding the live
+// span back to the front once the dead prefix dominates, so the steady state
+// streams the whole trace through one high-water-sized allocation instead of
+// appending the slice head forward and re-allocating.
 type window struct {
 	src  emulator.TraceSource
 	deps *depTracker
 
-	recs []instRecord
-	base int // trace index of recs[0]
-	off  int // recs starts off records into its backing array
-	eof  bool
+	buf     []instRecord
+	head, n int
+	base    int // trace index of buf[head]
+	eof     bool
 
 	peak int // high-water mark of live records
 }
@@ -55,7 +61,7 @@ func (w *window) ensure(idx int) bool {
 	if idx < w.base {
 		panic(fmt.Sprintf("pipeline: window access at %d below base %d", idx, w.base))
 	}
-	for idx >= w.loadedEnd() {
+	for idx >= w.base+w.n {
 		if w.eof {
 			return false
 		}
@@ -64,16 +70,27 @@ func (w *window) ensure(idx int) bool {
 			w.eof = true
 			return false
 		}
-		w.recs = append(w.recs, instRecord{d: d, dep: w.deps.next(&d)})
-		if len(w.recs) > w.peak {
-			w.peak = len(w.recs)
+		if w.head+w.n == len(w.buf) {
+			if w.head > w.n {
+				copy(w.buf, w.buf[w.head:w.head+w.n])
+				w.head = 0
+			} else {
+				w.buf = append(w.buf, instRecord{})
+				w.buf = w.buf[:cap(w.buf)]
+			}
+		}
+		r := &w.buf[w.head+w.n]
+		*r = instRecord{d: d, dep: w.deps.next(&d)}
+		w.n++
+		if w.n > w.peak {
+			w.peak = w.n
 		}
 	}
 	return true
 }
 
 // loadedEnd is one past the highest loaded trace index.
-func (w *window) loadedEnd() int { return w.base + len(w.recs) }
+func (w *window) loadedEnd() int { return w.base + w.n }
 
 // baseIdx is the lowest still-resident trace index; everything below it has
 // been released. The sanitizer checks it against the release-safety bound.
@@ -83,10 +100,10 @@ func (w *window) baseIdx() int { return w.base }
 // yet released. The pointer is invalidated by the next ensure or release
 // call — do not hold it across either.
 func (w *window) rec(idx int) *instRecord {
-	if idx < w.base || idx >= w.loadedEnd() {
-		panic(fmt.Sprintf("pipeline: window access at %d outside [%d,%d)", idx, w.base, w.loadedEnd()))
+	if idx < w.base || idx >= w.base+w.n {
+		panic(fmt.Sprintf("pipeline: window access at %d outside [%d,%d)", idx, w.base, w.base+w.n))
 	}
-	return &w.recs[idx-w.base]
+	return &w.buf[w.head+idx-w.base]
 }
 
 // isCommitted reports the committed flag for any trace index: released
@@ -95,10 +112,10 @@ func (w *window) isCommitted(idx int) bool {
 	if idx < w.base {
 		return true
 	}
-	if idx >= w.loadedEnd() {
+	if idx >= w.base+w.n {
 		return false
 	}
-	return w.recs[idx-w.base].committed
+	return w.buf[w.head+idx-w.base].committed
 }
 
 // isFetched reports the fetched flag for any trace index, with the same
@@ -108,32 +125,27 @@ func (w *window) isFetched(idx int) bool {
 	if idx < w.base {
 		return true
 	}
-	if idx >= w.loadedEnd() {
+	if idx >= w.base+w.n {
 		return false
 	}
-	return w.recs[idx-w.base].fetched
+	return w.buf[w.head+idx-w.base].fetched
 }
 
 // release drops records below trace index bound; the core may never address
-// them again. The slice head advances in place, and the live span is copied
-// down once the dead prefix dominates the backing array so memory is
-// reclaimed rather than pinned.
+// them again. The slots stay in the backing array for reuse.
 func (w *window) release(bound int) {
 	if bound <= w.base {
 		return
 	}
-	if bound > w.loadedEnd() {
-		bound = w.loadedEnd()
+	if bound > w.base+w.n {
+		bound = w.base + w.n
 	}
 	n := bound - w.base
-	w.recs = w.recs[n:]
+	w.head += n
+	w.n -= n
 	w.base = bound
-	w.off += n
-	if w.off > 4096 && w.off > len(w.recs) {
-		compact := make([]instRecord, len(w.recs))
-		copy(compact, w.recs)
-		w.recs = compact
-		w.off = 0
+	if w.n == 0 {
+		w.head = 0
 	}
 }
 

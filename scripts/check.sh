@@ -54,6 +54,26 @@ done
 go test ./internal/isa -run '^$' -fuzz 'FuzzEncodeDecodeRoundTrip$' -fuzztime 10s
 go test ./internal/compiler -run '^$' -fuzz 'FuzzCompilerPass$' -fuzztime 10s
 
+# Throughput regression guard: capture the committed engine baseline BEFORE
+# the bench run rewrites BENCH_engine.json, then fail if the fresh suite
+# wall-clock regressed by more than 20% against it.
+baseline=$(awk -F'[:,]' '/"suiteWallClockSec"/ { gsub(/[ \t]/, "", $2); print $2 }' BENCH_engine.json)
+if [ -z "$baseline" ]; then
+	echo "check: no suiteWallClockSec in committed BENCH_engine.json" >&2
+	exit 1
+fi
+
 go test -run '^$' -bench 'BenchmarkFigure6$|BenchmarkEngineSuite$|BenchmarkSampledSuite$' -benchtime=1x -benchmem .
+
+fresh=$(awk -F'[:,]' '/"suiteWallClockSec"/ { gsub(/[ \t]/, "", $2); print $2 }' BENCH_engine.json)
+if [ -z "$fresh" ]; then
+	echo "check: benchmark did not refresh BENCH_engine.json" >&2
+	exit 1
+fi
+if awk "BEGIN { exit !($fresh > $baseline * 1.2) }"; then
+	echo "check: engine suite wall-clock regressed >20%: ${fresh}s vs committed ${baseline}s" >&2
+	exit 1
+fi
+echo "engine suite wall-clock: ${fresh}s (committed baseline ${baseline}s, guard at +20%)"
 
 echo "check: OK"
