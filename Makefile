@@ -1,4 +1,4 @@
-.PHONY: check test bench cover fuzz serve-smoke profile
+.PHONY: check test vet bench cover fuzz serve-smoke profile
 
 # Full CI gate: gofmt, vet, build, race-enabled tests, coverage floors,
 # fuzz smokes, engine benchmarks.
@@ -7,6 +7,12 @@ check:
 
 test:
 	go test ./...
+
+# Static analysis alone — check runs this too (via scripts/check.sh), but a
+# standalone target keeps the concurrency-heavy bus/scheduler code lintable
+# without paying for the full gate.
+vet:
+	go vet ./...
 
 bench:
 	go test -run '^$$' -bench . -benchtime=1x -benchmem .
@@ -27,7 +33,8 @@ serve-smoke:
 	go build -o /dev/null ./cmd/noreba-serve
 	go test -race -v -run 'TestServiceLoadSmoke' ./internal/service
 
-# Short fuzz campaigns for both native targets.
+# Short fuzz campaigns for the native targets.
 fuzz:
 	go test ./internal/isa -run '^$$' -fuzz 'FuzzEncodeDecodeRoundTrip$$' -fuzztime 10s
 	go test ./internal/compiler -run '^$$' -fuzz 'FuzzCompilerPass$$' -fuzztime 10s
+	go test ./internal/emulator -run '^$$' -fuzz 'FuzzBroadcastSkew$$' -fuzztime 10s

@@ -41,6 +41,7 @@ func main() {
 		file       = flag.String("file", "", "assembly file to run instead of a built-in workload")
 		image      = flag.String("image", "", "compiled bundle (.nrb from noreba-compile -o) to run")
 		policyName = flag.String("policy", "noreba", "commit policy: inorder|nonspec|noreba|ideal|specbr|spec")
+		policySet  = flag.String("policies", "", "comma-separated policy sweep (e.g. inorder,noreba,specbr): run every policy over ONE shared emulation and print a per-policy comparison")
 		core       = flag.String("core", "skl", "core model: nhm|hsw|skl")
 		scale      = flag.Int("scale", 0, "workload scale (0 = default)")
 		maxInsts   = flag.Int64("max-insts", 1<<20, "dynamic instruction budget")
@@ -64,6 +65,28 @@ func main() {
 	policy, ok := policies[strings.ToLower(*policyName)]
 	if !ok {
 		fatalf("unknown policy %q", *policyName)
+	}
+	var sweep []string
+	if *policySet != "" {
+		for _, n := range strings.Split(*policySet, ",") {
+			n = strings.ToLower(strings.TrimSpace(n))
+			if n == "" {
+				continue
+			}
+			if _, ok := policies[n]; !ok {
+				fatalf("unknown policy %q in -policies", n)
+			}
+			sweep = append(sweep, n)
+		}
+		if len(sweep) == 0 {
+			fatalf("-policies lists no policies")
+		}
+		if *sample {
+			fatalf("-policies runs all policies over one shared emulation; it cannot be combined with -sample")
+		}
+		if *traceFile != "" {
+			fatalf("-policies cannot be combined with -trace (one event stream per core would interleave)")
+		}
 	}
 	var cfg noreba.Config
 	switch strings.ToLower(*core) {
@@ -119,6 +142,13 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+		if len(sweep) > 0 {
+			src := emulator.NewSource(emulator.New(img), *maxInsts)
+			if runPolicySweep(ctx, cfg, sweep, *image, src, meta, *jsonOut) {
+				os.Exit(130)
+			}
+			return
+		}
 		var st *noreba.Stats
 		if *sample {
 			st, err = simulateSampled(ctx, cfg, &compiler.Result{Image: img, Meta: meta}, *maxInsts)
@@ -162,6 +192,12 @@ func main() {
 	if err != nil {
 		fatalf("compile: %v", err)
 	}
+	if len(sweep) > 0 {
+		if runPolicySweep(ctx, cfg, sweep, name, noreba.StreamTrace(res, *maxInsts), res.Meta, *jsonOut) {
+			os.Exit(130)
+		}
+		return
+	}
 	var st *noreba.Stats
 	if *sample {
 		st, err = simulateSampled(ctx, cfg, res, *maxInsts)
@@ -173,6 +209,75 @@ func main() {
 	if interrupted {
 		os.Exit(130)
 	}
+}
+
+// runPolicySweep runs every named policy over ONE shared functional
+// emulation — src is fanned out through the broadcast trace bus, each
+// policy's core consuming its own lockstep view — and prints a per-policy
+// comparison (IPC plus speedup over the first policy listed). It reports
+// whether the sweep was interrupted.
+func runPolicySweep(ctx context.Context, base noreba.Config, sweep []string, name string, src noreba.TraceSource, meta *compiler.Meta, asJSON bool) bool {
+	cfgs := make([]noreba.Config, len(sweep))
+	for i, pn := range sweep {
+		cfgs[i] = base
+		cfgs[i].Policy = policies[pn]
+	}
+	stats, err := noreba.SimulateFanoutContext(ctx, cfgs, src, meta)
+	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if err != nil && !interrupted {
+		fatalf("simulate: %v", err)
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "noreba-sim: interrupted — partial statistics follow")
+	}
+
+	if asJSON {
+		var out []map[string]any
+		for i, st := range stats {
+			if st == nil {
+				continue
+			}
+			out = append(out, map[string]any{
+				"workload":     name,
+				"core":         cfgs[i].Name,
+				"policy":       st.Policy,
+				"dynamicInsts": st.TraceInsts,
+				"cycles":       st.Cycles,
+				"ipc":          st.IPC(),
+				"oooFraction":  st.OoOCommitFraction(),
+				"speedup":      speedupOverFirst(stats, i),
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatalf("%v", err)
+		}
+		return interrupted
+	}
+
+	fmt.Printf("workload %s  core %s  (one shared emulation, %d policies)\n", name, base.Name, len(cfgs))
+	fmt.Printf("%-22s %12s %8s %8s %8s\n", "policy", "cycles", "IPC", "OoO%", "speedup")
+	for i, st := range stats {
+		if st == nil {
+			fmt.Printf("%-22s %12s\n", sweep[i], "-")
+			continue
+		}
+		fmt.Printf("%-22s %12d %8.3f %7.1f%% %7.3fx\n",
+			st.Policy, st.Cycles, st.IPC(), 100*st.OoOCommitFraction(), speedupOverFirst(stats, i))
+	}
+	return interrupted
+}
+
+// speedupOverFirst returns stats[i]'s cycle-count speedup over the sweep's
+// first finished policy (the comparison baseline).
+func speedupOverFirst(stats []*noreba.Stats, i int) float64 {
+	for _, st := range stats {
+		if st != nil && st.Cycles > 0 && stats[i] != nil && stats[i].Cycles > 0 {
+			return float64(st.Cycles) / float64(stats[i].Cycles)
+		}
+	}
+	return 0
 }
 
 // simulateSampled estimates the run via a SimPoint-style sampling plan:

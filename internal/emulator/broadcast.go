@@ -1,0 +1,302 @@
+package emulator
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultBusSkew is the Broadcast skew bound used when callers pass a
+// non-positive one: the maximum number of dynamic instructions the fastest
+// consumer may run ahead of the slowest before it blocks. The bound is the
+// bus's peak buffering, so it is also the memory ceiling of a fan-out run:
+// DefaultBusSkew records regardless of how many consumers share the stream.
+// The value comfortably exceeds the largest in-flight span the pipeline
+// model reaches (ROB + misprediction windows + the reconvergence-scan
+// lookahead, ~2–3 K records), so same-workload cores of different commit
+// policies almost never block on each other in practice.
+const DefaultBusSkew = 8192
+
+// viewChunk is how many records a view copies out of the shared ring per
+// lock acquisition. Chunking amortises the bus mutex over the pipeline's
+// one-instruction-at-a-time Next calls; the copies are private to the view,
+// so recycling a ring slot never invalidates a delivered record.
+const viewChunk = 64
+
+// Broadcast fans one TraceSource out to N lockstep consumers: a single
+// functional emulation (or trace replay) feeds any number of per-consumer
+// TraceSource views, so a policy sweep over one workload costs one
+// functional pass plus N timing models instead of N full re-emulations.
+//
+// The stream is buffered in a shared bounded ring with one cursor per view.
+// Whichever consumer first needs a record past the buffered end pulls it
+// from the source; records are released once the slowest cursor passes, and
+// a consumer that would run more than maxSkew records ahead of the slowest
+// blocks (yielding its goroutine) until the laggard advances or detaches.
+// Peak buffering is therefore min(maxSkew, stream length) records, no
+// matter how many consumers attach.
+//
+// Views must all be created before the first Next; a consumer that stops
+// early (error, cancellation) must Close its view or its stalled cursor
+// blocks the others forever. The bus is safe for one goroutine per view;
+// each individual view keeps TraceSource's single-consumer contract.
+type Broadcast struct {
+	mu   sync.Mutex
+	cond sync.Cond
+
+	src     TraceSource
+	name    string
+	maxSkew int
+
+	buf  []DynInst // ring storage, power-of-two length
+	head int64     // absolute index of the oldest buffered record
+	end  int64     // absolute index one past the newest buffered record
+	eof  bool
+	err  error
+
+	views   []*BusView
+	started bool
+	peak    int // high-water mark of buffered records
+}
+
+// NewBroadcast wraps src in a broadcast bus with the given skew bound (a
+// non-positive bound means DefaultBusSkew). The source must not be consumed
+// by anyone else once the bus owns it.
+func NewBroadcast(src TraceSource, maxSkew int) *Broadcast {
+	if maxSkew <= 0 {
+		maxSkew = DefaultBusSkew
+	}
+	b := &Broadcast{src: src, name: src.Name(), maxSkew: maxSkew}
+	b.cond.L = &b.mu
+	return b
+}
+
+// View hands out one consumer's TraceSource over the shared stream. All
+// views must be created before any of them calls Next — a late joiner would
+// have already missed released records — so View panics once consumption
+// has started.
+func (b *Broadcast) View() *BusView {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.started {
+		panic("emulator: Broadcast.View after consumption started")
+	}
+	v := &BusView{b: b, cursor: 0}
+	b.views = append(b.views, v)
+	return v
+}
+
+// PeakRecords returns the high-water mark of records buffered in the ring —
+// the realized skew between the fastest and slowest consumer, bounded above
+// by the construction-time skew limit.
+func (b *Broadcast) PeakRecords() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.peak
+}
+
+// minCursorLocked returns the smallest cursor over open views. Callers hold
+// b.mu and guarantee at least one open view.
+func (b *Broadcast) minCursorLocked() int64 {
+	min := int64(1) << 62
+	for _, v := range b.views {
+		if !v.closed && v.cursor < min {
+			min = v.cursor
+		}
+	}
+	return min
+}
+
+// releaseLocked advances the ring head to the slowest open cursor, recycling
+// every record all consumers have passed, and wakes consumers blocked on the
+// skew bound. Callers hold b.mu.
+func (b *Broadcast) releaseLocked() {
+	b.advanceHeadLocked(b.minCursorLocked())
+}
+
+// advanceHeadLocked raises the ring head to min (clamped to the buffered
+// end, where the no-open-views sentinel lands), waking skew-blocked
+// consumers when records were recycled. Callers hold b.mu.
+func (b *Broadcast) advanceHeadLocked(min int64) {
+	if min > b.end {
+		min = b.end
+	}
+	if min > b.head {
+		b.head = min
+		b.cond.Broadcast()
+	}
+}
+
+// pushLocked appends one record to the ring, growing the storage (up to the
+// skew bound, which the caller has already enforced) when full. Callers hold
+// b.mu.
+func (b *Broadcast) pushLocked(d DynInst) {
+	if n := int(b.end - b.head); n == len(b.buf) {
+		grown := len(b.buf) * 2
+		if grown == 0 {
+			grown = 64
+		}
+		nb := make([]DynInst, grown)
+		for i := b.head; i < b.end; i++ {
+			nb[i&int64(grown-1)] = b.buf[i&int64(len(b.buf)-1)]
+		}
+		b.buf = nb
+	}
+	b.buf[b.end&int64(len(b.buf)-1)] = d
+	b.end++
+	if n := int(b.end - b.head); n > b.peak {
+		b.peak = n
+	}
+}
+
+// BusView is one consumer's pull-based view of a Broadcast stream: a
+// TraceSource delivering exactly the records the underlying source produces,
+// in order, with its own Counts. Next blocks when this consumer would exceed
+// the bus skew bound; Close detaches the consumer so siblings stop waiting
+// for it.
+type BusView struct {
+	b      *Broadcast
+	cursor int64 // next absolute index to copy out of the ring (under b.mu)
+	closed bool  // under b.mu
+
+	// Consumer-goroutine-private state: records copied out of the ring,
+	// served without the lock, plus the running counts.
+	local  []DynInst
+	pos    int
+	counts Counts
+	ended  bool
+}
+
+// Name identifies the shared underlying program.
+func (v *BusView) Name() string { return v.b.name }
+
+// Next delivers this consumer's next dynamic instruction, or false once the
+// shared stream is exhausted (or the view was closed). When the local chunk
+// runs dry it refills from the shared ring — pulling the underlying source
+// when this consumer is the first to need a record, blocking when the skew
+// bound says the slowest consumer must catch up first.
+func (v *BusView) Next() (DynInst, bool) {
+	if v.pos < len(v.local) {
+		d := v.local[v.pos]
+		v.pos++
+		v.counts.add(d)
+		return d, true
+	}
+	if v.ended {
+		return DynInst{}, false
+	}
+	if !v.refill() {
+		v.ended = true
+		return DynInst{}, false
+	}
+	d := v.local[v.pos]
+	v.pos++
+	v.counts.add(d)
+	return d, true
+}
+
+// refill copies the next chunk of records out of the shared ring into the
+// view's private buffer, reporting false at end of stream. It advances the
+// shared cursor by the whole chunk at once: copied records are consumed as
+// far as the bus is concerned, which both frees ring slots early and keeps
+// the skew accounting exact.
+func (v *BusView) refill() bool {
+	b := v.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.started = true
+	v.local = v.local[:0]
+	v.pos = 0
+	// min caches the slowest open cursor. Cursors are monotonic and move
+	// only under b.mu — held for this whole loop except inside cond.Wait —
+	// so the cache is a lower bound on the true minimum: checking skew
+	// against it is conservative (never overshoots the bound), and the
+	// O(views) rescan happens once per refill, per wakeup, or per maxSkew
+	// records pulled instead of once per record.
+	min := b.minCursorLocked()
+	for len(v.local) < viewChunk {
+		if v.closed {
+			break
+		}
+		if v.cursor < b.end {
+			if v.cursor < b.head {
+				panic(fmt.Sprintf("emulator: broadcast cursor %d below ring head %d", v.cursor, b.head))
+			}
+			v.local = append(v.local, b.buf[v.cursor&int64(len(b.buf)-1)])
+			v.cursor++
+			continue
+		}
+		if b.eof {
+			break
+		}
+		if int(b.end-min) >= b.maxSkew {
+			// Possibly at the bound: refresh — our own copies above may have
+			// advanced the true minimum — and recycle passed records.
+			min = b.minCursorLocked()
+			b.advanceHeadLocked(min)
+			if int(b.end-min) >= b.maxSkew {
+				// Genuinely the fastest. Park until the slowest advances (or
+				// detaches), but deliver what we already copied first so the
+				// pipeline keeps cycling.
+				if len(v.local) > 0 {
+					break
+				}
+				b.cond.Wait()
+				min = b.minCursorLocked()
+				continue
+			}
+		}
+		// Keep the head no staler than the skew check, so pushLocked's
+		// occupancy (peak metric and grow decision) stays within the bound.
+		b.advanceHeadLocked(min)
+		d, ok := b.src.Next()
+		if !ok {
+			b.eof = true
+			b.err = b.src.Err()
+			b.cond.Broadcast()
+			break
+		}
+		b.pushLocked(d)
+	}
+	// The chunk advanced this cursor; if we were (one of) the slowest,
+	// records became releasable.
+	b.releaseLocked()
+	return len(v.local) > 0
+}
+
+// Err reports the underlying stream's terminal error once this view has
+// consumed the stream to its end, mirroring the solo-source contract; a view
+// closed before the end reports nil.
+func (v *BusView) Err() error {
+	if !v.ended {
+		return nil
+	}
+	v.b.mu.Lock()
+	defer v.b.mu.Unlock()
+	if v.closed && v.cursor < v.b.end {
+		return nil
+	}
+	return v.b.err
+}
+
+// Counts summarises the instructions delivered to this consumer so far; it
+// matches a solo source over the same stream prefix exactly.
+func (v *BusView) Counts() Counts { return v.counts }
+
+// Close detaches the consumer: its cursor stops holding back the ring
+// release and any sibling blocked on the skew bound wakes up. A consumer
+// that abandons the stream early (simulation error, cancellation) must call
+// Close, or the stalled cursor blocks every other view forever. Close is
+// idempotent; Next returns false after it.
+func (v *BusView) Close() {
+	b := v.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v.closed {
+		return
+	}
+	v.closed = true
+	v.local = nil
+	v.pos = 0
+	b.releaseLocked()
+	b.cond.Broadcast()
+}

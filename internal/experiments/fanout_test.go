@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/pipeline"
+)
+
+// fanoutConfigs is the differential matrix: all six commit policies plus the
+// ECL ablations of the two Figure 14 rows.
+func fanoutConfigs() []pipeline.Config {
+	cfgs := []pipeline.Config{
+		skylake(pipeline.InOrder),
+		skylake(pipeline.NonSpecOoO),
+		skylake(pipeline.Noreba),
+		skylake(pipeline.IdealReconv),
+		skylake(pipeline.SpecBR),
+		skylake(pipeline.Spec),
+	}
+	inoECL := skylake(pipeline.InOrder)
+	inoECL.ECL = true
+	norebaECL := skylake(pipeline.Noreba)
+	norebaECL.ECL = true
+	return append(cfgs, inoECL, norebaECL)
+}
+
+// TestFanoutMatchesIndependentRuns is the differential proof for the
+// broadcast-bus scheduler: batching every policy (plus ECL variants) of
+// every suite workload onto shared emulations produces results byte-identical
+// to independent Simulate executions on a fresh runner. The comparison is on
+// the JSON encoding, so any drift in any statistic fails.
+func TestFanoutMatchesIndependentRuns(t *testing.T) {
+	cfgs := fanoutConfigs()
+
+	batch := QuickRunner()
+	batch.MaxInsts = 1 << 16
+	batch.Parallelism = 4
+	names, err := batch.names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []Request
+	for _, name := range names {
+		for _, cfg := range cfgs {
+			reqs = append(reqs, Request{Workload: name, Config: cfg})
+		}
+	}
+	if err := batch.RunRequests(context.Background(), reqs); err != nil {
+		t.Fatal(err)
+	}
+
+	// One shared functional pass per workload, not one per configuration.
+	if got, want := batch.EmulationsRun(), int64(len(names)); got != want {
+		t.Errorf("batched runner executed %d emulations, want %d (one per workload)", got, want)
+	}
+	if got, want := batch.SimulationsRun(), int64(len(reqs)); got != want {
+		t.Errorf("batched runner executed %d simulations, want %d", got, want)
+	}
+
+	solo := QuickRunner()
+	solo.MaxInsts = 1 << 16
+	solo.Parallelism = 1
+	for _, q := range reqs {
+		got, err := batch.Simulate(q.Workload, q.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := solo.Simulate(q.Workload, q.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gotJSON) != string(wantJSON) {
+			t.Errorf("%s under %s: fan-out result differs from independent run\nfanout:      %s\nindependent: %s",
+				q.Workload, rowName(q.Config), gotJSON, wantJSON)
+		}
+	}
+}
+
+// TestFanoutSingletonFallback pins the degenerate path: a group of one takes
+// the solo execution arm yet still counts its emulation, and repeated
+// requests stay coalesced.
+func TestFanoutSingletonFallback(t *testing.T) {
+	r := QuickRunner()
+	r.MaxInsts = 1 << 14
+	r.Workloads = []string{"sha"}
+	reqs := []Request{
+		{Workload: "sha", Config: skylake(pipeline.Noreba)},
+		{Workload: "sha", Config: skylake(pipeline.Noreba)},
+	}
+	if err := r.RunRequests(context.Background(), reqs); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.EmulationsRun(); got != 1 {
+		t.Errorf("singleton batch executed %d emulations, want 1", got)
+	}
+	if got := r.SimulationsRun(); got != 1 {
+		t.Errorf("duplicate requests executed %d simulations, want 1 (coalesced)", got)
+	}
+	if got := r.SimulateCalls(); got != 2 {
+		t.Errorf("SimulateCalls = %d, want 2", got)
+	}
+}

@@ -9,10 +9,50 @@ import (
 	"github.com/noreba-sim/noreba/internal/power"
 )
 
-// speedupTable runs the given policies over the suite — fanned out on the
-// scheduler — and tabulates per-workload speedups over the baseline config,
-// plus a geomean column.
-func (r *Runner) speedupTable(title string, baseline pipeline.Config, rows []pipeline.Config) (*metrics.Table, error) {
+// figureReqs maps a figure name ("figure1" … "figure16") to the builder of
+// its simulation requests. FigureN warms the cache by running its own
+// builder's requests; FigureRequests lets callers batch several figures'
+// requests through one RunRequests pass, so every configuration of a
+// workload shares a single functional emulation across figures.
+var figureReqs = map[string]func(*Runner) ([]simReq, error){
+	"figure1":  (*Runner).figure1Reqs,
+	"figure6":  (*Runner).figure6Reqs,
+	"figure7":  (*Runner).figure7Reqs,
+	"figure8":  (*Runner).figure8Reqs,
+	"figure9":  (*Runner).figure9Reqs,
+	"figure10": (*Runner).figure10Reqs,
+	"figure11": (*Runner).figure11Reqs,
+	"figure12": (*Runner).figure12Reqs,
+	"figure13": (*Runner).figure13Reqs,
+	"figure14": (*Runner).figure14Reqs,
+	"figure15": (*Runner).figure15Reqs,
+	"figure16": (*Runner).figure16Reqs,
+}
+
+// FigureRequests returns the union of the named figures' simulation
+// requests (duplicates included — the scheduler coalesces them), for
+// batching through RunRequests. Figure names are "figure1" through
+// "figure16"; an unknown name is an error.
+func (r *Runner) FigureRequests(figures ...string) ([]Request, error) {
+	var out []Request
+	for _, f := range figures {
+		build, ok := figureReqs[f]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown figure %q", f)
+		}
+		qs, err := build(r)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range qs {
+			out = append(out, Request{Workload: q.workload, Config: q.cfg})
+		}
+	}
+	return out, nil
+}
+
+// speedupReqs lists the requests of a baseline-vs-rows speedup table.
+func (r *Runner) speedupReqs(baseline pipeline.Config, rows []pipeline.Config) ([]simReq, error) {
 	names, err := r.names()
 	if err != nil {
 		return nil, err
@@ -23,6 +63,21 @@ func (r *Runner) speedupTable(title string, baseline pipeline.Config, rows []pip
 		for _, cfg := range rows {
 			reqs = append(reqs, simReq{name, cfg})
 		}
+	}
+	return reqs, nil
+}
+
+// speedupTable runs the given policies over the suite — batched on the
+// broadcast-bus scheduler — and tabulates per-workload speedups over the
+// baseline config, plus a geomean column.
+func (r *Runner) speedupTable(title string, baseline pipeline.Config, rows []pipeline.Config) (*metrics.Table, error) {
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := r.speedupReqs(baseline, rows)
+	if err != nil {
+		return nil, err
 	}
 	if err := r.runAll(reqs); err != nil {
 		return nil, err
@@ -63,18 +118,40 @@ func rowName(cfg pipeline.Config) string {
 	return name
 }
 
+// figure1Rows lists the non-baseline configurations of Figure 1.
+func figure1Rows() []pipeline.Config {
+	return []pipeline.Config{
+		skylake(pipeline.NonSpecOoO),
+		skylake(pipeline.SpecBR),
+		skylake(pipeline.Spec),
+	}
+}
+
+func (r *Runner) figure1Reqs() ([]simReq, error) {
+	return r.speedupReqs(skylake(pipeline.InOrder), figure1Rows())
+}
+
 // Figure1 reproduces the motivation figure: NonSpeculative, SpeculativeBR
 // and fully Speculative OoO-commit speedups over in-order commit on the
 // Skylake-like core with prefetching.
 func (r *Runner) Figure1() (*metrics.Table, error) {
 	return r.speedupTable(
 		"Figure 1: OoO-commit approaches over InO-C (SKL + prefetch)",
-		skylake(pipeline.InOrder),
-		[]pipeline.Config{
-			skylake(pipeline.NonSpecOoO),
-			skylake(pipeline.SpecBR),
-			skylake(pipeline.Spec),
-		})
+		skylake(pipeline.InOrder), figure1Rows())
+}
+
+// figure6Rows lists the non-baseline configurations of Figure 6.
+func figure6Rows() []pipeline.Config {
+	return []pipeline.Config{
+		skylake(pipeline.NonSpecOoO),
+		skylake(pipeline.Noreba),
+		skylake(pipeline.IdealReconv),
+		skylake(pipeline.SpecBR),
+	}
+}
+
+func (r *Runner) figure6Reqs() ([]simReq, error) {
+	return r.speedupReqs(skylake(pipeline.InOrder), figure6Rows())
 }
 
 // Figure6 is the main result: NonSpeculative, NOREBA, ideal-reconvergence
@@ -82,13 +159,14 @@ func (r *Runner) Figure1() (*metrics.Table, error) {
 func (r *Runner) Figure6() (*metrics.Table, error) {
 	return r.speedupTable(
 		"Figure 6: OoO-commit modes over InO-C (SKL)",
-		skylake(pipeline.InOrder),
-		[]pipeline.Config{
-			skylake(pipeline.NonSpecOoO),
-			skylake(pipeline.Noreba),
-			skylake(pipeline.IdealReconv),
-			skylake(pipeline.SpecBR),
-		})
+		skylake(pipeline.InOrder), figure6Rows())
+}
+
+func (r *Runner) figure7Reqs() ([]simReq, error) {
+	return []simReq{
+		{"bzip2", skylake(pipeline.InOrder)},
+		{"mcf", skylake(pipeline.InOrder)},
+	}, nil
 }
 
 // Figure7 reproduces the criticality scatter for bzip2 and mcf: for every
@@ -97,10 +175,11 @@ func (r *Runner) Figure6() (*metrics.Table, error) {
 func (r *Runner) Figure7() (*metrics.Scatter, error) {
 	sc := metrics.NewScatter("Figure 7: critical-branch distribution (SKL, InO-C)",
 		"log10(dependent instructions)", "log10(cycles ROB stalled)")
-	if err := r.runAll([]simReq{
-		{"bzip2", skylake(pipeline.InOrder)},
-		{"mcf", skylake(pipeline.InOrder)},
-	}); err != nil {
+	reqs, err := r.figure7Reqs()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.runAll(reqs); err != nil {
 		return nil, err
 	}
 	for _, name := range []string{"bzip2", "mcf"} {
@@ -122,9 +201,7 @@ func (r *Runner) Figure7() (*metrics.Scatter, error) {
 	return sc, nil
 }
 
-// Figure8 reports the fraction of dynamic instructions NOREBA commits out
-// of order, per workload.
-func (r *Runner) Figure8() (*metrics.Table, error) {
+func (r *Runner) figure8Reqs() ([]simReq, error) {
 	names, err := r.names()
 	if err != nil {
 		return nil, err
@@ -132,6 +209,20 @@ func (r *Runner) Figure8() (*metrics.Table, error) {
 	var reqs []simReq
 	for _, name := range names {
 		reqs = append(reqs, simReq{name, skylake(pipeline.Noreba)})
+	}
+	return reqs, nil
+}
+
+// Figure8 reports the fraction of dynamic instructions NOREBA commits out
+// of order, per workload.
+func (r *Runner) Figure8() (*metrics.Table, error) {
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := r.figure8Reqs()
+	if err != nil {
+		return nil, err
 	}
 	if err := r.runAll(reqs); err != nil {
 		return nil, err
@@ -149,18 +240,12 @@ func (r *Runner) Figure8() (*metrics.Table, error) {
 	return tab, nil
 }
 
-// Figure9 sweeps the Selective ROB configuration — BR-CQ count × entries —
-// for two ROB′ sizes, reporting geomean performance normalised to the
-// ideal reconvergence commit with the same ROB size.
-func (r *Runner) Figure9() (*metrics.Table, error) {
-	type knob struct{ queues, entries int }
-	knobs := []knob{{1, 4}, {1, 8}, {2, 4}, {2, 8}, {2, 16}, {4, 8}, {4, 16}}
-	var cols []string
-	for _, k := range knobs {
-		cols = append(cols, fmt.Sprintf("%dxBR-CQ/%d", k.queues, k.entries))
-	}
-	tab := metrics.NewTable("Figure 9: Selective ROB sizing, normalised to ideal Reconvergence-OoO-C", cols...)
+// brcqKnob is one Selective ROB sizing point: BR-CQ count × entries.
+type brcqKnob struct{ queues, entries int }
 
+var figure9Knobs = []brcqKnob{{1, 4}, {1, 8}, {2, 4}, {2, 8}, {2, 16}, {4, 8}, {4, 16}}
+
+func (r *Runner) figure9Reqs() ([]simReq, error) {
 	names, err := r.names()
 	if err != nil {
 		return nil, err
@@ -171,7 +256,7 @@ func (r *Runner) Figure9() (*metrics.Table, error) {
 			ideal := skylake(pipeline.IdealReconv)
 			ideal.ROBSize = robSize
 			reqs = append(reqs, simReq{name, ideal})
-			for _, k := range knobs {
+			for _, k := range figure9Knobs {
 				cfg := skylake(pipeline.Noreba)
 				cfg.ROBSize = robSize
 				cfg.Selective.NumBRCQs = k.queues
@@ -179,6 +264,28 @@ func (r *Runner) Figure9() (*metrics.Table, error) {
 				reqs = append(reqs, simReq{name, cfg})
 			}
 		}
+	}
+	return reqs, nil
+}
+
+// Figure9 sweeps the Selective ROB configuration — BR-CQ count × entries —
+// for two ROB′ sizes, reporting geomean performance normalised to the
+// ideal reconvergence commit with the same ROB size.
+func (r *Runner) Figure9() (*metrics.Table, error) {
+	knobs := figure9Knobs
+	var cols []string
+	for _, k := range knobs {
+		cols = append(cols, fmt.Sprintf("%dxBR-CQ/%d", k.queues, k.entries))
+	}
+	tab := metrics.NewTable("Figure 9: Selective ROB sizing, normalised to ideal Reconvergence-OoO-C", cols...)
+
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := r.figure9Reqs()
+	if err != nil {
+		return nil, err
 	}
 	if err := r.runAll(reqs); err != nil {
 		return nil, err
@@ -212,11 +319,29 @@ func (r *Runner) Figure9() (*metrics.Table, error) {
 	return tab, nil
 }
 
+var figure10Knobs = []brcqKnob{{1, 4}, {1, 8}, {2, 4}, {2, 8}, {2, 16}, {4, 8}, {4, 16}, {8, 64}}
+
+func (r *Runner) figure10Reqs() ([]simReq, error) {
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	var reqs []simReq
+	for _, k := range figure10Knobs {
+		for _, name := range names {
+			cfg := skylake(pipeline.Noreba)
+			cfg.Selective.NumBRCQs = k.queues
+			cfg.Selective.BRCQSize = k.entries
+			reqs = append(reqs, simReq{name, cfg})
+		}
+	}
+	return reqs, nil
+}
+
 // Figure10 reports total core power for the same Selective ROB sweep,
 // normalised to the smallest configuration.
 func (r *Runner) Figure10() (*metrics.Table, error) {
-	type knob struct{ queues, entries int }
-	knobs := []knob{{1, 4}, {1, 8}, {2, 4}, {2, 8}, {2, 16}, {4, 8}, {4, 16}, {8, 64}}
+	knobs := figure10Knobs
 	var cols []string
 	for _, k := range knobs {
 		cols = append(cols, fmt.Sprintf("%dxBR-CQ/%d", k.queues, k.entries))
@@ -227,14 +352,9 @@ func (r *Runner) Figure10() (*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	var reqs []simReq
-	for _, k := range knobs {
-		for _, name := range names {
-			cfg := skylake(pipeline.Noreba)
-			cfg.Selective.NumBRCQs = k.queues
-			cfg.Selective.BRCQSize = k.entries
-			reqs = append(reqs, simReq{name, cfg})
-		}
+	reqs, err := r.figure10Reqs()
+	if err != nil {
+		return nil, err
 	}
 	if err := r.runAll(reqs); err != nil {
 		return nil, err
@@ -268,10 +388,7 @@ func (r *Runner) Figure10() (*metrics.Table, error) {
 	return tab, nil
 }
 
-// Figure11 measures the cost of the setup instructions themselves: NOREBA
-// with fetched setup instructions versus a perfect design whose dependence
-// information reaches the hardware for free.
-func (r *Runner) Figure11() (*metrics.Table, error) {
+func (r *Runner) figure11Reqs() ([]simReq, error) {
 	names, err := r.names()
 	if err != nil {
 		return nil, err
@@ -281,6 +398,21 @@ func (r *Runner) Figure11() (*metrics.Table, error) {
 	var reqs []simReq
 	for _, name := range names {
 		reqs = append(reqs, simReq{name, skylake(pipeline.Noreba)}, simReq{name, perfectCfg})
+	}
+	return reqs, nil
+}
+
+// Figure11 measures the cost of the setup instructions themselves: NOREBA
+// with fetched setup instructions versus a perfect design whose dependence
+// information reaches the hardware for free.
+func (r *Runner) Figure11() (*metrics.Table, error) {
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := r.figure11Reqs()
+	if err != nil {
+		return nil, err
 	}
 	if err := r.runAll(reqs); err != nil {
 		return nil, err
@@ -314,6 +446,22 @@ func coreConfigs(policy pipeline.PolicyKind) []pipeline.Config {
 	return []pipeline.Config{nhm, hsw, skl}
 }
 
+func (r *Runner) figure12Reqs() ([]simReq, error) {
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	inos := coreConfigs(pipeline.InOrder)
+	norebas := coreConfigs(pipeline.Noreba)
+	var reqs []simReq
+	for i := range inos {
+		for _, name := range names {
+			reqs = append(reqs, simReq{name, inos[i]}, simReq{name, norebas[i]})
+		}
+	}
+	return reqs, nil
+}
+
 // Figure12 compares NOREBA's speedup over in-order commit across the
 // Nehalem-, Haswell- and Skylake-like cores (Table 3).
 func (r *Runner) Figure12() (*metrics.Table, error) {
@@ -324,11 +472,9 @@ func (r *Runner) Figure12() (*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	var reqs []simReq
-	for i := range inos {
-		for _, name := range names {
-			reqs = append(reqs, simReq{name, inos[i]}, simReq{name, norebas[i]})
-		}
+	reqs, err := r.figure12Reqs()
+	if err != nil {
+		return nil, err
 	}
 	if err := r.runAll(reqs); err != nil {
 		return nil, err
@@ -353,36 +499,56 @@ func (r *Runner) Figure12() (*metrics.Table, error) {
 	return tab, nil
 }
 
-// Figure13 evaluates prefetching: in-order and NOREBA, with and without the
-// DCPT prefetcher, normalised to the NHM in-order core with prefetching.
-func (r *Runner) Figure13() (*metrics.Table, error) {
-	tab := metrics.NewTable("Figure 13: prefetching effectiveness (normalised to NHM InO-C + prefetch)",
-		"NHM", "HSW", "SKL")
+// figure13Variants are the policy/prefetcher combinations of Figure 13.
+var figure13Variants = []struct {
+	name     string
+	policy   pipeline.PolicyKind
+	prefetch bool
+}{
+	{"InO-C+pf", pipeline.InOrder, true},
+	{"NOREBA no-pf", pipeline.Noreba, false},
+	{"NOREBA+pf", pipeline.Noreba, true},
+}
+
+// figure13Base is Figure 13's normalisation baseline: the NHM in-order core.
+func figure13Base() pipeline.Config {
 	nhmBase := pipeline.NehalemConfig()
 	nhmBase.Policy = pipeline.InOrder
+	return nhmBase
+}
 
-	variants := []struct {
-		name     string
-		policy   pipeline.PolicyKind
-		prefetch bool
-	}{
-		{"InO-C+pf", pipeline.InOrder, true},
-		{"NOREBA no-pf", pipeline.Noreba, false},
-		{"NOREBA+pf", pipeline.Noreba, true},
-	}
+func (r *Runner) figure13Reqs() ([]simReq, error) {
 	names, err := r.names()
 	if err != nil {
 		return nil, err
 	}
 	var reqs []simReq
 	for _, name := range names {
-		reqs = append(reqs, simReq{name, nhmBase})
-		for _, v := range variants {
+		reqs = append(reqs, simReq{name, figure13Base()})
+		for _, v := range figure13Variants {
 			for _, core := range coreConfigs(v.policy) {
 				core.PrefetchEnabled = v.prefetch
 				reqs = append(reqs, simReq{name, core})
 			}
 		}
+	}
+	return reqs, nil
+}
+
+// Figure13 evaluates prefetching: in-order and NOREBA, with and without the
+// DCPT prefetcher, normalised to the NHM in-order core with prefetching.
+func (r *Runner) Figure13() (*metrics.Table, error) {
+	tab := metrics.NewTable("Figure 13: prefetching effectiveness (normalised to NHM InO-C + prefetch)",
+		"NHM", "HSW", "SKL")
+	nhmBase := figure13Base()
+	variants := figure13Variants
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := r.figure13Reqs()
+	if err != nil {
+		return nil, err
 	}
 	if err := r.runAll(reqs); err != nil {
 		return nil, err
@@ -411,28 +577,56 @@ func (r *Runner) Figure13() (*metrics.Table, error) {
 	return tab, nil
 }
 
-// Figure14 measures Early Commit of Loads on both the in-order baseline and
-// NOREBA.
-func (r *Runner) Figure14() (*metrics.Table, error) {
+// figure14Rows lists the non-baseline configurations of Figure 14.
+func figure14Rows() []pipeline.Config {
 	inoECL := skylake(pipeline.InOrder)
 	inoECL.ECL = true
 	norebaECL := skylake(pipeline.Noreba)
 	norebaECL.ECL = true
+	return []pipeline.Config{inoECL, skylake(pipeline.Noreba), norebaECL}
+}
+
+func (r *Runner) figure14Reqs() ([]simReq, error) {
+	return r.speedupReqs(skylake(pipeline.InOrder), figure14Rows())
+}
+
+// Figure14 measures Early Commit of Loads on both the in-order baseline and
+// NOREBA.
+func (r *Runner) Figure14() (*metrics.Table, error) {
 	return r.speedupTable(
 		"Figure 14: Early Commit of Loads (speedup over InO-C, SKL)",
-		skylake(pipeline.InOrder),
-		[]pipeline.Config{inoECL, skylake(pipeline.Noreba), norebaECL})
+		skylake(pipeline.InOrder), figure14Rows())
+}
+
+// figure15Rows lists the non-baseline configurations of Figure 15.
+func figure15Rows() []pipeline.Config {
+	wide := skylake(pipeline.InOrder)
+	wide.CommitWidth = 8
+	return []pipeline.Config{wide, skylake(pipeline.Noreba)}
+}
+
+func (r *Runner) figure15Reqs() ([]simReq, error) {
+	return r.speedupReqs(skylake(pipeline.InOrder), figure15Rows())
 }
 
 // Figure15 shows that widening in-order commit does not substitute for
 // out-of-order commit: InO-C with an 8-wide commit stage versus NOREBA.
 func (r *Runner) Figure15() (*metrics.Table, error) {
-	wide := skylake(pipeline.InOrder)
-	wide.CommitWidth = 8
 	return r.speedupTable(
 		"Figure 15: commit bandwidth (speedup over InO-C, SKL)",
-		skylake(pipeline.InOrder),
-		[]pipeline.Config{wide, skylake(pipeline.Noreba)})
+		skylake(pipeline.InOrder), figure15Rows())
+}
+
+func (r *Runner) figure16Reqs() ([]simReq, error) {
+	names, err := r.names()
+	if err != nil {
+		return nil, err
+	}
+	var reqs []simReq
+	for _, name := range names {
+		reqs = append(reqs, simReq{name, skylake(pipeline.InOrder)}, simReq{name, skylake(pipeline.Noreba)})
+	}
+	return reqs, nil
 }
 
 // Figure16 reports the per-structure power and area of NOREBA normalised to
@@ -450,9 +644,9 @@ func (r *Runner) Figure16() (*metrics.Table, *metrics.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	var reqs []simReq
-	for _, name := range names {
-		reqs = append(reqs, simReq{name, skylake(pipeline.InOrder)}, simReq{name, skylake(pipeline.Noreba)})
+	reqs, err := r.figure16Reqs()
+	if err != nil {
+		return nil, nil, err
 	}
 	if err := r.runAll(reqs); err != nil {
 		return nil, nil, err

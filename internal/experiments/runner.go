@@ -82,6 +82,10 @@ type Runner struct {
 	// entries; in-flight singleflight jobs are never evicted). 0 means
 	// DefaultCacheLimit; negative means unbounded.
 	CacheLimit int
+	// BusSkew bounds how far the fastest core of a batched fan-out may run
+	// ahead of the slowest on the shared trace bus (see emulator.Broadcast);
+	// 0 means emulator.DefaultBusSkew.
+	BusSkew int
 
 	mu       sync.Mutex
 	compiles map[string]*compileJob
@@ -100,6 +104,9 @@ type Runner struct {
 	storeMisses atomic.Int64 // store lookups that missed
 	storeErrs   atomic.Int64 // store Put failures (non-fatal)
 	peakWindow  atomic.Int64 // largest sliding window across all runs
+
+	emulationsRun  atomic.Int64 // functional passes executed (solo, batched or profiling)
+	peakBusRecords atomic.Int64 // largest broadcast-bus high-water mark across batches
 }
 
 type compileJob struct {
@@ -394,6 +401,7 @@ func (r *Runner) buildPlan(ctx context.Context, workload string, p sampling.Para
 	}
 	defer r.release()
 	r.plansBuilt.Add(1)
+	r.emulationsRun.Add(1) // the profiling pass is one functional emulation
 	return sampling.BuildPlanContext(ctx, res.Image, res.Meta, r.MaxInsts, p)
 }
 
@@ -497,14 +505,21 @@ func (r *Runner) SimulateSampledContext(ctx context.Context, workload string, cf
 	r.sims[key] = j
 	r.mu.Unlock()
 
-	j.st, j.err = r.runSim(ctx, workload, cfg, p)
+	st, err := r.runSim(ctx, workload, cfg, p)
+	r.finishJob(j, st, err)
+	return j.st, j.err
+}
 
+// finishJob records a claimed singleflight job's outcome and publishes it to
+// waiters. A cancellation is not cached — the next identical request should
+// execute — while results and deterministic failures enter the LRU cache.
+func (r *Runner) finishJob(j *simJob, st *pipeline.Stats, err error) {
+	j.st, j.err = st, err
 	r.mu.Lock()
-	if j.err != nil && (errors.Is(j.err, context.Canceled) || errors.Is(j.err, context.DeadlineExceeded)) {
-		// Do not cache a cancellation: the next identical request should
-		// execute. Waiters coalesced onto this job still observe the error.
-		if r.sims[key] == j {
-			delete(r.sims, key)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// Waiters coalesced onto this job still observe the error.
+		if r.sims[j.key] == j {
+			delete(r.sims, j.key)
 		}
 	} else {
 		j.finished = true
@@ -513,7 +528,6 @@ func (r *Runner) SimulateSampledContext(ctx context.Context, workload string, cf
 	}
 	r.mu.Unlock()
 	close(j.done)
-	return j.st, j.err
 }
 
 // evictLocked trims the finished-run cache to the configured bound, oldest
@@ -582,18 +596,14 @@ func (r *Runner) runSim(ctx context.Context, workload string, cfg pipeline.Confi
 		}
 		defer r.release()
 		r.simsRun.Add(1)
+		r.emulationsRun.Add(1)
 		src := emulator.NewSource(emulator.New(res.Image), r.MaxInsts)
 		st, err = pipeline.NewCoreFromSource(cfg, src, res.Meta).RunContext(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("%s under %v: %w", workload, cfg.Policy, err)
 		}
 	}
-	for {
-		p := r.peakWindow.Load()
-		if st.WindowPeak <= p || r.peakWindow.CompareAndSwap(p, st.WindowPeak) {
-			break
-		}
-	}
+	casMax(&r.peakWindow, st.WindowPeak)
 	if r.Store != nil {
 		if err := r.Store.Put(hash, st); err != nil {
 			r.storeErrs.Add(1)
@@ -602,34 +612,270 @@ func (r *Runner) runSim(ctx context.Context, workload string, cfg pipeline.Confi
 	return st, nil
 }
 
+// casMax lifts v into the atomic high-water mark m.
+func casMax(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // simReq names one simulation for the fan-out helpers.
 type simReq struct {
 	workload string
 	cfg      pipeline.Config
 }
 
-// runAll schedules every request concurrently and waits for all of them,
-// returning the first error. Figures call it to warm the cache in parallel,
-// then assemble their tables from guaranteed hits.
+// Request names one simulation for RunRequests: a workload and a core
+// configuration. Callers can gather the requests of several figures (see
+// FigureRequests) and batch them through one scheduling pass, so every
+// configuration of a workload shares a single functional emulation.
+type Request struct {
+	Workload string
+	Config   pipeline.Config
+}
+
+// RunRequests warms the runner's cache with every request, batching
+// same-workload full-detail requests onto a shared broadcast trace bus: one
+// functional emulation feeds all N pipeline cores in lockstep (see
+// emulator.Broadcast). Results are bit-identical to independent Simulate
+// calls — each view delivers the exact solo stream and the model is
+// deterministic — and singleflight/cache/store semantics are preserved, so
+// subsequent Simulate calls are guaranteed hits. The first error is
+// returned after all requests settle.
+func (r *Runner) RunRequests(ctx context.Context, reqs []Request) error {
+	qs := make([]simReq, len(reqs))
+	for i, q := range reqs {
+		qs[i] = simReq{workload: q.Workload, cfg: q.Config}
+	}
+	return r.runAllContext(ctx, qs)
+}
+
+// runAll schedules every request and waits for all of them, returning the
+// first error. Figures call it to warm the cache, then assemble their tables
+// from guaranteed hits.
 func (r *Runner) runAll(reqs []simReq) error {
-	var wg sync.WaitGroup
-	var mu sync.Mutex
+	return r.runAllContext(context.Background(), reqs)
+}
+
+// runAllContext groups the requests by workload and runs each group's
+// full-detail simulations off one shared functional emulation via the
+// broadcast bus; sampled-mode runners fall back to the per-request path
+// (sampling already amortises the functional pass through its shared plan).
+func (r *Runner) runAllContext(ctx context.Context, reqs []simReq) error {
 	var firstErr error
+	var mu sync.Mutex
+	noteErr := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	if r.Sampling.Normalize().Enabled {
+		for _, q := range reqs {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, err := r.SimulateContext(ctx, q.workload, q.cfg)
+				noteErr(err)
+			}()
+		}
+		wg.Wait()
+		return firstErr
+	}
+
+	groups := map[string][]simReq{}
+	var order []string
 	for _, q := range reqs {
+		if _, ok := groups[q.workload]; !ok {
+			order = append(order, q.workload)
+		}
+		groups[q.workload] = append(groups[q.workload], q)
+	}
+	for _, w := range order {
 		wg.Add(1)
-		go func() {
+		go func(group []simReq) {
 			defer wg.Done()
-			if _, err := r.Simulate(q.workload, q.cfg); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}()
+			noteErr(r.simulateGroup(ctx, group))
+		}(groups[w])
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// ownedJob is one singleflight job this group claimed and must complete.
+type ownedJob struct {
+	j    *simJob
+	cfg  pipeline.Config
+	hash string
+}
+
+// simulateGroup completes one workload's batch of full-detail requests. It
+// claims each request's singleflight job (or registers as a waiter on a job
+// another caller owns), serves claimed jobs from the persistent store where
+// possible, then runs the remainder: a lone survivor takes the classic solo
+// path, two or more share a single functional emulation through the
+// broadcast bus. Every job is finished with exactly the semantics of
+// SimulateSampledContext, so concurrent Simulate callers observe no
+// difference.
+func (r *Runner) simulateGroup(ctx context.Context, group []simReq) error {
+	workload := group[0].workload
+	p := sampling.Params{}.Normalize() // full-detail runs only reach here
+
+	var owned []ownedJob
+	var waiters []*simJob
+	r.mu.Lock()
+	for _, q := range group {
+		r.simReqs.Add(1)
+		cfg := normalize(q.cfg)
+		if r.Sanitize {
+			cfg.Sanitize = true
+		}
+		key := simKey{workload: workload, cfg: keyOf(cfg), sampling: p}
+		if j, ok := r.sims[key]; ok {
+			if j.finished && j.elem != nil {
+				r.lru.MoveToFront(j.elem)
+			}
+			waiters = append(waiters, j)
+			continue
+		}
+		j := &simJob{done: make(chan struct{}), key: key}
+		r.sims[key] = j
+		owned = append(owned, ownedJob{j: j, cfg: cfg})
+	}
+	r.mu.Unlock()
+
+	// Serve owned jobs from the persistent store before paying for any
+	// execution; the rest stay pending.
+	pending := owned[:0]
+	for _, o := range owned {
+		if r.Store != nil {
+			o.hash = hashConfig(workload, r.MaxInsts, r.ScaleDiv, o.cfg, p)
+			if st, ok := r.Store.Get(o.hash); ok {
+				r.storeHits.Add(1)
+				r.finishJob(o.j, st, nil)
+				continue
+			}
+			r.storeMisses.Add(1)
+		}
+		pending = append(pending, o)
+	}
+
+	if len(pending) > 0 {
+		res, err := r.compiled(workload)
+		switch {
+		case err != nil:
+			for _, o := range pending {
+				r.finishJob(o.j, nil, err)
+			}
+		case len(pending) == 1:
+			o := pending[0]
+			st, err := r.execSolo(ctx, workload, o, res)
+			r.finishJob(o.j, st, err)
+		default:
+			r.execFanout(ctx, workload, pending, res)
+		}
+	}
+
+	var firstErr error
+	for _, o := range pending {
+		if o.j.err != nil && firstErr == nil {
+			firstErr = o.j.err
+		}
+	}
+	for _, j := range waiters {
+		select {
+		case <-j.done:
+			if j.err != nil && firstErr == nil {
+				firstErr = j.err
+			}
+		case <-ctx.Done():
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiments: %s: %w", workload, context.Cause(ctx))
+			}
+		}
+	}
+	return firstErr
+}
+
+// execSolo runs one claimed full-detail job on its own emulator stream,
+// mirroring runSim's execution arm (the store was already consulted).
+func (r *Runner) execSolo(ctx context.Context, workload string, o ownedJob, res *compiler.Result) (*pipeline.Stats, error) {
+	if err := r.acquire(ctx); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", workload, err)
+	}
+	defer r.release()
+	r.simsRun.Add(1)
+	r.emulationsRun.Add(1)
+	src := emulator.NewSource(emulator.New(res.Image), r.MaxInsts)
+	st, err := pipeline.NewCoreFromSource(o.cfg, src, res.Meta).RunContext(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("%s under %v: %w", workload, o.cfg.Policy, err)
+	}
+	casMax(&r.peakWindow, st.WindowPeak)
+	if r.Store != nil {
+		if err := r.Store.Put(o.hash, st); err != nil {
+			r.storeErrs.Add(1)
+		}
+	}
+	return st, nil
+}
+
+// execFanout runs N claimed same-workload jobs off one functional emulation:
+// a broadcast bus wraps a single live emulator source and each core consumes
+// its own lockstep view on its own goroutine. The batch holds one worker-pool
+// slot — its goroutines block on each other through the bus skew bound, so
+// giving each a slot could deadlock the pool — and every job is finished
+// individually with the usual store/cache semantics.
+func (r *Runner) execFanout(ctx context.Context, workload string, batch []ownedJob, res *compiler.Result) {
+	if err := r.acquire(ctx); err != nil {
+		err = fmt.Errorf("experiments: %s: %w", workload, err)
+		for _, o := range batch {
+			r.finishJob(o.j, nil, err)
+		}
+		return
+	}
+	defer r.release()
+	r.emulationsRun.Add(1)
+
+	bus := emulator.NewBroadcast(emulator.NewSource(emulator.New(res.Image), r.MaxInsts), r.BusSkew)
+	views := make([]*emulator.BusView, len(batch))
+	for i := range batch {
+		views[i] = bus.View()
+	}
+	var wg sync.WaitGroup
+	for i, o := range batch {
+		wg.Add(1)
+		go func(o ownedJob, view *emulator.BusView) {
+			defer wg.Done()
+			// An early exit (error, cancellation) must detach the view or its
+			// stalled cursor wedges every sibling on the bus.
+			defer view.Close()
+			r.simsRun.Add(1)
+			st, err := pipeline.NewCoreFromSource(o.cfg, view, res.Meta).RunContext(ctx)
+			if err != nil {
+				r.finishJob(o.j, nil, fmt.Errorf("%s under %v: %w", workload, o.cfg.Policy, err))
+				return
+			}
+			casMax(&r.peakWindow, st.WindowPeak)
+			if r.Store != nil {
+				if err := r.Store.Put(o.hash, st); err != nil {
+					r.storeErrs.Add(1)
+				}
+			}
+			r.finishJob(o.j, st, nil)
+		}(o, views[i])
+	}
+	wg.Wait()
+	casMax(&r.peakBusRecords, int64(bus.PeakRecords()))
 }
 
 // SimulateCalls returns how many Simulate requests the runner has received,
@@ -668,6 +914,16 @@ func (r *Runner) UniqueSimulations() int {
 // PeakWindow returns the largest sliding-window high-water mark (live
 // instruction records) observed across all simulations.
 func (r *Runner) PeakWindow() int64 { return r.peakWindow.Load() }
+
+// EmulationsRun returns how many functional emulation passes executed: one
+// per solo full-detail run, one per broadcast-bus batch (however many cores
+// it fed) and one per sampling plan's profiling pass. The gap between
+// SimulationsRun and EmulationsRun is the fan-out saving.
+func (r *Runner) EmulationsRun() int64 { return r.emulationsRun.Load() }
+
+// PeakBusRecords returns the largest broadcast-bus high-water mark (buffered
+// trace records, i.e. realized consumer skew) across all batched fan-outs.
+func (r *Runner) PeakBusRecords() int64 { return r.peakBusRecords.Load() }
 
 // skylake returns the paper's default evaluation core (SKL + DCPT).
 func skylake(policy pipeline.PolicyKind) pipeline.Config {

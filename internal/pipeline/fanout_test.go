@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/compiler"
+	"github.com/noreba-sim/noreba/internal/emulator"
+)
+
+// TestFanoutMatchesSoloCores pins the window/bus interop: cores fed by
+// broadcast-bus views — with a skew bound far smaller than the trace, so the
+// ring wraps and consumers genuinely throttle each other — produce Stats
+// bit-identical to cores fed by their own solo sources.
+func TestFanoutMatchesSoloCores(t *testing.T) {
+	res, err := compiler.Compile(mlpKernel(64), compiler.DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	tr, err := emulator.New(res.Image).Run(4 << 20)
+	if err != nil {
+		t.Fatalf("emulate: %v", err)
+	}
+
+	policies := []PolicyKind{InOrder, NonSpecOoO, Noreba, IdealReconv, SpecBR, Spec}
+	cfgs := make([]Config, len(policies))
+	for i, p := range policies {
+		cfgs[i] = SkylakeConfig()
+		cfgs[i].Policy = p
+	}
+
+	want := make([]*Stats, len(cfgs))
+	for i, cfg := range cfgs {
+		st, err := NewCoreFromSource(cfg, tr.Source(), res.Meta).Run()
+		if err != nil {
+			t.Fatalf("solo %v: %v", cfg.Policy, err)
+		}
+		want[i] = st
+	}
+
+	// Skew 64 is far below the trace length and the cores' in-flight spans,
+	// so the fast policies must block on the slow ones mid-run.
+	bus := emulator.NewBroadcast(tr.Source(), 64)
+	views := make([]*emulator.BusView, len(cfgs))
+	for i := range cfgs {
+		views[i] = bus.View()
+	}
+	got := make([]*Stats, len(cfgs))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer views[i].Close()
+			st, err := NewCoreFromSource(cfgs[i], views[i], res.Meta).Run()
+			if err != nil {
+				t.Errorf("fanout %v: %v", cfgs[i].Policy, err)
+				return
+			}
+			got[i] = st
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range cfgs {
+		if got[i] == nil {
+			continue
+		}
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("%v: fan-out stats diverged from solo run", cfgs[i].Policy)
+		}
+	}
+	if p := bus.PeakRecords(); p > 64 {
+		t.Errorf("bus peak %d exceeds skew bound 64", p)
+	}
+}

@@ -74,6 +74,8 @@ type SchedulerMetrics struct {
 type RunnerMetrics struct {
 	SimulateCalls  int64   `json:"simulateCalls"`
 	SimulationsRun int64   `json:"simulationsRun"`
+	EmulationsRun  int64   `json:"emulationsRun"`
+	PeakBusRecords int64   `json:"peakBusRecords"`
 	SampledRuns    int64   `json:"sampledRuns"`
 	PlansBuilt     int64   `json:"plansBuilt"`
 	StoreHits      int64   `json:"storeHits"`
@@ -335,6 +337,8 @@ func (s *Server) Metrics() MetricsResponse {
 	rm := RunnerMetrics{
 		SimulateCalls:  run.SimulateCalls(),
 		SimulationsRun: run.SimulationsRun(),
+		EmulationsRun:  run.EmulationsRun(),
+		PeakBusRecords: run.PeakBusRecords(),
 		SampledRuns:    run.SampledRuns(),
 		PlansBuilt:     run.PlansBuilt(),
 		StoreHits:      run.StoreHits(),

@@ -19,6 +19,7 @@ package noreba
 import (
 	"context"
 	"io"
+	"sync"
 
 	"github.com/noreba-sim/noreba/internal/compiler"
 	"github.com/noreba-sim/noreba/internal/emulator"
@@ -171,6 +172,53 @@ func SimulateSource(cfg Config, src TraceSource, meta *compiler.Meta) (*Stats, e
 // deadline) can still report what it saw.
 func SimulateSourceContext(ctx context.Context, cfg Config, src TraceSource, meta *compiler.Meta) (*Stats, error) {
 	return pipeline.NewCoreFromSource(cfg, src, meta).RunContext(ctx)
+}
+
+// TraceBus fans one TraceSource out to N lockstep consumers over a shared
+// bounded ring buffer, so one functional emulation can feed many pipeline
+// cores (see SimulateFanoutContext). skew bounds how far the fastest
+// consumer may run ahead of the slowest (0 means the default bound); all
+// views must be taken before consumption starts.
+type TraceBus = emulator.Broadcast
+
+// NewTraceBus wraps src in a broadcast trace bus. The source must not be
+// consumed by anyone else once the bus owns it.
+func NewTraceBus(src TraceSource, skew int) *TraceBus { return emulator.NewBroadcast(src, skew) }
+
+// SimulateFanoutContext runs every configuration over ONE shared functional
+// stream: src is wrapped in a broadcast trace bus and each config's core
+// consumes its own lockstep view on its own goroutine, paying the emulation
+// cost once instead of len(cfgs) times. Results are bit-identical to
+// independent SimulateSourceContext runs and are returned aligned with cfgs
+// alongside the first error (a failed core's slot holds its partial stats,
+// and the survivors still finish — an early-exiting core detaches from the
+// bus rather than wedging its siblings).
+func SimulateFanoutContext(ctx context.Context, cfgs []Config, src TraceSource, meta *compiler.Meta) ([]*Stats, error) {
+	bus := emulator.NewBroadcast(src, 0)
+	views := make([]*emulator.BusView, len(cfgs))
+	for i := range cfgs {
+		views[i] = bus.View()
+	}
+	stats := make([]*Stats, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer views[i].Close()
+			stats[i], errs[i] = pipeline.NewCoreFromSource(cfgs[i], views[i], meta).RunContext(ctx)
+		}(i)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	return stats, firstErr
 }
 
 // Sampled simulation (SimPoint-style).

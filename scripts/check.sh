@@ -53,13 +53,22 @@ done
 # seconds; longer campaigns run out-of-band.
 go test ./internal/isa -run '^$' -fuzz 'FuzzEncodeDecodeRoundTrip$' -fuzztime 10s
 go test ./internal/compiler -run '^$' -fuzz 'FuzzCompilerPass$' -fuzztime 10s
+go test ./internal/emulator -run '^$' -fuzz 'FuzzBroadcastSkew$' -fuzztime 10s
 
 # Throughput regression guard: capture the committed engine baseline BEFORE
 # the bench run rewrites BENCH_engine.json, then fail if the fresh suite
-# wall-clock regressed by more than 20% against it.
+# wall-clock regressed by more than 20% against it — or if the fresh run
+# executed more functional emulations than the committed baseline (the
+# broadcast trace bus keeps that at one shared emulation per workload; a
+# regression here means fan-out batching silently stopped working).
 baseline=$(awk -F'[:,]' '/"suiteWallClockSec"/ { gsub(/[ \t]/, "", $2); print $2 }' BENCH_engine.json)
 if [ -z "$baseline" ]; then
 	echo "check: no suiteWallClockSec in committed BENCH_engine.json" >&2
+	exit 1
+fi
+emu_baseline=$(awk -F'[:,]' '/"emulationsRun"/ { gsub(/[ \t]/, "", $2); print $2 }' BENCH_engine.json)
+if [ -z "$emu_baseline" ]; then
+	echo "check: no emulationsRun in committed BENCH_engine.json" >&2
 	exit 1
 fi
 
@@ -75,5 +84,16 @@ if awk "BEGIN { exit !($fresh > $baseline * 1.2) }"; then
 	exit 1
 fi
 echo "engine suite wall-clock: ${fresh}s (committed baseline ${baseline}s, guard at +20%)"
+
+emu_fresh=$(awk -F'[:,]' '/"emulationsRun"/ { gsub(/[ \t]/, "", $2); print $2 }' BENCH_engine.json)
+if [ -z "$emu_fresh" ]; then
+	echo "check: benchmark did not report emulationsRun" >&2
+	exit 1
+fi
+if [ "$emu_fresh" -gt "$emu_baseline" ]; then
+	echo "check: emulationsRun regressed: $emu_fresh vs committed $emu_baseline" >&2
+	exit 1
+fi
+echo "engine suite emulations: $emu_fresh (committed baseline $emu_baseline)"
 
 echo "check: OK"
