@@ -25,7 +25,7 @@ profile:
 
 # Coverage for the gated packages (the floor itself is enforced by check).
 cover:
-	go test -cover ./internal/pipeline ./internal/compiler ./internal/service
+	go test -cover ./internal/pipeline ./internal/compiler ./internal/service ./internal/workgen ./internal/tracefile
 
 # Simulation-service end-to-end smoke: build the server binary, then run the
 # load test (concurrent clients, dedup, warm-store restart) under -race.
@@ -38,3 +38,5 @@ fuzz:
 	go test ./internal/isa -run '^$$' -fuzz 'FuzzEncodeDecodeRoundTrip$$' -fuzztime 10s
 	go test ./internal/compiler -run '^$$' -fuzz 'FuzzCompilerPass$$' -fuzztime 10s
 	go test ./internal/emulator -run '^$$' -fuzz 'FuzzBroadcastSkew$$' -fuzztime 10s
+	go test ./internal/workgen -run '^$$' -fuzz 'FuzzGeneratedDifferential$$' -fuzztime 10s
+	go test ./internal/tracefile -run '^$$' -fuzz 'FuzzTraceRoundTrip$$' -fuzztime 10s

@@ -1,11 +1,14 @@
-// Command noreba-sim runs one workload (built-in kernel or assembly file)
-// through the cycle-level simulator under a chosen commit policy and prints
-// the run's statistics.
+// Command noreba-sim runs one workload (built-in kernel, assembly file,
+// generated program or recorded trace) through the cycle-level simulator
+// under a chosen commit policy and prints the run's statistics.
 //
 // Usage:
 //
 //	noreba-sim -workload mcf -policy noreba
 //	noreba-sim -file kernel.s -policy inorder -no-prefetch
+//	noreba-sim -gen seed=42,crit=0.8 -policies inorder,noreba
+//	noreba-sim -workload mcf -trace-out mcf.nrtf
+//	noreba-sim -trace-in mcf.nrtf -policy noreba
 //	noreba-sim -list
 package main
 
@@ -15,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -24,6 +28,8 @@ import (
 	noreba "github.com/noreba-sim/noreba"
 	"github.com/noreba-sim/noreba/internal/compiler"
 	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/tracefile"
+	"github.com/noreba-sim/noreba/internal/workgen"
 )
 
 var policies = map[string]noreba.Policy{
@@ -36,35 +42,74 @@ var policies = map[string]noreba.Policy{
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cli carries the output streams so the whole command is testable in
+// process: run exercises exactly the code main ships.
+type cli struct {
+	stdout, stderr io.Writer
+}
+
+// errInterrupted marks a run that ended on SIGINT/SIGTERM after reporting
+// partial statistics; main translates it to exit code 130.
+var errInterrupted = errors.New("interrupted")
+
+// run executes the command with explicit arguments and streams, returning
+// the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	c := &cli{stdout: stdout, stderr: stderr}
+	err := c.main(args)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errInterrupted):
+		return 130
+	case errors.Is(err, flag.ErrHelp):
+		return 2
+	default:
+		fmt.Fprintf(stderr, "noreba-sim: %v\n", err)
+		return 1
+	}
+}
+
+func (c *cli) main(args []string) error {
+	fs := flag.NewFlagSet("noreba-sim", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
 	var (
-		workload   = flag.String("workload", "mcf", "built-in workload name (see -list)")
-		file       = flag.String("file", "", "assembly file to run instead of a built-in workload")
-		image      = flag.String("image", "", "compiled bundle (.nrb from noreba-compile -o) to run")
-		policyName = flag.String("policy", "noreba", "commit policy: inorder|nonspec|noreba|ideal|specbr|spec")
-		policySet  = flag.String("policies", "", "comma-separated policy sweep (e.g. inorder,noreba,specbr): run every policy over ONE shared emulation and print a per-policy comparison")
-		core       = flag.String("core", "skl", "core model: nhm|hsw|skl")
-		scale      = flag.Int("scale", 0, "workload scale (0 = default)")
-		maxInsts   = flag.Int64("max-insts", 1<<20, "dynamic instruction budget")
-		noPrefetch = flag.Bool("no-prefetch", false, "disable the DCPT prefetcher")
-		ecl        = flag.Bool("ecl", false, "enable Early Commit of Loads (§6.1.5)")
-		list       = flag.Bool("list", false, "list built-in workloads and exit")
-		jsonOut    = flag.Bool("json", false, "emit statistics as JSON")
-		sample     = flag.Bool("sample", false, "estimate via SimPoint-style sampled simulation instead of a full run")
-		sanitize   = flag.Bool("sanitize", false, "run with the pipeline invariant checker (fails fast on violations)")
-		traceFile  = flag.String("trace", "", "stream per-stage pipeline events as JSON lines to this file ('-' for stdout)")
+		workload   = fs.String("workload", "mcf", "built-in workload name (see -list)")
+		file       = fs.String("file", "", "assembly file to run instead of a built-in workload")
+		image      = fs.String("image", "", "compiled bundle (.nrb from noreba-compile -o) to run")
+		gen        = fs.String("gen", "", "generate the program from a workgen spec (e.g. seed=42,crit=0.8,dep=12,mlp=4,store=0.5,nest=2,iters=300; only seed is required)")
+		traceIn    = fs.String("trace-in", "", "replay a recorded trace file instead of emulating a program")
+		traceOut   = fs.String("trace-out", "", "record the consumed dynamic instruction stream to this trace file")
+		policyName = fs.String("policy", "noreba", "commit policy: inorder|nonspec|noreba|ideal|specbr|spec")
+		policySet  = fs.String("policies", "", "comma-separated policy sweep (e.g. inorder,noreba,specbr): run every policy over ONE shared emulation and print a per-policy comparison")
+		core       = fs.String("core", "skl", "core model: nhm|hsw|skl")
+		scale      = fs.Int("scale", 0, "workload scale (0 = default)")
+		maxInsts   = fs.Int64("max-insts", 1<<20, "dynamic instruction budget")
+		noPrefetch = fs.Bool("no-prefetch", false, "disable the DCPT prefetcher")
+		ecl        = fs.Bool("ecl", false, "enable Early Commit of Loads (§6.1.5)")
+		list       = fs.Bool("list", false, "list built-in workloads and exit")
+		jsonOut    = fs.Bool("json", false, "emit statistics as JSON")
+		sample     = fs.Bool("sample", false, "estimate via SimPoint-style sampled simulation instead of a full run")
+		sanitize   = fs.Bool("sanitize", false, "run with the pipeline invariant checker (fails fast on violations)")
+		traceFile  = fs.String("trace", "", "stream per-stage pipeline events as JSON lines to this file ('-' for stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, w := range noreba.Workloads() {
-			fmt.Printf("%-14s %s (default scale %d)\n", w.Name, w.Suite, w.DefaultScale)
+			fmt.Fprintf(c.stdout, "%-14s %s (default scale %d)\n", w.Name, w.Suite, w.DefaultScale)
 		}
-		return
+		return nil
 	}
 
 	policy, ok := policies[strings.ToLower(*policyName)]
 	if !ok {
-		fatalf("unknown policy %q", *policyName)
+		return fmt.Errorf("unknown policy %q", *policyName)
 	}
 	var sweep []string
 	if *policySet != "" {
@@ -74,20 +119,33 @@ func main() {
 				continue
 			}
 			if _, ok := policies[n]; !ok {
-				fatalf("unknown policy %q in -policies", n)
+				return fmt.Errorf("unknown policy %q in -policies", n)
 			}
 			sweep = append(sweep, n)
 		}
 		if len(sweep) == 0 {
-			fatalf("-policies lists no policies")
+			return fmt.Errorf("-policies lists no policies")
 		}
 		if *sample {
-			fatalf("-policies runs all policies over one shared emulation; it cannot be combined with -sample")
+			return fmt.Errorf("-policies runs all policies over one shared emulation; it cannot be combined with -sample")
 		}
 		if *traceFile != "" {
-			fatalf("-policies cannot be combined with -trace (one event stream per core would interleave)")
+			return fmt.Errorf("-policies cannot be combined with -trace (one event stream per core would interleave)")
 		}
 	}
+	inputs := 0
+	for _, set := range []bool{*file != "", *image != "", *gen != "", *traceIn != ""} {
+		if set {
+			inputs++
+		}
+	}
+	if inputs > 1 {
+		return fmt.Errorf("-file, -image, -gen and -trace-in are mutually exclusive")
+	}
+	if *sample && (*traceIn != "" || *traceOut != "") {
+		return fmt.Errorf("sampled simulation replays checkpoints, not a single stream; it cannot be combined with -trace-in/-trace-out")
+	}
+
 	var cfg noreba.Config
 	switch strings.ToLower(*core) {
 	case "nhm":
@@ -97,7 +155,7 @@ func main() {
 	case "skl":
 		cfg = noreba.Skylake(policy)
 	default:
-		fatalf("unknown core %q", *core)
+		return fmt.Errorf("unknown core %q", *core)
 	}
 	cfg.PrefetchEnabled = !*noPrefetch
 	cfg.ECL = *ecl
@@ -106,13 +164,13 @@ func main() {
 	// -trace streams the event log as JSONL and folds a metrics summary
 	// printed after the run.
 	var metrics *noreba.MetricsRegistry
-	var finishTrace func()
+	var finishTrace func() error
 	if *traceFile != "" {
-		out := os.Stdout
+		out := c.stdout
 		if *traceFile != "-" {
 			f, err := os.Create(*traceFile)
 			if err != nil {
-				fatalf("%v", err)
+				return err
 			}
 			out = f
 		}
@@ -120,10 +178,11 @@ func main() {
 		m := noreba.NewMetricsSink(nil)
 		metrics = m.Registry()
 		cfg.TraceSink = noreba.TeeSinks(jsonl, m)
-		finishTrace = func() {
+		finishTrace = func() error {
 			if err := jsonl.Close(); err != nil {
-				fatalf("trace: %v", err)
+				return fmt.Errorf("trace: %w", err)
 			}
+			return nil
 		}
 	}
 
@@ -133,90 +192,147 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *image != "" {
+	// Resolve the input to a trace source (or, for -sample, a compiled
+	// result). Exactly one of src/res is used per mode.
+	var (
+		name string
+		src  noreba.TraceSource
+		meta *compiler.Meta
+		res  *noreba.CompileResult
+	)
+	switch {
+	case *traceIn != "":
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rd, err := tracefile.Open(f)
+		if err != nil {
+			return err
+		}
+		name, src, meta = rd.Name(), rd, rd.Meta()
+
+	case *image != "":
 		data, err := os.ReadFile(*image)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		img, meta, err := compiler.LoadBundle(data)
+		img, m, err := compiler.LoadBundle(data)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		if len(sweep) > 0 {
-			src := emulator.NewSource(emulator.New(img), *maxInsts)
-			if runPolicySweep(ctx, cfg, sweep, *image, src, meta, *jsonOut) {
-				os.Exit(130)
-			}
-			return
-		}
-		var st *noreba.Stats
-		if *sample {
-			st, err = simulateSampled(ctx, cfg, &compiler.Result{Image: img, Meta: meta}, *maxInsts)
+		name, meta = *image, m
+		if !*sample {
+			src = emulator.NewSource(emulator.New(img), *maxInsts)
 		} else {
-			src := emulator.NewSource(emulator.New(img), *maxInsts)
+			res = &noreba.CompileResult{Image: img, Meta: m}
+		}
+
+	default:
+		var prog *noreba.Program
+		switch {
+		case *file != "":
+			srcText, err := os.ReadFile(*file)
+			if err != nil {
+				return err
+			}
+			p, err := noreba.Assemble(*file, string(srcText))
+			if err != nil {
+				return err
+			}
+			prog, name = p, *file
+		case *gen != "":
+			params, err := workgen.ParseSpec(*gen)
+			if err != nil {
+				return err
+			}
+			p, ch, err := workgen.Generate(params)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(c.stderr, "generated %s\n", ch)
+			prog, name = p, params.Name()
+		default:
+			w, err := noreba.WorkloadByName(*workload)
+			if err != nil {
+				return err
+			}
+			s := w.DefaultScale
+			if *scale > 0 {
+				s = *scale
+			}
+			prog, name = w.Build(s), *workload
+		}
+		r, err := noreba.Compile(prog)
+		if err != nil {
+			return fmt.Errorf("compile: %w", err)
+		}
+		res, meta = r, r.Meta
+		if !*sample {
+			src = noreba.StreamTrace(r, *maxInsts)
+		}
+	}
+
+	// -trace-out tees the consumed stream into a trace file: the recorder
+	// wraps the source, so recording adds no second emulation.
+	var finishRecord func() error
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		rec, err := tracefile.NewRecorder(src, f, meta)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		src = rec
+		finishRecord = func() error {
+			if err := rec.Close(); err != nil {
+				f.Close()
+				return fmt.Errorf("trace-out: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("trace-out: %w", err)
+			}
+			return nil
+		}
+	}
+
+	var runErr error
+	if len(sweep) > 0 {
+		runErr = c.runPolicySweep(ctx, cfg, sweep, name, src, meta, *jsonOut)
+	} else {
+		var st *noreba.Stats
+		var err error
+		if *sample {
+			st, err = simulateSampled(ctx, cfg, res, *maxInsts)
+		} else {
 			st, err = noreba.SimulateSourceContext(ctx, cfg, src, meta)
 		}
-		interrupted := reportMaybePartial(*image, cfg, st, *jsonOut, err)
-		finishRun(metrics, finishTrace)
-		if interrupted {
-			os.Exit(130)
-		}
-		return
+		runErr = c.reportMaybePartial(name, cfg, st, *jsonOut, err)
 	}
-
-	var prog *noreba.Program
-	name := *workload
-	if *file != "" {
-		src, err := os.ReadFile(*file)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		p, err := noreba.Assemble(*file, string(src))
-		if err != nil {
-			fatalf("%v", err)
-		}
-		prog, name = p, *file
-	} else {
-		w, err := noreba.WorkloadByName(*workload)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		s := w.DefaultScale
-		if *scale > 0 {
-			s = *scale
-		}
-		prog = w.Build(s)
+	if runErr != nil && !errors.Is(runErr, errInterrupted) {
+		return runErr
 	}
-
-	res, err := noreba.Compile(prog)
-	if err != nil {
-		fatalf("compile: %v", err)
-	}
-	if len(sweep) > 0 {
-		if runPolicySweep(ctx, cfg, sweep, name, noreba.StreamTrace(res, *maxInsts), res.Meta, *jsonOut) {
-			os.Exit(130)
+	if finishRecord != nil {
+		if err := finishRecord(); err != nil {
+			return err
 		}
-		return
 	}
-	var st *noreba.Stats
-	if *sample {
-		st, err = simulateSampled(ctx, cfg, res, *maxInsts)
-	} else {
-		st, err = noreba.SimulateSourceContext(ctx, cfg, noreba.StreamTrace(res, *maxInsts), res.Meta)
+	if err := c.finishRun(metrics, finishTrace); err != nil {
+		return err
 	}
-	interrupted := reportMaybePartial(name, cfg, st, *jsonOut, err)
-	finishRun(metrics, finishTrace)
-	if interrupted {
-		os.Exit(130)
-	}
+	return runErr
 }
 
 // runPolicySweep runs every named policy over ONE shared functional
 // emulation — src is fanned out through the broadcast trace bus, each
 // policy's core consuming its own lockstep view — and prints a per-policy
-// comparison (IPC plus speedup over the first policy listed). It reports
-// whether the sweep was interrupted.
-func runPolicySweep(ctx context.Context, base noreba.Config, sweep []string, name string, src noreba.TraceSource, meta *compiler.Meta, asJSON bool) bool {
+// comparison (IPC plus speedup over the first policy listed). It returns
+// errInterrupted when the sweep was cut short by a signal.
+func (c *cli) runPolicySweep(ctx context.Context, base noreba.Config, sweep []string, name string, src noreba.TraceSource, meta *compiler.Meta, asJSON bool) error {
 	cfgs := make([]noreba.Config, len(sweep))
 	for i, pn := range sweep {
 		cfgs[i] = base
@@ -225,10 +341,10 @@ func runPolicySweep(ctx context.Context, base noreba.Config, sweep []string, nam
 	stats, err := noreba.SimulateFanoutContext(ctx, cfgs, src, meta)
 	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 	if err != nil && !interrupted {
-		fatalf("simulate: %v", err)
+		return fmt.Errorf("simulate: %w", err)
 	}
 	if interrupted {
-		fmt.Fprintln(os.Stderr, "noreba-sim: interrupted — partial statistics follow")
+		fmt.Fprintln(c.stderr, "noreba-sim: interrupted — partial statistics follow")
 	}
 
 	if asJSON {
@@ -248,25 +364,31 @@ func runPolicySweep(ctx context.Context, base noreba.Config, sweep []string, nam
 				"speedup":      speedupOverFirst(stats, i),
 			})
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(c.stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		return interrupted
+		if interrupted {
+			return errInterrupted
+		}
+		return nil
 	}
 
-	fmt.Printf("workload %s  core %s  (one shared emulation, %d policies)\n", name, base.Name, len(cfgs))
-	fmt.Printf("%-22s %12s %8s %8s %8s\n", "policy", "cycles", "IPC", "OoO%", "speedup")
+	fmt.Fprintf(c.stdout, "workload %s  core %s  (one shared emulation, %d policies)\n", name, base.Name, len(cfgs))
+	fmt.Fprintf(c.stdout, "%-22s %12s %8s %8s %8s\n", "policy", "cycles", "IPC", "OoO%", "speedup")
 	for i, st := range stats {
 		if st == nil {
-			fmt.Printf("%-22s %12s\n", sweep[i], "-")
+			fmt.Fprintf(c.stdout, "%-22s %12s\n", sweep[i], "-")
 			continue
 		}
-		fmt.Printf("%-22s %12d %8.3f %7.1f%% %7.3fx\n",
+		fmt.Fprintf(c.stdout, "%-22s %12d %8.3f %7.1f%% %7.3fx\n",
 			st.Policy, st.Cycles, st.IPC(), 100*st.OoOCommitFraction(), speedupOverFirst(stats, i))
 	}
-	return interrupted
+	if interrupted {
+		return errInterrupted
+	}
+	return nil
 }
 
 // speedupOverFirst returns stats[i]'s cycle-count speedup over the sweep's
@@ -293,39 +415,47 @@ func simulateSampled(ctx context.Context, cfg noreba.Config, res *noreba.Compile
 
 // reportMaybePartial prints a finished run's statistics, or — when the run
 // was interrupted by SIGINT/SIGTERM — the partial statistics up to the
-// cancellation point with a note on stderr. Any other simulation error is
-// fatal. It reports whether the run was interrupted.
-func reportMaybePartial(name string, cfg noreba.Config, st *noreba.Stats, asJSON bool, err error) bool {
+// cancellation point with a note on stderr (returning errInterrupted). Any
+// other simulation error is returned as is.
+func (c *cli) reportMaybePartial(name string, cfg noreba.Config, st *noreba.Stats, asJSON bool, err error) error {
 	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 	if err != nil && !interrupted {
-		fatalf("simulate: %v", err)
+		return fmt.Errorf("simulate: %w", err)
 	}
 	if interrupted {
 		if st == nil {
 			// A cancelled sampled estimate has no partial statistics to show.
-			fmt.Fprintln(os.Stderr, "noreba-sim: interrupted")
-			return true
+			fmt.Fprintln(c.stderr, "noreba-sim: interrupted")
+			return errInterrupted
 		}
-		fmt.Fprintf(os.Stderr, "noreba-sim: interrupted — partial statistics up to cycle %d:\n", st.Cycles)
+		fmt.Fprintf(c.stderr, "noreba-sim: interrupted — partial statistics up to cycle %d:\n", st.Cycles)
 	}
-	report(name, cfg, st, asJSON)
-	return interrupted
+	if err := c.report(name, cfg, st, asJSON); err != nil {
+		return err
+	}
+	if interrupted {
+		return errInterrupted
+	}
+	return nil
 }
 
 // finishRun flushes the JSONL event stream and prints the folded metrics
 // summary to stderr (keeping stdout clean for -json and -trace -).
-func finishRun(metrics *noreba.MetricsRegistry, finishTrace func()) {
+func (c *cli) finishRun(metrics *noreba.MetricsRegistry, finishTrace func() error) error {
 	if finishTrace != nil {
-		finishTrace()
+		if err := finishTrace(); err != nil {
+			return err
+		}
 	}
 	if metrics != nil {
-		fmt.Fprintln(os.Stderr, "event metrics:")
-		metrics.WriteSummary(os.Stderr)
+		fmt.Fprintln(c.stderr, "event metrics:")
+		metrics.WriteSummary(c.stderr)
 	}
+	return nil
 }
 
 // report prints a run's statistics, as text or JSON.
-func report(name string, cfg noreba.Config, st *noreba.Stats, asJSON bool) {
+func (c *cli) report(name string, cfg noreba.Config, st *noreba.Stats, asJSON bool) error {
 	breakdown := noreba.EstimatePower(cfg, st)
 	if asJSON {
 		out := map[string]any{
@@ -363,30 +493,27 @@ func report(name string, cfg noreba.Config, st *noreba.Stats, asJSON bool) {
 			out["sampledIntervals"] = st.SampledIntervals
 			out["sampledDetailInsts"] = st.SampledDetailInsts
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(c.stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fatalf("%v", err)
-		}
-		return
+		return enc.Encode(out)
 	}
 
-	fmt.Printf("workload        %s (%d dynamic instructions)\n", name, st.TraceInsts)
-	fmt.Printf("core            %s  policy %s  prefetch %v  ECL %v\n", cfg.Name, st.Policy, cfg.PrefetchEnabled, cfg.ECL)
+	fmt.Fprintf(c.stdout, "workload        %s (%d dynamic instructions)\n", name, st.TraceInsts)
+	fmt.Fprintf(c.stdout, "core            %s  policy %s  prefetch %v  ECL %v\n", cfg.Name, st.Policy, cfg.PrefetchEnabled, cfg.ECL)
 	if st.Sampled {
-		fmt.Printf("sampled         %d representative intervals, %d detailed insts (estimates)\n",
+		fmt.Fprintf(c.stdout, "sampled         %d representative intervals, %d detailed insts (estimates)\n",
 			st.SampledIntervals, st.SampledDetailInsts)
 	}
-	fmt.Printf("cycles          %d\n", st.Cycles)
-	fmt.Printf("IPC             %.3f\n", st.IPC())
-	fmt.Printf("OoO committed   %d (%.1f%% of commits)\n", st.OoOCommitted, 100*st.OoOCommitFraction())
-	fmt.Printf("branches        %d (%.2f%% mispredicted)\n", st.Branches, 100*st.MispredictRate())
-	fmt.Printf("L1D             %d accesses, %d misses\n", st.L1DAccesses, st.L1DMisses)
-	fmt.Printf("prefetches      %d issued, %d useful\n", st.PrefetchIssued, st.PrefetchUseful)
-	fmt.Printf("setup insts     %d fetched, CIT drops %d\n", st.FetchedSetup, st.CITDrops)
-	fmt.Printf("dispatch stalls ROB %d  IQ %d  LQ %d  SQ %d  regs %d\n",
+	fmt.Fprintf(c.stdout, "cycles          %d\n", st.Cycles)
+	fmt.Fprintf(c.stdout, "IPC             %.3f\n", st.IPC())
+	fmt.Fprintf(c.stdout, "OoO committed   %d (%.1f%% of commits)\n", st.OoOCommitted, 100*st.OoOCommitFraction())
+	fmt.Fprintf(c.stdout, "branches        %d (%.2f%% mispredicted)\n", st.Branches, 100*st.MispredictRate())
+	fmt.Fprintf(c.stdout, "L1D             %d accesses, %d misses\n", st.L1DAccesses, st.L1DMisses)
+	fmt.Fprintf(c.stdout, "prefetches      %d issued, %d useful\n", st.PrefetchIssued, st.PrefetchUseful)
+	fmt.Fprintf(c.stdout, "setup insts     %d fetched, CIT drops %d\n", st.FetchedSetup, st.CITDrops)
+	fmt.Fprintf(c.stdout, "dispatch stalls ROB %d  IQ %d  LQ %d  SQ %d  regs %d\n",
 		st.StallROB, st.StallIQ, st.StallLQ, st.StallSQ, st.StallRegs)
-	fmt.Printf("power (model)   %.3f  area %.3f\n", breakdown.TotalPower(), breakdown.TotalArea())
+	fmt.Fprintf(c.stdout, "power (model)   %.3f  area %.3f\n", breakdown.TotalPower(), breakdown.TotalArea())
 
 	// Figure-7-style criticality: the five worst branches.
 	type crit struct {
@@ -404,14 +531,10 @@ func report(name string, cfg noreba.Config, st *noreba.Stats, asJSON bool) {
 		crits = crits[:5]
 	}
 	if len(crits) > 0 {
-		fmt.Println("critical branches (pc, stall cycles, dynamic dependents, occurrences):")
-		for _, c := range crits {
-			fmt.Printf("  pc %-6d stall %-8d deps %-8d occ %d\n", c.pc, c.stall, c.deps, c.occur)
+		fmt.Fprintln(c.stdout, "critical branches (pc, stall cycles, dynamic dependents, occurrences):")
+		for _, c2 := range crits {
+			fmt.Fprintf(c.stdout, "  pc %-6d stall %-8d deps %-8d occ %d\n", c2.pc, c2.stall, c2.deps, c2.occur)
 		}
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "noreba-sim: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

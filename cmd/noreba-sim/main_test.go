@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI executes the command in process and returns (exit code, stdout,
+// stderr) — the exact path main ships, minus os.Exit.
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+// genSpec is a small generated program: fast enough for CLI tests, rich
+// enough (branches, loads, stores) that policies disagree on cycles.
+const genSpec = "seed=42,crit=0.8,dep=6,mlp=2,store=0.3,nest=1,iters=40"
+
+func TestListIncludesGeneratedSuite(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "gen/") || !strings.Contains(out, "generated") {
+		t.Errorf("-list does not show the generated suite:\n%s", out)
+	}
+	if !strings.Contains(out, "mcf") {
+		t.Errorf("-list lost the curated suite:\n%s", out)
+	}
+}
+
+func TestPolicySweepTable(t *testing.T) {
+	code, out, _ := runCLI(t, "-gen", genSpec, "-policies", "inorder,noreba,specbr")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "one shared emulation, 3 policies") {
+		t.Errorf("sweep header missing:\n%s", out)
+	}
+	for _, want := range []string{"InO-C", "NOREBA", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPolicySweepJSON(t *testing.T) {
+	code, out, _ := runCLI(t, "-gen", genSpec, "-policies", "inorder,noreba", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal([]byte(out), &rows); err != nil {
+		t.Fatalf("sweep -json output not JSON: %v\n%s", err, out)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 policy rows, got %d", len(rows))
+	}
+	if got := rows[0]["speedup"].(float64); got != 1.0 {
+		t.Errorf("first policy's speedup over itself = %v, want 1", got)
+	}
+	if rows[1]["speedup"].(float64) <= 1.0 {
+		t.Errorf("NOREBA speedup over in-order %v, want > 1", rows[1]["speedup"])
+	}
+	for _, row := range rows {
+		if row["workload"] != "gen/s42c80d6m2p30n1" {
+			t.Errorf("row names workload %v, want the generator spec name", row["workload"])
+		}
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown policy", []string{"-policy", "warp"}, `unknown policy "warp"`},
+		{"unknown sweep policy", []string{"-policies", "inorder,warp"}, `unknown policy "warp" in -policies`},
+		{"empty sweep", []string{"-policies", " , "}, "-policies lists no policies"},
+		{"sweep+sample", []string{"-policies", "inorder", "-sample"}, "cannot be combined with -sample"},
+		{"sweep+trace", []string{"-policies", "inorder", "-trace", "-"}, "cannot be combined with -trace"},
+		{"two inputs", []string{"-gen", "seed=1", "-file", "x.s"}, "mutually exclusive"},
+		{"sample+trace-out", []string{"-sample", "-trace-out", "x.nrtf"}, "cannot be combined with -trace-in/-trace-out"},
+		{"bad gen spec", []string{"-gen", "seed=1,bogus=3"}, "bogus"},
+		{"unknown workload", []string{"-workload", "nosuch"}, "nosuch"},
+		{"unknown core", []string{"-core", "m1"}, `unknown core "m1"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := runCLI(t, tc.args...)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1 (stderr: %s)", code, errOut)
+			}
+			if !strings.Contains(errOut, tc.want) {
+				t.Errorf("stderr %q does not mention %q", errOut, tc.want)
+			}
+		})
+	}
+}
+
+// TestGenerateRecordReplay is the CLI interchange contract end to end:
+// generate → simulate + record, then replay the trace file — both through
+// the real flag surface — and require bit-identical cycle counts.
+func TestGenerateRecordReplay(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "gen.nrtf")
+
+	cycles := func(args ...string) (string, float64) {
+		t.Helper()
+		code, out, errOut := runCLI(t, append(args, "-json")...)
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, errOut)
+		}
+		var st map[string]any
+		if err := json.Unmarshal([]byte(out), &st); err != nil {
+			t.Fatalf("bad -json output: %v", err)
+		}
+		return st["workload"].(string), st["cycles"].(float64)
+	}
+
+	liveName, liveCycles := cycles("-gen", genSpec, "-trace-out", trace)
+	if fi, err := os.Stat(trace); err != nil || fi.Size() == 0 {
+		t.Fatalf("recorded trace missing or empty: %v", err)
+	}
+	replayName, replayCycles := cycles("-trace-in", trace)
+
+	if replayName != liveName {
+		t.Errorf("replay names workload %q, live run %q", replayName, liveName)
+	}
+	if replayCycles != liveCycles {
+		t.Errorf("replayed run took %v cycles, live run %v — trace interchange broke", replayCycles, liveCycles)
+	}
+}
+
+// TestReplaySweepSharesTrace replays one recorded trace through a policy
+// sweep: the reader feeds the broadcast bus exactly like a live emulation.
+func TestReplaySweepSharesTrace(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "sweep.nrtf")
+	if code, _, errOut := runCLI(t, "-gen", genSpec, "-trace-out", trace); code != 0 {
+		t.Fatalf("record failed: %s", errOut)
+	}
+	code, out, errOut := runCLI(t, "-trace-in", trace, "-policies", "inorder,noreba")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "gen/s42c80d6m2p30n1") {
+		t.Errorf("sweep over a replayed trace lost the workload name:\n%s", out)
+	}
+}
+
+func TestCorruptTraceNamesOffset(t *testing.T) {
+	dir := t.TempDir()
+
+	// Flip one mid-stream byte of a valid trace: Open succeeds, the failure
+	// surfaces during the replay as a typed error naming the offset.
+	trace := filepath.Join(dir, "ok.nrtf")
+	if code, _, errOut := runCLI(t, "-gen", "seed=7,iters=5", "-trace-out", trace); code != 0 {
+		t.Fatalf("record failed: %s", errOut)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	corrupt := filepath.Join(dir, "corrupt.nrtf")
+	if err := os.WriteFile(corrupt, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runCLI(t, "-trace-in", corrupt)
+	if code != 1 {
+		t.Fatalf("corrupt trace exited %d, want 1 (stderr: %s)", code, errOut)
+	}
+	if !strings.Contains(errOut, "tracefile:") || !strings.Contains(errOut, "offset") {
+		t.Errorf("error does not name the corruption offset: %s", errOut)
+	}
+
+	// A truncated file (no end marker) must also fail loudly, not pass as a
+	// shorter run.
+	short := filepath.Join(dir, "short.nrtf")
+	if err := os.WriteFile(short, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut = runCLI(t, "-trace-in", short)
+	if code != 1 {
+		t.Fatalf("truncated trace exited %d, want 1 (stderr: %s)", code, errOut)
+	}
+	if !strings.Contains(errOut, "offset") {
+		t.Errorf("truncation error does not name an offset: %s", errOut)
+	}
+
+	// Not a trace file at all: rejected at Open.
+	bogus := filepath.Join(dir, "bogus.nrtf")
+	if err := os.WriteFile(bogus, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errOut = runCLI(t, "-trace-in", bogus); code != 1 {
+		t.Fatalf("bogus trace exited %d, want 1 (stderr: %s)", code, errOut)
+	}
+}
+
+// TestGenReportsCharacter: -gen announces the realized character record on
+// stderr (stdout stays clean for -json pipelines).
+func TestGenReportsCharacter(t *testing.T) {
+	code, out, errOut := runCLI(t, "-gen", "seed=3,iters=5", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "generated ") {
+		t.Errorf("character record missing from stderr: %q", errOut)
+	}
+	var st map[string]any
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Errorf("stdout polluted, not pure JSON: %v\n%s", err, out)
+	}
+}
+
+func TestWorkloadRunStillWorks(t *testing.T) {
+	code, out, errOut := runCLI(t, "-workload", "CRC32", "-scale", "64", "-max-insts", "20000")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"workload        CRC32", "cycles", "IPC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -9,6 +9,11 @@ type Counts struct {
 	Setup    int64 // setBranchId + setDependency occurrences
 }
 
+// Add folds one delivered instruction into the summary. Exported for
+// alternative TraceSource implementations (the trace-file replay reader must
+// count exactly as the live sources do).
+func (c *Counts) Add(d DynInst) { c.add(d) }
+
 func (c *Counts) add(d DynInst) {
 	c.Insts++
 	switch {

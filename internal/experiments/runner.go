@@ -308,11 +308,15 @@ func QuickRunner() *Runner {
 	return r
 }
 
-// suite returns the workload list this runner evaluates. An unknown name in
-// Workloads is a configuration error reported to the caller, not a panic.
+// suite returns the workload list this runner evaluates. The default is the
+// curated figure suite: generated workloads (internal/workgen) are reachable
+// by naming them in Workloads or in explicit Requests, but must never grow
+// the figures — their cycle counts are correctness collateral, not results.
+// An unknown name in Workloads is a configuration error reported to the
+// caller, not a panic.
 func (r *Runner) suite() ([]workloads.Workload, error) {
 	if r.Workloads == nil {
-		return workloads.All(), nil
+		return workloads.Curated(), nil
 	}
 	var out []workloads.Workload
 	for _, name := range r.Workloads {

@@ -4,6 +4,10 @@ package isa
 // workloads exercise, plus the four NOREBA setup/CIT instructions.
 type Op uint8
 
+// Valid reports whether o names a defined operation — what deserializers
+// (the trace-file reader) must check before trusting an op byte.
+func (o Op) Valid() bool { return o != OpInvalid && o < numOps }
+
 const (
 	OpInvalid Op = iota
 

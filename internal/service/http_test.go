@@ -396,3 +396,46 @@ func TestHTTPSampledJob(t *testing.T) {
 		t.Errorf("registry missing service/jobs-sampled=1: %+v", m.Registry.Counters)
 	}
 }
+
+// TestHTTPGeneratedWorkload: the listing advertises the pinned generated
+// workloads, and a submitted job naming one runs to completion like any
+// curated kernel.
+func TestHTTPGeneratedWorkload(t *testing.T) {
+	ts, _ := newTestServer(t, 2, 16)
+
+	var wls []struct {
+		Name  string `json:"name"`
+		Suite string `json:"suite"`
+	}
+	getJSON(t, ts.URL+"/workloads", &wls)
+	var gen string
+	for _, w := range wls {
+		if w.Suite == "generated" {
+			if !strings.HasPrefix(w.Name, "gen/") {
+				t.Errorf("generated workload %q lacks the gen/ prefix", w.Name)
+			}
+			if gen == "" {
+				gen = w.Name
+			}
+		}
+	}
+	if gen == "" {
+		t.Fatalf("no generated workloads in the listing: %+v", wls)
+	}
+
+	sub, resp := postJob(t, ts, fmt.Sprintf(`{"workload":%q,"policy":"noreba"}`, gen))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	st := waitDone(t, ts, sub.ID)
+	if st.State != StateDone {
+		t.Fatalf("generated-workload job ended %s (%s)", st.State, st.Error)
+	}
+	var stats pipeline.Stats
+	if rr := getJSON(t, ts.URL+"/jobs/"+sub.ID+"/result", &stats); rr.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d", rr.StatusCode)
+	}
+	if stats.Committed == 0 {
+		t.Error("generated-workload job committed nothing")
+	}
+}

@@ -1,0 +1,94 @@
+package tracefile_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/compiler"
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/pipeline"
+	"github.com/noreba-sim/noreba/internal/tracefile"
+	"github.com/noreba-sim/noreba/internal/workgen"
+	"github.com/noreba-sim/noreba/internal/workloads"
+)
+
+const rtBudget = 1 << 18
+
+// simulate runs one pipeline core over src and returns its statistics.
+func simulate(t *testing.T, src emulator.TraceSource, meta *compiler.Meta) *pipeline.Stats {
+	t.Helper()
+	cfg := pipeline.SkylakeConfig()
+	cfg.Policy = pipeline.Noreba
+	st, err := pipeline.NewCoreFromSource(cfg, src, meta).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// roundTrip asserts the ISSUE's interchange contract for one compiled
+// program: emulate → write trace → replay through the reader must yield
+// Stats bit-identical to driving the live emulator directly. Everything a
+// Stats holds — cycle count, per-branch stall tables, window peaks — must
+// survive the serialisation, or a trace-driven experiment would silently
+// disagree with a live one.
+func roundTrip(t *testing.T, res *compiler.Result) {
+	live := simulate(t, emulator.NewSource(emulator.New(res.Image), rtBudget), res.Meta)
+
+	var buf bytes.Buffer
+	if err := tracefile.Write(&buf, emulator.NewSource(emulator.New(res.Image), rtBudget), res.Meta); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	rd, err := tracefile.Open(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	replayed := simulate(t, rd, rd.Meta())
+
+	if !reflect.DeepEqual(live, replayed) {
+		t.Errorf("replayed Stats differ from live emulation\n live: %+v\nreplay: %+v", live, replayed)
+	}
+}
+
+// TestRoundTripStatsWorkloads: every registered seed workload (curated AND
+// pinned generated) replays from a trace file with bit-identical Stats.
+func TestRoundTripStatsWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			scale := w.DefaultScale / 4
+			if scale < 2 {
+				scale = 2
+			}
+			res, err := compiler.Compile(w.Build(scale), compiler.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			roundTrip(t, res)
+		})
+	}
+}
+
+// TestRoundTripStatsGenerated: ten fresh generator points (beyond the pinned
+// registry entries) hold the same contract, so the interchange guarantee
+// covers the character space, not just the curated corners.
+func TestRoundTripStatsGenerated(t *testing.T) {
+	for _, p := range workgen.Seeds(10) {
+		p := p
+		p.Iterations = 40
+		t.Run(p.Name(), func(t *testing.T) {
+			t.Parallel()
+			prog, _, err := workgen.Generate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := compiler.Compile(prog, compiler.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			roundTrip(t, res)
+		})
+	}
+}

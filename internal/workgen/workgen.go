@@ -1,0 +1,472 @@
+// Package workgen generates deterministic, seed-parameterized benchmark
+// programs over the workload character axes the paper's figures depend on
+// (DESIGN.md §12): branch criticality (does a branch's comparand come off a
+// long-latency load or cheap ALU work), dependent-region length (how many
+// instructions are control-dependent on each branch), memory-level
+// parallelism (independent pointer-chase streams in flight), store-queue
+// pressure and loop-nest shape.
+//
+// The 8 hand-written kernels in internal/workloads each pin one SPEC-like
+// character; workgen generalizes that into a continuous family so the
+// correctness substrate — emulator-vs-pipeline differential tests, the
+// pipeline sanitizer, golden statistics — can be exercised over thousands of
+// distinct-but-characterized programs instead of a curated handful
+// ("Validating Simplified Processor Models", PAPERS.md). Every generated
+// program is a valid program.Program: counted loops only (guaranteed
+// termination), cyclic pointer chains seeded in the data image, and a
+// Character record describing what was built.
+//
+// Identical Params yield byte-identical programs: the generator draws from
+// its own linear congruential sequence, never math/rand, so programs are
+// reproducible across Go releases and safe to pin in golden stats.
+package workgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/noreba-sim/noreba/internal/isa"
+	"github.com/noreba-sim/noreba/internal/program"
+)
+
+// Axis bounds. Normalize clamps into these; ParseSpec rejects values outside
+// them so a typo fails loudly instead of silently saturating.
+const (
+	MaxDepLen  = 24 // dependent-region instructions per branch hammock
+	MaxMLP     = 8  // independent pointer-chase streams
+	MaxNest    = 3  // loop-nest depth
+	MaxStores  = 8  // stores per iteration at StorePressure 1.0
+	chainNodes = 64 // nodes per pointer-chase chain
+	// chainStride spaces chain nodes 8KB apart so every chase load walks a
+	// 512KB region pseudo-randomly: misses in all cache levels and defeats
+	// the delta prefetcher, like the mcf kernel's tag loads.
+	chainStride = 8192
+	streamBase  = 1 << 22 // first chain region; streams are spaced below
+	streamSpace = int64(chainNodes) * chainStride
+	scratchBase = 1 << 21 // store target region (independent of the chains)
+	scratchLen  = 512     // words in the scratch ring
+)
+
+// Params selects one generated program. The zero value is not runnable;
+// derive from FromSeed or ParseSpec, or fill explicitly and call Normalize.
+type Params struct {
+	// Seed drives every generation-time draw (branch-site choices,
+	// chain permutations, instruction selection).
+	Seed uint64
+	// BranchCriticality in [0,1]: the probability that a branch compares a
+	// value loaded by a long-latency chase load (resolves late, mcf-like)
+	// rather than cheap ALU state (resolves early, sha-like).
+	BranchCriticality float64
+	// DepLen is the number of instructions in each branch's dependent
+	// region (the hammock between branch and reconvergence point);
+	// 0..MaxDepLen. Large values reproduce bzip2's red cloud.
+	DepLen int
+	// MLP is the number of independent pointer-chase streams advanced per
+	// iteration; 1..MaxMLP. Addresses are ready early across streams, so
+	// their misses overlap.
+	MLP int
+	// StorePressure in [0,1] scales stores per iteration (0..MaxStores).
+	StorePressure float64
+	// Nest is the loop-nest depth, 1..MaxNest: inner levels run short
+	// counted trips around the body, reshaping branch history and
+	// reconvergence structure without changing the body's work.
+	Nest int
+	// Iterations is the outer-loop trip count: the scale knob, roughly
+	// linear in dynamic instructions.
+	Iterations int
+}
+
+// Normalize clamps every axis into its legal range and returns the result.
+func (p Params) Normalize() Params {
+	clampF := func(v float64) float64 {
+		if v < 0 || v != v { // NaN guards: hostile fuzz inputs reach here
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	p.BranchCriticality = clampF(p.BranchCriticality)
+	p.StorePressure = clampF(p.StorePressure)
+	if p.DepLen < 0 {
+		p.DepLen = 0
+	}
+	if p.DepLen > MaxDepLen {
+		p.DepLen = MaxDepLen
+	}
+	if p.MLP < 1 {
+		p.MLP = 1
+	}
+	if p.MLP > MaxMLP {
+		p.MLP = MaxMLP
+	}
+	if p.Nest < 1 {
+		p.Nest = 1
+	}
+	if p.Nest > MaxNest {
+		p.Nest = MaxNest
+	}
+	if p.Iterations < 1 {
+		p.Iterations = 1
+	}
+	return p
+}
+
+// Name returns the canonical workload name for the parameters: stable across
+// runs, safe in URLs and shells, and unique per normalized Params (it is the
+// registry key for pinned generated workloads). Iterations are excluded —
+// they are the scale knob the registry already owns.
+func (p Params) Name() string {
+	p = p.Normalize()
+	return fmt.Sprintf("gen/s%dc%02dd%dm%dp%02dn%d",
+		p.Seed, int(p.BranchCriticality*100+0.5), p.DepLen, p.MLP,
+		int(p.StorePressure*100+0.5), p.Nest)
+}
+
+// FromSeed derives a full parameter set from a seed alone, spreading samples
+// across the whole axis space: the fuzz harness and the service's generated
+// sweeps use it to name a characterized program with one integer.
+func FromSeed(seed uint64) Params {
+	r := lcg(seed*2654435761 + 1)
+	return Params{
+		Seed:              seed,
+		BranchCriticality: float64(r.intn(101)) / 100,
+		DepLen:            r.intn(MaxDepLen + 1),
+		MLP:               1 + r.intn(MaxMLP),
+		StorePressure:     float64(r.intn(101)) / 100,
+		Nest:              1 + r.intn(MaxNest),
+		Iterations:        60 + r.intn(140),
+	}.Normalize()
+}
+
+// ParseSpec parses a CLI parameter string of comma-separated key=value
+// pairs: seed=42,crit=0.8,dep=12,mlp=4,store=0.5,nest=2,iters=300. Every
+// key except seed is optional; omitted axes are derived from the seed via
+// FromSeed, so "seed=42" alone names a fully characterized program.
+func ParseSpec(spec string) (Params, error) {
+	seen := map[string]bool{}
+	var seed uint64
+	haveSeed := false
+	overrides := map[string]string{}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Params{}, fmt.Errorf("workgen: bad spec entry %q (want key=value)", kv)
+		}
+		k = strings.TrimSpace(k)
+		v = strings.TrimSpace(v)
+		if seen[k] {
+			return Params{}, fmt.Errorf("workgen: duplicate spec key %q", k)
+		}
+		seen[k] = true
+		if k == "seed" {
+			s, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return Params{}, fmt.Errorf("workgen: bad seed %q: %v", v, err)
+			}
+			seed, haveSeed = s, true
+			continue
+		}
+		overrides[k] = v
+	}
+	if !haveSeed {
+		return Params{}, fmt.Errorf("workgen: spec %q has no seed=N", spec)
+	}
+	p := FromSeed(seed)
+	parseF := func(v string) (float64, error) {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 || f > 1 {
+			return 0, fmt.Errorf("workgen: want a value in [0,1], got %q", v)
+		}
+		return f, nil
+	}
+	parseI := func(v string, lo, hi int) (int, error) {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < lo || n > hi {
+			return 0, fmt.Errorf("workgen: want an integer in [%d,%d], got %q", lo, hi, v)
+		}
+		return n, nil
+	}
+	for k, v := range overrides {
+		var err error
+		switch k {
+		case "crit":
+			p.BranchCriticality, err = parseF(v)
+		case "dep":
+			p.DepLen, err = parseI(v, 0, MaxDepLen)
+		case "mlp":
+			p.MLP, err = parseI(v, 1, MaxMLP)
+		case "store":
+			p.StorePressure, err = parseF(v)
+		case "nest":
+			p.Nest, err = parseI(v, 1, MaxNest)
+		case "iters":
+			p.Iterations, err = parseI(v, 1, 1<<24)
+		default:
+			err = fmt.Errorf("workgen: unknown spec key %q", k)
+		}
+		if err != nil {
+			return Params{}, fmt.Errorf("workgen: %s: %w", k, err)
+		}
+	}
+	return p.Normalize(), nil
+}
+
+// Character is the characterization record emitted alongside each generated
+// program: what the sample actually contains, so a differential failure or a
+// sweep result can be attributed to a point in axis space without
+// re-deriving it from the code.
+type Character struct {
+	Params      Params
+	StaticInsts int // laid-out instruction count (before annotation)
+	// Branches is the number of conditional-branch sites in the body
+	// (hammock branches; loop latches excluded).
+	Branches int
+	// CriticalBranches counts body branches whose comparand comes off a
+	// chase load.
+	CriticalBranches int
+	// DepInsts counts instructions inside dependent regions (hammock
+	// bodies) across all branch sites.
+	DepInsts int
+	// ChaseLoads is the number of pointer-chase loads per innermost
+	// iteration (the MLP streams plus tag loads at critical branches).
+	ChaseLoads int
+	// StoresPerIter is the store count per innermost iteration.
+	StoresPerIter int
+	// InnerTrips is the product of the nested loops' trip counts: how many
+	// times the body runs per outer iteration.
+	InnerTrips int
+	// DynPerOuter estimates dynamic instructions per outer-loop iteration
+	// (branch paths averaged), used to pick registry default scales.
+	DynPerOuter int
+}
+
+// String renders the record as a one-line summary.
+func (c Character) String() string {
+	return fmt.Sprintf(
+		"%s: static %d, body branches %d (%d critical), dep insts %d, chase loads/iter %d, stores/iter %d, inner trips %d, ~%d dyn insts/outer-iter",
+		c.Params.Name(), c.StaticInsts, c.Branches, c.CriticalBranches,
+		c.DepInsts, c.ChaseLoads, c.StoresPerIter, c.InnerTrips, c.DynPerOuter)
+}
+
+// Register pools. Stream pointers persist across iterations; accumulators
+// absorb dependent-region and independent-tail work; the remaining
+// temporaries carry per-iteration values. The pools are disjoint so a draw
+// from one can never corrupt another's live value.
+var (
+	streamRegs = []isa.Reg{isa.S0, isa.S1, isa.S2, isa.A4, isa.A5, isa.A6, isa.A7, isa.T4}
+	depRegs    = []isa.Reg{isa.A1, isa.A2, isa.A3, isa.S3, isa.S4, isa.S5}
+	tailRegs   = []isa.Reg{isa.S6, isa.S7, isa.S11}
+)
+
+// Generate builds the program selected by p (after normalization) together
+// with its characterization record. Identical parameters yield byte-identical
+// programs; every program terminates via counted loops and halts.
+func Generate(p Params) (*program.Program, Character, error) {
+	p = p.Normalize()
+	r := lcg(p.Seed ^ 0x9e3779b97f4a7c15)
+	b := program.NewBuilder(p.Name())
+	ch := Character{Params: p}
+
+	// Entry: stream pointers start at their chain bases, the scratch
+	// cursor at the store ring, the outer counter at Iterations.
+	b.Label("entry")
+	for s := 0; s < p.MLP; s++ {
+		b.Li(streamRegs[s], streamBase+int64(s)*streamSpace)
+	}
+	b.Li(isa.S10, scratchBase)
+	b.Li(isa.A0, int64(p.Iterations))
+
+	// Loop-nest preamble: each inner level is a short counted loop. Trip
+	// counts shrink with depth so nesting reshapes control flow without
+	// exploding dynamic length.
+	trips := []int{0, 3, 2} // level 1 is the outer Iterations loop
+	ch.InnerTrips = 1
+	b.Label("outer")
+	counters := []isa.Reg{isa.S8, isa.S9}
+	for lv := 1; lv < p.Nest; lv++ {
+		b.Li(counters[lv-1], int64(trips[lv]))
+		b.Label(fmt.Sprintf("nest%d", lv))
+		ch.InnerTrips *= trips[lv]
+	}
+
+	bodyInsts := emitBody(b, p, &r, &ch)
+
+	// Close the nest inside-out, then the outer loop. Every latch branch
+	// ends its block, so each is followed by a fresh label.
+	for lv := p.Nest - 1; lv >= 1; lv-- {
+		b.Addi(counters[lv-1], counters[lv-1], -1)
+		b.Bnez(counters[lv-1], fmt.Sprintf("nest%d", lv))
+		b.Label(fmt.Sprintf("exit%d", lv))
+	}
+	b.Addi(isa.A0, isa.A0, -1)
+	b.Bnez(isa.A0, "outer")
+	b.Label("done").Halt()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, Character{}, fmt.Errorf("workgen: %s: %w", p.Name(), err)
+	}
+
+	// Seed each stream's cyclic pointer chain and its tag words.
+	for s := 0; s < p.MLP; s++ {
+		seedChain(prog, streamBase+int64(s)*streamSpace, &r)
+	}
+
+	img, err := prog.Layout()
+	if err != nil {
+		return nil, Character{}, fmt.Errorf("workgen: %s: %w", p.Name(), err)
+	}
+	ch.StaticInsts = len(img.Insts)
+	// Nest overhead: two instructions per level latch plus the counter
+	// init, and two for the outer latch.
+	nestOverhead := 2 + 3*(p.Nest-1)
+	ch.DynPerOuter = ch.InnerTrips*bodyInsts + nestOverhead
+	return prog, ch, nil
+}
+
+// emitBody writes one innermost-iteration body and returns its average
+// dynamic instruction count (hammock paths weighted 50/50).
+func emitBody(b *program.Builder, p Params, r *lcg, ch *Character) int {
+	dyn := 0
+	// Advance every chase stream: addresses depend only on the stream's
+	// own previous node, so the misses overlap across streams (MLP).
+	for s := 0; s < p.MLP; s++ {
+		b.Lw(streamRegs[s], streamRegs[s], 0)
+		dyn++
+	}
+	ch.ChaseLoads = p.MLP
+
+	// One to three hammock branch sites per body. Each comparand either
+	// rides a chase load's tag (critical: the branch cannot resolve before
+	// the miss returns, mcf-like) or cheap ALU state (resolves
+	// immediately, sha-like); the criticality axis sets the odds.
+	sites := 1 + r.intn(3)
+	ch.Branches = sites
+	for k := 0; k < sites; k++ {
+		elseL := fmt.Sprintf("else%d", k)
+		joinL := fmt.Sprintf("join%d", k)
+		critical := r.intn(100) < int(p.BranchCriticality*100+0.5)
+		src := isa.T5
+		if critical {
+			ch.CriticalBranches++
+			ch.ChaseLoads++
+			// Tag word beside the pointer of a pseudo-random stream.
+			b.Lw(isa.T6, streamRegs[r.intn(p.MLP)], 8)
+			b.Andi(isa.T5, isa.T6, 1)
+			src = isa.T6
+			dyn += 2
+		} else {
+			b.Andi(isa.T5, isa.A0, 1) // outer counter: ready at dispatch
+			dyn++
+		}
+		b.Bnez(isa.T5, elseL)
+		b.Label(fmt.Sprintf("then%d", k))
+		dyn++
+
+		// Then-path: the dependent region. Every instruction consumes the
+		// comparand (directly or through a shifted copy), so the region is
+		// both control- and data-tied to the branch.
+		emitted := 0
+		for emitted < p.DepLen {
+			rd := depRegs[emitted%len(depRegs)]
+			switch r.intn(3) {
+			case 0:
+				b.Xor(rd, rd, src)
+				emitted++
+			case 1:
+				b.Add(rd, rd, src)
+				emitted++
+			default:
+				b.Slli(isa.T3, src, int64(1+r.intn(3)))
+				b.Add(rd, rd, isa.T3)
+				src = isa.T3
+				emitted += 2
+			}
+		}
+		ch.DepInsts += emitted
+		b.J(joinL)
+		// Else-path: short, so the reconvergence point stays close on one
+		// side (astar-like asymmetric hammock).
+		b.Label(elseL)
+		b.Addi(isa.A1, isa.A1, 1)
+		b.Label(joinL)
+		dyn += (emitted + 1 + 1) / 2 // average of then (dep+J) and else (1)
+	}
+
+	// Independent tail: branch-independent bookkeeping the out-of-order
+	// commit policies can retire early (mcf's "blue cloud" ingredient).
+	tail := 4 + r.intn(4)
+	for i := 0; i < tail; i++ {
+		reg := tailRegs[i%len(tailRegs)]
+		b.Addi(reg, reg, int64(i+1))
+	}
+	dyn += tail
+
+	// Store-queue pressure: a ring of stores through the scratch cursor.
+	// Addresses come off cheap ALU state, so the stores themselves are
+	// ready early and queue pressure — not miss latency — is the limiter.
+	stores := int(p.StorePressure*MaxStores + 0.5)
+	for i := 0; i < stores; i++ {
+		b.Sw(tailRegs[i%len(tailRegs)], isa.S10, int64(i)*8)
+	}
+	if stores > 0 {
+		// Advance and wrap the cursor inside [scratchBase, +ring).
+		b.Addi(isa.S10, isa.S10, int64(stores)*8)
+		b.Andi(isa.S10, isa.S10, scratchLen*8-1)
+		b.Li(isa.T3, scratchBase)
+		b.Add(isa.S10, isa.S10, isa.T3)
+		dyn += stores + 4
+	}
+	ch.StoresPerIter = stores
+	return dyn
+}
+
+// seedChain writes a cyclic pseudo-random pointer chain at base: each node's
+// word 0 holds the next node's address, word 1 a pseudo-random tag.
+func seedChain(p *program.Program, base int64, r *lcg) {
+	perm := make([]int, chainNodes)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := chainNodes - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := 0; i < chainNodes; i++ {
+		from := base + int64(perm[i])*chainStride
+		to := base + int64(perm[(i+1)%chainNodes])*chainStride
+		p.Data[from] = to
+		p.Data[from+8] = int64(r.next() & 0xffff)
+	}
+}
+
+// Seeds returns n distinct derived parameter sets for seeds 1..n, sorted by
+// name: the deterministic sample the differential suite and fuzz corpora
+// build on.
+func Seeds(n int) []Params {
+	out := make([]Params, 0, n)
+	for s := 1; s <= n; s++ {
+		out = append(out, FromSeed(uint64(s)))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// lcg is the deterministic pseudo-random sequence used for every generation
+// draw (no math/rand: byte-stable across Go releases).
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r >> 17)
+}
+
+func (r *lcg) intn(n int) int { return int(r.next() % uint64(n)) }

@@ -1,0 +1,290 @@
+package workgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/compiler"
+	"github.com/noreba-sim/noreba/internal/emulator"
+)
+
+// TestGenerateDeterministic: identical Params yield byte-identical programs
+// and identical dynamic traces.
+func TestGenerateDeterministic(t *testing.T) {
+	for s := uint64(1); s <= 8; s++ {
+		p := FromSeed(s)
+		p1, c1, err1 := Generate(p)
+		p2, c2, err2 := Generate(p)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed %d: %v / %v", s, err1, err2)
+		}
+		if !reflect.DeepEqual(c1, c2) {
+			t.Errorf("seed %d: characterization records differ", s)
+		}
+		i1, _ := p1.Layout()
+		i2, _ := p2.Layout()
+		if !reflect.DeepEqual(i1.Insts, i2.Insts) {
+			t.Fatalf("seed %d: nondeterministic code", s)
+		}
+		if !reflect.DeepEqual(p1.Data, p2.Data) {
+			t.Fatalf("seed %d: nondeterministic data image", s)
+		}
+		t1, e1 := emulator.New(i1).Run(1 << 20)
+		t2, e2 := emulator.New(i2).Run(1 << 20)
+		if e1 != nil || e2 != nil || t1.Len() != t2.Len() {
+			t.Fatalf("seed %d: nondeterministic trace (%d vs %d, %v %v)", s, t1.Len(), t2.Len(), e1, e2)
+		}
+	}
+}
+
+// TestGenerateTerminates: every derived sample halts within budget and the
+// characterization's dynamic-length estimate is within 2x of reality.
+func TestGenerateTerminates(t *testing.T) {
+	for _, p := range Seeds(20) {
+		prog, ch, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		img, err := prog.Layout()
+		if err != nil {
+			t.Fatalf("%s: layout: %v", p.Name(), err)
+		}
+		m := emulator.New(img)
+		tr, err := m.Run(1 << 21)
+		if err != nil {
+			t.Fatalf("%s: run: %v", p.Name(), err)
+		}
+		if !m.Halted() {
+			t.Fatalf("%s: did not halt (%d insts executed)", p.Name(), tr.Len())
+		}
+		if tr.Branches == 0 || tr.Loads == 0 {
+			t.Errorf("%s: degenerate trace (%d branches, %d loads)", p.Name(), tr.Branches, tr.Loads)
+		}
+		est := int64(ch.DynPerOuter) * int64(p.Iterations)
+		if ratio := float64(tr.Len()) / float64(est); ratio < 0.5 || ratio > 2 {
+			t.Errorf("%s: estimate %d vs actual %d (ratio %.2f)", p.Name(), est, tr.Len(), ratio)
+		}
+		if ch.StaticInsts != len(img.Insts) {
+			t.Errorf("%s: StaticInsts %d, image has %d", p.Name(), ch.StaticInsts, len(img.Insts))
+		}
+	}
+}
+
+// TestAxesShapeThePrograms checks each axis actually moves the generated
+// character: the axes must be real knobs, not decoration.
+func TestAxesShapeThePrograms(t *testing.T) {
+	base := Params{Seed: 9, BranchCriticality: 0, DepLen: 0, MLP: 1, StorePressure: 0, Nest: 1, Iterations: 50}
+
+	run := func(p Params) (*emulator.Trace, Character) {
+		t.Helper()
+		prog, ch, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := prog.Layout()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := emulator.New(img).Run(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr, ch
+	}
+
+	trBase, chBase := run(base)
+	if chBase.CriticalBranches != 0 {
+		t.Errorf("criticality 0 produced %d critical branches", chBase.CriticalBranches)
+	}
+	if chBase.StoresPerIter != 0 || trBase.Stores != 0 {
+		t.Errorf("store pressure 0 produced stores (%d/iter, %d dynamic)", chBase.StoresPerIter, trBase.Stores)
+	}
+
+	crit := base
+	crit.BranchCriticality = 1
+	_, chCrit := run(crit)
+	if chCrit.CriticalBranches != chCrit.Branches {
+		t.Errorf("criticality 1: %d of %d branches critical", chCrit.CriticalBranches, chCrit.Branches)
+	}
+
+	dep := base
+	dep.DepLen = MaxDepLen
+	_, chDep := run(dep)
+	if chDep.DepInsts < MaxDepLen*chDep.Branches {
+		t.Errorf("DepLen %d emitted only %d dependent insts over %d branches", MaxDepLen, chDep.DepInsts, chDep.Branches)
+	}
+
+	mlp := base
+	mlp.MLP = MaxMLP
+	trMLP, chMLP := run(mlp)
+	if chMLP.ChaseLoads < MaxMLP {
+		t.Errorf("MLP %d produced %d chase loads/iter", MaxMLP, chMLP.ChaseLoads)
+	}
+	if trMLP.Loads <= trBase.Loads {
+		t.Errorf("MLP %d dynamic loads %d not above baseline %d", MaxMLP, trMLP.Loads, trBase.Loads)
+	}
+
+	st := base
+	st.StorePressure = 1
+	trSt, chSt := run(st)
+	if chSt.StoresPerIter != MaxStores {
+		t.Errorf("store pressure 1 produced %d stores/iter, want %d", chSt.StoresPerIter, MaxStores)
+	}
+	if trSt.Stores == 0 {
+		t.Error("store pressure 1 produced no dynamic stores")
+	}
+
+	nest := base
+	nest.Nest = MaxNest
+	trNest, chNest := run(nest)
+	if chNest.InnerTrips <= 1 {
+		t.Errorf("nest %d inner trips %d", MaxNest, chNest.InnerTrips)
+	}
+	if trNest.Len() <= trBase.Len()*2 {
+		t.Errorf("nest %d dynamic length %d not well above flat %d", MaxNest, trNest.Len(), trBase.Len())
+	}
+}
+
+// TestGeneratedProgramsCompile: the NOREBA pass accepts generated programs,
+// annotation preserves semantics, and a dependent-region-heavy sample gets
+// branches marked (the axes must produce compiler-visible structure).
+func TestGeneratedProgramsCompile(t *testing.T) {
+	p := Params{Seed: 3, BranchCriticality: 1, DepLen: 12, MLP: 2, StorePressure: 0.5, Nest: 1, Iterations: 40}
+	prog, _, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := prog.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := emulator.New(img)
+	if _, err := m1.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+
+	prog2, _, _ := Generate(p)
+	res, err := compiler.Compile(prog2, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if res.Stats.MarkedBranches == 0 {
+		t.Error("compiler marked no branches in a dependent-region-heavy sample")
+	}
+	m2 := emulator.New(res.Image)
+	if _, err := m2.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if m1.IntRegs != m2.IntRegs {
+		t.Error("architectural state diverged after annotation")
+	}
+	for a, v := range m1.Mem {
+		if m2.Mem[a] != v {
+			t.Errorf("mem[%#x]: %d vs %d", a, v, m2.Mem[a])
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, FromSeed(42)) {
+		t.Error("seed-only spec should equal FromSeed")
+	}
+
+	p, err = ParseSpec("seed=7, crit=0.25, dep=9, mlp=3, store=0.75, nest=2, iters=123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Params{Seed: 7, BranchCriticality: 0.25, DepLen: 9, MLP: 3, StorePressure: 0.75, Nest: 2, Iterations: 123}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("got %+v want %+v", p, want)
+	}
+
+	for _, bad := range []string{
+		"",                  // no seed
+		"crit=0.5",          // no seed
+		"seed=x",            // bad seed
+		"seed=1,crit=2",     // out of range
+		"seed=1,dep=-1",     // out of range
+		"seed=1,dep=99",     // out of range
+		"seed=1,mlp=0",      // out of range
+		"seed=1,nest=9",     // out of range
+		"seed=1,iters=0",    // out of range
+		"seed=1,bogus=3",    // unknown key
+		"seed=1,seed=2",     // duplicate
+		"seed=1,crit",       // not key=value
+		"seed=1,store=nope", // bad float
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNameStable(t *testing.T) {
+	p := FromSeed(101)
+	if p.Name() != FromSeed(101).Name() {
+		t.Error("Name not stable")
+	}
+	if !strings.HasPrefix(p.Name(), "gen/") {
+		t.Errorf("name %q lacks gen/ prefix", p.Name())
+	}
+	// Iterations are the scale knob and must not change the name.
+	q := p
+	q.Iterations *= 7
+	if p.Name() != q.Name() {
+		t.Error("Iterations changed the name")
+	}
+	// Distinct axis points get distinct names.
+	q = p
+	q.DepLen++
+	if p.Name() == q.Name() {
+		t.Error("DepLen change kept the name")
+	}
+}
+
+func TestNormalizeClamps(t *testing.T) {
+	nan := 0.0
+	nan /= nan
+	p := Params{Seed: 1, BranchCriticality: 7, DepLen: 999, MLP: -4, StorePressure: nan, Nest: 0, Iterations: -2}.Normalize()
+	want := Params{Seed: 1, BranchCriticality: 1, DepLen: MaxDepLen, MLP: 1, StorePressure: 0, Nest: 1, Iterations: 1}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("got %+v want %+v", p, want)
+	}
+	if got := (Params{Seed: 1, BranchCriticality: -3, DepLen: 2, MLP: 99, StorePressure: 1.5, Nest: 9, Iterations: 5}).Normalize(); got.BranchCriticality != 0 || got.MLP != MaxMLP || got.StorePressure != 1 || got.Nest != MaxNest {
+		t.Errorf("upper/lower clamps wrong: %+v", got)
+	}
+}
+
+func TestSeedsSortedAndDistinct(t *testing.T) {
+	ps := Seeds(30)
+	if len(ps) != 30 {
+		t.Fatalf("got %d params", len(ps))
+	}
+	seen := map[string]bool{}
+	for i, p := range ps {
+		n := p.Name()
+		if seen[n] {
+			t.Errorf("duplicate derived name %s", n)
+		}
+		seen[n] = true
+		if i > 0 && ps[i-1].Name() > n {
+			t.Error("Seeds not sorted by name")
+		}
+	}
+}
+
+func TestCharacterString(t *testing.T) {
+	_, ch, err := Generate(FromSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ch.String()
+	if !strings.Contains(s, "gen/") || !strings.Contains(s, "dep insts") {
+		t.Errorf("unhelpful characterization string %q", s)
+	}
+}

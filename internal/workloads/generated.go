@@ -1,0 +1,54 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/noreba-sim/noreba/internal/program"
+	"github.com/noreba-sim/noreba/internal/workgen"
+)
+
+// pinnedSeeds are the generator seeds registered as first-class workloads:
+// enough points to cover contrasting corners of the character space without
+// growing the correctness suites unboundedly (the differential fuzz harness
+// covers the rest of the space). Each pinned seed's cycle counts live in
+// testdata/golden_stats.json, so generator drift — any change to workgen's
+// emission for an existing seed — surfaces as a golden-stats diff.
+//
+// The figure suite is untouched: generated workloads carry the Generated
+// suite tag, which Curated (the experiment runner's default) excludes.
+var pinnedSeeds = []uint64{3, 7, 12, 21}
+
+// genDynTarget sizes each pinned workload's default scale: roughly the same
+// few-tens-of-thousands dynamic instruction budget the curated kernels use.
+const genDynTarget = 30000
+
+func init() {
+	for _, seed := range pinnedSeeds {
+		p := workgen.FromSeed(seed)
+		_, ch, err := workgen.Generate(p)
+		if err != nil {
+			panic(fmt.Sprintf("workloads: pinned generator seed %d: %v", seed, err))
+		}
+		scale := genDynTarget / ch.DynPerOuter
+		if scale < 2 {
+			scale = 2
+		}
+		params := p // capture one copy per registration
+		Register(Workload{
+			Name:         params.Name(),
+			Suite:        Generated,
+			DefaultScale: scale,
+			Build: func(scale int) *program.Program {
+				q := params
+				q.Iterations = scale
+				prog, _, err := workgen.Generate(q)
+				if err != nil {
+					// Generate is deterministic over validated Params; a
+					// failure here is a generator bug, not bad input.
+					panic(fmt.Sprintf("workloads: %s: %v", params.Name(), err))
+				}
+				return prog
+			},
+		})
+	}
+}

@@ -33,6 +33,9 @@ type Suite string
 const (
 	SPEC    Suite = "SPEC-like"
 	MiBench Suite = "MiBench-like"
+	// Generated labels seed-parameterized programs from internal/workgen:
+	// correctness fodder, not figure material, so Curated excludes them.
+	Generated Suite = "generated"
 )
 
 // Workload is one registered kernel.
@@ -52,11 +55,40 @@ func register(w Workload) {
 	registry = append(registry, w)
 }
 
+// Register adds a workload to the global registry. Exported so packages
+// layered above the kernels (internal/workloads/generated.go keeps the
+// generator dependency out of this file; tests register fixtures) can
+// contribute entries. Registering a duplicate name panics: the registry is
+// assembled at init time, so a collision is a programming error, not input.
+func Register(w Workload) {
+	for _, have := range registry {
+		if have.Name == w.Name {
+			panic(fmt.Sprintf("workloads: duplicate registration of %q", w.Name))
+		}
+	}
+	register(w)
+}
+
 // All returns every registered workload sorted by name.
 func All() []Workload {
 	out := make([]Workload, len(registry))
 	copy(out, registry)
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Curated returns the hand-written SPEC-like and MiBench-like kernels only —
+// the figure suite. Generated workloads are deliberately excluded: they
+// exercise correctness far beyond the curated set but have no published
+// character to reproduce, so the experiment runner's default suite (and the
+// paper's figures) must not grow when new seeds are pinned.
+func Curated() []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if w.Suite != Generated {
+			out = append(out, w)
+		}
+	}
 	return out
 }
 

@@ -15,20 +15,48 @@ func TestRegistryComplete(t *testing.T) {
 	if len(all) < 20 {
 		t.Fatalf("only %d workloads registered, want >= 20", len(all))
 	}
-	spec, mib := 0, 0
+	spec, mib, gen := 0, 0, 0
 	for _, w := range all {
 		switch w.Suite {
 		case SPEC:
 			spec++
 		case MiBench:
 			mib++
+		case Generated:
+			gen++
 		default:
 			t.Errorf("%s: unknown suite %q", w.Name, w.Suite)
 		}
 	}
-	if spec < 14 || mib < 6 {
-		t.Errorf("suite counts: SPEC-like %d, MiBench-like %d", spec, mib)
+	if spec < 14 || mib < 6 || gen < 4 {
+		t.Errorf("suite counts: SPEC-like %d, MiBench-like %d, generated %d", spec, mib, gen)
 	}
+}
+
+// TestCuratedExcludesGenerated: the figure suite must not grow when new
+// generator seeds are pinned — Curated is what the experiment runner
+// defaults to.
+func TestCuratedExcludesGenerated(t *testing.T) {
+	cur := Curated()
+	if len(cur) == len(All()) {
+		t.Fatal("Curated returned the full registry; generated workloads leaked into the figure suite")
+	}
+	for _, w := range cur {
+		if w.Suite == Generated {
+			t.Errorf("%s: generated workload in the curated suite", w.Name)
+		}
+	}
+}
+
+// TestRegisterRejectsDuplicates: a name collision at init is a programming
+// error and must fail loudly.
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(All()[0])
 }
 
 func TestByName(t *testing.T) {

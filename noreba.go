@@ -32,6 +32,8 @@ import (
 	"github.com/noreba-sim/noreba/internal/sampling"
 	"github.com/noreba-sim/noreba/internal/sanity"
 	"github.com/noreba-sim/noreba/internal/trace"
+	"github.com/noreba-sim/noreba/internal/tracefile"
+	"github.com/noreba-sim/noreba/internal/workgen"
 	"github.com/noreba-sim/noreba/internal/workloads"
 )
 
@@ -301,11 +303,64 @@ type (
 	Runner = experiments.Runner
 )
 
-// Workloads returns the registered SPEC-like and MiBench-like kernels.
+// Workloads returns every registered kernel: the curated SPEC-like and
+// MiBench-like suite plus the pinned generated workloads.
 func Workloads() []Workload { return workloads.All() }
+
+// CuratedWorkloads returns the hand-written figure suite only (generated
+// workloads excluded) — what the experiment runner evaluates by default.
+func CuratedWorkloads() []Workload { return workloads.Curated() }
 
 // WorkloadByName returns the named kernel.
 func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// Workload generation (internal/workgen): deterministic, seed-parameterized
+// programs over the character axes of DESIGN.md §12.
+type (
+	// GenParams selects one point in the generator's character space.
+	GenParams = workgen.Params
+	// GenCharacter is the characterization record emitted with each sample.
+	GenCharacter = workgen.Character
+)
+
+// GenParamsFromSeed derives a full character point from a single seed.
+func GenParamsFromSeed(seed uint64) GenParams { return workgen.FromSeed(seed) }
+
+// ParseGenSpec parses a "seed=42,crit=0.8,…" generator spec (noreba-sim's
+// -gen flag syntax).
+func ParseGenSpec(spec string) (GenParams, error) { return workgen.ParseSpec(spec) }
+
+// GenerateWorkload emits the program at one character point, with its
+// characterization record. Identical params yield byte-identical programs.
+func GenerateWorkload(p GenParams) (*Program, GenCharacter, error) { return workgen.Generate(p) }
+
+// Trace interchange (internal/tracefile): the versioned on-disk format for
+// dynamic instruction traces.
+type (
+	// TraceReader replays a recorded trace file as a TraceSource.
+	TraceReader = tracefile.Reader
+	// TraceRecorder tees a TraceSource to a trace file as it is consumed.
+	TraceRecorder = tracefile.Recorder
+	// TraceFormatError is the typed diagnostic for corrupt or truncated
+	// trace files, naming the byte offset.
+	TraceFormatError = tracefile.FormatError
+)
+
+// WriteTraceFile drains src into w in the versioned trace format; meta (may
+// be nil) embeds the compiler's branch metadata for full-fidelity replay.
+func WriteTraceFile(w io.Writer, src TraceSource, meta *compiler.Meta) error {
+	return tracefile.Write(w, src, meta)
+}
+
+// OpenTraceFile parses a recorded trace for replay; the reader is a
+// TraceSource and carries the embedded metadata (Reader.Meta).
+func OpenTraceFile(r io.Reader) (*TraceReader, error) { return tracefile.Open(r) }
+
+// NewTraceRecorder wraps src so every consumed instruction is also written
+// to w; call Close after the run to surface any deferred write error.
+func NewTraceRecorder(src TraceSource, w io.Writer, meta *compiler.Meta) (*TraceRecorder, error) {
+	return tracefile.NewRecorder(src, w, meta)
+}
 
 // NewRunner returns a full-scale experiment runner.
 func NewRunner() *Runner { return experiments.NewRunner() }

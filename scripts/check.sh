@@ -32,10 +32,19 @@ go build -o /dev/null ./cmd/noreba-serve
 # dedup + byte-identical results + warm-store restart, race detector on.
 go test -race -run 'TestServiceLoadSmoke' ./internal/service
 
-# Coverage gate: the cycle model, the compiler pass, the service layer and
-# the sampling planner are where a silent regression costs the most, so they
-# carry a hard floor.
-for pkg in ./internal/pipeline ./internal/compiler ./internal/service ./internal/sampling; do
+# Correctness substrate over the program generator: fifty generated programs
+# under every commit policy (sanitized, differential against the emulator)
+# already ran under the race detector inside `go test -race ./...` above
+# (TestGeneratedDifferentialSuite — rerun it by name when the generator
+# changes). The broadcast-bus guarantee for generated batches — one
+# functional emulation feeding all policies — is cheap enough to assert by
+# name, extending the emulationsRun guard below to the generated suite.
+go test -race -run 'TestGeneratedBatchSharesEmulation' ./internal/experiments
+
+# Coverage gate: the cycle model, the compiler pass, the service layer, the
+# sampling planner, the program generator and the trace codec are where a
+# silent regression costs the most, so they carry a hard floor.
+for pkg in ./internal/pipeline ./internal/compiler ./internal/service ./internal/sampling ./internal/workgen ./internal/tracefile; do
 	pct=$(go test -cover "$pkg" | awk '/coverage:/ { sub("%", "", $(NF-2)); print $(NF-2) }')
 	if [ -z "$pct" ]; then
 		echo "check: no coverage reported for $pkg" >&2
@@ -54,6 +63,8 @@ done
 go test ./internal/isa -run '^$' -fuzz 'FuzzEncodeDecodeRoundTrip$' -fuzztime 10s
 go test ./internal/compiler -run '^$' -fuzz 'FuzzCompilerPass$' -fuzztime 10s
 go test ./internal/emulator -run '^$' -fuzz 'FuzzBroadcastSkew$' -fuzztime 10s
+go test ./internal/workgen -run '^$' -fuzz 'FuzzGeneratedDifferential$' -fuzztime 10s
+go test ./internal/tracefile -run '^$' -fuzz 'FuzzTraceRoundTrip$' -fuzztime 10s
 
 # Throughput regression guard: capture the committed engine baseline BEFORE
 # the bench run rewrites BENCH_engine.json, then fail if the fresh suite
