@@ -1,4 +1,4 @@
-.PHONY: check test vet bench cover fuzz serve-smoke profile
+.PHONY: check test vet bench cover fuzz serve-smoke cluster-smoke profile
 
 # Full CI gate: gofmt, vet, build, race-enabled tests, coverage floors,
 # fuzz smokes, engine benchmarks.
@@ -32,6 +32,11 @@ cover:
 serve-smoke:
 	go build -o /dev/null ./cmd/noreba-serve
 	go test -race -v -run 'TestServiceLoadSmoke' ./internal/service
+
+# Multi-process cluster smoke: 3 noreba-serve replicas with sharded stores,
+# batch sweep, SIGTERM drain, warm restart, and a mid-sweep replica kill.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 # Short fuzz campaigns for the native targets.
 fuzz:

@@ -16,6 +16,16 @@
 //	curl -s localhost:8080/jobs/job-000001/result          # Stats JSON once done
 //	curl -s localhost:8080/metrics                         # scheduler + store metrics
 //
+// With -peers, N replicas form a static cluster (see internal/cluster and
+// DESIGN.md §13): the result store shards across replicas by config hash, a
+// batch design-space endpoint (POST /sweep) distributes workload groups to
+// their owning replicas, and every replica answers /sweep:
+//
+//	noreba-serve -addr :8080 -node http://10.0.0.1:8080 \
+//	    -peers http://10.0.0.2:8080,http://10.0.0.3:8080 -store ./shard-1
+//	curl -sN localhost:8080/sweep -d '{"workloads":["mcf","sha"],
+//	    "policies":["inorder","noreba"],"windows":[128,224]}'   # JSONL rows
+//
 // SIGINT/SIGTERM drain gracefully: the listener closes, queued jobs are
 // cancelled, and running simulations get -drain-timeout to finish.
 package main
@@ -26,12 +36,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/noreba-sim/noreba/internal/cluster"
 	"github.com/noreba-sim/noreba/internal/experiments"
 	"github.com/noreba-sim/noreba/internal/service"
 )
@@ -48,6 +61,11 @@ func main() {
 		sanitize     = flag.Bool("sanitize", false, "run every job under the pipeline invariant checker")
 		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job deadline, queue wait included (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGINT/SIGTERM")
+		nodeURL      = flag.String("node", "", "this replica's advertised base URL (default http://127.0.0.1:<port> of -addr)")
+		peers        = flag.String("peers", "", "comma-separated base URLs of the other replicas ('' = single-node)")
+		peerTimeout  = flag.Duration("peer-timeout", cluster.DefaultPeerTimeout, "per-attempt deadline for peer RPCs")
+		sweepMax     = flag.Int("sweep-max", cluster.DefaultSweepMax, "concurrently streaming /sweep requests (429 beyond)")
+		aging        = flag.Duration("aging", 30*time.Second, "queue-priority aging step: +1 effective priority per step waited (0 disables)")
 	)
 	flag.Parse()
 
@@ -70,16 +88,64 @@ func main() {
 		log.Printf("result store %s: %d entries, %d bytes", *storeDir, store.Len(), store.Bytes())
 	}
 
+	self := *nodeURL
+	if self == "" {
+		_, port, err := net.SplitHostPort(*addr)
+		if err != nil {
+			log.Fatalf("noreba-serve: cannot derive -node from -addr %q: %v", *addr, err)
+		}
+		self = "http://127.0.0.1:" + port
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, strings.TrimRight(p, "/"))
+		}
+	}
+	node, err := cluster.NewNode(cluster.Config{
+		Self:        strings.TrimRight(self, "/"),
+		Peers:       peerList,
+		Runner:      runner,
+		Local:       store,
+		PeerTimeout: *peerTimeout,
+		SweepMax:    *sweepMax,
+	})
+	if err != nil {
+		log.Fatalf("noreba-serve: %v", err)
+	}
+	// The node fronts the disk store: local shard first, then the key's
+	// owning replica, then (on miss) the runner simulates.
+	runner.Store = node
+
 	sched := service.NewScheduler(service.SchedulerConfig{
 		Runner:         runner,
 		Workers:        *workers,
 		QueueLimit:     *queueLimit,
 		DefaultTimeout: *jobTimeout,
+		AgingStep:      *aging,
 	})
-	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched, store)}
+	api := service.NewServer(sched, store)
+	node.Mount(api)
+	srv := &http.Server{Addr: *addr, Handler: api}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if len(peerList) > 0 {
+		log.Printf("cluster node %s with %d peers: %s", node.Self(), len(peerList), strings.Join(peerList, ", "))
+		go func() {
+			tick := time.NewTicker(15 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					node.CheckPeers()
+				}
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()

@@ -1,0 +1,382 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/noreba-sim/noreba/internal/experiments"
+	"github.com/noreba-sim/noreba/internal/pipeline"
+	"github.com/noreba-sim/noreba/internal/service"
+)
+
+// Default peer-RPC knobs. Result fetches are small (a Stats JSON is a few
+// KiB) so the timeout mostly bounds connection establishment to a dead
+// peer; forwarded sweep groups override it with the sweep's own deadline.
+const (
+	DefaultPeerTimeout = 2 * time.Second
+	DefaultRetries     = 1 // retries beyond the first attempt
+	DefaultBackoffBase = 250 * time.Millisecond
+	maxBackoffShift    = 6 // caps backoff at base << 6 (16s at the default)
+)
+
+// Config assembles a replica's view of the fleet.
+type Config struct {
+	// Self is this replica's advertised base URL (e.g. http://10.0.0.1:8080).
+	// It must appear verbatim in every replica's peer list — ring agreement
+	// is textual.
+	Self string
+	// Peers are the other replicas' base URLs. Empty means a single-node
+	// cluster: /sweep works, every key is owned locally.
+	Peers []string
+	// Runner executes simulations (shared with the interactive scheduler).
+	Runner *experiments.Runner
+	// Local is this replica's own shard of the result store; nil disables
+	// persistence (every lookup below the peer layer misses).
+	Local *service.DiskStore
+	// Client issues peer RPCs; nil means a fresh http.Client. Per-request
+	// timeouts come from PeerTimeout, not the client.
+	Client *http.Client
+	// PeerTimeout bounds one peer RPC attempt (0 = DefaultPeerTimeout).
+	PeerTimeout time.Duration
+	// Retries is how many times a failed peer RPC is retried before the
+	// peer is marked down (<0 = none, 0 = DefaultRetries).
+	Retries int
+	// BackoffBase seeds the exponential re-probe delay for a down peer
+	// (0 = DefaultBackoffBase). After f consecutive failures the peer is
+	// skipped for base<<(f-1), capped at base<<6.
+	BackoffBase time.Duration
+	// VNodes is the ring's virtual nodes per member (0 = DefaultVNodes).
+	VNodes int
+	// SweepMax bounds concurrently streaming sweeps (0 = DefaultSweepMax).
+	SweepMax int
+	// MaxPoints bounds one sweep's expanded grid (0 = DefaultMaxPoints).
+	MaxPoints int
+}
+
+// Node is one replica's cluster layer. It implements
+// experiments.ResultStore: Get consults the local shard first, then the
+// key's owning replica, so the runner's existing store machinery gets
+// peer-aware lookups without knowing the cluster exists. All methods are
+// safe for concurrent use.
+type Node struct {
+	self   string
+	ring   *Ring
+	runner *experiments.Runner
+	local  *service.DiskStore
+	client *http.Client
+
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+
+	sweepSem  chan struct{}
+	maxPoints int
+
+	shardHits    atomic.Int64
+	peerHits     atomic.Int64
+	peerMisses   atomic.Int64
+	forwarded    atomic.Int64
+	peerErrors   atomic.Int64
+	sweepsActive atomic.Int64
+	sweepsTotal  atomic.Int64
+}
+
+// peerState tracks one peer's liveness: consecutive failures and the
+// deadline before which the peer is skipped entirely.
+type peerState struct {
+	fails     int
+	downUntil time.Time
+}
+
+// NewNode validates cfg and builds the replica's cluster layer.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self base URL is required")
+	}
+	if cfg.Runner == nil {
+		return nil, fmt.Errorf("cluster: Runner is required")
+	}
+	members := append([]string{cfg.Self}, cfg.Peers...)
+	ring, err := NewRing(members, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		self:      cfg.Self,
+		ring:      ring,
+		runner:    cfg.Runner,
+		local:     cfg.Local,
+		client:    cfg.Client,
+		timeout:   cfg.PeerTimeout,
+		retries:   cfg.Retries,
+		backoff:   cfg.BackoffBase,
+		peers:     map[string]*peerState{},
+		maxPoints: cfg.MaxPoints,
+	}
+	if n.client == nil {
+		n.client = &http.Client{}
+	}
+	if n.timeout <= 0 {
+		n.timeout = DefaultPeerTimeout
+	}
+	if n.retries == 0 {
+		n.retries = DefaultRetries
+	} else if n.retries < 0 {
+		n.retries = 0
+	}
+	if n.backoff <= 0 {
+		n.backoff = DefaultBackoffBase
+	}
+	if n.maxPoints <= 0 {
+		n.maxPoints = DefaultMaxPoints
+	}
+	sweepMax := cfg.SweepMax
+	if sweepMax <= 0 {
+		sweepMax = DefaultSweepMax
+	}
+	n.sweepSem = make(chan struct{}, sweepMax)
+	for _, m := range ring.Members() {
+		if m != cfg.Self {
+			n.peers[m] = &peerState{}
+		}
+	}
+	return n, nil
+}
+
+// Self returns this replica's advertised base URL.
+func (n *Node) Self() string { return n.self }
+
+// Ring returns the fleet's (shared, immutable) hash ring.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// healthy reports whether url may be contacted now (true for unknown URLs:
+// only tracked peers ever back off).
+func (n *Node) healthy(url string, now time.Time) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p := n.peers[url]
+	return p == nil || now.After(p.downUntil) || now.Equal(p.downUntil)
+}
+
+func (n *Node) markFailure(url string, now time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p := n.peers[url]
+	if p == nil {
+		return
+	}
+	p.fails++
+	shift := p.fails - 1
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	p.downUntil = now.Add(n.backoff << shift)
+}
+
+func (n *Node) markSuccess(url string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p := n.peers[url]; p != nil {
+		p.fails = 0
+		p.downUntil = time.Time{}
+	}
+}
+
+// Get implements experiments.ResultStore: the local shard first (shardHit),
+// then — if another replica owns the key and is not backed off — the owner
+// over HTTP (peerHit / peerMiss). Any failure degrades to a miss, which
+// makes the runner simulate locally: a dead owner costs duplicate work,
+// never availability.
+func (n *Node) Get(key string) (*pipeline.Stats, bool) {
+	if n.local != nil {
+		if st, ok := n.local.Get(key); ok {
+			n.shardHits.Add(1)
+			return st, true
+		}
+	}
+	owner := n.ring.Owner(key)
+	if owner == n.self {
+		return nil, false
+	}
+	st, err := n.fetchResult(owner, key)
+	switch {
+	case err != nil:
+		return nil, false // counted by fetchResult
+	case st == nil:
+		n.peerMisses.Add(1)
+		return nil, false
+	}
+	n.peerHits.Add(1)
+	if n.local != nil {
+		n.local.Put(key, st) // cache the fetched copy; best-effort
+	}
+	return st, true
+}
+
+// Put implements experiments.ResultStore: the result is always written to
+// the local shard (warm cache, and the degraded path depends on it), then
+// replicated to the owning replica so the fleet's canonical copy lands on
+// the right shard. Replication failures are non-fatal: the owner can
+// re-simulate or fetch later.
+func (n *Node) Put(key string, st *pipeline.Stats) error {
+	var err error
+	if n.local != nil {
+		err = n.local.Put(key, st)
+	}
+	owner := n.ring.Owner(key)
+	if owner != n.self {
+		if n.pushResult(owner, key, st) == nil {
+			n.forwarded.Add(1)
+		}
+	}
+	return err
+}
+
+// fetchResult GETs key from owner's local shard. A nil *Stats with nil
+// error means the owner answered "not stored".
+func (n *Node) fetchResult(owner, key string) (*pipeline.Stats, error) {
+	var st *pipeline.Stats
+	err := n.peerRPC(owner, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/cluster/result/"+key, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := n.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer drain(resp.Body)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var s pipeline.Stats
+			if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+				return fmt.Errorf("decode result: %w", err)
+			}
+			st = &s
+			return nil
+		case http.StatusNotFound:
+			st = nil
+			return nil
+		default:
+			return fmt.Errorf("peer status %s", resp.Status)
+		}
+	})
+	return st, err
+}
+
+// pushResult PUTs key's result into owner's local shard.
+func (n *Node) pushResult(owner, key string, st *pipeline.Stats) error {
+	body, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	return n.peerRPC(owner, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, owner+"/cluster/result/"+key, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := n.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer drain(resp.Body)
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+			return fmt.Errorf("peer status %s", resp.Status)
+		}
+		return nil
+	})
+}
+
+// Ping probes url's /cluster/ping and updates its health state.
+func (n *Node) Ping(url string) error {
+	return n.peerRPC(url, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/cluster/ping", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := n.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer drain(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("peer status %s", resp.Status)
+		}
+		return nil
+	})
+}
+
+// CheckPeers pings every currently-contactable peer once; main's health
+// loop calls it periodically so downed peers re-enter after recovery even
+// with no traffic.
+func (n *Node) CheckPeers() {
+	now := time.Now()
+	for url := range n.peers {
+		if n.healthy(url, now) {
+			n.Ping(url)
+		}
+	}
+}
+
+// peerRPC runs one peer call with the node's timeout, bounded retries and
+// health bookkeeping. A peer in backoff fails immediately without a network
+// attempt; exhausted retries mark the peer down and count a peerError.
+func (n *Node) peerRPC(url string, call func(context.Context) error) error {
+	now := time.Now()
+	if !n.healthy(url, now) {
+		return fmt.Errorf("cluster: peer %s is backed off", url)
+	}
+	var err error
+	for attempt := 0; attempt <= n.retries; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), n.timeout)
+		err = call(ctx)
+		cancel()
+		if err == nil {
+			n.markSuccess(url)
+			return nil
+		}
+	}
+	n.peerErrors.Add(1)
+	n.markFailure(url, time.Now())
+	return fmt.Errorf("cluster: peer %s: %w", url, err)
+}
+
+// Metrics snapshots the replica's cluster counters for /metrics.
+func (n *Node) Metrics() *service.ClusterMetrics {
+	m := &service.ClusterMetrics{
+		Node:         n.self,
+		Peers:        []service.PeerStatus{},
+		ShardHits:    n.shardHits.Load(),
+		PeerHits:     n.peerHits.Load(),
+		PeerMisses:   n.peerMisses.Load(),
+		Forwarded:    n.forwarded.Load(),
+		PeerErrors:   n.peerErrors.Load(),
+		SweepsActive: n.sweepsActive.Load(),
+		SweepsTotal:  n.sweepsTotal.Load(),
+	}
+	now := time.Now()
+	for _, url := range n.ring.Members() {
+		if url != n.self {
+			m.Peers = append(m.Peers, service.PeerStatus{URL: url, Healthy: n.healthy(url, now)})
+		}
+	}
+	return m
+}
+
+// drain discards and closes an HTTP response body so the connection can be
+// reused.
+func drain(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	body.Close()
+}

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/noreba-sim/noreba/internal/experiments"
+	"github.com/noreba-sim/noreba/internal/pipeline"
+	"github.com/noreba-sim/noreba/internal/service"
+)
+
+func quickRunner() *experiments.Runner {
+	r := experiments.NewRunner()
+	r.MaxInsts = 1 << 12
+	r.ScaleDiv = 8
+	return r
+}
+
+func tempStore(t *testing.T) *service.DiskStore {
+	t.Helper()
+	st, err := service.OpenDiskStore(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// peerKey finds a valid store key the given member owns.
+func peerKey(t *testing.T, r *Ring, owner string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		if k := hexKey(i); r.Owner(k) == owner {
+			return k
+		}
+	}
+	t.Fatal("no key maps to peer")
+	return ""
+}
+
+// TestNodeGetPeerPaths drives Get through every peer outcome against a fake
+// owner replica: stored (peerHit, cached locally), not stored (peerMiss),
+// then local (shardHit), and finally a dead owner (peerError, degraded
+// miss, backed off so the next lookup skips the network).
+func TestNodeGetPeerPaths(t *testing.T) {
+	want := &pipeline.Stats{Name: "fake", Cycles: 12345, Committed: 678}
+	var requests atomic.Int64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		if r.URL.Path == "/cluster/result/"+peerOwnedKey {
+			json.NewEncoder(w).Encode(want)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer peer.Close()
+
+	n, err := NewNode(Config{
+		Self: "http://self", Peers: []string{peer.URL},
+		Runner: quickRunner(), Local: tempStore(t),
+		PeerTimeout: time.Second, BackoffBase: time.Hour, // one failure downs the peer for the whole test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerOwnedKey = peerKey(t, n.Ring(), peer.URL)
+
+	// Peer hit: fetched from the owner and cached in the local shard.
+	st, ok := n.Get(peerOwnedKey)
+	if !ok || st.Cycles != want.Cycles {
+		t.Fatalf("Get = %+v, %v", st, ok)
+	}
+	if got := n.Metrics(); got.PeerHits != 1 || got.ShardHits != 0 {
+		t.Fatalf("after peer hit: %+v", got)
+	}
+
+	// Now a shard hit: the fetched copy is local, no network round trip.
+	before := requests.Load()
+	if _, ok := n.Get(peerOwnedKey); !ok {
+		t.Fatal("cached copy missing")
+	}
+	if n.Metrics().ShardHits != 1 {
+		t.Fatalf("metrics after cached get: %+v", n.Metrics())
+	}
+	if requests.Load() != before {
+		t.Fatal("cached get still contacted the peer")
+	}
+
+	// Peer miss: the owner answers 404.
+	missKey := peerOwnedKey
+	for i := 0; ; i++ {
+		if k := hexKey(10000 + i); n.Ring().Owner(k) == peer.URL {
+			missKey = k
+			break
+		}
+	}
+	if _, ok := n.Get(missKey); ok {
+		t.Fatal("miss key reported stored")
+	}
+	if n.Metrics().PeerMisses != 1 {
+		t.Fatalf("metrics after peer miss: %+v", n.Metrics())
+	}
+
+	// Self-owned keys never leave the process.
+	selfKey := peerKey(t, n.Ring(), "http://self")
+	before = requests.Load()
+	if _, ok := n.Get(selfKey); ok {
+		t.Fatal("self key reported stored")
+	}
+	if requests.Load() != before {
+		t.Fatal("self-owned miss contacted the peer")
+	}
+
+	// Dead owner: degraded miss, peerError, and the peer is backed off —
+	// the follow-up Get must not attempt the network.
+	peer.Close()
+	if _, ok := n.Get(missKey); ok {
+		t.Fatal("dead peer produced a hit")
+	}
+	m := n.Metrics()
+	if m.PeerErrors == 0 {
+		t.Fatalf("no peerError after dead peer: %+v", m)
+	}
+	if len(m.Peers) != 1 || m.Peers[0].Healthy {
+		t.Fatalf("dead peer still healthy: %+v", m.Peers)
+	}
+	errsBefore := m.PeerErrors
+	if _, ok := n.Get(missKey); ok {
+		t.Fatal("backed-off peer produced a hit")
+	}
+	if n.Metrics().PeerErrors != errsBefore {
+		t.Fatal("backed-off peer was still contacted (peerErrors grew)")
+	}
+}
+
+var peerOwnedKey string // set per test; the fake handler closes over it
+
+// TestNodePutReplicates: Put always lands in the local shard and is pushed
+// to the owning replica; a dead owner costs a peerError, never a Put error.
+func TestNodePutReplicates(t *testing.T) {
+	var puts atomic.Int64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			puts.Add(1)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer peer.Close()
+
+	local := tempStore(t)
+	n, err := NewNode(Config{
+		Self: "http://self", Peers: []string{peer.URL},
+		Runner: quickRunner(), Local: local,
+		PeerTimeout: time.Second, BackoffBase: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &pipeline.Stats{Name: "x", Cycles: 9}
+
+	key := peerKey(t, n.Ring(), peer.URL)
+	if err := n.Put(key, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := local.Get(key); !ok {
+		t.Fatal("Put skipped the local shard")
+	}
+	if puts.Load() != 1 || n.Metrics().Forwarded != 1 {
+		t.Fatalf("replication: puts=%d metrics=%+v", puts.Load(), n.Metrics())
+	}
+
+	// Self-owned: no replication.
+	if err := n.Put(peerKey(t, n.Ring(), "http://self"), st); err != nil {
+		t.Fatal(err)
+	}
+	if puts.Load() != 1 {
+		t.Fatal("self-owned Put replicated")
+	}
+
+	// Dead owner: local write still succeeds, error only counted.
+	peer.Close()
+	key2 := key
+	for i := 0; ; i++ {
+		if k := hexKey(20000 + i); n.Ring().Owner(k) == peer.URL {
+			key2 = k
+			break
+		}
+	}
+	if err := n.Put(key2, st); err != nil {
+		t.Fatalf("Put with dead owner failed: %v", err)
+	}
+	if _, ok := local.Get(key2); !ok {
+		t.Fatal("degraded Put skipped the local shard")
+	}
+	if n.Metrics().PeerErrors == 0 {
+		t.Fatal("dead owner not counted")
+	}
+}
+
+// TestNodeBackoffRecovers: a failed peer re-enters after its backoff
+// window, and a successful ping resets the failure count.
+func TestNodeBackoffRecovers(t *testing.T) {
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"node": "peer"})
+	}))
+	defer peer.Close()
+	n, err := NewNode(Config{
+		Self: "http://self", Peers: []string{"http://127.0.0.1:1", peer.URL},
+		Runner:      quickRunner(),
+		PeerTimeout: 200 * time.Millisecond, Retries: -1, BackoffBase: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://127.0.0.1:1"
+	if err := n.Ping(dead); err == nil {
+		t.Fatal("ping of dead peer succeeded")
+	}
+	if n.healthy(dead, time.Now()) {
+		t.Fatal("dead peer healthy immediately after failure")
+	}
+	if err := n.Ping(dead); err == nil || n.Metrics().PeerErrors != 1 {
+		t.Fatalf("backed-off ping reached the network: %v, %+v", err, n.Metrics())
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !n.healthy(dead, time.Now()) {
+		t.Fatal("peer still down after backoff window")
+	}
+
+	if err := n.Ping(peer.URL); err != nil {
+		t.Fatal(err)
+	}
+	n.CheckPeers() // live peer pinged again, dead one probed per backoff
+	for _, p := range n.Metrics().Peers {
+		if p.URL == peer.URL && !p.Healthy {
+			t.Fatalf("live peer unhealthy: %+v", p)
+		}
+	}
+}

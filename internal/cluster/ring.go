@@ -1,0 +1,106 @@
+// Package cluster turns noreba-serve into an N-replica fleet: a consistent-
+// hash ring shards the content-addressed result store across replicas, a
+// peer-aware ResultStore serves lookups from the owning shard before falling
+// back to simulation, and a batch design-space endpoint (POST /sweep)
+// expands a config grid server-side, shards its workload groups across the
+// fleet, and streams results as JSONL.
+//
+// The cluster is a static list of base URLs (the -peers flag): no membership
+// protocol, no rebalancing. Every replica knows the full list, hashes with
+// the same ring, and owns the keys that map to it. Peers are assumed
+// crash-faulty only — a replica that cannot reach the owner of a key runs
+// the simulation itself (degraded mode), trading duplicate work for
+// availability; results are deterministic, so duplicates are byte-identical.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the number of ring positions per member. 64 virtual
+// nodes keep the largest/smallest shard within ~2x of each other for small
+// fleets while the ring stays tiny (a few KiB).
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over replica base URLs. All
+// replicas build the ring from the same member list (ordering-insensitive)
+// and therefore agree on every key's owner without communicating.
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	members []string    // sorted, deduplicated
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring of the given members with vnodes virtual nodes per
+// member (0 means DefaultVNodes). Duplicate members collapse; the member
+// list is defensively copied.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := map[string]bool{}
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty ring member")
+		}
+		uniq[m] = true
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	r := &Ring{members: make([]string, 0, len(uniq))}
+	for m := range uniq {
+		r.members = append(r.members, m)
+	}
+	sort.Strings(r.members)
+	r.points = make([]ringPoint, 0, len(r.members)*vnodes)
+	for _, m := range r.members {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", m, i)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, k int) bool {
+		if r.points[i].hash != r.points[k].hash {
+			return r.points[i].hash < r.points[k].hash
+		}
+		// Vanishingly rare 64-bit collision: break the tie by member so
+		// every replica still agrees on the ordering.
+		return r.points[i].member < r.points[k].member
+	})
+	return r, nil
+}
+
+// ringHash is the ring's position function. FNV-1a is stable across
+// processes and architectures (unlike hash/maphash), which is what makes
+// independent replicas agree; distribution quality is adequate at 64
+// vnodes per member.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Owner returns the member owning key: the first ring point at or after the
+// key's hash, wrapping around. Keys are arbitrary strings — the store
+// shards by sha256 config-hash hex, sweep execution by workload name.
+func (r *Ring) Owner(key string) string {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Members returns the sorted member list.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}

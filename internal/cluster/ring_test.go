@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+func hexKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestRingAgreement: replicas that build the ring from the same member set
+// — in any order, with duplicates — assign every key to the same owner.
+// That textual agreement is the whole membership protocol.
+func TestRingAgreement(t *testing.T) {
+	a, err := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://n3", "http://n1", "http://n2", "http://n1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		k := hexKey(i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %s: owner %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+	if got := fmt.Sprint(a.Members()); got != "[http://n1 http://n2 http://n3]" {
+		t.Fatalf("members = %s", got)
+	}
+}
+
+// TestRingDistribution: at DefaultVNodes no member of a 3-replica ring
+// owns a pathological share of sha256 keys.
+func TestRingDistribution(t *testing.T) {
+	members := []string{"http://n1", "http://n2", "http://n3"}
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 9000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(hexKey(i))]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / keys
+		if share < 0.10 || share > 0.60 {
+			t.Errorf("member %s owns %.1f%% of keys: %v", m, share*100, counts)
+		}
+	}
+}
+
+// TestRingSingleAndErrors: a 1-member ring owns everything; degenerate
+// member lists are rejected.
+func TestRingSingleAndErrors(t *testing.T) {
+	r, err := NewRing([]string{"http://only"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if got := r.Owner(hexKey(i)); got != "http://only" {
+			t.Fatalf("owner = %s", got)
+		}
+	}
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"http://a", ""}, 0); err == nil {
+		t.Error("empty member accepted")
+	}
+}

@@ -28,11 +28,11 @@ func (r *Runner) AblationCIT() (*metrics.Table, error) {
 	}
 	var reqs []simReq
 	for _, name := range names {
-		reqs = append(reqs, simReq{name, skylake(pipeline.InOrder)})
+		reqs = append(reqs, simReq{workload: name, cfg: skylake(pipeline.InOrder)})
 		for _, size := range sizes {
 			cfg := skylake(pipeline.Noreba)
 			cfg.Selective.CITSize = size
-			reqs = append(reqs, simReq{name, cfg})
+			reqs = append(reqs, simReq{workload: name, cfg: cfg})
 		}
 	}
 	if err := r.runAll(reqs); err != nil {
@@ -71,7 +71,7 @@ func (r *Runner) AblationLoopMarking() (*metrics.Table, error) {
 	}
 	var reqs []simReq
 	for _, name := range names {
-		reqs = append(reqs, simReq{name, skylake(pipeline.Noreba)})
+		reqs = append(reqs, simReq{workload: name, cfg: skylake(pipeline.Noreba)})
 	}
 	if err := r.runAll(reqs); err != nil {
 		return nil, err
@@ -136,7 +136,7 @@ func (r *Runner) AblationBITSize() (*metrics.Table, error) {
 	}
 	var reqs []simReq
 	for _, name := range names {
-		reqs = append(reqs, simReq{name, skylake(pipeline.InOrder)})
+		reqs = append(reqs, simReq{workload: name, cfg: skylake(pipeline.InOrder)})
 	}
 	if err := r.runAll(reqs); err != nil {
 		return nil, err
@@ -194,7 +194,7 @@ func (r *Runner) AblationPredictors() (*metrics.Table, error) {
 			base.Predictor = p.kind
 			cfg := skylake(pipeline.Noreba)
 			cfg.Predictor = p.kind
-			reqs = append(reqs, simReq{name, base}, simReq{name, cfg})
+			reqs = append(reqs, simReq{workload: name, cfg: base}, simReq{workload: name, cfg: cfg})
 		}
 	}
 	if err := r.runAll(reqs); err != nil {

@@ -59,9 +59,9 @@ func (r *Runner) speedupReqs(baseline pipeline.Config, rows []pipeline.Config) (
 	}
 	var reqs []simReq
 	for _, name := range names {
-		reqs = append(reqs, simReq{name, baseline})
+		reqs = append(reqs, simReq{workload: name, cfg: baseline})
 		for _, cfg := range rows {
-			reqs = append(reqs, simReq{name, cfg})
+			reqs = append(reqs, simReq{workload: name, cfg: cfg})
 		}
 	}
 	return reqs, nil
@@ -164,8 +164,8 @@ func (r *Runner) Figure6() (*metrics.Table, error) {
 
 func (r *Runner) figure7Reqs() ([]simReq, error) {
 	return []simReq{
-		{"bzip2", skylake(pipeline.InOrder)},
-		{"mcf", skylake(pipeline.InOrder)},
+		{workload: "bzip2", cfg: skylake(pipeline.InOrder)},
+		{workload: "mcf", cfg: skylake(pipeline.InOrder)},
 	}, nil
 }
 
@@ -208,7 +208,7 @@ func (r *Runner) figure8Reqs() ([]simReq, error) {
 	}
 	var reqs []simReq
 	for _, name := range names {
-		reqs = append(reqs, simReq{name, skylake(pipeline.Noreba)})
+		reqs = append(reqs, simReq{workload: name, cfg: skylake(pipeline.Noreba)})
 	}
 	return reqs, nil
 }
@@ -255,13 +255,13 @@ func (r *Runner) figure9Reqs() ([]simReq, error) {
 		for _, name := range names {
 			ideal := skylake(pipeline.IdealReconv)
 			ideal.ROBSize = robSize
-			reqs = append(reqs, simReq{name, ideal})
+			reqs = append(reqs, simReq{workload: name, cfg: ideal})
 			for _, k := range figure9Knobs {
 				cfg := skylake(pipeline.Noreba)
 				cfg.ROBSize = robSize
 				cfg.Selective.NumBRCQs = k.queues
 				cfg.Selective.BRCQSize = k.entries
-				reqs = append(reqs, simReq{name, cfg})
+				reqs = append(reqs, simReq{workload: name, cfg: cfg})
 			}
 		}
 	}
@@ -332,7 +332,7 @@ func (r *Runner) figure10Reqs() ([]simReq, error) {
 			cfg := skylake(pipeline.Noreba)
 			cfg.Selective.NumBRCQs = k.queues
 			cfg.Selective.BRCQSize = k.entries
-			reqs = append(reqs, simReq{name, cfg})
+			reqs = append(reqs, simReq{workload: name, cfg: cfg})
 		}
 	}
 	return reqs, nil
@@ -397,7 +397,7 @@ func (r *Runner) figure11Reqs() ([]simReq, error) {
 	perfectCfg.FreeSetup = true
 	var reqs []simReq
 	for _, name := range names {
-		reqs = append(reqs, simReq{name, skylake(pipeline.Noreba)}, simReq{name, perfectCfg})
+		reqs = append(reqs, simReq{workload: name, cfg: skylake(pipeline.Noreba)}, simReq{workload: name, cfg: perfectCfg})
 	}
 	return reqs, nil
 }
@@ -456,7 +456,7 @@ func (r *Runner) figure12Reqs() ([]simReq, error) {
 	var reqs []simReq
 	for i := range inos {
 		for _, name := range names {
-			reqs = append(reqs, simReq{name, inos[i]}, simReq{name, norebas[i]})
+			reqs = append(reqs, simReq{workload: name, cfg: inos[i]}, simReq{workload: name, cfg: norebas[i]})
 		}
 	}
 	return reqs, nil
@@ -524,11 +524,11 @@ func (r *Runner) figure13Reqs() ([]simReq, error) {
 	}
 	var reqs []simReq
 	for _, name := range names {
-		reqs = append(reqs, simReq{name, figure13Base()})
+		reqs = append(reqs, simReq{workload: name, cfg: figure13Base()})
 		for _, v := range figure13Variants {
 			for _, core := range coreConfigs(v.policy) {
 				core.PrefetchEnabled = v.prefetch
-				reqs = append(reqs, simReq{name, core})
+				reqs = append(reqs, simReq{workload: name, cfg: core})
 			}
 		}
 	}
@@ -624,7 +624,7 @@ func (r *Runner) figure16Reqs() ([]simReq, error) {
 	}
 	var reqs []simReq
 	for _, name := range names {
-		reqs = append(reqs, simReq{name, skylake(pipeline.InOrder)}, simReq{name, skylake(pipeline.Noreba)})
+		reqs = append(reqs, simReq{workload: name, cfg: skylake(pipeline.InOrder)}, simReq{workload: name, cfg: skylake(pipeline.Noreba)})
 	}
 	return reqs, nil
 }

@@ -626,10 +626,13 @@ func casMax(m *atomic.Int64, v int64) {
 	}
 }
 
-// simReq names one simulation for the fan-out helpers.
+// simReq names one simulation for the fan-out helpers. idx is the request's
+// position in the caller's slice, carried through grouping so streaming
+// callers can be notified per original request.
 type simReq struct {
 	workload string
 	cfg      pipeline.Config
+	idx      int
 }
 
 // Request names one simulation for RunRequests: a workload and a core
@@ -650,25 +653,39 @@ type Request struct {
 // subsequent Simulate calls are guaranteed hits. The first error is
 // returned after all requests settle.
 func (r *Runner) RunRequests(ctx context.Context, reqs []Request) error {
+	return r.RunRequestsStream(ctx, reqs, nil)
+}
+
+// RunRequestsStream is RunRequests with a per-request completion callback:
+// when notify is non-nil, notify(i, st, err) fires exactly once for each
+// reqs[i] as that request settles — whether from the in-memory cache, the
+// persistent store, a solo run or a batched fan-out — so callers can stream
+// results as they land instead of waiting for the whole batch. notify may be
+// invoked concurrently from several goroutines and must be safe for that;
+// requests cancelled by ctx are notified with the wrapped cancellation
+// cause. Batching, singleflight, cache and store semantics are exactly
+// RunRequests's.
+func (r *Runner) RunRequestsStream(ctx context.Context, reqs []Request, notify func(i int, st *pipeline.Stats, err error)) error {
 	qs := make([]simReq, len(reqs))
 	for i, q := range reqs {
-		qs[i] = simReq{workload: q.Workload, cfg: q.Config}
+		qs[i] = simReq{workload: q.Workload, cfg: q.Config, idx: i}
 	}
-	return r.runAllContext(ctx, qs)
+	return r.runAllContext(ctx, qs, notify)
 }
 
 // runAll schedules every request and waits for all of them, returning the
 // first error. Figures call it to warm the cache, then assemble their tables
 // from guaranteed hits.
 func (r *Runner) runAll(reqs []simReq) error {
-	return r.runAllContext(context.Background(), reqs)
+	return r.runAllContext(context.Background(), reqs, nil)
 }
 
 // runAllContext groups the requests by workload and runs each group's
 // full-detail simulations off one shared functional emulation via the
 // broadcast bus; sampled-mode runners fall back to the per-request path
 // (sampling already amortises the functional pass through its shared plan).
-func (r *Runner) runAllContext(ctx context.Context, reqs []simReq) error {
+// notify, when non-nil, is invoked once per request as it settles.
+func (r *Runner) runAllContext(ctx context.Context, reqs []simReq, notify func(i int, st *pipeline.Stats, err error)) error {
 	var firstErr error
 	var mu sync.Mutex
 	noteErr := func(err error) {
@@ -688,7 +705,10 @@ func (r *Runner) runAllContext(ctx context.Context, reqs []simReq) error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				_, err := r.SimulateContext(ctx, q.workload, q.cfg)
+				st, err := r.SimulateContext(ctx, q.workload, q.cfg)
+				if notify != nil {
+					notify(q.idx, st, err)
+				}
 				noteErr(err)
 			}()
 		}
@@ -708,7 +728,7 @@ func (r *Runner) runAllContext(ctx context.Context, reqs []simReq) error {
 		wg.Add(1)
 		go func(group []simReq) {
 			defer wg.Done()
-			noteErr(r.simulateGroup(ctx, group))
+			noteErr(r.simulateGroup(ctx, group, notify))
 		}(groups[w])
 	}
 	wg.Wait()
@@ -729,13 +749,16 @@ type ownedJob struct {
 // path, two or more share a single functional emulation through the
 // broadcast bus. Every job is finished with exactly the semantics of
 // SimulateSampledContext, so concurrent Simulate callers observe no
-// difference.
-func (r *Runner) simulateGroup(ctx context.Context, group []simReq) error {
+// difference. notify, when non-nil, fires once per group entry as its job
+// settles (from its own goroutine, so a streaming consumer sees rows as they
+// finish, not when the whole batch does).
+func (r *Runner) simulateGroup(ctx context.Context, group []simReq, notify func(i int, st *pipeline.Stats, err error)) error {
 	workload := group[0].workload
 	p := sampling.Params{}.Normalize() // full-detail runs only reach here
 
 	var owned []ownedJob
 	var waiters []*simJob
+	var notifyWG sync.WaitGroup
 	r.mu.Lock()
 	for _, q := range group {
 		r.simReqs.Add(1)
@@ -744,18 +767,32 @@ func (r *Runner) simulateGroup(ctx context.Context, group []simReq) error {
 			cfg.Sanitize = true
 		}
 		key := simKey{workload: workload, cfg: keyOf(cfg), sampling: p}
-		if j, ok := r.sims[key]; ok {
+		j, have := r.sims[key]
+		if have {
 			if j.finished && j.elem != nil {
 				r.lru.MoveToFront(j.elem)
 			}
 			waiters = append(waiters, j)
-			continue
+		} else {
+			j = &simJob{done: make(chan struct{}), key: key}
+			r.sims[key] = j
+			owned = append(owned, ownedJob{j: j, cfg: cfg})
 		}
-		j := &simJob{done: make(chan struct{}), key: key}
-		r.sims[key] = j
-		owned = append(owned, ownedJob{j: j, cfg: cfg})
+		if notify != nil {
+			notifyWG.Add(1)
+			go func(idx int, j *simJob) {
+				defer notifyWG.Done()
+				select {
+				case <-j.done:
+					notify(idx, j.st, j.err)
+				case <-ctx.Done():
+					notify(idx, nil, fmt.Errorf("experiments: %s: %w", workload, context.Cause(ctx)))
+				}
+			}(q.idx, j)
+		}
 	}
 	r.mu.Unlock()
+	defer notifyWG.Wait()
 
 	// Serve owned jobs from the persistent store before paying for any
 	// execution; the rest stay pending.

@@ -144,7 +144,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 	var reqs []simReq
 	for _, name := range names {
 		for _, p := range policies {
-			reqs = append(reqs, simReq{name, skylake(p)})
+			reqs = append(reqs, simReq{workload: name, cfg: skylake(p)})
 		}
 	}
 	if err := r.runAll(reqs); err != nil {

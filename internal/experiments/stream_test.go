@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/pipeline"
+)
+
+// TestRunRequestsStream: the streaming variant notifies exactly once per
+// request index as it settles, the delivered stats are bit-identical to
+// independent Simulate calls, duplicates coalesce, and the whole batch still
+// costs one functional emulation per workload.
+func TestRunRequestsStream(t *testing.T) {
+	r := NewRunner()
+	r.MaxInsts = 1 << 12
+	r.ScaleDiv = 8
+
+	policies := []pipeline.PolicyKind{pipeline.InOrder, pipeline.NonSpecOoO, pipeline.Noreba}
+	var reqs []Request
+	for _, w := range []string{"mcf", "CRC32"} {
+		for _, p := range policies {
+			reqs = append(reqs, Request{Workload: w, Config: skylake(p)})
+		}
+	}
+	// A duplicate of the first request: it must coalesce (no extra runs)
+	// yet still be notified under its own index.
+	reqs = append(reqs, reqs[0])
+
+	var mu sync.Mutex
+	got := map[int]*pipeline.Stats{}
+	calls := map[int]int{}
+	err := r.RunRequestsStream(context.Background(), reqs, func(i int, st *pipeline.Stats, err error) {
+		if err != nil {
+			t.Errorf("request %d: %v", i, err)
+			return
+		}
+		mu.Lock()
+		got[i] = st
+		calls[i]++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("notified %d of %d requests", len(got), len(reqs))
+	}
+	for i, n := range calls {
+		if n != 1 {
+			t.Errorf("request %d notified %d times", i, n)
+		}
+	}
+	if emus := r.EmulationsRun(); emus != 2 {
+		t.Errorf("emulationsRun = %d, want 2 (one per workload)", emus)
+	}
+
+	// Every delivered result must match an independent run bit-for-bit.
+	solo := NewRunner()
+	solo.MaxInsts = r.MaxInsts
+	solo.ScaleDiv = r.ScaleDiv
+	for i, q := range reqs {
+		want, err := solo.Simulate(q.Workload, q.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, _ := json.Marshal(want)
+		gb, _ := json.Marshal(got[i])
+		if string(wb) != string(gb) {
+			t.Errorf("request %d (%s %v): streamed stats differ from solo run", i, q.Workload, q.Config.Policy)
+		}
+	}
+}
+
+// TestRunRequestsStreamCancelled: a cancelled context still notifies every
+// request exactly once, with an error.
+func TestRunRequestsStreamCancelled(t *testing.T) {
+	r := NewRunner()
+	r.MaxInsts = 1 << 12
+	r.ScaleDiv = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	reqs := []Request{
+		{Workload: "mcf", Config: skylake(pipeline.InOrder)},
+		{Workload: "CRC32", Config: skylake(pipeline.Noreba)},
+	}
+	var mu sync.Mutex
+	notified := map[int]int{}
+	errs := 0
+	err := r.RunRequestsStream(ctx, reqs, func(i int, st *pipeline.Stats, err error) {
+		mu.Lock()
+		notified[i]++
+		if err != nil {
+			errs++
+		}
+		mu.Unlock()
+	})
+	if err == nil {
+		t.Fatal("cancelled batch returned nil error")
+	}
+	if len(notified) != len(reqs) || errs != len(reqs) {
+		t.Fatalf("notified=%v errs=%d, want every request notified once with an error", notified, errs)
+	}
+	for i, n := range notified {
+		if n != 1 {
+			t.Errorf("request %d notified %d times", i, n)
+		}
+	}
+}

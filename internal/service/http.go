@@ -51,13 +51,50 @@ type SubmitResponse struct {
 }
 
 // MetricsResponse is the GET /metrics document: scheduler gauges, runner
-// cache/store counters, optional store occupancy and the full event-metrics
-// registry snapshot.
+// cache/store counters, optional store occupancy, cluster counters when the
+// process is part of a replica fleet, and the full event-metrics registry
+// snapshot.
 type MetricsResponse struct {
 	Scheduler SchedulerMetrics `json:"scheduler"`
 	Runner    RunnerMetrics    `json:"runner"`
 	Store     *StoreStats      `json:"store,omitempty"`
+	Cluster   *ClusterMetrics  `json:"cluster,omitempty"`
 	Registry  trace.Snapshot   `json:"registry"`
+}
+
+// ClusterMetrics summarise one replica's view of the fleet: shard-local and
+// peer-served cache traffic, forwarded work, peer failures and the current
+// health of every peer. The cluster layer (internal/cluster) supplies it
+// through Server.SetClusterMetrics; a single-process server omits the
+// section entirely.
+type ClusterMetrics struct {
+	// Node is this replica's advertised base URL.
+	Node string `json:"node"`
+	// Peers reports every other replica and whether it is currently
+	// considered healthy (failed peers re-enter after a backoff probe).
+	Peers []PeerStatus `json:"peers"`
+	// ShardHits counts store lookups served from this replica's own disk.
+	ShardHits int64 `json:"shardHits"`
+	// PeerHits counts results fetched from the owning replica's store.
+	PeerHits int64 `json:"peerHits"`
+	// PeerMisses counts owner probes that answered "not stored".
+	PeerMisses int64 `json:"peerMisses"`
+	// Forwarded counts work handed to the owning shard: sweep groups
+	// executed remotely and result replications pushed to owners.
+	Forwarded int64 `json:"forwarded"`
+	// PeerErrors counts failed peer RPCs (timeouts, refused connections,
+	// bad responses) after their bounded retries.
+	PeerErrors int64 `json:"peerErrors"`
+	// SweepsActive and SweepsTotal track the batch design-space endpoint's
+	// admission: currently streaming sweeps and all sweeps ever admitted.
+	SweepsActive int64 `json:"sweepsActive"`
+	SweepsTotal  int64 `json:"sweepsTotal"`
+}
+
+// PeerStatus is one peer's liveness as seen from this replica.
+type PeerStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
 }
 
 // SchedulerMetrics are the scheduler's live gauges.
@@ -86,9 +123,10 @@ type RunnerMetrics struct {
 
 // Server is the HTTP face of a Scheduler.
 type Server struct {
-	sched *Scheduler
-	store *DiskStore // optional, for /metrics occupancy
-	mux   *http.ServeMux
+	sched   *Scheduler
+	store   *DiskStore // optional, for /metrics occupancy
+	mux     *http.ServeMux
+	cluster func() *ClusterMetrics // optional, for /metrics cluster section
 }
 
 // NewServer wires the service endpoints onto a fresh mux. store may be nil
@@ -125,6 +163,19 @@ func NewServer(sched *Scheduler, store *DiskStore) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Handle registers an additional route on the server's mux. The cluster
+// layer mounts POST /sweep and the /cluster/* internal endpoints through it,
+// keeping this package free of a dependency on internal/cluster.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// SetClusterMetrics installs the provider for the /metrics cluster section.
+// fn is called on every metrics request; nil (the default) omits the
+// section.
+func (s *Server) SetClusterMetrics(fn func() *ClusterMetrics) { s.cluster = fn }
+
+// Scheduler returns the scheduler this server fronts.
+func (s *Server) Scheduler() *Scheduler { return s.sched }
 
 // BuildConfig resolves a SubmitRequest into a job spec's pipeline config.
 func BuildConfig(req SubmitRequest) (pipeline.Config, error) {
@@ -361,6 +412,9 @@ func (s *Server) Metrics() MetricsResponse {
 	if s.store != nil {
 		st := s.store.Stats()
 		m.Store = &st
+	}
+	if s.cluster != nil {
+		m.Cluster = s.cluster()
 	}
 	return m
 }

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/trace"
+)
+
+// TestMetricsResponseSnapshot pins the /metrics document shape: a fully
+// populated MetricsResponse (cluster section included) must marshal to
+// exactly this JSON, so renaming or dropping a counter — the things
+// dashboards and the cluster smoke grep for — fails loudly here instead of
+// silently breaking consumers.
+func TestMetricsResponseSnapshot(t *testing.T) {
+	reg := trace.NewRegistry()
+	reg.Counter("service/jobs-submitted").Add(7)
+	reg.Gauge("cluster/peers-healthy").Set(2)
+
+	m := MetricsResponse{
+		Scheduler: SchedulerMetrics{QueueDepth: 1, InFlight: 2, Workers: 4, QueueLimit: 256},
+		Runner: RunnerMetrics{
+			SimulateCalls:  24,
+			SimulationsRun: 12,
+			EmulationsRun:  2,
+			PeakBusRecords: 9000,
+			SampledRuns:    1,
+			PlansBuilt:     1,
+			StoreHits:      6,
+			StoreMisses:    6,
+			StorePutErrors: 0,
+			HitRatio:       0.5,
+		},
+		Store: &StoreStats{Entries: 12, Bytes: 4096, MaxBytes: 1 << 20, Hits: 6, Misses: 6, Puts: 12, Evictions: 0},
+		Cluster: &ClusterMetrics{
+			Node: "http://127.0.0.1:8080",
+			Peers: []PeerStatus{
+				{URL: "http://127.0.0.1:8081", Healthy: true},
+				{URL: "http://127.0.0.1:8082", Healthy: false},
+			},
+			ShardHits:    5,
+			PeerHits:     3,
+			PeerMisses:   2,
+			Forwarded:    4,
+			PeerErrors:   1,
+			SweepsActive: 1,
+			SweepsTotal:  9,
+		},
+		Registry: reg.Snapshot(),
+	}
+
+	got, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "scheduler": {
+    "queueDepth": 1,
+    "inFlight": 2,
+    "workers": 4,
+    "queueLimit": 256
+  },
+  "runner": {
+    "simulateCalls": 24,
+    "simulationsRun": 12,
+    "emulationsRun": 2,
+    "peakBusRecords": 9000,
+    "sampledRuns": 1,
+    "plansBuilt": 1,
+    "storeHits": 6,
+    "storeMisses": 6,
+    "storePutErrors": 0,
+    "hitRatio": 0.5
+  },
+  "store": {
+    "entries": 12,
+    "bytes": 4096,
+    "maxBytes": 1048576,
+    "hits": 6,
+    "misses": 6,
+    "puts": 12,
+    "evictions": 0
+  },
+  "cluster": {
+    "node": "http://127.0.0.1:8080",
+    "peers": [
+      {
+        "url": "http://127.0.0.1:8081",
+        "healthy": true
+      },
+      {
+        "url": "http://127.0.0.1:8082",
+        "healthy": false
+      }
+    ],
+    "shardHits": 5,
+    "peerHits": 3,
+    "peerMisses": 2,
+    "forwarded": 4,
+    "peerErrors": 1,
+    "sweepsActive": 1,
+    "sweepsTotal": 9
+  },
+  "registry": {
+    "counters": [
+      {
+        "name": "service/jobs-submitted",
+        "value": 7
+      }
+    ],
+    "gauges": [
+      {
+        "name": "cluster/peers-healthy",
+        "value": 2
+      }
+    ],
+    "histograms": null
+  }
+}`
+	if string(got) != want {
+		t.Errorf("metrics snapshot drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Without a cluster layer the section disappears entirely.
+	m.Cluster = nil
+	got, err = json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(got), `"cluster":`) {
+		t.Errorf("single-process metrics still mention the cluster: %s", got)
+	}
+}
+
+// TestServerClusterMetricsWiring: a provider installed via SetClusterMetrics
+// surfaces on GET /metrics; servers without one omit the section.
+func TestServerClusterMetricsWiring(t *testing.T) {
+	ts, _ := newTestServer(t, 1, 8)
+	var m MetricsResponse
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Cluster != nil {
+		t.Fatalf("cluster section on a single-process server: %+v", m.Cluster)
+	}
+
+	sched := NewScheduler(SchedulerConfig{Runner: testRunner(), Workers: 1, QueueLimit: 8})
+	t.Cleanup(func() { sched.Shutdown(t.Context()) })
+	srv := NewServer(sched, nil)
+	srv.SetClusterMetrics(func() *ClusterMetrics {
+		return &ClusterMetrics{Node: "http://self", ShardHits: 11, PeerHits: 4, PeerMisses: 1, Forwarded: 2, PeerErrors: 3}
+	})
+	m = srv.Metrics()
+	if m.Cluster == nil || m.Cluster.ShardHits != 11 || m.Cluster.PeerErrors != 3 {
+		t.Fatalf("cluster metrics not wired: %+v", m.Cluster)
+	}
+}

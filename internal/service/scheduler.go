@@ -91,6 +91,7 @@ type Job struct {
 	done   chan struct{}
 	hub    *eventHub
 	index  int // heap index; -1 once popped
+	eff    int // effective priority: spec.Priority plus the aging bonus
 }
 
 // ID returns the job's identifier.
@@ -131,6 +132,13 @@ type SchedulerConfig struct {
 	QueueLimit int
 	// DefaultTimeout applies to jobs submitted without one; 0 means none.
 	DefaultTimeout time.Duration
+	// AgingStep, when positive, raises a queued job's effective priority by
+	// one for every AgingStep it has waited, so a stream of high-priority
+	// interactive jobs can delay but never starve low-priority batch work
+	// (the cluster's sweep rows submit below interactive priority and rely
+	// on this). Zero disables aging: ordering is then exactly the submitted
+	// priorities.
+	AgingStep time.Duration
 	// Registry receives scheduler counters (jobs by outcome, queue-wait
 	// and run-duration histograms); a fresh registry when nil.
 	Registry *trace.Registry
@@ -146,6 +154,7 @@ type Scheduler struct {
 	workers int
 	qlimit  int
 	defTO   time.Duration
+	aging   time.Duration
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -182,6 +191,7 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 		workers: workers,
 		qlimit:  qlimit,
 		defTO:   cfg.DefaultTimeout,
+		aging:   cfg.AgingStep,
 		jobs:    map[string]*Job{},
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -228,6 +238,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+		eff:       spec.Priority,
 	}
 	ctx := context.Background()
 	var cancelTO context.CancelFunc
@@ -393,6 +404,9 @@ func (s *Scheduler) worker() {
 			s.mu.Unlock()
 			return
 		}
+		if s.aging > 0 {
+			s.ageLocked(time.Now())
+		}
 		j := heap.Pop(&s.queue).(*Job)
 		if j.state != StateQueued {
 			// Cancelled while queued; already terminal.
@@ -431,6 +445,36 @@ func (s *Scheduler) worker() {
 		s.reg.Histogram("service/run-ms", 10, 100, 1000, 10000, 60000).
 			Observe(dur.Milliseconds())
 	}
+}
+
+// ageLocked refreshes every queued job's effective priority from its wait
+// time and restores heap order. It runs at pop time only: queue order is
+// observable exactly when a worker frees, so aging needs no background
+// timer. Callers hold s.mu.
+func (s *Scheduler) ageLocked(now time.Time) {
+	changed := false
+	for _, j := range s.queue {
+		if eff := agedPriority(j.spec.Priority, now.Sub(j.submitted), s.aging); eff != j.eff {
+			j.eff = eff
+			changed = true
+		}
+	}
+	if changed {
+		heap.Init(&s.queue)
+	}
+}
+
+// agedPriority is the aging rule: base priority plus one for every step
+// waited, bounded so a pathological wait cannot overflow the comparison.
+func agedPriority(base int, waited, step time.Duration) int {
+	if step <= 0 || waited <= 0 {
+		return base
+	}
+	bonus := waited / step
+	if bonus > 1<<20 {
+		bonus = 1 << 20
+	}
+	return base + int(bonus)
 }
 
 // QueueDepth returns the number of jobs waiting for a worker.
@@ -498,13 +542,14 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 	}
 }
 
-// jobHeap orders queued jobs by descending priority, then FIFO.
+// jobHeap orders queued jobs by descending effective priority (the
+// submitted priority plus any aging bonus), then FIFO.
 type jobHeap []*Job
 
 func (h jobHeap) Len() int { return len(h) }
 func (h jobHeap) Less(i, k int) bool {
-	if h[i].spec.Priority != h[k].spec.Priority {
-		return h[i].spec.Priority > h[k].spec.Priority
+	if h[i].eff != h[k].eff {
+		return h[i].eff > h[k].eff
 	}
 	return h[i].seq < h[k].seq
 }

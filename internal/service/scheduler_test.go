@@ -37,7 +37,7 @@ func waitTerminal(t *testing.T, j *Job) {
 func TestJobHeapOrdering(t *testing.T) {
 	var h jobHeap
 	push := func(seq int64, prio int) *Job {
-		j := &Job{id: "x", seq: seq, spec: JobSpec{Priority: prio}}
+		j := &Job{id: "x", seq: seq, spec: JobSpec{Priority: prio}, eff: prio}
 		heap.Push(&h, j)
 		return j
 	}
@@ -163,6 +163,89 @@ func TestSchedulerPriority(t *testing.T) {
 	}
 	if hs.Started.After(*ls.Started) {
 		t.Errorf("high-priority job started at %v, after low-priority %v", hs.Started, ls.Started)
+	}
+}
+
+// TestAgedPriority: the pure aging rule — no aging without a step, one
+// bonus point per step waited, bounded against overflow.
+func TestAgedPriority(t *testing.T) {
+	cases := []struct {
+		base   int
+		waited time.Duration
+		step   time.Duration
+		want   int
+	}{
+		{5, time.Hour, 0, 5},              // aging disabled
+		{5, -time.Second, time.Second, 5}, // clock skew: no bonus
+		{0, 10 * time.Second, time.Second, 10},
+		{-20, 5 * time.Second, time.Second, -15}, // sweep rows start negative
+		{3, 999 * time.Millisecond, time.Second, 3},
+		{0, time.Hour, time.Nanosecond, 1 << 20}, // capped
+	}
+	for i, c := range cases {
+		if got := agedPriority(c.base, c.waited, c.step); got != c.want {
+			t.Errorf("case %d: agedPriority(%d, %v, %v) = %d, want %d", i, c.base, c.waited, c.step, got, c.want)
+		}
+	}
+}
+
+// TestAgeLockedReordersQueue: deterministic heap-level check that ageLocked
+// lifts a long-waiting low-priority job over a fresher high-priority one.
+func TestAgeLockedReordersQueue(t *testing.T) {
+	s := &Scheduler{aging: time.Millisecond, jobs: map[string]*Job{}}
+	now := time.Now()
+	old := &Job{id: "old", seq: 1, spec: JobSpec{Priority: 0}, submitted: now.Add(-100 * time.Millisecond)}
+	fresh := &Job{id: "fresh", seq: 2, spec: JobSpec{Priority: 5}, eff: 5, submitted: now}
+	heap.Push(&s.queue, old)
+	heap.Push(&s.queue, fresh)
+	if s.queue[0] != fresh {
+		t.Fatal("before aging, the high-priority job should lead")
+	}
+	s.ageLocked(now)
+	if got := heap.Pop(&s.queue).(*Job); got != old {
+		t.Fatalf("after aging, pop = %s (eff %d), want old (eff %d)", got.id, got.eff, old.eff)
+	}
+}
+
+// TestSchedulerPriorityAging: end to end, a low-priority job submitted well
+// before a high-priority one starts first once its aging bonus exceeds the
+// priority gap.
+func TestSchedulerPriorityAging(t *testing.T) {
+	r := testRunner()
+	r.MaxInsts = 1 << 20 // full scale: the blocker holds the worker long enough
+	r.ScaleDiv = 1
+	s := NewScheduler(SchedulerConfig{Runner: r, Workers: 1, QueueLimit: 16, AgingStep: time.Millisecond})
+	defer s.Shutdown(context.Background())
+
+	blocker, err := s.Submit(testSpec("mcf", pipeline.InOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := s.Submit(testSpec("bzip2", pipeline.InOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// By the time high is submitted, low has >50 aging steps banked — more
+	// than high's 5-point head start, whenever the worker frees.
+	time.Sleep(50 * time.Millisecond)
+	highSpec := testSpec("sha", pipeline.InOrder)
+	highSpec.Priority = 5
+	high, err := s.Submit(highSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitTerminal(t, blocker)
+	waitTerminal(t, low)
+	waitTerminal(t, high)
+
+	ls, _ := s.Status(low.ID())
+	hs, _ := s.Status(high.ID())
+	if ls.Started == nil || hs.Started == nil {
+		t.Fatal("missing start times")
+	}
+	if ls.Started.After(*hs.Started) {
+		t.Errorf("aged low-priority job started at %v, after high-priority %v", ls.Started, hs.Started)
 	}
 }
 

@@ -53,6 +53,11 @@ type storeEntry struct {
 // is garbage-collected at open.
 const resultExt = ".json"
 
+// tempFileGrace is how old a non-result file must be before open-time
+// garbage collection may delete it: long enough that no live writer's
+// in-flight temp file qualifies, short enough that crash litter still goes.
+const tempFileGrace = time.Minute
+
 // OpenDiskStore opens (creating if needed) a result store rooted at dir,
 // bounded to maxBytes of result data (<= 0 means 1 GiB). Leftover temporary
 // files from an interrupted writer are removed; existing results are
@@ -82,8 +87,14 @@ func OpenDiskStore(dir string, maxBytes int64) (*DiskStore, error) {
 		}
 		name := de.Name()
 		if !strings.HasSuffix(name, resultExt) {
-			// Abandoned temp file (crash between create and rename).
-			os.Remove(filepath.Join(dir, name))
+			// Abandoned temp file (crash between create and rename) —
+			// but only if it is actually stale: another process may be
+			// mid-Put in this directory right now (a replica restarting
+			// over a live shard), and deleting its temp file would fail
+			// that write.
+			if info, err := de.Info(); err == nil && time.Since(info.ModTime()) > tempFileGrace {
+				os.Remove(filepath.Join(dir, name))
+			}
 			continue
 		}
 		key := strings.TrimSuffix(name, resultExt)

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/noreba-sim/noreba/internal/pipeline"
 )
@@ -87,6 +88,16 @@ func TestDiskStoreCrashArtifacts(t *testing.T) {
 	if err := os.WriteFile(leftover, []byte("partial"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// Age the artifact past the GC grace window: fresh temp files are a
+	// live writer's work in progress and must survive a concurrent open.
+	stale := time.Now().Add(-2 * tempFileGrace)
+	if err := os.Chtimes(leftover, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(dir, hexKey(5)+".tmp-456")
+	if err := os.WriteFile(fresh, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	corruptKey := hexKey(4)
 	if err := os.WriteFile(filepath.Join(dir, corruptKey+resultExt), []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
@@ -98,6 +109,9 @@ func TestDiskStoreCrashArtifacts(t *testing.T) {
 	}
 	if _, err := os.Stat(leftover); !os.IsNotExist(err) {
 		t.Error("abandoned temp file survived open")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh temp file (a live writer's) deleted at open")
 	}
 	if _, ok := s.Get(corruptKey); ok {
 		t.Fatal("corrupt entry served as a result")

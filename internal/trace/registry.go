@@ -26,6 +26,24 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is a named point-in-time level: unlike a Counter it may move in
+// both directions (replica health counts, active sweeps, queue depths).
+// Updates are atomic, so emitters and Snapshot readers never block each
+// other.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set replaces the gauge's level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by n (negative n lowers it).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // Histogram buckets observations by upper bounds (the last bucket is
 // unbounded). Bounds are inclusive: an observation lands in the first bucket
 // whose bound is >= the value. Observations are mutex-guarded so concurrent
@@ -93,12 +111,13 @@ func (h *Histogram) Buckets() ([]int64, []int64) {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, hists: map[string]*Histogram{}}
+	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}, hists: map[string]*Histogram{}}
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -111,6 +130,18 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it with the given bucket
@@ -132,6 +163,12 @@ type CounterSnapshot struct {
 	Value int64  `json:"value"`
 }
 
+// GaugeSnapshot is one gauge's exported state.
+type GaugeSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
 // HistogramSnapshot is one histogram's exported state. Bounds carries the
 // configured bucket upper bounds; Counts has one extra trailing element for
 // the unbounded overflow bucket.
@@ -149,6 +186,7 @@ type HistogramSnapshot struct {
 // /metrics endpoint and offline tooling share one format.
 type Snapshot struct {
 	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
 	Histograms []HistogramSnapshot `json:"histograms"`
 }
 
@@ -161,6 +199,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, c := range r.counters {
 		counters = append(counters, c)
 	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
 	hists := make([]*Histogram, 0, len(r.hists))
 	for _, h := range r.hists {
 		hists = append(hists, h)
@@ -170,6 +212,9 @@ func (r *Registry) Snapshot() Snapshot {
 	var s Snapshot
 	for _, c := range counters {
 		s.Counters = append(s.Counters, CounterSnapshot{Name: c.name, Value: c.Value()})
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: g.name, Value: g.Value()})
 	}
 	for _, h := range hists {
 		h.mu.Lock()
@@ -184,6 +229,7 @@ func (r *Registry) Snapshot() Snapshot {
 		h.mu.Unlock()
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	return s
 }
@@ -194,6 +240,9 @@ func (r *Registry) WriteSummary(w io.Writer) {
 	s := r.Snapshot()
 	for _, c := range s.Counters {
 		fmt.Fprintf(w, "%-32s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(w, "%-32s %d\n", g.Name, g.Value)
 	}
 	for _, h := range s.Histograms {
 		fmt.Fprintf(w, "%-32s n=%d mean=%.2f", h.Name, h.Count, h.Mean)

@@ -52,6 +52,53 @@ func TestSnapshotSortedAndComplete(t *testing.T) {
 	}
 }
 
+// TestGauge: gauges move in both directions, snapshot sorted alongside the
+// other instruments, and the same name always returns the same gauge.
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("cluster/peers-healthy")
+	g.Set(3)
+	g.Add(-1)
+	g.Add(2)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge value = %d, want 4", got)
+	}
+	if r.Gauge("cluster/peers-healthy") != g {
+		t.Error("same name returned a different gauge")
+	}
+	r.Gauge("aaa").Set(7)
+
+	s := r.Snapshot()
+	if len(s.Gauges) != 2 || s.Gauges[0].Name != "aaa" || s.Gauges[1].Name != "cluster/peers-healthy" {
+		t.Fatalf("gauges not sorted/complete: %+v", s.Gauges)
+	}
+	if s.Gauges[0].Value != 7 || s.Gauges[1].Value != 4 {
+		t.Errorf("gauge values: %+v", s.Gauges)
+	}
+
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Gauges) != 2 || back.Gauges[1].Value != 4 {
+		t.Errorf("JSON round trip lost gauges: %+v", back.Gauges)
+	}
+
+	// A registry without gauges omits the field entirely, keeping older
+	// consumers' snapshots byte-stable.
+	empty, err := json.Marshal(NewRegistry().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(empty) != `{"counters":null,"histograms":null}` {
+		t.Errorf("empty snapshot = %s", empty)
+	}
+}
+
 // TestSnapshotConcurrent: snapshots taken while many goroutines hammer the
 // same counter and histogram never tear (run under -race) and the final
 // totals are exact.

@@ -126,6 +126,35 @@ func (p Params) Name() string {
 		int(p.StorePressure*100+0.5), p.Nest)
 }
 
+// ParseName inverts Params.Name: it parses a canonical "gen/s…c…d…m…p…n…"
+// workload name back into the parameters that produced it. Iterations, which
+// Name excludes, are derived from the seed (FromSeed) so the result is fully
+// runnable. Only canonical names round-trip: anything whose re-rendered Name
+// differs from the input (out-of-range axes, stray zero padding) is rejected,
+// so a name can never silently alias two parameter sets.
+func ParseName(name string) (Params, error) {
+	body, ok := strings.CutPrefix(name, "gen/")
+	if !ok {
+		return Params{}, fmt.Errorf("workgen: %q is not a generated-workload name (want gen/…)", name)
+	}
+	var seed uint64
+	var crit, dep, mlp, store, nest int
+	if _, err := fmt.Sscanf(body, "s%dc%dd%dm%dp%dn%d", &seed, &crit, &dep, &mlp, &store, &nest); err != nil {
+		return Params{}, fmt.Errorf("workgen: malformed generated-workload name %q", name)
+	}
+	p := FromSeed(seed)
+	p.BranchCriticality = float64(crit) / 100
+	p.DepLen = dep
+	p.MLP = mlp
+	p.StorePressure = float64(store) / 100
+	p.Nest = nest
+	p = p.Normalize()
+	if p.Name() != name {
+		return Params{}, fmt.Errorf("workgen: non-canonical generated-workload name %q (canonical: %q)", name, p.Name())
+	}
+	return p, nil
+}
+
 // FromSeed derives a full parameter set from a seed alone, spreading samples
 // across the whole axis space: the fuzz harness and the service's generated
 // sweeps use it to name a characterized program with one integer.

@@ -247,6 +247,40 @@ func TestNameStable(t *testing.T) {
 	}
 }
 
+// TestParseNameRoundTrip: ParseName inverts Name for arbitrary seeds, and
+// rejects anything that does not re-render to itself.
+func TestParseNameRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		p := FromSeed(seed)
+		got, err := ParseName(p.Name())
+		if err != nil {
+			t.Fatalf("seed %d: ParseName(%q): %v", seed, p.Name(), err)
+		}
+		if got.Name() != p.Name() {
+			t.Fatalf("seed %d: round trip %q → %q", seed, p.Name(), got.Name())
+		}
+		// The parsed axes must match, not just the rendered name.
+		if got.Seed != p.Seed || got.DepLen != p.DepLen || got.MLP != p.MLP || got.Nest != p.Nest {
+			t.Fatalf("seed %d: parsed %+v, want %+v", seed, got, p)
+		}
+	}
+
+	for _, bad := range []string{
+		"",
+		"mcf",
+		"gen/",
+		"gen/s1",
+		"gen/s1c80d6m2p30",        // truncated
+		"gen/s1c080d6m2p30n1",     // extra zero padding: non-canonical
+		"gen/s1c80d6m2p30n9",      // nest out of range: normalizes away
+		"gen/s1c80d6m2p30n1extra", // trailing garbage
+	} {
+		if _, err := ParseName(bad); err == nil {
+			t.Errorf("ParseName(%q) accepted", bad)
+		}
+	}
+}
+
 func TestNormalizeClamps(t *testing.T) {
 	nan := 0.0
 	nan /= nan

@@ -1,0 +1,77 @@
+package workloads
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/workgen"
+)
+
+// TestEnsureGenerated: already-registered names pass through, a fresh
+// canonical gen/ name is registered on the fly (once, even under concurrent
+// callers), it stays out of the curated figure suite, and garbage names are
+// rejected.
+func TestEnsureGenerated(t *testing.T) {
+	// Curated and pinned names resolve without new registrations.
+	before := len(All())
+	if w, err := EnsureGenerated("mcf"); err != nil || w.Name != "mcf" {
+		t.Fatalf("EnsureGenerated(mcf) = %+v, %v", w, err)
+	}
+	pinned := workgen.FromSeed(3).Name()
+	if w, err := EnsureGenerated(pinned); err != nil || w.Name != pinned {
+		t.Fatalf("EnsureGenerated(%s) = %+v, %v", pinned, w, err)
+	}
+	if got := len(All()); got != before {
+		t.Fatalf("registry grew from %d to %d on known names", before, got)
+	}
+
+	// A fresh generator point registers exactly once under concurrency.
+	fresh := workgen.FromSeed(987654).Name()
+	if _, err := ByName(fresh); err == nil {
+		t.Fatalf("%s unexpectedly pre-registered", fresh)
+	}
+	const callers = 8
+	ws := make([]Workload, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w, err := EnsureGenerated(fresh)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			ws[i] = w
+		}(i)
+	}
+	wg.Wait()
+	for i, w := range ws {
+		if w.Name != fresh || w.Suite != Generated || w.DefaultScale < 2 {
+			t.Errorf("caller %d got %+v", i, w)
+		}
+	}
+	if w, err := ByName(fresh); err != nil || w.Suite != Generated {
+		t.Fatalf("%s not registered after EnsureGenerated: %+v, %v", fresh, w, err)
+	}
+	for _, w := range Curated() {
+		if w.Name == fresh {
+			t.Errorf("on-demand generated workload %s leaked into Curated", fresh)
+		}
+	}
+
+	// The registered Build generates a real program.
+	w, _ := ByName(fresh)
+	if p := w.Build(2); p == nil {
+		t.Error("Build returned nil program")
+	}
+
+	for _, bad := range []string{"", "nonsense", "gen/zzz", "gen/s1c080d6m2p30n1"} {
+		if _, err := EnsureGenerated(bad); err == nil {
+			t.Errorf("EnsureGenerated(%q) accepted", bad)
+		} else if !strings.Contains(err.Error(), "unknown workload") {
+			t.Errorf("EnsureGenerated(%q) error %v lacks context", bad, err)
+		}
+	}
+}

@@ -24,31 +24,65 @@ const genDynTarget = 30000
 
 func init() {
 	for _, seed := range pinnedSeeds {
-		p := workgen.FromSeed(seed)
-		_, ch, err := workgen.Generate(p)
+		w, err := generatedWorkload(workgen.FromSeed(seed))
 		if err != nil {
 			panic(fmt.Sprintf("workloads: pinned generator seed %d: %v", seed, err))
 		}
-		scale := genDynTarget / ch.DynPerOuter
-		if scale < 2 {
-			scale = 2
-		}
-		params := p // capture one copy per registration
-		Register(Workload{
-			Name:         params.Name(),
-			Suite:        Generated,
-			DefaultScale: scale,
-			Build: func(scale int) *program.Program {
-				q := params
-				q.Iterations = scale
-				prog, _, err := workgen.Generate(q)
-				if err != nil {
-					// Generate is deterministic over validated Params; a
-					// failure here is a generator bug, not bad input.
-					panic(fmt.Sprintf("workloads: %s: %v", params.Name(), err))
-				}
-				return prog
-			},
-		})
+		Register(w)
 	}
+}
+
+// generatedWorkload builds the Workload entry for one generator parameter
+// set: a probe generation sizes DefaultScale to the usual few-tens-of-
+// thousands dynamic instruction budget, and Build re-generates at the
+// requested scale.
+func generatedWorkload(p workgen.Params) (Workload, error) {
+	_, ch, err := workgen.Generate(p)
+	if err != nil {
+		return Workload{}, err
+	}
+	scale := genDynTarget / ch.DynPerOuter
+	if scale < 2 {
+		scale = 2
+	}
+	params := p // capture one copy per registration
+	return Workload{
+		Name:         params.Name(),
+		Suite:        Generated,
+		DefaultScale: scale,
+		Build: func(scale int) *program.Program {
+			q := params
+			q.Iterations = scale
+			prog, _, err := workgen.Generate(q)
+			if err != nil {
+				// Generate is deterministic over validated Params; a
+				// failure here is a generator bug, not bad input.
+				panic(fmt.Sprintf("workloads: %s: %v", params.Name(), err))
+			}
+			return prog
+		},
+	}, nil
+}
+
+// EnsureGenerated resolves a workload name that may denote a generated
+// program: an already-registered name (generated or curated) is returned
+// as-is, and a canonical "gen/…" name that is not yet registered is parsed
+// (workgen.ParseName), generated once to size its default scale, and
+// registered on the fly. The cluster's sweep endpoint uses it so a design-
+// space grid can name arbitrary generator points, not just the pinned
+// seeds. Concurrent calls for the same new name race safely: exactly one
+// registration wins and all callers get the same entry.
+func EnsureGenerated(name string) (Workload, error) {
+	if w, err := ByName(name); err == nil {
+		return w, nil
+	}
+	p, err := workgen.ParseName(name)
+	if err != nil {
+		return Workload{}, fmt.Errorf("workloads: unknown workload %q (and not a generated spec: %v)", name, err)
+	}
+	w, err := generatedWorkload(p)
+	if err != nil {
+		return Workload{}, fmt.Errorf("workloads: generate %q: %w", name, err)
+	}
+	return registerIfAbsent(w), nil
 }

@@ -22,6 +22,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/noreba-sim/noreba/internal/program"
 )
@@ -49,7 +50,13 @@ type Workload struct {
 	DefaultScale int
 }
 
-var registry []Workload
+// registry holds every known workload. It is assembled at init time but may
+// also grow while the process serves traffic (EnsureGenerated registers
+// generated workloads named by sweep requests), so access is mutex-guarded.
+var (
+	regMu    sync.RWMutex
+	registry []Workload
+)
 
 func register(w Workload) {
 	registry = append(registry, w)
@@ -59,8 +66,12 @@ func register(w Workload) {
 // layered above the kernels (internal/workloads/generated.go keeps the
 // generator dependency out of this file; tests register fixtures) can
 // contribute entries. Registering a duplicate name panics: the registry is
-// assembled at init time, so a collision is a programming error, not input.
+// assembled at init time, so a collision is a programming error, not input
+// (runtime registration goes through EnsureGenerated, which tolerates
+// concurrent duplicates instead).
 func Register(w Workload) {
+	regMu.Lock()
+	defer regMu.Unlock()
 	for _, have := range registry {
 		if have.Name == w.Name {
 			panic(fmt.Sprintf("workloads: duplicate registration of %q", w.Name))
@@ -69,10 +80,27 @@ func Register(w Workload) {
 	register(w)
 }
 
+// registerIfAbsent registers w unless its name is already taken, returning
+// the registered entry either way. Unlike Register it is safe to race with
+// itself on the same name: exactly one registration wins.
+func registerIfAbsent(w Workload) Workload {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, have := range registry {
+		if have.Name == w.Name {
+			return have
+		}
+	}
+	register(w)
+	return w
+}
+
 // All returns every registered workload sorted by name.
 func All() []Workload {
+	regMu.RLock()
 	out := make([]Workload, len(registry))
 	copy(out, registry)
+	regMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
@@ -94,6 +122,8 @@ func Curated() []Workload {
 
 // ByName returns the named workload.
 func ByName(name string) (Workload, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	for _, w := range registry {
 		if w.Name == name {
 			return w, nil

@@ -32,6 +32,12 @@ go build -o /dev/null ./cmd/noreba-serve
 # dedup + byte-identical results + warm-store restart, race detector on.
 go test -race -run 'TestServiceLoadSmoke' ./internal/service
 
+# Multi-process cluster smoke: a real 3-replica fleet with sharded stores —
+# sharded sweep byte-identical to single-process, one emulation per
+# workload fleet-wide, SIGTERM drain, warm restart served from shards, and
+# degraded completion with a replica killed mid-sweep.
+sh scripts/cluster_smoke.sh
+
 # Correctness substrate over the program generator: fifty generated programs
 # under every commit policy (sanitized, differential against the emulator)
 # already ran under the race detector inside `go test -race ./...` above

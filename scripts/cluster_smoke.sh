@@ -1,0 +1,175 @@
+#!/bin/sh
+# cluster_smoke.sh — multi-process cluster end-to-end smoke, also runnable
+# as `make cluster-smoke`.
+#
+# Brings up a real 3-replica noreba-serve fleet (separate processes, shards
+# on disk, static -peers lists) and checks the PR's acceptance properties
+# from the outside:
+#
+#   1. a 24-point, 2-workload sweep streams 24 rows with no errors and the
+#      fleet runs exactly one functional emulation per workload;
+#   2. the rows are byte-identical to a single-process server's sweep;
+#   3. SIGTERM drains every replica cleanly (exit 0, "drained cleanly");
+#   4. restarted on the same shards, a repeat sweep is served entirely from
+#      the sharded store — zero emulations, shard hit-ratio > 0 — and is
+#      byte-identical to the cold run;
+#   5. with one replica killed mid-sweep, the sweep still settles all rows
+#      (degraded local execution).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+PIDS=""
+cleanup() {
+	for pid in $PIDS; do
+		kill "$pid" 2>/dev/null || true
+	done
+	wait 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "cluster-smoke: FAIL: $*" >&2
+	for log in "$WORK"/replica-*.log; do
+		[ -f "$log" ] || continue
+		echo "---- $log ----" >&2
+		tail -20 "$log" >&2
+	done
+	exit 1
+}
+
+echo "cluster-smoke: building noreba-serve"
+go build -o "$WORK/noreba-serve" ./cmd/noreba-serve
+
+set -- $(go run scripts/freeport.go 4)
+P1=$1 P2=$2 P3=$3 P4=$4
+U1="http://127.0.0.1:$P1" U2="http://127.0.0.1:$P2" U3="http://127.0.0.1:$P3"
+
+# start_replica <index> <port> <peer-urls-csv>
+start_replica() {
+	"$WORK/noreba-serve" -addr "127.0.0.1:$2" -node "http://127.0.0.1:$2" \
+		-peers "$3" -store "$WORK/shard-$1" -max-insts 4096 -scale-div 8 \
+		-workers 2 -peer-timeout 2s -drain-timeout 20s \
+		>"$WORK/replica-$1.log" 2>&1 &
+	eval "PID$1=$!"
+	PIDS="$PIDS $!"
+}
+
+wait_healthy() {
+	for i in $(seq 1 100); do
+		if curl -fsS "$1/healthz" >/dev/null 2>&1; then
+			return 0
+		fi
+		sleep 0.1
+	done
+	fail "replica at $1 never became healthy"
+}
+
+GRID='{"workloads":["mcf","sha"],"cores":["skl","hsw"],"policies":["inorder","nonspec","noreba"],"windows":[128,224],"timeoutSec":300}'
+
+# sweep <base-url> <out-file>
+sweep() {
+	curl -fsSN -X POST "$1/sweep" -H 'Content-Type: application/json' \
+		-d "$GRID" >"$2" || fail "sweep against $1 failed"
+	rows=$(grep -c '"type":"row"' "$2") || true
+	[ "$rows" = 24 ] || fail "sweep at $1 settled $rows rows, want 24"
+	grep -q '"type":"done"' "$2" || fail "sweep at $1 ended without done line"
+	grep '"type":"done"' "$2" | grep -q '"errors":0' || fail "sweep at $1 reported row errors"
+}
+
+# rows <stream-file>: the row lines in index order, for byte comparison.
+rows() {
+	grep '"type":"row"' "$1" | sort
+}
+
+# metric <base-url> <name>: one integer counter from the (indented)
+# /metrics JSON.
+metric() {
+	curl -fsS "$1/metrics" | grep -o "\"$2\": *[0-9]*" | head -1 | grep -o '[0-9]*$'
+}
+
+echo "cluster-smoke: starting 3-replica cluster on ports $P1 $P2 $P3"
+start_replica 1 "$P1" "$U2,$U3"
+start_replica 2 "$P2" "$U1,$U3"
+start_replica 3 "$P3" "$U1,$U2"
+wait_healthy "$U1"; wait_healthy "$U2"; wait_healthy "$U3"
+
+echo "cluster-smoke: cold 24-point sweep through replica 1"
+sweep "$U1" "$WORK/cold.jsonl"
+
+emus=0
+for u in "$U1" "$U2" "$U3"; do
+	emus=$((emus + $(metric "$u" emulationsRun)))
+done
+[ "$emus" = 2 ] || fail "fleet ran $emus emulations for 2 workloads, want 2"
+echo "cluster-smoke: fleet emulations = 2 (one per workload)"
+
+echo "cluster-smoke: single-process sweep for byte comparison"
+start_replica 4 "$P4" ""
+wait_healthy "http://127.0.0.1:$P4"
+sweep "http://127.0.0.1:$P4" "$WORK/solo.jsonl"
+rows "$WORK/cold.jsonl" >"$WORK/cold.rows"
+rows "$WORK/solo.jsonl" >"$WORK/solo.rows"
+cmp -s "$WORK/cold.rows" "$WORK/solo.rows" || {
+	diff "$WORK/cold.rows" "$WORK/solo.rows" | head -5 >&2
+	fail "cluster rows differ from single-process rows"
+}
+echo "cluster-smoke: cluster sweep is byte-identical to single-process"
+
+echo "cluster-smoke: SIGTERM drain of all replicas"
+for i in 1 2 3 4; do
+	eval "kill -TERM \$PID$i"
+done
+for i in 1 2 3 4; do
+	eval "pid=\$PID$i"
+	wait "$pid" || fail "replica $i exited non-zero after SIGTERM"
+	grep -q "drained cleanly" "$WORK/replica-$i.log" || fail "replica $i did not drain cleanly"
+done
+PIDS=""
+echo "cluster-smoke: all replicas drained cleanly on SIGTERM"
+
+echo "cluster-smoke: restarting the cluster on the same shards"
+start_replica 1 "$P1" "$U2,$U3"
+start_replica 2 "$P2" "$U1,$U3"
+start_replica 3 "$P3" "$U1,$U2"
+wait_healthy "$U1"; wait_healthy "$U2"; wait_healthy "$U3"
+
+echo "cluster-smoke: warm sweep through replica 2"
+sweep "$U2" "$WORK/warm.jsonl"
+rows "$WORK/warm.jsonl" >"$WORK/warm.rows"
+cmp -s "$WORK/warm.rows" "$WORK/cold.rows" || fail "warm rows differ from cold rows"
+
+emus=0; hits=0
+for u in "$U1" "$U2" "$U3"; do
+	emus=$((emus + $(metric "$u" emulationsRun)))
+	hits=$((hits + $(metric "$u" shardHits) + $(metric "$u" peerHits)))
+done
+[ "$emus" = 0 ] || fail "warm sweep ran $emus emulations, want 0"
+[ "$hits" -gt 0 ] || fail "warm sweep hit no shard (shardHits+peerHits = 0)"
+echo "cluster-smoke: warm sweep served from shards (hits=$hits, emulations=0)"
+
+echo "cluster-smoke: killing replica 3 mid-sweep"
+rm -rf "$WORK/shard-1" "$WORK/shard-2"  # force real re-simulation on survivors
+for i in 1 2; do
+	eval "kill -TERM \$PID$i"
+	eval "wait \$PID$i" || true
+done
+start_replica 1 "$P1" "$U2,$U3"
+start_replica 2 "$P2" "$U1,$U3"
+wait_healthy "$U1"; wait_healthy "$U2"
+curl -fsSN -X POST "$U1/sweep" -H 'Content-Type: application/json' \
+	-d "$GRID" >"$WORK/degraded.jsonl" &
+CURL=$!
+sleep 0.15
+eval "kill -9 \$PID3"
+wait "$CURL" || fail "degraded sweep connection failed"
+rows_degraded=$(grep -c '"type":"row"' "$WORK/degraded.jsonl") || true
+[ "$rows_degraded" = 24 ] || fail "degraded sweep settled $rows_degraded rows, want 24"
+grep '"type":"done"' "$WORK/degraded.jsonl" | grep -q '"errors":0' || fail "degraded sweep reported row errors"
+rows "$WORK/degraded.jsonl" >"$WORK/degraded.rows"
+cmp -s "$WORK/degraded.rows" "$WORK/cold.rows" || fail "degraded rows differ from cold rows"
+echo "cluster-smoke: sweep survived a killed replica with identical rows"
+
+echo "cluster-smoke: OK"

@@ -1,0 +1,37 @@
+//go:build ignore
+
+// Helper for scripts/cluster_smoke.sh: print N free TCP ports on loopback,
+// one per line. The listeners are all held until every port is allocated so
+// the same port is never printed twice.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+)
+
+func main() {
+	n := 1
+	if len(os.Args) > 1 {
+		var err error
+		if n, err = strconv.Atoi(os.Args[1]); err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "usage: freeport [n]\n")
+			os.Exit(2)
+		}
+	}
+	var ls []net.Listener
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ls = append(ls, l)
+	}
+	for _, l := range ls {
+		fmt.Println(l.Addr().(*net.TCPAddr).Port)
+		l.Close()
+	}
+}
