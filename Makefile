@@ -45,3 +45,4 @@ fuzz:
 	go test ./internal/emulator -run '^$$' -fuzz 'FuzzBroadcastSkew$$' -fuzztime 10s
 	go test ./internal/workgen -run '^$$' -fuzz 'FuzzGeneratedDifferential$$' -fuzztime 10s
 	go test ./internal/tracefile -run '^$$' -fuzz 'FuzzTraceRoundTrip$$' -fuzztime 10s
+	go test ./internal/sampling -run '^$$' -fuzz 'FuzzPlanFile$$' -fuzztime 10s

@@ -21,6 +21,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"syscall"
@@ -93,6 +95,7 @@ func (c *cli) main(args []string) error {
 		list       = fs.Bool("list", false, "list built-in workloads and exit")
 		jsonOut    = fs.Bool("json", false, "emit statistics as JSON")
 		sample     = fs.Bool("sample", false, "estimate via SimPoint-style sampled simulation instead of a full run")
+		planStore  = fs.String("plan-store", "", "directory caching built sampling plans (with -sample): a warm store skips profiling, clustering and checkpointing entirely")
 		sanitize   = fs.Bool("sanitize", false, "run with the pipeline invariant checker (fails fast on violations)")
 		traceFile  = fs.String("trace", "", "stream per-stage pipeline events as JSON lines to this file ('-' for stdout)")
 	)
@@ -144,6 +147,9 @@ func (c *cli) main(args []string) error {
 	}
 	if *sample && (*traceIn != "" || *traceOut != "") {
 		return fmt.Errorf("sampled simulation replays checkpoints, not a single stream; it cannot be combined with -trace-in/-trace-out")
+	}
+	if *planStore != "" && !*sample {
+		return fmt.Errorf("-plan-store caches sampling plans; it requires -sample")
 	}
 
 	var cfg noreba.Config
@@ -307,7 +313,7 @@ func (c *cli) main(args []string) error {
 		var st *noreba.Stats
 		var err error
 		if *sample {
-			st, err = simulateSampled(ctx, cfg, res, *maxInsts)
+			st, err = c.simulateSampled(ctx, cfg, res, *maxInsts, *planStore)
 		} else {
 			st, err = noreba.SimulateSourceContext(ctx, cfg, src, meta)
 		}
@@ -403,14 +409,78 @@ func speedupOverFirst(stats []*noreba.Stats, i int) float64 {
 }
 
 // simulateSampled estimates the run via a SimPoint-style sampling plan:
-// profile, cluster, checkpoint, then detailed simulation of the
-// representative windows only.
-func simulateSampled(ctx context.Context, cfg noreba.Config, res *noreba.CompileResult, maxInsts int64) (*noreba.Stats, error) {
-	pl, err := noreba.BuildSamplingPlan(res, maxInsts, noreba.DefaultSampling())
+// profile, cluster, checkpoint (or a plan-store load of all three), then
+// detailed simulation of the representative windows only, fanned over the
+// available CPUs.
+func (c *cli) simulateSampled(ctx context.Context, cfg noreba.Config, res *noreba.CompileResult, maxInsts int64, storeDir string) (*noreba.Stats, error) {
+	pl, err := c.samplingPlan(res, maxInsts, noreba.DefaultSampling(), storeDir)
 	if err != nil {
 		return nil, err
 	}
-	return pl.EstimateContext(ctx, cfg, res.Meta)
+	return pl.EstimateContextN(ctx, cfg, res.Meta, runtime.GOMAXPROCS(0))
+}
+
+// planFileExt suffixes content-addressed plan files in a -plan-store
+// directory.
+const planFileExt = ".nrpf"
+
+// samplingPlan returns the plan for (res, maxInsts, p): from the plan-store
+// directory when it holds a usable file for this exact program, stream bound
+// and parameters, otherwise built fresh and written back. Which path was
+// taken is reported on stderr (stdout stays clean for -json). A store
+// that is missing, stale or unwritable never fails the run — plans are a
+// cache, the build is always available.
+func (c *cli) samplingPlan(res *noreba.CompileResult, maxInsts int64, p noreba.SamplingParams, storeDir string) (*noreba.SamplingPlan, error) {
+	if storeDir == "" {
+		return noreba.BuildSamplingPlan(res, maxInsts, p)
+	}
+	key := noreba.SamplingPlanKey(res, maxInsts, p)
+	path := filepath.Join(storeDir, key+planFileExt)
+	if data, err := os.ReadFile(path); err == nil {
+		pl, err := noreba.LoadSamplingPlan(data, res, maxInsts, p)
+		if err == nil {
+			fmt.Fprintf(c.stderr, "noreba-sim: sampling plan loaded from store (%s)\n", key[:12])
+			return pl, nil
+		}
+		fmt.Fprintf(c.stderr, "noreba-sim: stored sampling plan unusable, rebuilding: %v\n", err)
+	}
+	pl, err := noreba.BuildSamplingPlan(res, maxInsts, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := writePlanFile(storeDir, path, noreba.EncodeSamplingPlan(pl)); err != nil {
+		fmt.Fprintf(c.stderr, "noreba-sim: sampling plan built; store write failed: %v\n", err)
+	} else {
+		fmt.Fprintf(c.stderr, "noreba-sim: sampling plan built and stored (%s)\n", key[:12])
+	}
+	return pl, nil
+}
+
+// writePlanFile commits a plan file atomically (temp file + rename) so an
+// interrupted run never leaves a torn file a later run would have to
+// re-detect as corrupt.
+func writePlanFile(dir, path string, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "plan-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, path)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+	}
+	return err
 }
 
 // reportMaybePartial prints a finished run's statistics, or — when the run

@@ -186,3 +186,51 @@ func BenchmarkTAGEPredictUpdate(b *testing.B) {
 		p.Update(pc, taken)
 	}
 }
+
+// refFold is the reference fold definition the packed word-parallel
+// foldHistory must match bit-for-bit: walk the most recent n outcomes
+// newest-first, accumulate bits-wide chunks MSB-first, XOR the chunks, the
+// final partial chunk unshifted.
+func refFold(outcomes []bool, n, bits int) uint32 {
+	var f, acc uint32
+	cnt := 0
+	for i := 0; i < n; i++ {
+		var b uint32
+		if i < len(outcomes) && outcomes[len(outcomes)-1-i] {
+			b = 1
+		}
+		acc = acc<<1 | b
+		cnt++
+		if cnt == bits {
+			f ^= acc
+			acc, cnt = 0, 0
+		}
+	}
+	if cnt > 0 {
+		f ^= acc
+	}
+	return f & (1<<bits - 1)
+}
+
+// TestFoldHistoryMatchesReference locks the packed fold to the reference
+// definition across random histories for every (length, width) pair the
+// predictor uses — the memoized folds must be invisible in predictions.
+func TestFoldHistoryMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tg := NewTAGE()
+	var outcomes []bool
+	for step := 0; step < 2000; step++ {
+		for _, n := range histLens {
+			for _, bits := range []int{taggedBits, tagBits, tagBits - 1} {
+				if got, want := tg.foldHistory(n, bits), refFold(outcomes, n, bits); got != want {
+					t.Fatalf("step %d: foldHistory(%d, %d) = %#x, want %#x", step, n, bits, got, want)
+				}
+			}
+		}
+		pc := rng.Intn(1 << 14)
+		taken := rng.Intn(3) > 0
+		tg.Predict(pc)
+		tg.Update(pc, taken)
+		outcomes = append(outcomes, taken)
+	}
+}

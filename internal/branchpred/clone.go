@@ -1,0 +1,39 @@
+package branchpred
+
+// Clone returns an independent deep copy of a predictor: training either
+// copy never disturbs the other. The stateless predictors (Static, Oracle)
+// are returned as-is, and a nil predictor (the pipeline's perfect-prediction
+// mode) clones to nil. Sampled simulation uses this to capture a
+// functionally-warmed predictor once and hand an independent copy to each
+// detailed window.
+func Clone(p Predictor) Predictor {
+	switch t := p.(type) {
+	case nil:
+		return nil
+	case *TAGE:
+		cp := *t
+		cp.base = append([]int8(nil), t.base...)
+		for i := range cp.tables {
+			cp.tables[i] = append([]taggedEntry(nil), t.tables[i]...)
+		}
+		lp := *t.loop
+		cp.loop = &lp
+		cp.sc = append([]int8(nil), t.sc...)
+		return &cp
+	case *Bimodal:
+		cp := *t
+		cp.table = append([]int8(nil), t.table...)
+		return &cp
+	default:
+		// Static and Oracle carry no mutable state.
+		return p
+	}
+}
+
+// Clone returns an independent deep copy of the return-address stack,
+// including its hit statistics.
+func (r *RAS) Clone() *RAS {
+	cp := *r
+	cp.stack = append([]int(nil), r.stack...)
+	return &cp
+}

@@ -5,6 +5,8 @@
 // return-address stack for indirect jump (jalr) targets.
 package branchpred
 
+import mathbits "math/bits"
+
 // Predictor predicts conditional branch directions. Update must be called
 // for every dynamic conditional branch in program order with the actual
 // outcome; it also advances internal history.
@@ -17,8 +19,8 @@ const (
 	numTagged  = 6
 	taggedBits = 9 // 512 entries per tagged table
 	tagBits    = 9
-	baseBits   = 12 // 4096-entry bimodal base
-	maxHist    = 256
+	baseBits   = 12  // 4096-entry bimodal base
+	maxHist    = 128 // packed global-history capacity; >= max(histLens)
 )
 
 var histLens = [numTagged]int{4, 8, 16, 32, 64, 128}
@@ -36,8 +38,19 @@ type TAGE struct {
 	base   []int8 // bimodal 2-bit counters: -2..1, taken when >= 0
 	tables [numTagged][]taggedEntry
 
-	hist    [maxHist]bool
-	histPos int
+	// Global branch history, packed: bit a of the 128-bit value hist[1]:hist[0]
+	// is the outcome of the conditional branch retired a shifts ago (bit 0 of
+	// hist[0] is the newest). The folded per-table indices and tags derived
+	// from it are memoized per history generation — every index/tag lookup
+	// between two history shifts (the frontend Predict, the commit-time
+	// Update, and any allocation probes) sees the same history, so the folds
+	// are computed once per retired branch instead of once per lookup.
+	hist     [2]uint64
+	histGen  uint64
+	memoGen  uint64            // histGen the folds below were computed at
+	foldIdx  [numTagged]uint32 // foldHistory(histLens[i], taggedBits)
+	foldTagA [numTagged]uint32 // foldHistory(histLens[i], tagBits)
+	foldTagB [numTagged]uint32 // foldHistory(histLens[i], tagBits-1)
 
 	useAlt int8 // 4-bit counter choosing alt prediction on weak providers
 
@@ -70,45 +83,68 @@ func NewTAGE() *TAGE {
 	for i := range t.tables {
 		t.tables[i] = make([]taggedEntry, 1<<taggedBits)
 	}
+	t.memoGen = ^uint64(0) // no folds memoized yet
 	return t
 }
 
-// foldHistory folds the most recent n history bits into bits output bits.
+// foldHistory folds the most recent n history bits into bits output bits:
+// the bits are grouped newest-first into bits-wide chunks (newest bit at
+// each chunk's MSB) and the chunks XORed together, the final partial chunk
+// unshifted. Chunks are extracted word-parallel from the packed history;
+// per-chunk bit order is restored with one Reverse32.
 func (t *TAGE) foldHistory(n, bits int) uint32 {
-	var f uint32
-	var acc uint32
-	cnt := 0
-	for i := 0; i < n; i++ {
-		b := t.hist[(t.histPos-1-i+maxHist*2)%maxHist]
-		acc = acc<<1 | b2u(b)
-		cnt++
-		if cnt == bits {
-			f ^= acc
-			acc, cnt = 0, 0
-		}
+	var raw uint32
+	for pos := 0; pos+bits <= n; pos += bits {
+		raw ^= t.histBits(pos, bits)
 	}
-	if cnt > 0 {
-		f ^= acc
+	f := reverseBits(raw, bits)
+	if cnt := n % bits; cnt > 0 {
+		f ^= reverseBits(t.histBits(n-cnt, cnt), cnt)
 	}
-	return f & (1<<bits - 1)
+	return f
 }
 
-func b2u(b bool) uint32 {
-	if b {
-		return 1
+// histBits returns history bits at ages [pos, pos+width), age pos at bit 0.
+func (t *TAGE) histBits(pos, width int) uint32 {
+	var v uint64
+	if pos >= 64 {
+		v = t.hist[1] >> (pos - 64)
+	} else {
+		v = t.hist[0] >> pos
+		if pos+width > 64 {
+			v |= t.hist[1] << (64 - pos)
+		}
 	}
-	return 0
+	return uint32(v) & (1<<width - 1)
+}
+
+// reverseBits reverses the low width bits of v.
+func reverseBits(v uint32, width int) uint32 {
+	return mathbits.Reverse32(v) >> (32 - width)
+}
+
+// refreshFolds recomputes the memoized folded indices and tags if the
+// history has shifted since they were last computed.
+func (t *TAGE) refreshFolds() {
+	if t.memoGen == t.histGen {
+		return
+	}
+	for i, n := range histLens {
+		t.foldIdx[i] = t.foldHistory(n, taggedBits)
+		t.foldTagA[i] = t.foldHistory(n, tagBits)
+		t.foldTagB[i] = t.foldHistory(n, tagBits-1)
+	}
+	t.memoGen = t.histGen
 }
 
 func (t *TAGE) index(pc, table int) uint32 {
-	h := t.foldHistory(histLens[table], taggedBits)
-	return (uint32(pc) ^ uint32(pc)>>taggedBits ^ h ^ uint32(table)*0x9e37) & (1<<taggedBits - 1)
+	t.refreshFolds()
+	return (uint32(pc) ^ uint32(pc)>>taggedBits ^ t.foldIdx[table] ^ uint32(table)*0x9e37) & (1<<taggedBits - 1)
 }
 
 func (t *TAGE) tag(pc, table int) uint32 {
-	h := t.foldHistory(histLens[table], tagBits)
-	h2 := t.foldHistory(histLens[table], tagBits-1)
-	return (uint32(pc) ^ h ^ h2<<1) & (1<<tagBits - 1)
+	t.refreshFolds()
+	return (uint32(pc) ^ t.foldTagA[table] ^ t.foldTagB[table]<<1) & (1<<tagBits - 1)
 }
 
 func (t *TAGE) baseIdx(pc int) uint32 { return uint32(pc) & (1<<baseBits - 1) }
@@ -244,8 +280,12 @@ func (t *TAGE) Update(pc int, taken bool) {
 	}
 
 	// Shift global history.
-	t.hist[t.histPos] = taken
-	t.histPos = (t.histPos + 1) % maxHist
+	t.hist[1] = t.hist[1]<<1 | t.hist[0]>>63
+	t.hist[0] <<= 1
+	if taken {
+		t.hist[0] |= 1
+	}
+	t.histGen++
 }
 
 func pm(taken bool) int8 {

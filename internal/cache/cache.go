@@ -24,8 +24,25 @@ type Cache struct {
 	sets     int
 	ways     int
 	latency  int64
-	lines    []line // sets × ways
+	lines    []line // sets × ways; frozen shared storage in a COW clone
 	lruClock int64
+
+	// shift lazily rebases fill timestamps: a line's effective readiness is
+	// line.readyAt + shift, and installs store readyAt - shift, so ShiftClock
+	// is O(1) instead of a pass over every line.
+	shift int64
+
+	// Copy-on-write state, set only in clones made with CloneCOW: parent is
+	// the frozen base this clone overlays (itself possibly a COW clone,
+	// forming a chain down to a root that owns its lines), ownIdx maps a set
+	// index to 1+slot in owned, and owned holds the materialized (privately
+	// writable) sets, ways lines each. A nil ownIdx means the cache owns
+	// lines outright. A set is resolved at the nearest chain level that has
+	// materialized it; every level below a clone must stay frozen while the
+	// clone is live.
+	parent *Cache
+	ownIdx []int32
+	owned  []line
 
 	// Statistics.
 	Accesses int64
@@ -57,7 +74,35 @@ func (c *Cache) Latency() int64 { return c.latency }
 func (c *Cache) set(addr int64) []line {
 	blk := addr / LineSize
 	s := int(uint64(blk) % uint64(c.sets))
-	return c.lines[s*c.ways : (s+1)*c.ways]
+	if c.ownIdx == nil {
+		return c.lines[s*c.ways : (s+1)*c.ways]
+	}
+	if idx := c.ownIdx[s]; idx != 0 {
+		off := int(idx-1) * c.ways
+		return c.owned[off : off+c.ways]
+	}
+	// First touch of this set: materialize a private copy. Even a lookup
+	// must, since a hit updates the line's LRU stamp.
+	off := len(c.owned)
+	c.owned = append(c.owned, c.resolveSet(s)...)
+	c.ownIdx[s] = int32(off/c.ways) + 1
+	return c.owned[off : off+c.ways]
+}
+
+// resolveSet returns set s as seen through the COW chain, without
+// materializing it here: the nearest level that owns or has materialized the
+// set wins. Only valid on a COW clone (ownIdx non-nil) that has not
+// materialized s itself. The returned slice aliases frozen storage.
+func (c *Cache) resolveSet(s int) []line {
+	for p := c.parent; ; p = p.parent {
+		if p.ownIdx == nil {
+			return p.lines[s*p.ways : (s+1)*p.ways]
+		}
+		if idx := p.ownIdx[s]; idx != 0 {
+			off := int(idx-1) * p.ways
+			return p.owned[off : off+p.ways]
+		}
+	}
 }
 
 // lookup returns the way holding addr, or nil.
@@ -88,13 +133,57 @@ func (c *Cache) install(addr, readyAt int64) *line {
 		}
 	}
 	c.lruClock++
-	*victim = line{tag: tag, valid: true, lastUse: c.lruClock, readyAt: readyAt}
+	*victim = line{tag: tag, valid: true, lastUse: c.lruClock, readyAt: readyAt - c.shift}
 	return victim
 }
 
 // Contains reports whether addr's line is resident (regardless of fill
 // completion); used by tests and the prefetcher.
 func (c *Cache) Contains(addr int64) bool { return c.lookup(addr) != nil }
+
+// Clone returns an independent deep copy of the level: contents, LRU order,
+// fill timestamps and statistics. Cloning a COW clone flattens its chain.
+func (c *Cache) Clone() *Cache {
+	cp := *c
+	if c.ownIdx == nil {
+		cp.lines = append([]line(nil), c.lines...)
+		return &cp
+	}
+	cp.lines = make([]line, c.sets*c.ways)
+	for s := 0; s < c.sets; s++ {
+		var src []line
+		if idx := c.ownIdx[s]; idx != 0 {
+			src = c.owned[int(idx-1)*c.ways : int(idx)*c.ways]
+		} else {
+			src = c.resolveSet(s)
+		}
+		copy(cp.lines[s*c.ways:(s+1)*c.ways], src)
+	}
+	cp.parent, cp.ownIdx, cp.owned = nil, nil, nil
+	return &cp
+}
+
+// CloneCOW returns a copy-on-write clone layered over c: it resolves sets
+// through c (and c's own chain, if any) and materializes a set privately the
+// first time it is touched. c — the whole chain below the clone — must not
+// be mutated while the clone is live; sampled simulation layers clones over
+// frozen warm-state captures, which satisfies this. A detailed window
+// touches a tiny fraction of a large cache's sets, so a COW clone replaces
+// megabytes of line copying per window with one sets-sized index.
+func (c *Cache) CloneCOW() *Cache {
+	cp := *c
+	cp.parent = c
+	cp.lines = nil // sets resolve through the chain; avoid stale shortcuts
+	cp.ownIdx = make([]int32, c.sets)
+	cp.owned = nil
+	return &cp
+}
+
+// shiftClock rebases every valid line's fill-completion timestamp by delta
+// cycles; lastUse and lruClock are ordinal (access order, not cycles) and
+// stay put. The rebase is a lazy O(1) offset applied wherever readyAt is
+// read or written.
+func (c *Cache) shiftClock(delta int64) { c.shift += delta }
 
 // Hierarchy chains cache levels over a fixed-latency main memory.
 type Hierarchy struct {
@@ -153,10 +242,10 @@ func (h *Hierarchy) access(addr, cycle int64, prefetch bool) int64 {
 			c.lruClock++
 			ln.lastUse = c.lruClock
 			ready := cycle + elapsed
-			if ln.readyAt > ready {
-				ready = ln.readyAt // in-flight fill: pay the remaining time
+			if eff := ln.readyAt + c.shift; eff > ready {
+				ready = eff // in-flight fill: pay the remaining time
 			}
-			if !prefetch && ln.readyAt > cycle && len(missLevels) == 0 {
+			if !prefetch && ln.readyAt+c.shift > cycle && len(missLevels) == 0 {
 				// Demand hit on an in-flight prefetch: it was useful.
 				h.PrefetchUseful++
 			}
@@ -179,6 +268,46 @@ func (h *Hierarchy) access(addr, cycle int64, prefetch bool) int64 {
 func (h *Hierarchy) fill(levels []*Cache, addr, readyAt int64) {
 	for _, c := range levels {
 		c.install(addr, readyAt)
+	}
+}
+
+// Clone returns an independent deep copy of the whole hierarchy. Sampled
+// simulation uses it to capture functionally-warmed cache state once and
+// reuse it across the configurations and representative windows that share
+// the same warming input.
+func (h *Hierarchy) Clone() *Hierarchy {
+	cp := *h
+	cp.Levels = make([]*Cache, len(h.Levels))
+	for i, c := range h.Levels {
+		cp.Levels[i] = c.Clone()
+	}
+	return &cp
+}
+
+// CloneCOW returns a copy-on-write copy of the whole hierarchy (see
+// Cache.CloneCOW): the parent must stay frozen while the clone is live.
+// Detailed sample windows use this to start from a captured warm state
+// without copying every line of the large lower levels.
+func (h *Hierarchy) CloneCOW() *Hierarchy {
+	cp := *h
+	cp.Levels = make([]*Cache, len(h.Levels))
+	for i, c := range h.Levels {
+		cp.Levels[i] = c.CloneCOW()
+	}
+	return &cp
+}
+
+// ShiftClock rebases every line's fill-completion timestamp by delta cycles.
+// Access timing is linear in the access cycle — a hit's ready time is
+// max(cycle+latency, readyAt) and a fill stores cycle+latency+... — so a
+// hierarchy warmed on a clock c(i) and then shifted by delta is exactly the
+// hierarchy warming on c(i)+delta would have produced. This lets one warming
+// pass over a shared stream prefix serve several windows that open at
+// different pseudo-cycles: capture, clone, shift each copy to its window's
+// time base.
+func (h *Hierarchy) ShiftClock(delta int64) {
+	for _, c := range h.Levels {
+		c.shiftClock(delta)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -20,12 +21,16 @@ import (
 //	POST /cluster/sweepgroup        internal: run one forwarded workload group
 //	GET  /cluster/result/{hash}     internal: this replica's local shard only
 //	PUT  /cluster/result/{hash}     internal: store into the local shard
+//	GET  /cluster/plan/{hash}       internal: sampling-plan blob, local shard only
+//	PUT  /cluster/plan/{hash}       internal: store a plan blob into the local shard
 //	GET  /cluster/ping              internal: liveness probe
 func (n *Node) Mount(srv *service.Server) {
 	srv.Handle("POST /sweep", http.HandlerFunc(n.handleSweep))
 	srv.Handle("POST /cluster/sweepgroup", http.HandlerFunc(n.handleSweepGroup))
 	srv.Handle("GET /cluster/result/{hash}", http.HandlerFunc(n.handleResultGet))
 	srv.Handle("PUT /cluster/result/{hash}", http.HandlerFunc(n.handleResultPut))
+	srv.Handle("GET /cluster/plan/{hash}", http.HandlerFunc(n.handlePlanGet))
+	srv.Handle("PUT /cluster/plan/{hash}", http.HandlerFunc(n.handlePlanPut))
 	srv.Handle("GET /cluster/ping", http.HandlerFunc(n.handlePing))
 	srv.SetClusterMetrics(n.Metrics)
 }
@@ -135,6 +140,44 @@ func (n *Node) handleResultPut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := n.local.Put(key, &st); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handlePlanGet serves a sampling-plan blob from this replica's local shard
+// only — like results, never through a peer, so plan lookups cannot loop.
+// The bytes are opaque here: integrity lives in the plan file's own magic,
+// version and bounds checks at decode time.
+func (n *Node) handlePlanGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("hash")
+	if n.local == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no store on this replica"))
+		return
+	}
+	data, ok := n.local.GetBlob(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("not stored"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// handlePlanPut stores a replicated sampling-plan blob into the local shard.
+func (n *Node) handlePlanPut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("hash")
+	if n.local == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPlanBlobBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad plan body: %w", err))
+		return
+	}
+	if err := n.local.PutBlob(key, data); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}

@@ -26,6 +26,11 @@ const (
 	maxBackoffShift    = 6 // caps backoff at base << 6 (16s at the default)
 )
 
+// maxPlanBlobBytes bounds one replicated sampling-plan blob in either
+// direction (a plan file carries BBV columns plus two architectural
+// snapshots per representative — typically KiBs to a few MiB).
+const maxPlanBlobBytes int64 = 64 << 20
+
 // Config assembles a replica's view of the fleet.
 type Config struct {
 	// Self is this replica's advertised base URL (e.g. http://10.0.0.1:8080).
@@ -242,6 +247,53 @@ func (n *Node) Put(key string, st *pipeline.Stats) error {
 	return err
 }
 
+// GetBlob implements experiments.BlobStore with the same topology as Get:
+// local shard first, then the owning replica. A fetched blob is cached into
+// the local shard so repeated plan loads stop crossing the network. Any
+// failure degrades to a miss — the runner rebuilds the plan locally.
+func (n *Node) GetBlob(key string) ([]byte, bool) {
+	if n.local != nil {
+		if data, ok := n.local.GetBlob(key); ok {
+			n.shardHits.Add(1)
+			return data, true
+		}
+	}
+	owner := n.ring.Owner(key)
+	if owner == n.self {
+		return nil, false
+	}
+	data, err := n.fetchBlob(owner, key)
+	switch {
+	case err != nil:
+		return nil, false // counted by fetchBlob
+	case data == nil:
+		n.peerMisses.Add(1)
+		return nil, false
+	}
+	n.peerHits.Add(1)
+	if n.local != nil {
+		n.local.PutBlob(key, data) // cache the fetched copy; best-effort
+	}
+	return data, true
+}
+
+// PutBlob implements experiments.BlobStore with the same topology as Put:
+// always into the local shard, replicated to the owning replica so one
+// replica's plan build amortises across the fleet.
+func (n *Node) PutBlob(key string, data []byte) error {
+	var err error
+	if n.local != nil {
+		err = n.local.PutBlob(key, data)
+	}
+	owner := n.ring.Owner(key)
+	if owner != n.self {
+		if n.pushBlob(owner, key, data) == nil {
+			n.forwarded.Add(1)
+		}
+	}
+	return err
+}
+
 // fetchResult GETs key from owner's local shard. A nil *Stats with nil
 // error means the owner answered "not stored".
 func (n *Node) fetchResult(owner, key string) (*pipeline.Stats, error) {
@@ -286,6 +338,60 @@ func (n *Node) pushResult(owner, key string, st *pipeline.Stats) error {
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		resp, err := n.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer drain(resp.Body)
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+			return fmt.Errorf("peer status %s", resp.Status)
+		}
+		return nil
+	})
+}
+
+// fetchBlob GETs a plan blob from owner's local shard. nil data with nil
+// error means the owner answered "not stored".
+func (n *Node) fetchBlob(owner, key string) ([]byte, error) {
+	var data []byte
+	err := n.peerRPC(owner, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/cluster/plan/"+key, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := n.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer drain(resp.Body)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			data, err = io.ReadAll(io.LimitReader(resp.Body, maxPlanBlobBytes+1))
+			if err != nil {
+				return fmt.Errorf("read plan blob: %w", err)
+			}
+			if int64(len(data)) > maxPlanBlobBytes {
+				return fmt.Errorf("plan blob exceeds %d bytes", int64(maxPlanBlobBytes))
+			}
+			return nil
+		case http.StatusNotFound:
+			data = nil
+			return nil
+		default:
+			return fmt.Errorf("peer status %s", resp.Status)
+		}
+	})
+	return data, err
+}
+
+// pushBlob PUTs a plan blob into owner's local shard.
+func (n *Node) pushBlob(owner, key string, data []byte) error {
+	return n.peerRPC(owner, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, owner+"/cluster/plan/"+key, bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
 		resp, err := n.client.Do(req)
 		if err != nil {
 			return err

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakePlanBlob is an arbitrary binary payload standing in for an encoded
+// sampling plan — the cluster layer treats it as opaque bytes.
+var fakePlanBlob = []byte{'N', 'R', 'P', 'F', 1, 0x00, 0xFF, 0xDE, 0xAD, 0xBE, 0xEF}
+
+// TestNodeBlobPeerPaths drives GetBlob through every peer outcome against a
+// fake owner replica: stored (peerHit, cached into the local shard so the
+// next lookup is a shardHit without a network round trip), not stored
+// (peerMiss), and self-owned (never leaves the process).
+func TestNodeBlobPeerPaths(t *testing.T) {
+	var requests atomic.Int64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		if r.Method == http.MethodGet && r.URL.Path == "/cluster/plan/"+peerOwnedKey {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(fakePlanBlob)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer peer.Close()
+
+	local := tempStore(t)
+	n, err := NewNode(Config{
+		Self: "http://self", Peers: []string{peer.URL},
+		Runner: quickRunner(), Local: local,
+		PeerTimeout: time.Second, BackoffBase: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerOwnedKey = peerKey(t, n.Ring(), peer.URL)
+
+	// Peer hit: fetched from the owner and cached in the local shard.
+	got, ok := n.GetBlob(peerOwnedKey)
+	if !ok || !bytes.Equal(got, fakePlanBlob) {
+		t.Fatalf("GetBlob = %x, %v", got, ok)
+	}
+	if m := n.Metrics(); m.PeerHits != 1 || m.ShardHits != 0 {
+		t.Fatalf("after peer hit: %+v", m)
+	}
+	if cached, ok := local.GetBlob(peerOwnedKey); !ok || !bytes.Equal(cached, fakePlanBlob) {
+		t.Fatal("fetched blob not cached in the local shard")
+	}
+
+	// Shard hit: the cached copy answers without the network.
+	before := requests.Load()
+	if _, ok := n.GetBlob(peerOwnedKey); !ok {
+		t.Fatal("cached blob missing")
+	}
+	if n.Metrics().ShardHits != 1 {
+		t.Fatalf("metrics after cached get: %+v", n.Metrics())
+	}
+	if requests.Load() != before {
+		t.Fatal("cached GetBlob still contacted the peer")
+	}
+
+	// Peer miss: the owner answers 404.
+	missKey := peerOwnedKey
+	for i := 0; ; i++ {
+		if k := hexKey(30000 + i); n.Ring().Owner(k) == peer.URL {
+			missKey = k
+			break
+		}
+	}
+	if _, ok := n.GetBlob(missKey); ok {
+		t.Fatal("miss key reported stored")
+	}
+	if n.Metrics().PeerMisses != 1 {
+		t.Fatalf("metrics after peer miss: %+v", n.Metrics())
+	}
+
+	// Self-owned keys never leave the process.
+	selfKey := peerKey(t, n.Ring(), "http://self")
+	before = requests.Load()
+	if _, ok := n.GetBlob(selfKey); ok {
+		t.Fatal("self key reported stored")
+	}
+	if requests.Load() != before {
+		t.Fatal("self-owned miss contacted the peer")
+	}
+}
+
+// TestNodePutBlobReplicates: PutBlob lands in the local shard and pushes the
+// same bytes to the owning replica; a dead owner costs a peerError, never a
+// PutBlob error.
+func TestNodePutBlobReplicates(t *testing.T) {
+	var puts atomic.Int64
+	var pushed atomic.Value // []byte: last body PUT to the fake owner
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut && strings.HasPrefix(r.URL.Path, "/cluster/plan/") {
+			body := new(bytes.Buffer)
+			body.ReadFrom(r.Body)
+			pushed.Store(body.Bytes())
+			puts.Add(1)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer peer.Close()
+
+	local := tempStore(t)
+	n, err := NewNode(Config{
+		Self: "http://self", Peers: []string{peer.URL},
+		Runner: quickRunner(), Local: local,
+		PeerTimeout: time.Second, BackoffBase: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key := peerKey(t, n.Ring(), peer.URL)
+	if err := n.PutBlob(key, fakePlanBlob); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := local.GetBlob(key); !ok || !bytes.Equal(got, fakePlanBlob) {
+		t.Fatal("PutBlob skipped the local shard")
+	}
+	if puts.Load() != 1 || n.Metrics().Forwarded != 1 {
+		t.Fatalf("replication: puts=%d metrics=%+v", puts.Load(), n.Metrics())
+	}
+	if body, _ := pushed.Load().([]byte); !bytes.Equal(body, fakePlanBlob) {
+		t.Fatalf("owner received %x, want %x", body, fakePlanBlob)
+	}
+
+	// Self-owned: no replication.
+	if err := n.PutBlob(peerKey(t, n.Ring(), "http://self"), fakePlanBlob); err != nil {
+		t.Fatal(err)
+	}
+	if puts.Load() != 1 {
+		t.Fatal("self-owned PutBlob replicated")
+	}
+
+	// Dead owner: local write still succeeds, error only counted.
+	peer.Close()
+	key2 := key
+	for i := 0; ; i++ {
+		if k := hexKey(40000 + i); n.Ring().Owner(k) == peer.URL {
+			key2 = k
+			break
+		}
+	}
+	if err := n.PutBlob(key2, fakePlanBlob); err != nil {
+		t.Fatalf("PutBlob with dead owner failed: %v", err)
+	}
+	if _, ok := local.GetBlob(key2); !ok {
+		t.Fatal("degraded PutBlob skipped the local shard")
+	}
+	if n.Metrics().PeerErrors == 0 {
+		t.Fatal("dead owner not counted")
+	}
+}
+
+// TestClusterPlanReplication exercises the real /cluster/plan/{hash}
+// handlers over loopback HTTP: a blob seeded on its owning replica is
+// fetchable from the other replica (and cached there), and a PutBlob on the
+// non-owner lands on the owner's shard.
+func TestClusterPlanReplication(t *testing.T) {
+	reps := startCluster(t, 2)
+	a, b := reps[0], reps[1]
+
+	// A blob stored only on its owner is visible fleet-wide.
+	ownedByB := peerKey(t, a.node.Ring(), b.url)
+	if err := b.store.PutBlob(ownedByB, fakePlanBlob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := a.node.GetBlob(ownedByB)
+	if !ok || !bytes.Equal(got, fakePlanBlob) {
+		t.Fatalf("cross-replica GetBlob = %x, %v", got, ok)
+	}
+	if _, ok := a.store.GetBlob(ownedByB); !ok {
+		t.Fatal("fetched blob not cached on the requesting replica")
+	}
+
+	// A blob written on the non-owner replicates to the owner's shard.
+	other := ""
+	for i := 0; ; i++ {
+		if k := hexKey(50000 + i); a.node.Ring().Owner(k) == b.url && k != ownedByB {
+			other = k
+			break
+		}
+	}
+	if err := a.node.PutBlob(other, fakePlanBlob); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := b.store.GetBlob(other); !ok || !bytes.Equal(got, fakePlanBlob) {
+		t.Fatal("PutBlob did not replicate to the owning replica")
+	}
+
+	// An unknown plan key answers 404 through the real handler: a peer miss,
+	// not an error.
+	missing := ""
+	for i := 0; ; i++ {
+		if k := hexKey(60000 + i); a.node.Ring().Owner(k) == b.url {
+			missing = k
+			break
+		}
+	}
+	if _, ok := a.node.GetBlob(missing); ok {
+		t.Fatal("unknown plan key reported stored")
+	}
+	if m := a.node.Metrics(); m.PeerMisses == 0 || m.PeerErrors != 0 {
+		t.Fatalf("miss accounting after 404: %+v", m)
+	}
+}

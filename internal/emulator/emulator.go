@@ -45,18 +45,11 @@ type Machine struct {
 
 // New creates a machine with the image's initial data loaded and PC at 0.
 func New(img *program.Image) *Machine {
-	m := &Machine{
+	return &Machine{
 		img:  img,
-		Mem:  make(map[int64]int64, len(img.Data)),
-		FMem: make(map[int64]float64, len(img.FData)),
+		Mem:  cloneMap(img.Data),
+		FMem: cloneMap(img.FData),
 	}
-	for a, v := range img.Data {
-		m.Mem[a] = v
-	}
-	for a, v := range img.FData {
-		m.FMem[a] = v
-	}
-	return m
 }
 
 // Image returns the program image the machine executes.
@@ -102,12 +95,22 @@ func (m *Machine) writeFP(r isa.Reg, v float64) { m.FPRegs[r-isa.F0] = v }
 // recorded (with Trap set) and the PC is left at the faulting instruction so
 // an OS-style handler can inspect and resume.
 func (m *Machine) Step() (DynInst, error) {
+	var d DynInst
+	err := m.StepInto(&d)
+	return d, err
+}
+
+// StepInto is Step writing the dynamic-trace record into *d instead of
+// returning it: trace sources sit on the per-instruction hot path of both
+// detailed and functional-warming simulation, where the record's size makes
+// the extra value copy measurable.
+func (m *Machine) StepInto(d *DynInst) error {
 	if m.Halted() {
-		return DynInst{}, fmt.Errorf("emulator: step after halt")
+		return fmt.Errorf("emulator: step after halt")
 	}
 	pc := m.PC
-	in := m.img.Insts[pc]
-	d := DynInst{Seq: m.seq, PC: pc, Inst: in, NextPC: pc + 1}
+	in := &m.img.Insts[pc]
+	*d = DynInst{Seq: m.seq, PC: pc, Inst: *in, NextPC: pc + 1}
 	m.seq++
 
 	switch in.Op {
@@ -202,7 +205,7 @@ func (m *Machine) Step() (DynInst, error) {
 		if !m.legalAddr(addr) {
 			d.Trap = true
 			m.seq-- // the faulting instruction has not retired
-			return d, &MemError{PC: pc, Seq: d.Seq, Addr: addr}
+			return &MemError{PC: pc, Seq: d.Seq, Addr: addr}
 		}
 		if in.Op == isa.OpLw {
 			m.writeInt(in.Rd, m.Mem[addr])
@@ -215,7 +218,7 @@ func (m *Machine) Step() (DynInst, error) {
 		if !m.legalAddr(addr) {
 			d.Trap = true
 			m.seq--
-			return d, &MemError{PC: pc, Seq: d.Seq, Addr: addr}
+			return &MemError{PC: pc, Seq: d.Seq, Addr: addr}
 		}
 		if in.Op == isa.OpSw {
 			m.Mem[addr] = m.readInt(in.Rs2)
@@ -257,14 +260,14 @@ func (m *Machine) Step() (DynInst, error) {
 	case isa.OpHalt:
 		m.halted = true
 	default:
-		return d, fmt.Errorf("emulator: unimplemented op %v at pc %d", in.Op, pc)
+		return fmt.Errorf("emulator: unimplemented op %v at pc %d", in.Op, pc)
 	}
 
 	if in.Op.IsCondBranch() && d.Taken {
 		d.NextPC = in.Target
 	}
 	m.PC = d.NextPC
-	return d, nil
+	return nil
 }
 
 func b2i(b bool) int64 {

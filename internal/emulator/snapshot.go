@@ -1,5 +1,11 @@
 package emulator
 
+import (
+	"maps"
+
+	"github.com/noreba-sim/noreba/internal/program"
+)
+
 // Snapshot is a deep copy of architectural state, used to model the
 // §4.4/§4.3 OS flows: on an exception or context switch the OS captures the
 // machine (including whatever the CIT exposed), runs something else, and
@@ -16,22 +22,24 @@ type Snapshot struct {
 
 // Snapshot captures the machine's architectural state.
 func (m *Machine) Snapshot() Snapshot {
-	s := Snapshot{
+	return Snapshot{
 		IntRegs: m.IntRegs,
 		FPRegs:  m.FPRegs,
 		PC:      m.PC,
 		Seq:     m.seq,
 		Halted:  m.halted,
-		Mem:     make(map[int64]int64, len(m.Mem)),
-		FMem:    make(map[int64]float64, len(m.FMem)),
+		Mem:     cloneMap(m.Mem),
+		FMem:    cloneMap(m.FMem),
 	}
-	for a, v := range m.Mem {
-		s.Mem[a] = v
+}
+
+// cloneMap is maps.Clone that never returns nil: machine memory maps must
+// stay writable even when the source is empty.
+func cloneMap[M ~map[K]V, K comparable, V any](src M) M {
+	if len(src) == 0 {
+		return make(M)
 	}
-	for a, v := range m.FMem {
-		s.FMem[a] = v
-	}
-	return s
+	return maps.Clone(src)
 }
 
 // RebaseSeq resets the dynamic sequence counter to zero. The pipeline's
@@ -49,12 +57,15 @@ func (m *Machine) Restore(s Snapshot) {
 	m.PC = s.PC
 	m.seq = s.Seq
 	m.halted = s.Halted
-	m.Mem = make(map[int64]int64, len(s.Mem))
-	for a, v := range s.Mem {
-		m.Mem[a] = v
-	}
-	m.FMem = make(map[int64]float64, len(s.FMem))
-	for a, v := range s.FMem {
-		m.FMem[a] = v
-	}
+	m.Mem = cloneMap(s.Mem)
+	m.FMem = cloneMap(s.FMem)
+}
+
+// NewRestored creates a machine directly in the snapshot's state, skipping
+// New's load of the image's initial data that Restore would immediately
+// replace. Sampled simulation builds a machine per detailed window this way.
+func NewRestored(img *program.Image, s Snapshot) *Machine {
+	m := &Machine{img: img}
+	m.Restore(s)
+	return m
 }

@@ -76,7 +76,8 @@ func (s *machineSource) Next() (DynInst, bool) {
 		s.done = true
 		return DynInst{}, false
 	}
-	d, err := s.m.Step()
+	var d DynInst
+	err := s.m.StepInto(&d)
 	if err != nil {
 		s.done = true
 		s.err = err

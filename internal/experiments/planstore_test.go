@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/pipeline"
+	"github.com/noreba-sim/noreba/internal/sampling"
+)
+
+// blobMemStore shares plan blobs across runners but never results: a warm
+// "restarted" runner is forced through planFor on every request, so these
+// tests observe plan persistence in isolation from result persistence.
+type blobMemStore struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+func newBlobMemStore() *blobMemStore { return &blobMemStore{blobs: map[string][]byte{}} }
+
+func (s *blobMemStore) Get(string) (*pipeline.Stats, bool) { return nil, false }
+func (s *blobMemStore) Put(string, *pipeline.Stats) error  { return nil }
+
+func (s *blobMemStore) GetBlob(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[key]
+	return b, ok
+}
+
+func (s *blobMemStore) PutBlob(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs[key] = append([]byte(nil), data...)
+	return nil
+}
+
+var planStoreCases = []struct {
+	workload string
+	policy   pipeline.PolicyKind
+}{
+	{"CRC32", pipeline.InOrder},
+	{"CRC32", pipeline.Noreba},
+	{"dijkstra", pipeline.Noreba},
+}
+
+// runSampledCases estimates every case on a fresh runner over store and
+// returns the marshalled stats per case.
+func runSampledCases(t *testing.T, store ResultStore) (*Runner, [][]byte) {
+	t.Helper()
+	r := QuickRunner()
+	r.Store = store
+	out := make([][]byte, len(planStoreCases))
+	for i, c := range planStoreCases {
+		st, err := r.SimulateSampledContext(context.Background(), c.workload, skylake(c.policy), sampling.Default())
+		if err != nil {
+			t.Fatalf("%s under %v: %v", c.workload, c.policy, err)
+		}
+		data, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = data
+	}
+	return r, out
+}
+
+// TestPlanStoreWarmRestart: a cold runner builds and persists one plan per
+// sampled workload; a fresh runner over the same store rebuilds zero plans
+// and produces byte-identical estimates from the decoded ones.
+func TestPlanStoreWarmRestart(t *testing.T) {
+	store := newBlobMemStore()
+	cold, want := runSampledCases(t, store)
+	const distinctWorkloads = 2 // CRC32, dijkstra
+	if cold.PlansBuilt() != distinctWorkloads {
+		t.Fatalf("cold runner built %d plans, want %d", cold.PlansBuilt(), distinctWorkloads)
+	}
+	if cold.PlanStoreMisses() != distinctWorkloads || cold.PlanStoreHits() != 0 {
+		t.Fatalf("cold runner plan-store counters: %d misses %d hits, want %d/0",
+			cold.PlanStoreMisses(), cold.PlanStoreHits(), distinctWorkloads)
+	}
+	if len(store.blobs) != distinctWorkloads {
+		t.Fatalf("store holds %d plan blobs, want %d", len(store.blobs), distinctWorkloads)
+	}
+
+	warm, got := runSampledCases(t, store)
+	if warm.PlansBuilt() != 0 {
+		t.Errorf("warm runner rebuilt %d plans, want 0", warm.PlansBuilt())
+	}
+	if warm.PlanStoreHits() != distinctWorkloads || warm.PlanStoreMisses() != 0 {
+		t.Errorf("warm runner plan-store counters: %d hits %d misses, want %d/0",
+			warm.PlanStoreHits(), warm.PlanStoreMisses(), distinctWorkloads)
+	}
+	for i := range planStoreCases {
+		if !bytes.Equal(want[i], got[i]) {
+			t.Errorf("%s under %v: warm-restart estimate differs:\ncold: %s\nwarm: %s",
+				planStoreCases[i].workload, planStoreCases[i].policy, want[i], got[i])
+		}
+	}
+}
+
+// TestPlanStoreStaleBlobRebuilds: a blob from an old format version (or any
+// corruption the decoder rejects) is a miss — the plan is rebuilt, the
+// estimate still lands, and the rebuilt plan replaces the stale blob.
+func TestPlanStoreStaleBlobRebuilds(t *testing.T) {
+	store := newBlobMemStore()
+	runSampledCases(t, store) // seed the store with valid blobs
+	// Flip every blob's version byte (right after the 4-byte magic).
+	for k, b := range store.blobs {
+		stale := append([]byte(nil), b...)
+		stale[4] ^= 0x7F
+		store.blobs[k] = stale
+	}
+	r, _ := runSampledCases(t, store)
+	const distinctWorkloads = 2
+	if r.PlansBuilt() != distinctWorkloads {
+		t.Errorf("stale blobs: rebuilt %d plans, want %d", r.PlansBuilt(), distinctWorkloads)
+	}
+	if r.PlanStoreMisses() != distinctWorkloads || r.PlanStoreHits() != 0 {
+		t.Errorf("stale blobs: %d misses %d hits, want %d/0", r.PlanStoreMisses(), r.PlanStoreHits(), distinctWorkloads)
+	}
+	// The rebuild overwrote the stale blobs: a fourth runner loads cleanly.
+	again, _ := runSampledCases(t, store)
+	if again.PlansBuilt() != 0 || again.PlanStoreHits() != distinctWorkloads {
+		t.Errorf("after rebuild: built %d, hits %d — stale blobs were not replaced",
+			again.PlansBuilt(), again.PlanStoreHits())
+	}
+}
+
+// TestPlanStoreResultOnlyStore: a store without blob support (the plain
+// ResultStore interface) keeps working — plans are rebuilt each process and
+// the plan-store counters stay untouched.
+func TestPlanStoreResultOnlyStore(t *testing.T) {
+	r, _ := runSampledCases(t, newMemStore())
+	if r.PlansBuilt() != 2 {
+		t.Errorf("built %d plans, want 2", r.PlansBuilt())
+	}
+	if r.PlanStoreHits() != 0 || r.PlanStoreMisses() != 0 {
+		t.Errorf("plan-store counters moved without a BlobStore: %d hits %d misses",
+			r.PlanStoreHits(), r.PlanStoreMisses())
+	}
+}

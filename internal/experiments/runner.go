@@ -41,6 +41,18 @@ type ResultStore interface {
 	Put(key string, st *pipeline.Stats) error
 }
 
+// BlobStore is the optional binary-artifact side of a ResultStore: opaque
+// byte blobs keyed by content hash, used to persist encoded sampling plans
+// (sampling.EncodePlan) across process restarts. A runner whose Store also
+// implements BlobStore loads plans from it before building and writes every
+// freshly built plan back; a store that only holds results simply rebuilds
+// plans each process. Like results, blob Puts are best-effort — a failure is
+// counted, never fatal.
+type BlobStore interface {
+	GetBlob(key string) ([]byte, bool)
+	PutBlob(key string, data []byte) error
+}
+
 // DefaultCacheLimit bounds the in-memory finished-run cache when
 // Runner.CacheLimit is zero. The full figure suite needs a few hundred
 // distinct configurations, so the default keeps every result of one
@@ -103,7 +115,10 @@ type Runner struct {
 	storeHits   atomic.Int64 // results served from the persistent store
 	storeMisses atomic.Int64 // store lookups that missed
 	storeErrs   atomic.Int64 // store Put failures (non-fatal)
-	peakWindow  atomic.Int64 // largest sliding window across all runs
+
+	planStoreHits   atomic.Int64 // plans decoded from the persistent store
+	planStoreMisses atomic.Int64 // plan-store lookups that missed or were stale
+	peakWindow      atomic.Int64 // largest sliding window across all runs
 
 	emulationsRun  atomic.Int64 // functional passes executed (solo, batched or profiling)
 	peakBusRecords atomic.Int64 // largest broadcast-bus high-water mark across batches
@@ -361,6 +376,15 @@ func (r *Runner) compiled(name string) (*compiler.Result, error) {
 	return j.res, j.err
 }
 
+// Plan returns the sampling plan the runner would use for workload under its
+// configured sampling mode, building (or loading from the plan store) and
+// caching it like SimulateSampledContext does. Callers use it to inspect plan
+// properties — e.g. whether the program is too short to sample (Plan.Full) —
+// without running an estimate.
+func (r *Runner) Plan(ctx context.Context, workload string) (*sampling.Plan, error) {
+	return r.planFor(ctx, workload, r.Sampling.Normalize())
+}
+
 // planFor returns the sampling plan for (workload, p), building it on first
 // use on a worker-pool slot; concurrent requests for the same key coalesce
 // into one build. p must already be normalized. A cancelled build is removed
@@ -400,13 +424,42 @@ func (r *Runner) buildPlan(ctx context.Context, workload string, p sampling.Para
 	if err != nil {
 		return nil, err
 	}
+	// Consult the persistent plan store before paying for a build: the key
+	// covers the compiled image's content hash, the stream bound and the
+	// normalized parameters, so a decoded plan is exactly the plan a build
+	// would produce. A missing, stale (old format version) or mismatched
+	// (recompiled workload) blob is a miss and the plan is rebuilt.
+	var (
+		bs      BlobStore
+		blobKey string
+	)
+	if b, ok := r.Store.(BlobStore); ok {
+		bs = b
+		blobKey = sampling.PlanKey(res.Image, r.MaxInsts, p)
+		if data, ok := bs.GetBlob(blobKey); ok {
+			if pl, err := sampling.LoadPlan(data, res.Image, r.MaxInsts, p); err == nil {
+				r.planStoreHits.Add(1)
+				return pl, nil
+			}
+		}
+		r.planStoreMisses.Add(1)
+	}
 	if err := r.acquire(ctx); err != nil {
 		return nil, fmt.Errorf("experiments: %s: plan: %w", workload, err)
 	}
 	defer r.release()
 	r.plansBuilt.Add(1)
 	r.emulationsRun.Add(1) // the profiling pass is one functional emulation
-	return sampling.BuildPlanContext(ctx, res.Image, res.Meta, r.MaxInsts, p)
+	pl, err := sampling.BuildPlanContext(ctx, res.Image, res.Meta, r.MaxInsts, p)
+	if err != nil {
+		return nil, err
+	}
+	if bs != nil {
+		if err := bs.PutBlob(blobKey, sampling.EncodePlan(pl)); err != nil {
+			r.storeErrs.Add(1)
+		}
+	}
+	return pl, nil
 }
 
 func compileWorkload(name string, scaleDiv int) (*compiler.Result, error) {
@@ -429,6 +482,20 @@ func compileWorkload(name string, scaleDiv int) (*compiler.Result, error) {
 // first; release returns the slot. The pool is sized lazily so callers may
 // set Parallelism any time before the first run.
 func (r *Runner) acquire(ctx context.Context) error {
+	select {
+	case r.pool() <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// pool lazily sizes and returns the worker-pool semaphore. poolSize (its
+// capacity) also bounds the per-estimate window fan-out: a sampled estimate
+// holds one pool slot and runs up to poolSize representative windows
+// concurrently inside it, mirroring how a batched fan-out holds one slot for
+// N bus views.
+func (r *Runner) pool() chan struct{} {
 	r.semOnce.Do(func() {
 		n := r.Parallelism
 		if n <= 0 {
@@ -436,13 +503,10 @@ func (r *Runner) acquire(ctx context.Context) error {
 		}
 		r.sem = make(chan struct{}, n)
 	})
-	select {
-	case r.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return context.Cause(ctx)
-	}
+	return r.sem
 }
+
+func (r *Runner) poolSize() int { return cap(r.pool()) }
 
 func (r *Runner) release() { <-r.sem }
 
@@ -590,9 +654,12 @@ func (r *Runner) runSim(ctx context.Context, workload string, cfg pipeline.Confi
 		defer r.release()
 		r.simsRun.Add(1)
 		r.sampledRuns.Add(1)
-		st, err = pl.EstimateContext(ctx, cfg, res.Meta)
+		// Sampling errors already carry workload/interval/policy provenance
+		// (see sampling.runWindow), so no re-wrap here — callers used to
+		// stack a second, differently-worded prefix on the same facts.
+		st, err = pl.EstimateContextN(ctx, cfg, res.Meta, r.poolSize())
 		if err != nil {
-			return nil, fmt.Errorf("%s under %v: %w", workload, cfg.Policy, err)
+			return nil, err
 		}
 	} else {
 		if err := r.acquire(ctx); err != nil {
@@ -943,6 +1010,15 @@ func (r *Runner) SampledRuns() int64 { return r.sampledRuns.Load() }
 // PlansBuilt returns how many sampling plans were built (coalesced and
 // reused requests excluded).
 func (r *Runner) PlansBuilt() int64 { return r.plansBuilt.Load() }
+
+// PlanStoreHits returns how many sampling plans were decoded from the
+// persistent plan store instead of built.
+func (r *Runner) PlanStoreHits() int64 { return r.planStoreHits.Load() }
+
+// PlanStoreMisses returns how many plan-store lookups missed — no blob, a
+// stale format version, or a mismatched image/parameter hash — and fell
+// through to a build.
+func (r *Runner) PlanStoreMisses() int64 { return r.planStoreMisses.Load() }
 
 // UniqueSimulations returns the number of distinct (workload, config) keys
 // currently resident in the in-memory cache (in-flight included).

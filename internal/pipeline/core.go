@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/noreba-sim/noreba/internal/branchpred"
 	"github.com/noreba-sim/noreba/internal/cache"
@@ -165,19 +166,10 @@ const cancelCheckCycles = 4096
 // buffering is bounded by the in-flight span and reported in
 // Stats.WindowPeak.
 func NewCoreFromSource(cfg Config, src emulator.TraceSource, meta *compiler.Meta) *Core {
-	c := &Core{
-		cfg:  cfg,
-		win:  newWindow(src, cfg.Selective.BITSize),
-		meta: meta,
-		// The wheel horizon covers the longest issue-to-complete latency: a
-		// full-miss demand access behind in-flight fills, plus slack for
-		// divider latency and store-forwarding adjustments. It grows on
-		// demand if a configuration exceeds it.
-		wheel:  newComplWheel(cfg.L1Lat + cfg.L2Lat + cfg.L3Lat + cfg.MemLat + 64),
-		dcache: cfg.hierarchy(),
-		icache: cfg.icache(),
-		ras:    branchpred.NewRAS(cfg.RASEntries),
-	}
+	c := newCoreShell(cfg, src, meta)
+	c.dcache = cfg.hierarchy()
+	c.icache = cfg.icache()
+	c.ras = branchpred.NewRAS(cfg.RASEntries)
 	switch cfg.Predictor {
 	case PredBimodal:
 		c.pred = branchpred.NewBimodal(12)
@@ -188,6 +180,34 @@ func NewCoreFromSource(cfg Config, src emulator.TraceSource, meta *compiler.Meta
 	}
 	if cfg.PrefetchEnabled {
 		c.dcpt = prefetch.New(cfg.PrefetchTable, cfg.PrefetchDegree)
+	}
+	return c
+}
+
+// NewWarmCoreFromSource builds a core whose entire microarchitectural state
+// comes from a warm-state capture: caches, predictor, prefetcher table and
+// RAS are installed from ws (see InstallWarmState) instead of being
+// allocated fresh and immediately replaced. Detailed sample windows use this
+// — a window is a few thousand instructions, and allocating a full cache
+// hierarchy per window would dwarf the window itself.
+func NewWarmCoreFromSource(cfg Config, src emulator.TraceSource, meta *compiler.Meta, ws *WarmState) *Core {
+	c := newCoreShell(cfg, src, meta)
+	c.InstallWarmState(ws)
+	return c
+}
+
+// newCoreShell builds everything of a core except the microarchitectural
+// state (caches, predictor, prefetcher, RAS), which the caller supplies.
+func newCoreShell(cfg Config, src emulator.TraceSource, meta *compiler.Meta) *Core {
+	c := &Core{
+		cfg:  cfg,
+		win:  newWindow(src, cfg.Selective.BITSize),
+		meta: meta,
+		// The wheel horizon covers the longest issue-to-complete latency: a
+		// full-miss demand access behind in-flight fills, plus slack for
+		// divider latency and store-forwarding adjustments. It grows on
+		// demand if a configuration exceeds it.
+		wheel: newComplWheel(cfg.L1Lat + cfg.L2Lat + cfg.L3Lat + cfg.MemLat + 64),
 	}
 	c.policy = newPolicy(cfg)
 	switch cfg.Policy {
@@ -447,10 +467,15 @@ func (c *Core) Run() (*Stats, error) { return c.RunContext(context.Background())
 // cycles the core polls ctx and, when it has been cancelled or its deadline
 // has passed, stops mid-run and returns the partial statistics accumulated
 // so far alongside an error wrapping the context's cause (so
-// errors.Is(err, context.Canceled/DeadlineExceeded) holds). A background
-// context adds no per-cycle work beyond one nil check.
+// errors.Is(err, context.Canceled/DeadlineExceeded) holds). The deadline is
+// compared against the wall clock directly rather than waiting for the
+// context's timer to fire: on a loaded box the runtime can deliver a timer
+// tens of milliseconds late, long enough for a short run to finish and
+// report success past its deadline. A background context adds no per-cycle
+// work beyond one nil check.
 func (c *Core) RunContext(ctx context.Context) (*Stats, error) {
 	done := ctx.Done()
+	deadline, hasDeadline := ctx.Deadline()
 	for !c.Done() {
 		if done != nil && c.cycle%cancelCheckCycles == 0 {
 			select {
@@ -458,6 +483,10 @@ func (c *Core) RunContext(ctx context.Context) (*Stats, error) {
 				return c.Finalize(), fmt.Errorf("pipeline: run cancelled at cycle %d: %w",
 					c.cycle, context.Cause(ctx))
 			default:
+			}
+			if hasDeadline && !time.Now().Before(deadline) {
+				return c.Finalize(), fmt.Errorf("pipeline: run cancelled at cycle %d: %w",
+					c.cycle, context.DeadlineExceeded)
 			}
 		}
 		if c.cycle > maxCycles {

@@ -44,6 +44,15 @@ func New(tableSize, degree int) *DCPT {
 
 func (d *DCPT) slot(pc int) *entry { return &d.entries[pc%len(d.entries)] }
 
+// Clone returns an independent deep copy of the table, training statistics
+// included. The delta histories are value arrays, so copying the entry slice
+// copies everything.
+func (d *DCPT) Clone() *DCPT {
+	cp := *d
+	cp.entries = append([]entry(nil), d.entries...)
+	return &cp
+}
+
 // Train records a load at pc touching addr and returns the prefetch
 // candidate addresses predicted by delta correlation.
 func (d *DCPT) Train(pc int, addr int64) []int64 {

@@ -1,25 +1,30 @@
 package sampling
 
 import (
+	"context"
+
 	"github.com/noreba-sim/noreba/internal/compiler"
 	"github.com/noreba-sim/noreba/internal/emulator"
 	"github.com/noreba-sim/noreba/internal/pipeline"
-	"github.com/noreba-sim/noreba/internal/program"
 )
 
-// fingerprintDims replays the stream through the reference core's caches,
-// prefetcher and branch predictor at emulator speed (no pipeline timing)
-// and distils two per-interval timing columns: mean data-access latency
-// beyond an L1 hit, and control-transfer misprediction rate. These separate
-// the timing-phase families a detailed out-of-order pilot run would see —
-// memory-bound regimes shaped by prefetcher and fill context, and
-// branch-resolution-bound regimes that gate non-speculative commit — at a
-// small fraction of a pilot's cost. Columns are normalised to mean 1 so
-// they are commensurate with the pilot-CPI dimension; an all-zero column
-// (no misses, or no mispredictions) carries no signal and is dropped.
-func fingerprintDims(img *program.Image, meta *compiler.Meta, maxInsts int64, prof *Profile) [][]float64 {
+// fingerprintDims replays the stream from src — typically a view of the
+// build-time broadcast bus shared with the pilot run — through the
+// reference core's caches, prefetcher and branch predictor at emulator
+// speed (no pipeline timing) and distils two per-interval timing columns:
+// mean data-access latency beyond an L1 hit, and control-transfer
+// misprediction rate. These separate the timing-phase families a detailed
+// out-of-order pilot run would see — memory-bound regimes shaped by
+// prefetcher and fill context, and branch-resolution-bound regimes that
+// gate non-speculative commit — at a small fraction of a pilot's cost.
+// Columns are normalised to mean 1 so they are commensurate with the
+// pilot-CPI dimension; an all-zero column (no misses, or no mispredictions)
+// carries no signal and is dropped. Cancelling ctx ends the replay early
+// (the caller's pilot fails with the cancellation; partial columns are
+// discarded with it).
+func fingerprintDims(ctx context.Context, src emulator.TraceSource, meta *compiler.Meta, prof *Profile) [][]float64 {
 	cfg := pipeline.SkylakeConfig()
-	src := emulator.NewSource(emulator.New(img), maxInsts)
+	src = &cancellableSource{TraceSource: src, ctx: ctx}
 	core := pipeline.NewCoreFromSource(cfg, src, meta)
 
 	n := len(prof.Intervals)
@@ -54,6 +59,24 @@ func fingerprintDims(img *program.Image, meta *compiler.Meta, maxInsts int64, pr
 		}
 	}
 	return dims
+}
+
+// cancellableSource ends a stream early once its context is cancelled,
+// checking every 4096 deliveries. Consumers that have no early-exit path of
+// their own (FingerprintFunctional drains its source to the end) wrap their
+// source in one so a cancelled build does not replay the whole stream.
+type cancellableSource struct {
+	emulator.TraceSource
+	ctx context.Context
+	n   int
+}
+
+func (s *cancellableSource) Next() (emulator.DynInst, bool) {
+	s.n++
+	if s.n&4095 == 0 && s.ctx.Err() != nil {
+		return emulator.DynInst{}, false
+	}
+	return s.TraceSource.Next()
 }
 
 // normalizeMean1 rescales a non-negative column to mean 1, or returns nil

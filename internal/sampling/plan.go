@@ -3,6 +3,9 @@ package sampling
 import (
 	"context"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/noreba-sim/noreba/internal/compiler"
 	"github.com/noreba-sim/noreba/internal/emulator"
@@ -59,6 +62,14 @@ type Rep struct {
 	PilotCluster []float64
 	// Snap is the architectural state at WarmStart − FuncWarmInsts.
 	Snap emulator.Snapshot
+	// WarmSnap is the architectural state at WarmStart itself — the
+	// detailed window's entry point. Estimates restore it directly and
+	// install a cached microarchitectural warm state instead of re-playing
+	// the functional-warming span, so the warm replay is paid once per
+	// (plan, cache/predictor geometry) rather than once per representative
+	// per configuration. Snap is retained for the general warming path and
+	// for tools that need the warm span's input stream.
+	WarmSnap emulator.Snapshot
 }
 
 // Plan is a compiled sampling schedule for one program image: the profile,
@@ -84,6 +95,7 @@ type Plan struct {
 	Full bool
 
 	img      *program.Image
+	imgHash  [32]byte // sha256 of the image's canonical encoding (ImageHash)
 	maxInsts int64
 	// warmRate is the pilot run's cycles per delivered instruction for each
 	// interval, and warmCum its prefix sum at interval starts (warmCum[j] is
@@ -92,6 +104,47 @@ type Plan struct {
 	// in-flight horizon at window open matches a continuous run's.
 	warmRate []float64
 	warmCum  []float64
+
+	// warm caches functionally-warmed microarchitectural state per
+	// cache/predictor geometry: one warming replay serves every commit
+	// policy and every representative window sharing the geometry (warming
+	// never touches the pipeline model, so it is policy-independent). Built
+	// lazily under a per-key once so concurrent estimates warm at most once.
+	warmMu sync.Mutex
+	warm   map[warmKey]*warmEntry
+}
+
+// warmKey is the subset of pipeline.Config that functional warming can
+// observe: cache geometry and latencies, prefetcher setup, predictor kind
+// and RAS depth. Commit policy, FreeSetup and ECL shape only the pipeline
+// model, which warming never runs, so configurations differing only there
+// share one warmed state.
+type warmKey struct {
+	l1i, l1d, l2, l3            int
+	l1Lat, l2Lat, l3Lat, memLat int64
+	ways                        int
+	prefetch                    bool
+	prefDegree, prefTable       int
+	pred                        pipeline.PredictorKind
+	ras                         int
+}
+
+func warmKeyOf(cfg pipeline.Config) warmKey {
+	return warmKey{
+		l1i: cfg.L1ISize, l1d: cfg.L1DSize, l2: cfg.L2Size, l3: cfg.L3Size,
+		l1Lat: cfg.L1Lat, l2Lat: cfg.L2Lat, l3Lat: cfg.L3Lat, memLat: cfg.MemLat,
+		ways:     cfg.CacheWays,
+		prefetch: cfg.PrefetchEnabled, prefDegree: cfg.PrefetchDegree, prefTable: cfg.PrefetchTable,
+		pred: cfg.Predictor,
+		ras:  cfg.RASEntries,
+	}
+}
+
+// warmEntry is one geometry's warmed state, one capture per representative.
+type warmEntry struct {
+	once   sync.Once
+	states []*pipeline.WarmState
+	err    error
 }
 
 // warmCycleAt returns the pilot run's cumulative cycle count at stream
@@ -190,7 +243,26 @@ func BuildPlanContext(ctx context.Context, img *program.Image, meta *compiler.Me
 	// branch fingerprints. Each is appended to the clustering vectors and
 	// kept as the control-variate basis used to correct representative bias
 	// at estimate time.
-	cpi, rate, err := pilotCPI(ctx, img, meta, maxInsts, prof, pilotPolicy)
+	//
+	// The pilot and the fingerprint replay the same stream, so both hang off
+	// one shared functional emulation (emulator.Broadcast) instead of
+	// re-emulating: the bus pays one emulator pass for two consumers. The
+	// profiling pass above stays separate by design — its output feeds the
+	// degenerate-size precheck that decides whether the pilot is worth
+	// paying for at all — and the checkpoint-capture pass below cannot join
+	// either, because the capture positions are only known after clustering
+	// has consumed the pilot's output.
+	bus := emulator.NewBroadcast(emulator.NewSource(emulator.New(img), maxInsts), 0)
+	pilotView := bus.View()
+	fpView := bus.View()
+	fpDims := make(chan [][]float64, 1)
+	go func() {
+		defer fpView.Close()
+		fpDims <- fingerprintDims(ctx, fpView, meta, prof)
+	}()
+	cpi, rate, err := pilotCPI(ctx, pilotView, meta, prof, pilotPolicy)
+	pilotView.Close()
+	fpd := <-fpDims
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +284,7 @@ func BuildPlanContext(ctx context.Context, img *program.Image, meta *compiler.Me
 	if nd := normalizeMean1(setup); nd != nil {
 		dims = append(dims, nd)
 	}
-	dims = append(dims, fingerprintDims(img, meta, maxInsts, prof)...)
+	dims = append(dims, fpd...)
 	pilot := make([][]float64, len(vecs))
 	for nd, d := range dims {
 		for i := range vecs {
@@ -253,19 +325,19 @@ func BuildPlanContext(ctx context.Context, img *program.Image, meta *compiler.Me
 const pilotPolicy = pipeline.InOrder
 
 // pilotCPI runs one detailed simulation of a fixed reference configuration
-// (the Skylake core under the given commit policy) and returns each
-// interval's cycles-per-committed-instruction, normalised to the run's mean
-// — one timing dimension appended to the clustering vectors — plus the raw
-// cycles per delivered instruction (setup included), which drives the
+// (the Skylake core under the given commit policy) over src — typically a
+// view of the shared build-time broadcast bus — and returns each interval's
+// cycles-per-committed-instruction, normalised to the run's mean — one
+// timing dimension appended to the clustering vectors — plus the raw cycles
+// per delivered instruction (setup included), which drives the
 // functional-warming pseudo-clock. Timing phases (cache, prefetcher,
 // dependence-chain regimes) that basic-block vectors cannot see separate
 // here; the cost is paid once per (image, Params) and amortises across
 // every configuration estimated from the plan.
-func pilotCPI(ctx context.Context, img *program.Image, meta *compiler.Meta, maxInsts int64, prof *Profile, pol pipeline.PolicyKind) ([]float64, []float64, error) {
+func pilotCPI(ctx context.Context, src emulator.TraceSource, meta *compiler.Meta, prof *Profile, pol pipeline.PolicyKind) ([]float64, []float64, error) {
 	cfg := pipeline.SkylakeConfig()
 	cfg.Policy = pol
 	cfg.FreeSetup = true
-	src := emulator.NewSource(emulator.New(img), maxInsts)
 	core := pipeline.NewCoreFromSource(cfg, src, meta)
 
 	crossings := make([]int64, len(prof.Intervals))
@@ -468,23 +540,43 @@ func selectReps(prof *Profile, vecs [][]float64, assign []int, pilot [][]float64
 	return reps
 }
 
-// capture executes the program a second time, functionally, pausing at each
-// representative's WarmStart to snapshot architectural state. Only the
-// needed checkpoints are held — never one per interval boundary — so plan
-// memory is O(k · architectural state).
+// capture executes the program once more, functionally, pausing at each
+// representative's warm-span start (Snap) and at its detailed-window start
+// (WarmSnap) to snapshot architectural state. The two position lists can
+// interleave across representatives — a later rep's warm span may open
+// before an earlier rep's window — so the walk visits the merged, sorted
+// positions in one forward pass. Only the needed checkpoints are held —
+// never one per interval boundary — so plan memory is O(k · architectural
+// state).
 func (pl *Plan) capture() error {
+	type point struct {
+		pos  int64
+		rep  int
+		warm bool // WarmSnap (at WarmStart) vs Snap (at warm-span start)
+	}
+	points := make([]point, 0, 2*len(pl.Reps))
+	for i := range pl.Reps {
+		points = append(points,
+			point{pos: pl.Reps[i].WarmStart - pl.Reps[i].FuncWarmInsts, rep: i},
+			point{pos: pl.Reps[i].WarmStart, rep: i, warm: true})
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].pos < points[j].pos })
+
 	m := emulator.New(pl.img)
 	var pos int64
-	for i := range pl.Reps {
-		snapAt := pl.Reps[i].WarmStart - pl.Reps[i].FuncWarmInsts
-		for pos < snapAt {
+	for _, pt := range points {
+		for pos < pt.pos {
 			if _, err := m.Step(); err != nil {
 				return fmt.Errorf("sampling: %s: fast-forward to %d: %w",
-					pl.Name, snapAt, err)
+					pl.Name, pt.pos, err)
 			}
 			pos++
 		}
-		pl.Reps[i].Snap = m.Snapshot()
+		if pt.warm {
+			pl.Reps[pt.rep].WarmSnap = m.Snapshot()
+		} else {
+			pl.Reps[pt.rep].Snap = m.Snapshot()
+		}
 	}
 	return nil
 }
@@ -508,18 +600,129 @@ func (pl *Plan) Estimate(cfg pipeline.Config, meta *compiler.Meta) (*pipeline.St
 	return pl.EstimateContext(context.Background(), cfg, meta)
 }
 
-// EstimateContext simulates each representative's detailed window under cfg
+// warmStates returns (building on first use) the warmed microarchitectural
+// state for cfg's geometry: one capture per representative, each rebased so
+// its cache fill timestamps end at pseudo-cycle 0 where the detailed window
+// opens. Safe for concurrent estimates: a per-key once means at most one
+// warming replay per geometry, with everyone else waiting on its result.
+func (pl *Plan) warmStates(cfg pipeline.Config, meta *compiler.Meta) ([]*pipeline.WarmState, error) {
+	key := warmKeyOf(cfg)
+	pl.warmMu.Lock()
+	if pl.warm == nil {
+		pl.warm = map[warmKey]*warmEntry{}
+	}
+	e := pl.warm[key]
+	if e == nil {
+		e = &warmEntry{}
+		pl.warm[key] = e
+	}
+	pl.warmMu.Unlock()
+	e.once.Do(func() { e.states, e.err = pl.buildWarmStates(cfg, meta) })
+	return e.states, e.err
+}
+
+// buildWarmStates replays each representative's functional-warming span
+// through a core with cfg's geometry and captures the resulting state.
+//
+// Fast path: under default parameters FunctionalWarmInsts covers the whole
+// prefix, so every warm span starts at stream position 0 and the spans are
+// nested prefixes ordered by the (interval-sorted) representatives. One
+// sequential replay on the pilot's absolute cycle schedule then serves all
+// of them: capture at each boundary and shift that capture's cache
+// timestamps so its clock ends at 0 (timing is linear in the clock — see
+// cache.Hierarchy.ShiftClock), paying max(span) instead of sum(spans).
+//
+// General path (spans starting mid-stream): one replay per representative
+// from its Snap on the per-rep relative clock, exactly as estimates used to
+// warm inline — still amortised across every configuration sharing the
+// geometry.
+func (pl *Plan) buildWarmStates(cfg pipeline.Config, meta *compiler.Meta) ([]*pipeline.WarmState, error) {
+	states := make([]*pipeline.WarmState, len(pl.Reps))
+	nested := true
+	for i := range pl.Reps {
+		if pl.Reps[i].WarmStart != pl.Reps[i].FuncWarmInsts {
+			nested = false
+			break
+		}
+	}
+	if nested && len(pl.Reps) > 0 {
+		// Absolute pilot clock and its value at each capture boundary; the
+		// nominal 2-cycles-per-instruction fallback mirrors WarmFunctional's
+		// nil-clock default (−2·(n−1−i) relative ≡ 2·(i+1) absolute shifted
+		// by −2·n).
+		clock := func(i int64) int64 { return int64(pl.warmCycleAt(i + 1)) }
+		endAt := func(pos int64) int64 { return int64(pl.warmCycleAt(pos)) }
+		if len(pl.warmRate) == 0 {
+			clock = func(i int64) int64 { return 2 * (i + 1) }
+			endAt = func(pos int64) int64 { return 2 * pos }
+		}
+		// Warm in bounded segments on one persistent machine, capturing at
+		// each boundary between segments: same replay, but the hot loop pulls
+		// straight from the machine source with no per-instruction wrapper.
+		m := emulator.New(pl.img)
+		core := pipeline.NewCoreFromSource(cfg, emulator.NewSource(m, 0), meta)
+		pos := int64(0)
+		for next := 0; next < len(pl.Reps); {
+			bound := pl.Reps[next].WarmStart
+			if span := bound - pos; span > 0 {
+				src := emulator.NewSource(m, span)
+				base := pos
+				core.WarmFunctional(src, span, func(i int64) int64 { return clock(base + i) })
+				pos += src.Counts().Insts
+				if pos != bound {
+					return nil, fmt.Errorf("sampling: %s: warm replay ended at %d before rep %d boundary %d",
+						pl.Name, pos, next, bound)
+				}
+			}
+			for next < len(pl.Reps) && pl.Reps[next].WarmStart == bound {
+				ws := core.CaptureWarmState()
+				ws.ShiftClock(-endAt(bound))
+				states[next] = ws
+				next++
+			}
+		}
+		return states, nil
+	}
+
+	for i := range pl.Reps {
+		rep := &pl.Reps[i]
+		m := emulator.NewRestored(pl.img, rep.Snap)
+		src := emulator.NewSource(m, rep.FuncWarmInsts)
+		core := pipeline.NewCoreFromSource(cfg, src, meta)
+		if rep.FuncWarmInsts > 0 {
+			snapAt := rep.WarmStart - rep.FuncWarmInsts
+			core.WarmFunctional(src, rep.FuncWarmInsts, pl.warmClock(snapAt, rep.FuncWarmInsts))
+		}
+		states[i] = core.CaptureWarmState()
+	}
+	return states, nil
+}
+
+// EstimateContext is EstimateContextN with a serial (single-worker) window
+// schedule.
+func (pl *Plan) EstimateContext(ctx context.Context, cfg pipeline.Config, meta *compiler.Meta) (*pipeline.Stats, error) {
+	return pl.EstimateContextN(ctx, cfg, meta, 1)
+}
+
+// EstimateContextN simulates each representative's detailed window under cfg
 // and extrapolates full-run statistics: per-cluster counter rates scaled to
 // the cluster's committed-instruction mass and summed. The returned Stats
 // carries sampling provenance (Sampled, SampledIntervals,
 // SampledDetailInsts) and exact values for the fields the profile knows
 // outright (Committed, TraceInsts).
-func (pl *Plan) EstimateContext(ctx context.Context, cfg pipeline.Config, meta *compiler.Meta) (*pipeline.Stats, error) {
+//
+// workers bounds how many representative windows run concurrently (≤ 1
+// means serial). Each window restores its own emulator.Machine from the
+// representative's WarmSnap and installs an independent clone of the shared
+// warmed state, so windows share nothing mutable; results land in a slice
+// indexed by representative, and the extrapolation consumes them in
+// interval order — the estimate is byte-identical for every worker count.
+func (pl *Plan) EstimateContextN(ctx context.Context, cfg pipeline.Config, meta *compiler.Meta, workers int) (*pipeline.Stats, error) {
 	if pl.Full {
 		src := emulator.NewSource(emulator.New(pl.img), pl.maxInsts)
 		st, err := pipeline.NewCoreFromSource(cfg, src, meta).RunContext(ctx)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("sampling: %s under %v: %w", pl.Name, cfg.Policy, err)
 		}
 		st.Sampled = true
 		st.SampledIntervals = 0
@@ -527,39 +730,51 @@ func (pl *Plan) EstimateContext(ctx context.Context, cfg pipeline.Config, meta *
 		return st, nil
 	}
 
-	ms := make([]measured, 0, len(pl.Reps))
-	var detail int64
-	for i := range pl.Reps {
-		rep := &pl.Reps[i]
-		m := emulator.New(pl.img)
-		m.Restore(rep.Snap)
-		// src is lazy: it delivers from wherever the machine stands when the
-		// core first pulls, which is WarmStart — after functional warming has
-		// advanced the machine through its span. Seq is rebased before the
-		// first pull because sequence numbers double as window indices in the
-		// pipeline's dependence tracking.
-		src := emulator.NewSource(m, rep.SrcBound)
-		core := pipeline.NewCoreFromSource(cfg, src, meta)
-		if rep.FuncWarmInsts > 0 {
-			snapAt := rep.WarmStart - rep.FuncWarmInsts
-			core.WarmFunctional(emulator.NewSource(m, rep.FuncWarmInsts), rep.FuncWarmInsts,
-				pl.warmClock(snapAt, rep.FuncWarmInsts))
+	states, err := pl.warmStates(cfg, meta)
+	if err != nil {
+		return nil, err
+	}
+	ms := make([]measured, len(pl.Reps))
+	details := make([]int64, len(pl.Reps))
+	if workers > len(pl.Reps) {
+		workers = len(pl.Reps)
+	}
+	if workers <= 1 {
+		for i := range pl.Reps {
+			if err := pl.measureRep(ctx, cfg, meta, i, states[i], &ms[i], &details[i]); err != nil {
+				return nil, err
+			}
 		}
-		m.RebaseSeq()
-		warm, end, err := runWindow(ctx, core, rep.WarmCommits, rep.WarmCommits+rep.MeasureCommits)
-		if err != nil {
-			return nil, fmt.Errorf("sampling: %s interval %d under %v: %w",
-				pl.Name, rep.Interval, cfg.Policy, err)
+	} else {
+		var (
+			wg   sync.WaitGroup
+			next atomic.Int64
+			stop atomic.Bool
+		)
+		errs := make([]error, len(pl.Reps))
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					i := int(next.Add(1) - 1)
+					if i >= len(pl.Reps) {
+						return
+					}
+					if err := pl.measureRep(ctx, cfg, meta, i, states[i], &ms[i], &details[i]); err != nil {
+						errs[i] = err
+						stop.Store(true)
+						return
+					}
+				}
+			}()
 		}
-		if err := src.Err(); err != nil {
-			return nil, fmt.Errorf("sampling: %s interval %d: source: %w", pl.Name, rep.Interval, err)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
-		ms = append(ms, measured{
-			delta:     deltaStats(end, warm),
-			committed: end.Committed - warm.Committed,
-			weight:    rep.ClusterCommitted,
-		})
-		detail += src.Counts().Insts
 	}
 
 	// With every representative measured under cfg, fit the pilot blend and
@@ -568,6 +783,10 @@ func (pl *Plan) EstimateContext(ctx context.Context, cfg pipeline.Config, meta *
 		ms[i].cycleScale = s
 	}
 
+	var detail int64
+	for _, d := range details {
+		detail += d
+	}
 	est := extrapolate(ms)
 	est.Name = pl.Name
 	est.Policy = cfg.Policy.String()
@@ -580,13 +799,44 @@ func (pl *Plan) EstimateContext(ctx context.Context, cfg pipeline.Config, meta *
 	return &est, nil
 }
 
+// measureRep runs one representative's detailed window: restore the
+// window-entry checkpoint, install a clone of the warmed
+// microarchitectural state, and simulate warmup + measurement.
+func (pl *Plan) measureRep(ctx context.Context, cfg pipeline.Config, meta *compiler.Meta, i int, ws *pipeline.WarmState, out *measured, detail *int64) error {
+	rep := &pl.Reps[i]
+	m := emulator.NewRestored(pl.img, rep.WarmSnap)
+	// Seq is rebased before the first pull because sequence numbers double
+	// as window indices in the pipeline's dependence tracking.
+	m.RebaseSeq()
+	src := emulator.NewSource(m, rep.SrcBound)
+	core := pipeline.NewWarmCoreFromSource(cfg, src, meta, ws)
+	warm, end, err := runWindow(ctx, core, pl.Name, rep.Interval, cfg.Policy,
+		rep.WarmCommits, rep.WarmCommits+rep.MeasureCommits)
+	if err != nil {
+		return err
+	}
+	if err := src.Err(); err != nil {
+		return fmt.Errorf("sampling: %s interval %d under %v: source: %w",
+			pl.Name, rep.Interval, cfg.Policy, err)
+	}
+	*out = measured{
+		delta:     deltaStats(end, warm),
+		committed: end.Committed - warm.Committed,
+		weight:    rep.ClusterCommitted,
+	}
+	*detail = src.Counts().Insts
+	return nil
+}
+
 // runWindow steps the core until the measurement window has closed: warm
 // statistics are snapshotted at the first commit-count crossing of
 // warmTarget (the pre-step state when warmTarget is 0, so counters inflated
 // by functional warming still cancel), end statistics at the crossing of
 // endTarget — or at stream completion, whichever comes first. Mirrors
-// RunContext's cancellation cadence and livelock guard.
-func runWindow(ctx context.Context, core *pipeline.Core, warmTarget, endTarget int64) (warm, end pipeline.Stats, err error) {
+// RunContext's cancellation cadence and livelock guard. Errors carry full
+// provenance — workload, representative interval and commit policy — so
+// callers never have to re-wrap them.
+func runWindow(ctx context.Context, core *pipeline.Core, name string, interval int, policy pipeline.PolicyKind, warmTarget, endTarget int64) (warm, end pipeline.Stats, err error) {
 	done := ctx.Done()
 	warmTaken := warmTarget == 0
 	if warmTaken {
@@ -597,18 +847,19 @@ func runWindow(ctx context.Context, core *pipeline.Core, warmTarget, endTarget i
 		if done != nil && cycle%4096 == 0 {
 			select {
 			case <-done:
-				return warm, end, fmt.Errorf("window cancelled at cycle %d: %w", cycle, context.Cause(ctx))
+				return warm, end, fmt.Errorf("sampling: %s interval %d under %v: window cancelled at cycle %d: %w",
+					name, interval, policy, cycle, context.Cause(ctx))
 			default:
 			}
 		}
 		if cycle > maxWindowCycles {
-			return warm, end, fmt.Errorf("window livelock: %d cycles at %d committed",
-				cycle, core.CommittedCount())
+			return warm, end, fmt.Errorf("sampling: %s interval %d under %v: window livelock: %d cycles at %d committed",
+				name, interval, policy, cycle, core.CommittedCount())
 		}
 		core.Step()
 		cycle++
 		if serr := core.SanityErr(); serr != nil {
-			return warm, end, serr
+			return warm, end, fmt.Errorf("sampling: %s interval %d under %v: %w", name, interval, policy, serr)
 		}
 		c := core.CommittedCount()
 		if !warmTaken && c >= warmTarget {

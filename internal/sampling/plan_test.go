@@ -10,7 +10,7 @@ import (
 	"github.com/noreba-sim/noreba/internal/workloads"
 )
 
-func compileWorkload(t *testing.T, name string, scaleDiv int) *compiler.Result {
+func compileWorkload(t testing.TB, name string, scaleDiv int) *compiler.Result {
 	t.Helper()
 	w, err := workloads.ByName(name)
 	if err != nil {

@@ -1,0 +1,709 @@
+package sampling
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/program"
+)
+
+// The NRPF plan file is the on-disk form of a compiled sampling Plan: the
+// interval profile, the pilot timing columns that drive the warming clock,
+// and every representative with both of its checkpoints (architectural state
+// at the warm-span start and at the detailed-window start). Persisting a
+// plan amortises the expensive build passes — profiling, the detailed pilot
+// run, clustering, checkpoint capture — across process restarts and across
+// cluster replicas, exactly as results are amortised through the
+// content-addressed store.
+//
+// Layout (all integers varint/uvarint unless noted):
+//
+//	magic "NRPF", version u8
+//	name, params (IntervalLen MaxK WarmupIntervals CooldownInsts
+//	              FunctionalWarmInsts KMeansIters Seed), maxInsts
+//	image hash (32 raw bytes, ImageHash)
+//	full flag u8
+//	profile: TotalInsts TotalSetup, interval count,
+//	         per interval Start Insts Setup Traps + sorted BBV pairs
+//	warm-columns flag u8; warmRate[n] warmCum[n+1] as fixed float64 bits
+//	rep count; per rep the scalar fields, pilot columns, Snap, WarmSnap
+//	end marker u8 0xE7, then EOF
+//
+// Maps (BBVs, snapshot memory) are written sorted by key, so encoding is
+// deterministic: one plan, one byte string, one content hash.
+const (
+	// PlanFileVersion is the current NRPF format version. Readers reject
+	// other versions outright — a stale plan is rebuilt, never reinterpreted.
+	PlanFileVersion = 1
+
+	planMagic = "NRPF"
+	planEnd   = 0xE7
+
+	maxPlanNameLen   = 1 << 12
+	maxPlanIntervals = 1 << 22
+	maxPlanReps      = 1 << 12
+	maxPilotDims     = 1 << 8
+	maxMapEntries    = 1 << 22
+	// sizeHintCap bounds pre-allocation from untrusted counts: a hostile
+	// count still has to deliver the bytes before memory grows past this.
+	sizeHintCap = 1 << 12
+)
+
+// FormatError describes a malformed, truncated or stale plan file, naming
+// the byte offset at which decoding failed.
+type FormatError struct {
+	Offset int64
+	Msg    string
+	Err    error
+}
+
+func (e *FormatError) Error() string {
+	s := fmt.Sprintf("sampling: plan file: offset %d: %s", e.Offset, e.Msg)
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+func (e *FormatError) Unwrap() error { return e.Err }
+
+// AsFormatError unwraps err to a *FormatError, if one is in the chain.
+func AsFormatError(err error) (*FormatError, bool) {
+	var fe *FormatError
+	if errors.As(err, &fe) {
+		return fe, true
+	}
+	return nil, false
+}
+
+// ImageHash returns the sha256 of a canonical encoding of the program image:
+// the identity under which plans are stored and validated. Two images with
+// the same hash produce the same dynamic stream, so a plan checkpointed
+// against one is valid for the other.
+func ImageHash(img *program.Image) [sha256.Size]byte {
+	h := sha256.New()
+	var scratch [binary.MaxVarintLen64]byte
+	writeVarint := func(v int64) {
+		h.Write(scratch[:binary.PutVarint(scratch[:], v)])
+	}
+	writeString := func(s string) {
+		writeVarint(int64(len(s)))
+		io.WriteString(h, s)
+	}
+	writeString(img.Name)
+	writeVarint(int64(len(img.Insts)))
+	for _, in := range img.Insts {
+		writeVarint(int64(in.Op))
+		writeVarint(int64(in.Rd))
+		writeVarint(int64(in.Rs1))
+		writeVarint(int64(in.Rs2))
+		writeVarint(in.Imm)
+		writeVarint(in.Aux)
+		writeVarint(int64(in.Target))
+	}
+	writeVarint(int64(len(img.Data)))
+	for _, a := range sortedKeys(img.Data) {
+		writeVarint(a)
+		writeVarint(img.Data[a])
+	}
+	writeVarint(int64(len(img.FData)))
+	for _, a := range sortedFKeys(img.FData) {
+		writeVarint(a)
+		writeVarint(int64(math.Float64bits(img.FData[a])))
+	}
+	writeVarint(int64(len(img.ValidRanges)))
+	for _, r := range img.ValidRanges {
+		writeVarint(r[0])
+		writeVarint(r[1])
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// PlanKey returns the content-store key for a plan: sha256 over the format
+// version, the image hash, the stream bound and the normalized parameters.
+// Any change to the format, the program or the sampling configuration yields
+// a different key, so a stored plan can never be served to a request it was
+// not built for.
+func PlanKey(img *program.Image, maxInsts int64, p Params) string {
+	p = p.Normalize()
+	imgHash := ImageHash(img)
+	h := sha256.New()
+	fmt.Fprintf(h, "noreba-plan-v%d\n", PlanFileVersion)
+	h.Write(imgHash[:])
+	fmt.Fprintf(h, "%d\n%+v\n", maxInsts, p)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func sortedKeys(m map[int64]int64) []int64 {
+	ks := make([]int64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func sortedFKeys(m map[int64]float64) []int64 {
+	ks := make([]int64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// planWriter serialises into a byte buffer with varint scalars and fixed
+// 8-byte float bit patterns.
+type planWriter struct {
+	buf     bytes.Buffer
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func (w *planWriter) u8(b byte)      { w.buf.WriteByte(b) }
+func (w *planWriter) varint(v int64) { w.buf.Write(w.scratch[:binary.PutVarint(w.scratch[:], v)]) }
+func (w *planWriter) uvarint(v uint64) {
+	w.buf.Write(w.scratch[:binary.PutUvarint(w.scratch[:], v)])
+}
+
+func (w *planWriter) float(f float64) {
+	binary.LittleEndian.PutUint64(w.scratch[:8], math.Float64bits(f))
+	w.buf.Write(w.scratch[:8])
+}
+
+func (w *planWriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf.WriteString(s)
+}
+
+func (w *planWriter) floats(fs []float64) {
+	w.uvarint(uint64(len(fs)))
+	for _, f := range fs {
+		w.float(f)
+	}
+}
+
+func (w *planWriter) snapshot(s *emulator.Snapshot) {
+	for _, r := range s.IntRegs {
+		w.varint(r)
+	}
+	for _, r := range s.FPRegs {
+		w.float(r)
+	}
+	w.varint(int64(s.PC))
+	w.varint(s.Seq)
+	w.bool(s.Halted)
+	w.uvarint(uint64(len(s.Mem)))
+	for _, a := range sortedKeys(s.Mem) {
+		w.varint(a)
+		w.varint(s.Mem[a])
+	}
+	w.uvarint(uint64(len(s.FMem)))
+	for _, a := range sortedFKeys(s.FMem) {
+		w.varint(a)
+		w.float(s.FMem[a])
+	}
+}
+
+func (w *planWriter) bool(b bool) {
+	if b {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+// EncodePlan serialises the plan into the NRPF byte format. The encoding is
+// deterministic: equal plans produce equal bytes.
+func EncodePlan(pl *Plan) []byte {
+	w := &planWriter{}
+	w.buf.WriteString(planMagic)
+	w.u8(PlanFileVersion)
+	w.str(pl.Name)
+	p := pl.Params
+	w.varint(p.IntervalLen)
+	w.varint(int64(p.MaxK))
+	w.varint(int64(p.WarmupIntervals))
+	w.varint(p.CooldownInsts)
+	w.varint(p.FunctionalWarmInsts)
+	w.varint(int64(p.KMeansIters))
+	w.uvarint(p.Seed)
+	w.varint(pl.maxInsts)
+	imgHash := pl.imageHash()
+	w.buf.Write(imgHash[:])
+	w.bool(pl.Full)
+
+	prof := pl.Profile
+	w.varint(prof.TotalInsts)
+	w.varint(prof.TotalSetup)
+	w.uvarint(uint64(len(prof.Intervals)))
+	for i := range prof.Intervals {
+		iv := &prof.Intervals[i]
+		w.varint(iv.Start)
+		w.varint(iv.Insts)
+		w.varint(iv.Setup)
+		w.varint(iv.Traps)
+		w.uvarint(uint64(len(iv.BBV)))
+		pcs := make([]int, 0, len(iv.BBV))
+		for pc := range iv.BBV {
+			pcs = append(pcs, pc)
+		}
+		sort.Ints(pcs)
+		for _, pc := range pcs {
+			w.varint(int64(pc))
+			w.varint(iv.BBV[pc])
+		}
+	}
+
+	if len(pl.warmRate) > 0 {
+		w.u8(1)
+		for _, f := range pl.warmRate {
+			w.float(f)
+		}
+		for _, f := range pl.warmCum {
+			w.float(f)
+		}
+	} else {
+		w.u8(0)
+	}
+
+	w.uvarint(uint64(len(pl.Reps)))
+	for i := range pl.Reps {
+		r := &pl.Reps[i]
+		w.varint(int64(r.Interval))
+		w.float(r.Weight)
+		w.varint(r.ClusterCommitted)
+		w.varint(r.WarmStart)
+		w.varint(r.FuncWarmInsts)
+		w.varint(r.WarmCommits)
+		w.varint(r.MeasureCommits)
+		w.varint(r.SrcBound)
+		w.floats(r.PilotRep)
+		w.floats(r.PilotCluster)
+		w.snapshot(&r.Snap)
+		w.snapshot(&r.WarmSnap)
+	}
+	w.u8(planEnd)
+	return w.buf.Bytes()
+}
+
+// countingReader tracks the byte offset consumed so decode errors can name
+// where the file went wrong.
+type countingReader struct {
+	r   *bufio.Reader
+	pos int64
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.pos++
+	}
+	return b, err
+}
+
+func (c *countingReader) readFull(p []byte) error {
+	n, err := io.ReadFull(c.r, p)
+	c.pos += int64(n)
+	return err
+}
+
+// planReader decodes the NRPF byte format, wrapping every failure in a
+// *FormatError carrying the offending offset.
+type planReader struct {
+	cr countingReader
+}
+
+func (r *planReader) fail(msg string, err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		err = errors.New("truncated file")
+	}
+	return &FormatError{Offset: r.cr.pos, Msg: msg, Err: err}
+}
+
+func (r *planReader) failf(format string, args ...any) error {
+	return &FormatError{Offset: r.cr.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (r *planReader) u8(what string) (byte, error) {
+	b, err := r.cr.ReadByte()
+	if err != nil {
+		return 0, r.fail("reading "+what, err)
+	}
+	return b, nil
+}
+
+func (r *planReader) bool(what string) (bool, error) {
+	b, err := r.u8(what)
+	if err != nil {
+		return false, err
+	}
+	if b > 1 {
+		return false, r.failf("%s: bad boolean byte %#x", what, b)
+	}
+	return b == 1, nil
+}
+
+func (r *planReader) varint(what string) (int64, error) {
+	v, err := binary.ReadVarint(&r.cr)
+	if err != nil {
+		return 0, r.fail("reading "+what, err)
+	}
+	return v, nil
+}
+
+func (r *planReader) uvarint(what string) (uint64, error) {
+	v, err := binary.ReadUvarint(&r.cr)
+	if err != nil {
+		return 0, r.fail("reading "+what, err)
+	}
+	return v, nil
+}
+
+func (r *planReader) count(what string, max uint64) (int, error) {
+	v, err := r.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > max {
+		return 0, r.failf("%s %d exceeds limit %d", what, v, max)
+	}
+	return int(v), nil
+}
+
+func (r *planReader) float(what string) (float64, error) {
+	var raw [8]byte
+	if err := r.cr.readFull(raw[:]); err != nil {
+		return 0, r.fail("reading "+what, err)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(raw[:])), nil
+}
+
+func (r *planReader) str(what string, max uint64) (string, error) {
+	n, err := r.count(what+" length", max)
+	if err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if err := r.cr.readFull(b); err != nil {
+		return "", r.fail("reading "+what, err)
+	}
+	return string(b), nil
+}
+
+func (r *planReader) floats(what string) ([]float64, error) {
+	n, err := r.count(what+" count", maxPilotDims)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if out[i], err = r.float(what); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *planReader) snapshot(what string) (emulator.Snapshot, error) {
+	var s emulator.Snapshot
+	var err error
+	for i := range s.IntRegs {
+		if v, err := r.varint(what + " int register"); err != nil {
+			return s, err
+		} else {
+			s.IntRegs[i] = v
+		}
+	}
+	for i := range s.FPRegs {
+		if s.FPRegs[i], err = r.float(what + " fp register"); err != nil {
+			return s, err
+		}
+	}
+	pc, err := r.varint(what + " pc")
+	if err != nil {
+		return s, err
+	}
+	s.PC = int(pc)
+	if s.Seq, err = r.varint(what + " seq"); err != nil {
+		return s, err
+	}
+	if s.Halted, err = r.bool(what + " halted"); err != nil {
+		return s, err
+	}
+	nm, err := r.count(what+" memory entries", maxMapEntries)
+	if err != nil {
+		return s, err
+	}
+	s.Mem = make(map[int64]int64, hint(nm))
+	for i := 0; i < nm; i++ {
+		a, err := r.varint(what + " memory address")
+		if err != nil {
+			return s, err
+		}
+		v, err := r.varint(what + " memory value")
+		if err != nil {
+			return s, err
+		}
+		s.Mem[a] = v
+	}
+	nf, err := r.count(what+" fp memory entries", maxMapEntries)
+	if err != nil {
+		return s, err
+	}
+	s.FMem = make(map[int64]float64, hint(nf))
+	for i := 0; i < nf; i++ {
+		a, err := r.varint(what + " fp memory address")
+		if err != nil {
+			return s, err
+		}
+		v, err := r.float(what + " fp memory value")
+		if err != nil {
+			return s, err
+		}
+		s.FMem[a] = v
+	}
+	return s, nil
+}
+
+// hint caps a pre-allocation size derived from untrusted input: the data
+// still has to arrive byte by byte before memory grows past the cap.
+func hint(n int) int {
+	if n > sizeHintCap {
+		return sizeHintCap
+	}
+	return n
+}
+
+// DecodePlan parses NRPF bytes into a Plan without validating them against
+// any particular image — the fuzz surface. The returned plan is not usable
+// for estimation until bound to an image; use LoadPlan for that.
+func DecodePlan(data []byte) (*Plan, [sha256.Size]byte, error) {
+	r := &planReader{cr: countingReader{r: bufio.NewReader(bytes.NewReader(data))}}
+	var imgHash [sha256.Size]byte
+
+	magic := make([]byte, len(planMagic))
+	if err := r.cr.readFull(magic); err != nil {
+		return nil, imgHash, r.fail("reading magic", err)
+	}
+	if string(magic) != planMagic {
+		return nil, imgHash, r.failf("bad magic %q (want %q)", magic, planMagic)
+	}
+	version, err := r.u8("version")
+	if err != nil {
+		return nil, imgHash, err
+	}
+	if version != PlanFileVersion {
+		return nil, imgHash, r.failf("unsupported plan version %d (want %d)", version, PlanFileVersion)
+	}
+
+	pl := &Plan{}
+	if pl.Name, err = r.str("plan name", maxPlanNameLen); err != nil {
+		return nil, imgHash, err
+	}
+	p := Params{Enabled: true}
+	if p.IntervalLen, err = r.varint("interval length"); err != nil {
+		return nil, imgHash, err
+	}
+	var v int64
+	if v, err = r.varint("max k"); err != nil {
+		return nil, imgHash, err
+	}
+	p.MaxK = int(v)
+	if v, err = r.varint("warmup intervals"); err != nil {
+		return nil, imgHash, err
+	}
+	p.WarmupIntervals = int(v)
+	if p.CooldownInsts, err = r.varint("cooldown insts"); err != nil {
+		return nil, imgHash, err
+	}
+	if p.FunctionalWarmInsts, err = r.varint("functional warm insts"); err != nil {
+		return nil, imgHash, err
+	}
+	if v, err = r.varint("kmeans iters"); err != nil {
+		return nil, imgHash, err
+	}
+	p.KMeansIters = int(v)
+	if p.Seed, err = r.uvarint("seed"); err != nil {
+		return nil, imgHash, err
+	}
+	pl.Params = p
+	if pl.maxInsts, err = r.varint("max insts"); err != nil {
+		return nil, imgHash, err
+	}
+	if err = r.cr.readFull(imgHash[:]); err != nil {
+		return nil, imgHash, r.fail("reading image hash", err)
+	}
+	if pl.Full, err = r.bool("full flag"); err != nil {
+		return nil, imgHash, err
+	}
+
+	prof := &Profile{Name: pl.Name, IntervalLen: p.IntervalLen}
+	if prof.TotalInsts, err = r.varint("profile total insts"); err != nil {
+		return nil, imgHash, err
+	}
+	if prof.TotalSetup, err = r.varint("profile total setup"); err != nil {
+		return nil, imgHash, err
+	}
+	nIvs, err := r.count("interval count", maxPlanIntervals)
+	if err != nil {
+		return nil, imgHash, err
+	}
+	prof.Intervals = make([]Interval, 0, hint(nIvs))
+	for i := 0; i < nIvs; i++ {
+		iv := Interval{Index: i}
+		if iv.Start, err = r.varint("interval start"); err != nil {
+			return nil, imgHash, err
+		}
+		if iv.Insts, err = r.varint("interval insts"); err != nil {
+			return nil, imgHash, err
+		}
+		if iv.Setup, err = r.varint("interval setup"); err != nil {
+			return nil, imgHash, err
+		}
+		if iv.Traps, err = r.varint("interval traps"); err != nil {
+			return nil, imgHash, err
+		}
+		nb, err := r.count("bbv entries", maxMapEntries)
+		if err != nil {
+			return nil, imgHash, err
+		}
+		iv.BBV = make(map[int]int64, hint(nb))
+		for j := 0; j < nb; j++ {
+			pc, err := r.varint("bbv leader pc")
+			if err != nil {
+				return nil, imgHash, err
+			}
+			n, err := r.varint("bbv count")
+			if err != nil {
+				return nil, imgHash, err
+			}
+			iv.BBV[int(pc)] = n
+		}
+		prof.Intervals = append(prof.Intervals, iv)
+	}
+	pl.Profile = prof
+
+	warmPresent, err := r.bool("warm-columns flag")
+	if err != nil {
+		return nil, imgHash, err
+	}
+	if warmPresent {
+		pl.warmRate = make([]float64, nIvs)
+		for i := range pl.warmRate {
+			if pl.warmRate[i], err = r.float("warm rate"); err != nil {
+				return nil, imgHash, err
+			}
+		}
+		pl.warmCum = make([]float64, nIvs+1)
+		for i := range pl.warmCum {
+			if pl.warmCum[i], err = r.float("warm cum"); err != nil {
+				return nil, imgHash, err
+			}
+		}
+	}
+
+	nReps, err := r.count("rep count", maxPlanReps)
+	if err != nil {
+		return nil, imgHash, err
+	}
+	pl.Reps = make([]Rep, 0, hint(nReps))
+	for i := 0; i < nReps; i++ {
+		var rep Rep
+		if v, err = r.varint("rep interval"); err != nil {
+			return nil, imgHash, err
+		}
+		rep.Interval = int(v)
+		if rep.Weight, err = r.float("rep weight"); err != nil {
+			return nil, imgHash, err
+		}
+		if rep.ClusterCommitted, err = r.varint("rep cluster committed"); err != nil {
+			return nil, imgHash, err
+		}
+		if rep.WarmStart, err = r.varint("rep warm start"); err != nil {
+			return nil, imgHash, err
+		}
+		if rep.FuncWarmInsts, err = r.varint("rep functional warm insts"); err != nil {
+			return nil, imgHash, err
+		}
+		if rep.WarmCommits, err = r.varint("rep warm commits"); err != nil {
+			return nil, imgHash, err
+		}
+		if rep.MeasureCommits, err = r.varint("rep measure commits"); err != nil {
+			return nil, imgHash, err
+		}
+		if rep.SrcBound, err = r.varint("rep src bound"); err != nil {
+			return nil, imgHash, err
+		}
+		if rep.PilotRep, err = r.floats("rep pilot column"); err != nil {
+			return nil, imgHash, err
+		}
+		if rep.PilotCluster, err = r.floats("rep cluster pilot column"); err != nil {
+			return nil, imgHash, err
+		}
+		if rep.Snap, err = r.snapshot("rep checkpoint"); err != nil {
+			return nil, imgHash, err
+		}
+		if rep.WarmSnap, err = r.snapshot("rep warm checkpoint"); err != nil {
+			return nil, imgHash, err
+		}
+		pl.Reps = append(pl.Reps, rep)
+	}
+
+	end, err := r.u8("end marker")
+	if err != nil {
+		return nil, imgHash, err
+	}
+	if end != planEnd {
+		return nil, imgHash, r.failf("bad end marker %#x (want %#x)", end, planEnd)
+	}
+	if _, err := r.cr.ReadByte(); err != io.EOF {
+		return nil, imgHash, r.failf("trailing garbage after end marker")
+	}
+	pl.imgHash = imgHash
+	return pl, imgHash, nil
+}
+
+// imageHash returns the hash identifying the program this plan was built
+// for: computed from the bound image when there is one, otherwise the hash
+// recorded in the plan file (a decoded plan is encodable before binding).
+func (pl *Plan) imageHash() [sha256.Size]byte {
+	if pl.img != nil {
+		return ImageHash(pl.img)
+	}
+	return pl.imgHash
+}
+
+// LoadPlan decodes NRPF bytes and binds the plan to the image it will
+// estimate, verifying that the file was built for exactly this program,
+// stream bound and sampling configuration. Version, hash or parameter
+// mismatches are *FormatErrors: the caller treats them as a cache miss and
+// rebuilds — a stale plan is never trusted.
+func LoadPlan(data []byte, img *program.Image, maxInsts int64, p Params) (*Plan, error) {
+	pl, gotHash, err := DecodePlan(data)
+	if err != nil {
+		return nil, err
+	}
+	if want := ImageHash(img); gotHash != want {
+		return nil, &FormatError{Offset: int64(len(planMagic)) + 1,
+			Msg: fmt.Sprintf("image hash mismatch: plan built for %x, image is %x", gotHash[:8], want[:8])}
+	}
+	if pl.maxInsts != maxInsts {
+		return nil, &FormatError{Msg: fmt.Sprintf("stream bound mismatch: plan built for %d, want %d", pl.maxInsts, maxInsts)}
+	}
+	if norm := p.Normalize(); pl.Params != norm {
+		return nil, &FormatError{Msg: fmt.Sprintf("params mismatch: plan built for %+v, want %+v", pl.Params, norm)}
+	}
+	pl.img = img
+	return pl, nil
+}

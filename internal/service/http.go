@@ -115,6 +115,8 @@ type RunnerMetrics struct {
 	PeakBusRecords int64   `json:"peakBusRecords"`
 	SampledRuns    int64   `json:"sampledRuns"`
 	PlansBuilt     int64   `json:"plansBuilt"`
+	PlanStoreHits  int64   `json:"planStoreHits"`
+	PlanStoreMiss  int64   `json:"planStoreMisses"`
 	StoreHits      int64   `json:"storeHits"`
 	StoreMisses    int64   `json:"storeMisses"`
 	StorePutErrors int64   `json:"storePutErrors"`
@@ -392,6 +394,8 @@ func (s *Server) Metrics() MetricsResponse {
 		PeakBusRecords: run.PeakBusRecords(),
 		SampledRuns:    run.SampledRuns(),
 		PlansBuilt:     run.PlansBuilt(),
+		PlanStoreHits:  run.PlanStoreHits(),
+		PlanStoreMiss:  run.PlanStoreMisses(),
 		StoreHits:      run.StoreHits(),
 		StoreMisses:    run.StoreMisses(),
 		StorePutErrors: run.StorePutErrors(),

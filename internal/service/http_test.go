@@ -26,15 +26,19 @@ func newTestServer(t *testing.T, workers, queueLimit int) (*httptest.Server, *Sc
 	return ts, sched
 }
 
-// newSlowServer is newTestServer with a full-scale runner: its jobs run for
-// hundreds of milliseconds, so a "blocker" job reliably holds the single
-// worker across the few HTTP round-trips a test needs to line up a race-free
-// cancel or subscribe against a still-queued job.
+// newSlowServer is newTestServer with a full-scale sanitized runner: its
+// jobs run for tens of milliseconds each, so a chain of "blocker" jobs (see
+// postBlockers) holds the single worker across the few HTTP round-trips a
+// test needs to line up a race-free cancel or subscribe against a
+// still-queued job. HTTP round-trips on a loaded box can take tens of
+// milliseconds themselves — the engine's CPU burn starves the handler
+// goroutines — so one blocker alone is not a reliable window.
 func newSlowServer(t *testing.T, workers, queueLimit int) (*httptest.Server, *Scheduler) {
 	t.Helper()
 	r := testRunner()
 	r.MaxInsts = 1 << 20
 	r.ScaleDiv = 1
+	r.Sanitize = true
 	sched := NewScheduler(SchedulerConfig{Runner: r, Workers: workers, QueueLimit: queueLimit})
 	ts := httptest.NewServer(NewServer(sched, nil))
 	t.Cleanup(func() {
@@ -42,6 +46,27 @@ func newSlowServer(t *testing.T, workers, queueLimit int) (*httptest.Server, *Sc
 		sched.Shutdown(context.Background())
 	})
 	return ts, sched
+}
+
+// postBlockers queues several distinct full-detail jobs on a slow server —
+// distinct specs, because identical ones would collapse onto one cached run
+// — giving later submissions a worker-busy window of a few hundred
+// milliseconds, an order of magnitude above contended round-trip latency.
+func postBlockers(t *testing.T, ts *httptest.Server) []SubmitResponse {
+	t.Helper()
+	var out []SubmitResponse
+	for _, body := range []string{
+		`{"workload":"dijkstra","policy":"inorder"}`,
+		`{"workload":"dijkstra","policy":"noreba"}`,
+		`{"workload":"mcf","policy":"noreba"}`,
+	} {
+		sub, resp := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("blocker rejected: %d", resp.StatusCode)
+		}
+		out = append(out, sub)
+	}
+	return out
 }
 
 func postJob(t *testing.T, ts *httptest.Server, body string) (SubmitResponse, *http.Response) {
@@ -198,7 +223,7 @@ func TestHTTPCancel(t *testing.T) {
 	ts, _ := newSlowServer(t, 1, 16)
 
 	// Occupy the worker, then cancel a queued job.
-	postJob(t, ts, `{"workload":"dijkstra","policy":"inorder"}`)
+	postBlockers(t, ts)
 	victim, _ := postJob(t, ts, `{"workload":"gobmk","policy":"inorder"}`)
 
 	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/jobs/"+victim.ID+"/cancel", nil)
@@ -223,7 +248,7 @@ func TestHTTPEventStream(t *testing.T) {
 
 	// Hold the single worker so the streaming job is still queued when we
 	// attach the subscriber — no events can be lost to a late attach.
-	blocker, _ := postJob(t, ts, `{"workload":"dijkstra","policy":"inorder"}`)
+	blockers := postBlockers(t, ts)
 	streamer, resp := postJob(t, ts, `{"workload":"sha","policy":"noreba","events":true}`)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatal("streamer rejected")
@@ -267,13 +292,15 @@ func TestHTTPEventStream(t *testing.T) {
 			t.Errorf("stream missing %q events (saw %v)", want, kinds)
 		}
 	}
-	waitDone(t, ts, blocker.ID)
+	for _, b := range blockers {
+		waitDone(t, ts, b.ID)
+	}
 	if st := waitDone(t, ts, streamer.ID); st.State != StateDone {
 		t.Fatalf("streamer ended %s", st.State)
 	}
 
 	// Jobs without events do not stream.
-	if er := getJSON(t, ts.URL+"/jobs/"+blocker.ID+"/events", nil); er.StatusCode != http.StatusConflict {
+	if er := getJSON(t, ts.URL+"/jobs/"+blockers[0].ID+"/events", nil); er.StatusCode != http.StatusConflict {
 		t.Errorf("events on non-streaming job: %d", er.StatusCode)
 	}
 }

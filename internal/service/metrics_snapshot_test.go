@@ -27,6 +27,8 @@ func TestMetricsResponseSnapshot(t *testing.T) {
 			PeakBusRecords: 9000,
 			SampledRuns:    1,
 			PlansBuilt:     1,
+			PlanStoreHits:  2,
+			PlanStoreMiss:  1,
 			StoreHits:      6,
 			StoreMisses:    6,
 			StorePutErrors: 0,
@@ -68,6 +70,8 @@ func TestMetricsResponseSnapshot(t *testing.T) {
     "peakBusRecords": 9000,
     "sampledRuns": 1,
     "plansBuilt": 1,
+    "planStoreHits": 2,
+    "planStoreMisses": 1,
     "storeHits": 6,
     "storeMisses": 6,
     "storePutErrors": 0,

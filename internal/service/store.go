@@ -22,36 +22,44 @@ import (
 
 // DiskStore is a persistent, content-addressed simulation-result store: one
 // JSON file per result, named by the canonical config hash
-// (experiments.Runner.ConfigHash). Writes are crash-safe — marshalled to a
-// temp file in the same directory, fsynced, then renamed into place — so a
-// torn write can never be read back as a result. Total on-disk size is
-// bounded: when an insert pushes the store past MaxBytes, least-recently-
-// used entries are deleted (recency is in-memory access order, seeded from
-// file modification times at open).
+// (experiments.Runner.ConfigHash), plus one binary file per stored artifact
+// blob (encoded sampling plans, named by their plan hash — see
+// experiments.BlobStore). Writes are crash-safe — marshalled to a temp file
+// in the same directory, fsynced, then renamed into place — so a torn write
+// can never be read back. Total on-disk size is bounded: when an insert
+// pushes the store past MaxBytes, least-recently-used entries are deleted
+// (recency is in-memory access order, seeded from file modification times at
+// open). Results and blobs share the directory, the recency order and the
+// byte bound, but live in separate key namespaces: entries are indexed by
+// file name, so a result and a blob under the same content hash coexist.
 //
 // All methods are safe for concurrent use.
 type DiskStore struct {
 	dir      string
 	maxBytes int64
 
-	mu    sync.Mutex
-	byKey map[string]*storeEntry
-	lru   *list.List // *storeEntry, front = most recently used
-	bytes int64
+	mu     sync.Mutex
+	byName map[string]*storeEntry
+	lru    *list.List // *storeEntry, front = most recently used
+	bytes  int64
 
 	hits, misses, puts, evictions atomic.Int64
 }
 
 type storeEntry struct {
-	key  string
+	name string // file name: key + extension
 	size int64
 	elem *list.Element
 }
 
-// resultExt is the suffix of committed result files; anything else in the
-// store directory (in particular abandoned temp files from a crash mid-Put)
-// is garbage-collected at open.
+// resultExt is the suffix of committed result files.
 const resultExt = ".json"
+
+// blobExt is the suffix of committed binary-artifact files (encoded sampling
+// plans). Anything in the store directory carrying neither suffix — in
+// particular abandoned temp files from a crash mid-Put — is garbage-collected
+// at open.
+const blobExt = ".bin"
 
 // tempFileGrace is how old a non-result file must be before open-time
 // garbage collection may delete it: long enough that no live writer's
@@ -60,8 +68,8 @@ const tempFileGrace = time.Minute
 
 // OpenDiskStore opens (creating if needed) a result store rooted at dir,
 // bounded to maxBytes of result data (<= 0 means 1 GiB). Leftover temporary
-// files from an interrupted writer are removed; existing results are
-// indexed oldest-first so eviction order survives restarts.
+// files from an interrupted writer are removed; existing results and blobs
+// are indexed oldest-first so eviction order survives restarts.
 func OpenDiskStore(dir string, maxBytes int64) (*DiskStore, error) {
 	if maxBytes <= 0 {
 		maxBytes = 1 << 30
@@ -69,14 +77,14 @@ func OpenDiskStore(dir string, maxBytes int64) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: open store: %w", err)
 	}
-	s := &DiskStore{dir: dir, maxBytes: maxBytes, byKey: map[string]*storeEntry{}, lru: list.New()}
+	s := &DiskStore{dir: dir, maxBytes: maxBytes, byName: map[string]*storeEntry{}, lru: list.New()}
 
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("service: open store: %w", err)
 	}
 	type seed struct {
-		key  string
+		name string
 		size int64
 		mod  time.Time
 	}
@@ -86,7 +94,13 @@ func OpenDiskStore(dir string, maxBytes int64) (*DiskStore, error) {
 			continue
 		}
 		name := de.Name()
-		if !strings.HasSuffix(name, resultExt) {
+		var ext string
+		switch {
+		case strings.HasSuffix(name, resultExt):
+			ext = resultExt
+		case strings.HasSuffix(name, blobExt):
+			ext = blobExt
+		default:
 			// Abandoned temp file (crash between create and rename) —
 			// but only if it is actually stale: another process may be
 			// mid-Put in this directory right now (a replica restarting
@@ -97,21 +111,20 @@ func OpenDiskStore(dir string, maxBytes int64) (*DiskStore, error) {
 			}
 			continue
 		}
-		key := strings.TrimSuffix(name, resultExt)
-		if !validKey(key) {
+		if !validKey(strings.TrimSuffix(name, ext)) {
 			continue
 		}
 		info, err := de.Info()
 		if err != nil {
 			continue
 		}
-		seeds = append(seeds, seed{key: key, size: info.Size(), mod: info.ModTime()})
+		seeds = append(seeds, seed{name: name, size: info.Size(), mod: info.ModTime()})
 	}
 	sort.Slice(seeds, func(i, j int) bool { return seeds[i].mod.Before(seeds[j].mod) })
 	for _, sd := range seeds {
-		e := &storeEntry{key: sd.key, size: sd.size}
+		e := &storeEntry{name: sd.name, size: sd.size}
 		e.elem = s.lru.PushFront(e)
-		s.byKey[sd.key] = e
+		s.byName[sd.name] = e
 		s.bytes += sd.size
 	}
 	s.mu.Lock()
@@ -134,7 +147,28 @@ func validKey(key string) bool {
 	return true
 }
 
-func (s *DiskStore) path(key string) string { return filepath.Join(s.dir, key+resultExt) }
+func (s *DiskStore) path(name string) string { return filepath.Join(s.dir, name) }
+
+// getFile returns the raw bytes of the named entry, bumping its recency. A
+// missing or unreadable file is forgotten and removed. Hit/miss accounting is
+// the caller's: a readable file can still be a miss (corrupt payload).
+func (s *DiskStore) getFile(name string) ([]byte, bool) {
+	s.mu.Lock()
+	e := s.byName[name]
+	if e != nil {
+		s.lru.MoveToFront(e.elem)
+	}
+	s.mu.Unlock()
+	if e == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(name))
+	if err != nil {
+		s.drop(name)
+		return nil, false
+	}
+	return data, true
+}
 
 // Get returns the stored result for key, if present and readable. A missing
 // or corrupt file is a miss (the corrupt file is forgotten and removed so
@@ -144,25 +178,14 @@ func (s *DiskStore) Get(key string) (*pipeline.Stats, bool) {
 		s.misses.Add(1)
 		return nil, false
 	}
-	s.mu.Lock()
-	e := s.byKey[key]
-	if e != nil {
-		s.lru.MoveToFront(e.elem)
-	}
-	s.mu.Unlock()
-	if e == nil {
-		s.misses.Add(1)
-		return nil, false
-	}
-	data, err := os.ReadFile(s.path(key))
-	if err != nil {
-		s.drop(key)
+	data, ok := s.getFile(key + resultExt)
+	if !ok {
 		s.misses.Add(1)
 		return nil, false
 	}
 	var st pipeline.Stats
 	if err := json.Unmarshal(data, &st); err != nil {
-		s.drop(key)
+		s.drop(key + resultExt)
 		s.misses.Add(1)
 		return nil, false
 	}
@@ -170,18 +193,29 @@ func (s *DiskStore) Get(key string) (*pipeline.Stats, bool) {
 	return &st, true
 }
 
-// Put durably stores st under key, then evicts least-recently-used entries
-// until the store fits its byte bound again (the entry just written is
-// always kept).
-func (s *DiskStore) Put(key string, st *pipeline.Stats) error {
+// GetBlob returns the binary artifact stored under key (see PutBlob).
+// Payload integrity is the caller's concern — sampling plan files carry
+// their own magic, version and bounds checks, and a decode failure there
+// simply falls back to a rebuild.
+func (s *DiskStore) GetBlob(key string) ([]byte, bool) {
 	if !validKey(key) {
-		return fmt.Errorf("service: store put: invalid key %q", key)
+		s.misses.Add(1)
+		return nil, false
 	}
-	data, err := json.Marshal(st)
-	if err != nil {
-		return fmt.Errorf("service: store put: %w", err)
+	data, ok := s.getFile(key + blobExt)
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
 	}
-	tmp, err := os.CreateTemp(s.dir, key+".tmp-*")
+	s.hits.Add(1)
+	return data, true
+}
+
+// putFile durably writes one entry (temp file, fsync, rename), then evicts
+// least-recently-used entries until the store fits its byte bound again (the
+// entry just written is always kept).
+func (s *DiskStore) putFile(name string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, name+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("service: store put: %w", err)
 	}
@@ -193,7 +227,7 @@ func (s *DiskStore) Put(key string, st *pipeline.Stats) error {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmpName, s.path(key))
+		err = os.Rename(tmpName, s.path(name))
 	}
 	if err != nil {
 		os.Remove(tmpName)
@@ -201,14 +235,14 @@ func (s *DiskStore) Put(key string, st *pipeline.Stats) error {
 	}
 
 	s.mu.Lock()
-	if e := s.byKey[key]; e != nil {
+	if e := s.byName[name]; e != nil {
 		s.bytes += int64(len(data)) - e.size
 		e.size = int64(len(data))
 		s.lru.MoveToFront(e.elem)
 	} else {
-		e := &storeEntry{key: key, size: int64(len(data))}
+		e := &storeEntry{name: name, size: int64(len(data))}
 		e.elem = s.lru.PushFront(e)
-		s.byKey[key] = e
+		s.byName[name] = e
 		s.bytes += e.size
 	}
 	s.evictLocked()
@@ -217,16 +251,37 @@ func (s *DiskStore) Put(key string, st *pipeline.Stats) error {
 	return nil
 }
 
+// Put durably stores st under key.
+func (s *DiskStore) Put(key string, st *pipeline.Stats) error {
+	if !validKey(key) {
+		return fmt.Errorf("service: store put: invalid key %q", key)
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("service: store put: %w", err)
+	}
+	return s.putFile(key+resultExt, data)
+}
+
+// PutBlob durably stores an opaque binary artifact under key, sharing the
+// result store's recency order and byte bound but not its key namespace.
+func (s *DiskStore) PutBlob(key string, data []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("service: store put: invalid key %q", key)
+	}
+	return s.putFile(key+blobExt, data)
+}
+
 // drop forgets and deletes one entry (unreadable or corrupt file).
-func (s *DiskStore) drop(key string) {
+func (s *DiskStore) drop(name string) {
 	s.mu.Lock()
-	if e := s.byKey[key]; e != nil {
+	if e := s.byName[name]; e != nil {
 		s.lru.Remove(e.elem)
-		delete(s.byKey, key)
+		delete(s.byName, name)
 		s.bytes -= e.size
 	}
 	s.mu.Unlock()
-	os.Remove(s.path(key))
+	os.Remove(s.path(name))
 }
 
 // evictLocked deletes least-recently-used entries until the byte bound
@@ -236,21 +291,21 @@ func (s *DiskStore) evictLocked() {
 		elem := s.lru.Back()
 		e := elem.Value.(*storeEntry)
 		s.lru.Remove(elem)
-		delete(s.byKey, e.key)
+		delete(s.byName, e.name)
 		s.bytes -= e.size
-		os.Remove(s.path(e.key))
+		os.Remove(s.path(e.name))
 		s.evictions.Add(1)
 	}
 }
 
-// Len returns the number of stored results.
+// Len returns the number of stored entries (results and blobs).
 func (s *DiskStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.byKey)
+	return len(s.byName)
 }
 
-// Bytes returns the total size of stored result data.
+// Bytes returns the total size of stored data (results and blobs).
 func (s *DiskStore) Bytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -272,7 +327,7 @@ type StoreStats struct {
 // Stats summarises the store's activity since open.
 func (s *DiskStore) Stats() StoreStats {
 	s.mu.Lock()
-	entries, bytes := len(s.byKey), s.bytes
+	entries, bytes := len(s.byName), s.bytes
 	s.mu.Unlock()
 	return StoreStats{
 		Entries:   entries,

@@ -138,7 +138,7 @@ func TestDiskStoreLRUEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	entrySize := probe.Bytes()
-	os.Remove(probe.path(hexKey(0)))
+	os.Remove(probe.path(hexKey(0) + resultExt))
 
 	// Room for two entries, not three.
 	s, err := OpenDiskStore(t.TempDir(), 2*entrySize+entrySize/2)
@@ -185,5 +185,105 @@ func TestDiskStoreRejectsHostileKeys(t *testing.T) {
 		if _, ok := s.Get(key); ok {
 			t.Errorf("Get(%q) reported a hit", key)
 		}
+		if err := s.PutBlob(key, []byte("x")); err == nil {
+			t.Errorf("PutBlob(%q) accepted an invalid key", key)
+		}
+		if _, ok := s.GetBlob(key); ok {
+			t.Errorf("GetBlob(%q) reported a hit", key)
+		}
+	}
+}
+
+// TestDiskStoreBlobNamespace: blobs round-trip raw bytes, coexist with a
+// result under the same content hash, and both survive a reopen.
+func TestDiskStoreBlobNamespace(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := hexKey(0)
+	blob := []byte{'N', 'R', 'P', 'F', 1, 0, 0xFF, 0x00, 0x7F}
+	if err := s.PutBlob(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	wantStats := sampleStats(99)
+	if err := s.Put(key, wantStats); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetBlob(key)
+	if !ok {
+		t.Fatal("stored blob not found")
+	}
+	if !reflect.DeepEqual(got, blob) {
+		t.Errorf("blob round trip changed the bytes: got %x want %x", got, blob)
+	}
+	gotStats, ok := s.Get(key)
+	if !ok {
+		t.Fatal("result under the blob's key not found")
+	}
+	if !reflect.DeepEqual(gotStats, wantStats) {
+		t.Error("result under the blob's key changed")
+	}
+	if s.Len() != 2 {
+		t.Errorf("store holds %d entries, want 2 (one result + one blob)", s.Len())
+	}
+	if _, ok := s.GetBlob(hexKey(1)); ok {
+		t.Error("unknown blob key reported as hit")
+	}
+
+	// Both namespaces are reindexed at open.
+	s2, err := OpenDiskStore(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.GetBlob(key); !ok || !reflect.DeepEqual(got, blob) {
+		t.Errorf("blob lost or changed across reopen: %x ok=%v", got, ok)
+	}
+	if _, ok := s2.Get(key); !ok {
+		t.Error("result lost across reopen")
+	}
+}
+
+// TestDiskStoreBlobEviction: blobs count toward the shared byte bound and are
+// evicted in the same recency order as results.
+func TestDiskStoreBlobEviction(t *testing.T) {
+	const blobSize = 512
+	blob := func(fill byte) []byte {
+		b := make([]byte, blobSize)
+		for i := range b {
+			b[i] = fill
+		}
+		return b
+	}
+	// Room for two blobs, not three.
+	s, err := OpenDiskStore(t.TempDir(), 2*blobSize+blobSize/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0, k1, k2 := hexKey(0), hexKey(1), hexKey(2)
+	if err := s.PutBlob(k0, blob(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutBlob(k1, blob(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetBlob(k0); !ok { // touch k0 so k1 is the victim
+		t.Fatal("k0 missing before eviction")
+	}
+	if err := s.PutBlob(k2, blob(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetBlob(k1); ok {
+		t.Error("least-recently-used blob survived eviction")
+	}
+	if _, ok := s.GetBlob(k0); !ok {
+		t.Error("recently used blob was evicted")
+	}
+	if _, ok := s.GetBlob(k2); !ok {
+		t.Error("just-written blob was evicted")
+	}
+	if st := s.Stats(); st.Evictions == 0 || st.Bytes > st.MaxBytes {
+		t.Errorf("blob eviction accounting wrong: %+v", st)
 	}
 }

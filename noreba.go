@@ -233,6 +233,9 @@ type (
 	// representative intervals with checkpoints, reusable across every core
 	// configuration estimated from it.
 	SamplingPlan = sampling.Plan
+	// SamplingFormatError is the typed diagnostic for corrupt, truncated or
+	// mismatched plan files, naming the byte offset.
+	SamplingFormatError = sampling.FormatError
 )
 
 // DefaultSampling returns the enabled sampling configuration with the tuned
@@ -247,6 +250,28 @@ func DefaultSampling() SamplingParams { return sampling.Default() }
 // internal/experiments bounds the IPC error empirically.
 func BuildSamplingPlan(res *CompileResult, maxInsts int64, p SamplingParams) (*SamplingPlan, error) {
 	return sampling.BuildPlan(res.Image, res.Meta, maxInsts, p)
+}
+
+// SamplingPlanKey returns the content-store key under which a plan for
+// (res, maxInsts, p) is persisted: sha256 over the plan-file format version,
+// the compiled image's content hash, the stream bound and the normalized
+// parameters. Recompiling the program or changing any input yields a new key.
+func SamplingPlanKey(res *CompileResult, maxInsts int64, p SamplingParams) string {
+	return sampling.PlanKey(res.Image, maxInsts, p)
+}
+
+// EncodeSamplingPlan serialises a plan into the versioned binary plan-file
+// format, suitable for a persistent store or a file. Equal plans encode to
+// identical bytes.
+func EncodeSamplingPlan(pl *SamplingPlan) []byte { return sampling.EncodePlan(pl) }
+
+// LoadSamplingPlan decodes plan-file bytes and binds the plan to the program
+// it will estimate, verifying that the file was built for exactly this
+// image, stream bound and sampling configuration. Corrupt, stale or
+// mismatched bytes fail with a *SamplingFormatError — callers treat that as
+// a cache miss and rebuild with BuildSamplingPlan.
+func LoadSamplingPlan(data []byte, res *CompileResult, maxInsts int64, p SamplingParams) (*SamplingPlan, error) {
+	return sampling.LoadPlan(data, res.Image, maxInsts, p)
 }
 
 // Observability and invariant checking.
