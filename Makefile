@@ -1,4 +1,4 @@
-.PHONY: check test vet bench cover fuzz serve-smoke cluster-smoke profile
+.PHONY: check test vet bench cover fuzz serve-smoke cluster-smoke profile profile-top
 
 # Full CI gate: gofmt, vet, build, race-enabled tests, coverage floors,
 # fuzz smokes, engine benchmarks.
@@ -22,6 +22,15 @@ bench:
 profile:
 	go run ./cmd/noreba-bench -quick -cpuprofile cpu.pprof -memprofile mem.pprof >/dev/null
 	@echo "wrote cpu.pprof and mem.pprof; inspect with: go tool pprof cpu.pprof"
+
+# One-shot hot-loop report: profile the quick-scale suite at GOMAXPROCS=1
+# (single-threaded flat time is what the EXPERIMENTS.md tables use) and print
+# the pprof top-25 so a perf PR's before/after numbers are one command away.
+profile-top:
+	go build -o noreba-bench.profiling ./cmd/noreba-bench
+	GOMAXPROCS=1 ./noreba-bench.profiling -quick -cpuprofile cpu.pprof >/dev/null
+	go tool pprof -top -nodecount=25 cpu.pprof
+	@rm -f noreba-bench.profiling
 
 # Coverage for the gated packages (the floor itself is enforced by check).
 cover:

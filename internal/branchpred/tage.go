@@ -52,6 +52,16 @@ type TAGE struct {
 	foldTagA [numTagged]uint32 // foldHistory(histLens[i], tagBits)
 	foldTagB [numTagged]uint32 // foldHistory(histLens[i], tagBits-1)
 
+	// Circular shift registers, one per memoized fold: csrX[i] holds the
+	// unreversed positional fold Q(n, bits) = XOR over ages a < n of
+	// h_a << (a mod bits), maintained O(1) per history shift (the Seznec
+	// CSR formulation) instead of rescanned from the packed history. The
+	// memoized fold values above derive from these in O(1) each — see
+	// foldFromCSR. Clone's struct copy keeps them consistent with hist.
+	csrIdx  [numTagged]uint32 // Q(histLens[i], taggedBits)
+	csrTagA [numTagged]uint32 // Q(histLens[i], tagBits)
+	csrTagB [numTagged]uint32 // Q(histLens[i], tagBits-1)
+
 	useAlt int8 // 4-bit counter choosing alt prediction on weak providers
 
 	loop *loopPredictor
@@ -123,16 +133,83 @@ func reverseBits(v uint32, width int) uint32 {
 	return mathbits.Reverse32(v) >> (32 - width)
 }
 
-// refreshFolds recomputes the memoized folded indices and tags if the
-// history has shifted since they were last computed.
+// rotl1 rotates the low width bits of v left by one.
+func rotl1(v uint32, width int) uint32 {
+	return (v<<1 | v>>(width-1)) & (1<<width - 1)
+}
+
+// shiftCSRs advances every circular shift register by one history position.
+// Must be called immediately before the history shift that records taken:
+// the outgoing bit of each window (age n-1) is read from the pre-shift
+// history. Aging every bit by one rotates its chunk position (a mod bits)
+// left by one; the incoming bit lands at position 0 and the outgoing bit —
+// which the rotation wrapped to position n mod bits — is cancelled.
+func (t *TAGE) shiftCSRs(taken bool) {
+	var b uint32
+	if taken {
+		b = 1
+	}
+	for i, n := range histLens {
+		out := t.histBits(n-1, 1)
+		t.csrIdx[i] = rotl1(t.csrIdx[i], taggedBits) ^ out<<(n%taggedBits) ^ b
+		t.csrTagA[i] = rotl1(t.csrTagA[i], tagBits) ^ out<<(n%tagBits) ^ b
+		t.csrTagB[i] = rotl1(t.csrTagB[i], tagBits-1) ^ out<<(n%(tagBits-1)) ^ b
+	}
+}
+
+// foldFromCSR derives foldHistory(n, bits) from the maintained CSR in O(1).
+// The CSR accumulates chunks in positional (unreversed) bit order with the
+// final partial chunk included at the low rem bits; foldHistory reverses
+// each full chunk and XORs the partial chunk reversed within its own rem
+// width. Splitting the partial chunk P back out of the CSR and re-adding it
+// reversed-within-rem reconciles the two.
+func (t *TAGE) foldFromCSR(csr uint32, n, bits int) uint32 {
+	rem := n % bits
+	if rem == 0 {
+		return reverseBits(csr, bits)
+	}
+	p := t.histBits(n-rem, rem)
+	return reverseBits(csr^p, bits) ^ reverseBits(p, rem)
+}
+
+// rebuildCSRs recomputes every circular shift register from the packed
+// history via the reference fold. Slow path: only needed when hist is
+// replaced wholesale rather than shifted (tests; Clone never needs it since
+// the struct copy keeps CSRs and hist consistent).
+func (t *TAGE) rebuildCSRs() {
+	for i, n := range histLens {
+		t.csrIdx[i] = t.rawFold(n, taggedBits)
+		t.csrTagA[i] = t.rawFold(n, tagBits)
+		t.csrTagB[i] = t.rawFold(n, tagBits-1)
+	}
+	t.memoGen = ^uint64(0)
+}
+
+// rawFold computes the positional (unreversed, partial-chunk-included) fold
+// Q(n, bits) directly from the packed history.
+func (t *TAGE) rawFold(n, bits int) uint32 {
+	var q uint32
+	for pos := 0; pos < n; pos += bits {
+		w := bits
+		if pos+w > n {
+			w = n - pos
+		}
+		q ^= t.histBits(pos, w)
+	}
+	return q
+}
+
+// refreshFolds rederives the memoized folded indices and tags from the
+// incrementally-maintained CSRs if the history has shifted since they were
+// last computed. O(1) per fold.
 func (t *TAGE) refreshFolds() {
 	if t.memoGen == t.histGen {
 		return
 	}
 	for i, n := range histLens {
-		t.foldIdx[i] = t.foldHistory(n, taggedBits)
-		t.foldTagA[i] = t.foldHistory(n, tagBits)
-		t.foldTagB[i] = t.foldHistory(n, tagBits-1)
+		t.foldIdx[i] = t.foldFromCSR(t.csrIdx[i], n, taggedBits)
+		t.foldTagA[i] = t.foldFromCSR(t.csrTagA[i], n, tagBits)
+		t.foldTagB[i] = t.foldFromCSR(t.csrTagB[i], n, tagBits-1)
 	}
 	t.memoGen = t.histGen
 }
@@ -279,7 +356,9 @@ func (t *TAGE) Update(pc int, taken bool) {
 		}
 	}
 
-	// Shift global history.
+	// Shift global history; the CSRs shift first (they read each window's
+	// outgoing bit from the pre-shift history).
+	t.shiftCSRs(taken)
 	t.hist[1] = t.hist[1]<<1 | t.hist[0]>>63
 	t.hist[0] <<= 1
 	if taken {

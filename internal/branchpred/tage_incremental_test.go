@@ -1,0 +1,104 @@
+package branchpred
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/noreba-sim/noreba/internal/emulator"
+	"github.com/noreba-sim/noreba/internal/workgen"
+)
+
+// refreshFoldsSlow recomputes the memoized folds the way the predictor did
+// before the CSRs existed: a full foldHistory rescan of the packed history
+// per (length, width) pair. Kept in the test as the oracle the incremental
+// path must match bit-for-bit.
+func (t *TAGE) refreshFoldsSlow() {
+	for i, n := range histLens {
+		t.foldIdx[i] = t.foldHistory(n, taggedBits)
+		t.foldTagA[i] = t.foldHistory(n, tagBits)
+		t.foldTagB[i] = t.foldHistory(n, tagBits-1)
+	}
+	t.memoGen = t.histGen
+}
+
+// TestIncrementalFoldsMatchRescan drives a long random branch stream and
+// checks after every history shift that each CSR-derived fold equals the
+// from-scratch foldHistory rescan, and that each CSR equals the rawFold
+// rebuild — so rebuildCSRs (the restore path) and shiftCSRs (the hot path)
+// agree on every reachable history.
+func TestIncrementalFoldsMatchRescan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tg := NewTAGE()
+	for step := 0; step < 5000; step++ {
+		tg.refreshFolds()
+		for i, n := range histLens {
+			if got, want := tg.foldIdx[i], tg.foldHistory(n, taggedBits); got != want {
+				t.Fatalf("step %d: foldIdx[%d] = %#x, rescan %#x", step, i, got, want)
+			}
+			if got, want := tg.foldTagA[i], tg.foldHistory(n, tagBits); got != want {
+				t.Fatalf("step %d: foldTagA[%d] = %#x, rescan %#x", step, i, got, want)
+			}
+			if got, want := tg.foldTagB[i], tg.foldHistory(n, tagBits-1); got != want {
+				t.Fatalf("step %d: foldTagB[%d] = %#x, rescan %#x", step, i, got, want)
+			}
+			if got, want := tg.csrIdx[i], tg.rawFold(n, taggedBits); got != want {
+				t.Fatalf("step %d: csrIdx[%d] = %#x, rebuild %#x", step, i, got, want)
+			}
+			if got, want := tg.csrTagA[i], tg.rawFold(n, tagBits); got != want {
+				t.Fatalf("step %d: csrTagA[%d] = %#x, rebuild %#x", step, i, got, want)
+			}
+			if got, want := tg.csrTagB[i], tg.rawFold(n, tagBits-1); got != want {
+				t.Fatalf("step %d: csrTagB[%d] = %#x, rebuild %#x", step, i, got, want)
+			}
+		}
+		pc := rng.Intn(1 << 14)
+		taken := rng.Intn(3) > 0
+		tg.Predict(pc)
+		tg.Update(pc, taken)
+	}
+}
+
+// TestIncrementalTAGEMatchesSlowPath runs two predictors in lockstep over
+// the conditional-branch streams of real generated workloads: the reference
+// predictor has its folds force-recomputed from scratch before every
+// Predict (the pre-CSR behavior), the other uses the incremental path. Every
+// per-branch prediction must agree — the CSR rewrite is observationally
+// invisible.
+func TestIncrementalTAGEMatchesSlowPath(t *testing.T) {
+	for _, p := range workgen.Seeds(6) {
+		prog, _, err := workgen.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := prog.Layout()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := emulator.New(img).Run(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, fast := NewTAGE(), NewTAGE()
+		branches := 0
+		for i := range tr.Insts {
+			d := &tr.Insts[i]
+			if !d.Inst.Op.IsCondBranch() {
+				continue
+			}
+			branches++
+			slow.refreshFoldsSlow() // pin the reference to the pre-CSR path
+			ps := slow.Predict(d.PC)
+			pf := fast.Predict(d.PC)
+			if ps != pf {
+				t.Fatalf("%s: branch %d (seq %d, pc %#x): slow predicts %v, incremental predicts %v",
+					p.Name(), branches, d.Seq, d.PC, ps, pf)
+			}
+			slow.refreshFoldsSlow() // Update probes indices/tags too
+			slow.Update(d.PC, d.Taken)
+			fast.Update(d.PC, d.Taken)
+		}
+		if branches == 0 {
+			t.Fatalf("%s: no conditional branches in trace", p.Name())
+		}
+	}
+}

@@ -16,10 +16,11 @@ import (
 // policies almost never block on each other in practice.
 const DefaultBusSkew = 8192
 
-// viewChunk is how many records a view copies out of the shared ring per
-// lock acquisition. Chunking amortises the bus mutex over the pipeline's
-// one-instruction-at-a-time Next calls; the copies are private to the view,
-// so recycling a ring slot never invalidates a delivered record.
+// viewChunk is how many ring slots a view leases per lock acquisition.
+// Leasing amortises the bus mutex over the pipeline's one-instruction-at-a-
+// time Next calls; leased records are served by reference straight out of
+// the shared ring, so N consumers share one copy of every record instead of
+// each copying the chunk into private storage.
 const viewChunk = 64
 
 // Broadcast fans one TraceSource out to N lockstep consumers: a single
@@ -35,6 +36,13 @@ const viewChunk = 64
 // Peak buffering is therefore min(maxSkew, stream length) records, no
 // matter how many consumers attach.
 //
+// The ring is allocated once, at the first refill, with capacity for the
+// full skew bound and never reallocated: views read leased slots without
+// the lock, so the storage must stay put for the life of the bus. A view's
+// published cursor advances only when it takes a new lease, which keeps the
+// ring head at or below every leased slot — a slot is never recycled while
+// a consumer may still be reading it.
+//
 // Views must all be created before the first Next; a consumer that stops
 // early (error, cancellation) must Close its view or its stalled cursor
 // blocks the others forever. The bus is safe for one goroutine per view;
@@ -44,10 +52,12 @@ type Broadcast struct {
 	cond sync.Cond
 
 	src     TraceSource
+	refSrc  RefSource  // src when it supports zero-copy delivery, else nil
+	intoSrc IntoSource // src when it can produce straight into the ring, else nil
 	name    string
 	maxSkew int
 
-	buf  []DynInst // ring storage, power-of-two length
+	buf  []DynInst // ring storage; fixed power-of-two length >= maxSkew
 	head int64     // absolute index of the oldest buffered record
 	end  int64     // absolute index one past the newest buffered record
 	eof  bool
@@ -66,6 +76,8 @@ func NewBroadcast(src TraceSource, maxSkew int) *Broadcast {
 		maxSkew = DefaultBusSkew
 	}
 	b := &Broadcast{src: src, name: src.Name(), maxSkew: maxSkew}
+	b.refSrc, _ = src.(RefSource)
+	b.intoSrc, _ = src.(IntoSource)
 	b.cond.L = &b.mu
 	return b
 }
@@ -126,26 +138,43 @@ func (b *Broadcast) advanceHeadLocked(min int64) {
 	}
 }
 
-// pushLocked appends one record to the ring, growing the storage (up to the
-// skew bound, which the caller has already enforced) when full. Callers hold
-// b.mu.
-func (b *Broadcast) pushLocked(d DynInst) {
-	if n := int(b.end - b.head); n == len(b.buf) {
-		grown := len(b.buf) * 2
-		if grown == 0 {
-			grown = 64
+// slotLocked returns the ring slot the next record will occupy, allocating
+// the ring on first use and enforcing the occupancy invariant. Writing the
+// unpublished slot is safe: the overflow check proves it cannot alias any
+// slot a consumer may be reading (all leased slots lie in [head, end)).
+// The record is not visible until commitSlotLocked. Callers hold b.mu.
+func (b *Broadcast) slotLocked() *DynInst {
+	if b.buf == nil {
+		// Allocate once at full skew capacity (next power of two): leased
+		// slots are read without the lock, so the ring can never move.
+		size := 1
+		for size < b.maxSkew {
+			size <<= 1
 		}
-		nb := make([]DynInst, grown)
-		for i := b.head; i < b.end; i++ {
-			nb[i&int64(grown-1)] = b.buf[i&int64(len(b.buf)-1)]
-		}
-		b.buf = nb
+		b.buf = make([]DynInst, size)
 	}
-	b.buf[b.end&int64(len(b.buf)-1)] = d
+	if n := int(b.end - b.head); n >= len(b.buf) {
+		panic(fmt.Sprintf("emulator: broadcast ring overflow: %d records in %d slots (skew %d)",
+			n, len(b.buf), b.maxSkew))
+	}
+	return &b.buf[b.end&int64(len(b.buf)-1)]
+}
+
+// commitSlotLocked publishes the record written to slotLocked's slot.
+// Callers hold b.mu.
+func (b *Broadcast) commitSlotLocked() {
 	b.end++
 	if n := int(b.end - b.head); n > b.peak {
 		b.peak = n
 	}
+}
+
+// pushLocked appends one record to the ring by copy. The caller has already
+// enforced the skew bound and advanced the head, so occupancy stays within
+// the fixed storage. Callers hold b.mu.
+func (b *Broadcast) pushLocked(d *DynInst) {
+	*b.slotLocked() = *d
+	b.commitSlotLocked()
 }
 
 // BusView is one consumer's pull-based view of a Broadcast stream: a
@@ -155,13 +184,16 @@ func (b *Broadcast) pushLocked(d DynInst) {
 // for it.
 type BusView struct {
 	b      *Broadcast
-	cursor int64 // next absolute index to copy out of the ring (under b.mu)
+	cursor int64 // published protected position: start of the current lease (under b.mu)
 	closed bool  // under b.mu
 
-	// Consumer-goroutine-private state: records copied out of the ring,
-	// served without the lock, plus the running counts.
-	local  []DynInst
+	// Consumer-goroutine-private lease state: records [cursor, cursor+n) of
+	// the shared ring are reserved for this view — the ring head cannot pass
+	// the published cursor, so they are served by reference without the
+	// lock. pos is the next lease offset to deliver.
 	pos    int
+	n      int
+	mask   int64 // len(b.buf)-1, cached when the first lease is taken
 	counts Counts
 	ended  bool
 }
@@ -169,43 +201,54 @@ type BusView struct {
 // Name identifies the shared underlying program.
 func (v *BusView) Name() string { return v.b.name }
 
-// Next delivers this consumer's next dynamic instruction, or false once the
-// shared stream is exhausted (or the view was closed). When the local chunk
-// runs dry it refills from the shared ring — pulling the underlying source
-// when this consumer is the first to need a record, blocking when the skew
-// bound says the slowest consumer must catch up first.
+// Next delivers this consumer's next dynamic instruction by value, or false
+// once the shared stream is exhausted (or the view was closed).
 func (v *BusView) Next() (DynInst, bool) {
-	if v.pos < len(v.local) {
-		d := v.local[v.pos]
+	d, ok := v.NextRef()
+	if !ok {
+		return DynInst{}, false
+	}
+	return *d, true
+}
+
+// NextRef delivers a pointer to this consumer's next dynamic instruction,
+// valid until the next NextRef or Next call (the record lives in the shared
+// ring; advancing past it eventually recycles the slot). When the lease
+// runs dry it takes a new one — pulling the underlying source when this
+// consumer is the first to need a record, blocking when the skew bound says
+// the slowest consumer must catch up first.
+func (v *BusView) NextRef() (*DynInst, bool) {
+	if v.pos < v.n {
+		d := &v.b.buf[(v.cursor+int64(v.pos))&v.mask]
 		v.pos++
 		v.counts.add(d)
 		return d, true
 	}
 	if v.ended {
-		return DynInst{}, false
+		return nil, false
 	}
 	if !v.refill() {
 		v.ended = true
-		return DynInst{}, false
+		return nil, false
 	}
-	d := v.local[v.pos]
+	d := &v.b.buf[(v.cursor+int64(v.pos))&v.mask]
 	v.pos++
 	v.counts.add(d)
 	return d, true
 }
 
-// refill copies the next chunk of records out of the shared ring into the
-// view's private buffer, reporting false at end of stream. It advances the
-// shared cursor by the whole chunk at once: copied records are consumed as
-// far as the bus is concerned, which both frees ring slots early and keeps
-// the skew accounting exact.
+// refill retires the current lease and takes the next one, reporting false
+// at end of stream. Publishing the new cursor (the old lease end) before
+// assembling the lease releases the slots the consumer has finished with;
+// the newly leased slots stay protected because the head can never pass
+// this view's published cursor.
 func (v *BusView) refill() bool {
 	b := v.b
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.started = true
-	v.local = v.local[:0]
-	v.pos = 0
+	v.cursor += int64(v.pos)
+	v.pos, v.n = 0, 0
 	// min caches the slowest open cursor. Cursors are monotonic and move
 	// only under b.mu — held for this whole loop except inside cond.Wait —
 	// so the cache is a lower bound on the true minimum: checking skew
@@ -213,31 +256,27 @@ func (v *BusView) refill() bool {
 	// O(views) rescan happens once per refill, per wakeup, or per maxSkew
 	// records pulled instead of once per record.
 	min := b.minCursorLocked()
-	for len(v.local) < viewChunk {
+	for v.n < viewChunk {
 		if v.closed {
 			break
 		}
-		if v.cursor < b.end {
-			if v.cursor < b.head {
-				panic(fmt.Sprintf("emulator: broadcast cursor %d below ring head %d", v.cursor, b.head))
-			}
-			v.local = append(v.local, b.buf[v.cursor&int64(len(b.buf)-1)])
-			v.cursor++
+		if v.cursor+int64(v.n) < b.end {
+			v.n++
 			continue
 		}
 		if b.eof {
 			break
 		}
 		if int(b.end-min) >= b.maxSkew {
-			// Possibly at the bound: refresh — our own copies above may have
-			// advanced the true minimum — and recycle passed records.
+			// Possibly at the bound: refresh — retiring our lease above may
+			// have advanced the true minimum — and recycle passed records.
 			min = b.minCursorLocked()
 			b.advanceHeadLocked(min)
 			if int(b.end-min) >= b.maxSkew {
 				// Genuinely the fastest. Park until the slowest advances (or
-				// detaches), but deliver what we already copied first so the
+				// detaches), but deliver what we already leased first so the
 				// pipeline keeps cycling.
-				if len(v.local) > 0 {
+				if v.n > 0 {
 					break
 				}
 				b.cond.Wait()
@@ -246,21 +285,44 @@ func (v *BusView) refill() bool {
 			}
 		}
 		// Keep the head no staler than the skew check, so pushLocked's
-		// occupancy (peak metric and grow decision) stays within the bound.
+		// occupancy (peak metric and overflow check) stays within the bound.
 		b.advanceHeadLocked(min)
-		d, ok := b.src.Next()
-		if !ok {
-			b.eof = true
-			b.err = b.src.Err()
-			b.cond.Broadcast()
+		if !b.pullLocked() {
 			break
 		}
-		b.pushLocked(d)
 	}
-	// The chunk advanced this cursor; if we were (one of) the slowest,
-	// records became releasable.
+	v.mask = int64(len(b.buf) - 1)
+	// Retiring the old lease advanced this cursor; if we were (one of) the
+	// slowest, records became releasable.
 	b.releaseLocked()
-	return len(v.local) > 0
+	return v.n > 0
+}
+
+// pullLocked draws one record from the underlying source into the ring — by
+// reference when the source supports zero-copy delivery (the ring copy
+// happens immediately, within the pointee's validity window), by value
+// otherwise — and records end-of-stream. Callers hold b.mu.
+func (b *Broadcast) pullLocked() bool {
+	if b.intoSrc != nil {
+		// The source writes straight into the ring slot: the live-emulator
+		// feed has zero DynInst copies on the producer side.
+		if b.intoSrc.NextInto(b.slotLocked()) {
+			b.commitSlotLocked()
+			return true
+		}
+	} else if b.refSrc != nil {
+		if d, ok := b.refSrc.NextRef(); ok {
+			b.pushLocked(d)
+			return true
+		}
+	} else if d, ok := b.src.Next(); ok {
+		b.pushLocked(&d)
+		return true
+	}
+	b.eof = true
+	b.err = b.src.Err()
+	b.cond.Broadcast()
+	return false
 }
 
 // Err reports the underlying stream's terminal error once this view has
@@ -295,8 +357,8 @@ func (v *BusView) Close() {
 		return
 	}
 	v.closed = true
-	v.local = nil
-	v.pos = 0
+	v.cursor += int64(v.pos)
+	v.pos, v.n = 0, 0
 	b.releaseLocked()
 	b.cond.Broadcast()
 }

@@ -110,7 +110,14 @@ func (m *Machine) StepInto(d *DynInst) error {
 	}
 	pc := m.PC
 	in := &m.img.Insts[pc]
-	*d = DynInst{Seq: m.seq, PC: pc, Inst: *in, NextPC: pc + 1}
+	// Zero then store: a composite literal with non-constant fields goes
+	// through a stack temporary and a block copy, double the writes on the
+	// emulation hot loop.
+	*d = DynInst{}
+	d.Seq = m.seq
+	d.PC = pc
+	d.Inst = *in
+	d.NextPC = pc + 1
 	m.seq++
 
 	switch in.Op {

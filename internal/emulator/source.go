@@ -12,9 +12,9 @@ type Counts struct {
 // Add folds one delivered instruction into the summary. Exported for
 // alternative TraceSource implementations (the trace-file replay reader must
 // count exactly as the live sources do).
-func (c *Counts) Add(d DynInst) { c.add(d) }
+func (c *Counts) Add(d *DynInst) { c.add(d) }
 
-func (c *Counts) add(d DynInst) {
+func (c *Counts) add(d *DynInst) {
 	c.Insts++
 	switch {
 	case d.Inst.Op.IsCondBranch():
@@ -51,6 +51,35 @@ type TraceSource interface {
 	Counts() Counts
 }
 
+// RefSource is an optional TraceSource extension for zero-copy delivery:
+// NextRef returns a pointer to the next dynamic instruction instead of a
+// ~100-byte value copy. The pointee is owned by the source and is only
+// guaranteed until the consumer's next NextRef or Next call — consumers that
+// retain a record (the pipeline's sliding window) copy it into their own
+// storage exactly once. Implementations must keep NextRef and Next
+// interchangeable call-by-call: both advance the same stream and counts.
+type RefSource interface {
+	TraceSource
+	// NextRef delivers a pointer to the next dynamic instruction, or false
+	// at end of stream. The pointer is invalidated by the next NextRef or
+	// Next call.
+	NextRef() (*DynInst, bool)
+}
+
+// IntoSource is an optional TraceSource extension for sources that can
+// produce the next record directly into caller-owned storage, removing the
+// last copy on the source side: the live emulator executes straight into the
+// consumer's slot (a window arena record, a broadcast ring slot) instead of
+// into a private scratch record that the consumer then copies out. Sources
+// that merely hand out views of existing storage (materialized traces, bus
+// views) gain nothing from the form and implement only RefSource.
+type IntoSource interface {
+	// NextInto fully overwrites *d with the next dynamic instruction and
+	// reports whether one was produced. On false *d holds garbage. NextInto
+	// advances the same stream and counts as Next/NextRef.
+	NextInto(d *DynInst) bool
+}
+
 // machineSource streams a live emulator, bounded by maxInsts.
 type machineSource struct {
 	m        *Machine
@@ -58,6 +87,7 @@ type machineSource struct {
 	counts   Counts
 	err      error
 	done     bool
+	d        DynInst // NextRef scratch: one record, reused per delivery
 }
 
 // NewSource returns a TraceSource that executes the machine on demand: each
@@ -72,24 +102,38 @@ func NewSource(m *Machine, maxInsts int64) TraceSource {
 func (s *machineSource) Name() string { return s.m.img.Name }
 
 func (s *machineSource) Next() (DynInst, bool) {
-	if s.done || s.m.Halted() || s.counts.Insts >= s.maxInsts {
-		s.done = true
+	d, ok := s.NextRef()
+	if !ok {
 		return DynInst{}, false
 	}
-	var d DynInst
-	err := s.m.StepInto(&d)
+	return *d, true
+}
+
+func (s *machineSource) NextRef() (*DynInst, bool) {
+	if !s.NextInto(&s.d) {
+		return nil, false
+	}
+	return &s.d, true
+}
+
+func (s *machineSource) NextInto(d *DynInst) bool {
+	if s.done || s.m.Halted() || s.counts.Insts >= s.maxInsts {
+		s.done = true
+		return false
+	}
+	err := s.m.StepInto(d)
 	if err != nil {
 		s.done = true
 		s.err = err
 		if _, ok := err.(*MemError); ok {
 			// The faulting access is part of the correct-path stream.
 			s.counts.add(d)
-			return d, true
+			return true
 		}
-		return DynInst{}, false
+		return false
 	}
 	s.counts.add(d)
-	return d, true
+	return true
 }
 
 func (s *machineSource) Err() error     { return s.err }
@@ -110,10 +154,18 @@ func (tr *Trace) Source() TraceSource { return &traceSource{tr: tr} }
 func (s *traceSource) Name() string { return s.tr.Name }
 
 func (s *traceSource) Next() (DynInst, bool) {
-	if s.pos >= len(s.tr.Insts) {
+	d, ok := s.NextRef()
+	if !ok {
 		return DynInst{}, false
 	}
-	d := s.tr.Insts[s.pos]
+	return *d, true
+}
+
+func (s *traceSource) NextRef() (*DynInst, bool) {
+	if s.pos >= len(s.tr.Insts) {
+		return nil, false
+	}
+	d := &s.tr.Insts[s.pos]
 	s.pos++
 	s.counts.add(d)
 	return d, true

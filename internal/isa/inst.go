@@ -20,7 +20,7 @@ type Inst struct {
 }
 
 // HasDest reports whether the instruction writes an architectural register.
-func (i Inst) HasDest() bool {
+func (i *Inst) HasDest() bool {
 	switch i.Op.Class() {
 	case ClassStore, ClassBranch, ClassJump, ClassSetup, ClassSystem, ClassNop:
 		// Jal and Jalr do write rd; getCITEntry writes rd.
@@ -31,7 +31,7 @@ func (i Inst) HasDest() bool {
 }
 
 // Dest returns the destination register and whether one exists.
-func (i Inst) Dest() (Reg, bool) {
+func (i *Inst) Dest() (Reg, bool) {
 	if i.HasDest() {
 		return i.Rd, true
 	}
@@ -42,7 +42,7 @@ func (i Inst) Dest() (Reg, bool) {
 // X0 standing in for "no operand". An instruction has at most two register
 // sources, so the fixed-arity form lets dependence tracking run without
 // allocating; Sources is the slice view of the same answer.
-func (i Inst) SourceRegs() (Reg, Reg) {
+func (i *Inst) SourceRegs() (Reg, Reg) {
 	switch i.Op {
 	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu,
 		OpMul, OpMulh, OpDiv, OpRem,
@@ -63,7 +63,7 @@ func (i Inst) SourceRegs() (Reg, Reg) {
 
 // Sources returns the architectural registers the instruction reads.
 // X0 sources are excluded (they read as zero and never have a producer).
-func (i Inst) Sources() []Reg {
+func (i *Inst) Sources() []Reg {
 	r1, r2 := i.SourceRegs()
 	var srcs []Reg
 	if r1 != X0 {

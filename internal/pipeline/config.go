@@ -222,10 +222,10 @@ func NehalemConfig() Config {
 
 // PhysRegs returns the total physical register count (64 architectural +
 // rename registers).
-func (c Config) PhysRegs() int { return 64 + c.RenameRegs }
+func (c *Config) PhysRegs() int { return 64 + c.RenameRegs }
 
 // Hierarchy builds the data-side cache hierarchy for the config.
-func (c Config) hierarchy() *cache.Hierarchy {
+func (c *Config) hierarchy() *cache.Hierarchy {
 	return cache.NewHierarchy(c.MemLat,
 		cache.Config{Name: "L1d", Size: c.L1DSize, Ways: c.CacheWays, Latency: c.L1Lat},
 		cache.Config{Name: "L2", Size: c.L2Size, Ways: c.CacheWays, Latency: c.L2Lat},
@@ -233,7 +233,7 @@ func (c Config) hierarchy() *cache.Hierarchy {
 	)
 }
 
-func (c Config) icache() *cache.Hierarchy {
+func (c *Config) icache() *cache.Hierarchy {
 	return cache.NewHierarchy(c.MemLat,
 		cache.Config{Name: "L1i", Size: c.L1ISize, Ways: c.CacheWays, Latency: c.L1Lat},
 		cache.Config{Name: "L2", Size: c.L2Size, Ways: c.CacheWays, Latency: c.L2Lat},
@@ -242,7 +242,7 @@ func (c Config) icache() *cache.Hierarchy {
 }
 
 // latencyOf returns issue-to-complete latency for non-memory ops.
-func (c Config) latencyOf(class opClass) int64 {
+func (c *Config) latencyOf(class opClass) int64 {
 	switch class {
 	case opIntALU, opBranch:
 		return 1

@@ -303,7 +303,7 @@ func (c *Core) fail(err *sanity.Error) {
 // c.traceOn so the disabled path costs a single branch.
 func (c *Core) emit(kind trace.Kind, e *Entry) {
 	c.sink.Emit(trace.Event{
-		Kind: kind, Cycle: c.cycle, Seq: e.Seq(), Idx: e.idx, PC: e.d.PC,
+		Kind: kind, Cycle: c.cycle, Seq: e.seq, Idx: e.idx, PC: e.pc,
 	})
 }
 
@@ -543,8 +543,8 @@ func (c *Core) robUnlink(e *Entry) {
 // recycled Entry can never satisfy a stale lookup.
 func (c *Core) drainFromROB(e *Entry) {
 	c.robUnlink(e)
-	if e.hasDest && c.regProducer[e.d.Inst.Rd] == e {
-		c.regProducer[e.d.Inst.Rd] = nil
+	if e.hasDest && c.regProducer[e.rd] == e {
+		c.regProducer[e.rd] = nil
 	}
 	c.dead = append(c.dead, e)
 }
@@ -651,7 +651,7 @@ func (c *Core) stepCommit() {
 		// Attribute the stall to the oldest unresolved branch, if any
 		// (Figure 7's criticality metric).
 		if b := c.oldestUnresolvedBranch(); b != nil {
-			c.stats.branchStall(b.d.PC).StallCycles++
+			c.stats.branchStall(b.pc).StallCycles++
 		}
 	}
 	if c.cursor > c.highWater {
@@ -689,7 +689,9 @@ func (c *Core) commitEntry(e *Entry) {
 	if b := c.oldestUnresolvedBranch(); b != nil && b.Seq() < e.Seq() {
 		c.stats.OoOCommitted++
 	}
-	c.win.rec(e.idx).committed = true
+	// The record is resident throughout the step that commits the entry
+	// (release happens at end of Step), so the cached pointer is still good.
+	e.rec.committed = true
 	c.advanceFrontiers()
 
 	if e.inCand {
@@ -727,7 +729,7 @@ func (c *Core) commitEntry(e *Entry) {
 		c.sqOcc--
 		c.removeFromStoreQueue(e)
 		// The store's write reaches the cache at retirement.
-		c.dcache.Access(e.d.Addr, c.cycle)
+		c.dcache.Access(e.addr, c.cycle)
 	}
 	if e.isCondBranch {
 		c.liveBranches = removeBySeq(c.liveBranches, e.Seq())
@@ -742,7 +744,7 @@ func (c *Core) commitEntry(e *Entry) {
 		}
 		c.sink.Emit(trace.Event{
 			Kind: trace.KindCommit, Cycle: c.cycle, Seq: e.Seq(), Idx: e.idx,
-			PC: e.d.PC, Arg: q, OoO: e.oooCommit,
+			PC: e.pc, Arg: q, OoO: e.oooCommit,
 		})
 	}
 	if c.cfg.PipeTraceLimit > 0 && len(c.stats.PipeTrace) < c.cfg.PipeTraceLimit {
@@ -750,8 +752,10 @@ func (c *Core) commitEntry(e *Entry) {
 		if e.steered {
 			q = e.queue
 		}
+		// e.rec is still resident here: its release bound (min of frontier
+		// and cursor) can first pass e.idx at the end of this Step.
 		c.stats.PipeTrace = append(c.stats.PipeTrace, PipeRecord{
-			Idx: e.idx, PC: e.d.PC, Asm: e.d.Inst.String(),
+			Idx: e.idx, PC: e.pc, Asm: e.rec.d.Inst.String(),
 			Fetched: e.fetchedAt, Issued: e.issuedAt, Done: e.doneAt,
 			Committed: e.committedAt, OoO: e.oooCommit, Queue: q,
 		})
@@ -764,17 +768,8 @@ func (c *Core) commitEntry(e *Entry) {
 // definition, and no in-flight entry can have an index beyond the loaded
 // end, so stopping there never changes an eligibility comparison.
 func (c *Core) advanceFrontiers() {
-	end := c.win.loadedEnd()
-	for c.frontierIdx < end && c.win.rec(c.frontierIdx).committed {
-		c.frontierIdx++
-	}
-	for c.memFrontierIdx < end {
-		r := c.win.rec(c.memFrontierIdx)
-		if (r.d.Inst.Op.IsMem() || r.d.Inst.Op.IsFence()) && !r.committed {
-			break
-		}
-		c.memFrontierIdx++
-	}
+	c.frontierIdx = c.win.advanceCommitted(c.frontierIdx)
+	c.memFrontierIdx = c.win.advanceMemFrontier(c.memFrontierIdx)
 }
 
 // eligible is the policy-independent part of the commit conditions.
@@ -994,7 +989,7 @@ func (c *Core) stepComplete() {
 				c.stats.Branches++
 				if e.mispredicted {
 					c.stats.Mispredicts++
-					c.stats.branchStall(e.d.PC).Mispredicts++
+					c.stats.branchStall(e.pc).Mispredicts++
 					c.recover(e)
 				}
 			} else if e.mispredicted {
@@ -1003,7 +998,7 @@ func (c *Core) stepComplete() {
 			}
 		}
 		if e.isCondBranch {
-			c.stats.branchStall(e.d.PC).Occurrences++
+			c.stats.branchStall(e.pc).Occurrences++
 		}
 	}
 }
@@ -1015,7 +1010,7 @@ func (c *Core) stepComplete() {
 // decode via the CIT. All rebuilds below filter in place or truncate;
 // recovery allocates nothing.
 func (c *Core) recover(b *Entry) {
-	c.win.rec(b.idx).recovered = true
+	b.rec.recovered = true // resolving branch is uncommitted, so still resident
 	// Squash IFQ (everything younger than b, i.e. fetched after it).
 	w := c.ifq.head
 	for i := 0; i < c.ifq.n; i++ {
@@ -1240,7 +1235,7 @@ func (c *Core) loadBlocked(e *Entry) bool {
 		if st.Seq() >= e.Seq() || st.squashed {
 			continue
 		}
-		if st.d.Addr == e.d.Addr && !st.issued {
+		if st.addr == e.addr && !st.issued {
 			return true
 		}
 	}
@@ -1256,7 +1251,7 @@ func (c *Core) loadDone(e *Entry) int64 {
 		if st.Seq() >= e.Seq() || st.squashed {
 			continue
 		}
-		if st.d.Addr == e.d.Addr {
+		if st.addr == e.addr {
 			// Forward from the store queue once the store's data is ready.
 			done := st.doneAt + 1
 			if done < c.cycle+2 {
@@ -1265,15 +1260,15 @@ func (c *Core) loadDone(e *Entry) int64 {
 			return done
 		}
 	}
-	done := c.dcache.Access(e.d.Addr, c.cycle+1)
+	done := c.dcache.Access(e.addr, c.cycle+1)
 	if c.traceOn && done > c.cycle+1+c.cfg.L1Lat {
 		c.sink.Emit(trace.Event{
 			Kind: trace.KindCacheMiss, Cycle: c.cycle, Seq: e.Seq(), Idx: e.idx,
-			PC: e.d.PC, Addr: e.d.Addr, Arg: done - c.cycle - 1,
+			PC: e.pc, Addr: e.addr, Arg: done - c.cycle - 1,
 		})
 	}
 	if c.dcpt != nil {
-		for _, addr := range c.dcpt.Train(e.d.PC, e.d.Addr) {
+		for _, addr := range c.dcpt.Train(e.pc, e.addr) {
 			c.dcache.Prefetch(addr, c.cycle+1)
 		}
 	}
@@ -1333,11 +1328,11 @@ func (c *Core) stepDispatch() {
 		}
 
 		// Rename: link register producers.
-		r1, r2 := e.d.Inst.SourceRegs()
+		r1, r2 := e.rec.d.Inst.SourceRegs()
 		c.linkProducer(e, r1)
 		c.linkProducer(e, r2)
 		if e.hasDest {
-			c.regProducer[e.d.Inst.Rd] = e
+			c.regProducer[e.rd] = e
 		}
 
 		if e.isCondBranch {
@@ -1454,16 +1449,22 @@ func (c *Core) stepFetch() {
 		}
 
 		e := c.pool.get()
+		op := r.d.Inst.Op
 		e.idx = idx
-		e.d = r.d
+		e.rec = r
+		e.seq = r.d.Seq
+		e.pc = r.d.PC
+		e.addr = r.d.Addr
+		e.rd = r.d.Inst.Rd
+		e.taken = r.d.Taken
 		e.dep = r.dep
-		e.class = classOf(r.d.Inst.Op)
+		e.class = classOf(op)
 		e.fetchedAt = c.cycle
 		e.dispatchable = c.cycle + int64(c.cfg.FrontendDepth)
-		e.isCondBranch = r.d.Inst.Op.IsCondBranch()
-		e.isJalr = r.d.Inst.Op == isa.OpJalr
-		e.isMem = r.d.Inst.Op.IsMem()
-		e.isFence = r.d.Inst.Op.IsFence()
+		e.isCondBranch = op.IsCondBranch()
+		e.isJalr = op == isa.OpJalr
+		e.isMem = op.IsMem()
+		e.isFence = op.IsFence()
 		e.hasDest = r.d.Inst.HasDest()
 		e.windowInst = inWindow
 		e.resident = -1
@@ -1523,7 +1524,7 @@ func (c *Core) stepFetch() {
 				return
 			}
 		}
-		if e.d.Taken {
+		if e.taken {
 			return // taken control transfer ends the fetch group
 		}
 	}
@@ -1537,14 +1538,14 @@ func (c *Core) openWindow(b *Entry) bool {
 	if c.meta == nil {
 		return false
 	}
-	bm := c.meta.Branches[b.d.PC]
+	bm := c.meta.Branches[b.pc]
 	if bm == nil || bm.ReconvPC < 0 || !bm.Marked {
 		return false
 	}
 	// The wrong path is the side the predictor chose: the branch actually
 	// went d.Taken, so the predictor fetched the other side.
 	wrongLen := bm.TakenLen
-	if b.d.Taken {
+	if b.taken {
 		wrongLen = bm.FallLen
 	}
 	const maxWrongPath = 64

@@ -1,7 +1,6 @@
 package pipeline
 
 import (
-	"github.com/noreba-sim/noreba/internal/emulator"
 	"github.com/noreba-sim/noreba/internal/isa"
 )
 
@@ -49,9 +48,23 @@ func classOf(op isa.Op) opClass {
 // bumped so generation-tagged references to the former life read as stale.
 type Entry struct {
 	idx int // trace index
-	// d is stored by value: the window's backing array compacts and grows
-	// as the stream slides, so entries must not point into it.
-	d     emulator.DynInst
+	// rec points at the instruction's window arena slot. Arena slots are
+	// stable while resident, so the pointer is valid from fetch until the
+	// record is released — which can happen as soon as the instruction
+	// commits and the fetch cursor passes it. A committed-but-incomplete
+	// entry (relaxed Condition 1) outlives its record: everything the
+	// post-commit paths read is cached in the scalars below at fetch, and
+	// rec must not be dereferenced once committed is set.
+	rec *instRecord
+	// Scalars cached out of the record at fetch: the post-commit and
+	// sanitizer paths (drain, resident cutoffs, diagnostics) stay valid
+	// after the record is released, and the hot loops touch one small Entry
+	// field instead of chasing rec.
+	seq   int64
+	pc    int
+	addr  int64
+	rd    isa.Reg
+	taken bool
 	dep   DepInfo
 	class opClass
 
@@ -128,14 +141,21 @@ type Entry struct {
 }
 
 // Seq returns the entry's dynamic sequence number.
-func (e *Entry) Seq() int64 { return e.d.Seq }
+func (e *Entry) Seq() int64 { return e.seq }
 
 // reset clears per-life state for pool reuse, keeping gen and the edge-list
 // capacities.
 func (e *Entry) reset() {
 	producers, consumers := e.producers[:0], e.consumers[:0]
 	gen := e.gen
-	*e = Entry{gen: gen, producers: producers, consumers: consumers, resident: -1}
+	// Zero then restore the kept fields: assigning a composite literal with
+	// non-zero fields materialises a stack temporary and block-copies it,
+	// twice the writes of a plain zeroing store on this hot path.
+	*e = Entry{}
+	e.gen = gen
+	e.producers = producers
+	e.consumers = consumers
+	e.resident = -1
 }
 
 // ready reports whether all source operands are available at cycle. The hot

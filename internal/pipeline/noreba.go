@@ -262,13 +262,20 @@ func (p *norebaPolicy) commit(c *Core, cycle int64, width int) int {
 	}
 
 	n := 0
+	nbr := p.cfg.NumBRCQs
 	for n < width {
 		committed := false
-		// PR-CQ has priority; BR-CQs are examined round-robin.
-		for oi := 0; oi <= p.cfg.NumBRCQs && n < width; oi++ {
+		// PR-CQ has priority; BR-CQs are examined round-robin. The rotation
+		// is a compare-and-subtract, not a modulo: k = rr+oi-1 stays below
+		// 2*nbr, and integer division is measurably hot in this loop.
+		for oi := 0; oi <= nbr && n < width; oi++ {
 			qi := 0
 			if oi > 0 {
-				qi = 1 + (p.rr+oi-1)%p.cfg.NumBRCQs
+				if k := p.rr + oi - 1; k >= nbr {
+					qi = 1 + k - nbr
+				} else {
+					qi = 1 + k
+				}
 			}
 			queue := &p.queues[qi]
 			for queue.len() > 0 && queue.front().squashed {
@@ -316,7 +323,9 @@ func (p *norebaPolicy) commit(c *Core, cycle int64, width int) int {
 		if !committed {
 			break
 		}
-		p.rr = (p.rr + 1) % maxInt(1, p.cfg.NumBRCQs)
+		if p.rr++; p.rr >= nbr {
+			p.rr = 0
+		}
 	}
 
 	// CIT reclamation (§4.3): an entry is dead once no recovery can ever
@@ -405,15 +414,15 @@ func (p *norebaPolicy) check(c *Core, cycle int64) *sanity.Error {
 				continue
 			}
 			if !e.steered || e.queue != qi {
-				return sanity.At("cq/mislabel", cycle, e.d.PC, e.Seq(),
+				return sanity.At("cq/mislabel", cycle, e.pc, e.Seq(),
 					"entry in queue %d has steered=%t queue=%d", qi, e.steered, e.queue)
 			}
 			if e.committed {
-				return sanity.At("cq/committed-resident", cycle, e.d.PC, e.Seq(),
+				return sanity.At("cq/committed-resident", cycle, e.pc, e.Seq(),
 					"committed entry still resident in queue %d", qi)
 			}
 			if e.Seq() <= lastSeq {
-				return sanity.At("cq/age-order", cycle, e.d.PC, e.Seq(),
+				return sanity.At("cq/age-order", cycle, e.pc, e.Seq(),
 					"queue %d out of steering order: seq %d after seq %d", qi, e.Seq(), lastSeq)
 			}
 			lastSeq = e.Seq()
@@ -423,11 +432,11 @@ func (p *norebaPolicy) check(c *Core, cycle int64) *sanity.Error {
 	for i := 0; i < p.robPrime.len(); i++ {
 		e := p.robPrime.at(i)
 		if e.steered {
-			return sanity.At("robprime/steered", cycle, e.d.PC, e.Seq(),
+			return sanity.At("robprime/steered", cycle, e.pc, e.Seq(),
 				"steered entry still resident in ROB′")
 		}
 		if e.squashed {
-			return sanity.At("robprime/squashed", cycle, e.d.PC, e.Seq(),
+			return sanity.At("robprime/squashed", cycle, e.pc, e.Seq(),
 				"squashed entry resident in ROB′")
 		}
 	}
@@ -468,7 +477,7 @@ func (p *norebaPolicy) check(c *Core, cycle int64) *sanity.Error {
 		}
 		lastSeq = s.seq
 		if s.branch.squashed {
-			return sanity.At("cqt/squashed", cycle, s.branch.d.PC, s.branch.Seq(),
+			return sanity.At("cqt/squashed", cycle, s.branch.pc, s.branch.Seq(),
 				"CQT entry for a squashed branch")
 		}
 		if s.queue > 0 {

@@ -61,7 +61,7 @@ func (s *sanitizer) onDispatch(c *Core, e *Entry) {
 			continue
 		}
 		if t.Seq() >= e.Seq() {
-			c.fail(sanity.At("rob/alloc-order", c.cycle, e.d.PC, e.Seq(),
+			c.fail(sanity.At("rob/alloc-order", c.cycle, e.pc, e.Seq(),
 				"dispatching seq %d behind live ROB entry seq %d", e.Seq(), t.Seq()))
 		}
 		return
@@ -78,7 +78,7 @@ func (s *sanitizer) onCommit(c *Core, e *Entry) {
 	pol := c.cfg.Policy
 
 	if e.committed || e.squashed {
-		c.fail(sanity.At("commit/lifecycle", cyc, e.d.PC, e.Seq(),
+		c.fail(sanity.At("commit/lifecycle", cyc, e.pc, e.Seq(),
 			"retiring an entry that is already committed=%t squashed=%t", e.committed, e.squashed))
 		return
 	}
@@ -86,21 +86,21 @@ func (s *sanitizer) onCommit(c *Core, e *Entry) {
 	// In-order baseline: strictly in program order, i.e. always at the
 	// commit frontier.
 	if pol == InOrder && e.idx != c.frontierIdx {
-		c.fail(sanity.At("commit/in-order", cyc, e.d.PC, e.Seq(),
+		c.fail(sanity.At("commit/in-order", cyc, e.pc, e.Seq(),
 			"InO-C retiring trace index %d but frontier is %d", e.idx, c.frontierIdx))
 	}
 
 	// §4.5: synchronisation barriers commit strictly in order under every
 	// policy.
 	if e.isFence && e.idx != c.frontierIdx {
-		c.fail(sanity.At("commit/fence-order", cyc, e.d.PC, e.Seq(),
+		c.fail(sanity.At("commit/fence-order", cyc, e.pc, e.Seq(),
 			"fence retiring at index %d ahead of frontier %d", e.idx, c.frontierIdx))
 	}
 
 	// Program-order memory retirement (every design but the full
 	// speculative oracle).
 	if pol != Spec && e.isMem && e.idx != c.memFrontierIdx {
-		c.fail(sanity.At("commit/mem-order", cyc, e.d.PC, e.Seq(),
+		c.fail(sanity.At("commit/mem-order", cyc, e.pc, e.Seq(),
 			"memory op retiring at index %d ahead of memory frontier %d", e.idx, c.memFrontierIdx))
 	}
 
@@ -112,32 +112,32 @@ func (s *sanitizer) onCommit(c *Core, e *Entry) {
 	switch {
 	case e.class == opLoad:
 		if !e.issued || e.addrReadyAt > cyc {
-			c.fail(sanity.At("commit/load-translation", cyc, e.d.PC, e.Seq(),
+			c.fail(sanity.At("commit/load-translation", cyc, e.pc, e.Seq(),
 				"load retiring before its translation succeeded"))
 		} else if requireCompletion && !c.cfg.ECL && e.doneAt > cyc {
-			c.fail(sanity.At("commit/load-data", cyc, e.d.PC, e.Seq(),
+			c.fail(sanity.At("commit/load-data", cyc, e.pc, e.Seq(),
 				"load retiring %d cycles before its data returns without ECL", e.doneAt-cyc))
 		}
 	case e.class == opStore:
 		if !e.issued || e.doneAt > cyc {
-			c.fail(sanity.At("commit/store-data", cyc, e.d.PC, e.Seq(),
+			c.fail(sanity.At("commit/store-data", cyc, e.pc, e.Seq(),
 				"store retiring before its data is ready"))
 		}
 	case e.isCondBranch || e.isJalr:
 		if !e.resolved {
-			c.fail(sanity.At("commit/branch-unresolved", cyc, e.d.PC, e.Seq(),
+			c.fail(sanity.At("commit/branch-unresolved", cyc, e.pc, e.Seq(),
 				"control transfer retiring before it resolved"))
 		}
 	default:
 		if requireCompletion && (!e.issued || e.doneAt > cyc) {
-			c.fail(sanity.At("commit/completion", cyc, e.d.PC, e.Seq(),
+			c.fail(sanity.At("commit/completion", cyc, e.pc, e.Seq(),
 				"instruction retiring before completion under a Condition-1 policy"))
 		}
 	}
 
 	// Never retire work computed from wrong-path-dependent data.
 	if c.poisoned(e) {
-		c.fail(sanity.At("commit/poisoned", cyc, e.d.PC, e.Seq(),
+		c.fail(sanity.At("commit/poisoned", cyc, e.pc, e.Seq(),
 			"retiring an instruction whose governing branch instance is a pending mispredict or was skipped"))
 	}
 
@@ -162,22 +162,22 @@ func (s *sanitizer) onCommit(c *Core, e *Entry) {
 		switch pol {
 		case InOrder, NonSpecOoO:
 			// Condition 3 in full: no commit past any unresolved branch.
-			c.fail(sanity.At("commit/branch-order", cyc, e.d.PC, e.Seq(),
-				"retiring past unresolved branch seq %d (pc %d) under %s", b.Seq(), b.d.PC, pol))
+			c.fail(sanity.At("commit/branch-order", cyc, e.pc, e.Seq(),
+				"retiring past unresolved branch seq %d (pc %d) under %s", b.Seq(), b.pc, pol))
 			return
 		case Noreba, IdealReconv:
 			// §4: commit may pass an unresolved branch only when the
 			// compiler marked it (BranchID > 0) — an unmarked branch
 			// carries no dependence information and serialises commit.
 			if b.dep.BranchID == 0 {
-				c.fail(sanity.At("commit/unmarked-branch", cyc, e.d.PC, e.Seq(),
-					"retiring past unresolved UNMARKED branch seq %d (pc %d)", b.Seq(), b.d.PC))
+				c.fail(sanity.At("commit/unmarked-branch", cyc, e.pc, e.Seq(),
+					"retiring past unresolved UNMARKED branch seq %d (pc %d)", b.Seq(), b.pc))
 				return
 			}
 			// A DepOrdered instruction (invalid BIT reference) must wait
 			// for all older branches; one is still unresolved.
 			if e.dep.DepSeq == DepOrdered {
-				c.fail(sanity.At("commit/dep-ordered", cyc, e.d.PC, e.Seq(),
+				c.fail(sanity.At("commit/dep-ordered", cyc, e.pc, e.Seq(),
 					"DepOrdered instruction retiring past unresolved branch seq %d", b.Seq()))
 				return
 			}
@@ -196,7 +196,7 @@ func (s *sanitizer) onCommit(c *Core, e *Entry) {
 				}
 			}
 			if b == nil || !b.resolved {
-				c.fail(sanity.At("commit/dep-unresolved", cyc, e.d.PC, e.Seq(),
+				c.fail(sanity.At("commit/dep-unresolved", cyc, e.pc, e.Seq(),
 					"retiring before governing branch instance seq %d resolved", e.dep.DepSeq))
 			}
 		}
@@ -242,12 +242,12 @@ func (s *sanitizer) endCycle(c *Core) {
 	for e := c.robHead; e != nil; e = e.robNext {
 		robCount++
 		if e.squashed {
-			c.fail(sanity.At("rob/squashed-resident", cyc, e.d.PC, e.Seq(),
+			c.fail(sanity.At("rob/squashed-resident", cyc, e.pc, e.Seq(),
 				"squashed entry still resident in the ROB"))
 			return
 		}
 		if !e.dispatched {
-			c.fail(sanity.At("rob/undispatched", cyc, e.d.PC, e.Seq(),
+			c.fail(sanity.At("rob/undispatched", cyc, e.pc, e.Seq(),
 				"undispatched entry resident in the ROB"))
 			return
 		}
@@ -256,18 +256,43 @@ func (s *sanitizer) endCycle(c *Core) {
 			// survivors of a recovery may be younger than re-dispatched
 			// skipped-region work sitting behind them.
 			if e.Seq() <= lastSeq {
-				c.fail(sanity.At("rob/alloc-order", cyc, e.d.PC, e.Seq(),
+				c.fail(sanity.At("rob/alloc-order", cyc, e.pc, e.Seq(),
 					"ROB out of age order: live seq %d after seq %d", e.Seq(), lastSeq))
 				return
 			}
 			lastSeq = e.Seq()
 		}
 		if e.dispatchOrder <= lastOrder {
-			c.fail(sanity.At("rob/dispatch-order", cyc, e.d.PC, e.Seq(),
+			c.fail(sanity.At("rob/dispatch-order", cyc, e.pc, e.Seq(),
 				"ROB list out of dispatch order: %d after %d", e.dispatchOrder, lastOrder))
 			return
 		}
 		lastOrder = e.dispatchOrder
+		if !e.committed && cyc&15 == 0 {
+			// Arena aliasing cross-check. An uncommitted entry's record
+			// pointer must still address its window slot (committed entries
+			// may legitimately outlive their record), and the scalars cached
+			// at fetch must match the live record — catching both a stale
+			// pointer surviving a release and any stage that mutated a
+			// record other stages still read through the arena. Divergence is
+			// persistent until the record is released, so a 16-cycle stride
+			// loses no coverage while keeping the sanitized whole-suite run
+			// (which already pays O(ROB) per cycle, ~3x under -race) fast
+			// enough for CI.
+			r := c.win.rec(e.idx)
+			if e.rec != r {
+				c.fail(sanity.At("window/arena-alias", cyc, e.pc, e.Seq(),
+					"entry's record pointer does not address its arena slot for index %d", e.idx))
+				return
+			}
+			if e.seq != r.d.Seq || e.pc != r.d.PC || e.addr != r.d.Addr ||
+				e.taken != r.d.Taken || e.rd != r.d.Inst.Rd {
+				c.fail(sanity.At("window/arena-scalars", cyc, e.pc, e.Seq(),
+					"cached scalars diverge from live record (rec seq %d pc %d addr %d)",
+					r.d.Seq, r.d.PC, r.d.Addr))
+				return
+			}
+		}
 		if !e.steered && !e.committed {
 			robOcc++
 		}
@@ -291,12 +316,12 @@ func (s *sanitizer) endCycle(c *Core) {
 			}
 		}
 		if e.waits != want {
-			c.fail(sanity.At("sched/waits", cyc, e.d.PC, e.Seq(),
+			c.fail(sanity.At("sched/waits", cyc, e.pc, e.Seq(),
 				"waits counter %d but %d producers still outstanding", e.waits, want))
 			return
 		}
 		if wantReady := !e.issued && e.waits == 0; e.inReady != wantReady {
-			c.fail(sanity.At("sched/ready-membership", cyc, e.d.PC, e.Seq(),
+			c.fail(sanity.At("sched/ready-membership", cyc, e.pc, e.Seq(),
 				"inReady=%t but issued=%t waits=%d", e.inReady, e.issued, e.waits))
 			return
 		}
@@ -323,7 +348,7 @@ func (s *sanitizer) endCycle(c *Core) {
 			}
 		}
 		if e.inCand != wantCand {
-			c.fail(sanity.At("sched/cand-membership", cyc, e.d.PC, e.Seq(),
+			c.fail(sanity.At("sched/cand-membership", cyc, e.pc, e.Seq(),
 				"inCand=%t but derivation says %t (committed=%t issued=%t resolved=%t done=%t)",
 				e.inCand, wantCand, e.committed, e.issued, e.resolved, e.done))
 			return
@@ -335,14 +360,14 @@ func (s *sanitizer) endCycle(c *Core) {
 		// Committed residents: exactly the committed entries still on the
 		// list, with a consistent back-index.
 		if e.committed != (e.resident >= 0) {
-			c.fail(sanity.At("sched/resident", cyc, e.d.PC, e.Seq(),
+			c.fail(sanity.At("sched/resident", cyc, e.pc, e.Seq(),
 				"committed=%t but resident index %d", e.committed, e.resident))
 			return
 		}
 		if e.resident >= 0 {
 			nResident++
 			if e.resident >= len(c.committedResidents) || c.committedResidents[e.resident] != e {
-				c.fail(sanity.At("sched/resident-index", cyc, e.d.PC, e.Seq(),
+				c.fail(sanity.At("sched/resident-index", cyc, e.pc, e.Seq(),
 					"resident index %d does not point back to the entry", e.resident))
 				return
 			}
@@ -353,21 +378,21 @@ func (s *sanitizer) endCycle(c *Core) {
 		// resolution is completion — so every listed branch is live).
 		if e.isCondBranch && !e.committed {
 			if liveBr >= len(c.liveBranches) || c.liveBranches[liveBr] != e {
-				c.fail(sanity.At("sched/live-branches", cyc, e.d.PC, e.Seq(),
+				c.fail(sanity.At("sched/live-branches", cyc, e.pc, e.Seq(),
 					"live-branch list diverges from the ROB at position %d", liveBr))
 				return
 			}
 			liveBr++
 			if !e.resolved {
 				if unresBr >= len(c.unresolvedBranches) || c.unresolvedBranches[unresBr] != e {
-					c.fail(sanity.At("sched/unresolved-branches", cyc, e.d.PC, e.Seq(),
+					c.fail(sanity.At("sched/unresolved-branches", cyc, e.pc, e.Seq(),
 						"unresolved-branch list diverges from the ROB at position %d", unresBr))
 					return
 				}
 				unresBr++
 				if c.needUnmarked && e.dep.BranchID == 0 {
 					if unmarked >= len(c.unmarkedUnresolved) || c.unmarkedUnresolved[unmarked] != e {
-						c.fail(sanity.At("sched/unmarked-unresolved", cyc, e.d.PC, e.Seq(),
+						c.fail(sanity.At("sched/unmarked-unresolved", cyc, e.pc, e.Seq(),
 							"unmarked-unresolved list diverges from the ROB at position %d", unmarked))
 						return
 					}
@@ -488,7 +513,7 @@ func (s *sanitizer) endCycle(c *Core) {
 		}
 		sqOcc++
 		if st.Seq() <= lastSeq {
-			c.fail(sanity.At("lsq/age-order", cyc, st.d.PC, st.Seq(),
+			c.fail(sanity.At("lsq/age-order", cyc, st.pc, st.Seq(),
 				"store queue out of age order: seq %d after seq %d", st.Seq(), lastSeq))
 			return
 		}

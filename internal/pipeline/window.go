@@ -17,6 +17,10 @@ type instRecord struct {
 
 	committed bool
 	fetched   bool
+	// memOrFence caches Op.IsMem()||Op.IsFence() at load: the memory
+	// frontier re-tests the same blocking record every commit step, and the
+	// cached bit turns two Op-class switches into one flag load.
+	memOrFence bool
 	// Branch-prediction bookkeeping: each dynamic branch is predicted and
 	// trained exactly once (its first fetch); a re-fetch after its own
 	// recovery is correctly predicted (the predictor was fixed at resolve),
@@ -27,83 +31,220 @@ type instRecord struct {
 	recovered bool
 }
 
-// window is a bounded sliding view over a TraceSource. Live records are
-// buf[head : head+n], where buf[head+i] describes trace index base+i; the
-// core addresses records by trace index and the window pulls from the source
-// on demand. release() drops records below the commit frontier, so peak
-// memory tracks the in-flight span (ROB + misprediction windows), not the
-// trace length.
-//
-// The backing array is stable: released slots are reused by sliding the live
-// span back to the front once the dead prefix dominates, so the steady state
-// streams the whole trace through one high-water-sized allocation instead of
-// appending the slice head forward and re-allocating.
-type window struct {
-	src  emulator.TraceSource
-	deps *depTracker
+// Window records are stored in fixed-size chunks so a record's address never
+// changes for as long as it is resident: the chunk directory slides and
+// recycles whole chunks, but a chunk's storage never moves. Entries and the
+// pipeline stages therefore hold *instRecord pointers across cycles instead
+// of copying ~100-byte records through every stage hop.
+const (
+	chunkShift = 8
+	chunkSize  = 1 << chunkShift // records per chunk
+	chunkMask  = chunkSize - 1
+)
 
-	buf     []instRecord
-	head, n int
-	base    int // trace index of buf[head]
-	eof     bool
+type recChunk [chunkSize]instRecord
+
+// window is a bounded sliding view over a TraceSource. Live records are the
+// trace indices [base, end); the core addresses records by trace index and
+// the window pulls from the source on demand. release() drops records below
+// the commit frontier, so peak memory tracks the in-flight span (ROB +
+// misprediction windows), not the trace length.
+//
+// Storage is a sliding directory of stable chunks: chunks[chead+i] holds
+// trace indices [(chunkBase+i)<<chunkShift, ...). Chunks fully below the
+// release bound return to a free list and are reused at the loading edge, so
+// the steady state streams the whole trace through a high-water-sized set of
+// chunks with no per-record motion — a resident record's address is stable
+// from load to release.
+type window struct {
+	src     emulator.TraceSource
+	refSrc  emulator.RefSource  // src when it supports zero-copy delivery, else nil
+	intoSrc emulator.IntoSource // src when it can produce straight into the arena, else nil
+	deps    *depTracker
+
+	chunks    []*recChunk // directory; live span is chunks[chead : chead+cn]
+	chead, cn int
+	chunkBase int // chunk index of chunks[chead]
+	free      []*recChunk
+
+	base int // lowest resident trace index
+	end  int // one past the highest loaded trace index
+	eof  bool
 
 	peak int // high-water mark of live records
 }
 
 func newWindow(src emulator.TraceSource, bitSize int) *window {
-	return &window{src: src, deps: newDepTracker(bitSize)}
+	w := &window{src: src, deps: newDepTracker(bitSize)}
+	w.refSrc, _ = src.(emulator.RefSource)
+	w.intoSrc, _ = src.(emulator.IntoSource)
+	return w
 }
 
 // ensure pulls from the source until trace index idx is loaded, returning
 // false if the stream ends first. idx below the window base is a modelling
 // bug: the core released a record it still needed.
 func (w *window) ensure(idx int) bool {
-	if idx < w.base {
-		panic(fmt.Sprintf("pipeline: window access at %d below base %d", idx, w.base))
+	if idx < w.end {
+		if idx < w.base {
+			panic(fmt.Sprintf("pipeline: window access at %d below base %d", idx, w.base))
+		}
+		return true
 	}
-	for idx >= w.base+w.n {
-		if w.eof {
-			return false
+	if w.eof {
+		return false
+	}
+	return w.fill(idx)
+}
+
+// fill loads records through idx, batching the per-record work by chunk:
+// the chunk pointer and slot range are resolved once per chunk crossing
+// instead of once per record, and each slot is initialised in place — the
+// record's only copy — with its flags cleared field-by-field so the freshly
+// written instruction is not re-zeroed.
+func (w *window) fill(idx int) bool {
+	for idx >= w.end {
+		ci := w.end >> chunkShift
+		if ci-w.chunkBase >= w.cn {
+			w.pushChunk()
 		}
-		d, ok := w.src.Next()
-		if !ok {
-			w.eof = true
-			return false
+		ch := w.chunks[w.chead+ci-w.chunkBase]
+		lo := w.end & chunkMask
+		hi := lo + (idx + 1 - w.end) // records still needed
+		if hi > chunkSize {
+			hi = chunkSize
 		}
-		if w.head+w.n == len(w.buf) {
-			if w.head > w.n {
-				copy(w.buf, w.buf[w.head:w.head+w.n])
-				w.head = 0
+		for s := lo; s < hi; s++ {
+			r := &ch[s]
+			if w.intoSrc != nil {
+				// The source writes the record straight into its arena
+				// slot: the live emulator path has zero DynInst copies.
+				if !w.intoSrc.NextInto(&r.d) {
+					w.eof = true
+					return false
+				}
+			} else if w.refSrc != nil {
+				d, ok := w.refSrc.NextRef()
+				if !ok {
+					w.eof = true
+					return false
+				}
+				r.d = *d
 			} else {
-				w.buf = append(w.buf, instRecord{})
-				w.buf = w.buf[:cap(w.buf)]
+				d, ok := w.src.Next()
+				if !ok {
+					w.eof = true
+					return false
+				}
+				r.d = d
 			}
+			r.dep = w.deps.next(&r.d)
+			op := r.d.Inst.Op
+			r.memOrFence = op.IsMem() || op.IsFence()
+			r.committed = false
+			r.fetched = false
+			r.predicted = false
+			r.predMisp = false
+			r.recovered = false
+			w.end++
 		}
-		r := &w.buf[w.head+w.n]
-		*r = instRecord{d: d, dep: w.deps.next(&d)}
-		w.n++
-		if w.n > w.peak {
-			w.peak = w.n
-		}
+	}
+	if n := w.end - w.base; n > w.peak {
+		w.peak = n
 	}
 	return true
 }
 
+// pushChunk extends the directory by one chunk at the loading edge, reusing
+// a released chunk when one is free. The directory's backing array is
+// compacted in place (a handful of pointer moves) once the dead prefix
+// dominates, so the steady state allocates nothing.
+func (w *window) pushChunk() {
+	var ch *recChunk
+	if n := len(w.free); n > 0 {
+		ch = w.free[n-1]
+		w.free[n-1] = nil
+		w.free = w.free[:n-1]
+	} else {
+		ch = new(recChunk)
+	}
+	if w.chead+w.cn == len(w.chunks) {
+		if w.chead > w.cn {
+			copy(w.chunks, w.chunks[w.chead:w.chead+w.cn])
+			for i := w.cn; i < w.chead+w.cn; i++ {
+				w.chunks[i] = nil
+			}
+			w.chead = 0
+		} else {
+			w.chunks = append(w.chunks, nil)
+			w.chunks = w.chunks[:cap(w.chunks)]
+		}
+	}
+	w.chunks[w.chead+w.cn] = ch
+	w.cn++
+}
+
 // loadedEnd is one past the highest loaded trace index.
-func (w *window) loadedEnd() int { return w.base + w.n }
+func (w *window) loadedEnd() int { return w.end }
 
 // baseIdx is the lowest still-resident trace index; everything below it has
 // been released. The sanitizer checks it against the release-safety bound.
 func (w *window) baseIdx() int { return w.base }
 
 // rec returns the record for trace index idx, which must be loaded and not
-// yet released. The pointer is invalidated by the next ensure or release
-// call — do not hold it across either.
+// yet released. The pointer is stable for as long as the record is resident:
+// it is invalidated only by a release call whose bound passes idx.
 func (w *window) rec(idx int) *instRecord {
-	if idx < w.base || idx >= w.base+w.n {
-		panic(fmt.Sprintf("pipeline: window access at %d outside [%d,%d)", idx, w.base, w.base+w.n))
+	if idx < w.base || idx >= w.end {
+		panic(fmt.Sprintf("pipeline: window access at %d outside [%d,%d)", idx, w.base, w.end))
 	}
-	return &w.buf[w.head+idx-w.base]
+	return &w.chunks[w.chead+(idx>>chunkShift)-w.chunkBase][idx&chunkMask]
+}
+
+// advanceCommitted returns the first loaded index at or after idx whose
+// record is not yet committed (or the loaded end). The walk resolves the
+// chunk directory once per chunk crossing instead of once per record, which
+// matters because the frontiers are re-walked every commit step.
+func (w *window) advanceCommitted(idx int) int {
+	if idx < w.base {
+		panic(fmt.Sprintf("pipeline: frontier walk at %d below base %d", idx, w.base))
+	}
+	for idx < w.end {
+		ch := w.chunks[w.chead+(idx>>chunkShift)-w.chunkBase]
+		hi := (idx | chunkMask) + 1
+		if hi > w.end {
+			hi = w.end
+		}
+		for ; idx < hi; idx++ {
+			if !ch[idx&chunkMask].committed {
+				return idx
+			}
+		}
+	}
+	return idx
+}
+
+// advanceMemFrontier returns the first loaded index at or after idx holding
+// an uncommitted memory or fence operation (or the loaded end), with the
+// same chunk-wise walk as advanceCommitted.
+func (w *window) advanceMemFrontier(idx int) int {
+	if idx < w.base {
+		panic(fmt.Sprintf("pipeline: mem-frontier walk at %d below base %d", idx, w.base))
+	}
+	for idx < w.end {
+		ch := w.chunks[w.chead+(idx>>chunkShift)-w.chunkBase]
+		hi := (idx | chunkMask) + 1
+		if hi > w.end {
+			hi = w.end
+		}
+		for ; idx < hi; idx++ {
+			r := &ch[idx&chunkMask]
+			if r.memOrFence && !r.committed {
+				return idx
+			}
+		}
+	}
+	return idx
 }
 
 // isCommitted reports the committed flag for any trace index: released
@@ -112,10 +253,10 @@ func (w *window) isCommitted(idx int) bool {
 	if idx < w.base {
 		return true
 	}
-	if idx >= w.base+w.n {
+	if idx >= w.end {
 		return false
 	}
-	return w.buf[w.head+idx-w.base].committed
+	return w.chunks[w.chead+(idx>>chunkShift)-w.chunkBase][idx&chunkMask].committed
 }
 
 // isFetched reports the fetched flag for any trace index, with the same
@@ -125,27 +266,28 @@ func (w *window) isFetched(idx int) bool {
 	if idx < w.base {
 		return true
 	}
-	if idx >= w.base+w.n {
+	if idx >= w.end {
 		return false
 	}
-	return w.buf[w.head+idx-w.base].fetched
+	return w.chunks[w.chead+(idx>>chunkShift)-w.chunkBase][idx&chunkMask].fetched
 }
 
 // release drops records below trace index bound; the core may never address
-// them again. The slots stay in the backing array for reuse.
+// them again, and pointers obtained via rec for indices below the bound are
+// dead (their chunks are recycled at the loading edge).
 func (w *window) release(bound int) {
 	if bound <= w.base {
 		return
 	}
-	if bound > w.base+w.n {
-		bound = w.base + w.n
+	if bound > w.end {
+		bound = w.end
 	}
-	n := bound - w.base
-	w.head += n
-	w.n -= n
 	w.base = bound
-	if w.n == 0 {
-		w.head = 0
+	for nb := bound >> chunkShift; w.chunkBase < nb; w.chunkBase++ {
+		w.free = append(w.free, w.chunks[w.chead])
+		w.chunks[w.chead] = nil
+		w.chead++
+		w.cn--
 	}
 }
 

@@ -70,6 +70,24 @@ type Rep struct {
 	// per configuration. Snap is retained for the general warming path and
 	// for tools that need the warm span's input stream.
 	WarmSnap emulator.Snapshot
+
+	// delta, when non-nil, marks Snap and WarmSnap as still holding only
+	// the v2 plan file's delta sections (memory entries that differ from
+	// the image) plus these tombstones; LoadPlan materializes the full maps
+	// against the bound image and clears the marker. See planfile.go.
+	delta *repDeltaState
+}
+
+// repDeltaState carries the v2 delta sections' tombstones — image addresses
+// absent from the checkpoint — between decode and bind time. Plans built by
+// BuildPlan never need it (a machine's memory is a superset of the image's
+// initial data), but the format keeps deletion representable so a delta
+// section is exactly invertible whatever the snapshot's shape.
+type repDeltaState struct {
+	snapTombs  []int64
+	snapFTombs []int64
+	warmTombs  []int64
+	warmFTombs []int64
 }
 
 // Plan is a compiled sampling schedule for one program image: the profile,

@@ -38,12 +38,32 @@ import (
 //	rep count; per rep the scalar fields, pilot columns, Snap, WarmSnap
 //	end marker u8 0xE7, then EOF
 //
+// Version 2 changes only the snapshot sections: instead of the machine's
+// full memory maps, each checkpoint stores the delta against the program
+// image's initial data — changed/new entries as sorted (addr, value) pairs,
+// then tombstones (image addresses absent from the checkpoint) as a sorted
+// address list, for Mem (vs Data) and FMem (vs FData) in turn. Checkpoints
+// share almost all of their memory with the image they were captured from,
+// so the delta cuts both the file size and the dominant decode cost of the
+// warm sampled loop (rebuilding per-rep memory maps). The reader still
+// accepts version 1 in full-map form: a stored plan is rebuilt only when
+// its content is stale, never because the container format moved on.
+//
 // Maps (BBVs, snapshot memory) are written sorted by key, so encoding is
 // deterministic: one plan, one byte string, one content hash.
 const (
-	// PlanFileVersion is the current NRPF format version. Readers reject
-	// other versions outright — a stale plan is rebuilt, never reinterpreted.
-	PlanFileVersion = 1
+	// PlanFileVersion is the NRPF format version new plans are written at.
+	// Readers accept planMinVersion..PlanFileVersion; anything else is
+	// rejected outright — a stale plan is rebuilt, never reinterpreted.
+	PlanFileVersion = 2
+	planMinVersion  = 1
+
+	// planKeyTag is the version string folded into PlanKey. Deliberately
+	// frozen at v1: the v2 encoding changed the byte container (delta
+	// snapshots), not what a plan means, and the reader accepts both
+	// versions — so plans already in a content-addressed store stay warm
+	// across the format bump.
+	planKeyTag = "noreba-plan-v1"
 
 	planMagic = "NRPF"
 	planEnd   = 0xE7
@@ -139,7 +159,7 @@ func PlanKey(img *program.Image, maxInsts int64, p Params) string {
 	p = p.Normalize()
 	imgHash := ImageHash(img)
 	h := sha256.New()
-	fmt.Fprintf(h, "noreba-plan-v%d\n", PlanFileVersion)
+	fmt.Fprintf(h, "%s\n", planKeyTag)
 	h.Write(imgHash[:])
 	fmt.Fprintf(h, "%d\n%+v\n", maxInsts, p)
 	return hex.EncodeToString(h.Sum(nil))
@@ -193,7 +213,9 @@ func (w *planWriter) floats(fs []float64) {
 	}
 }
 
-func (w *planWriter) snapshot(s *emulator.Snapshot) {
+// snapshotHead writes the fixed part of a checkpoint section, common to the
+// v1 (full-map) and v2 (delta) forms.
+func (w *planWriter) snapshotHead(s *emulator.Snapshot) {
 	for _, r := range s.IntRegs {
 		w.varint(r)
 	}
@@ -203,6 +225,11 @@ func (w *planWriter) snapshot(s *emulator.Snapshot) {
 	w.varint(int64(s.PC))
 	w.varint(s.Seq)
 	w.bool(s.Halted)
+}
+
+// snapshot writes the v1 checkpoint section: the full memory maps.
+func (w *planWriter) snapshot(s *emulator.Snapshot) {
+	w.snapshotHead(s)
 	w.uvarint(uint64(len(s.Mem)))
 	for _, a := range sortedKeys(s.Mem) {
 		w.varint(a)
@@ -212,6 +239,70 @@ func (w *planWriter) snapshot(s *emulator.Snapshot) {
 	for _, a := range sortedFKeys(s.FMem) {
 		w.varint(a)
 		w.float(s.FMem[a])
+	}
+}
+
+// snapshotDelta writes the v2 checkpoint section: memory as a delta against
+// the image's initial data. Changed or new entries are written as sorted
+// (addr, value) pairs; tombstones — base addresses absent from the snapshot
+// — as a sorted address list. When tombs/ftombs are non-nil they are written
+// as given (the re-encode path for a decoded-but-unbound plan, whose Mem
+// maps already hold just the delta); otherwise they are derived from the
+// base. A nil base degenerates to "every entry changed, no tombstones",
+// which binds correctly for any plan whose checkpoints cover the image's
+// data addresses — true of every plan BuildPlan produces, since a machine's
+// memory starts as the image data and never deletes.
+func (w *planWriter) snapshotDelta(s *emulator.Snapshot, base map[int64]int64, fbase map[int64]float64, tombs, ftombs []int64) {
+	w.snapshotHead(s)
+
+	changed := make([]int64, 0, len(s.Mem))
+	for a, v := range s.Mem {
+		if bv, ok := base[a]; !ok || bv != v {
+			changed = append(changed, a)
+		}
+	}
+	sort.Slice(changed, func(i, j int) bool { return changed[i] < changed[j] })
+	w.uvarint(uint64(len(changed)))
+	for _, a := range changed {
+		w.varint(a)
+		w.varint(s.Mem[a])
+	}
+	if tombs == nil && base != nil {
+		for a := range base {
+			if _, ok := s.Mem[a]; !ok {
+				tombs = append(tombs, a)
+			}
+		}
+		sort.Slice(tombs, func(i, j int) bool { return tombs[i] < tombs[j] })
+	}
+	w.uvarint(uint64(len(tombs)))
+	for _, a := range tombs {
+		w.varint(a)
+	}
+
+	fchanged := make([]int64, 0, len(s.FMem))
+	for a, v := range s.FMem {
+		if bv, ok := fbase[a]; !ok || bv != v {
+			fchanged = append(fchanged, a)
+		}
+	}
+	sort.Slice(fchanged, func(i, j int) bool { return fchanged[i] < fchanged[j] })
+	w.uvarint(uint64(len(fchanged)))
+	for _, a := range fchanged {
+		w.varint(a)
+		w.float(s.FMem[a])
+	}
+	if ftombs == nil && fbase != nil {
+		for a := range fbase {
+			if _, ok := s.FMem[a]; !ok {
+				ftombs = append(ftombs, a)
+			}
+		}
+		sort.Slice(ftombs, func(i, j int) bool { return ftombs[i] < ftombs[j] })
+	}
+	w.uvarint(uint64(len(ftombs)))
+	for _, a := range ftombs {
+		w.varint(a)
 	}
 }
 
@@ -225,10 +316,16 @@ func (w *planWriter) bool(b bool) {
 
 // EncodePlan serialises the plan into the NRPF byte format. The encoding is
 // deterministic: equal plans produce equal bytes.
-func EncodePlan(pl *Plan) []byte {
+func EncodePlan(pl *Plan) []byte { return encodePlanAt(pl, PlanFileVersion) }
+
+// encodePlanAt serialises at a specific format version. Production encoding
+// is always PlanFileVersion; the backward-compatibility tests use it to
+// produce genuine v1 bytes (valid only for plans holding full snapshot maps
+// — built or v1-decoded, not v2-decoded-unbound).
+func encodePlanAt(pl *Plan, version byte) []byte {
 	w := &planWriter{}
 	w.buf.WriteString(planMagic)
-	w.u8(PlanFileVersion)
+	w.u8(version)
 	w.str(pl.Name)
 	p := pl.Params
 	w.varint(p.IntervalLen)
@@ -290,8 +387,24 @@ func EncodePlan(pl *Plan) []byte {
 		w.varint(r.SrcBound)
 		w.floats(r.PilotRep)
 		w.floats(r.PilotCluster)
-		w.snapshot(&r.Snap)
-		w.snapshot(&r.WarmSnap)
+		if version >= 2 {
+			var base map[int64]int64
+			var fbase map[int64]float64
+			var st, sft, wt, wft []int64
+			if pl.img != nil {
+				base, fbase = pl.img.Data, pl.img.FData
+			} else if r.delta != nil {
+				// Decoded v2 plan, not yet bound: the Mem maps hold just
+				// the delta; write it (and its tombstones) back verbatim.
+				st, sft = r.delta.snapTombs, r.delta.snapFTombs
+				wt, wft = r.delta.warmTombs, r.delta.warmFTombs
+			}
+			w.snapshotDelta(&r.Snap, base, fbase, st, sft)
+			w.snapshotDelta(&r.WarmSnap, base, fbase, wt, wft)
+		} else {
+			w.snapshot(&r.Snap)
+			w.snapshot(&r.WarmSnap)
+		}
 	}
 	w.u8(planEnd)
 	return w.buf.Bytes()
@@ -476,6 +589,93 @@ func (r *planReader) snapshot(what string) (emulator.Snapshot, error) {
 	return s, nil
 }
 
+// snapshotDelta reads the v2 checkpoint section. The returned snapshot's
+// Mem/FMem hold only the delta entries; the tombstone lists name base
+// addresses the checkpoint deleted. Both stay unresolved until LoadPlan
+// binds an image and materializes the full maps.
+func (r *planReader) snapshotDelta(what string) (emulator.Snapshot, []int64, []int64, error) {
+	var s emulator.Snapshot
+	var err error
+	for i := range s.IntRegs {
+		if s.IntRegs[i], err = r.varint(what + " int register"); err != nil {
+			return s, nil, nil, err
+		}
+	}
+	for i := range s.FPRegs {
+		if s.FPRegs[i], err = r.float(what + " fp register"); err != nil {
+			return s, nil, nil, err
+		}
+	}
+	pc, err := r.varint(what + " pc")
+	if err != nil {
+		return s, nil, nil, err
+	}
+	s.PC = int(pc)
+	if s.Seq, err = r.varint(what + " seq"); err != nil {
+		return s, nil, nil, err
+	}
+	if s.Halted, err = r.bool(what + " halted"); err != nil {
+		return s, nil, nil, err
+	}
+	nm, err := r.count(what+" changed memory entries", maxMapEntries)
+	if err != nil {
+		return s, nil, nil, err
+	}
+	s.Mem = make(map[int64]int64, hint(nm))
+	for i := 0; i < nm; i++ {
+		a, err := r.varint(what + " memory address")
+		if err != nil {
+			return s, nil, nil, err
+		}
+		v, err := r.varint(what + " memory value")
+		if err != nil {
+			return s, nil, nil, err
+		}
+		s.Mem[a] = v
+	}
+	nt, err := r.count(what+" memory tombstones", maxMapEntries)
+	if err != nil {
+		return s, nil, nil, err
+	}
+	tombs := make([]int64, 0, hint(nt))
+	for i := 0; i < nt; i++ {
+		a, err := r.varint(what + " memory tombstone")
+		if err != nil {
+			return s, nil, nil, err
+		}
+		tombs = append(tombs, a)
+	}
+	nf, err := r.count(what+" changed fp memory entries", maxMapEntries)
+	if err != nil {
+		return s, nil, nil, err
+	}
+	s.FMem = make(map[int64]float64, hint(nf))
+	for i := 0; i < nf; i++ {
+		a, err := r.varint(what + " fp memory address")
+		if err != nil {
+			return s, nil, nil, err
+		}
+		v, err := r.float(what + " fp memory value")
+		if err != nil {
+			return s, nil, nil, err
+		}
+		s.FMem[a] = v
+	}
+	nft, err := r.count(what+" fp memory tombstones", maxMapEntries)
+	if err != nil {
+		return s, nil, nil, err
+	}
+	ftombs := make([]int64, 0, hint(nft))
+	for i := 0; i < nft; i++ {
+		a, err := r.varint(what + " fp memory tombstone")
+		if err != nil {
+			return s, nil, nil, err
+		}
+		ftombs = append(ftombs, a)
+	}
+	return s, tombs, ftombs, nil
+}
+
 // hint caps a pre-allocation size derived from untrusted input: the data
 // still has to arrive byte by byte before memory grows past the cap.
 func hint(n int) int {
@@ -503,8 +703,9 @@ func DecodePlan(data []byte) (*Plan, [sha256.Size]byte, error) {
 	if err != nil {
 		return nil, imgHash, err
 	}
-	if version != PlanFileVersion {
-		return nil, imgHash, r.failf("unsupported plan version %d (want %d)", version, PlanFileVersion)
+	if version < planMinVersion || version > PlanFileVersion {
+		return nil, imgHash, r.failf("unsupported plan version %d (want %d..%d)",
+			version, planMinVersion, PlanFileVersion)
 	}
 
 	pl := &Plan{}
@@ -651,11 +852,22 @@ func DecodePlan(data []byte) (*Plan, [sha256.Size]byte, error) {
 		if rep.PilotCluster, err = r.floats("rep cluster pilot column"); err != nil {
 			return nil, imgHash, err
 		}
-		if rep.Snap, err = r.snapshot("rep checkpoint"); err != nil {
-			return nil, imgHash, err
-		}
-		if rep.WarmSnap, err = r.snapshot("rep warm checkpoint"); err != nil {
-			return nil, imgHash, err
+		if version >= 2 {
+			var ds repDeltaState
+			if rep.Snap, ds.snapTombs, ds.snapFTombs, err = r.snapshotDelta("rep checkpoint"); err != nil {
+				return nil, imgHash, err
+			}
+			if rep.WarmSnap, ds.warmTombs, ds.warmFTombs, err = r.snapshotDelta("rep warm checkpoint"); err != nil {
+				return nil, imgHash, err
+			}
+			rep.delta = &ds
+		} else {
+			if rep.Snap, err = r.snapshot("rep checkpoint"); err != nil {
+				return nil, imgHash, err
+			}
+			if rep.WarmSnap, err = r.snapshot("rep warm checkpoint"); err != nil {
+				return nil, imgHash, err
+			}
 		}
 		pl.Reps = append(pl.Reps, rep)
 	}
@@ -704,6 +916,51 @@ func LoadPlan(data []byte, img *program.Image, maxInsts int64, p Params) (*Plan,
 	if norm := p.Normalize(); pl.Params != norm {
 		return nil, &FormatError{Msg: fmt.Sprintf("params mismatch: plan built for %+v, want %+v", pl.Params, norm)}
 	}
+	// Materialize v2 delta checkpoints against the now-verified image: base
+	// data, minus tombstones, overlaid with the delta entries — the exact
+	// inverse of snapshotDelta, so a bound plan re-encodes byte-identically.
+	for i := range pl.Reps {
+		rep := &pl.Reps[i]
+		d := rep.delta
+		if d == nil {
+			continue
+		}
+		rep.Snap.Mem = overlayMem(img.Data, rep.Snap.Mem, d.snapTombs)
+		rep.Snap.FMem = overlayFMem(img.FData, rep.Snap.FMem, d.snapFTombs)
+		rep.WarmSnap.Mem = overlayMem(img.Data, rep.WarmSnap.Mem, d.warmTombs)
+		rep.WarmSnap.FMem = overlayFMem(img.FData, rep.WarmSnap.FMem, d.warmFTombs)
+		rep.delta = nil
+	}
 	pl.img = img
 	return pl, nil
+}
+
+// overlayMem reconstructs a full checkpoint memory map from its delta form.
+func overlayMem(base, delta map[int64]int64, tombs []int64) map[int64]int64 {
+	full := make(map[int64]int64, len(base)+len(delta))
+	for a, v := range base {
+		full[a] = v
+	}
+	for _, a := range tombs {
+		delete(full, a)
+	}
+	for a, v := range delta {
+		full[a] = v
+	}
+	return full
+}
+
+// overlayFMem is overlayMem for the floating-point memory map.
+func overlayFMem(base, delta map[int64]float64, tombs []int64) map[int64]float64 {
+	full := make(map[int64]float64, len(base)+len(delta))
+	for a, v := range base {
+		full[a] = v
+	}
+	for _, a := range tombs {
+		delete(full, a)
+	}
+	for a, v := range delta {
+		full[a] = v
+	}
+	return full
 }

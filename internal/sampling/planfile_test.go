@@ -156,6 +156,51 @@ func TestPlanFileRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPlanFileV1BackwardCompat: the reader must load genuine v1 bytes (full
+// snapshot maps) to exactly the plan the v2 delta bytes load to, and the
+// content-store key must not move across the format bump — plans persisted
+// before the delta encoding stay warm and stay correct.
+func TestPlanFileV1BackwardCompat(t *testing.T) {
+	res := compileWorkload(t, "dijkstra", 4)
+	p := Default()
+	pl, err := BuildPlan(res.Image, res.Meta, 1<<20, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := encodePlanAt(pl, 1)
+	v2 := EncodePlan(pl)
+	if bytes.Equal(v1, v2) {
+		t.Fatal("v1 and v2 encodings are identical — the delta form is not being exercised")
+	}
+	if len(v2) >= len(v1) {
+		t.Errorf("v2 delta encoding (%d bytes) is not smaller than v1 (%d bytes)", len(v2), len(v1))
+	}
+
+	fromV1, err := LoadPlan(v1, res.Image, 1<<20, p)
+	if err != nil {
+		t.Fatalf("loading v1 bytes: %v", err)
+	}
+	fromV2, err := LoadPlan(v2, res.Image, 1<<20, p)
+	if err != nil {
+		t.Fatalf("loading v2 bytes: %v", err)
+	}
+	// Both loads are bound plans with materialized snapshots; re-encoding
+	// canonicalises them, so byte equality here means the v1 full maps and
+	// the v2 delta reconstruction agree entry for entry.
+	if !bytes.Equal(EncodePlan(fromV1), EncodePlan(fromV2)) {
+		t.Fatal("plan loaded from v1 bytes differs from plan loaded from v2 bytes")
+	}
+
+	// The PlanKey tag is frozen: a format bump must not cold-start stores.
+	key := PlanKey(res.Image, 1<<20, p)
+	if got := planKeyTag; got != "noreba-plan-v1" {
+		t.Fatalf("planKeyTag drifted to %q — this cold-starts every plan store", got)
+	}
+	if len(key) != 64 {
+		t.Fatalf("PlanKey %q is not sha256 hex", key)
+	}
+}
+
 // TestPlanFileStaleness: every way a stored plan can go stale — bumped
 // format version, recompiled program, different stream bound or parameters,
 // flipped bytes, truncation — must surface as a *FormatError (a miss to the
@@ -232,14 +277,25 @@ func FuzzPlanFile(f *testing.F) {
 		f.Fatal(err)
 	}
 	valid := EncodePlan(pl)
+	legacy := encodePlanAt(pl, 1) // v1 full-map form: the reader accepts both
 	f.Add(valid)
+	f.Add(legacy)
 	f.Add(valid[:len(valid)/2])
 	f.Add(valid[:8])
+	f.Add(legacy[:len(legacy)*2/3])
 	f.Add([]byte(planMagic))
 	f.Add([]byte{})
 	for _, i := range []int{0, len(planMagic), len(planMagic) + 1, len(valid) / 3, len(valid) - 1} {
 		mut := append([]byte(nil), valid...)
 		mut[i] ^= 0xFF
+		f.Add(mut)
+	}
+	// Hit the v2 delta sections specifically: the changed-entry and
+	// tombstone counts live in the back half of the file, after the pilot
+	// columns of the first representative.
+	for _, i := range []int{len(valid) * 3 / 4, len(valid) - len(valid)/8, len(legacy) / 2} {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x55
 		f.Add(mut)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {

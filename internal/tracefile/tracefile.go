@@ -373,7 +373,8 @@ type Reader struct {
 
 	prevSeq int64
 	done    bool
-	err     error // terminal: *emulator.MemError or *FormatError
+	err     error            // terminal: *emulator.MemError or *FormatError
+	d       emulator.DynInst // NextRef scratch: one record, reused per delivery
 }
 
 // Open parses the header and returns a reader positioned at the first
@@ -501,20 +502,31 @@ func (rd *Reader) Err() error { return rd.err }
 
 // Next implements emulator.TraceSource.
 func (rd *Reader) Next() (emulator.DynInst, bool) {
-	if rd.done {
+	d, ok := rd.NextRef()
+	if !ok {
 		return emulator.DynInst{}, false
+	}
+	return *d, true
+}
+
+// NextRef implements emulator.RefSource: the returned record is the
+// reader's decode scratch, valid until the next NextRef or Next call.
+func (rd *Reader) NextRef() (*emulator.DynInst, bool) {
+	if rd.done {
+		return nil, false
 	}
 	d, err := rd.next()
 	if err != nil {
 		rd.done = true
 		rd.err = err
-		return emulator.DynInst{}, false
+		return nil, false
 	}
 	if rd.done { // end marker consumed
-		return emulator.DynInst{}, false
+		return nil, false
 	}
-	rd.counts.Add(d)
-	return d, true
+	rd.d = d
+	rd.counts.Add(&rd.d)
+	return &rd.d, true
 }
 
 func (rd *Reader) next() (emulator.DynInst, error) {

@@ -79,7 +79,7 @@ func TestRoundTripStream(t *testing.T) {
 		if !ok {
 			break
 		}
-		want.Add(d)
+		want.Add(&d)
 	}
 	if rd.Counts() != want {
 		t.Errorf("counts %+v, want %+v", rd.Counts(), want)
